@@ -1,0 +1,699 @@
+//! The BDD manager: unique table, ITE cache, and core algorithms.
+
+use std::collections::HashMap;
+
+/// A reference to a BDD node inside a [`BddManager`].
+///
+/// References are only meaningful within the manager that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddRef(pub(crate) u32);
+
+impl BddRef {
+    /// The constant-false terminal.
+    pub const FALSE: BddRef = BddRef(0);
+    /// The constant-true terminal.
+    pub const TRUE: BddRef = BddRef(1);
+
+    /// Whether this reference is a terminal (constant) node.
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+}
+
+const NO_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// A reduced ordered BDD manager over a fixed set of variables.
+///
+/// Variables are identified by index `0..var_count` and ordered by the
+/// manager's current order (initially the identity). All operations are
+/// memoized; structurally equal functions are guaranteed to share the same
+/// [`BddRef`].
+#[derive(Debug, Clone)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    ite_cache: HashMap<(u32, u32, u32), u32>,
+    /// `level_of[var]` is the variable's position in the order (0 = top).
+    level_of: Vec<u32>,
+    /// `var_at[level]` is the inverse map.
+    var_at: Vec<u32>,
+    cache_enabled: bool,
+    /// Number of ITE cache hits (for the memoization ablation bench).
+    pub ite_hits: u64,
+    /// Number of recursive ITE calls.
+    pub ite_calls: u64,
+}
+
+impl BddManager {
+    /// Creates a manager over `var_count` variables with the identity order.
+    pub fn new(var_count: usize) -> Self {
+        let nodes = vec![
+            Node { var: NO_VAR, lo: 0, hi: 0 },
+            Node { var: NO_VAR, lo: 1, hi: 1 },
+        ];
+        BddManager {
+            nodes,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            level_of: (0..var_count as u32).collect(),
+            var_at: (0..var_count as u32).collect(),
+            cache_enabled: true,
+            ite_hits: 0,
+            ite_calls: 0,
+        }
+    }
+
+    /// Creates a manager with an explicit variable order (`order[level] =
+    /// var`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn with_order(order: &[u32]) -> Self {
+        let mut m = BddManager::new(order.len());
+        let mut level_of = vec![u32::MAX; order.len()];
+        for (lvl, &v) in order.iter().enumerate() {
+            assert!(
+                (v as usize) < order.len() && level_of[v as usize] == u32::MAX,
+                "order must be a permutation"
+            );
+            level_of[v as usize] = lvl as u32;
+        }
+        m.level_of = level_of;
+        m.var_at = order.to_vec();
+        m
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.level_of.len()
+    }
+
+    /// The current variable order (`order[level] = var`).
+    pub fn order(&self) -> &[u32] {
+        &self.var_at
+    }
+
+    /// Total number of live nodes in the manager (including terminals).
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Disables the ITE memo cache (for the memoization ablation bench).
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.ite_cache.clear();
+        }
+    }
+
+    /// The constant function `value`.
+    pub fn constant(&self, value: bool) -> BddRef {
+        if value {
+            BddRef::TRUE
+        } else {
+            BddRef::FALSE
+        }
+    }
+
+    /// The projection function of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn var(&mut self, v: u32) -> BddRef {
+        assert!((v as usize) < self.var_count(), "variable {v} out of range");
+        let r = self.mk(v, 0, 1);
+        BddRef(r)
+    }
+
+    /// The negated projection of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn nvar(&mut self, v: u32) -> BddRef {
+        assert!((v as usize) < self.var_count(), "variable {v} out of range");
+        let r = self.mk(v, 1, 0);
+        BddRef(r)
+    }
+
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&n) = self.unique.get(&(var, lo, hi)) {
+            return n;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        id
+    }
+
+    fn level(&self, r: u32) -> u32 {
+        let v = self.nodes[r as usize].var;
+        if v == NO_VAR {
+            u32::MAX
+        } else {
+            self.level_of[v as usize]
+        }
+    }
+
+    /// The top variable of `f`, or `None` for terminals.
+    pub fn top_var(&self, f: BddRef) -> Option<u32> {
+        let v = self.nodes[f.0 as usize].var;
+        if v == NO_VAR {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// The low (else) child of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn low(&self, f: BddRef) -> BddRef {
+        assert!(!f.is_const(), "terminal has no children");
+        BddRef(self.nodes[f.0 as usize].lo)
+    }
+
+    /// The high (then) child of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn high(&self, f: BddRef) -> BddRef {
+        assert!(!f.is_const(), "terminal has no children");
+        BddRef(self.nodes[f.0 as usize].hi)
+    }
+
+    /// If-then-else: `f ? g : h`.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
+        BddRef(self.ite_rec(f.0, g.0, h.0))
+    }
+
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
+        self.ite_calls += 1;
+        // Terminal cases.
+        if f == 1 {
+            return g;
+        }
+        if f == 0 {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == 1 && h == 0 {
+            return f;
+        }
+        let key = (f, g, h);
+        if self.cache_enabled {
+            if let Some(&r) = self.ite_cache.get(&key) {
+                self.ite_hits += 1;
+                return r;
+            }
+        }
+        let lf = self.level(f);
+        let lg = self.level(g);
+        let lh = self.level(h);
+        let top_level = lf.min(lg).min(lh);
+        let top_var = self.var_at[top_level as usize];
+        let (f0, f1) = self.cofactors_at(f, top_level);
+        let (g0, g1) = self.cofactors_at(g, top_level);
+        let (h0, h1) = self.cofactors_at(h, top_level);
+        let lo = self.ite_rec(f0, g0, h0);
+        let hi = self.ite_rec(f1, g1, h1);
+        let r = self.mk(top_var, lo, hi);
+        if self.cache_enabled {
+            self.ite_cache.insert(key, r);
+        }
+        r
+    }
+
+    fn cofactors_at(&self, f: u32, level: u32) -> (u32, u32) {
+        if self.level(f) == level {
+            let n = self.nodes[f as usize];
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, f: BddRef) -> BddRef {
+        self.ite(f, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, g, BddRef::FALSE)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, BddRef::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Exclusive nor (equivalence).
+    pub fn xnor(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Implication `f -> g`.
+    pub fn implies(&mut self, f: BddRef, g: BddRef) -> BddRef {
+        self.ite(f, g, BddRef::TRUE)
+    }
+
+    /// Conjunction over many operands.
+    pub fn and_many(&mut self, fs: impl IntoIterator<Item = BddRef>) -> BddRef {
+        let mut acc = BddRef::TRUE;
+        for f in fs {
+            acc = self.and(acc, f);
+        }
+        acc
+    }
+
+    /// Disjunction over many operands.
+    pub fn or_many(&mut self, fs: impl IntoIterator<Item = BddRef>) -> BddRef {
+        let mut acc = BddRef::FALSE;
+        for f in fs {
+            acc = self.or(acc, f);
+        }
+        acc
+    }
+
+    /// Cofactor of `f` with variable `v` fixed to `value`.
+    pub fn cofactor(&mut self, f: BddRef, v: u32, value: bool) -> BddRef {
+        let mut memo = HashMap::new();
+        BddRef(self.cofactor_rec(f.0, v, value, &mut memo))
+    }
+
+    fn cofactor_rec(&mut self, f: u32, v: u32, value: bool, memo: &mut HashMap<u32, u32>) -> u32 {
+        if f < 2 {
+            return f;
+        }
+        let n = self.nodes[f as usize];
+        if n.var == v {
+            return if value { n.hi } else { n.lo };
+        }
+        if self.level_of[n.var as usize] > self.level_of[v as usize] {
+            // v is above this node in the order, so it cannot appear below.
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let lo = self.cofactor_rec(n.lo, v, value, memo);
+        let hi = self.cofactor_rec(n.hi, v, value, memo);
+        let r = self.mk(n.var, lo, hi);
+        memo.insert(f, r);
+        r
+    }
+
+    /// Existential quantification of `f` over the listed variables.
+    pub fn exists(&mut self, f: BddRef, vars: &[u32]) -> BddRef {
+        let mut acc = f;
+        for &v in vars {
+            let c0 = self.cofactor(acc, v, false);
+            let c1 = self.cofactor(acc, v, true);
+            acc = self.or(c0, c1);
+        }
+        acc
+    }
+
+    /// Universal quantification of `f` over the listed variables.
+    pub fn forall(&mut self, f: BddRef, vars: &[u32]) -> BddRef {
+        let mut acc = f;
+        for &v in vars {
+            let c0 = self.cofactor(acc, v, false);
+            let c1 = self.cofactor(acc, v, true);
+            acc = self.and(c0, c1);
+        }
+        acc
+    }
+
+    /// Substitutes function `g` for variable `v` inside `f`.
+    pub fn compose(&mut self, f: BddRef, v: u32, g: BddRef) -> BddRef {
+        let c0 = self.cofactor(f, v, false);
+        let c1 = self.cofactor(f, v, true);
+        self.ite(g, c1, c0)
+    }
+
+    /// Evaluates `f` under a complete variable assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is shorter than the variable count.
+    pub fn eval(&self, f: BddRef, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.var_count(), "assignment too short");
+        let mut cur = f.0;
+        while cur > 1 {
+            let n = self.nodes[cur as usize];
+            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+        cur == 1
+    }
+
+    /// Number of minterms of `f` over all `var_count` variables.
+    pub fn sat_count(&self, f: BddRef) -> f64 {
+        let mut memo: HashMap<u32, f64> = HashMap::new();
+        let frac = self.sat_frac(f.0, &mut memo);
+        frac * 2f64.powi(self.var_count() as i32)
+    }
+
+    /// Fraction of the input space on which `f` is true (the signal
+    /// probability of `f` under uniform inputs).
+    pub fn sat_fraction(&self, f: BddRef) -> f64 {
+        let mut memo: HashMap<u32, f64> = HashMap::new();
+        self.sat_frac(f.0, &mut memo)
+    }
+
+    fn sat_frac(&self, f: u32, memo: &mut HashMap<u32, f64>) -> f64 {
+        if f == 0 {
+            return 0.0;
+        }
+        if f == 1 {
+            return 1.0;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f as usize];
+        let r = 0.5 * self.sat_frac(n.lo, memo) + 0.5 * self.sat_frac(n.hi, memo);
+        memo.insert(f, r);
+        r
+    }
+
+    /// Number of decision nodes reachable from `f` (the BDD "size" used by
+    /// the Ferrandi capacitance model).
+    pub fn node_count(&self, f: BddRef) -> usize {
+        self.node_count_many(&[f])
+    }
+
+    /// Number of distinct decision nodes reachable from a set of roots
+    /// (shared nodes counted once).
+    pub fn node_count_many(&self, roots: &[BddRef]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<u32> = roots.iter().map(|r| r.0).collect();
+        while let Some(f) = stack.pop() {
+            if f < 2 || !seen.insert(f) {
+                continue;
+            }
+            let n = self.nodes[f as usize];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        seen.len()
+    }
+
+    /// The set of variables `f` depends on.
+    pub fn support(&self, f: BddRef) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f.0];
+        while let Some(x) = stack.pop() {
+            if x < 2 || !seen.insert(x) {
+                continue;
+            }
+            let n = self.nodes[x as usize];
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// One satisfying assignment of `f` (over its support; unconstrained
+    /// variables are false), or `None` if `f` is unsatisfiable.
+    pub fn any_sat(&self, f: BddRef) -> Option<Vec<bool>> {
+        if f == BddRef::FALSE {
+            return None;
+        }
+        let mut assignment = vec![false; self.var_count()];
+        let mut cur = f.0;
+        while cur > 1 {
+            let n = self.nodes[cur as usize];
+            if n.hi != 0 {
+                assignment[n.var as usize] = true;
+                cur = n.hi;
+            } else {
+                cur = n.lo;
+            }
+        }
+        Some(assignment)
+    }
+
+    /// Rebuilds a set of functions in a new manager with a different
+    /// variable order, returning the new manager and the translated roots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of this manager's variables.
+    pub fn transfer(&self, roots: &[BddRef], order: &[u32]) -> (BddManager, Vec<BddRef>) {
+        assert_eq!(order.len(), self.var_count(), "order size mismatch");
+        let mut dst = BddManager::with_order(order);
+        let mut memo: HashMap<u32, u32> = HashMap::new();
+        let new_roots = roots
+            .iter()
+            .map(|r| BddRef(transfer_rec(self, &mut dst, r.0, &mut memo)))
+            .collect();
+        (dst, new_roots)
+    }
+
+    /// Sifting-style variable reordering: greedily moves each variable to
+    /// the position minimizing the shared node count of `roots`, one
+    /// variable at a time (most-used variables first). Returns the improved
+    /// manager, translated roots, and the chosen order.
+    ///
+    /// This is a rebuild-based implementation suited to the moderate
+    /// variable counts of this crate's experiments; it trades the in-place
+    /// swap machinery of production packages for simplicity.
+    pub fn sift(&self, roots: &[BddRef]) -> (BddManager, Vec<BddRef>, Vec<u32>) {
+        let mut best_order: Vec<u32> = self.var_at.clone();
+        let (mut best_m, mut best_roots) = self.transfer(roots, &best_order);
+        let mut best_size = best_m.node_count_many(&best_roots);
+        let nvars = self.var_count();
+        for v in 0..nvars as u32 {
+            let cur_pos = best_order.iter().position(|&x| x == v).expect("var in order");
+            let mut local_best = (best_size, cur_pos);
+            for pos in 0..nvars {
+                if pos == cur_pos {
+                    continue;
+                }
+                let mut cand = best_order.clone();
+                cand.remove(cur_pos);
+                cand.insert(pos, v);
+                let (m, r) = self.transfer(roots, &cand);
+                let size = m.node_count_many(&r);
+                if size < local_best.0 {
+                    local_best = (size, pos);
+                }
+            }
+            if local_best.1 != cur_pos {
+                best_order.remove(cur_pos);
+                best_order.insert(local_best.1, v);
+                let (m, r) = self.transfer(roots, &best_order);
+                best_size = m.node_count_many(&r);
+                best_m = m;
+                best_roots = r;
+            }
+        }
+        (best_m, best_roots, best_order)
+    }
+}
+
+fn transfer_rec(src: &BddManager, dst: &mut BddManager, f: u32, memo: &mut HashMap<u32, u32>) -> u32 {
+    if f < 2 {
+        return f;
+    }
+    if let Some(&r) = memo.get(&f) {
+        return r;
+    }
+    let n = src.nodes[f as usize];
+    let lo = transfer_rec(src, dst, n.lo, memo);
+    let hi = transfer_rec(src, dst, n.hi, memo);
+    let v = dst.var(n.var);
+    let r = dst.ite(v, BddRef(hi), BddRef(lo)).0;
+    memo.insert(f, r);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut m = BddManager::new(2);
+        assert_eq!(m.constant(true), BddRef::TRUE);
+        let a = m.var(0);
+        let a2 = m.var(0);
+        assert_eq!(a, a2, "unique table must share nodes");
+        let na = m.not(a);
+        assert_eq!(m.nvar(0), na);
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let ba = m.and(b, a);
+        assert_eq!(ab, ba, "canonical form implies commutativity as identity");
+        let na = m.not(a);
+        let nna = m.not(na);
+        assert_eq!(nna, a);
+        let t = m.or(a, na);
+        assert_eq!(t, BddRef::TRUE);
+        let f = m.and(a, na);
+        assert_eq!(f, BddRef::FALSE);
+        // De Morgan.
+        let nab = m.not(ab);
+        let nb = m.not(b);
+        let de = m.or(na, nb);
+        assert_eq!(nab, de);
+    }
+
+    #[test]
+    fn xor_and_ite() {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let x = m.xor(a, b);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(m.eval(x, &[va, vb]), va ^ vb);
+        }
+        let xn = m.xnor(a, b);
+        let nx = m.not(x);
+        assert_eq!(xn, nx);
+    }
+
+    #[test]
+    fn sat_count_majority() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let ac = m.and(a, c);
+        let bc = m.and(b, c);
+        let maj = m.or_many([ab, ac, bc]);
+        assert_eq!(m.sat_count(maj), 4.0);
+        assert!((m.sat_fraction(maj) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cofactor_and_quantify() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let bc = m.and(b, c);
+        let f = m.or(a, bc); // a + bc
+        let f_a1 = m.cofactor(f, 0, true);
+        assert_eq!(f_a1, BddRef::TRUE);
+        let f_a0 = m.cofactor(f, 0, false);
+        assert_eq!(f_a0, bc);
+        let ex = m.exists(f, &[1, 2]); // exists b,c: a + bc == true
+        assert_eq!(ex, BddRef::TRUE);
+        let fa = m.forall(f, &[1, 2]); // forall b,c == a
+        assert_eq!(fa, a);
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let f = m.xor(a, b);
+        let g = m.and(a, c);
+        let h = m.compose(f, 1, g); // f[b := a & c] = a ^ (a & c)
+        for bits in 0..8u32 {
+            let asg = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            assert_eq!(m.eval(h, &asg), asg[0] ^ (asg[0] && asg[2]));
+        }
+    }
+
+    #[test]
+    fn support_and_any_sat() {
+        let mut m = BddManager::new(4);
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = m.and(a, c);
+        assert_eq!(m.support(f), vec![0, 2]);
+        let sat = m.any_sat(f).unwrap();
+        assert!(m.eval(f, &sat));
+        let na = m.not(a);
+        let contradiction = m.and(f, na);
+        assert_eq!(m.any_sat(contradiction), None);
+    }
+
+    #[test]
+    fn transfer_preserves_function() {
+        let mut m = BddManager::new(4);
+        let vs: Vec<BddRef> = (0..4).map(|i| m.var(i)).collect();
+        let t1 = m.and(vs[0], vs[3]);
+        let t2 = m.and(vs[1], vs[2]);
+        let f = m.or(t1, t2);
+        let (m2, roots) = m.transfer(&[f], &[3, 1, 0, 2]);
+        for bits in 0..16u32 {
+            let asg: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(m.eval(f, &asg), m2.eval(roots[0], &asg), "bits {bits:04b}");
+        }
+    }
+
+    #[test]
+    fn sifting_shrinks_interleaved_and() {
+        // f = x0&x3 + x1&x4 + x2&x5 is exponential in the order
+        // (0,1,2,3,4,5) but linear when pairs are adjacent.
+        let mut m = BddManager::new(6);
+        let vs: Vec<BddRef> = (0..6).map(|i| m.var(i)).collect();
+        let t1 = m.and(vs[0], vs[3]);
+        let t2 = m.and(vs[1], vs[4]);
+        let t3 = m.and(vs[2], vs[5]);
+        let f = m.or_many([t1, t2, t3]);
+        let before = m.node_count(f);
+        let (m2, roots, order) = m.sift(&[f]);
+        let after = m2.node_count_many(&roots);
+        assert!(after < before, "sift {before} -> {after} (order {order:?})");
+        for bits in 0..64u32 {
+            let asg: Vec<bool> = (0..6).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(m.eval(f, &asg), m2.eval(roots[0], &asg));
+        }
+    }
+
+    #[test]
+    fn cache_ablation_still_correct() {
+        let mut m = BddManager::new(4);
+        m.set_cache_enabled(false);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let d = m.var(3);
+        let ab = m.and(a, b);
+        let cd = m.and(c, d);
+        let f = m.xor(ab, cd);
+        assert_eq!(m.sat_count(f), 6.0);
+        assert_eq!(m.ite_hits, 0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Zero-suppressed BDDs for symbolic cover manipulation (Minato, survey
+//! reference 98).
+//!
+//! A ZDD represents a family of sets (here: a cover, i.e. a set of cubes
+//! over positive literals). §III-H uses ZDD-backed covers as the link from
+//! symbolic state-transition representations to multi-level logic
+//! extraction; this module provides the set algebra those flows need.
+
+use std::collections::HashMap;
+
+/// A reference to a ZDD node inside a [`ZddManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZddRef(u32);
+
+impl ZddRef {
+    /// The empty family (no sets at all).
+    pub const EMPTY: ZddRef = ZddRef(0);
+    /// The family containing only the empty set.
+    pub const UNIT: ZddRef = ZddRef(1);
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: u32,
+    hi: u32,
+}
+
+/// A zero-suppressed BDD manager over a fixed variable universe.
+#[derive(Debug, Clone)]
+pub struct ZddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    var_count: usize,
+}
+
+impl ZddManager {
+    /// Creates a manager over `var_count` element variables.
+    pub fn new(var_count: usize) -> Self {
+        ZddManager {
+            nodes: vec![
+                Node { var: u32::MAX, lo: 0, hi: 0 },
+                Node { var: u32::MAX, lo: 1, hi: 1 },
+            ],
+            unique: HashMap::new(),
+            var_count,
+        }
+    }
+
+    /// Number of element variables.
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        if hi == 0 {
+            return lo; // zero-suppression rule
+        }
+        if let Some(&n) = self.unique.get(&(var, lo, hi)) {
+            return n;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        id
+    }
+
+    fn level(&self, f: u32) -> u32 {
+        let v = self.nodes[f as usize].var;
+        if v == u32::MAX {
+            u32::MAX
+        } else {
+            v
+        }
+    }
+
+    /// The family containing the single set `{v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn singleton(&mut self, v: u32) -> ZddRef {
+        assert!((v as usize) < self.var_count, "variable {v} out of range");
+        ZddRef(self.mk(v, 0, 1))
+    }
+
+    /// The family containing exactly one set, given by its elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is out of range.
+    pub fn set(&mut self, elements: &[u32]) -> ZddRef {
+        let mut sorted: Vec<u32> = elements.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut f = 1u32; // unit family
+        for &v in sorted.iter().rev() {
+            assert!((v as usize) < self.var_count, "variable {v} out of range");
+            f = self.mk(v, 0, f);
+        }
+        ZddRef(f)
+    }
+
+    /// Family union.
+    pub fn union(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
+        ZddRef(self.union_rec(f.0, g.0))
+    }
+
+    fn union_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == 0 {
+            return g;
+        }
+        if g == 0 || f == g {
+            return f;
+        }
+        let (f, g) = if f < g { (f, g) } else { (g, f) };
+        let lf = self.level(f);
+        let lg = self.level(g);
+        if lf < lg {
+            let n = self.nodes[f as usize];
+            let lo = self.union_rec(n.lo, g);
+            self.mk(n.var, lo, n.hi)
+        } else if lg < lf {
+            let n = self.nodes[g as usize];
+            let lo = self.union_rec(f, n.lo);
+            self.mk(n.var, lo, n.hi)
+        } else {
+            let nf = self.nodes[f as usize];
+            let ng = self.nodes[g as usize];
+            let lo = self.union_rec(nf.lo, ng.lo);
+            let hi = self.union_rec(nf.hi, ng.hi);
+            self.mk(nf.var, lo, hi)
+        }
+    }
+
+    /// Family intersection.
+    pub fn intersect(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
+        ZddRef(self.intersect_rec(f.0, g.0))
+    }
+
+    fn intersect_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == 0 || g == 0 {
+            return 0;
+        }
+        if f == g {
+            return f;
+        }
+        let lf = self.level(f);
+        let lg = self.level(g);
+        if lf < lg {
+            let n = self.nodes[f as usize];
+            self.intersect_rec(n.lo, g)
+        } else if lg < lf {
+            let n = self.nodes[g as usize];
+            self.intersect_rec(f, n.lo)
+        } else {
+            let nf = self.nodes[f as usize];
+            let ng = self.nodes[g as usize];
+            let lo = self.intersect_rec(nf.lo, ng.lo);
+            let hi = self.intersect_rec(nf.hi, ng.hi);
+            self.mk(nf.var, lo, hi)
+        }
+    }
+
+    /// Family difference `f \ g`.
+    pub fn difference(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
+        ZddRef(self.diff_rec(f.0, g.0))
+    }
+
+    fn diff_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == 0 || f == g {
+            return 0;
+        }
+        if g == 0 {
+            return f;
+        }
+        let lf = self.level(f);
+        let lg = self.level(g);
+        if lf < lg {
+            let n = self.nodes[f as usize];
+            let lo = self.diff_rec(n.lo, g);
+            self.mk(n.var, lo, n.hi)
+        } else if lg < lf {
+            let n = self.nodes[g as usize];
+            self.diff_rec(f, n.lo)
+        } else {
+            let nf = self.nodes[f as usize];
+            let ng = self.nodes[g as usize];
+            let lo = self.diff_rec(nf.lo, ng.lo);
+            let hi = self.diff_rec(nf.hi, ng.hi);
+            self.mk(nf.var, lo, hi)
+        }
+    }
+
+    /// Family join (cross product of set unions): `{a ∪ b : a ∈ f, b ∈
+    /// g}` — the cover product used when multiplying symbolic
+    /// sum-of-products forms (Minato's algebra).
+    pub fn join(&mut self, f: ZddRef, g: ZddRef) -> ZddRef {
+        ZddRef(self.join_rec(f.0, g.0))
+    }
+
+    fn join_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == 0 || g == 0 {
+            return 0;
+        }
+        if f == 1 {
+            return g;
+        }
+        if g == 1 {
+            return f;
+        }
+        let lf = self.level(f);
+        let lg = self.level(g);
+        if lf < lg {
+            let n = self.nodes[f as usize];
+            let lo = self.join_rec(n.lo, g);
+            let hi = self.join_rec(n.hi, g);
+            let (var, lo_final, hi_merged) = (n.var, lo, hi);
+            // hi branch may collide with sets already containing var from
+            // lo side? No: hi carries var, lo does not; mk handles it.
+            self.mk(var, lo_final, hi_merged)
+        } else if lg < lf {
+            self.join_rec(g, f)
+        } else {
+            let nf = self.nodes[f as usize];
+            let ng = self.nodes[g as usize];
+            // Sets containing var come from any pairing where either side
+            // contributes var; sets without come only from lo x lo.
+            let lo = self.join_rec(nf.lo, ng.lo);
+            let h1 = self.join_rec(nf.hi, ng.hi);
+            let h2 = self.join_rec(nf.hi, ng.lo);
+            let h3 = self.join_rec(nf.lo, ng.hi);
+            let h12 = self.union_rec(h1, h2);
+            let hi = self.union_rec(h12, h3);
+            self.mk(nf.var, lo, hi)
+        }
+    }
+
+    /// Number of sets in the family.
+    pub fn count(&self, f: ZddRef) -> u64 {
+        let mut memo = HashMap::new();
+        self.count_rec(f.0, &mut memo)
+    }
+
+    fn count_rec(&self, f: u32, memo: &mut HashMap<u32, u64>) -> u64 {
+        if f == 0 {
+            return 0;
+        }
+        if f == 1 {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = self.nodes[f as usize];
+        let c = self.count_rec(n.lo, memo) + self.count_rec(n.hi, memo);
+        memo.insert(f, c);
+        c
+    }
+
+    /// Enumerates the family as sorted element lists (for testing and
+    /// cover extraction; exponential in general).
+    pub fn enumerate(&self, f: ZddRef) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        self.enum_rec(f.0, &mut prefix, &mut out);
+        out.sort();
+        out
+    }
+
+    fn enum_rec(&self, f: u32, prefix: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if f == 0 {
+            return;
+        }
+        if f == 1 {
+            out.push(prefix.clone());
+            return;
+        }
+        let n = self.nodes[f as usize];
+        self.enum_rec(n.lo, prefix, out);
+        prefix.push(n.var);
+        self.enum_rec(n.hi, prefix, out);
+        prefix.pop();
+    }
+
+    /// Number of live nodes in the manager.
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_construction_and_count() {
+        let mut z = ZddManager::new(4);
+        let s1 = z.set(&[0, 2]);
+        let s2 = z.set(&[1]);
+        let u = z.union(s1, s2);
+        assert_eq!(z.count(u), 2);
+        assert_eq!(z.enumerate(u), vec![vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn union_is_idempotent_and_commutative() {
+        let mut z = ZddManager::new(3);
+        let a = z.set(&[0]);
+        let b = z.set(&[1, 2]);
+        let ab = z.union(a, b);
+        let ba = z.union(b, a);
+        assert_eq!(ab, ba);
+        let aa = z.union(ab, a);
+        assert_eq!(aa, ab);
+    }
+
+    #[test]
+    fn intersection_and_difference() {
+        let mut z = ZddManager::new(3);
+        let a = z.set(&[0]);
+        let b = z.set(&[1]);
+        let c = z.set(&[0, 1]);
+        let fam1 = z.union(a, b); // {{0},{1}}
+        let fam2 = z.union(b, c); // {{1},{0,1}}
+        let i = z.intersect(fam1, fam2);
+        assert_eq!(z.enumerate(i), vec![vec![1]]);
+        let d = z.difference(fam1, fam2);
+        assert_eq!(z.enumerate(d), vec![vec![0]]);
+    }
+
+    #[test]
+    fn empty_set_vs_empty_family() {
+        let mut z = ZddManager::new(2);
+        let unit = z.set(&[]);
+        assert_eq!(unit, ZddRef::UNIT);
+        assert_eq!(z.count(ZddRef::EMPTY), 0);
+        assert_eq!(z.count(unit), 1);
+    }
+
+    #[test]
+    fn join_is_cross_product_of_unions() {
+        let mut z = ZddManager::new(4);
+        let a0 = z.set(&[0]);
+        let a1 = z.set(&[1]);
+        let f = z.union(a0, a1); // {{0},{1}}
+        let b2 = z.set(&[2]);
+        let b3 = z.set(&[2, 3]);
+        let g = z.union(b2, b3); // {{2},{2,3}}
+        let j = z.join(f, g);
+        assert_eq!(
+            z.enumerate(j),
+            vec![vec![0, 2], vec![0, 2, 3], vec![1, 2], vec![1, 2, 3]]
+        );
+    }
+
+    #[test]
+    fn join_identities() {
+        let mut z = ZddManager::new(3);
+        let f = {
+            let a = z.set(&[0, 1]);
+            let b = z.set(&[2]);
+            z.union(a, b)
+        };
+        // Unit family is the identity; empty family annihilates.
+        assert_eq!(z.join(f, ZddRef::UNIT), f);
+        assert_eq!(z.join(f, ZddRef::EMPTY), ZddRef::EMPTY);
+        // Joining with itself unions overlapping sets (idempotent union of
+        // elements): {{0,1},{2}} x itself = {{0,1},{0,1,2},{2}}.
+        let jj = z.join(f, f);
+        assert_eq!(z.enumerate(jj), vec![vec![0, 1], vec![0, 1, 2], vec![2]]);
+    }
+
+    #[test]
+    fn zero_suppression_shares_structure() {
+        let mut z = ZddManager::new(8);
+        // Building the same family twice yields identical refs.
+        let f1 = {
+            let a = z.set(&[0, 3, 5]);
+            let b = z.set(&[2]);
+            z.union(a, b)
+        };
+        let f2 = {
+            let b = z.set(&[2]);
+            let a = z.set(&[0, 3, 5]);
+            z.union(b, a)
+        };
+        assert_eq!(f1, f2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests: BDD operations agree with direct Boolean
+//! evaluation on random expression trees, and canonical-form identities
+//! hold.
+
+use hlpower_bdd::{BddManager, BddRef};
+use proptest::prelude::*;
+
+/// A random Boolean expression over `n` variables.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn expr_strategy(nvars: u32) -> impl Strategy<Value = Expr> {
+    let leaf = (0..nvars).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn build(m: &mut BddManager, e: &Expr) -> BddRef {
+    match e {
+        Expr::Var(v) => m.var(*v),
+        Expr::Not(a) => {
+            let x = build(m, a);
+            m.not(x)
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (build(m, a), build(m, b));
+            m.and(x, y)
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (build(m, a), build(m, b));
+            m.or(x, y)
+        }
+        Expr::Xor(a, b) => {
+            let (x, y) = (build(m, a), build(m, b));
+            m.xor(x, y)
+        }
+        Expr::Ite(a, b, c) => {
+            let (x, y, z) = (build(m, a), build(m, b), build(m, c));
+            m.ite(x, y, z)
+        }
+    }
+}
+
+fn eval(e: &Expr, asg: &[bool]) -> bool {
+    match e {
+        Expr::Var(v) => asg[*v as usize],
+        Expr::Not(a) => !eval(a, asg),
+        Expr::And(a, b) => eval(a, asg) && eval(b, asg),
+        Expr::Or(a, b) => eval(a, asg) || eval(b, asg),
+        Expr::Xor(a, b) => eval(a, asg) ^ eval(b, asg),
+        Expr::Ite(a, b, c) => {
+            if eval(a, asg) {
+                eval(b, asg)
+            } else {
+                eval(c, asg)
+            }
+        }
+    }
+}
+
+const NVARS: u32 = 6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The BDD of a random expression evaluates identically to the
+    /// expression on every assignment, and its sat-count matches brute
+    /// force.
+    #[test]
+    fn bdd_matches_expression(e in expr_strategy(NVARS)) {
+        let mut m = BddManager::new(NVARS as usize);
+        let f = build(&mut m, &e);
+        let mut count = 0u32;
+        for bits in 0..(1u32 << NVARS) {
+            let asg: Vec<bool> = (0..NVARS).map(|i| bits & (1 << i) != 0).collect();
+            let expect = eval(&e, &asg);
+            prop_assert_eq!(m.eval(f, &asg), expect);
+            count += expect as u32;
+        }
+        prop_assert_eq!(m.sat_count(f), count as f64);
+    }
+
+    /// Canonical-form identity: semantically equal expressions produce the
+    /// same node (double negation, De Morgan).
+    #[test]
+    fn canonical_identities(e in expr_strategy(NVARS)) {
+        let mut m = BddManager::new(NVARS as usize);
+        let f = build(&mut m, &e);
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        prop_assert_eq!(nnf, f, "double negation");
+        let tautology = m.or(f, nf);
+        prop_assert_eq!(tautology, BddRef::TRUE);
+        let contradiction = m.and(f, nf);
+        prop_assert_eq!(contradiction, BddRef::FALSE);
+    }
+
+    /// Shannon expansion: f == ite(x, f|x=1, f|x=0) for every variable.
+    #[test]
+    fn shannon_expansion(e in expr_strategy(NVARS), v in 0..NVARS) {
+        let mut m = BddManager::new(NVARS as usize);
+        let f = build(&mut m, &e);
+        let f1 = m.cofactor(f, v, true);
+        let f0 = m.cofactor(f, v, false);
+        let x = m.var(v);
+        let rebuilt = m.ite(x, f1, f0);
+        prop_assert_eq!(rebuilt, f);
+    }
+
+    /// Quantification: exists x. f is the OR of cofactors; forall the AND;
+    /// and forall f => f => exists f pointwise.
+    #[test]
+    fn quantification_sandwich(e in expr_strategy(NVARS), v in 0..NVARS) {
+        let mut m = BddManager::new(NVARS as usize);
+        let f = build(&mut m, &e);
+        let ex = m.exists(f, &[v]);
+        let fa = m.forall(f, &[v]);
+        // forall implies f implies exists.
+        let i1 = m.implies(fa, f);
+        let i2 = m.implies(f, ex);
+        prop_assert_eq!(i1, BddRef::TRUE);
+        prop_assert_eq!(i2, BddRef::TRUE);
+        // Quantified results are independent of v.
+        prop_assert!(!m.support(ex).contains(&v));
+        prop_assert!(!m.support(fa).contains(&v));
+    }
+
+    /// Transfer to a random variable order preserves the function.
+    #[test]
+    fn transfer_preserves_function(e in expr_strategy(NVARS), perm_seed in 0u64..1000) {
+        let mut m = BddManager::new(NVARS as usize);
+        let f = build(&mut m, &e);
+        // Derive a permutation from the seed.
+        let mut order: Vec<u32> = (0..NVARS).collect();
+        let mut s = perm_seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let (m2, roots) = m.transfer(&[f], &order);
+        for bits in 0..(1u32 << NVARS) {
+            let asg: Vec<bool> = (0..NVARS).map(|i| bits & (1 << i) != 0).collect();
+            prop_assert_eq!(m.eval(f, &asg), m2.eval(roots[0], &asg));
+        }
+    }
+
+    /// `any_sat` returns a satisfying assignment exactly when one exists.
+    #[test]
+    fn any_sat_is_sound(e in expr_strategy(NVARS)) {
+        let mut m = BddManager::new(NVARS as usize);
+        let f = build(&mut m, &e);
+        match m.any_sat(f) {
+            Some(asg) => prop_assert!(m.eval(f, &asg)),
+            None => prop_assert_eq!(f, BddRef::FALSE),
+        }
+    }
+}

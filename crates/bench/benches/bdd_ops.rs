@@ -1,0 +1,63 @@
+//! Criterion bench for the BDD package, including the ITE memo-cache
+//! ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlpower::bdd::{build_output_bdds, BddManager};
+use hlpower::netlist::{gen, Netlist};
+
+/// A 16-stage carry chain: heavily reconvergent, so the ITE memo cache is
+/// load-bearing (the DESIGN.md cache ablation).
+fn carry_chain(m: &mut BddManager, n: u32) -> hlpower::bdd::BddRef {
+    let mut carry = m.constant(false);
+    for i in 0..n {
+        let a = m.var(2 * i);
+        let b = m.var(2 * i + 1);
+        let ab = m.and(a, b);
+        let axb = m.xor(a, b);
+        let t = m.and(axb, carry);
+        carry = m.or(ab, t);
+    }
+    carry
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bdd");
+    g.sample_size(15);
+    g.bench_function("carry16_with_cache", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new(32);
+            carry_chain(&mut m, 16)
+        })
+    });
+    // Without memoization the chain cost grows geometrically; 12 stages
+    // already shows the blow-up while keeping the bench runnable (16
+    // stages take seconds per build uncached vs ~100 us cached).
+    g.bench_function("carry12_without_cache", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new(32);
+            m.set_cache_enabled(false);
+            carry_chain(&mut m, 12)
+        })
+    });
+    g.bench_function("carry12_with_cache", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new(32);
+            carry_chain(&mut m, 12)
+        })
+    });
+    let mut nl = Netlist::new();
+    let a = nl.input_bus("a", 8);
+    let bbus = nl.input_bus("b", 8);
+    let zero = nl.constant(false);
+    let s = gen::ripple_adder(&mut nl, &a, &bbus, zero);
+    nl.output_bus("s", &s);
+    g.bench_function("extract_adder8", |b| {
+        b.iter(|| build_output_bdds(std::hint::black_box(&nl)).expect("acyclic"))
+    });
+    let (m, roots) = build_output_bdds(&nl).expect("acyclic");
+    g.bench_function("sift_adder8", |b| b.iter(|| m.sift(std::hint::black_box(&roots))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

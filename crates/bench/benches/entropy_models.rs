@@ -1,0 +1,44 @@
+//! Criterion bench for §II-B1: the entropy estimator vs full simulation —
+//! the speed gap is the estimator's reason to exist.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlpower::estimate::entropy;
+use hlpower::netlist::{gen, streams, Library, Netlist, ZeroDelaySim};
+
+fn adder(width: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let a = nl.input_bus("a", width);
+    let b = nl.input_bus("b", width);
+    let zero = nl.constant(false);
+    let s = gen::ripple_adder(&mut nl, &a, &b, zero);
+    nl.output_bus("s", &s);
+    nl
+}
+
+fn bench(c: &mut Criterion) {
+    let lib = Library::default();
+    let nl = adder(12);
+    let mut g = c.benchmark_group("entropy");
+    g.sample_size(15);
+    g.bench_function("entropy_estimate_500", |b| {
+        b.iter(|| {
+            entropy::entropy_power_estimate(
+                std::hint::black_box(&nl),
+                &lib,
+                streams::random(3, nl.input_count()).take(500),
+            )
+            .expect("acyclic")
+        })
+    });
+    g.bench_function("full_simulation_5000", |b| {
+        b.iter(|| {
+            let mut sim = ZeroDelaySim::new(std::hint::black_box(&nl)).expect("acyclic");
+            let act = sim.run(streams::random(3, nl.input_count()).take(5000));
+            act.power(&nl, &lib).total_power_uw()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

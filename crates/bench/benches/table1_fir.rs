@@ -1,0 +1,27 @@
+//! Criterion bench for the Table I flow: RTL capacitance estimation of the
+//! FIR before/after constant-multiplication conversion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlpower::cdfg::{rtl, transform};
+
+fn bench(c: &mut Criterion) {
+    let costs = rtl::RtlCosts::default();
+    let taps = [9i64, 23, 51, 89, 119, 131, 119, 89, 51, 23, 9];
+    let before = transform::fir_cdfg(&taps, 16);
+    let after = transform::strength_reduce_const_mults(&before);
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+    g.bench_function("estimate_before", |b| {
+        b.iter(|| rtl::quick_estimate(std::hint::black_box(&before), 1, &costs))
+    });
+    g.bench_function("estimate_after", |b| {
+        b.iter(|| rtl::quick_estimate(std::hint::black_box(&after), 1, &costs))
+    });
+    g.bench_function("strength_reduce", |b| {
+        b.iter(|| transform::strength_reduce_const_mults(std::hint::black_box(&before)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! One module per experiment family; each function reproduces one table,
+//! figure, or quantitative claim of the survey.
+
+pub mod estimation;
+pub mod hls;
+pub mod logic;
+pub mod software;
+pub mod system;

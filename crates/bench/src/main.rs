@@ -1,0 +1,85 @@
+//! `repro` — regenerates every table, figure, and quantitative claim of
+//! the survey (see DESIGN.md's experiment index).
+//!
+//! ```text
+//! repro --all            # run everything
+//! repro --table1 --fig2  # run selected experiments
+//! repro --list           # list experiment ids
+//! ```
+//!
+//! Each experiment prints a human-readable block and writes
+//! `results/<id>.json` for EXPERIMENTS.md regeneration.
+
+mod experiments;
+mod report;
+
+use report::ExperimentResult;
+
+type Runner = fn() -> ExperimentResult;
+
+fn registry() -> Vec<(&'static str, &'static str, Runner)> {
+    use experiments::*;
+    vec![
+        ("--table1", "T1: Table I FIR capacitance breakdown", hls::table1 as Runner),
+        ("--fig4", "F4F5: polynomial restructuring (also --fig5)", hls::figs_4_5),
+        ("--pm-sched", "S3D: Monteiro power-management scheduling", hls::pm_scheduling),
+        ("--allocate", "S3E: activity-aware allocation", hls::allocation),
+        ("--multivolt", "S3F: multiple supply-voltage scheduling", hls::multivoltage),
+        ("--tiwari", "S2A-1: Tiwari instruction-level model", software::tiwari),
+        ("--profile-synthesis", "S2A-2: profile-driven program synthesis", software::profile_synthesis),
+        ("--coldsched", "S3A: cold scheduling", software::cold_scheduling),
+        ("--fig2", "F2: memory-access optimization", software::fig2_memopt),
+        ("--memory", "S2C-M: Liu-Svensson memory model + hierarchy exploration", software::memory_exploration),
+        ("--entropy", "S2B-1: information-theoretic estimation", estimation::entropy_models),
+        ("--tyagi", "S2B-1T: Tyagi FSM bound", estimation::tyagi),
+        ("--complexity", "S2B-2: area-complexity regression", estimation::complexity),
+        ("--macromodel", "S2C-1: macro-model accuracy ladder", estimation::macromodel_ladder),
+        ("--sampling", "S2C-2: census/sampler/adaptive co-simulation", estimation::sampling_cosim),
+        ("--precomp", "F6: precomputation", logic::precomputation),
+        ("--clockgate", "F7: gated clocks", logic::gated_clocks),
+        ("--guard", "F8: guarded evaluation", logic::guarded_evaluation),
+        ("--retime", "F9: low-power retiming", logic::retiming),
+        ("--balance", "F9-B: glitch minimization by path balancing", logic::path_balancing),
+        ("--fsm-encode", "S3H: FSM state encoding", logic::fsm_encoding),
+        ("--fsm-decompose", "S3H-D: FSM decomposition / selective clocking", logic::fsm_decomposition),
+        ("--shutdown", "F3: predictive shutdown policies", system::shutdown_policies),
+        ("--buscode", "S3G: bus encoding", system::bus_encoding),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = registry();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("repro — regenerate the survey's tables and figures\n");
+        println!("usage: repro [--all] [--list] [flags...]\n");
+        for (flag, desc, _) in &registry {
+            println!("  {flag:<22} {desc}");
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for (flag, desc, _) in &registry {
+            println!("{flag:<22} {desc}");
+        }
+        return;
+    }
+    let run_all = args.iter().any(|a| a == "--all");
+    let mut ran = 0;
+    for (flag, _, runner) in &registry {
+        let aliased = *flag == "--fig4" && args.iter().any(|a| a == "--fig5");
+        if run_all || args.iter().any(|a| a == *flag) || aliased {
+            let result = runner();
+            result.print();
+            if let Err(e) = result.write_json() {
+                eprintln!("warning: could not write results/{}.json: {e}", result.id);
+            }
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched; try --list");
+        std::process::exit(2);
+    }
+    println!("\n{ran} experiment(s) complete; JSON dumps under results/");
+}

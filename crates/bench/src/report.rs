@@ -1,0 +1,36 @@
+//! Experiment result container and rendering.
+
+use serde::Serialize;
+
+/// One reproduced table/figure/claim.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment id (matches DESIGN.md's index).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// What the paper reports.
+    pub paper: &'static str,
+    /// Rendered result lines.
+    pub lines: Vec<String>,
+    /// Machine-readable measurements.
+    pub json: serde_json::Value,
+}
+
+impl ExperimentResult {
+    /// Prints the experiment block to stdout.
+    pub fn print(&self) {
+        println!("\n=== [{}] {} ===", self.id, self.title);
+        println!("paper: {}", self.paper);
+        for l in &self.lines {
+            println!("  {l}");
+        }
+    }
+
+    /// Writes the JSON dump under `results/`.
+    pub fn write_json(&self) -> std::io::Result<()> {
+        std::fs::create_dir_all("results")?;
+        let path = format!("results/{}.json", self.id);
+        std::fs::write(path, serde_json::to_string_pretty(self).expect("serializable"))
+    }
+}

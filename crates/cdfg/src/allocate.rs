@@ -1,0 +1,484 @@
+//! Resource allocation and binding (survey §III-E).
+//!
+//! Implements the Raghunathan–Jha compatibility-graph allocation: nodes are
+//! operations (for functional-unit binding) or values (for register
+//! binding); edges connect compatible pairs; edge weights combine a
+//! capacitance saving `Wc` with a profiled switching-activity term `Ws` as
+//! `W = Wc * (1 - Ws)`, and pairs are merged greedily by descending `W`.
+//! The activity-blind baseline (merge by `Wc` alone, i.e. first-fit) is
+//! provided for the §III-E savings comparison.
+
+use std::collections::HashMap;
+
+use crate::graph::{Cdfg, OpId, OpKind};
+use crate::profile::Profile;
+use crate::rtl::RtlCosts;
+use crate::schedule::{Delays, Schedule};
+
+/// Deterministic per-pair jitter used to break capacitance-only ties: a
+/// capacitance-only binder has no reason to prefer one compatible pair
+/// over another, so its tie order is arbitrary (here: a hash of the ids),
+/// as in a left-edge or first-fit binder.
+fn tie_jitter(a: OpId, b: OpId) -> f64 {
+    let mut x = (a.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (b.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    (x % 1024) as f64 / 1024.0
+}
+
+/// Allocation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationStrategy {
+    /// Raghunathan–Jha: `W = Wc * (1 - Ws)` with profiled switching.
+    ActivityAware,
+    /// Capacitance-only (activity-blind first-fit) baseline.
+    CapacitanceOnly,
+}
+
+/// One bound functional unit: the operations time-multiplexed onto it.
+#[derive(Debug, Clone)]
+pub struct BoundUnit {
+    /// Operations mapped to this unit, sorted by start step.
+    pub ops: Vec<OpId>,
+    /// A representative kind (all member ops share a mnemonic).
+    pub kind_sample: OpKind,
+}
+
+/// One allocated register: the values time-multiplexed onto it.
+#[derive(Debug, Clone)]
+pub struct BoundRegister {
+    /// Producing nodes whose values live in this register, sorted by write
+    /// step.
+    pub values: Vec<OpId>,
+}
+
+/// A complete binding of operations to units and values to registers.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Functional units.
+    pub units: Vec<BoundUnit>,
+    /// Registers.
+    pub registers: Vec<BoundRegister>,
+    unit_of: HashMap<OpId, usize>,
+    reg_of: HashMap<OpId, usize>,
+}
+
+impl Binding {
+    /// The unit an operation is bound to.
+    pub fn unit_of(&self, op: OpId) -> Option<usize> {
+        self.unit_of.get(&op).copied()
+    }
+
+    /// The register a value is stored in (if it needed storage).
+    pub fn register_of(&self, op: OpId) -> Option<usize> {
+        self.reg_of.get(&op).copied()
+    }
+
+    /// Number of functional units.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Number of registers.
+    pub fn register_count(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Units of a given mnemonic.
+    pub fn units_of_kind(&self, mnemonic: &str) -> usize {
+        self.units.iter().filter(|u| u.kind_sample.mnemonic() == mnemonic).count()
+    }
+}
+
+/// Execution interval of an operation under a schedule.
+fn interval(g: &Cdfg, delays: &Delays, sched: &Schedule, op: OpId) -> (u32, u32) {
+    let s = sched.start_of(op);
+    (s, s + delays.of(g.kind(op)).max(1))
+}
+
+/// Value lifetime: from the producer's finish to its last consumer's start
+/// (inclusive). Returns `None` when the value never needs storage.
+fn lifetime(
+    g: &Cdfg,
+    delays: &Delays,
+    sched: &Schedule,
+    users: &[Vec<OpId>],
+    op: OpId,
+) -> Option<(u32, u32)> {
+    let finish = sched.start_of(op) + delays.of(g.kind(op));
+    let last_use = users[op.index()].iter().map(|u| sched.start_of(*u)).max();
+    let is_output = g.outputs().iter().any(|&(_, o)| o == op);
+    match (last_use, is_output) {
+        (Some(lu), _) if lu > finish || is_output => Some((finish, lu.max(finish))),
+        (_, true) => Some((finish, finish)),
+        (Some(_), false) => None, // consumed immediately, stays on wires
+        (None, false) => None,
+    }
+}
+
+fn overlaps(a: (u32, u32), b: (u32, u32)) -> bool {
+    a.0 < b.1 && b.0 < a.1
+}
+
+/// Greedy weighted cluster merge. `items` carry their exclusion intervals;
+/// `weight(a, b)` scores a pair (higher merges first; `None` =
+/// incompatible kinds).
+fn cluster<I: Copy>(
+    items: &[(I, (u32, u32))],
+    weight: impl Fn(I, I) -> Option<f64>,
+) -> Vec<Vec<usize>> {
+    let n = items.len();
+    let mut cluster_of: Vec<usize> = (0..n).collect();
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            if overlaps(items[i].1, items[j].1) {
+                continue;
+            }
+            if let Some(w) = weight(items[i].0, items[j].0) {
+                pairs.push((w, i, j));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    for (_, i, j) in pairs {
+        let (ci, cj) = (cluster_of[i], cluster_of[j]);
+        if ci == cj {
+            continue;
+        }
+        // Compatible if every cross-pair is interval-disjoint and
+        // kind-compatible.
+        let ok = clusters[ci].iter().all(|&x| {
+            clusters[cj].iter().all(|&y| {
+                !overlaps(items[x].1, items[y].1) && weight(items[x].0, items[y].0).is_some()
+            })
+        });
+        if !ok {
+            continue;
+        }
+        let moved = std::mem::take(&mut clusters[cj]);
+        for &m in &moved {
+            cluster_of[m] = ci;
+        }
+        clusters[ci].extend(moved);
+    }
+    clusters.into_iter().filter(|c| !c.is_empty()).collect()
+}
+
+/// Allocates functional units and registers for a scheduled CDFG.
+///
+/// `profile` must have been collected with pairwise statistics for all
+/// operation pairs (see [`allocation_pairs`]); missing pair statistics are
+/// treated as maximally switching (weight 0), which only affects merge
+/// order, never correctness.
+pub fn allocate(
+    g: &Cdfg,
+    delays: &Delays,
+    sched: &Schedule,
+    profile: &Profile,
+    costs: &RtlCosts,
+    strategy: AllocationStrategy,
+) -> Binding {
+    let users = g.users();
+    // ---- Functional units ----
+    let ops: Vec<(OpId, (u32, u32))> = g
+        .op_ids()
+        .filter(|&id| g.kind(id).is_operation() && !matches!(g.kind(id), OpKind::Shl(_)))
+        .map(|id| (id, interval(g, delays, sched, id)))
+        .collect();
+    let fu_weight = |a: OpId, b: OpId| -> Option<f64> {
+        if g.kind(a).mnemonic() != g.kind(b).mnemonic() {
+            return None;
+        }
+        let wc = costs.op_cap_ff(g.kind(a), g.width());
+        match strategy {
+            AllocationStrategy::CapacitanceOnly => Some(wc * (1.0 + 1e-3 * tie_jitter(a, b))),
+            AllocationStrategy::ActivityAware => {
+                let ws = profile.pairwise_switching(a, b).unwrap_or(1.0);
+                Some(wc * (1.0 - ws))
+            }
+        }
+    };
+    let fu_clusters = cluster(&ops, fu_weight);
+    let mut units = Vec::new();
+    let mut unit_of = HashMap::new();
+    for c in fu_clusters {
+        let mut members: Vec<OpId> = c.iter().map(|&i| ops[i].0).collect();
+        members.sort_by_key(|&op| sched.start_of(op));
+        for &m in &members {
+            unit_of.insert(m, units.len());
+        }
+        let kind_sample = g.kind(members[0]).clone();
+        units.push(BoundUnit { ops: members, kind_sample });
+    }
+
+    // ---- Registers ----
+    let values: Vec<(OpId, (u32, u32))> = g
+        .op_ids()
+        .filter_map(|id| lifetime(g, delays, sched, &users, id).map(|lt| (id, lt)))
+        .collect();
+    let reg_weight = |a: OpId, b: OpId| -> Option<f64> {
+        let wc = costs.reg_cap_ff_per_bit * g.width() as f64;
+        match strategy {
+            AllocationStrategy::CapacitanceOnly => Some(wc * (1.0 + 1e-3 * tie_jitter(a, b))),
+            AllocationStrategy::ActivityAware => {
+                let ws = profile.pairwise_switching(a, b).unwrap_or(1.0);
+                Some(wc * (1.0 - ws))
+            }
+        }
+    };
+    let reg_clusters = cluster(&values, reg_weight);
+    let mut registers = Vec::new();
+    let mut reg_of = HashMap::new();
+    for c in reg_clusters {
+        let mut members: Vec<OpId> = c.iter().map(|&i| values[i].0).collect();
+        members.sort_by_key(|&op| sched.start_of(op) + delays.of(g.kind(op)));
+        for &m in &members {
+            reg_of.insert(m, registers.len());
+        }
+        registers.push(BoundRegister { values: members });
+    }
+
+    Binding { units, registers, unit_of, reg_of }
+}
+
+/// The pair list a profile must carry for allocation: all same-mnemonic
+/// operation pairs plus all storable-value pairs.
+pub fn allocation_pairs(g: &Cdfg) -> Vec<(OpId, OpId)> {
+    let ids: Vec<OpId> = g.op_ids().collect();
+    let mut pairs = Vec::new();
+    for i in 0..ids.len() {
+        for j in i + 1..ids.len() {
+            pairs.push((ids[i], ids[j]));
+        }
+    }
+    pairs
+}
+
+/// Switched capacitance attributable to the binding, per evaluation:
+/// at each unit/register, consecutive residents induce switching
+/// proportional to the profiled bit difference between their values.
+pub fn binding_switched_cap_ff(
+    g: &Cdfg,
+    binding: &Binding,
+    profile: &Profile,
+    costs: &RtlCosts,
+) -> f64 {
+    let mut total = 0.0;
+    for unit in &binding.units {
+        let cap = costs.op_cap_ff(&unit.kind_sample, g.width());
+        for pair in unit.ops.windows(2) {
+            let ws = profile.pairwise_switching(pair[0], pair[1]).unwrap_or(0.5);
+            total += cap * ws * 2.0;
+        }
+        // First resident switches from whatever was there: charge half.
+        total += cap * 0.5;
+    }
+    for reg in &binding.registers {
+        let cap = costs.reg_cap_ff_per_bit * g.width() as f64;
+        for pair in reg.values.windows(2) {
+            let ws = profile.pairwise_switching(pair[0], pair[1]).unwrap_or(0.5);
+            total += cap * ws * 2.0;
+        }
+        total += cap * 0.5;
+    }
+    total
+}
+
+/// Operand reordering (Musoll-Cortadella, §III-D): for the commutative
+/// operations bound to each functional unit, choose per-operation operand
+/// orientations so that consecutive executions present similar values to
+/// the same input port. Returns the chosen orientations (true = swap) and
+/// the port switching cost before/after, in profiled mean-Hamming units.
+pub fn reorder_operands(
+    g: &Cdfg,
+    binding: &Binding,
+    profile: &Profile,
+) -> (HashMap<OpId, bool>, f64, f64) {
+    let commutative = |op: OpId| matches!(g.kind(op), OpKind::Add | OpKind::Mul);
+    let pair_cost = |a: OpId, b: OpId| {
+        if a == b {
+            0.0 // the same value on the same port never switches
+        } else {
+            profile.pairwise_switching(a, b).unwrap_or(0.5)
+        }
+    };
+    let mut orientation: HashMap<OpId, bool> = HashMap::new();
+    let mut before = 0.0;
+    let mut after = 0.0;
+    for unit in &binding.units {
+        let mut prev_ports: Option<(OpId, OpId)> = None;
+        for &op in &unit.ops {
+            let args = g.args(op);
+            if args.len() != 2 {
+                prev_ports = None;
+                continue;
+            }
+            let (x, y) = (args[0], args[1]);
+            if let Some((p0, p1)) = prev_ports {
+                let keep = pair_cost(p0, x) + pair_cost(p1, y);
+                before += keep;
+                if commutative(op) {
+                    let swap = pair_cost(p0, y) + pair_cost(p1, x);
+                    if swap < keep {
+                        orientation.insert(op, true);
+                        after += swap;
+                        prev_ports = Some((y, x));
+                        continue;
+                    }
+                }
+                after += keep;
+            }
+            orientation.entry(op).or_insert(false);
+            prev_ports = Some(if orientation[&op] { (y, x) } else { (x, y) });
+        }
+    }
+    (orientation, before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{correlated_stream, profile};
+    use crate::schedule::{self};
+
+    /// Several parallel MACs sharing a schedule with limited resources.
+    fn test_graph() -> Cdfg {
+        let mut g = Cdfg::new(12);
+        let xs: Vec<OpId> = (0..4).map(|i| g.input(format!("x{i}"))).collect();
+        let ys: Vec<OpId> = (0..4).map(|i| g.input(format!("y{i}"))).collect();
+        let mut acc = None;
+        for i in 0..4 {
+            let m = g.mul(xs[i], ys[i]);
+            acc = Some(match acc {
+                None => m,
+                Some(p) => g.add(p, m),
+            });
+        }
+        g.output("dot", acc.unwrap());
+        g
+    }
+
+    fn setup() -> (Cdfg, Delays, Schedule, Profile) {
+        let g = test_graph();
+        let d = Delays::default();
+        let mut limits = HashMap::new();
+        limits.insert("mul", 2usize);
+        limits.insert("add", 1usize);
+        let sched = schedule::list_schedule(&g, &d, &limits);
+        let pairs = allocation_pairs(&g);
+        let p = profile(&g, correlated_stream(&g, 5, 800, 40), &pairs).unwrap();
+        (g, d, sched, p)
+    }
+
+    #[test]
+    fn binding_respects_resource_intervals() {
+        let (g, d, sched, p) = setup();
+        let b = allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
+        for unit in &b.units {
+            for pair in unit.ops.windows(2) {
+                let i0 = interval(&g, &d, &sched, pair[0]);
+                let i1 = interval(&g, &d, &sched, pair[1]);
+                assert!(!overlaps(i0, i1), "ops on one unit overlap in time");
+            }
+        }
+    }
+
+    #[test]
+    fn units_share_only_same_kind() {
+        let (g, d, sched, p) = setup();
+        let b = allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
+        for unit in &b.units {
+            let m = unit.kind_sample.mnemonic();
+            for &op in &unit.ops {
+                assert_eq!(g.kind(op).mnemonic(), m);
+            }
+        }
+        // Sharing happened at all: fewer units than operations.
+        assert!(b.unit_count() < g.operation_count());
+    }
+
+    #[test]
+    fn activity_aware_no_worse_than_blind() {
+        let (g, d, sched, p) = setup();
+        let costs = RtlCosts::default();
+        let aware = allocate(&g, &d, &sched, &p, &costs, AllocationStrategy::ActivityAware);
+        let blind = allocate(&g, &d, &sched, &p, &costs, AllocationStrategy::CapacitanceOnly);
+        let ca = binding_switched_cap_ff(&g, &aware, &p, &costs);
+        let cb = binding_switched_cap_ff(&g, &blind, &p, &costs);
+        assert!(ca <= cb * 1.02, "aware {ca:.0} vs blind {cb:.0}");
+    }
+
+    #[test]
+    fn registers_cover_all_stored_values() {
+        let (g, d, sched, p) = setup();
+        let b = allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
+        let users = g.users();
+        for id in g.op_ids() {
+            if lifetime(&g, &d, &sched, &users, id).is_some() {
+                assert!(b.register_of(id).is_some(), "stored value {id} has no register");
+            }
+        }
+    }
+
+    #[test]
+    fn operand_reordering_never_hurts() {
+        let (g, d, sched, p) = setup();
+        let b = allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::CapacitanceOnly);
+        let (orientation, before, after) = reorder_operands(&g, &b, &p);
+        assert!(after <= before + 1e-12, "{after} vs {before}");
+        // Only commutative two-operand ops may be swapped.
+        for (&op, &swapped) in &orientation {
+            if swapped {
+                assert!(matches!(g.kind(op), OpKind::Add | OpKind::Mul));
+            }
+        }
+    }
+
+    #[test]
+    fn operand_reordering_aligns_shared_operand() {
+        // Two adds sharing operand `a` on one unit: with the shared
+        // operand on opposite ports, reordering must swap one of them.
+        let mut g = Cdfg::new(12);
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let s1 = g.add(a, b);
+        let s2 = g.add(c, a); // shared `a` arrives on the other port
+        let y = g.mul(s1, s2);
+        g.output("y", y);
+        let d = Delays::default();
+        let mut limits = HashMap::new();
+        limits.insert("add", 1usize);
+        let sched = crate::schedule::list_schedule(&g, &d, &limits);
+        let pairs = allocation_pairs(&g);
+        let p = crate::profile::profile(&g, crate::profile::correlated_stream(&g, 3, 500, 20), &pairs)
+            .unwrap();
+        let binding =
+            allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
+        let (orientation, before, after) = reorder_operands(&g, &binding, &p);
+        // If both adds share a unit, the swap should fire and reduce cost.
+        if binding.unit_of(s1) == binding.unit_of(s2) {
+            assert!(after < before, "{after} vs {before}");
+            assert!(orientation.values().any(|&s| s));
+        }
+    }
+
+    #[test]
+    fn register_sharing_requires_disjoint_lifetimes() {
+        let (g, d, sched, p) = setup();
+        let users = g.users();
+        let b = allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
+        for reg in &b.registers {
+            for pair in reg.values.windows(2) {
+                let l0 = lifetime(&g, &d, &sched, &users, pair[0]).unwrap();
+                let l1 = lifetime(&g, &d, &sched, &users, pair[1]).unwrap();
+                // Inclusive-end lifetimes may touch but not strictly overlap.
+                assert!(!overlaps((l0.0, l0.1 + 1), (l1.0, l1.1)) || !overlaps((l1.0, l1.1 + 1), (l0.0, l0.1)),
+                    "register lifetimes overlap: {l0:?} {l1:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! CDFG representation and word-level evaluation.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or evaluating a [`Cdfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CdfgError {
+    /// An evaluation was requested with a missing input binding.
+    MissingInput {
+        /// The input's name.
+        name: String,
+    },
+    /// The graph contains no outputs.
+    NoOutputs,
+}
+
+impl fmt::Display for CdfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdfgError::MissingInput { name } => write!(f, "no value bound for input '{name}'"),
+            CdfgError::NoOutputs => write!(f, "graph declares no outputs"),
+        }
+    }
+}
+
+impl Error for CdfgError {}
+
+/// Identifier of an operation node within a [`Cdfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// Raw index in the graph's node arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The kind of a CDFG operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKind {
+    /// A named primary input.
+    Input(String),
+    /// A compile-time constant.
+    Const(i64),
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Two's-complement multiplication.
+    Mul,
+    /// Left shift by a constant (wiring-level strength-reduced multiply).
+    Shl(u32),
+    /// Arithmetic negation.
+    Neg,
+    /// Data-dependent select: `args = [sel, a, b]`, yields `b` when `sel !=
+    /// 0`, else `a`.
+    Mux,
+    /// Signed less-than comparison (yields 0/1).
+    Lt,
+}
+
+impl OpKind {
+    /// Short mnemonic for display.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            OpKind::Input(_) => "in",
+            OpKind::Const(_) => "const",
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Shl(_) => "shl",
+            OpKind::Neg => "neg",
+            OpKind::Mux => "mux",
+            OpKind::Lt => "lt",
+        }
+    }
+
+    /// Whether the operation occupies a functional unit when scheduled
+    /// (inputs and constants do not).
+    pub fn is_operation(&self) -> bool {
+        !matches!(self, OpKind::Input(_) | OpKind::Const(_))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: OpKind,
+    args: Vec<OpId>,
+}
+
+/// A control-data-flow graph over fixed-width two's-complement words.
+///
+/// Nodes are operations; edges are the value dependencies implied by each
+/// node's argument list. Extra *precedence* edges (no value flow) can be
+/// added by schedulers — see [`add_precedence`](Cdfg::add_precedence).
+#[derive(Debug, Clone)]
+pub struct Cdfg {
+    nodes: Vec<Node>,
+    outputs: Vec<(String, OpId)>,
+    precedence: Vec<(OpId, OpId)>,
+    width: u32,
+}
+
+impl Cdfg {
+    /// Creates an empty graph over `width`-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 63.
+    pub fn new(width: u32) -> Self {
+        assert!(width > 0 && width <= 63, "width must be in 1..=63");
+        Cdfg { nodes: Vec::new(), outputs: Vec::new(), precedence: Vec::new(), width }
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn push(&mut self, kind: OpKind, args: Vec<OpId>) -> OpId {
+        let id = OpId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, args });
+        id
+    }
+
+    /// Adds a named primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> OpId {
+        self.push(OpKind::Input(name.into()), Vec::new())
+    }
+
+    /// Adds a constant.
+    pub fn constant(&mut self, value: i64) -> OpId {
+        self.push(OpKind::Const(value), Vec::new())
+    }
+
+    /// Adds `a + b`.
+    pub fn add(&mut self, a: OpId, b: OpId) -> OpId {
+        self.push(OpKind::Add, vec![a, b])
+    }
+
+    /// Adds `a - b`.
+    pub fn sub(&mut self, a: OpId, b: OpId) -> OpId {
+        self.push(OpKind::Sub, vec![a, b])
+    }
+
+    /// Adds `a * b`.
+    pub fn mul(&mut self, a: OpId, b: OpId) -> OpId {
+        self.push(OpKind::Mul, vec![a, b])
+    }
+
+    /// Adds `a << k`.
+    pub fn shl(&mut self, a: OpId, k: u32) -> OpId {
+        self.push(OpKind::Shl(k), vec![a])
+    }
+
+    /// Adds `-a`.
+    pub fn neg(&mut self, a: OpId) -> OpId {
+        self.push(OpKind::Neg, vec![a])
+    }
+
+    /// Adds `sel != 0 ? b : a`.
+    pub fn mux(&mut self, sel: OpId, a: OpId, b: OpId) -> OpId {
+        self.push(OpKind::Mux, vec![sel, a, b])
+    }
+
+    /// Adds `a < b` (signed; yields 0 or 1).
+    pub fn lt(&mut self, a: OpId, b: OpId) -> OpId {
+        self.push(OpKind::Lt, vec![a, b])
+    }
+
+    /// Declares a named output.
+    pub fn output(&mut self, name: impl Into<String>, op: OpId) {
+        self.outputs.push((name.into(), op));
+    }
+
+    /// Adds a pure precedence edge `before -> after` (used by the
+    /// power-management scheduler to force control evaluation before the
+    /// guarded branches).
+    pub fn add_precedence(&mut self, before: OpId, after: OpId) {
+        self.precedence.push((before, after));
+    }
+
+    /// Declared precedence edges.
+    pub fn precedence_edges(&self) -> &[(OpId, OpId)] {
+        &self.precedence
+    }
+
+    /// The kind of a node.
+    pub fn kind(&self, op: OpId) -> &OpKind {
+        &self.nodes[op.index()].kind
+    }
+
+    /// The argument list of a node.
+    pub fn args(&self, op: OpId) -> &[OpId] {
+        &self.nodes[op.index()].args
+    }
+
+    /// Number of nodes (including inputs and constants).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids in creation (topological) order — arguments always
+    /// precede their users because the builder is append-only.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        (0..self.nodes.len() as u32).map(OpId)
+    }
+
+    /// Declared outputs.
+    pub fn outputs(&self) -> &[(String, OpId)] {
+        &self.outputs
+    }
+
+    /// Primary-input ids with their names, in creation order.
+    pub fn inputs(&self) -> Vec<(String, OpId)> {
+        self.op_ids()
+            .filter_map(|id| match self.kind(id) {
+                OpKind::Input(name) => Some((name.clone(), id)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of operation nodes of each mnemonic (inputs/constants are
+    /// excluded).
+    pub fn op_counts(&self) -> HashMap<&'static str, usize> {
+        let mut counts = HashMap::new();
+        for id in self.op_ids() {
+            let k = self.kind(id);
+            if k.is_operation() {
+                *counts.entry(k.mnemonic()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total operation count.
+    pub fn operation_count(&self) -> usize {
+        self.op_ids().filter(|&id| self.kind(id).is_operation()).count()
+    }
+
+    /// Users of each node (value edges only).
+    pub fn users(&self) -> Vec<Vec<OpId>> {
+        let mut u = vec![Vec::new(); self.nodes.len()];
+        for id in self.op_ids() {
+            for &a in self.args(id) {
+                u[a.index()].push(id);
+            }
+        }
+        u
+    }
+
+    /// Transitive fan-in of a node (the node itself excluded), following
+    /// value edges.
+    pub fn transitive_fanin(&self, op: OpId) -> std::collections::HashSet<OpId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<OpId> = self.args(op).to_vec();
+        while let Some(x) = stack.pop() {
+            if seen.insert(x) {
+                stack.extend(self.args(x).iter().copied());
+            }
+        }
+        seen
+    }
+
+    fn mask(&self) -> i64 {
+        // Wrap to `width` bits, sign-extended.
+        (1i64 << self.width) - 1
+    }
+
+    fn wrap(&self, v: i64) -> i64 {
+        let m = self.mask();
+        let x = v & m;
+        if x >> (self.width - 1) & 1 == 1 {
+            x - (1i64 << self.width)
+        } else {
+            x
+        }
+    }
+
+    /// Evaluates every node under the given input bindings; returns the
+    /// per-node values (indexable by [`OpId::index`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfgError::MissingInput`] if an input has no binding.
+    pub fn eval_all(&self, inputs: &HashMap<String, i64>) -> Result<Vec<i64>, CdfgError> {
+        let mut vals = vec![0i64; self.nodes.len()];
+        for id in self.op_ids() {
+            let v = match self.kind(id) {
+                OpKind::Input(name) => *inputs
+                    .get(name)
+                    .ok_or_else(|| CdfgError::MissingInput { name: name.clone() })?,
+                OpKind::Const(c) => *c,
+                OpKind::Add => vals[self.args(id)[0].index()]
+                    .wrapping_add(vals[self.args(id)[1].index()]),
+                OpKind::Sub => vals[self.args(id)[0].index()]
+                    .wrapping_sub(vals[self.args(id)[1].index()]),
+                OpKind::Mul => vals[self.args(id)[0].index()]
+                    .wrapping_mul(vals[self.args(id)[1].index()]),
+                OpKind::Shl(k) => vals[self.args(id)[0].index()].wrapping_shl(*k),
+                OpKind::Neg => vals[self.args(id)[0].index()].wrapping_neg(),
+                OpKind::Mux => {
+                    let a = self.args(id);
+                    if vals[a[0].index()] != 0 {
+                        vals[a[2].index()]
+                    } else {
+                        vals[a[1].index()]
+                    }
+                }
+                OpKind::Lt => {
+                    (vals[self.args(id)[0].index()] < vals[self.args(id)[1].index()]) as i64
+                }
+            };
+            vals[id.index()] = self.wrap(v);
+        }
+        Ok(vals)
+    }
+
+    /// Evaluates the declared outputs under the given input bindings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfgError::MissingInput`] for an unbound input or
+    /// [`CdfgError::NoOutputs`] if no outputs were declared.
+    pub fn eval(&self, inputs: &HashMap<String, i64>) -> Result<Vec<i64>, CdfgError> {
+        if self.outputs.is_empty() {
+            return Err(CdfgError::NoOutputs);
+        }
+        let vals = self.eval_all(inputs)?;
+        Ok(self.outputs.iter().map(|&(_, id)| vals[id.index()]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bindings(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn arithmetic_evaluation() {
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let b = g.input("b");
+        let m = g.mul(a, b);
+        let s = g.add(m, a);
+        let d = g.sub(s, b);
+        g.output("y", d);
+        let out = g.eval(&bindings(&[("a", 7), ("b", 3)])).unwrap();
+        assert_eq!(out, vec![7 * 3 + 7 - 3]);
+    }
+
+    #[test]
+    fn wrapping_respects_width() {
+        let mut g = Cdfg::new(8);
+        let a = g.input("a");
+        let b = g.input("b");
+        let m = g.mul(a, b);
+        g.output("y", m);
+        // 100 * 3 = 300 wraps to 300 - 256 = 44 in 8-bit two's complement.
+        let out = g.eval(&bindings(&[("a", 100), ("b", 3)])).unwrap();
+        assert_eq!(out, vec![44]);
+    }
+
+    #[test]
+    fn mux_and_compare() {
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let b = g.input("b");
+        let lt = g.lt(a, b);
+        let mx = g.mux(lt, a, b); // max(a, b) ... selects b when a < b
+        g.output("max", mx);
+        assert_eq!(g.eval(&bindings(&[("a", 3), ("b", 9)])).unwrap(), vec![9]);
+        assert_eq!(g.eval(&bindings(&[("a", 9), ("b", 3)])).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn shift_and_neg() {
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let s = g.shl(a, 3);
+        let n = g.neg(s);
+        g.output("y", n);
+        assert_eq!(g.eval(&bindings(&[("a", 5)])).unwrap(), vec![-40]);
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        g.output("y", a);
+        let err = g.eval(&HashMap::new()).unwrap_err();
+        assert!(matches!(err, CdfgError::MissingInput { .. }));
+    }
+
+    #[test]
+    fn op_counts_exclude_inputs() {
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let c = g.constant(3);
+        let m = g.mul(a, c);
+        let s = g.add(m, a);
+        g.output("y", s);
+        let counts = g.op_counts();
+        assert_eq!(counts.get("mul"), Some(&1));
+        assert_eq!(counts.get("add"), Some(&1));
+        assert_eq!(g.operation_count(), 2);
+    }
+
+    #[test]
+    fn transitive_fanin() {
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let b = g.input("b");
+        let m = g.mul(a, b);
+        let s = g.add(m, b);
+        let fanin = g.transitive_fanin(s);
+        assert!(fanin.contains(&m) && fanin.contains(&a) && fanin.contains(&b));
+        assert!(!fanin.contains(&s));
+    }
+}

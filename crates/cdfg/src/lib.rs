@@ -1,0 +1,42 @@
+//! Control-data-flow-graph substrate for behavioral-level power work.
+//!
+//! Implements the survey's §III-C..§III-F pipeline: CDFG construction and
+//! word-level profiling, behavioral transformations (Horner evaluation,
+//! strength reduction, constant-multiplication to shift-add), operation
+//! scheduling (ASAP/ALAP/resource-constrained list scheduling and the
+//! Monteiro power-management scheduler), compatibility-graph resource
+//! allocation with the Raghunathan–Jha activity-aware weights, the
+//! Chang–Pedram multiple-supply-voltage scheduler, and an RTL architecture
+//! power model that breaks switched capacitance down by component class
+//! (execution units / registers+clock / control logic / interconnect — the
+//! rows of the survey's Table I).
+//!
+//! # Example
+//!
+//! ```
+//! use hlpower_cdfg::{Cdfg, Delays, schedule};
+//!
+//! // y = a*b + c
+//! let mut g = Cdfg::new(16);
+//! let a = g.input("a");
+//! let b = g.input("b");
+//! let c = g.input("c");
+//! let m = g.mul(a, b);
+//! let s = g.add(m, c);
+//! g.output("y", s);
+//! let sched = schedule::asap(&g, &Delays::default());
+//! assert_eq!(sched.makespan, 3); // 2-step multiply then 1-step add
+//! ```
+
+#![warn(missing_docs)]
+
+mod graph;
+pub mod profile;
+pub mod transform;
+pub mod schedule;
+pub mod allocate;
+pub mod multivolt;
+pub mod rtl;
+
+pub use graph::{Cdfg, CdfgError, OpId, OpKind};
+pub use schedule::{Delays, Schedule};

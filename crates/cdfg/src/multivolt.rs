@@ -1,0 +1,425 @@
+//! Multiple supply-voltage scheduling (survey §III-F, Chang–Pedram).
+//!
+//! Modules off the critical path are powered at reduced supply voltages;
+//! level shifters are inserted (and charged for) where differently-powered
+//! modules meet. The algorithm is the paper's dynamic program over
+//! tree-structured CDFGs: a power–delay Pareto curve is computed bottom-up
+//! for every (node, voltage) pair, then a preorder traversal selects the
+//! cheapest assignment meeting the latency constraint.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::{Cdfg, OpId};
+use crate::rtl::RtlCosts;
+use crate::schedule::Delays;
+
+/// Errors from the voltage scheduler.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MultiVoltError {
+    /// The CDFG is not a tree (some value has more than one consumer); the
+    /// dynamic program requires tree structure.
+    NotATree {
+        /// A node with multiple consumers.
+        node: OpId,
+    },
+    /// No assignment meets the latency constraint.
+    Infeasible {
+        /// The best achievable latency (all modules at the highest
+        /// voltage).
+        best_latency: f64,
+    },
+    /// Fewer than one voltage level was supplied.
+    NoLevels,
+}
+
+impl fmt::Display for MultiVoltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiVoltError::NotATree { node } => {
+                write!(f, "CDFG is not a tree: {node} has multiple consumers")
+            }
+            MultiVoltError::Infeasible { best_latency } => {
+                write!(f, "latency constraint below best achievable {best_latency:.2}")
+            }
+            MultiVoltError::NoLevels => write!(f, "at least one supply voltage level required"),
+        }
+    }
+}
+
+impl Error for MultiVoltError {}
+
+/// Electrical model for voltage scaling and level shifters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageModel {
+    /// Threshold voltage for the first-order delay model, in volts.
+    pub vt: f64,
+    /// Level-shifter energy per crossing, in femtojoules.
+    pub shifter_energy_fj: f64,
+    /// Level-shifter delay per crossing, in delay units.
+    pub shifter_delay: f64,
+}
+
+impl Default for VoltageModel {
+    fn default() -> Self {
+        VoltageModel { vt: 0.7, shifter_energy_fj: 40.0, shifter_delay: 0.2 }
+    }
+}
+
+impl VoltageModel {
+    /// Delay scale factor of supply `v` relative to reference `vref`.
+    pub fn delay_scale(&self, v: f64, vref: f64) -> f64 {
+        (v / (v - self.vt).powi(2)) / (vref / (vref - self.vt).powi(2))
+    }
+}
+
+/// A voltage assignment for every operation of a CDFG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageAssignment {
+    /// Index into the levels array for every node (inputs/constants get
+    /// the root's level but carry no cost).
+    pub level_of: Vec<usize>,
+    /// Total energy, in femtojoules (including level shifters).
+    pub energy_fj: f64,
+    /// Achieved latency, in scaled delay units.
+    pub latency: f64,
+    /// Number of level shifters inserted.
+    pub shifters: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Point {
+    t: f64,
+    e: f64,
+    /// Child curve-point indices (up to 3 args), packed for backtracking.
+    child_choice: [u32; 3],
+}
+
+/// Schedules supply voltages for a tree CDFG.
+///
+/// `levels` lists the available supplies, highest first. Every operation's
+/// energy at level `v` is `0.5 * C_op * v^2` (capacitance from `costs`)
+/// and its delay is the nominal delay scaled by the first-order model.
+/// Level shifters cost `model.shifter_energy_fj`/`model.shifter_delay` on
+/// every edge whose endpoints differ in level.
+///
+/// # Errors
+///
+/// Returns [`MultiVoltError::NotATree`] if a value has multiple consumers,
+/// [`MultiVoltError::NoLevels`] for an empty level set, or
+/// [`MultiVoltError::Infeasible`] if even the all-high assignment exceeds
+/// `latency_constraint`.
+pub fn schedule_voltages(
+    g: &Cdfg,
+    delays: &Delays,
+    costs: &RtlCosts,
+    levels: &[f64],
+    model: &VoltageModel,
+    latency_constraint: f64,
+) -> Result<VoltageAssignment, MultiVoltError> {
+    if levels.is_empty() {
+        return Err(MultiVoltError::NoLevels);
+    }
+    let users = g.users();
+    for id in g.op_ids() {
+        if g.kind(id).is_operation() && users[id.index()].len() > 1 {
+            return Err(MultiVoltError::NotATree { node: id });
+        }
+    }
+    let roots: Vec<OpId> = g
+        .op_ids()
+        .filter(|&id| g.kind(id).is_operation() && users[id.index()].is_empty())
+        .collect();
+    let vref = levels.iter().cloned().fold(f64::MIN, f64::max);
+    let nl = levels.len();
+
+    // curves[node][level] = Pareto points (sorted by t ascending, e
+    // descending).
+    let mut curves: HashMap<(OpId, usize), Vec<Point>> = HashMap::new();
+    for id in g.op_ids() {
+        let kind = g.kind(id);
+        if !kind.is_operation() {
+            for li in 0..nl {
+                curves.insert((id, li), vec![Point { t: 0.0, e: 0.0, child_choice: [0; 3] }]);
+            }
+            continue;
+        }
+        let d0 = delays.of(kind) as f64;
+        let cap = costs.op_cap_ff(kind, g.width());
+        for (li, &v) in levels.iter().enumerate() {
+            let own_d = d0 * model.delay_scale(v, vref);
+            let own_e = 0.5 * cap * v * v;
+            // Combine children: cross product with Pareto pruning. Each
+            // child contributes its best curve over all of ITS levels,
+            // with shifter costs applied for level mismatches.
+            let mut combos: Vec<Point> = vec![Point { t: 0.0, e: 0.0, child_choice: [0; 3] }];
+            for (ci, &child) in g.args(id).iter().enumerate() {
+                let mut merged: Vec<(f64, f64, u32)> = Vec::new(); // (t, e, packed choice)
+                for cl in 0..nl {
+                    let shift = if g.kind(child).is_operation() && cl != li {
+                        (model.shifter_delay, model.shifter_energy_fj)
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    for (pi, p) in curves[&(child, cl)].iter().enumerate() {
+                        merged.push((
+                            p.t + shift.0,
+                            p.e + shift.1,
+                            (cl * 1000 + pi) as u32,
+                        ));
+                    }
+                }
+                let mut next: Vec<Point> = Vec::new();
+                for c in &combos {
+                    for &(t, e, choice) in &merged {
+                        let mut cc = c.child_choice;
+                        cc[ci] = choice;
+                        next.push(Point { t: c.t.max(t), e: c.e + e, child_choice: cc });
+                    }
+                }
+                combos = pareto(next);
+            }
+            let pts: Vec<Point> = combos
+                .into_iter()
+                .map(|p| Point { t: p.t + own_d, e: p.e + own_e, child_choice: p.child_choice })
+                .collect();
+            curves.insert((id, li), pareto(pts));
+        }
+    }
+
+    // Root selection: a virtual AND over all roots (usually one).
+    // Enumerate per-root best independently (roots are disjoint subtrees).
+    let mut total_e = 0.0;
+    let mut total_t: f64 = 0.0;
+    let mut picks = Vec::new();
+    let mut feasible = true;
+    for &r in &roots {
+        let mut root_best: Option<(f64, f64, usize, usize)> = None;
+        let mut root_fastest = f64::INFINITY;
+        for li in 0..nl {
+            for (pi, p) in curves[&(r, li)].iter().enumerate() {
+                root_fastest = root_fastest.min(p.t);
+                if p.t <= latency_constraint
+                    && root_best.is_none_or(|(e, _, _, _)| p.e < e)
+                {
+                    root_best = Some((p.e, p.t, li, pi));
+                }
+            }
+        }
+        match root_best {
+            Some((e, t, li, pi)) => {
+                total_e += e;
+                total_t = total_t.max(t);
+                picks.push((r, li, pi));
+            }
+            None => {
+                feasible = false;
+                total_t = total_t.max(root_fastest);
+            }
+        }
+    }
+    if !feasible {
+        return Err(MultiVoltError::Infeasible { best_latency: total_t });
+    }
+    let (energy_fj, latency) = (total_e, total_t);
+
+    // Backtrack to recover per-node levels.
+    let mut level_of = vec![0usize; g.node_count()];
+    let mut shifters = 0usize;
+    let mut stack: Vec<(OpId, usize, usize)> = picks;
+    while let Some((id, li, pi)) = stack.pop() {
+        level_of[id.index()] = li;
+        let p = curves[&(id, li)][pi];
+        for (ci, &child) in g.args(id).iter().enumerate() {
+            let packed = p.child_choice[ci] as usize;
+            let (cl, cpi) = (packed / 1000, packed % 1000);
+            if g.kind(child).is_operation() {
+                if cl != li {
+                    shifters += 1;
+                }
+                stack.push((child, cl, cpi));
+            } else {
+                level_of[child.index()] = li;
+            }
+        }
+    }
+    Ok(VoltageAssignment { level_of, energy_fj, latency, shifters })
+}
+
+/// Pareto-prune (t, e) points: keep points not dominated in both
+/// dimensions; cap the set size to keep the DP polynomial.
+fn pareto(mut pts: Vec<Point>) -> Vec<Point> {
+    pts.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out: Vec<Point> = Vec::new();
+    let mut best_e = f64::INFINITY;
+    for p in pts {
+        if p.e < best_e - 1e-12 {
+            best_e = p.e;
+            out.push(p);
+        }
+    }
+    if out.len() > 64 {
+        // Downsample uniformly, preserving the extremes.
+        let n = out.len();
+        let mut sampled = Vec::with_capacity(64);
+        for i in 0..64 {
+            sampled.push(out[i * (n - 1) / 63]);
+        }
+        out = sampled;
+    }
+    out
+}
+
+/// Total energy of the all-at-`v` assignment (the single-supply baseline),
+/// in femtojoules.
+pub fn single_supply_energy_fj(g: &Cdfg, costs: &RtlCosts, v: f64) -> f64 {
+    g.op_ids()
+        .filter(|&id| g.kind(id).is_operation())
+        .map(|id| 0.5 * costs.op_cap_ff(g.kind(id), g.width()) * v * v)
+        .sum()
+}
+
+/// Latency of the all-at-`v` assignment, in scaled delay units.
+pub fn single_supply_latency(g: &Cdfg, delays: &Delays, model: &VoltageModel, v: f64, vref: f64) -> f64 {
+    // Longest path in scaled delay.
+    let mut t = vec![0.0f64; g.node_count()];
+    let mut max_t: f64 = 0.0;
+    for id in g.op_ids() {
+        let mut start: f64 = 0.0;
+        for &a in g.args(id) {
+            start = start.max(t[a.index()]);
+        }
+        let d = delays.of(g.kind(id)) as f64 * model.delay_scale(v, vref);
+        t[id.index()] = start + d;
+        max_t = max_t.max(t[id.index()]);
+    }
+    max_t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform;
+
+    fn tree() -> Cdfg {
+        // Unbalanced tree: critical multiply chain plus a short side add.
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let d = g.input("d");
+        let m1 = g.mul(a, b);
+        let m2 = g.mul(m1, c);
+        let side = g.add(c, d);
+        let y = g.add(m2, side);
+        g.output("y", y);
+        g
+    }
+
+    #[test]
+    fn relaxed_latency_uses_lower_voltages() {
+        let g = tree();
+        let delays = Delays::default();
+        let costs = RtlCosts::default();
+        let model = VoltageModel::default();
+        let levels = [3.3, 2.4, 1.8];
+        let tight = single_supply_latency(&g, &delays, &model, 3.3, 3.3);
+        let va = schedule_voltages(&g, &delays, &costs, &levels, &model, tight).unwrap();
+        // At the tight constraint, the side add can still be slowed.
+        let baseline = single_supply_energy_fj(&g, &costs, 3.3);
+        assert!(va.energy_fj <= baseline, "{} vs {}", va.energy_fj, baseline);
+        // With 2x slack everything drops to the lowest level.
+        let vb = schedule_voltages(&g, &delays, &costs, &levels, &model, tight * 3.0).unwrap();
+        assert!(vb.energy_fj < va.energy_fj);
+        assert!(vb.energy_fj < baseline * 0.45, "deep scaling saves > 55%");
+    }
+
+    #[test]
+    fn infeasible_constraint_reports() {
+        let g = tree();
+        let delays = Delays::default();
+        let err = schedule_voltages(
+            &g,
+            &delays,
+            &RtlCosts::default(),
+            &[3.3, 2.4],
+            &VoltageModel::default(),
+            0.1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MultiVoltError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn non_tree_is_rejected() {
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let b = g.input("b");
+        let m = g.mul(a, b);
+        let s1 = g.add(m, a);
+        let s2 = g.sub(m, b); // m has two consumers
+        let y = g.add(s1, s2);
+        g.output("y", y);
+        let err = schedule_voltages(
+            &g,
+            &Delays::default(),
+            &RtlCosts::default(),
+            &[3.3, 2.4],
+            &VoltageModel::default(),
+            100.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MultiVoltError::NotATree { .. }));
+    }
+
+    #[test]
+    fn horner_tree_schedules() {
+        let g = transform::polynomial_horner(3, 16);
+        let delays = Delays::default();
+        let model = VoltageModel::default();
+        let costs = RtlCosts::default();
+        let tight = single_supply_latency(&g, &delays, &model, 3.3, 3.3);
+        let va =
+            schedule_voltages(&g, &delays, &costs, &[3.3, 2.4, 1.8], &model, tight * 1.5).unwrap();
+        assert!(va.energy_fj < single_supply_energy_fj(&g, &costs, 3.3));
+        assert!(va.latency <= tight * 1.5 + 1e-9);
+    }
+
+    #[test]
+    fn shifters_counted_on_level_crossings() {
+        let g = tree();
+        let delays = Delays::default();
+        let model = VoltageModel::default();
+        let costs = RtlCosts::default();
+        let tight = single_supply_latency(&g, &delays, &model, 3.3, 3.3);
+        let va = schedule_voltages(&g, &delays, &costs, &[3.3, 1.8], &model, tight).unwrap();
+        // If any two connected ops differ in level, shifters must be > 0.
+        let mut crossings = 0;
+        for id in g.op_ids() {
+            if !g.kind(id).is_operation() {
+                continue;
+            }
+            for &a in g.args(id) {
+                if g.kind(a).is_operation() && va.level_of[a.index()] != va.level_of[id.index()] {
+                    crossings += 1;
+                }
+            }
+        }
+        assert_eq!(va.shifters, crossings);
+    }
+
+    #[test]
+    fn single_level_degenerates_to_baseline() {
+        let g = tree();
+        let delays = Delays::default();
+        let model = VoltageModel::default();
+        let costs = RtlCosts::default();
+        let t = single_supply_latency(&g, &delays, &model, 3.3, 3.3);
+        let va = schedule_voltages(&g, &delays, &costs, &[3.3], &model, t).unwrap();
+        let baseline = single_supply_energy_fj(&g, &costs, 3.3);
+        assert!((va.energy_fj - baseline).abs() < 1e-6);
+        assert_eq!(va.shifters, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Dynamic profiling of CDFGs: word-level simulation under input streams,
+//! collecting per-node switching statistics (survey refs 20, \[21\]).
+//!
+//! The profile feeds the activity-aware allocation weights (`Ws` in
+//! §III-E), the RTL power model, and the data statistics the macro-models
+//! of §II-C consume.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Cdfg, CdfgError, OpId};
+
+/// Per-node switching statistics collected by [`profile`].
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Mean Hamming distance between consecutive values on each node's
+    /// output, as a fraction of the word width (0 = frozen, ~0.5 = random).
+    pub activity: Vec<f64>,
+    /// Mean Hamming distance between the two listed nodes' values in the
+    /// same cycle, keyed by (smaller id, larger id). Only filled for pairs
+    /// requested at profiling time.
+    pub pairwise: HashMap<(OpId, OpId), f64>,
+    /// Number of samples profiled.
+    pub samples: usize,
+    /// Word width, in bits.
+    pub width: u32,
+}
+
+impl Profile {
+    /// Mean same-cycle bit difference between two nodes (fraction of the
+    /// word width), if it was requested during profiling.
+    pub fn pairwise_switching(&self, a: OpId, b: OpId) -> Option<f64> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pairwise.get(&key).copied()
+    }
+
+    /// Per-node output activity (fraction of word bits toggling per
+    /// sample).
+    pub fn node_activity(&self, op: OpId) -> f64 {
+        self.activity[op.index()]
+    }
+}
+
+/// Runs the graph over a stream of input bindings, collecting activity on
+/// every node and pairwise switching for the requested node pairs.
+///
+/// # Errors
+///
+/// Returns [`CdfgError::MissingInput`] if a binding set misses an input.
+pub fn profile(
+    g: &Cdfg,
+    stream: impl IntoIterator<Item = HashMap<String, i64>>,
+    pairs: &[(OpId, OpId)],
+) -> Result<Profile, CdfgError> {
+    let w = g.width();
+    let mask: u64 = (1u64 << w) - 1;
+    let mut prev: Option<Vec<i64>> = None;
+    let mut toggles = vec![0u64; g.node_count()];
+    let mut pair_bits: HashMap<(OpId, OpId), u64> = HashMap::new();
+    let mut samples = 0usize;
+    let mut pair_samples = 0usize;
+    for bindings in stream {
+        let vals = g.eval_all(&bindings)?;
+        if let Some(p) = &prev {
+            for (i, (&a, &b)) in vals.iter().zip(p.iter()).enumerate() {
+                toggles[i] += ((a as u64 ^ b as u64) & mask).count_ones() as u64;
+            }
+            samples += 1;
+        }
+        for &(a, b) in pairs {
+            let key = if a <= b { (a, b) } else { (b, a) };
+            let d = ((vals[a.index()] as u64 ^ vals[b.index()] as u64) & mask).count_ones();
+            *pair_bits.entry(key).or_insert(0) += d as u64;
+        }
+        pair_samples += 1;
+        prev = Some(vals);
+    }
+    let denom = (samples.max(1) as f64) * w as f64;
+    let activity = toggles.iter().map(|&t| t as f64 / denom).collect();
+    let pairwise = pair_bits
+        .into_iter()
+        .map(|(k, bits)| (k, bits as f64 / (pair_samples.max(1) as f64 * w as f64)))
+        .collect();
+    Ok(Profile { activity, pairwise, samples, width: w })
+}
+
+/// A seeded stream of uniform random input bindings for a graph.
+pub fn random_stream(
+    g: &Cdfg,
+    seed: u64,
+    len: usize,
+) -> impl Iterator<Item = HashMap<String, i64>> {
+    let names: Vec<String> = g.inputs().into_iter().map(|(n, _)| n).collect();
+    let w = g.width();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(move |_| {
+        names
+            .iter()
+            .map(|n| {
+                let max = 1i64 << (w - 1);
+                (n.clone(), rng.gen_range(-max..max))
+            })
+            .collect()
+    })
+}
+
+/// A seeded stream of temporally correlated (random-walk) input bindings —
+/// the "real data" regime where activity-aware allocation pays off.
+pub fn correlated_stream(
+    g: &Cdfg,
+    seed: u64,
+    len: usize,
+    step: i64,
+) -> impl Iterator<Item = HashMap<String, i64>> {
+    let names: Vec<String> = g.inputs().into_iter().map(|(n, _)| n).collect();
+    let w = g.width();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let max = (1i64 << (w - 1)) - 1;
+    let mut state: Vec<i64> = names.iter().map(|_| rng.gen_range(-max / 2..max / 2)).collect();
+    (0..len).map(move |_| {
+        for v in &mut state {
+            *v = (*v + rng.gen_range(-step..=step)).clamp(-max, max);
+        }
+        names.iter().zip(&state).map(|(n, &v)| (n.clone(), v)).collect()
+    })
+}
+
+/// A stream where the graph's inputs (in declaration order) are delayed
+/// taps of a single zero-mean (mean-reverting) signal: input `k` sees the
+/// signal's value from `k` cycles ago. This is the FIR delay-line data
+/// pattern: adjacent taps almost always share their sign (so their two's-
+/// complement high bits agree), while distant taps straddle zero crossings
+/// — the dual-bit-type correlation structure that activity-aware
+/// allocation (§III-E) exploits.
+pub fn sliding_window_stream(
+    g: &Cdfg,
+    seed: u64,
+    len: usize,
+    step: i64,
+) -> impl Iterator<Item = HashMap<String, i64>> {
+    let names: Vec<String> = g.inputs().into_iter().map(|(n, _)| n).collect();
+    let w = g.width();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let max = (1i64 << (w - 1)) - 1;
+    let mut history: Vec<i64> = vec![0; names.len()];
+    let mut x: i64 = 0;
+    (0..len).map(move |_| {
+        // AR(1) with decay 7/8: zero-mean, sigma ~ 2 * step.
+        x = ((x * 7) / 8 + rng.gen_range(-step..=step)).clamp(-max, max);
+        history.rotate_right(1);
+        history[0] = x;
+        names.iter().zip(&history).map(|(n, &v)| (n.clone(), v)).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac_graph() -> (Cdfg, OpId, OpId) {
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let b = g.input("b");
+        let m = g.mul(a, b);
+        let s = g.add(m, a);
+        g.output("y", s);
+        (g, m, s)
+    }
+
+    #[test]
+    fn random_stream_has_high_activity() {
+        let (g, m, _) = mac_graph();
+        let p = profile(&g, random_stream(&g, 1, 2000), &[]).unwrap();
+        assert!(p.node_activity(m) > 0.3, "activity = {}", p.node_activity(m));
+    }
+
+    #[test]
+    fn correlated_stream_has_low_activity() {
+        let (g, _, _) = mac_graph();
+        let inputs = g.inputs();
+        let a = inputs[0].1;
+        let p = profile(&g, correlated_stream(&g, 1, 2000, 3), &[]).unwrap();
+        assert!(p.node_activity(a) < 0.2, "activity = {}", p.node_activity(a));
+    }
+
+    #[test]
+    fn pairwise_switching_of_identical_nodes_is_zero() {
+        let (g, m, _) = mac_graph();
+        let p = profile(&g, random_stream(&g, 2, 500), &[(m, m)]).unwrap();
+        assert_eq!(p.pairwise_switching(m, m), Some(0.0));
+    }
+
+    #[test]
+    fn pairwise_is_symmetric_in_key_order() {
+        let (g, m, s) = mac_graph();
+        let p = profile(&g, random_stream(&g, 3, 500), &[(s, m)]).unwrap();
+        assert!(p.pairwise_switching(m, s).is_some());
+        assert_eq!(p.pairwise_switching(m, s), p.pairwise_switching(s, m));
+    }
+
+    #[test]
+    fn sliding_window_inputs_are_shifted_copies() {
+        let mut g = Cdfg::new(12);
+        let a = g.input("a");
+        let b = g.input("b");
+        let s = g.add(a, b);
+        g.output("y", s);
+        let vals: Vec<HashMap<String, i64>> =
+            sliding_window_stream(&g, 3, 50, 10).collect();
+        for t in 1..50 {
+            assert_eq!(vals[t]["b"], vals[t - 1]["a"], "b lags a by one cycle");
+        }
+    }
+
+    #[test]
+    fn constants_never_toggle() {
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let c = g.constant(42);
+        let m = g.mul(a, c);
+        g.output("y", m);
+        let p = profile(&g, random_stream(&g, 4, 300), &[]).unwrap();
+        assert_eq!(p.node_activity(c), 0.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! RTL architecture power model: switched capacitance broken down by
+//! component class (execution units, registers/clock, control logic,
+//! interconnect) — the rows of the survey's Table I.
+//!
+//! The survey's Table I numbers come from SPICE-characterized layouts of a
+//! Tap FIR filter; the substitution here is an analytic switched-capacitance
+//! model whose per-class cost coefficients were calibrated so that the
+//! relative cost structure of 1990s datapath macrocells is preserved
+//! (array multipliers scale with `w^2`, adders with `w`, control with the
+//! number of scheduled operations and steps, interconnect with bus traffic
+//! and the die-size-dependent wire length).
+
+use std::collections::HashMap;
+
+use crate::allocate::Binding;
+use crate::graph::{Cdfg, OpKind};
+use crate::profile::Profile;
+use crate::schedule::{Delays, Schedule};
+
+/// Calibration coefficients of the RTL capacitance model (femtofarads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RtlCosts {
+    /// Array-multiplier switched cap per bit^2 per unit activity.
+    pub mul_cap_ff_per_bit2: f64,
+    /// Adder/subtractor cap per bit per unit activity.
+    pub add_cap_ff_per_bit: f64,
+    /// Mux cap per bit.
+    pub mux_cap_ff_per_bit: f64,
+    /// Comparator cap per bit.
+    pub lt_cap_ff_per_bit: f64,
+    /// Negation cap per bit.
+    pub neg_cap_ff_per_bit: f64,
+    /// Constant shift cap per bit (pure wiring).
+    pub shl_cap_ff_per_bit: f64,
+    /// Register write cap per bit per unit activity.
+    pub reg_cap_ff_per_bit: f64,
+    /// Clock load per register per control step.
+    pub clock_cap_ff_per_reg_step: f64,
+    /// Controller cap per scheduled operation (control signal toggling).
+    pub ctrl_cap_ff_per_op: f64,
+    /// Controller cap per control step (state register + decode).
+    pub ctrl_cap_ff_per_step: f64,
+    /// Interconnect cap per bit transferred at the reference die size.
+    pub wire_cap_ff_per_bit: f64,
+    /// Reference equivalent-gate area for the wire-length model.
+    pub reference_area: f64,
+}
+
+impl Default for RtlCosts {
+    fn default() -> Self {
+        RtlCosts {
+            mul_cap_ff_per_bit2: 112.0,
+            add_cap_ff_per_bit: 90.0,
+            mux_cap_ff_per_bit: 25.0,
+            lt_cap_ff_per_bit: 40.0,
+            neg_cap_ff_per_bit: 35.0,
+            shl_cap_ff_per_bit: 2.0,
+            reg_cap_ff_per_bit: 165.0,
+            clock_cap_ff_per_reg_step: 9.0,
+            ctrl_cap_ff_per_op: 240.0,
+            ctrl_cap_ff_per_step: 320.0,
+            wire_cap_ff_per_bit: 168.0,
+            reference_area: 3000.0,
+        }
+    }
+}
+
+impl RtlCosts {
+    /// Switched capacitance of one execution of an operation at unit
+    /// activity, in femtofarads.
+    pub fn op_cap_ff(&self, kind: &OpKind, width: u32) -> f64 {
+        let w = width as f64;
+        match kind {
+            OpKind::Mul => self.mul_cap_ff_per_bit2 * w * w,
+            OpKind::Add | OpKind::Sub => self.add_cap_ff_per_bit * w,
+            OpKind::Mux => self.mux_cap_ff_per_bit * w,
+            OpKind::Lt => self.lt_cap_ff_per_bit * w,
+            OpKind::Neg => self.neg_cap_ff_per_bit * w,
+            OpKind::Shl(_) => self.shl_cap_ff_per_bit * w,
+            OpKind::Input(_) | OpKind::Const(_) => 0.0,
+        }
+    }
+
+    /// Equivalent-gate area of an operation's functional unit.
+    pub fn op_area(&self, kind: &OpKind, width: u32) -> f64 {
+        let w = width as f64;
+        match kind {
+            OpKind::Mul => w * w,
+            OpKind::Add | OpKind::Sub => 1.2 * w,
+            OpKind::Mux | OpKind::Lt | OpKind::Neg => 0.8 * w,
+            OpKind::Shl(_) => 0.0,
+            OpKind::Input(_) | OpKind::Const(_) => 0.0,
+        }
+    }
+}
+
+/// Switched capacitance per algorithm evaluation, by component class
+/// (picofarads) — one row set of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RtlBreakdown {
+    /// Execution units (functional units doing arithmetic).
+    pub execution_units_pf: f64,
+    /// Registers and clock distribution.
+    pub registers_clock_pf: f64,
+    /// Control logic (FSM + steering control signals).
+    pub control_logic_pf: f64,
+    /// Interconnect (busses between units and registers).
+    pub interconnect_pf: f64,
+}
+
+impl RtlBreakdown {
+    /// Total switched capacitance, in picofarads.
+    pub fn total_pf(&self) -> f64 {
+        self.execution_units_pf + self.registers_clock_pf + self.control_logic_pf + self.interconnect_pf
+    }
+
+    /// The four classes as (label, pF, percent-of-total) rows, in Table I
+    /// order.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        let t = self.total_pf().max(1e-12);
+        vec![
+            ("Execution units", self.execution_units_pf, 100.0 * self.execution_units_pf / t),
+            ("Registers/clock", self.registers_clock_pf, 100.0 * self.registers_clock_pf / t),
+            ("Control logic", self.control_logic_pf, 100.0 * self.control_logic_pf / t),
+            ("Interconnect", self.interconnect_pf, 100.0 * self.interconnect_pf / t),
+        ]
+    }
+}
+
+impl std::fmt::Display for RtlBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:<18} {:>12} {:>10}", "Component", "Cap (pF)", "% total")?;
+        for (name, pf, pct) in self.rows() {
+            writeln!(f, "{name:<18} {pf:>12.2} {pct:>9.2}%")?;
+        }
+        writeln!(f, "{:<18} {:>12.2} {:>9.2}%", "Total", self.total_pf(), 100.0)
+    }
+}
+
+/// Estimates the per-evaluation switched capacitance of the RTL
+/// architecture implied by a scheduled (and optionally bound) CDFG.
+///
+/// * Execution units: each operation's unit cap, weighted by the mean
+///   activity of its operand values (from the profile).
+/// * Registers/clock: every value alive across a control-step boundary is
+///   written to a register (weighted by its activity), plus clock load on
+///   all registers for every step.
+/// * Control logic: per scheduled operation and per control step.
+/// * Interconnect: per inter-unit value transfer, scaled by a wire-length
+///   factor `sqrt(area / reference_area)`; with a binding, transfers that
+///   stay inside one unit (accumulator-style chaining) are free.
+pub fn estimate(
+    g: &Cdfg,
+    delays: &Delays,
+    sched: &Schedule,
+    binding: Option<&Binding>,
+    profile: &Profile,
+    costs: &RtlCosts,
+) -> RtlBreakdown {
+    let w = g.width();
+    let users = g.users();
+
+    // --- Execution units ---
+    let mut exec_ff = 0.0;
+    let mut area = 0.0;
+    for id in g.op_ids() {
+        let kind = g.kind(id);
+        if !kind.is_operation() {
+            continue;
+        }
+        // Constant operands contribute no switching; average the data
+        // operands only (a constant-coefficient multiplier still switches
+        // from its data input).
+        let data_args: Vec<_> = g
+            .args(id)
+            .iter()
+            .filter(|a| !matches!(g.kind(**a), OpKind::Const(_)))
+            .collect();
+        let act = if data_args.is_empty() {
+            0.01
+        } else {
+            let s: f64 = data_args.iter().map(|a| profile.node_activity(**a)).sum();
+            (s / data_args.len() as f64).max(0.01)
+        };
+        exec_ff += costs.op_cap_ff(kind, w) * act * 2.0;
+    }
+    // Area of the bound architecture: one unit per binding cluster, or one
+    // per operation when unbound.
+    match binding {
+        Some(b) => {
+            for unit in &b.units {
+                area += costs.op_area(&unit.kind_sample, w);
+            }
+            area += b.register_count() as f64 * 0.9 * w as f64;
+        }
+        None => {
+            for id in g.op_ids() {
+                area += costs.op_area(g.kind(id), w);
+            }
+        }
+    }
+
+    // The wire-length factor scales everything routed across the die:
+    // busses and the clock tree both shrink with area.
+    let wire_factor = (area / costs.reference_area).sqrt().max(0.1);
+
+    // --- Registers/clock ---
+    let mut reg_ff = 0.0;
+    let mut reg_count = 0usize;
+    for id in g.op_ids() {
+        let finish = sched.start_of(id) + delays.of(g.kind(id));
+        let last_use = users[id.index()]
+            .iter()
+            .map(|u| sched.start_of(*u))
+            .max()
+            .unwrap_or(finish);
+        let is_output = g.outputs().iter().any(|&(_, o)| o == id);
+        // Values consumed within the next step ride the producing unit's
+        // output latch (charged with the unit); the register file holds
+        // longer-lived values, primary inputs, and outputs.
+        let stored = last_use > finish + 1 || is_output || matches!(g.kind(id), OpKind::Input(_));
+        if stored {
+            reg_count += 1;
+            let act = profile.node_activity(id).max(0.01);
+            // Products need double-width registers.
+            let bits = if matches!(g.kind(id), OpKind::Mul) { 2.0 * w as f64 } else { w as f64 };
+            reg_ff += costs.reg_cap_ff_per_bit * bits * act;
+        }
+    }
+    let steps = sched.makespan.max(1) as f64;
+    reg_ff += costs.clock_cap_ff_per_reg_step * reg_count as f64 * steps * wire_factor;
+
+    // --- Control logic ---
+    let n_ops = g.operation_count() as f64;
+    let ctrl_ff = costs.ctrl_cap_ff_per_op * n_ops + costs.ctrl_cap_ff_per_step * steps;
+
+    // --- Interconnect ---
+    let mut wire_ff = 0.0;
+    for id in g.op_ids() {
+        if !g.kind(id).is_operation() && !matches!(g.kind(id), OpKind::Input(_)) {
+            continue;
+        }
+        let act = profile.node_activity(id).max(0.01);
+        for &u in &users[id.index()] {
+            if !g.kind(u).is_operation() {
+                continue;
+            }
+            // Shifts are wiring, not bus transfers.
+            if matches!(g.kind(u), OpKind::Shl(_)) {
+                continue;
+            }
+            let same_unit = match binding {
+                Some(b) => match (b.unit_of(id), b.unit_of(u)) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => false,
+                },
+                None => false,
+            };
+            if !same_unit {
+                // Multiplier results travel on double-width product busses.
+                let bits = if matches!(g.kind(id), OpKind::Mul) { 2.0 * w as f64 } else { w as f64 };
+                wire_ff += costs.wire_cap_ff_per_bit * bits * act * wire_factor;
+            }
+        }
+    }
+
+    RtlBreakdown {
+        execution_units_pf: exec_ff / 1000.0,
+        registers_clock_pf: reg_ff / 1000.0,
+        control_logic_pf: ctrl_ff / 1000.0,
+        interconnect_pf: wire_ff / 1000.0,
+    }
+}
+
+/// Convenience: schedule with default list scheduling (no limits), profile
+/// under a seeded random stream, and estimate.
+pub fn quick_estimate(g: &Cdfg, seed: u64, costs: &RtlCosts) -> RtlBreakdown {
+    let delays = Delays::default();
+    let sched = crate::schedule::asap(g, &delays);
+    let profile = crate::profile::profile(g, crate::profile::random_stream(g, seed, 500), &[])
+        .expect("random stream binds every input");
+    estimate(g, &delays, &sched, None, &profile, costs)
+}
+
+/// Per-mnemonic op capacitance summary (diagnostics for the repro
+/// harness).
+pub fn op_cap_summary(g: &Cdfg, costs: &RtlCosts) -> HashMap<&'static str, f64> {
+    let mut m = HashMap::new();
+    for id in g.op_ids() {
+        let k = g.kind(id);
+        if k.is_operation() {
+            *m.entry(k.mnemonic()).or_insert(0.0) += costs.op_cap_ff(k, g.width());
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform;
+
+    #[test]
+    fn multiplier_dominates_adder() {
+        let c = RtlCosts::default();
+        assert!(c.op_cap_ff(&OpKind::Mul, 16) > 5.0 * c.op_cap_ff(&OpKind::Add, 16));
+        assert!(c.op_cap_ff(&OpKind::Shl(2), 16) < c.op_cap_ff(&OpKind::Add, 16) / 10.0);
+    }
+
+    #[test]
+    fn strength_reduction_cuts_execution_cap() {
+        let costs = RtlCosts::default();
+        let before = transform::fir_cdfg(&[105, 57, 411, 57, 105], 16);
+        let after = transform::strength_reduce_const_mults(&before);
+        let b = quick_estimate(&before, 1, &costs);
+        let a = quick_estimate(&after, 1, &costs);
+        assert!(
+            a.execution_units_pf < b.execution_units_pf / 3.0,
+            "exec {:.1} -> {:.1}",
+            b.execution_units_pf,
+            a.execution_units_pf
+        );
+        assert!(a.total_pf() < b.total_pf(), "total must drop");
+        assert!(a.control_logic_pf > b.control_logic_pf, "control rises with op count");
+    }
+
+    #[test]
+    fn breakdown_rows_sum_to_total() {
+        let g = transform::fir_cdfg(&[3, 5, 7], 16);
+        let r = quick_estimate(&g, 2, &RtlCosts::default());
+        let sum: f64 = r.rows().iter().map(|(_, pf, _)| pf).sum();
+        assert!((sum - r.total_pf()).abs() < 1e-9);
+        let pct: f64 = r.rows().iter().map(|(_, _, p)| p).sum();
+        assert!((pct - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_formats_table() {
+        let g = transform::fir_cdfg(&[3, 5], 16);
+        let r = quick_estimate(&g, 3, &RtlCosts::default());
+        let s = format!("{r}");
+        assert!(s.contains("Execution units"));
+        assert!(s.contains("Interconnect"));
+    }
+}

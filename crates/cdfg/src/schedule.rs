@@ -1,0 +1,535 @@
+//! Operation scheduling (survey §III-D): ASAP, ALAP, resource-constrained
+//! list scheduling, and the Monteiro power-management scheduler that
+//! serializes multiplexer control ahead of the guarded branches so that
+//! mutually exclusive units can be shut down.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::graph::{Cdfg, OpId, OpKind};
+
+/// Per-operation-kind delays, in control steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delays {
+    /// Adder delay.
+    pub add: u32,
+    /// Subtractor delay.
+    pub sub: u32,
+    /// Multiplier delay.
+    pub mul: u32,
+    /// Constant shift delay (wiring; usually 0 or 1).
+    pub shl: u32,
+    /// Negation delay.
+    pub neg: u32,
+    /// Multiplexer delay.
+    pub mux: u32,
+    /// Comparator delay.
+    pub lt: u32,
+}
+
+impl Delays {
+    /// All operations take one step (the op-level critical-path metric of
+    /// Figs. 4/5).
+    pub fn unit() -> Self {
+        Delays { add: 1, sub: 1, mul: 1, shl: 1, neg: 1, mux: 1, lt: 1 }
+    }
+
+    /// The delay of an operation kind (inputs and constants are free).
+    pub fn of(&self, kind: &OpKind) -> u32 {
+        match kind {
+            OpKind::Input(_) | OpKind::Const(_) => 0,
+            OpKind::Add => self.add,
+            OpKind::Sub => self.sub,
+            OpKind::Mul => self.mul,
+            OpKind::Shl(_) => self.shl,
+            OpKind::Neg => self.neg,
+            OpKind::Mux => self.mux,
+            OpKind::Lt => self.lt,
+        }
+    }
+}
+
+impl Default for Delays {
+    /// Multipliers take two steps; everything else one, shifts zero
+    /// (wiring).
+    fn default() -> Self {
+        Delays { add: 1, sub: 1, mul: 2, shl: 0, neg: 1, mux: 1, lt: 1 }
+    }
+}
+
+/// A control-step assignment for every node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Start step of each node (indexed by [`OpId::index`]).
+    pub start: Vec<u32>,
+    /// Total schedule length in steps.
+    pub makespan: u32,
+}
+
+impl Schedule {
+    /// The start step of an operation.
+    pub fn start_of(&self, op: OpId) -> u32 {
+        self.start[op.index()]
+    }
+
+    /// The finish step (exclusive) of an operation under `delays`.
+    pub fn finish_of(&self, g: &Cdfg, delays: &Delays, op: OpId) -> u32 {
+        self.start[op.index()] + delays.of(g.kind(op))
+    }
+}
+
+/// As-soon-as-possible schedule.
+pub fn asap(g: &Cdfg, delays: &Delays) -> Schedule {
+    let mut start = vec![0u32; g.node_count()];
+    let mut makespan = 0;
+    // Creation order is topological for value edges; precedence edges may
+    // point forward or backward in id order, so iterate to a fixed point
+    // (precedence chains are short in practice).
+    loop {
+        let mut changed = false;
+        for id in g.op_ids() {
+            let mut s = 0u32;
+            for &a in g.args(id) {
+                s = s.max(start[a.index()] + delays.of(g.kind(a)));
+            }
+            for &(before, after) in g.precedence_edges() {
+                if after == id {
+                    s = s.max(start[before.index()] + delays.of(g.kind(before)));
+                }
+            }
+            if s > start[id.index()] {
+                start[id.index()] = s;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for id in g.op_ids() {
+        makespan = makespan.max(start[id.index()] + delays.of(g.kind(id)));
+    }
+    Schedule { start, makespan }
+}
+
+/// As-late-as-possible schedule meeting `deadline`, or `None` if the
+/// critical path exceeds it.
+pub fn alap(g: &Cdfg, delays: &Delays, deadline: u32) -> Option<Schedule> {
+    let asap_sched = asap(g, delays);
+    if asap_sched.makespan > deadline {
+        return None;
+    }
+    let users = g.users();
+    let mut start = vec![0u32; g.node_count()];
+    for id in g.op_ids() {
+        start[id.index()] = deadline - delays.of(g.kind(id));
+    }
+    loop {
+        let mut changed = false;
+        for id in g.op_ids().collect::<Vec<_>>().into_iter().rev() {
+            let mut latest = deadline - delays.of(g.kind(id));
+            for &u in &users[id.index()] {
+                latest = latest.min(start[u.index()].saturating_sub(delays.of(g.kind(id))));
+            }
+            for &(before, after) in g.precedence_edges() {
+                if before == id {
+                    latest =
+                        latest.min(start[after.index()].saturating_sub(delays.of(g.kind(id))));
+                }
+            }
+            if latest < start[id.index()] {
+                start[id.index()] = latest;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Some(Schedule { start, makespan: deadline })
+}
+
+/// Resource-constrained list scheduling. `limits` maps operation mnemonics
+/// (see [`OpKind::mnemonic`]) to the number of available units; kinds
+/// absent from the map are unconstrained. Priority is ALAP urgency
+/// (smaller slack first).
+pub fn list_schedule(g: &Cdfg, delays: &Delays, limits: &HashMap<&str, usize>) -> Schedule {
+    let asap_sched = asap(g, delays);
+    // Urgency from an ALAP at the unconstrained makespan.
+    let alap_sched =
+        alap(g, delays, asap_sched.makespan).expect("asap makespan is always feasible");
+    let users = g.users();
+    let mut remaining_preds: Vec<usize> = g
+        .op_ids()
+        .map(|id| {
+            g.args(id).len()
+                + g.precedence_edges().iter().filter(|&&(_, after)| after == id).count()
+        })
+        .collect();
+    let mut start = vec![u32::MAX; g.node_count()];
+    let mut finished_at = vec![0u32; g.node_count()];
+    // Inputs/constants are ready at step 0 with zero delay.
+    let mut ready: Vec<OpId> = g
+        .op_ids()
+        .filter(|&id| remaining_preds[id.index()] == 0)
+        .collect();
+    let mut scheduled = 0usize;
+    let total = g.node_count();
+    let mut step = 0u32;
+    // Track busy units: (kind mnemonic, free_at_step).
+    let mut running: Vec<(OpId, u32)> = Vec::new();
+    let mut earliest: Vec<u32> = vec![0; g.node_count()];
+
+    while scheduled < total {
+        // Retire operations finishing at or before `step`.
+        running.retain(|&(_, fin)| fin > step);
+        let mut used_now: HashMap<&str, usize> = HashMap::new();
+        for &(op, _) in &running {
+            *used_now.entry(g.kind(op).mnemonic()).or_insert(0) += 1;
+        }
+        // Schedule ready ops whose data is available, respecting limits.
+        // Zero-delay producers (inputs, constants, shifts) can enable new
+        // work within the same step, so iterate to a fixed point.
+        loop {
+            ready.sort_by_key(|&id| alap_sched.start_of(id));
+            let mut next_ready = Vec::new();
+            let mut progressed = false;
+            for id in ready.drain(..) {
+                if earliest[id.index()] > step {
+                    next_ready.push(id);
+                    continue;
+                }
+                let mnem = g.kind(id).mnemonic();
+                let limit = limits.get(mnem).copied();
+                let in_use = used_now.get(mnem).copied().unwrap_or(0);
+                let allowed = match limit {
+                    Some(l) => in_use < l,
+                    None => true,
+                };
+                if g.kind(id).is_operation() && !allowed {
+                    next_ready.push(id);
+                    continue;
+                }
+                // Schedule now.
+                start[id.index()] = step;
+                let fin = step + delays.of(g.kind(id));
+                finished_at[id.index()] = fin;
+                if g.kind(id).is_operation() && delays.of(g.kind(id)) > 0 {
+                    running.push((id, fin));
+                    *used_now.entry(mnem).or_insert(0) += 1;
+                }
+                scheduled += 1;
+                progressed = true;
+                for &u in &users[id.index()] {
+                    remaining_preds[u.index()] -= 1;
+                    earliest[u.index()] = earliest[u.index()].max(fin);
+                    if remaining_preds[u.index()] == 0 {
+                        next_ready.push(u);
+                    }
+                }
+                for &(before, after) in g.precedence_edges() {
+                    if before == id {
+                        remaining_preds[after.index()] -= 1;
+                        earliest[after.index()] = earliest[after.index()].max(fin);
+                        if remaining_preds[after.index()] == 0 {
+                            next_ready.push(after);
+                        }
+                    }
+                }
+            }
+            ready = next_ready;
+            if !progressed {
+                break;
+            }
+        }
+        step += 1;
+        assert!(step < 100_000, "list scheduler failed to make progress");
+    }
+    let makespan = finished_at.iter().copied().max().unwrap_or(0);
+    Schedule { start, makespan }
+}
+
+/// Maximum number of concurrently executing units of each kind under a
+/// schedule — the functional-unit requirement of the schedule.
+pub fn resource_usage(g: &Cdfg, delays: &Delays, sched: &Schedule) -> HashMap<&'static str, usize> {
+    let mut usage: HashMap<&'static str, usize> = HashMap::new();
+    for step in 0..sched.makespan {
+        let mut now: HashMap<&'static str, usize> = HashMap::new();
+        for id in g.op_ids() {
+            let k = g.kind(id);
+            if !k.is_operation() || delays.of(k) == 0 {
+                continue;
+            }
+            let s = sched.start_of(id);
+            if s <= step && step < s + delays.of(k) {
+                *now.entry(k.mnemonic()).or_insert(0) += 1;
+            }
+        }
+        for (k, v) in now {
+            let e = usage.entry(k).or_insert(0);
+            *e = (*e).max(v);
+        }
+    }
+    usage
+}
+
+/// Result of the Monteiro power-management scheduling pass.
+#[derive(Debug, Clone)]
+pub struct PowerManagedSchedule {
+    /// The graph augmented with the control-before-branches precedence
+    /// edges.
+    pub graph: Cdfg,
+    /// The final schedule.
+    pub schedule: Schedule,
+    /// Multiplexers for which shutdown of the unselected branch is
+    /// guaranteed (control resolves before either branch starts).
+    pub manageable_muxes: Vec<OpId>,
+    /// For each manageable mux: the exclusive fan-in operations of its 0
+    /// and 1 branches (candidates for shutdown).
+    pub branch_ops: HashMap<OpId, (Vec<OpId>, Vec<OpId>)>,
+}
+
+impl PowerManagedSchedule {
+    /// Expected fraction of branch operations disabled per evaluation,
+    /// assuming the given probability that each manageable mux selects its
+    /// "1" branch. Each op counts once even if guarded by several muxes.
+    pub fn expected_disabled_ops(&self, sel_prob: f64) -> f64 {
+        let mut disabled = 0.0;
+        let mut counted: HashSet<OpId> = HashSet::new();
+        for (n0, n1) in self.branch_ops.values() {
+            for &op in n0 {
+                if counted.insert(op) {
+                    disabled += sel_prob; // skipped when sel = 1
+                }
+            }
+            for &op in n1 {
+                if counted.insert(op) {
+                    disabled += 1.0 - sel_prob;
+                }
+            }
+        }
+        let total = self.graph.operation_count() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            disabled / total
+        }
+    }
+}
+
+/// The Monteiro scheduling-for-power-management pass (§III-D, reference 63).
+///
+/// Multiplexers are visited bottom-up. For each, the exclusive transitive
+/// fan-ins `N0`/`N1` of the data inputs and the fan-in `NC` of the control
+/// input are computed; shared nodes are discarded. If serializing `NC`
+/// before `N0 ∪ N1` keeps the ASAP makespan within `deadline` (defaults to
+/// the unconstrained makespan when `None`), precedence edges are committed
+/// and the mux is power manageable.
+pub fn power_managed_schedule(
+    g: &Cdfg,
+    delays: &Delays,
+    deadline: Option<u32>,
+) -> PowerManagedSchedule {
+    let base = asap(g, delays);
+    let deadline = deadline.unwrap_or(base.makespan);
+    let mut work = g.clone();
+    let mut manageable = Vec::new();
+    let mut branch_ops = HashMap::new();
+    // Bottom-up: muxes in reverse creation order (closer to outputs first).
+    let muxes: Vec<OpId> = g
+        .op_ids()
+        .filter(|&id| matches!(g.kind(id), OpKind::Mux))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    for mx in muxes {
+        let args = work.args(mx).to_vec();
+        let (sel, a, b) = (args[0], args[1], args[2]);
+        let mut n0: HashSet<OpId> = work.transitive_fanin(a);
+        n0.insert(a);
+        let mut n1: HashSet<OpId> = work.transitive_fanin(b);
+        n1.insert(b);
+        let mut nc: HashSet<OpId> = work.transitive_fanin(sel);
+        nc.insert(sel);
+        // Nodes in both branches are needed regardless: drop them.
+        let shared: HashSet<OpId> = n0.intersection(&n1).copied().collect();
+        n0.retain(|x| !shared.contains(x) && work.kind(*x).is_operation());
+        n1.retain(|x| !shared.contains(x) && work.kind(*x).is_operation());
+        // Branch nodes inside the control cone (or vice versa) cannot be
+        // serialized after it.
+        if n0.iter().any(|x| nc.contains(x)) || n1.iter().any(|x| nc.contains(x)) {
+            continue;
+        }
+        if n0.is_empty() && n1.is_empty() {
+            continue;
+        }
+        // Tentatively add precedence: control's terminal node (sel) before
+        // every top node of the exclusive branches.
+        let mut candidate = work.clone();
+        for set in [&n0, &n1] {
+            for &op in set.iter() {
+                // "Top" nodes: no argument inside the same exclusive set.
+                let is_top = candidate.args(op).iter().all(|arg| !set.contains(arg));
+                if is_top {
+                    candidate.add_precedence(sel, op);
+                }
+            }
+        }
+        let s = asap(&candidate, delays);
+        if s.makespan <= deadline {
+            work = candidate;
+            manageable.push(mx);
+            let mut v0: Vec<OpId> = n0.into_iter().collect();
+            let mut v1: Vec<OpId> = n1.into_iter().collect();
+            v0.sort();
+            v1.sort();
+            branch_ops.insert(mx, (v0, v1));
+        }
+    }
+    let schedule = asap(&work, delays);
+    PowerManagedSchedule { graph: work, schedule, manageable_muxes: manageable, branch_ops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac() -> Cdfg {
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let m = g.mul(a, b);
+        let s = g.add(m, c);
+        g.output("y", s);
+        g
+    }
+
+    #[test]
+    fn asap_respects_delays() {
+        let g = mac();
+        let s = asap(&g, &Delays::default());
+        assert_eq!(s.makespan, 3); // mul (2) + add (1)
+        let s2 = asap(&g, &Delays::unit());
+        assert_eq!(s2.makespan, 2);
+    }
+
+    #[test]
+    fn alap_pushes_late() {
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let b = g.input("b");
+        let s1 = g.add(a, b); // could run at step 0
+        let m = g.mul(a, b);
+        let s2 = g.add(s1, m);
+        g.output("y", s2);
+        let d = Delays::default();
+        let sched = alap(&g, &d, 3).unwrap();
+        // s1 only needed at step 2 (s2 starts at 2): ALAP start = 1.
+        assert_eq!(sched.start_of(s1), 1);
+        assert!(alap(&g, &d, 2).is_none(), "deadline below critical path");
+    }
+
+    #[test]
+    fn list_schedule_respects_limits() {
+        // Four independent multiplies, one multiplier: serialized.
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let b = g.input("b");
+        let ms: Vec<OpId> = (0..4).map(|_| g.mul(a, b)).collect();
+        let mut acc = ms[0];
+        for &m in &ms[1..] {
+            acc = g.add(acc, m);
+        }
+        g.output("y", acc);
+        let d = Delays::default();
+        let unconstrained = list_schedule(&g, &d, &HashMap::new());
+        let mut limits = HashMap::new();
+        limits.insert("mul", 1usize);
+        let constrained = list_schedule(&g, &d, &limits);
+        assert!(constrained.makespan > unconstrained.makespan);
+        let usage = resource_usage(&g, &d, &constrained);
+        assert_eq!(usage.get("mul"), Some(&1));
+        let u2 = resource_usage(&g, &d, &unconstrained);
+        assert_eq!(u2.get("mul"), Some(&4));
+    }
+
+    #[test]
+    fn list_schedule_matches_asap_without_limits() {
+        let g = mac();
+        let d = Delays::default();
+        let ls = list_schedule(&g, &d, &HashMap::new());
+        let a = asap(&g, &d);
+        assert_eq!(ls.makespan, a.makespan);
+    }
+
+    /// A CDFG where an expensive branch can be shut down: y = sel ? (a*b)
+    /// : (c+d), with the control `sel = e < f` cheap to compute early.
+    fn guarded() -> (Cdfg, OpId) {
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let d = g.input("d");
+        let e = g.input("e");
+        let f = g.input("f");
+        let sel = g.lt(e, f);
+        let t0 = g.add(c, d);
+        let t1 = g.mul(a, b);
+        let y = g.mux(sel, t0, t1);
+        g.output("y", y);
+        (g, y)
+    }
+
+    #[test]
+    fn monteiro_finds_manageable_mux() {
+        let (g, y) = guarded();
+        // Allow one extra step so control can resolve first.
+        let d = Delays::default();
+        let base = asap(&g, &d).makespan;
+        let pm = power_managed_schedule(&g, &d, Some(base + 1));
+        assert_eq!(pm.manageable_muxes, vec![y]);
+        let (n0, n1) = &pm.branch_ops[&y];
+        assert_eq!(n0.len(), 1, "add branch");
+        assert_eq!(n1.len(), 1, "mul branch");
+        // Precedence edges enforce control-first.
+        let sel_finish = pm.schedule.finish_of(&pm.graph, &d, g.op_ids().nth(6).unwrap());
+        for ops in [n0, n1] {
+            for &op in ops.iter() {
+                assert!(pm.schedule.start_of(op) >= sel_finish);
+            }
+        }
+        assert!(pm.expected_disabled_ops(0.5) > 0.0);
+    }
+
+    #[test]
+    fn monteiro_rejects_when_no_slack() {
+        let (g, _) = guarded();
+        let d = Delays::default();
+        // With a deadline equal to the unconstrained makespan, serializing
+        // the comparator (1 step) before the 2-step multiply exceeds it.
+        let pm = power_managed_schedule(&g, &d, None);
+        assert!(pm.manageable_muxes.is_empty());
+    }
+
+    #[test]
+    fn shared_subexpressions_not_shut_down() {
+        // Both branches use m = a*b: m must not appear in either branch
+        // set.
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let sel = g.lt(a, c);
+        let m = g.mul(a, b);
+        let t0 = g.add(m, c);
+        let t1 = g.sub(m, c);
+        let y = g.mux(sel, t0, t1);
+        g.output("y", y);
+        let d = Delays::default();
+        let pm = power_managed_schedule(&g, &d, Some(10));
+        if let Some((n0, n1)) = pm.branch_ops.get(&y) {
+            assert!(!n0.contains(&m) && !n1.contains(&m));
+        }
+    }
+}

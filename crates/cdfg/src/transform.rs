@@ -1,0 +1,319 @@
+//! Behavioral transformations (survey §III-C): polynomial restructuring
+//! (the Figs. 4/5 examples), strength reduction, and conversion of
+//! constant multiplications into shift-add networks (the transformation
+//! behind Table I).
+
+use crate::graph::{Cdfg, OpId, OpKind};
+
+/// Builds the *direct-form* evaluation of a polynomial `sum(coeffs[i] *
+/// x^i)` (coefficients as runtime inputs `a0..an`), structured as the
+/// survey's Figs. 4/5 "before" graphs: powers of `x` are shared, products
+/// are formed in parallel and summed pairwise.
+pub fn polynomial_direct(degree: usize, width: u32) -> Cdfg {
+    assert!(degree >= 1, "degree must be >= 1");
+    let mut g = Cdfg::new(width);
+    let x = g.input("x");
+    let coeffs: Vec<OpId> = (0..=degree).map(|i| g.input(format!("a{i}"))).collect();
+    // Powers x^2..x^degree, shared. The Figs. 4/5 structure keeps the
+    // highest product as (a_n x + a_{n-1}) * x^{n-1} when n >= 2 so that
+    // multiplier depth stays low.
+    let mut powers: Vec<OpId> = vec![x];
+    for _ in 2..=degree {
+        let prev = *powers.last().expect("non-empty");
+        powers.push(g.mul(prev, x));
+    }
+    // terms: a0 + a1*x + a2*x^2 + ... (term 0 is just a0).
+    let mut terms: Vec<OpId> = vec![coeffs[0]];
+    for i in 1..=degree {
+        terms.push(g.mul(coeffs[i], powers[i - 1]));
+    }
+    // Balanced adder tree.
+    let mut layer = terms;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(g.add(pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    g.output("y", layer[0]);
+    g
+}
+
+/// Builds the Horner-rule evaluation `(((a_n x + a_{n-1}) x + ...) x +
+/// a_0)` — the survey's Figs. 4/5 "after" graphs: fewest multiplications,
+/// but a serial chain.
+pub fn polynomial_horner(degree: usize, width: u32) -> Cdfg {
+    assert!(degree >= 1, "degree must be >= 1");
+    let mut g = Cdfg::new(width);
+    let x = g.input("x");
+    let coeffs: Vec<OpId> = (0..=degree).map(|i| g.input(format!("a{i}"))).collect();
+    let mut acc = coeffs[degree];
+    for i in (0..degree).rev() {
+        let m = g.mul(acc, x);
+        acc = g.add(m, coeffs[i]);
+    }
+    g.output("y", acc);
+    g
+}
+
+/// Rewrites every multiplication by a constant into a CSD shift-add
+/// network (strength reduction; the Table I transformation). Returns the
+/// transformed graph; non-constant multiplies are preserved.
+///
+/// The rewrite walks the graph in topological order, cloning nodes and
+/// replacing `Mul(x, Const(k))` / `Mul(Const(k), x)` by a minimal chain of
+/// shifts, adds and subtracts following the canonical-signed-digit
+/// recoding of `k`.
+pub fn strength_reduce_const_mults(g: &Cdfg) -> Cdfg {
+    let mut out = Cdfg::new(g.width());
+    let mut map: Vec<Option<OpId>> = vec![None; g.node_count()];
+    for id in g.op_ids() {
+        let new_id = match g.kind(id) {
+            OpKind::Input(name) => out.input(name.clone()),
+            OpKind::Const(c) => out.constant(*c),
+            OpKind::Mul => {
+                let a = g.args(id)[0];
+                let b = g.args(id)[1];
+                let const_of = |x: OpId| match g.kind(x) {
+                    OpKind::Const(c) => Some(*c),
+                    _ => None,
+                };
+                match (const_of(a), const_of(b)) {
+                    (Some(k), _) => {
+                        let operand = map[b.index()].expect("topological order");
+                        shift_add_network(&mut out, operand, k)
+                    }
+                    (_, Some(k)) => {
+                        let operand = map[a.index()].expect("topological order");
+                        shift_add_network(&mut out, operand, k)
+                    }
+                    _ => {
+                        let na = map[a.index()].expect("topological order");
+                        let nb = map[b.index()].expect("topological order");
+                        out.mul(na, nb)
+                    }
+                }
+            }
+            kind => {
+                let args: Vec<OpId> =
+                    g.args(id).iter().map(|a| map[a.index()].expect("topo order")).collect();
+                match kind {
+                    OpKind::Add => out.add(args[0], args[1]),
+                    OpKind::Sub => out.sub(args[0], args[1]),
+                    OpKind::Shl(k) => out.shl(args[0], *k),
+                    OpKind::Neg => out.neg(args[0]),
+                    OpKind::Mux => out.mux(args[0], args[1], args[2]),
+                    OpKind::Lt => out.lt(args[0], args[1]),
+                    OpKind::Input(_) | OpKind::Const(_) | OpKind::Mul => unreachable!(),
+                }
+            }
+        };
+        map[id.index()] = Some(new_id);
+    }
+    for (name, op) in g.outputs() {
+        let mapped = map[op.index()].expect("all nodes mapped");
+        out.output(name.clone(), mapped);
+    }
+    out
+}
+
+/// Emits `operand * k` as a CSD shift-add chain into `g`.
+fn shift_add_network(g: &mut Cdfg, operand: OpId, k: i64) -> OpId {
+    if k == 0 {
+        return g.constant(0);
+    }
+    let negate = k < 0;
+    let ku = k.unsigned_abs();
+    let mut acc: Option<OpId> = None;
+    let mut x = ku as u128;
+    let mut shift = 0u32;
+    while x != 0 {
+        let digit: i8 = if x & 1 == 1 {
+            if x & 2 == 2 {
+                x += 1;
+                -1
+            } else {
+                x -= 1;
+                1
+            }
+        } else {
+            0
+        };
+        if digit != 0 {
+            let term = if shift == 0 { operand } else { g.shl(operand, shift) };
+            acc = Some(match acc {
+                None => {
+                    if digit > 0 {
+                        term
+                    } else {
+                        g.neg(term)
+                    }
+                }
+                Some(prev) => {
+                    if digit > 0 {
+                        g.add(prev, term)
+                    } else {
+                        g.sub(prev, term)
+                    }
+                }
+            });
+        }
+        x >>= 1;
+        shift += 1;
+    }
+    let result = acc.expect("k != 0");
+    if negate {
+        g.neg(result)
+    } else {
+        result
+    }
+}
+
+/// Builds an n-tap FIR filter CDFG `y = sum(c[i] * x[n-i])` with constant
+/// coefficients. Tap inputs are modeled as separate delayed inputs
+/// `x0..x{n-1}` (the delay line lives in the RTL register file).
+pub fn fir_cdfg(coeffs: &[i64], width: u32) -> Cdfg {
+    assert!(!coeffs.is_empty(), "FIR needs at least one tap");
+    let mut g = Cdfg::new(width);
+    let taps: Vec<OpId> = (0..coeffs.len()).map(|i| g.input(format!("x{i}"))).collect();
+    let mut terms = Vec::with_capacity(coeffs.len());
+    for (i, &c) in coeffs.iter().enumerate() {
+        let k = g.constant(c);
+        terms.push(g.mul(taps[i], k));
+    }
+    let mut layer = terms;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(g.add(pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    g.output("y", layer[0]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{self, Delays};
+    use std::collections::HashMap;
+
+    fn poly_inputs(x: i64, coeffs: &[i64]) -> HashMap<String, i64> {
+        let mut m = HashMap::new();
+        m.insert("x".to_string(), x);
+        for (i, &c) in coeffs.iter().enumerate() {
+            m.insert(format!("a{i}"), c);
+        }
+        m
+    }
+
+    #[test]
+    fn direct_and_horner_agree() {
+        let coeffs = [3i64, -2, 5, 1];
+        let d = polynomial_direct(3, 32);
+        let h = polynomial_horner(3, 32);
+        for x in [-7i64, -1, 0, 2, 13] {
+            let vd = d.eval(&poly_inputs(x, &coeffs)).unwrap();
+            let vh = h.eval(&poly_inputs(x, &coeffs)).unwrap();
+            let expect = coeffs.iter().enumerate().map(|(i, &c)| c * x.pow(i as u32)).sum::<i64>();
+            assert_eq!(vd, vec![expect]);
+            assert_eq!(vh, vec![expect]);
+        }
+    }
+
+    #[test]
+    fn fig4_shape_second_order() {
+        // Fig. 4: direct needs more multipliers than Horner; both have
+        // short critical paths.
+        let d = polynomial_direct(2, 16);
+        let h = polynomial_horner(2, 16);
+        assert_eq!(d.op_counts()["mul"], 3); // x*x? no: a1*x, a2*x (shared x^1) => see structure
+        assert_eq!(h.op_counts()["mul"], 2);
+        assert_eq!(h.op_counts()["add"], 2);
+        let delays = Delays::unit();
+        let sd = schedule::asap(&d, &delays);
+        let sh = schedule::asap(&h, &delays);
+        assert!(sd.makespan <= sh.makespan, "direct no slower than Horner");
+    }
+
+    #[test]
+    fn fig5_shape_third_order() {
+        // Fig. 5: the transformation cuts multiplications but lengthens
+        // the critical path.
+        let d = polynomial_direct(3, 16);
+        let h = polynomial_horner(3, 16);
+        assert!(h.op_counts()["mul"] < d.op_counts()["mul"]);
+        let delays = Delays::unit();
+        let sd = schedule::asap(&d, &delays);
+        let sh = schedule::asap(&h, &delays);
+        assert!(sh.makespan > sd.makespan, "Horner serializes: {} vs {}", sh.makespan, sd.makespan);
+    }
+
+    #[test]
+    fn strength_reduction_preserves_semantics() {
+        let coeffs = [13i64, -7, 25, 3, -128];
+        let g = fir_cdfg(&coeffs, 32);
+        let r = strength_reduce_const_mults(&g);
+        for seed in 0..5i64 {
+            let inputs: HashMap<String, i64> =
+                (0..coeffs.len()).map(|i| (format!("x{i}"), seed * 17 + i as i64 * 3 - 20)).collect();
+            assert_eq!(g.eval(&inputs).unwrap(), r.eval(&inputs).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn strength_reduction_removes_all_const_mults() {
+        let g = fir_cdfg(&[3, 5, 7], 16);
+        let r = strength_reduce_const_mults(&g);
+        assert_eq!(g.op_counts().get("mul"), Some(&3));
+        assert_eq!(r.op_counts().get("mul"), None);
+        assert!(r.op_counts().get("add").copied().unwrap_or(0) > 2);
+    }
+
+    #[test]
+    fn strength_reduction_keeps_variable_mults() {
+        let mut g = Cdfg::new(16);
+        let a = g.input("a");
+        let b = g.input("b");
+        let m = g.mul(a, b);
+        g.output("y", m);
+        let r = strength_reduce_const_mults(&g);
+        assert_eq!(r.op_counts().get("mul"), Some(&1));
+    }
+
+    #[test]
+    fn negative_and_zero_constants() {
+        let mut g = Cdfg::new(32);
+        let a = g.input("a");
+        let k1 = g.constant(-6);
+        let k2 = g.constant(0);
+        let m1 = g.mul(a, k1);
+        let m2 = g.mul(a, k2);
+        let s = g.add(m1, m2);
+        g.output("y", s);
+        let r = strength_reduce_const_mults(&g);
+        let mut inputs = HashMap::new();
+        inputs.insert("a".to_string(), 11);
+        assert_eq!(r.eval(&inputs).unwrap(), vec![-66]);
+    }
+
+    #[test]
+    fn fir_computes_dot_product() {
+        let g = fir_cdfg(&[2, -1, 4], 32);
+        let mut inputs = HashMap::new();
+        inputs.insert("x0".to_string(), 5);
+        inputs.insert("x1".to_string(), 3);
+        inputs.insert("x2".to_string(), -2);
+        assert_eq!(g.eval(&inputs).unwrap(), vec![2 * 5 - 3 - 8]);
+    }
+}

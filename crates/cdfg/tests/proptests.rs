@@ -1,0 +1,138 @@
+//! Property-based tests: transformations preserve semantics, schedules
+//! respect dependences and resource limits.
+
+use std::collections::HashMap;
+
+use hlpower_cdfg::{profile, schedule, transform, Cdfg, Delays, OpId};
+use proptest::prelude::*;
+
+/// A random arithmetic CDFG built from a sequence of op choices.
+fn random_cdfg(ops: &[(u8, u8, u8, i64)], width: u32) -> Cdfg {
+    let mut g = Cdfg::new(width);
+    let mut pool: Vec<OpId> = (0..4).map(|i| g.input(format!("x{i}"))).collect();
+    for &(kind, a, b, k) in ops {
+        let x = pool[a as usize % pool.len()];
+        let y = pool[b as usize % pool.len()];
+        let node = match kind % 6 {
+            0 => g.add(x, y),
+            1 => g.sub(x, y),
+            2 => g.mul(x, y),
+            3 => {
+                let c = g.constant(k);
+                g.mul(x, c)
+            }
+            4 => g.shl(x, (k.unsigned_abs() % 4) as u32),
+            _ => {
+                let s = g.lt(x, y);
+                g.mux(s, x, y)
+            }
+        };
+        pool.push(node);
+    }
+    let out = *pool.last().expect("nonempty");
+    g.output("y", out);
+    g
+}
+
+fn op_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, i64)>> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), -200i64..200), 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Strength reduction preserves the function on random graphs and
+    /// random inputs.
+    #[test]
+    fn strength_reduction_preserves_semantics(
+        ops in op_strategy(),
+        inputs in proptest::collection::vec(-1000i64..1000, 4),
+    ) {
+        let g = random_cdfg(&ops, 32);
+        let r = transform::strength_reduce_const_mults(&g);
+        let bindings: HashMap<String, i64> =
+            inputs.iter().enumerate().map(|(i, &v)| (format!("x{i}"), v)).collect();
+        prop_assert_eq!(g.eval(&bindings).expect("bound"), r.eval(&bindings).expect("bound"));
+    }
+
+    /// ASAP start times respect every data dependence.
+    #[test]
+    fn asap_respects_dependences(ops in op_strategy()) {
+        let g = random_cdfg(&ops, 16);
+        let delays = Delays::default();
+        let s = schedule::asap(&g, &delays);
+        for id in g.op_ids() {
+            for &arg in g.args(id) {
+                prop_assert!(
+                    s.start_of(id) >= s.start_of(arg) + delays.of(g.kind(arg)),
+                    "dependence violated"
+                );
+            }
+        }
+    }
+
+    /// List scheduling with limits never beats ASAP and never violates the
+    /// limits.
+    #[test]
+    fn list_schedule_sound(ops in op_strategy(), muls in 1usize..3) {
+        let g = random_cdfg(&ops, 16);
+        let delays = Delays::default();
+        let asap = schedule::asap(&g, &delays);
+        let mut limits = HashMap::new();
+        limits.insert("mul", muls);
+        let ls = schedule::list_schedule(&g, &delays, &limits);
+        prop_assert!(ls.makespan >= asap.makespan);
+        let usage = schedule::resource_usage(&g, &delays, &ls);
+        prop_assert!(usage.get("mul").copied().unwrap_or(0) <= muls);
+        // Dependences hold under the constrained schedule too.
+        for id in g.op_ids() {
+            for &arg in g.args(id) {
+                prop_assert!(ls.start_of(id) >= ls.start_of(arg) + delays.of(g.kind(arg)));
+            }
+        }
+    }
+
+    /// ALAP at the ASAP makespan never schedules anything before its ASAP
+    /// time, and both meet the deadline.
+    #[test]
+    fn alap_bounds_asap(ops in op_strategy()) {
+        let g = random_cdfg(&ops, 16);
+        let delays = Delays::default();
+        let asap = schedule::asap(&g, &delays);
+        let alap = schedule::alap(&g, &delays, asap.makespan).expect("feasible at own makespan");
+        for id in g.op_ids() {
+            prop_assert!(alap.start_of(id) >= asap.start_of(id), "{} < {}",
+                alap.start_of(id), asap.start_of(id));
+            prop_assert!(alap.start_of(id) + delays.of(g.kind(id)) <= asap.makespan);
+        }
+    }
+
+    /// Horner and direct polynomial forms agree for arbitrary coefficients.
+    #[test]
+    fn polynomial_forms_agree(
+        degree in 1usize..5,
+        coeffs in proptest::collection::vec(-50i64..50, 5),
+        x in -20i64..20,
+    ) {
+        let d = transform::polynomial_direct(degree, 40);
+        let h = transform::polynomial_horner(degree, 40);
+        let mut bindings = HashMap::new();
+        bindings.insert("x".to_string(), x);
+        for i in 0..=degree {
+            bindings.insert(format!("a{i}"), coeffs[i % coeffs.len()]);
+        }
+        prop_assert_eq!(d.eval(&bindings).expect("bound"), h.eval(&bindings).expect("bound"));
+    }
+
+    /// Profiling activities are valid fractions for any stream.
+    #[test]
+    fn profile_activities_bounded(ops in op_strategy(), seed in 0u64..100) {
+        let g = random_cdfg(&ops, 12);
+        let p = profile::profile(&g, profile::random_stream(&g, seed, 100), &[])
+            .expect("stream binds inputs");
+        for id in g.op_ids() {
+            let a = p.node_activity(id);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&a), "activity {}", a);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The Fig. 1 "design improvement loop": rank candidate design options by
+//! an estimated power cost, track the decision trail across abstraction
+//! levels, and report the final selection.
+
+use std::fmt;
+
+/// A candidate design option with an estimated power cost (any consistent
+/// unit — microwatts, picofarads per cycle, femtojoules).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Human-readable option name.
+    pub name: String,
+    /// Estimated cost (lower is better).
+    pub cost: f64,
+}
+
+impl Candidate {
+    /// Creates a candidate.
+    pub fn new(name: impl Into<String>, cost: f64) -> Self {
+        Candidate { name: name.into(), cost }
+    }
+}
+
+/// Sorts candidates ascending by cost (best first). NaN costs sort last.
+pub fn rank(mut candidates: Vec<Candidate>) -> Vec<Candidate> {
+    candidates.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .unwrap_or_else(|| a.cost.is_nan().cmp(&b.cost.is_nan()))
+    });
+    candidates
+}
+
+/// One decision taken in the design improvement loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Abstraction level / loop stage label (e.g. "behavioral",
+    /// "scheduling", "bus encoding").
+    pub stage: String,
+    /// All options considered, ranked best first.
+    pub ranked: Vec<Candidate>,
+}
+
+impl Decision {
+    /// The winning option.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decision has no candidates.
+    pub fn winner(&self) -> &Candidate {
+        self.ranked.first().expect("decision must have candidates")
+    }
+
+    /// The ratio of the worst to the best candidate's cost (how much the
+    /// feedback loop mattered at this stage).
+    pub fn spread(&self) -> f64 {
+        match (self.ranked.first(), self.ranked.last()) {
+            (Some(best), Some(worst)) if best.cost > 0.0 => worst.cost / best.cost,
+            _ => 1.0,
+        }
+    }
+}
+
+/// A level-by-level record of the design improvement loop (Fig. 1): each
+/// stage ranks its options with a power estimator and commits the winner
+/// before descending to the next abstraction level.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DesignLoop {
+    decisions: Vec<Decision>,
+}
+
+impl DesignLoop {
+    /// Starts an empty loop record.
+    pub fn new() -> Self {
+        DesignLoop::default()
+    }
+
+    /// Ranks the candidates for a stage, records the decision, and
+    /// returns the winner's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn decide(
+        &mut self,
+        stage: impl Into<String>,
+        candidates: Vec<Candidate>,
+    ) -> String {
+        assert!(!candidates.is_empty(), "a design decision needs at least one option");
+        let ranked = rank(candidates);
+        let winner = ranked[0].name.clone();
+        self.decisions.push(Decision { stage: stage.into(), ranked });
+        winner
+    }
+
+    /// All decisions, in the order they were taken.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Product of per-stage spreads: a rough factor of how much power the
+    /// level-by-level feedback saved versus worst-case choices.
+    pub fn cumulative_spread(&self) -> f64 {
+        self.decisions.iter().map(Decision::spread).product()
+    }
+}
+
+impl fmt::Display for DesignLoop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.decisions {
+            writeln!(
+                f,
+                "[{}] -> {} (cost {:.3}, spread {:.2}x over {} options)",
+                d.stage,
+                d.winner().name,
+                d.winner().cost,
+                d.spread(),
+                d.ranked.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_orders_by_cost() {
+        let r = rank(vec![
+            Candidate::new("b", 2.0),
+            Candidate::new("a", 1.0),
+            Candidate::new("c", 3.0),
+        ]);
+        let names: Vec<&str> = r.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn nan_costs_rank_last() {
+        let r = rank(vec![Candidate::new("nan", f64::NAN), Candidate::new("ok", 5.0)]);
+        assert_eq!(r[0].name, "ok");
+    }
+
+    #[test]
+    fn loop_records_decisions_and_spread() {
+        let mut dl = DesignLoop::new();
+        let w1 = dl.decide(
+            "scheduling",
+            vec![Candidate::new("asap", 10.0), Candidate::new("pm", 6.0)],
+        );
+        assert_eq!(w1, "pm");
+        let w2 = dl.decide(
+            "bus encoding",
+            vec![Candidate::new("none", 8.0), Candidate::new("t0", 2.0)],
+        );
+        assert_eq!(w2, "t0");
+        assert_eq!(dl.decisions().len(), 2);
+        // Spread: (10/6) * (8/2) = 6.67x.
+        assert!((dl.cumulative_spread() - (10.0 / 6.0) * 4.0).abs() < 1e-9);
+        let s = format!("{dl}");
+        assert!(s.contains("scheduling") && s.contains("t0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one option")]
+    fn empty_decision_panics() {
+        DesignLoop::new().decide("empty", vec![]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # hlpower — High-Level Power Modeling, Estimation, and Optimization
+//!
+//! A from-scratch Rust reproduction of the survey by Macii, Pedram, and
+//! Somenzi (DAC 1997 tutorial / IEEE TCAD 1998): every estimation model
+//! and optimization technique the survey covers, implemented on top of
+//! substrates built in this workspace — a gate-level netlist simulator, a
+//! BDD package, an FSM/STG toolkit, a CDFG high-level-synthesis layer, and
+//! a small RISC architectural simulator.
+//!
+//! The survey's Fig. 1 design flow hinges on a *design improvement loop*:
+//! at each abstraction level, a power estimator ranks candidate design
+//! options so the best can be taken before descending. The [`explore`]
+//! module provides that loop as a small generic API; everything else is
+//! re-exported from the implementation crates:
+//!
+//! | Module | Survey section | Contents |
+//! |---|---|---|
+//! | [`netlist`] | ground truth | gates, simulators, power accounting |
+//! | [`bdd`] | §III-H tooling | ROBDDs, ZDDs, netlist bridges |
+//! | [`fsm`] | §II-B1, §III-H | STGs, Markov analysis, encoding, synthesis |
+//! | [`cdfg`] | §III-C..F | scheduling, allocation, transformations, RTL model |
+//! | [`sw`] | §II-A, §III-A | RISC simulator, Tiwari model, cold scheduling |
+//! | [`estimate`] | §II | entropy, complexity, macro-models, sampling |
+//! | [`optimize`] | §III | bus codes, shutdown, precomputation, gating, guarding, retiming |
+//!
+//! # Quickstart
+//!
+//! Rank two implementations of an FIR filter by estimated switched
+//! capacitance (the Table I experiment in miniature):
+//!
+//! ```
+//! use hlpower::cdfg::{rtl, transform};
+//! use hlpower::explore::{rank, Candidate};
+//!
+//! let costs = rtl::RtlCosts::default();
+//! let direct = transform::fir_cdfg(&[7, 13, 7], 16);
+//! let reduced = transform::strength_reduce_const_mults(&direct);
+//! let ranked = rank(vec![
+//!     Candidate::new("constant multipliers", rtl::quick_estimate(&direct, 1, &costs).total_pf()),
+//!     Candidate::new("shift-add (CSD)", rtl::quick_estimate(&reduced, 1, &costs).total_pf()),
+//! ]);
+//! assert_eq!(ranked[0].name, "shift-add (CSD)");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use hlpower_bdd as bdd;
+pub use hlpower_cdfg as cdfg;
+pub use hlpower_estimate as estimate;
+pub use hlpower_fsm as fsm;
+pub use hlpower_netlist as netlist;
+pub use hlpower_opt as optimize;
+pub use hlpower_sw as sw;
+
+pub mod explore;

@@ -1,0 +1,493 @@
+//! Complexity-based power models (survey §II-B2): gate-equivalent "chip
+//! estimation", the Nemani–Najm linear-measure area model over essential
+//! prime implicants, and the Landman–Rabaey controller model.
+
+use hlpower_fsm::{Encoding, MarkovAnalysis, Stg};
+
+use crate::stats::least_squares;
+
+// ---------------------------------------------------------------------
+// Quine–McCluskey machinery (the survey's models are defined over
+// essential primes of single-output functions).
+// ---------------------------------------------------------------------
+
+/// A cube over `n` variables: `mask` bits are cared-for positions, `value`
+/// their polarities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    /// Care mask (1 = literal present).
+    pub mask: u32,
+    /// Literal polarities on cared positions.
+    pub value: u32,
+}
+
+impl Cube {
+    /// Number of literals in the cube.
+    pub fn literals(self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Whether the cube covers a minterm.
+    pub fn covers(self, minterm: u32) -> bool {
+        (minterm & self.mask) == self.value
+    }
+
+    /// Number of minterms covered over `n` variables.
+    pub fn coverage(self, n: u32) -> u64 {
+        1u64 << (n - self.literals())
+    }
+}
+
+/// All prime implicants of the on-set `minterms` over `n` variables
+/// (classic Quine–McCluskey; feasible for `n <= 14`).
+///
+/// # Panics
+///
+/// Panics if `n > 14`.
+pub fn prime_implicants(n: u32, minterms: &[u32]) -> Vec<Cube> {
+    assert!(n <= 14, "Quine-McCluskey limited to 14 variables");
+    let full_mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut current: Vec<Cube> =
+        minterms.iter().map(|&m| Cube { mask: full_mask, value: m & full_mask }).collect();
+    current.sort();
+    current.dedup();
+    let mut primes: Vec<Cube> = Vec::new();
+    while !current.is_empty() {
+        let mut combined_flag = vec![false; current.len()];
+        let mut next: Vec<Cube> = Vec::new();
+        for i in 0..current.len() {
+            for j in i + 1..current.len() {
+                let (a, b) = (current[i], current[j]);
+                if a.mask != b.mask {
+                    continue;
+                }
+                let diff = a.value ^ b.value;
+                if diff.count_ones() == 1 {
+                    combined_flag[i] = true;
+                    combined_flag[j] = true;
+                    next.push(Cube { mask: a.mask & !diff, value: a.value & !diff });
+                }
+            }
+        }
+        for (i, &c) in current.iter().enumerate() {
+            if !combined_flag[i] {
+                primes.push(c);
+            }
+        }
+        next.sort();
+        next.dedup();
+        current = next;
+    }
+    primes.sort();
+    primes.dedup();
+    primes
+}
+
+/// The essential prime implicants: primes that are the unique cover of at
+/// least one on-set minterm.
+pub fn essential_primes(n: u32, minterms: &[u32], primes: &[Cube]) -> Vec<Cube> {
+    let _ = n;
+    let mut essential = Vec::new();
+    for &m in minterms {
+        let covering: Vec<&Cube> = primes.iter().filter(|p| p.covers(m)).collect();
+        if covering.len() == 1 && !essential.contains(covering[0]) {
+            essential.push(*covering[0]);
+        }
+    }
+    essential
+}
+
+/// A greedy minimum-cover two-level "optimization" (the substitute for the
+/// survey's SIS runs): essential primes first, then largest-coverage
+/// primes until the on-set is covered. Returns the chosen cover.
+pub fn greedy_cover(n: u32, minterms: &[u32]) -> Vec<Cube> {
+    let primes = prime_implicants(n, minterms);
+    let mut cover = essential_primes(n, minterms, &primes);
+    let mut uncovered: Vec<u32> =
+        minterms.iter().copied().filter(|&m| !cover.iter().any(|c| c.covers(m))).collect();
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .max_by_key(|p| uncovered.iter().filter(|&&m| p.covers(m)).count())
+            .copied()
+            .expect("primes cover all minterms");
+        cover.push(best);
+        uncovered.retain(|&m| !best.covers(m));
+    }
+    cover
+}
+
+/// Two-level implementation cost of a cover: literals plus cubes (a
+/// standard gate-count proxy for a PLA/AND-OR network).
+pub fn cover_cost(cover: &[Cube]) -> f64 {
+    cover.iter().map(|c| c.literals() as f64).sum::<f64>() + cover.len() as f64
+}
+
+// ---------------------------------------------------------------------
+// Nemani–Najm linear measure.
+// ---------------------------------------------------------------------
+
+/// The Nemani–Najm "linear measure" of one set (on-set or off-set):
+/// `C(set) = sum_i c_i p_i`, where the `c_i` are the distinct literal
+/// counts of the essential primes and `p_i` the probability mass of
+/// minterms covered by essential primes of that literal count but by none
+/// with fewer literals (i.e., none of any larger cube size).
+pub fn linear_measure(n: u32, minterms: &[u32]) -> f64 {
+    if minterms.is_empty() {
+        return 0.0;
+    }
+    let primes = prime_implicants(n, minterms);
+    let essential = essential_primes(n, minterms, &primes);
+    if essential.is_empty() {
+        // Fall back to the full prime set (completely cyclic covers).
+        return linear_measure_over(n, minterms, &primes);
+    }
+    linear_measure_over(n, minterms, &essential)
+}
+
+fn linear_measure_over(n: u32, minterms: &[u32], cubes: &[Cube]) -> f64 {
+    let total = 2f64.powi(n as i32);
+    // Distinct literal counts, ascending (fewest literals = largest cube
+    // first).
+    let mut sizes: Vec<u32> = cubes.iter().map(|c| c.literals()).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut measure = 0.0;
+    let mut claimed: Vec<u32> = Vec::new();
+    for &lit in &sizes {
+        let layer: Vec<&Cube> = cubes.iter().filter(|c| c.literals() == lit).collect();
+        let newly: Vec<u32> = minterms
+            .iter()
+            .copied()
+            .filter(|&m| !claimed.contains(&m) && layer.iter().any(|c| c.covers(m)))
+            .collect();
+        measure += lit as f64 * newly.len() as f64 / total;
+        claimed.extend(newly);
+    }
+    measure
+}
+
+/// Combined area-complexity measure `C(f) = (C1(f) + C0(f)) / 2` over the
+/// on-set and off-set.
+pub fn area_complexity(n: u32, on_set: &[u32]) -> f64 {
+    let full: Vec<u32> = (0..(1u32 << n)).collect();
+    let off_set: Vec<u32> = full.into_iter().filter(|m| !on_set.contains(m)).collect();
+    (linear_measure(n, on_set) + linear_measure(n, &off_set)) / 2.0
+}
+
+/// The exponential regression `A(f) ≈ a * exp(b * C(f))` the Nemani–Najm
+/// paper fits between optimized area and the complexity measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaRegression {
+    /// Multiplicative constant.
+    pub a: f64,
+    /// Exponent slope.
+    pub b: f64,
+}
+
+impl AreaRegression {
+    /// Fits `ln A = ln a + b C` by least squares over (complexity, area)
+    /// samples with positive areas.
+    pub fn fit(samples: &[(f64, f64)]) -> AreaRegression {
+        let rows: Vec<Vec<f64>> =
+            samples.iter().filter(|s| s.1 > 0.0).map(|&(c, _)| vec![c, 1.0]).collect();
+        let ys: Vec<f64> =
+            samples.iter().filter(|s| s.1 > 0.0).map(|&(_, a)| a.ln()).collect();
+        match least_squares(&rows, &ys) {
+            Some(coefs) => AreaRegression { a: coefs[1].exp(), b: coefs[0] },
+            None => AreaRegression { a: 1.0, b: 0.0 },
+        }
+    }
+
+    /// Predicted area for a complexity value.
+    pub fn predict(&self, complexity: f64) -> f64 {
+        self.a * (self.b * complexity).exp()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chip estimation system (gate-equivalent) model.
+// ---------------------------------------------------------------------
+
+/// The gate-equivalent "chip estimation system" parameters (survey ref
+/// \[14\]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipEstimationModel {
+    /// Average internal energy per equivalent gate per transition, in
+    /// femtojoules.
+    pub energy_gate_fj: f64,
+    /// Average capacitive load per equivalent gate, in femtofarads.
+    pub c_load_ff: f64,
+    /// Supply voltage, in volts.
+    pub vdd: f64,
+    /// Clock frequency, in megahertz.
+    pub clock_mhz: f64,
+}
+
+impl ChipEstimationModel {
+    /// `Power = f * N * (Energy_gate + 0.5 V^2 C_load) * E_gate`, in
+    /// microwatts, for `gate_equivalents` equivalent gates at average
+    /// output activity `e_gate` (transitions per gate per cycle).
+    pub fn power_uw(&self, gate_equivalents: f64, e_gate: f64) -> f64 {
+        let f_hz = self.clock_mhz * 1e6;
+        let energy_fj = self.energy_gate_fj + 0.5 * self.vdd * self.vdd * self.c_load_ff;
+        f_hz * gate_equivalents * energy_fj * 1e-15 * e_gate * 1e6
+    }
+}
+
+// ---------------------------------------------------------------------
+// Landman–Rabaey controller model.
+// ---------------------------------------------------------------------
+
+/// The §II-B2 FSM controller power model `Power = 0.5 V^2 f (N_I C_I E_I
+/// + N_O C_O E_O) N_M` with regression-fitted capacitance coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerModel {
+    /// Input-side regression capacitance, in femtofarads.
+    pub c_i_ff: f64,
+    /// Output-side regression capacitance, in femtofarads.
+    pub c_o_ff: f64,
+}
+
+/// The structural/activity features the controller model consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerFeatures {
+    /// External inputs plus state lines.
+    pub n_i: f64,
+    /// External outputs plus state lines.
+    pub n_o: f64,
+    /// Mean switching activity on input-side lines.
+    pub e_i: f64,
+    /// Mean switching activity on output-side lines.
+    pub e_o: f64,
+    /// Minterm count of the machine's combined next-state/output cover.
+    pub n_m: f64,
+}
+
+/// Extracts controller features from an STG under an encoding, using the
+/// Markov steady state for line activities and the explicit transition
+/// table for the minterm count.
+pub fn controller_features(
+    stg: &Stg,
+    markov: &MarkovAnalysis,
+    encoding: &Encoding,
+) -> ControllerFeatures {
+    let state_bits = encoding.bits() as f64;
+    let n_i = stg.input_bits() as f64 + state_bits;
+    let n_o = stg.output_bits() as f64 + state_bits;
+    // State-line activity per line.
+    let state_act = markov.expected_switching(stg, encoding) / state_bits.max(1.0);
+    // Input lines toggle like random symbols (uniform input model).
+    let e_i = (0.5 * stg.input_bits() as f64 + state_act * state_bits) / n_i;
+    // Output-line activity: expected output-word Hamming under the
+    // steady state.
+    let mut out_act = 0.0;
+    let mut prev_weighted = 0.0;
+    for s in 0..stg.state_count() {
+        for w in 0..stg.symbol_count() as u64 {
+            let p = markov.state_probs[s] * markov.input_probs[w as usize];
+            let o = stg.output(s, w).expect("in range");
+            // Approximate consecutive-output switching by the expected
+            // Hamming weight variation: toggle each output bit with
+            // probability 2 q (1-q), estimated from the bit's marginal.
+            prev_weighted += p * o.count_ones() as f64;
+        }
+    }
+    let out_bits = stg.output_bits() as f64;
+    let q = (prev_weighted / out_bits.max(1.0)).clamp(0.0, 1.0);
+    out_act += 2.0 * q * (1.0 - q);
+    let e_o = (out_act * out_bits + state_act * state_bits) / n_o;
+    // Minterm count: (state, input) pairs producing any asserted
+    // next-state or output bit.
+    let mut n_m = 0usize;
+    for s in 0..stg.state_count() {
+        for w in 0..stg.symbol_count() as u64 {
+            let next = encoding.code(stg.next(s, w).expect("in range"));
+            let out = stg.output(s, w).expect("in range");
+            if next != 0 || out != 0 {
+                n_m += 1;
+            }
+        }
+    }
+    ControllerFeatures { n_i, n_o, e_i, e_o, n_m: n_m as f64 }
+}
+
+impl ControllerModel {
+    /// Fits the coefficients by least squares over (features, measured
+    /// power in microwatts) samples from previously "designed" (i.e.,
+    /// synthesized and simulated) controllers.
+    pub fn fit(samples: &[(ControllerFeatures, f64)], vdd: f64, clock_mhz: f64) -> ControllerModel {
+        let f_hz = clock_mhz * 1e6;
+        let scale = 0.5 * vdd * vdd * f_hz * 1e-15 * 1e6;
+        let rows: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|(ft, _)| {
+                vec![scale * ft.n_i * ft.e_i * ft.n_m, scale * ft.n_o * ft.e_o * ft.n_m]
+            })
+            .collect();
+        let ys: Vec<f64> = samples.iter().map(|&(_, p)| p).collect();
+        // The two columns are often nearly collinear (controllers with
+        // symmetric input/output line counts); when the unconstrained fit
+        // turns a coefficient negative, refit on the other column alone
+        // instead of clamping (clamping a collinear pair wrecks the fit).
+        match least_squares(&rows, &ys) {
+            Some(c) if c[0] >= 0.0 && c[1] >= 0.0 => {
+                ControllerModel { c_i_ff: c[0], c_o_ff: c[1] }
+            }
+            Some(c) => {
+                let keep = if c[0] < 0.0 { 1 } else { 0 };
+                let single: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[keep]]).collect();
+                let coef = least_squares(&single, &ys).map_or(10.0, |v| v[0].max(0.0));
+                if keep == 0 {
+                    ControllerModel { c_i_ff: coef, c_o_ff: 0.0 }
+                } else {
+                    ControllerModel { c_i_ff: 0.0, c_o_ff: coef }
+                }
+            }
+            None => ControllerModel { c_i_ff: 10.0, c_o_ff: 10.0 },
+        }
+    }
+
+    /// Predicted controller power, in microwatts.
+    pub fn predict_uw(&self, ft: &ControllerFeatures, vdd: f64, clock_mhz: f64) -> f64 {
+        let f_hz = clock_mhz * 1e6;
+        0.5 * vdd
+            * vdd
+            * f_hz
+            * (ft.n_i * self.c_i_ff * ft.e_i + ft.n_o * self.c_o_ff * ft.e_o)
+            * ft.n_m
+            * 1e-15
+            * 1e6
+    }
+}
+
+/// A seeded random single-output function with on-set density `p`.
+pub fn random_function(n: u32, p: f64, seed: u64) -> Vec<u32> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..(1u32 << n)).filter(|_| rng.gen_bool(p)).collect()
+}
+
+/// Gate-count proxy for the optimized area of a single-output function
+/// (greedy two-level cover cost).
+pub fn optimized_area(n: u32, on_set: &[u32]) -> f64 {
+    if on_set.is_empty() {
+        return 0.0;
+    }
+    cover_cost(&greedy_cover(n, on_set))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qm_finds_textbook_primes() {
+        // f(a,b,c) = on-set {0,1,2,5,6,7}: classic example with primes
+        // a'b', b'c, a'c', bc', ab, ac.
+        let primes = prime_implicants(3, &[0, 1, 2, 5, 6, 7]);
+        assert_eq!(primes.len(), 6);
+        for p in &primes {
+            assert_eq!(p.literals(), 2);
+        }
+    }
+
+    #[test]
+    fn qm_full_cube() {
+        // Tautology: single prime with no literals.
+        let primes = prime_implicants(2, &[0, 1, 2, 3]);
+        assert_eq!(primes, vec![Cube { mask: 0, value: 0 }]);
+        assert_eq!(primes[0].coverage(2), 4);
+    }
+
+    #[test]
+    fn essential_primes_identified() {
+        // f = ab + cd over 4 vars: both products are essential.
+        let on: Vec<u32> = (0..16u32).filter(|m| (m & 3) == 3 || (m & 12) == 12).collect();
+        let primes = prime_implicants(4, &on);
+        let ess = essential_primes(4, &on, &primes);
+        assert_eq!(ess.len(), 2);
+        for e in &ess {
+            assert_eq!(e.literals(), 2);
+        }
+    }
+
+    #[test]
+    fn greedy_cover_covers_everything() {
+        let on = random_function(6, 0.4, 9);
+        let cover = greedy_cover(6, &on);
+        for &m in &on {
+            assert!(cover.iter().any(|c| c.covers(m)), "minterm {m} uncovered");
+        }
+        // And covers nothing outside the on-set.
+        for m in 0..(1u32 << 6) {
+            if !on.contains(&m) {
+                assert!(!cover.iter().any(|c| c.covers(m)), "off minterm {m} covered");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_measure_ranks_simplicity() {
+        // A single big cube is less complex than scattered minterms.
+        let simple: Vec<u32> = (0..16u32).filter(|m| m & 8 == 8).collect(); // f = a
+        let scattered = vec![0u32, 3, 5, 6, 9, 10, 12, 15]; // parity: worst case
+        let c_simple = area_complexity(4, &simple);
+        let c_scattered = area_complexity(4, &scattered);
+        assert!(c_simple < c_scattered, "{c_simple} vs {c_scattered}");
+    }
+
+    #[test]
+    fn area_regression_is_monotone_in_complexity() {
+        // Build samples across on-set densities; fit; check the curve is
+        // increasing when b > 0.
+        let mut samples = Vec::new();
+        for (i, p) in [0.05, 0.15, 0.3, 0.5].iter().enumerate() {
+            for seed in 0..6u64 {
+                let on = random_function(6, *p, seed * 31 + i as u64);
+                if on.is_empty() {
+                    continue;
+                }
+                samples.push((area_complexity(6, &on), optimized_area(6, &on)));
+            }
+        }
+        let reg = AreaRegression::fit(&samples);
+        assert!(reg.b > 0.0, "area grows with complexity (b = {})", reg.b);
+        assert!(reg.predict(3.0) > reg.predict(1.0));
+    }
+
+    #[test]
+    fn chip_estimation_scales_linearly() {
+        let m = ChipEstimationModel {
+            energy_gate_fj: 4.0,
+            c_load_ff: 12.0,
+            vdd: 3.3,
+            clock_mhz: 50.0,
+        };
+        let p1 = m.power_uw(1000.0, 0.2);
+        let p2 = m.power_uw(2000.0, 0.2);
+        let p3 = m.power_uw(1000.0, 0.4);
+        assert!((p2 / p1 - 2.0).abs() < 1e-9);
+        assert!((p3 / p1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn controller_model_fits_and_predicts() {
+        use hlpower_fsm::generators;
+        // Synthetic training: power proportional to the true formula with
+        // C_I = 30, C_O = 18 plus noise-free evaluation.
+        let truth = ControllerModel { c_i_ff: 30.0, c_o_ff: 18.0 };
+        let mut samples = Vec::new();
+        for seed in 0..8u64 {
+            let stg = generators::random_stg(2, 8 + seed as usize, 2, seed);
+            let m = MarkovAnalysis::uniform(&stg);
+            let enc = Encoding::binary(&stg);
+            let ft = controller_features(&stg, &m, &enc);
+            samples.push((ft, truth.predict_uw(&ft, 3.3, 50.0)));
+        }
+        let fitted = ControllerModel::fit(&samples, 3.3, 50.0);
+        assert!((fitted.c_i_ff - 30.0).abs() < 1.0, "C_I = {}", fitted.c_i_ff);
+        assert!((fitted.c_o_ff - 18.0).abs() < 1.0, "C_O = {}", fitted.c_o_ff);
+    }
+}

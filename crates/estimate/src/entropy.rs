@@ -1,0 +1,457 @@
+//! Information-theoretic power estimation (survey §II-B1).
+//!
+//! Entropy measures of the applied vector streams bound and approximate
+//! switching activity: under temporal independence the average switching
+//! activity of a line is at most half its entropy, so `Power ≈ 0.5 V^2 f
+//! C_tot E_avg` with `E_avg ≈ h_avg / 2`. The module provides the bit- and
+//! word-level stream entropies, the Marculescu closed-form and the
+//! Nemani–Najm form for the average line entropy, and the Cheng–Agrawal
+//! and Ferrandi total-capacitance estimates (the latter regression-fitted
+//! over the BDD sizes of a circuit family).
+
+use std::collections::HashMap;
+
+use hlpower_bdd::build_output_bdds;
+use hlpower_netlist::{Library, Netlist, NetlistError, ZeroDelaySim};
+
+use crate::stats::{least_squares, StreamStats};
+
+/// Binary entropy of a probability.
+pub fn binary_entropy(p: f64) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    let mut h = 0.0;
+    if p > 0.0 {
+        h -= p * p.log2();
+    }
+    if p < 1.0 {
+        h -= (1.0 - p) * (1.0 - p).log2();
+    }
+    h
+}
+
+/// Average per-bit entropy of a stream (the independence upper bound `h =
+/// -sum(q log q + (1-q) log(1-q)) / n` used for estimation).
+pub fn mean_bit_entropy(stats: &StreamStats) -> f64 {
+    if stats.bit_probs.is_empty() {
+        return 0.0;
+    }
+    stats.bit_probs.iter().map(|&q| binary_entropy(q)).sum::<f64>() / stats.bit_probs.len() as f64
+}
+
+/// Exact word-level entropy of a stream of vectors (feasible for modest
+/// widths/lengths; used to show the bit-level form is an upper bound).
+pub fn word_entropy(vectors: &[Vec<bool>]) -> f64 {
+    if vectors.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<&[bool], usize> = HashMap::new();
+    for v in vectors {
+        *counts.entry(v.as_slice()).or_default() += 1;
+    }
+    let n = vectors.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Marculescu et al. closed-form average line entropy for a linear gate
+/// distribution between `n` inputs and `m` outputs, from the average
+/// input/output bit entropies.
+///
+/// Degenerates gracefully when `h_in == h_out` (the formula's `ln(h_in /
+/// h_out)` singularity) by returning the mean of the two entropies.
+pub fn marculescu_avg_entropy(n: usize, m: usize, h_in: f64, h_out: f64) -> f64 {
+    let n = n as f64;
+    let m = m as f64;
+    if h_in <= 0.0 || h_out <= 0.0 {
+        return 0.0;
+    }
+    let ratio = h_in / h_out;
+    let l = ratio.ln();
+    if l.abs() < 1e-9 {
+        return 0.5 * (h_in + h_out);
+    }
+    let term = 1.0 - (m / n) * (h_out / h_in) - (1.0 - m / n) * (1.0 - h_out / h_in) / l;
+    (2.0 * n * h_in) / ((n + m) * l) * term
+}
+
+/// Nemani–Najm average line entropy from average *sectional* (word-level)
+/// entropies, approximated in practice by sums of bit-level entropies.
+pub fn nemani_najm_avg_entropy(n: usize, m: usize, h_in_total: f64, h_out_total: f64) -> f64 {
+    2.0 / (3.0 * (n + m) as f64) * (h_in_total + h_out_total)
+}
+
+/// Cheng–Agrawal total-capacitance (gate-complexity) estimate `C_tot =
+/// (m/n) 2^n h_out`, in equivalent-gate units. Known to be pessimistic
+/// for large `n`.
+pub fn cheng_agrawal_ctot(n: usize, m: usize, h_out: f64) -> f64 {
+    (m as f64 / n as f64) * 2f64.powi(n as i32) * h_out
+}
+
+/// Ferrandi et al. BDD-size capacitance model `C_tot = alpha (m/n) N
+/// h_out + beta` with regression-fitted coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FerrandiModel {
+    /// Slope coefficient.
+    pub alpha: f64,
+    /// Intercept.
+    pub beta: f64,
+}
+
+impl FerrandiModel {
+    /// Predicted total capacitance for a circuit with `n` inputs, `m`
+    /// outputs, shared-BDD node count `node_count`, and mean output bit
+    /// entropy `h_out`.
+    pub fn predict(&self, n: usize, m: usize, node_count: usize, h_out: f64) -> f64 {
+        self.alpha * (m as f64 / n as f64) * node_count as f64 * h_out + self.beta
+    }
+
+    /// Fits the model over a family of circuits: for each, the shared BDD
+    /// node count and output entropy are measured, and the "actual" total
+    /// capacitance comes from the netlist under the library.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any circuit is cyclic.
+    pub fn fit(
+        circuits: &[(&Netlist, f64)],
+        lib: &Library,
+    ) -> Result<FerrandiModel, NetlistError> {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for &(nl, h_out) in circuits {
+            let (m, roots) = build_output_bdds(nl)?;
+            let nodes = m.node_count_many(&roots);
+            let x = (nl.outputs().len() as f64 / nl.input_count().max(1) as f64)
+                * nodes as f64
+                * h_out;
+            rows.push(vec![x, 1.0]);
+            ys.push(nl.load_caps_ff(lib).iter().sum::<f64>());
+        }
+        let coefs = least_squares(&rows, &ys).unwrap_or(vec![1.0, 0.0]);
+        Ok(FerrandiModel { alpha: coefs[0], beta: coefs[1] })
+    }
+}
+
+/// An entropy-based power estimate for a circuit under a given input
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntropyEstimate {
+    /// Mean input bit entropy.
+    pub h_in: f64,
+    /// Mean output bit entropy (from fast functional simulation).
+    pub h_out: f64,
+    /// Average line entropy (Marculescu form).
+    pub h_avg_marculescu: f64,
+    /// Average line entropy (Nemani–Najm form).
+    pub h_avg_nemani_najm: f64,
+    /// Total capacitance used, in femtofarads.
+    pub c_tot_ff: f64,
+    /// Estimated average power (Marculescu h_avg), in microwatts.
+    pub power_uw_marculescu: f64,
+    /// Estimated average power (Nemani–Najm h_avg), in microwatts.
+    pub power_uw_nemani_najm: f64,
+}
+
+/// Produces the §II-B1 estimate: collect input entropy from the stream,
+/// run a *functional* (fast) simulation to get output entropy, take
+/// `C_tot` from the netlist structure, and set `E_avg = h_avg / 2`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists or
+/// [`NetlistError::EmptyStream`] for an empty stream.
+pub fn entropy_power_estimate(
+    netlist: &Netlist,
+    lib: &Library,
+    stream: impl IntoIterator<Item = Vec<bool>>,
+) -> Result<EntropyEstimate, NetlistError> {
+    let vectors: Vec<Vec<bool>> = stream.into_iter().collect();
+    if vectors.is_empty() {
+        return Err(NetlistError::EmptyStream);
+    }
+    let mut sim = ZeroDelaySim::new(netlist)?;
+    let mut out_vectors = Vec::with_capacity(vectors.len());
+    for v in &vectors {
+        sim.step(v)?;
+        out_vectors.push(sim.output_values());
+    }
+    let in_stats = StreamStats::collect(&vectors);
+    let out_stats = StreamStats::collect(&out_vectors);
+    let h_in = mean_bit_entropy(&in_stats);
+    let h_out = mean_bit_entropy(&out_stats);
+    let n = netlist.input_count();
+    let m = netlist.outputs().len();
+    let h_avg_m = marculescu_avg_entropy(n, m, h_in, h_out).clamp(0.0, 1.0);
+    let h_avg_nn =
+        nemani_najm_avg_entropy(n, m, h_in * n as f64, h_out * m as f64).clamp(0.0, 1.0);
+    let c_tot_ff: f64 = netlist.load_caps_ff(lib).iter().sum();
+    let f_hz = lib.clock_mhz * 1e6;
+    let to_uw = |h_avg: f64| {
+        0.5 * lib.vdd * lib.vdd * f_hz * (c_tot_ff * 1e-15) * (h_avg / 2.0) * 1e6
+    };
+    Ok(EntropyEstimate {
+        h_in,
+        h_out,
+        h_avg_marculescu: h_avg_m,
+        h_avg_nemani_najm: h_avg_nn,
+        c_tot_ff,
+        power_uw_marculescu: to_uw(h_avg_m),
+        power_uw_nemani_najm: to_uw(h_avg_nn),
+    })
+}
+
+/// An empirically precharacterized entropy transfer function for a
+/// library module: `h_out = g(h_in)` sampled by sweeping biased input
+/// streams and interpolated piecewise-linearly (§II-B1's "empirical
+/// entropy propagation techniques for precharacterized library modules").
+///
+/// Once characterized, output entropies — and hence `h_avg` and power —
+/// can be estimated for *new* input statistics without re-simulating the
+/// module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntropyMap {
+    /// Sampled (h_in, h_out) points, ascending in h_in.
+    points: Vec<(f64, f64)>,
+}
+
+impl EntropyMap {
+    /// Characterizes a module by driving it with iid biased streams across
+    /// a sweep of input-bit probabilities and recording the mean output
+    /// bit entropy at each input entropy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic modules.
+    pub fn characterize(
+        netlist: &Netlist,
+        cycles_per_point: usize,
+        seed: u64,
+    ) -> Result<EntropyMap, NetlistError> {
+        let mut sim = ZeroDelaySim::new(netlist)?;
+        let mut points = Vec::new();
+        for (i, &p) in [0.5, 0.6, 0.7, 0.8, 0.9, 0.96, 0.99].iter().enumerate() {
+            let vectors: Vec<Vec<bool>> =
+                hlpower_netlist::streams::biased(seed + i as u64, netlist.input_count(), p)
+                    .take(cycles_per_point)
+                    .collect();
+            let mut out_vectors = Vec::with_capacity(vectors.len());
+            for v in &vectors {
+                sim.step(v)?;
+                out_vectors.push(sim.output_values());
+            }
+            let h_in = mean_bit_entropy(&StreamStats::collect(&vectors));
+            let h_out = mean_bit_entropy(&StreamStats::collect(&out_vectors));
+            points.push((h_in, h_out));
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite entropies"));
+        Ok(EntropyMap { points })
+    }
+
+    /// Predicted output bit entropy for a given input bit entropy
+    /// (piecewise-linear interpolation, clamped at the sampled range).
+    pub fn predict(&self, h_in: f64) -> f64 {
+        let pts = &self.points;
+        if pts.is_empty() {
+            return 0.0;
+        }
+        if h_in <= pts[0].0 {
+            return pts[0].1;
+        }
+        if h_in >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        for w in pts.windows(2) {
+            if h_in >= w[0].0 && h_in <= w[1].0 {
+                let t = (h_in - w[0].0) / (w[1].0 - w[0].0).max(1e-12);
+                return w[0].1 + t * (w[1].1 - w[0].1);
+            }
+        }
+        pts[pts.len() - 1].1
+    }
+
+    /// The sampled characterization points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlpower_netlist::{gen, streams};
+
+    #[test]
+    fn binary_entropy_extremes() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!(binary_entropy(0.1) < binary_entropy(0.3));
+    }
+
+    #[test]
+    fn bit_entropy_upper_bounds_word_entropy_per_bit() {
+        // Correlated bits: word entropy strictly below the independence
+        // bound.
+        let vectors: Vec<Vec<bool>> =
+            (0..512).map(|i| vec![i % 2 == 0, i % 2 == 0, i % 4 < 2]).collect();
+        let stats = StreamStats::collect(&vectors);
+        let bit_h_total: f64 = stats.bit_probs.iter().map(|&p| binary_entropy(p)).sum();
+        let word_h = word_entropy(&vectors);
+        assert!(word_h <= bit_h_total + 1e-9, "{word_h} vs {bit_h_total}");
+        assert!(word_h < bit_h_total - 0.5, "correlation should show");
+    }
+
+    #[test]
+    fn switching_bounded_by_half_entropy_random_stream() {
+        // For an iid stream with p=0.9: activity 2p(1-p)=0.18, entropy
+        // h(0.9)=0.469, bound h/2 = 0.234 >= 0.18.
+        let vectors: Vec<Vec<bool>> = streams::biased(3, 16, 0.9).take(4000).collect();
+        let s = StreamStats::collect(&vectors);
+        assert!(s.mean_activity() <= mean_bit_entropy(&s) / 2.0 + 0.01);
+    }
+
+    #[test]
+    fn marculescu_degenerate_case() {
+        let h = marculescu_avg_entropy(8, 8, 0.9, 0.9);
+        assert!((h - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marculescu_interpolates_between_entropies() {
+        let h = marculescu_avg_entropy(16, 4, 1.0, 0.3);
+        assert!(h > 0.3 && h < 1.0, "h = {h}");
+    }
+
+    #[test]
+    fn cheng_agrawal_grows_exponentially() {
+        assert!(cheng_agrawal_ctot(16, 8, 0.9) > 100.0 * cheng_agrawal_ctot(8, 8, 0.9));
+    }
+
+    #[test]
+    fn entropy_estimate_tracks_simulated_power() {
+        // The headline §II-B1 check: the entropy estimate lands within a
+        // small factor of gate-level simulation on an adder.
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 8);
+        let b = nl.input_bus("b", 8);
+        let c0 = nl.constant(false);
+        let s = gen::ripple_adder(&mut nl, &a, &b, c0);
+        nl.output_bus("s", &s);
+        let lib = Library::default();
+        let est =
+            entropy_power_estimate(&nl, &lib, streams::random(5, nl.input_count()).take(3000))
+                .unwrap();
+        let mut sim = ZeroDelaySim::new(&nl).unwrap();
+        let act = sim.run(streams::random(5, nl.input_count()).take(3000));
+        let truth = act.power(&nl, &lib).net_power_uw;
+        for est_p in [est.power_uw_marculescu, est.power_uw_nemani_najm] {
+            let ratio = est_p / truth;
+            assert!((0.2..5.0).contains(&ratio), "ratio {ratio} (est {est_p}, truth {truth})");
+        }
+    }
+
+    #[test]
+    fn low_entropy_stream_lowers_estimate() {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 8);
+        let b = nl.input_bus("b", 8);
+        let c0 = nl.constant(false);
+        let s = gen::ripple_adder(&mut nl, &a, &b, c0);
+        nl.output_bus("s", &s);
+        let lib = Library::default();
+        let hi = entropy_power_estimate(&nl, &lib, streams::random(1, 16).take(2000)).unwrap();
+        let lo =
+            entropy_power_estimate(&nl, &lib, streams::biased(1, 16, 0.97).take(2000)).unwrap();
+        assert!(lo.power_uw_marculescu < hi.power_uw_marculescu);
+        assert!(lo.h_in < hi.h_in);
+    }
+
+    #[test]
+    fn ferrandi_model_fits_circuit_family() {
+        let lib = Library::default();
+        let mut family = Vec::new();
+        for bits in 2..7usize {
+            let mut nl = Netlist::new();
+            let a = nl.input_bus("a", bits);
+            let b = nl.input_bus("b", bits);
+            let c0 = nl.constant(false);
+            let s = gen::ripple_adder(&mut nl, &a, &b, c0);
+            nl.output_bus("s", &s);
+            family.push(nl);
+        }
+        let with_h: Vec<(&Netlist, f64)> = family.iter().map(|nl| (nl, 0.95)).collect();
+        let model = FerrandiModel::fit(&with_h, &lib).unwrap();
+        // The fitted model should predict the family's capacitances with
+        // bounded relative error.
+        for nl in &family {
+            let (m, roots) = build_output_bdds(nl).unwrap();
+            let nodes = m.node_count_many(&roots);
+            let pred = model.predict(nl.input_count(), nl.outputs().len(), nodes, 0.95);
+            let actual: f64 = nl.load_caps_ff(&lib).iter().sum();
+            let rel = (pred - actual).abs() / actual;
+            assert!(rel < 0.35, "rel {rel} (pred {pred:.0}, actual {actual:.0})");
+        }
+    }
+
+    #[test]
+    fn entropy_map_predicts_unseen_bias() {
+        // Characterize an adder, then predict h_out for a bias not in the
+        // sweep and compare with direct simulation.
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 6);
+        let b = nl.input_bus("b", 6);
+        let c0 = nl.constant(false);
+        let s = gen::ripple_adder(&mut nl, &a, &b, c0);
+        nl.output_bus("s", &s);
+        let map = EntropyMap::characterize(&nl, 3000, 1).unwrap();
+        assert!(map.points().len() >= 5);
+        // Probe bias p = 0.75 (between sweep points 0.7 and 0.8).
+        let probe: Vec<Vec<bool>> = streams::biased(99, 12, 0.75).take(4000).collect();
+        let mut sim = ZeroDelaySim::new(&nl).unwrap();
+        let mut outs = Vec::new();
+        for v in &probe {
+            sim.step(v).unwrap();
+            outs.push(sim.output_values());
+        }
+        let h_in = mean_bit_entropy(&StreamStats::collect(&probe));
+        let h_out_true = mean_bit_entropy(&StreamStats::collect(&outs));
+        let h_out_pred = map.predict(h_in);
+        assert!(
+            (h_out_pred - h_out_true).abs() < 0.05,
+            "pred {h_out_pred:.3} vs true {h_out_true:.3}"
+        );
+    }
+
+    #[test]
+    fn entropy_map_is_monotone_for_adders() {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 5);
+        let b = nl.input_bus("b", 5);
+        let c0 = nl.constant(false);
+        let s = gen::ripple_adder(&mut nl, &a, &b, c0);
+        nl.output_bus("s", &s);
+        let map = EntropyMap::characterize(&nl, 2000, 2).unwrap();
+        // Higher input entropy never reduces the adder's output entropy.
+        for w in map.points().windows(2) {
+            assert!(w[1].1 >= w[0].1 - 0.03, "{:?}", map.points());
+        }
+        // Clamping beyond the sampled range.
+        assert_eq!(map.predict(-1.0), map.points()[0].1);
+        assert_eq!(map.predict(99.0), map.points()[map.points().len() - 1].1);
+    }
+
+    #[test]
+    fn empty_stream_is_error() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        nl.set_output("y", a);
+        let lib = Library::default();
+        let err = entropy_power_estimate(&nl, &lib, Vec::<Vec<bool>>::new());
+        assert!(matches!(err, Err(NetlistError::EmptyStream)));
+    }
+}

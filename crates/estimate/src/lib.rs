@@ -1,0 +1,37 @@
+//! High-level power estimation models (survey §II).
+//!
+//! Four families, each validated against gate-level simulation from
+//! [`hlpower_netlist`]:
+//!
+//! * [`entropy`] — information-theoretic models (§II-B1): stream entropies,
+//!   the Marculescu and Nemani–Najm average-line-entropy formulas, the
+//!   Cheng–Agrawal and Ferrandi total-capacitance estimates.
+//! * [`complexity`] — complexity-based models (§II-B2): gate-equivalent
+//!   "chip estimation", the Nemani–Najm linear-measure area model over
+//!   essential prime implicants (via Quine–McCluskey), the Landman–Rabaey
+//!   controller model.
+//! * [`macromodel`] — regression macro-models (§II-C1): power-factor
+//!   approximation, dual-bit-type, bitwise, input–output, 3-D table, and
+//!   stepwise F-test variable selection.
+//! * [`sampling`] — sampling-based co-simulation (§II-C2): census, sampler
+//!   and adaptive (ratio-estimator) macro-modeling.
+//! * [`memory`] — the Liu–Svensson parametric on-chip memory power model
+//!   (§II-C1, reference 42).
+//!
+//! Shared numerics (least squares, F statistics, stream statistics) live
+//! in [`stats`].
+
+#![warn(missing_docs)]
+
+// Matrix- and table-style numerics read more clearly with explicit index
+// loops; silence clippy's iterator-style suggestion for them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod stats;
+pub mod entropy;
+pub mod complexity;
+pub mod macromodel;
+pub mod memory;
+pub mod sampling;
+
+pub use macromodel::{MacroModelKind, ModuleHarness, TrainedMacroModel};

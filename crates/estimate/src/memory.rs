@@ -1,0 +1,193 @@
+//! The Liu–Svensson parametric on-chip memory power model (survey §II-C1,
+//! reference 42).
+//!
+//! A `2^n`-word SRAM organized as `2^(n-k)` rows by `2^k` columns
+//! dissipates, per access:
+//!
+//! 1. cell-array precharge/evaluate: `0.5 * V * V_swing * 2^k * (C_int +
+//!    2^(n-k) * C_tr)` — every cell on the selected row drives bit or
+//!    bit-bar;
+//! 2. row decoder switching;
+//! 3. word-line drive for the selected row;
+//! 4. column-select multiplexing;
+//! 5. sense amplifiers and read-out inverters.
+//!
+//! The column split `k` trades bit-line capacitance (tall arrays, small
+//! `k`) against word-line and column-mux capacitance (wide arrays, large
+//! `k`); the model exposes the whole curve and its optimum.
+
+/// Electrical parameters of the memory model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// Supply voltage, in volts.
+    pub vdd: f64,
+    /// Bit-line voltage swing, in volts (often reduced for reads).
+    pub v_swing: f64,
+    /// Wiring-related row capacitance per memory cell, in femtofarads.
+    pub c_int_ff: f64,
+    /// Drain capacitance one cell presents to its bit line, in femtofarads.
+    pub c_tr_ff: f64,
+    /// Capacitance per row-decoder node, in femtofarads.
+    pub c_decode_ff: f64,
+    /// Word-line capacitance per cell on the row, in femtofarads.
+    pub c_wordline_ff: f64,
+    /// Column-select capacitance per column, in femtofarads.
+    pub c_colsel_ff: f64,
+    /// Sense-amplifier + readout energy per accessed word bit, in
+    /// femtojoules.
+    pub e_sense_fj: f64,
+    /// Word width in bits.
+    pub word_bits: u32,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel {
+            vdd: 3.3,
+            v_swing: 0.6,
+            c_int_ff: 1.8,
+            c_tr_ff: 1.1,
+            c_decode_ff: 9.0,
+            c_wordline_ff: 2.2,
+            c_colsel_ff: 6.0,
+            e_sense_fj: 45.0,
+            word_bits: 16,
+        }
+    }
+}
+
+/// Per-access energy breakdown of one organization, in femtojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryAccessEnergy {
+    /// log2 of the total word count.
+    pub n: u32,
+    /// log2 of the column count.
+    pub k: u32,
+    /// Cell-array (bit-line) energy.
+    pub cell_array_fj: f64,
+    /// Row-decoder energy.
+    pub decoder_fj: f64,
+    /// Word-line drive energy.
+    pub wordline_fj: f64,
+    /// Column-select energy.
+    pub column_select_fj: f64,
+    /// Sense amplifier + readout energy.
+    pub sense_fj: f64,
+}
+
+impl MemoryAccessEnergy {
+    /// Total energy per access, in femtojoules.
+    pub fn total_fj(&self) -> f64 {
+        self.cell_array_fj
+            + self.decoder_fj
+            + self.wordline_fj
+            + self.column_select_fj
+            + self.sense_fj
+    }
+}
+
+impl MemoryModel {
+    /// Energy of one access to a `2^n`-word array with `2^k` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n` or `n > 30`.
+    pub fn access_energy(&self, n: u32, k: u32) -> MemoryAccessEnergy {
+        assert!(k <= n, "column split k={k} exceeds address bits n={n}");
+        assert!(n <= 30, "model capped at 2^30 words");
+        let cols = 2f64.powi(k as i32) * self.word_bits as f64;
+        let rows = 2f64.powi((n - k) as i32);
+        // (1) bit lines: every cell on the selected row swings its bit line
+        // through V_swing; line capacitance is wiring plus one drain per
+        // row.
+        let cell_array_fj =
+            0.5 * self.vdd * self.v_swing * cols * (self.c_int_ff + rows * self.c_tr_ff);
+        // (2) decoder: ~log2(rows) stages of fanout (n-k) each switching.
+        let decoder_fj =
+            0.5 * self.vdd * self.vdd * self.c_decode_ff * (n - k) as f64 * rows.log2().max(1.0);
+        // (3) word line: full-swing across all columns of the row.
+        let wordline_fj = 0.5 * self.vdd * self.vdd * self.c_wordline_ff * cols;
+        // (4) column select: one-of-2^k mux per output bit.
+        let column_select_fj =
+            0.5 * self.vdd * self.vdd * self.c_colsel_ff * 2f64.powi(k as i32);
+        // (5) sense amps on the accessed word.
+        let sense_fj = self.e_sense_fj * self.word_bits as f64;
+        MemoryAccessEnergy {
+            n,
+            k,
+            cell_array_fj,
+            decoder_fj,
+            wordline_fj,
+            column_select_fj,
+            sense_fj,
+        }
+    }
+
+    /// The per-access energy curve over all feasible column splits.
+    pub fn energy_curve(&self, n: u32) -> Vec<MemoryAccessEnergy> {
+        (0..=n).map(|k| self.access_energy(n, k)).collect()
+    }
+
+    /// The column split minimizing per-access energy.
+    pub fn optimal_split(&self, n: u32) -> MemoryAccessEnergy {
+        self.energy_curve(n)
+            .into_iter()
+            .min_by(|a, b| a.total_fj().partial_cmp(&b.total_fj()).expect("finite"))
+            .expect("n >= 0 yields at least one organization")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_memories_cost_more_per_access() {
+        let m = MemoryModel::default();
+        let e10 = m.optimal_split(10).total_fj();
+        let e14 = m.optimal_split(14).total_fj();
+        let e18 = m.optimal_split(18).total_fj();
+        assert!(e10 < e14 && e14 < e18);
+    }
+
+    #[test]
+    fn optimum_is_interior_for_large_arrays() {
+        // Extreme organizations (single column / single row) waste energy
+        // on bit lines or word lines respectively; the optimum balances.
+        let m = MemoryModel::default();
+        let n = 16;
+        let best = m.optimal_split(n);
+        assert!(best.k > 0 && best.k < n, "optimal k = {}", best.k);
+        let tall = m.access_energy(n, 0).total_fj();
+        let wide = m.access_energy(n, n).total_fj();
+        assert!(best.total_fj() < tall);
+        assert!(best.total_fj() < wide);
+    }
+
+    #[test]
+    fn cell_array_term_matches_formula() {
+        let m = MemoryModel::default();
+        let e = m.access_energy(12, 4);
+        let cols = 16.0 * m.word_bits as f64;
+        let rows = 256.0;
+        let expect = 0.5 * m.vdd * m.v_swing * cols * (m.c_int_ff + rows * m.c_tr_ff);
+        assert!((e.cell_array_fj - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduced_swing_cuts_bitline_energy_linearly() {
+        let hi = MemoryModel::default();
+        let mut lo = hi;
+        lo.v_swing = hi.v_swing / 2.0;
+        let a = hi.access_energy(14, 5);
+        let b = lo.access_energy(14, 5);
+        assert!((a.cell_array_fj / b.cell_array_fj - 2.0).abs() < 1e-9);
+        assert_eq!(a.sense_fj, b.sense_fj);
+    }
+
+    #[test]
+    #[should_panic(expected = "column split")]
+    fn k_beyond_n_panics() {
+        MemoryModel::default().access_energy(8, 9);
+    }
+}

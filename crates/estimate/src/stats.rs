@@ -1,0 +1,266 @@
+//! Shared statistics: least-squares regression, F tests, confidence
+//! intervals, and bit-stream statistics.
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (0 for fewer than two points).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Normal-approximation confidence half-width of the mean at multiplier
+/// `z`.
+pub fn ci_half_width(xs: &[f64], z: f64) -> f64 {
+    if xs.len() < 2 {
+        return f64::INFINITY;
+    }
+    z * (variance(xs) / xs.len() as f64).sqrt()
+}
+
+/// Ordinary least squares: solves `min ||X b - y||` via the normal
+/// equations with partial-pivot Gaussian elimination (plus a tiny ridge
+/// for rank safety). `rows` are the feature vectors (all the same
+/// length).
+///
+/// Returns the coefficient vector, or `None` when there is no data or the
+/// rows are inconsistent in length.
+pub fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    if rows.is_empty() || rows.len() != y.len() {
+        return None;
+    }
+    let p = rows[0].len();
+    if p == 0 || rows.iter().any(|r| r.len() != p) {
+        return None;
+    }
+    // Normal equations: (X'X + eps I) b = X'y.
+    let mut a = vec![vec![0.0f64; p + 1]; p];
+    for (r, &yi) in rows.iter().zip(y) {
+        for i in 0..p {
+            for j in 0..p {
+                a[i][j] += r[i] * r[j];
+            }
+            a[i][p] += r[i] * yi;
+        }
+    }
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += 1e-9;
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..p {
+        let pivot = (col..p)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("non-empty range");
+        a.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-30 {
+            return None;
+        }
+        for row in col + 1..p {
+            let f = a[row][col] / diag;
+            for k in col..=p {
+                a[row][k] -= f * a[col][k];
+            }
+        }
+    }
+    let mut b = vec![0.0f64; p];
+    for i in (0..p).rev() {
+        let mut s = a[i][p];
+        for j in i + 1..p {
+            s -= a[i][j] * b[j];
+        }
+        b[i] = s / a[i][i];
+    }
+    Some(b)
+}
+
+/// Residual sum of squares of a fitted linear model.
+pub fn rss(rows: &[Vec<f64>], y: &[f64], coefs: &[f64]) -> f64 {
+    rows.iter()
+        .zip(y)
+        .map(|(r, &yi)| {
+            let pred: f64 = r.iter().zip(coefs).map(|(x, c)| x * c).sum();
+            (yi - pred).powi(2)
+        })
+        .sum()
+}
+
+/// Partial F statistic for adding `extra` parameters: `F = ((rss_small -
+/// rss_big) / extra) / (rss_big / (n - p_big))`. Large values mean the
+/// extra variables explain real variance (the `F*` test of the Wu
+/// macro-model construction).
+pub fn f_statistic(rss_small: f64, rss_big: f64, extra: usize, n: usize, p_big: usize) -> f64 {
+    if n <= p_big || extra == 0 {
+        return 0.0;
+    }
+    let denom = rss_big / (n - p_big) as f64;
+    if denom <= 0.0 {
+        return f64::INFINITY;
+    }
+    ((rss_small - rss_big) / extra as f64) / denom
+}
+
+/// Forward stepwise variable selection with an F-to-enter threshold.
+/// Returns the selected column indices (always at least one if any column
+/// helps; an intercept column should be included by the caller).
+pub fn stepwise_select(rows: &[Vec<f64>], y: &[f64], f_enter: f64) -> Vec<usize> {
+    let p = rows.first().map_or(0, |r| r.len());
+    let n = rows.len();
+    let mut selected: Vec<usize> = Vec::new();
+    let mut current_rss = y.iter().map(|v| v * v).sum::<f64>();
+    loop {
+        let mut best: Option<(f64, usize, f64)> = None; // (F, col, new_rss)
+        for col in 0..p {
+            if selected.contains(&col) {
+                continue;
+            }
+            let mut cols = selected.clone();
+            cols.push(col);
+            let sub: Vec<Vec<f64>> =
+                rows.iter().map(|r| cols.iter().map(|&c| r[c]).collect()).collect();
+            let Some(coefs) = least_squares(&sub, y) else { continue };
+            let new_rss = rss(&sub, y, &coefs);
+            let f = f_statistic(current_rss, new_rss, 1, n, cols.len());
+            if best.as_ref().is_none_or(|(bf, _, _)| f > *bf) {
+                best = Some((f, col, new_rss));
+            }
+        }
+        match best {
+            Some((f, col, new_rss)) if f > f_enter => {
+                selected.push(col);
+                current_rss = new_rss;
+            }
+            _ => break,
+        }
+    }
+    selected
+}
+
+/// Per-bit signal statistics of a bit-vector stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Probability of each bit being 1.
+    pub bit_probs: Vec<f64>,
+    /// Toggle probability of each bit.
+    pub bit_activities: Vec<f64>,
+    /// Number of vectors observed.
+    pub samples: usize,
+}
+
+impl StreamStats {
+    /// Collects statistics from a stream of equal-width vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if vectors disagree in width.
+    pub fn collect<'a>(vectors: impl IntoIterator<Item = &'a Vec<bool>>) -> StreamStats {
+        let mut it = vectors.into_iter();
+        let Some(first) = it.next() else {
+            return StreamStats { bit_probs: Vec::new(), bit_activities: Vec::new(), samples: 0 };
+        };
+        let w = first.len();
+        let mut ones = vec![0u64; w];
+        let mut toggles = vec![0u64; w];
+        let mut prev = first.clone();
+        let mut n = 1usize;
+        for (i, &b) in first.iter().enumerate() {
+            ones[i] += b as u64;
+        }
+        for v in it {
+            assert_eq!(v.len(), w, "stream width changed");
+            for i in 0..w {
+                ones[i] += v[i] as u64;
+                toggles[i] += (v[i] != prev[i]) as u64;
+            }
+            prev = v.clone();
+            n += 1;
+        }
+        StreamStats {
+            bit_probs: ones.iter().map(|&o| o as f64 / n as f64).collect(),
+            bit_activities: toggles
+                .iter()
+                .map(|&t| if n > 1 { t as f64 / (n - 1) as f64 } else { 0.0 })
+                .collect(),
+            samples: n,
+        }
+    }
+
+    /// Mean bit probability.
+    pub fn mean_prob(&self) -> f64 {
+        mean(&self.bit_probs)
+    }
+
+    /// Mean bit activity (toggle probability).
+    pub fn mean_activity(&self) -> f64 {
+        mean(&self.bit_activities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_coefficients() {
+        // y = 2 x0 - 3 x1 + 1 (intercept as third column).
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64, 1.0])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 1.0).collect();
+        let b = least_squares(&rows, &y).unwrap();
+        assert!((b[0] - 2.0).abs() < 1e-6);
+        assert!((b[1] + 3.0).abs() < 1e-6);
+        assert!((b[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn least_squares_rejects_bad_shapes() {
+        assert!(least_squares(&[], &[]).is_none());
+        assert!(least_squares(&[vec![1.0]], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn f_statistic_flags_useful_variables() {
+        // y depends strongly on x0, not on noise column x1.
+        let rows: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![i as f64, ((i * 37) % 11) as f64, 1.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 5.0 * r[0] + 0.5).collect();
+        let selected = stepwise_select(&rows, &y, 4.0);
+        assert!(selected.contains(&0));
+        assert!(!selected.contains(&1));
+    }
+
+    #[test]
+    fn stream_stats_on_alternating_bits() {
+        let vectors: Vec<Vec<bool>> = (0..100).map(|i| vec![i % 2 == 0, true]).collect();
+        let s = StreamStats::collect(&vectors);
+        assert!((s.bit_probs[0] - 0.5).abs() < 0.01);
+        assert!((s.bit_activities[0] - 1.0).abs() < 1e-12);
+        assert_eq!(s.bit_activities[1], 0.0);
+        assert_eq!(s.bit_probs[1], 1.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let small: Vec<f64> = (0..10).map(|i| (i % 3) as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 3) as f64).collect();
+        assert!(ci_half_width(&large, 1.96) < ci_half_width(&small, 1.96));
+    }
+}

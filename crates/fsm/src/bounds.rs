@@ -1,0 +1,110 @@
+//! Tyagi's entropic lower bounds on FSM switching (survey §II-B1, ref
+//! \[13\]).
+//!
+//! For a sparse machine (transition-pair count `t <= 2.23 * T^1.72 /
+//! sqrt(log T)` over `T` states) the expected Hamming distance per
+//! transition is bounded below by
+//!
+//! ```text
+//! sum_{i,j} p_ij H(s_i, s_j) >= h(p_ij) - 1.52 log T - 2.16 + 0.5 log(log T)
+//! ```
+//!
+//! *regardless of the state encoding used*.
+
+use crate::encode::Encoding;
+use crate::markov::MarkovAnalysis;
+use crate::stg::Stg;
+
+/// The two sides of Tyagi's bound for a machine under an encoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TyagiBoundReport {
+    /// Measured expected Hamming distance per cycle (left-hand side).
+    pub expected_hamming: f64,
+    /// The entropic lower bound (right-hand side; may be negative, in
+    /// which case it is trivially satisfied).
+    pub lower_bound: f64,
+    /// Entropy of the steady-state joint transition distribution.
+    pub transition_entropy: f64,
+    /// Whether the machine satisfies the sparsity precondition.
+    pub is_sparse: bool,
+}
+
+impl TyagiBoundReport {
+    /// Whether the measured switching respects the bound.
+    pub fn holds(&self) -> bool {
+        self.expected_hamming >= self.lower_bound - 1e-9
+    }
+}
+
+/// Evaluates Tyagi's entropic lower bound for `stg` under `encoding`,
+/// using `markov` for steady-state transition probabilities.
+pub fn tyagi_bound(stg: &Stg, markov: &MarkovAnalysis, encoding: &Encoding) -> TyagiBoundReport {
+    let t_states = stg.state_count() as f64;
+    let t_transitions = stg.transition_pair_count() as f64;
+    let log_t = t_states.max(2.0).log2();
+    let sparse_limit = 2.23 * t_states.powf(1.72) / log_t.sqrt();
+    let h = markov.transition_entropy(stg);
+    let lower_bound = h - 1.52 * log_t - 2.16 + 0.5 * log_t.max(1.0 + 1e-12).log2();
+    TyagiBoundReport {
+        expected_hamming: markov.expected_switching(stg, encoding),
+        lower_bound,
+        transition_entropy: h,
+        is_sparse: t_transitions <= sparse_limit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::EncodingStrategy;
+    use crate::generators;
+
+    #[test]
+    fn bound_holds_on_random_machines_for_every_encoding() {
+        for seed in 0..8u64 {
+            let stg = generators::random_stg(2, 24, 1, seed);
+            let m = MarkovAnalysis::uniform(&stg);
+            for strategy in [
+                EncodingStrategy::Binary,
+                EncodingStrategy::Gray,
+                EncodingStrategy::OneHot,
+                EncodingStrategy::Random(seed),
+                EncodingStrategy::LowPower(seed),
+            ] {
+                let enc = Encoding::with_strategy(&stg, &m, strategy);
+                let report = tyagi_bound(&stg, &m, &enc);
+                assert!(
+                    report.holds(),
+                    "seed {seed} strategy {strategy:?}: H {} < bound {}",
+                    report.expected_hamming,
+                    report.lower_bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_matches_markov() {
+        let stg = generators::random_stg(2, 8, 1, 3);
+        let m = MarkovAnalysis::uniform(&stg);
+        let enc = Encoding::binary(&stg);
+        let r = tyagi_bound(&stg, &m, &enc);
+        assert!((r.transition_entropy - m.transition_entropy(&stg)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsity_flag_reflects_transition_count() {
+        // A fully-connected tiny machine is not sparse; a ring is.
+        let mut ring = Stg::new(1);
+        for i in 0..16 {
+            ring.add_state(format!("s{i}"));
+        }
+        for i in 0..16 {
+            ring.set_transition(i, 0, (i + 1) % 16, 0);
+            ring.set_transition(i, 1, (i + 1) % 16, 0);
+        }
+        let m = MarkovAnalysis::uniform(&ring);
+        let r = tyagi_bound(&ring, &m, &Encoding::binary(&ring));
+        assert!(r.is_sparse);
+    }
+}

@@ -1,0 +1,217 @@
+//! FSM decomposition for selective clocking (survey §III-H, refs 85-87).
+//!
+//! A large machine is partitioned into two submachines connected through
+//! wait states: only the submachine owning the current state is clocked,
+//! so the partition's quality is measured by (a) how rarely control
+//! crosses the cut (crossing transitions drive the heavier inter-machine
+//! lines and wake the other half) and (b) how balanced the halves are
+//! (the bigger the idle half, the more clock power a crossing-free cycle
+//! saves).
+
+use crate::markov::MarkovAnalysis;
+use crate::stg::Stg;
+
+/// A two-way partition of a machine's states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Partition id (0 or 1) of every state.
+    pub part_of: Vec<u8>,
+    /// Steady-state probability that a cycle crosses the cut (both halves
+    /// active: handoff through a wait state).
+    pub crossing_probability: f64,
+    /// Steady-state probability of residing in partition 0.
+    pub residency: [f64; 2],
+}
+
+impl Decomposition {
+    /// Expected fraction of total clock power saved by clocking only the
+    /// active submachine, assuming clock power proportional to state count
+    /// and full-cost cycles whenever the cut is crossed.
+    pub fn clock_saving(&self, stg: &Stg) -> f64 {
+        let n = stg.state_count() as f64;
+        let size = [
+            self.part_of.iter().filter(|&&p| p == 0).count() as f64 / n,
+            self.part_of.iter().filter(|&&p| p == 1).count() as f64 / n,
+        ];
+        // While resident in part i (and not crossing), the other part's
+        // clock is stopped.
+        let stay = 1.0 - self.crossing_probability;
+        stay * (self.residency[0] * size[1] + self.residency[1] * size[0])
+    }
+}
+
+/// Greedy min-cut decomposition: seeded with the two states least likely
+/// to co-occur, then grown by assigning each state to the side it
+/// transitions with most (probability-weighted), followed by a
+/// swap-improvement pass minimizing the crossing probability.
+pub fn decompose(stg: &Stg, markov: &MarkovAnalysis) -> Decomposition {
+    let n = stg.state_count();
+    let q = markov.joint_transition_probs(stg);
+    // Symmetric affinity between states.
+    let aff = |a: usize, b: usize| q[a][b] + q[b][a];
+    // Seeds: the pair with the least affinity among the most-probable
+    // states.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        markov.state_probs[b]
+            .partial_cmp(&markov.state_probs[a])
+            .expect("finite probabilities")
+    });
+    let top = &order[..n.min(6)];
+    let mut seeds = (top[0], *top.last().expect("nonempty"));
+    let mut best_aff = f64::INFINITY;
+    for (i, &a) in top.iter().enumerate() {
+        for &b in &top[i + 1..] {
+            if aff(a, b) < best_aff {
+                best_aff = aff(a, b);
+                seeds = (a, b);
+            }
+        }
+    }
+    let mut part_of = vec![u8::MAX; n];
+    part_of[seeds.0] = 0;
+    part_of[seeds.1] = 1;
+    // Grow: repeatedly place the unassigned state with the strongest pull.
+    for _ in 0..n {
+        let mut best: Option<(f64, usize, u8)> = None;
+        for s in 0..n {
+            if part_of[s] != u8::MAX {
+                continue;
+            }
+            let mut pull = [0.0f64; 2];
+            for t in 0..n {
+                if part_of[t] == 0 {
+                    pull[0] += aff(s, t);
+                } else if part_of[t] == 1 {
+                    pull[1] += aff(s, t);
+                }
+            }
+            let side = if pull[0] >= pull[1] { 0u8 } else { 1u8 };
+            let strength = pull[side as usize] - pull[1 - side as usize];
+            if best.as_ref().is_none_or(|&(bs, _, _)| strength > bs) {
+                best = Some((strength, s, side));
+            }
+        }
+        match best {
+            Some((_, s, side)) => part_of[s] = side,
+            None => break,
+        }
+    }
+    // Swap-improvement on the crossing probability.
+    let crossing = |part_of: &[u8]| -> f64 {
+        let mut c = 0.0;
+        for a in 0..n {
+            for b in 0..n {
+                if part_of[a] != part_of[b] {
+                    c += q[a][b];
+                }
+            }
+        }
+        c
+    };
+    let mut cur = crossing(&part_of);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for s in 0..n {
+            // Never empty a partition.
+            let my = part_of[s];
+            if part_of.iter().filter(|&&p| p == my).count() <= 1 {
+                continue;
+            }
+            part_of[s] = 1 - my;
+            let c = crossing(&part_of);
+            if c < cur - 1e-15 {
+                cur = c;
+                improved = true;
+            } else {
+                part_of[s] = my;
+            }
+        }
+    }
+    let mut residency = [0.0f64; 2];
+    for s in 0..n {
+        residency[part_of[s] as usize] += markov.state_probs[s];
+    }
+    Decomposition { part_of, crossing_probability: cur, residency }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// Two loosely coupled rings: the natural cut is between them.
+    fn two_rings(k: usize) -> Stg {
+        let mut stg = Stg::new(1);
+        for i in 0..2 * k {
+            stg.add_state(format!("s{i}"));
+        }
+        for i in 0..k {
+            // Ring A advances on both symbols; on input 1 at state 0 jump
+            // to ring B.
+            stg.set_transition(i, 0, (i + 1) % k, 0);
+            stg.set_transition(i, 1, (i + 1) % k, 0);
+            // Ring B.
+            stg.set_transition(k + i, 0, k + (i + 1) % k, 1);
+            stg.set_transition(k + i, 1, k + (i + 1) % k, 1);
+        }
+        stg.set_transition(0, 1, k, 0); // rare cross A -> B
+        stg.set_transition(k, 1, 0, 1); // rare cross B -> A
+        stg
+    }
+
+    #[test]
+    fn finds_the_natural_cut() {
+        let stg = two_rings(5);
+        let m = MarkovAnalysis::with_input_distribution(&stg, &[0.9, 0.1]);
+        let d = decompose(&stg, &m);
+        // All of ring A in one part, all of ring B in the other.
+        let a0 = d.part_of[0];
+        for i in 0..5 {
+            assert_eq!(d.part_of[i], a0, "ring A split");
+            assert_eq!(d.part_of[5 + i], 1 - a0, "ring B split");
+        }
+        assert!(d.crossing_probability < 0.1, "{d:?}");
+    }
+
+    #[test]
+    fn clock_saving_substantial_for_loose_coupling() {
+        let stg = two_rings(6);
+        let m = MarkovAnalysis::with_input_distribution(&stg, &[0.95, 0.05]);
+        let d = decompose(&stg, &m);
+        let saving = d.clock_saving(&stg);
+        assert!(saving > 0.3, "saving {saving} ({d:?})");
+    }
+
+    #[test]
+    fn partitions_are_nonempty_and_cover() {
+        for seed in 0..5 {
+            let stg = generators::random_stg(2, 12, 1, seed);
+            let m = MarkovAnalysis::uniform(&stg);
+            let d = decompose(&stg, &m);
+            let zeros = d.part_of.iter().filter(|&&p| p == 0).count();
+            assert!(zeros > 0 && zeros < 12, "degenerate partition");
+            assert!(d.part_of.iter().all(|&p| p <= 1));
+            assert!((d.residency[0] + d.residency[1] - 1.0).abs() < 1e-6);
+            assert!((0.0..=1.0).contains(&d.crossing_probability));
+        }
+    }
+
+    #[test]
+    fn tight_coupling_gives_high_crossing() {
+        // A fully connected machine has no good cut.
+        let mut stg = Stg::new(2);
+        for i in 0..4 {
+            stg.add_state(format!("s{i}"));
+        }
+        for s in 0..4 {
+            for w in 0..4u64 {
+                stg.set_transition(s, w, (s + 1 + w as usize) % 4, 0);
+            }
+        }
+        let m = MarkovAnalysis::uniform(&stg);
+        let d = decompose(&stg, &m);
+        assert!(d.crossing_probability > 0.3, "{d:?}");
+    }
+}

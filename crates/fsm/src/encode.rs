@@ -1,0 +1,272 @@
+//! State encoding: classic codes plus low-power hypercube embedding.
+//!
+//! The low-power strategies implement the idea common to the survey's
+//! encoding references \[90\]–\[95\]: use steady-state transition probabilities
+//! as edge costs and embed the STG into a hypercube so that high-probability
+//! edges connect codes at small Hamming distance. `re_encode` runs the same
+//! search seeded from an existing assignment (the "reencoding" problem for
+//! already-encoded large machines).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::markov::MarkovAnalysis;
+use crate::stg::{FsmError, Stg};
+
+/// How to assign state codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodingStrategy {
+    /// States numbered in index order (minimum-width binary).
+    Binary,
+    /// Binary-reflected Gray code over the state index.
+    Gray,
+    /// One flip-flop per state.
+    OneHot,
+    /// Random minimum-width assignment (seeded).
+    Random(u64),
+    /// Simulated-annealing hypercube embedding minimizing expected
+    /// switching (seeded).
+    LowPower(u64),
+}
+
+/// An assignment of binary codes to states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encoding {
+    codes: Vec<u64>,
+    bits: usize,
+}
+
+impl Encoding {
+    /// Builds an encoding from explicit codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::InvalidEncoding`] if codes are duplicated or do
+    /// not fit in `bits`.
+    pub fn from_codes(codes: Vec<u64>, bits: usize) -> Result<Self, FsmError> {
+        let mut seen = std::collections::HashSet::new();
+        for &c in &codes {
+            if bits < 64 && c >= (1u64 << bits) {
+                return Err(FsmError::InvalidEncoding {
+                    reason: format!("code {c:#b} does not fit in {bits} bits"),
+                });
+            }
+            if !seen.insert(c) {
+                return Err(FsmError::InvalidEncoding { reason: format!("duplicate code {c:#b}") });
+            }
+        }
+        Ok(Encoding { codes, bits })
+    }
+
+    /// Minimum-width binary encoding by state index.
+    pub fn binary(stg: &Stg) -> Self {
+        let bits = min_bits(stg.state_count());
+        Encoding { codes: (0..stg.state_count() as u64).collect(), bits }
+    }
+
+    /// Binary-reflected Gray code by state index.
+    pub fn gray(stg: &Stg) -> Self {
+        let bits = min_bits(stg.state_count());
+        Encoding { codes: (0..stg.state_count() as u64).map(|i| i ^ (i >> 1)).collect(), bits }
+    }
+
+    /// One-hot encoding.
+    pub fn one_hot(stg: &Stg) -> Self {
+        Encoding {
+            codes: (0..stg.state_count()).map(|i| 1u64 << i).collect(),
+            bits: stg.state_count(),
+        }
+    }
+
+    /// Random minimum-width assignment.
+    pub fn random(stg: &Stg, seed: u64) -> Self {
+        let bits = min_bits(stg.state_count());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pool: Vec<u64> = (0..(1u64 << bits)).collect();
+        // Fisher-Yates shuffle, take the first `n`.
+        for i in (1..pool.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pool.swap(i, j);
+        }
+        Encoding { codes: pool[..stg.state_count()].to_vec(), bits }
+    }
+
+    /// Builds an encoding with the given strategy (low-power strategies use
+    /// the supplied Markov analysis as the cost model).
+    pub fn with_strategy(stg: &Stg, markov: &MarkovAnalysis, strategy: EncodingStrategy) -> Self {
+        match strategy {
+            EncodingStrategy::Binary => Encoding::binary(stg),
+            EncodingStrategy::Gray => Encoding::gray(stg),
+            EncodingStrategy::OneHot => Encoding::one_hot(stg),
+            EncodingStrategy::Random(seed) => Encoding::random(stg, seed),
+            EncodingStrategy::LowPower(seed) => {
+                Encoding::binary(stg).re_encode(stg, markov, seed)
+            }
+        }
+    }
+
+    /// Low-power re-encoding: simulated annealing over code swaps starting
+    /// from this encoding, minimizing [`MarkovAnalysis::expected_switching`].
+    /// Only minimum-width (non-one-hot) encodings are searched; the code
+    /// width is preserved.
+    pub fn re_encode(&self, stg: &Stg, markov: &MarkovAnalysis, seed: u64) -> Encoding {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let q = markov.joint_transition_probs(stg);
+        let n = stg.state_count();
+        // Candidate code pool: all codes of this width (swap with unused
+        // codes is allowed, equivalent to moving a state to a free vertex).
+        let width = self.bits;
+        let pool_size = if width >= 63 { u64::MAX } else { 1u64 << width };
+        let mut codes = self.codes.clone();
+        let cost = |codes: &[u64]| -> f64 {
+            let mut e = 0.0;
+            for (s, row) in q.iter().enumerate() {
+                for (t, &p) in row.iter().enumerate() {
+                    if p > 0.0 && s != t {
+                        e += p * (codes[s] ^ codes[t]).count_ones() as f64;
+                    }
+                }
+            }
+            e
+        };
+        let mut cur_cost = cost(&codes);
+        let mut best = codes.clone();
+        let mut best_cost = cur_cost;
+        let iters = 4000.max(200 * n);
+        for it in 0..iters {
+            let temp = 1.0 * (1.0 - it as f64 / iters as f64) + 1e-3;
+            let i = rng.gen_range(0..n);
+            let old_i = codes[i];
+            // Either swap with another state or move to a free code.
+            let use_free = pool_size > n as u64 && rng.gen_bool(0.3);
+            let (j, old_j) = if use_free {
+                (usize::MAX, 0)
+            } else {
+                let mut j = rng.gen_range(0..n);
+                while j == i {
+                    j = rng.gen_range(0..n);
+                }
+                (j, codes[j])
+            };
+            if use_free {
+                let candidate = rng.gen_range(0..pool_size);
+                if codes.contains(&candidate) {
+                    continue;
+                }
+                codes[i] = candidate;
+            } else {
+                codes[i] = old_j;
+                codes[j] = old_i;
+            }
+            let new_cost = cost(&codes);
+            let accept = new_cost < cur_cost
+                || rng.gen_bool(((cur_cost - new_cost) / temp).exp().clamp(0.0, 1.0));
+            if accept {
+                cur_cost = new_cost;
+                if new_cost < best_cost {
+                    best_cost = new_cost;
+                    best = codes.clone();
+                }
+            } else {
+                codes[i] = old_i;
+                if !use_free {
+                    codes[j] = old_j;
+                }
+            }
+        }
+        Encoding { codes: best, bits: width }
+    }
+
+    /// Code of a state.
+    pub fn code(&self, state: usize) -> u64 {
+        self.codes[state]
+    }
+
+    /// All codes, indexed by state.
+    pub fn codes(&self) -> &[u64] {
+        &self.codes
+    }
+
+    /// Code width in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Hamming distance between two states' codes.
+    pub fn hamming(&self, a: usize, b: usize) -> u32 {
+        (self.codes[a] ^ self.codes[b]).count_ones()
+    }
+}
+
+/// Bits needed to number `n` states.
+pub(crate) fn min_bits(n: usize) -> usize {
+    if n <= 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn min_bits_is_ceil_log2() {
+        assert_eq!(min_bits(1), 1);
+        assert_eq!(min_bits(2), 1);
+        assert_eq!(min_bits(3), 2);
+        assert_eq!(min_bits(4), 2);
+        assert_eq!(min_bits(5), 3);
+        assert_eq!(min_bits(16), 4);
+        assert_eq!(min_bits(17), 5);
+    }
+
+    #[test]
+    fn classic_codes_are_valid() {
+        let stg = generators::random_stg(3, 12, 2, 0);
+        for enc in [Encoding::binary(&stg), Encoding::gray(&stg), Encoding::one_hot(&stg)] {
+            let mut seen = std::collections::HashSet::new();
+            for s in 0..stg.state_count() {
+                assert!(seen.insert(enc.code(s)), "duplicate code");
+            }
+        }
+    }
+
+    #[test]
+    fn from_codes_rejects_duplicates_and_overflow() {
+        assert!(Encoding::from_codes(vec![0, 1, 1], 2).is_err());
+        assert!(Encoding::from_codes(vec![0, 4], 2).is_err());
+        assert!(Encoding::from_codes(vec![0, 3], 2).is_ok());
+    }
+
+    #[test]
+    fn low_power_beats_random_on_random_machines() {
+        let mut wins = 0;
+        for seed in 0..5u64 {
+            let stg = generators::random_stg(2, 16, 2, seed);
+            let m = MarkovAnalysis::uniform(&stg);
+            let rand_enc = Encoding::random(&stg, seed + 100);
+            let lp = Encoding::with_strategy(&stg, &m, EncodingStrategy::LowPower(seed));
+            let er = m.expected_switching(&stg, &rand_enc);
+            let el = m.expected_switching(&stg, &lp);
+            if el <= er {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "low-power encoding won only {wins}/5 trials");
+    }
+
+    #[test]
+    fn re_encode_never_worsens_best_cost() {
+        let stg = generators::random_stg(2, 10, 1, 7);
+        let m = MarkovAnalysis::uniform(&stg);
+        let start = Encoding::binary(&stg);
+        let improved = start.re_encode(&stg, &m, 3);
+        assert!(
+            m.expected_switching(&stg, &improved) <= m.expected_switching(&stg, &start) + 1e-9
+        );
+        assert_eq!(improved.bits(), start.bits());
+    }
+}

@@ -1,0 +1,144 @@
+//! FSM generators: seeded random machines and small hand-built controllers
+//! used across the experiments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stg::Stg;
+
+/// A seeded random, completely specified Mealy machine with `states`
+/// states, `input_bits`-bit inputs and `output_bits`-bit outputs.
+///
+/// Each (state, symbol) pair picks a next state with locality bias (nearby
+/// indices preferred) so the machines are sparse in the Tyagi sense, like
+/// real controllers.
+pub fn random_stg(input_bits: usize, states: usize, output_bits: usize, seed: u64) -> Stg {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5f3759df);
+    let mut stg = Stg::with_outputs(input_bits, output_bits);
+    for i in 0..states {
+        stg.add_state(format!("s{i}"));
+    }
+    let out_mask = if output_bits >= 64 { u64::MAX } else { (1u64 << output_bits) - 1 };
+    for s in 0..states {
+        for w in 0..(1u64 << input_bits) {
+            // Locality-biased next state: usually within +-2 of s.
+            let next = if rng.gen_bool(0.75) {
+                let delta = rng.gen_range(-2i64..=2);
+                ((s as i64 + delta).rem_euclid(states as i64)) as usize
+            } else {
+                rng.gen_range(0..states)
+            };
+            let output = rng.gen::<u64>() & out_mask;
+            stg.set_transition(s, w, next, output);
+        }
+    }
+    stg
+}
+
+/// A reactive controller with a dominant idle (wait) state: it sits in
+/// `idle` until a request bit arrives, walks through `work` states, and
+/// returns. `idle_bias` controls how rarely requests arrive (probability
+/// of staying idle per cycle under uniform inputs is roughly `idle_bias`).
+/// This is the workload class where gated clocks (§III-I) shine.
+pub fn reactive_controller(work_states: usize) -> Stg {
+    // Input bit 0 = request; inputs are 1 bit.
+    let mut stg = Stg::with_outputs(1, 1);
+    let idle = stg.add_state("idle");
+    let mut prev = idle;
+    let mut work = Vec::new();
+    for i in 0..work_states {
+        let s = stg.add_state(format!("work{i}"));
+        work.push(s);
+        if i == 0 {
+            stg.set_transition(idle, 1, s, 1);
+        } else {
+            stg.set_transition(prev, 0, s, 1);
+            stg.set_transition(prev, 1, s, 1);
+        }
+        prev = s;
+    }
+    // Last work state returns to idle.
+    if let Some(&last) = work.last() {
+        stg.set_transition(last, 0, idle, 0);
+        stg.set_transition(last, 1, idle, 0);
+    }
+    // idle on 0 self-loops (default), output 0.
+    stg
+}
+
+/// The classic 1011 sequence detector (Mealy, overlapping).
+pub fn sequence_detector() -> Stg {
+    let mut stg = Stg::with_outputs(1, 1);
+    let s0 = stg.add_state("s0"); // nothing matched
+    let s1 = stg.add_state("s1"); // "1"
+    let s2 = stg.add_state("s2"); // "10"
+    let s3 = stg.add_state("s3"); // "101"
+    stg.set_transition(s0, 0, s0, 0);
+    stg.set_transition(s0, 1, s1, 0);
+    stg.set_transition(s1, 0, s2, 0);
+    stg.set_transition(s1, 1, s1, 0);
+    stg.set_transition(s2, 0, s0, 0);
+    stg.set_transition(s2, 1, s3, 0);
+    stg.set_transition(s3, 0, s2, 0);
+    stg.set_transition(s3, 1, s1, 1); // detected 1011
+    stg
+}
+
+/// A traffic-light controller: two directions with green/yellow phases and
+/// a sensor input that extends the green.
+pub fn traffic_light() -> Stg {
+    // States: NS-green, NS-yellow, EW-green, EW-yellow.
+    // Input bit: cross-traffic sensor. Outputs: 2 bits encoding phase.
+    let mut stg = Stg::with_outputs(1, 2);
+    let nsg = stg.add_state("ns_green");
+    let nsy = stg.add_state("ns_yellow");
+    let ewg = stg.add_state("ew_green");
+    let ewy = stg.add_state("ew_yellow");
+    stg.set_transition(nsg, 0, nsg, 0); // no cross traffic: stay green
+    stg.set_transition(nsg, 1, nsy, 0);
+    stg.set_transition(nsy, 0, ewg, 1);
+    stg.set_transition(nsy, 1, ewg, 1);
+    stg.set_transition(ewg, 0, ewg, 2);
+    stg.set_transition(ewg, 1, ewy, 2);
+    stg.set_transition(ewy, 0, nsg, 3);
+    stg.set_transition(ewy, 1, nsg, 3);
+    stg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::MarkovAnalysis;
+
+    #[test]
+    fn random_is_reproducible() {
+        let a = random_stg(2, 10, 2, 4);
+        let b = random_stg(2, 10, 2, 4);
+        assert_eq!(a, b);
+        let c = random_stg(2, 10, 2, 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn reactive_controller_is_mostly_idle() {
+        let stg = reactive_controller(3);
+        let m = MarkovAnalysis::with_input_distribution(&stg, &[0.95, 0.05]);
+        assert!(m.state_probs[0] > 0.7, "idle prob = {}", m.state_probs[0]);
+    }
+
+    #[test]
+    fn sequence_detector_detects() {
+        let stg = sequence_detector();
+        // Feed 1 0 1 1 0 1 1 -> detections at positions 3 and 6
+        // (overlapping).
+        let (_, outs) = stg.simulate(&[1, 0, 1, 1, 0, 1, 1]).unwrap();
+        assert_eq!(outs, vec![0, 0, 0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn traffic_light_cycles() {
+        let stg = traffic_light();
+        let (states, _) = stg.simulate(&[1, 1, 1, 1]).unwrap();
+        assert_eq!(states, vec![0, 1, 2, 3, 0]);
+    }
+}

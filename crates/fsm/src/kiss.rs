@@ -1,0 +1,310 @@
+//! KISS2 interchange format for FSMs — the format of the MCNC benchmark
+//! suites the survey's encoding papers evaluated on.
+//!
+//! Supported subset: `.i/.o/.s/.p/.r` headers and transition lines
+//! `<input> <state> <next> <output>` with explicit binary inputs/outputs
+//! (`-` don't-cares in the input field expand to all matching symbols).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::stg::Stg;
+
+/// Errors from KISS2 parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KissError {
+    /// A header or transition line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// The file declares no transitions.
+    Empty,
+}
+
+impl fmt::Display for KissError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KissError::Malformed { line, reason } => {
+                write!(f, "KISS2 line {line}: {reason}")
+            }
+            KissError::Empty => write!(f, "KISS2 description has no transitions"),
+        }
+    }
+}
+
+impl Error for KissError {}
+
+/// Parses a KISS2 description into an [`Stg`].
+///
+/// States are created in order of first appearance; the `.r` reset state
+/// (or the first transition's source) becomes the reset. Transitions not
+/// listed keep the default self-loop with zero output, so the machine is
+/// completely specified.
+///
+/// # Errors
+///
+/// Returns [`KissError::Malformed`] for syntax errors or inconsistent
+/// widths, [`KissError::Empty`] when no transitions are present.
+pub fn parse_kiss2(text: &str) -> Result<Stg, KissError> {
+    let mut input_bits: Option<usize> = None;
+    let mut output_bits: Option<usize> = None;
+    let mut reset_name: Option<String> = None;
+    let mut transitions: Vec<(usize, String, String, String, String)> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = ln + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            let key = parts.next().unwrap_or("");
+            let val = parts.next();
+            match key {
+                "i" => {
+                    input_bits = Some(parse_num(val, lineno)?);
+                }
+                "o" => {
+                    output_bits = Some(parse_num(val, lineno)?);
+                }
+                "s" | "p" => { /* counts are advisory */ }
+                "r" => {
+                    reset_name = val.map(str::to_string);
+                }
+                "e" | "end" => break,
+                other => {
+                    return Err(KissError::Malformed {
+                        line: lineno,
+                        reason: format!("unknown directive .{other}"),
+                    })
+                }
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(KissError::Malformed {
+                line: lineno,
+                reason: format!("expected 4 fields, found {}", fields.len()),
+            });
+        }
+        transitions.push((
+            lineno,
+            fields[0].to_string(),
+            fields[1].to_string(),
+            fields[2].to_string(),
+            fields[3].to_string(),
+        ));
+    }
+    if transitions.is_empty() {
+        return Err(KissError::Empty);
+    }
+    let in_bits = input_bits.unwrap_or(transitions[0].1.len());
+    let out_bits = output_bits.unwrap_or(transitions[0].4.len());
+    let mut stg = Stg::with_outputs(in_bits, out_bits);
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let state_of = |stg: &mut Stg, name: &str, index: &mut HashMap<String, usize>| {
+        *index
+            .entry(name.to_string())
+            .or_insert_with(|| stg.add_state(name.to_string()))
+    };
+    for (lineno, in_pat, src, dst, out_pat) in &transitions {
+        if in_pat.len() != in_bits {
+            return Err(KissError::Malformed {
+                line: *lineno,
+                reason: format!("input pattern width {} != .i {in_bits}", in_pat.len()),
+            });
+        }
+        if out_pat.len() != out_bits {
+            return Err(KissError::Malformed {
+                line: *lineno,
+                reason: format!("output pattern width {} != .o {out_bits}", out_pat.len()),
+            });
+        }
+        let s = state_of(&mut stg, src, &mut index);
+        let d = state_of(&mut stg, dst, &mut index);
+        let output = parse_bits(out_pat, *lineno)?;
+        for word in expand_pattern(in_pat, *lineno)? {
+            stg.set_transition(s, word, d, output);
+        }
+    }
+    if let Some(name) = reset_name {
+        if let Some(&s) = index.get(&name) {
+            stg.set_reset(s).expect("state exists");
+        }
+    }
+    Ok(stg)
+}
+
+fn parse_num(val: Option<&str>, line: usize) -> Result<usize, KissError> {
+    val.and_then(|v| v.parse().ok()).ok_or_else(|| KissError::Malformed {
+        line,
+        reason: "expected a number".to_string(),
+    })
+}
+
+/// KISS2 patterns are MSB-first; returns the word with bit 0 = last char.
+fn parse_bits(pat: &str, line: usize) -> Result<u64, KissError> {
+    let mut v = 0u64;
+    for c in pat.chars() {
+        v = (v << 1)
+            | match c {
+                '0' | '-' => 0, // output don't-cares emit 0
+                '1' => 1,
+                other => {
+                    return Err(KissError::Malformed {
+                        line,
+                        reason: format!("bad bit character '{other}'"),
+                    })
+                }
+            };
+    }
+    Ok(v)
+}
+
+fn expand_pattern(pat: &str, line: usize) -> Result<Vec<u64>, KissError> {
+    let mut words = vec![0u64];
+    for c in pat.chars() {
+        match c {
+            '0' => {
+                for w in &mut words {
+                    *w <<= 1;
+                }
+            }
+            '1' => {
+                for w in &mut words {
+                    *w = (*w << 1) | 1;
+                }
+            }
+            '-' => {
+                let mut doubled = Vec::with_capacity(words.len() * 2);
+                for &w in &words {
+                    doubled.push(w << 1);
+                    doubled.push((w << 1) | 1);
+                }
+                words = doubled;
+            }
+            other => {
+                return Err(KissError::Malformed {
+                    line,
+                    reason: format!("bad bit character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(words)
+}
+
+/// Serializes an [`Stg`] to KISS2 (fully enumerated transitions).
+pub fn to_kiss2(stg: &Stg) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".i {}\n", stg.input_bits()));
+    out.push_str(&format!(".o {}\n", stg.output_bits()));
+    out.push_str(&format!(".s {}\n", stg.state_count()));
+    out.push_str(&format!(".p {}\n", stg.state_count() * stg.symbol_count()));
+    out.push_str(&format!(".r {}\n", stg.state_name(stg.reset())));
+    for s in 0..stg.state_count() {
+        for w in 0..stg.symbol_count() as u64 {
+            let next = stg.next(s, w).expect("in range");
+            let output = stg.output(s, w).expect("in range");
+            out.push_str(&format!(
+                "{} {} {} {}\n",
+                bit_string(w, stg.input_bits()),
+                stg.state_name(s),
+                stg.state_name(next),
+                bit_string(output, stg.output_bits())
+            ));
+        }
+    }
+    out
+}
+
+fn bit_string(word: u64, bits: usize) -> String {
+    (0..bits).rev().map(|b| if (word >> b) & 1 == 1 { '1' } else { '0' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    const SAMPLE: &str = "\
+# a 2-state toggler
+.i 1
+.o 1
+.s 2
+.r off
+1 off on 0
+1 on off 1
+0 off off 0
+0 on on 1
+.e
+";
+
+    #[test]
+    fn parses_sample() {
+        let stg = parse_kiss2(SAMPLE).unwrap();
+        assert_eq!(stg.state_count(), 2);
+        assert_eq!(stg.input_bits(), 1);
+        assert_eq!(stg.state_name(stg.reset()), "off");
+        let (states, outs) = stg.simulate(&[1, 1, 0]).unwrap();
+        assert_eq!(states, vec![0, 1, 0, 0]);
+        assert_eq!(outs, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn dont_care_inputs_expand() {
+        let text = "\
+.i 2
+.o 1
+1- a b 1
+0- a a 0
+-- b a 0
+";
+        let stg = parse_kiss2(text).unwrap();
+        // From a: inputs 10(2) and 11(3) go to b; 00,01 stay.
+        assert_eq!(stg.next(0, 2).unwrap(), 1);
+        assert_eq!(stg.next(0, 3).unwrap(), 1);
+        assert_eq!(stg.next(0, 0).unwrap(), 0);
+        assert_eq!(stg.next(1, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn round_trip_preserves_behavior() {
+        let stg = generators::random_stg(2, 9, 2, 5);
+        let text = to_kiss2(&stg);
+        let back = parse_kiss2(&text).unwrap();
+        let inputs: Vec<u64> = (0..200).map(|i| (i * 7 + 1) % 4).collect();
+        let (_, o1) = stg.simulate(&inputs).unwrap();
+        let (_, o2) = back.simulate(&inputs).unwrap();
+        assert_eq!(o1, o2);
+        assert_eq!(back.state_count(), stg.state_count());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_kiss2(".i 1\n.o 1\nbadline\n").unwrap_err();
+        assert!(matches!(err, KissError::Malformed { line: 3, .. }));
+        assert!(matches!(parse_kiss2(".i 2\n"), Err(KissError::Empty)));
+        let err = parse_kiss2(".i 2\n.o 1\n1 a b 1\n").unwrap_err();
+        assert!(matches!(err, KissError::Malformed { .. }), "width mismatch: {err}");
+    }
+
+    #[test]
+    fn msb_first_bit_order() {
+        let text = "\
+.i 2
+.o 2
+10 a a 01
+";
+        let stg = parse_kiss2(text).unwrap();
+        // Input pattern "10" = word 2; output "01" = word 1.
+        assert_eq!(stg.output(0, 2).unwrap(), 1);
+        assert_eq!(stg.output(0, 0).unwrap(), 0);
+    }
+}

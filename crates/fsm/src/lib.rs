@@ -1,0 +1,46 @@
+//! Finite-state-machine substrate: state transition graphs, Markov-chain
+//! steady-state analysis, state minimization, low-power state encoding,
+//! entropic bounds (Tyagi, survey reference 13), and synthesis of encoded
+//! machines into gate-level netlists via BDD-extracted next-state logic
+//! (survey §III-H).
+//!
+//! # Example
+//!
+//! ```
+//! use hlpower_fsm::{Stg, Encoding, MarkovAnalysis};
+//!
+//! // A 4-state up/down counter controlled by one input bit.
+//! let mut stg = Stg::new(1);
+//! for s in 0..4 { stg.add_state(format!("s{s}")); }
+//! for s in 0..4u64 {
+//!     stg.set_transition(s as usize, 0, ((s + 1) % 4) as usize, s & 1);
+//!     stg.set_transition(s as usize, 1, ((s + 3) % 4) as usize, s & 1);
+//! }
+//! let markov = MarkovAnalysis::uniform(&stg);
+//! let enc = Encoding::binary(&stg);
+//! let activity = markov.expected_switching(&stg, &enc);
+//! assert!(activity > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+// Matrix- and table-style numerics read more clearly with explicit index
+// loops; silence clippy's iterator-style suggestion for them.
+#![allow(clippy::needless_range_loop)]
+
+mod stg;
+mod markov;
+mod encode;
+mod minimize;
+mod synth;
+mod bounds;
+pub mod decompose;
+pub mod generators;
+pub mod kiss;
+
+pub use stg::{FsmError, Stg};
+pub use markov::MarkovAnalysis;
+pub use encode::{Encoding, EncodingStrategy};
+pub use minimize::minimize_states;
+pub use synth::{synthesize, FsmCircuit};
+pub use bounds::{tyagi_bound, TyagiBoundReport};

@@ -1,0 +1,300 @@
+//! Markov-chain analysis of STGs: steady-state state probabilities and
+//! steady-state transition probabilities (survey refs 31, \[96\]).
+
+use crate::encode::Encoding;
+use crate::stg::Stg;
+
+/// Steady-state analysis of an STG under a given input-symbol distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovAnalysis {
+    /// Steady-state probability of each state.
+    pub state_probs: Vec<f64>,
+    /// Input-symbol distribution the analysis was run under.
+    pub input_probs: Vec<f64>,
+}
+
+impl MarkovAnalysis {
+    /// Analyzes the machine under uniformly distributed input symbols.
+    pub fn uniform(stg: &Stg) -> Self {
+        let n = stg.symbol_count();
+        Self::with_input_distribution(stg, &vec![1.0 / n as f64; n])
+    }
+
+    /// Analyzes the machine under an explicit input-symbol distribution,
+    /// solving the stationary equations exactly (Gaussian elimination on
+    /// `pi (P - I) = 0` with the normalization row substituted in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_probs` has the wrong length or does not sum to 1
+    /// within 1e-6.
+    pub fn exact(stg: &Stg, input_probs: &[f64]) -> Self {
+        assert_eq!(input_probs.len(), stg.symbol_count(), "one probability per input symbol");
+        let n = stg.state_count();
+        let mut p = vec![vec![0.0f64; n]; n];
+        for s in 0..n {
+            for (w, &pw) in input_probs.iter().enumerate() {
+                let t = stg.next(s, w as u64).expect("state and symbol in range");
+                p[s][t] += pw;
+            }
+        }
+        // Build A = (P^T - I), replace the last equation by sum(pi) = 1.
+        // Add a small damping toward uniform so periodic chains (which
+        // have no unique stationary limit but a well-defined Cesaro
+        // average) stay solvable; damping 1-eps perturbs probabilities by
+        // O(eps).
+        let damp = 1.0 - 1e-9;
+        let mut a = vec![vec![0.0f64; n + 1]; n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i][j] = damp * p[j][i] - if i == j { 1.0 } else { 0.0 }
+                    + (1.0 - damp) / n as f64;
+            }
+        }
+        for j in 0..n {
+            a[n - 1][j] = 1.0;
+        }
+        a[n - 1][n] = 1.0;
+        // Gaussian elimination with partial pivoting.
+        for col in 0..n {
+            let piv = (col..n)
+                .max_by(|&x, &y| a[x][col].abs().partial_cmp(&a[y][col].abs()).expect("finite"))
+                .expect("non-empty");
+            a.swap(col, piv);
+            let d = a[col][col];
+            if d.abs() < 1e-300 {
+                // Fall back to iteration for degenerate chains.
+                return Self::with_input_distribution(stg, input_probs);
+            }
+            for row in 0..n {
+                if row == col {
+                    continue;
+                }
+                let f = a[row][col] / d;
+                for k in col..=n {
+                    a[row][k] -= f * a[col][k];
+                }
+            }
+        }
+        let mut pi: Vec<f64> = (0..n).map(|i| (a[i][n] / a[i][i]).max(0.0)).collect();
+        let norm: f64 = pi.iter().sum();
+        for x in &mut pi {
+            *x /= norm;
+        }
+        MarkovAnalysis { state_probs: pi, input_probs: input_probs.to_vec() }
+    }
+
+    /// Analyzes the machine under an explicit input-symbol distribution
+    /// (one probability per input word; must sum to ~1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_probs` has the wrong length or does not sum to 1
+    /// within 1e-6.
+    pub fn with_input_distribution(stg: &Stg, input_probs: &[f64]) -> Self {
+        assert_eq!(input_probs.len(), stg.symbol_count(), "one probability per input symbol");
+        let sum: f64 = input_probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "input distribution sums to {sum}");
+        let n = stg.state_count();
+        // Transition matrix P[s][t].
+        let mut p = vec![vec![0.0f64; n]; n];
+        for s in 0..n {
+            for (w, &pw) in input_probs.iter().enumerate() {
+                let t = stg.next(s, w as u64).expect("state and symbol in range");
+                p[s][t] += pw;
+            }
+        }
+        // Power iteration from the uniform distribution, with light damping
+        // to guarantee convergence on periodic chains.
+        let mut pi = vec![1.0 / n as f64; n];
+        let damping = 0.995;
+        for _ in 0..10_000 {
+            let mut next = vec![(1.0 - damping) / n as f64; n];
+            for s in 0..n {
+                if pi[s] == 0.0 {
+                    continue;
+                }
+                for t in 0..n {
+                    if p[s][t] > 0.0 {
+                        next[t] += damping * pi[s] * p[s][t];
+                    }
+                }
+            }
+            let delta: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+            pi = next;
+            if delta < 1e-12 {
+                break;
+            }
+        }
+        let norm: f64 = pi.iter().sum();
+        for x in &mut pi {
+            *x /= norm;
+        }
+        MarkovAnalysis { state_probs: pi, input_probs: input_probs.to_vec() }
+    }
+
+    /// Steady-state joint transition probabilities `q[s][t] = pi_s *
+    /// P(s -> t)`.
+    pub fn joint_transition_probs(&self, stg: &Stg) -> Vec<Vec<f64>> {
+        let n = stg.state_count();
+        let mut q = vec![vec![0.0f64; n]; n];
+        for s in 0..n {
+            for (w, &pw) in self.input_probs.iter().enumerate() {
+                let t = stg.next(s, w as u64).expect("state and symbol in range");
+                q[s][t] += self.state_probs[s] * pw;
+            }
+        }
+        q
+    }
+
+    /// Expected Hamming distance switched on the state lines per cycle
+    /// under an encoding: `sum_{s,t} q_st * H(code_s, code_t)` — the cost
+    /// function of every low-power state-assignment algorithm in §III-H.
+    pub fn expected_switching(&self, stg: &Stg, enc: &Encoding) -> f64 {
+        let q = self.joint_transition_probs(stg);
+        let mut e = 0.0;
+        for (s, row) in q.iter().enumerate() {
+            for (t, &p) in row.iter().enumerate() {
+                if p > 0.0 {
+                    e += p * enc.hamming(s, t) as f64;
+                }
+            }
+        }
+        e
+    }
+
+    /// Probability that the machine stays in the same state for a cycle
+    /// (the idle probability exploited by clock gating, §III-I).
+    pub fn self_loop_probability(&self, stg: &Stg) -> f64 {
+        let q = self.joint_transition_probs(stg);
+        (0..stg.state_count()).map(|s| q[s][s]).sum()
+    }
+
+    /// Entropy (bits) of the steady-state joint transition distribution —
+    /// the `h(p_ij)` of Tyagi's bound.
+    pub fn transition_entropy(&self, stg: &Stg) -> f64 {
+        let q = self.joint_transition_probs(stg);
+        let mut h = 0.0;
+        for row in &q {
+            for &p in row {
+                if p > 0.0 {
+                    h -= p * p.log2();
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Stg {
+        let mut stg = Stg::new(1);
+        for i in 0..n {
+            stg.add_state(format!("s{i}"));
+        }
+        for i in 0..n {
+            // Always advance regardless of input.
+            stg.set_transition(i, 0, (i + 1) % n, 0);
+            stg.set_transition(i, 1, (i + 1) % n, 0);
+        }
+        stg
+    }
+
+    #[test]
+    fn ring_has_uniform_steady_state() {
+        let stg = ring(5);
+        let m = MarkovAnalysis::uniform(&stg);
+        for &p in &m.state_probs {
+            assert!((p - 0.2).abs() < 1e-6, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn absorbing_state_takes_all_mass() {
+        let mut stg = Stg::new(1);
+        let a = stg.add_state("a");
+        let b = stg.add_state("b");
+        // a -> b on everything; b self-loops (default).
+        stg.set_transition(a, 0, b, 0);
+        stg.set_transition(a, 1, b, 0);
+        let m = MarkovAnalysis::uniform(&stg);
+        assert!(m.state_probs[b] > 0.95, "pi_b = {}", m.state_probs[b]);
+    }
+
+    #[test]
+    fn exact_matches_power_iteration() {
+        use crate::generators;
+        for seed in 0..5 {
+            let stg = generators::random_stg(2, 9, 1, seed);
+            let dist = vec![0.25; 4];
+            let it = MarkovAnalysis::with_input_distribution(&stg, &dist);
+            let ex = MarkovAnalysis::exact(&stg, &dist);
+            for (a, b) in it.state_probs.iter().zip(&ex.state_probs) {
+                // The iterative solver carries a deliberate damping bias
+                // of about (1 - 0.995); the exact solver does not.
+                assert!((a - b).abs() < 0.01, "seed {seed}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_solves_absorbing_chain_perfectly() {
+        let mut stg = Stg::new(1);
+        let a = stg.add_state("a");
+        let b = stg.add_state("b");
+        stg.set_transition(a, 0, b, 0);
+        stg.set_transition(a, 1, b, 0);
+        let m = MarkovAnalysis::exact(&stg, &[0.5, 0.5]);
+        assert!(m.state_probs[b] > 0.999_999, "pi_b = {}", m.state_probs[b]);
+    }
+
+    #[test]
+    fn joint_probs_sum_to_one() {
+        let stg = ring(4);
+        let m = MarkovAnalysis::uniform(&stg);
+        let q = m.joint_transition_probs(&stg);
+        let total: f64 = q.iter().flatten().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switching_depends_on_encoding() {
+        use crate::encode::Encoding;
+        let stg = ring(4);
+        let m = MarkovAnalysis::uniform(&stg);
+        // Gray ring encoding: one bit flips per step.
+        let gray = Encoding::from_codes(vec![0b00, 0b01, 0b11, 0b10], 2).unwrap();
+        // Binary: 2 flips on 1->2 (01 -> 10) and 3->0 (11 -> 00).
+        let bin = Encoding::from_codes(vec![0, 1, 2, 3], 2).unwrap();
+        let eg = m.expected_switching(&stg, &gray);
+        let eb = m.expected_switching(&stg, &bin);
+        assert!((eg - 1.0).abs() < 1e-6, "gray ring switches exactly one bit");
+        assert!(eb > eg);
+    }
+
+    #[test]
+    fn self_loop_probability_of_idle_machine() {
+        let mut stg = Stg::new(1);
+        let idle = stg.add_state("idle");
+        let run = stg.add_state("run");
+        // Leave idle only on input 1; return immediately.
+        stg.set_transition(idle, 1, run, 1);
+        stg.set_transition(run, 0, idle, 0);
+        stg.set_transition(run, 1, idle, 0);
+        let m = MarkovAnalysis::uniform(&stg);
+        let p = m.self_loop_probability(&stg);
+        assert!(p > 0.2 && p < 0.8, "p = {p}");
+    }
+
+    #[test]
+    fn transition_entropy_positive_for_branching() {
+        let stg = ring(4);
+        let m = MarkovAnalysis::uniform(&stg);
+        // Deterministic ring: entropy equals log2(4) = 2 bits (4 equally
+        // likely (s,t) pairs).
+        assert!((m.transition_entropy(&stg) - 2.0).abs() < 1e-6);
+    }
+}

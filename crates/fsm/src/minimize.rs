@@ -1,0 +1,163 @@
+//! State minimization of completely specified machines by partition
+//! refinement (the classic algorithm behind the survey's restructuring
+//! discussion, §III-H and reference 88).
+
+use crate::stg::Stg;
+
+/// Minimizes a completely specified Mealy machine.
+///
+/// Returns the minimized machine and the mapping from old state index to
+/// new state index. Equivalent states (same outputs and equivalent
+/// successors on every input symbol) are merged; the reset state is
+/// preserved.
+pub fn minimize_states(stg: &Stg) -> (Stg, Vec<usize>) {
+    let n = stg.state_count();
+    let symbols = stg.symbol_count();
+    // Initial partition: by complete output signature.
+    let mut class: Vec<usize> = {
+        let mut signatures: Vec<Vec<u64>> = Vec::with_capacity(n);
+        for s in 0..n {
+            let sig: Vec<u64> =
+                (0..symbols).map(|w| stg.output(s, w as u64).expect("in range")).collect();
+            signatures.push(sig);
+        }
+        let mut canon: Vec<Vec<u64>> = Vec::new();
+        signatures
+            .iter()
+            .map(|sig| {
+                if let Some(i) = canon.iter().position(|c| c == sig) {
+                    i
+                } else {
+                    canon.push(sig.clone());
+                    canon.len() - 1
+                }
+            })
+            .collect()
+    };
+    // Refine until stable: split classes whose members disagree on the
+    // class of any successor.
+    loop {
+        let mut new_class = vec![0usize; n];
+        let mut canon: Vec<(usize, Vec<usize>)> = Vec::new();
+        for s in 0..n {
+            let succ: Vec<usize> = (0..symbols)
+                .map(|w| class[stg.next(s, w as u64).expect("in range")])
+                .collect();
+            let key = (class[s], succ);
+            if let Some(i) = canon.iter().position(|c| *c == key) {
+                new_class[s] = i;
+            } else {
+                canon.push(key);
+                new_class[s] = canon.len() - 1;
+            }
+        }
+        if new_class == class {
+            break;
+        }
+        class = new_class;
+    }
+    // Build the quotient machine.
+    let class_count = class.iter().max().map_or(0, |m| m + 1);
+    let mut out = Stg::with_outputs(stg.input_bits(), stg.output_bits());
+    let mut representative = vec![usize::MAX; class_count];
+    for s in 0..n {
+        if representative[class[s]] == usize::MAX {
+            representative[class[s]] = s;
+        }
+    }
+    for c in 0..class_count {
+        out.add_state(stg.state_name(representative[c]).to_string());
+    }
+    for c in 0..class_count {
+        let rep = representative[c];
+        for w in 0..symbols {
+            let next = class[stg.next(rep, w as u64).expect("in range")];
+            let output = stg.output(rep, w as u64).expect("in range");
+            out.set_transition(c, w as u64, next, output);
+        }
+    }
+    out.set_reset(class[stg.reset()]).expect("reset class exists");
+    (out, class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A machine with two redundant copies of each state of a 2-state
+    /// toggler.
+    fn redundant_toggler() -> Stg {
+        let mut stg = Stg::new(1);
+        let a0 = stg.add_state("a0");
+        let a1 = stg.add_state("a1");
+        let b0 = stg.add_state("b0");
+        let b1 = stg.add_state("b1");
+        // a0/b0 behave identically: on 1 go to (some copy of) state-1 and
+        // output 0; on 0 stay.
+        stg.set_transition(a0, 1, a1, 0);
+        stg.set_transition(b0, 1, b1, 0);
+        stg.set_transition(a0, 0, b0, 0);
+        stg.set_transition(b0, 0, a0, 0);
+        stg.set_transition(a1, 1, b0, 1);
+        stg.set_transition(b1, 1, a0, 1);
+        stg.set_transition(a1, 0, b1, 1);
+        stg.set_transition(b1, 0, a1, 1);
+        stg
+    }
+
+    #[test]
+    fn merges_equivalent_states() {
+        let stg = redundant_toggler();
+        let (min, map) = minimize_states(&stg);
+        assert_eq!(min.state_count(), 2);
+        assert_eq!(map[0], map[2], "a0 and b0 equivalent");
+        assert_eq!(map[1], map[3], "a1 and b1 equivalent");
+    }
+
+    #[test]
+    fn minimized_machine_is_io_equivalent() {
+        let stg = redundant_toggler();
+        let (min, _) = minimize_states(&stg);
+        let inputs: Vec<u64> = (0..64).map(|i| (i * 7 + 3) % 2).collect();
+        let (_, out1) = stg.simulate(&inputs).unwrap();
+        let (_, out2) = min.simulate(&inputs).unwrap();
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn already_minimal_machine_unchanged() {
+        let mut stg = Stg::new(1);
+        let a = stg.add_state("a");
+        let b = stg.add_state("b");
+        stg.set_transition(a, 1, b, 1);
+        stg.set_transition(b, 1, a, 0);
+        stg.set_transition(b, 0, b, 1);
+        let (min, _) = minimize_states(&stg);
+        assert_eq!(min.state_count(), 2);
+    }
+
+    #[test]
+    fn distinguishes_by_deep_successor_behavior() {
+        // Two states with identical outputs but successors that differ
+        // only two steps later.
+        let mut stg = Stg::new(1);
+        let s = [
+            stg.add_state("p"),
+            stg.add_state("q"),
+            stg.add_state("x"),
+            stg.add_state("y"),
+        ];
+        // p -> x, q -> y (same outputs); x outputs 0, y outputs 1 on input 1.
+        for w in 0..2u64 {
+            stg.set_transition(s[0], w, s[2], 0);
+            stg.set_transition(s[1], w, s[3], 0);
+            stg.set_transition(s[2], w, s[2], 0);
+            stg.set_transition(s[3], w, s[3], w);
+        }
+        let (min, map) = minimize_states(&stg);
+        assert_ne!(map[s[0]], map[s[1]], "p and q must stay distinct");
+        // p and x are equivalent (both emit 0 forever), so 3 classes remain.
+        assert_eq!(min.state_count(), 3);
+        assert_eq!(map[s[0]], map[s[2]]);
+    }
+}

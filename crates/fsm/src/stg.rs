@@ -1,0 +1,272 @@
+//! State transition graph representation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by FSM construction and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsmError {
+    /// A state index was out of range.
+    UnknownState {
+        /// The offending index.
+        state: usize,
+        /// Number of states in the machine.
+        count: usize,
+    },
+    /// An input word exceeded the machine's input width.
+    InputOutOfRange {
+        /// The offending input word.
+        input: u64,
+        /// The machine's input bit width.
+        width: usize,
+    },
+    /// The machine has no states.
+    Empty,
+    /// An encoding does not cover every state or assigns duplicate codes.
+    InvalidEncoding {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::UnknownState { state, count } => {
+                write!(f, "state index {state} out of range (machine has {count} states)")
+            }
+            FsmError::InputOutOfRange { input, width } => {
+                write!(f, "input word {input} exceeds {width}-bit input width")
+            }
+            FsmError::Empty => write!(f, "machine has no states"),
+            FsmError::InvalidEncoding { reason } => write!(f, "invalid encoding: {reason}"),
+        }
+    }
+}
+
+impl Error for FsmError {}
+
+/// One transition entry: next state and Mealy output word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Edge {
+    pub next: usize,
+    pub output: u64,
+}
+
+/// A completely specified, deterministic Mealy machine with `2^input_bits`
+/// explicit input symbols.
+///
+/// States are added with [`add_state`](Stg::add_state); unset transitions
+/// default to self-loops with zero output, keeping the machine completely
+/// specified at all times (the representation the survey's symbolic
+/// encoding algorithms assume).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stg {
+    input_bits: usize,
+    output_bits: usize,
+    names: Vec<String>,
+    /// `edges[state][input_word]`.
+    edges: Vec<Vec<Edge>>,
+    reset: usize,
+}
+
+impl Stg {
+    /// Creates an empty machine with the given input bit width and a
+    /// single-bit output.
+    pub fn new(input_bits: usize) -> Self {
+        Stg::with_outputs(input_bits, 1)
+    }
+
+    /// Creates an empty machine with explicit input and output bit widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_bits > 16` (the explicit-symbol representation
+    /// would explode).
+    pub fn with_outputs(input_bits: usize, output_bits: usize) -> Self {
+        assert!(input_bits <= 16, "explicit STG limited to 16 input bits");
+        Stg { input_bits, output_bits, names: Vec::new(), edges: Vec::new(), reset: 0 }
+    }
+
+    /// Adds a state (initially self-looping on all inputs with zero
+    /// output); returns its index.
+    pub fn add_state(&mut self, name: impl Into<String>) -> usize {
+        let idx = self.names.len();
+        self.names.push(name.into());
+        self.edges.push(vec![Edge { next: idx, output: 0 }; 1 << self.input_bits]);
+        idx
+    }
+
+    /// Sets the transition out of `state` on `input` to `(next, output)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state`/`next` are out of range or `input` exceeds the
+    /// input width (construction-time programming errors).
+    pub fn set_transition(&mut self, state: usize, input: u64, next: usize, output: u64) {
+        assert!(state < self.names.len(), "state {state} out of range");
+        assert!(next < self.names.len(), "next state {next} out of range");
+        assert!(input < (1 << self.input_bits) as u64, "input {input} out of range");
+        self.edges[state][input as usize] = Edge { next, output };
+    }
+
+    /// Sets the reset (initial) state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::UnknownState`] if the index is out of range.
+    pub fn set_reset(&mut self, state: usize) -> Result<(), FsmError> {
+        if state >= self.names.len() {
+            return Err(FsmError::UnknownState { state, count: self.names.len() });
+        }
+        self.reset = state;
+        Ok(())
+    }
+
+    /// The reset state.
+    pub fn reset(&self) -> usize {
+        self.reset
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Input bit width.
+    pub fn input_bits(&self) -> usize {
+        self.input_bits
+    }
+
+    /// Output bit width.
+    pub fn output_bits(&self) -> usize {
+        self.output_bits
+    }
+
+    /// Number of input symbols (`2^input_bits`).
+    pub fn symbol_count(&self) -> usize {
+        1 << self.input_bits
+    }
+
+    /// A state's name.
+    pub fn state_name(&self, state: usize) -> &str {
+        &self.names[state]
+    }
+
+    /// Next state from `state` on `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::UnknownState`] / [`FsmError::InputOutOfRange`]
+    /// for bad arguments.
+    pub fn next(&self, state: usize, input: u64) -> Result<usize, FsmError> {
+        self.check(state, input)?;
+        Ok(self.edges[state][input as usize].next)
+    }
+
+    /// Mealy output from `state` on `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::UnknownState`] / [`FsmError::InputOutOfRange`]
+    /// for bad arguments.
+    pub fn output(&self, state: usize, input: u64) -> Result<u64, FsmError> {
+        self.check(state, input)?;
+        Ok(self.edges[state][input as usize].output)
+    }
+
+    fn check(&self, state: usize, input: u64) -> Result<(), FsmError> {
+        if state >= self.names.len() {
+            return Err(FsmError::UnknownState { state, count: self.names.len() });
+        }
+        if input >= (1u64 << self.input_bits) {
+            return Err(FsmError::InputOutOfRange { input, width: self.input_bits });
+        }
+        Ok(())
+    }
+
+    /// Number of distinct (state, next-state) pairs with at least one
+    /// transition — the `t` of Tyagi's sparsity condition.
+    pub fn transition_pair_count(&self) -> usize {
+        let mut pairs = std::collections::HashSet::new();
+        for (s, row) in self.edges.iter().enumerate() {
+            for e in row {
+                pairs.insert((s, e.next));
+            }
+        }
+        pairs.len()
+    }
+
+    /// Simulates the machine over an input-word sequence from reset,
+    /// returning the visited state sequence (including the initial state)
+    /// and the emitted outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::InputOutOfRange`] if any word exceeds the input
+    /// width.
+    pub fn simulate(&self, inputs: &[u64]) -> Result<(Vec<usize>, Vec<u64>), FsmError> {
+        let mut states = Vec::with_capacity(inputs.len() + 1);
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut cur = self.reset;
+        states.push(cur);
+        for &w in inputs {
+            outputs.push(self.output(cur, w)?);
+            cur = self.next(cur, w)?;
+            states.push(cur);
+        }
+        Ok((states, outputs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle_machine() -> Stg {
+        // Two states; input bit 1 toggles, 0 holds. Output = state index.
+        let mut stg = Stg::new(1);
+        let s0 = stg.add_state("s0");
+        let s1 = stg.add_state("s1");
+        stg.set_transition(s0, 1, s1, 0);
+        stg.set_transition(s1, 1, s0, 1);
+        stg.set_transition(s0, 0, s0, 0);
+        stg.set_transition(s1, 0, s1, 1);
+        stg
+    }
+
+    #[test]
+    fn defaults_are_self_loops() {
+        let mut stg = Stg::new(2);
+        let s = stg.add_state("only");
+        for w in 0..4 {
+            assert_eq!(stg.next(s, w).unwrap(), s);
+            assert_eq!(stg.output(s, w).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn simulate_toggles() {
+        let stg = toggle_machine();
+        let (states, outputs) = stg.simulate(&[1, 1, 0, 1]).unwrap();
+        assert_eq!(states, vec![0, 1, 0, 0, 1]);
+        assert_eq!(outputs, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let stg = toggle_machine();
+        assert!(matches!(stg.next(5, 0), Err(FsmError::UnknownState { .. })));
+        assert!(matches!(stg.next(0, 2), Err(FsmError::InputOutOfRange { .. })));
+        let mut stg2 = toggle_machine();
+        assert!(stg2.set_reset(9).is_err());
+    }
+
+    #[test]
+    fn transition_pairs_counted_once() {
+        let stg = toggle_machine();
+        // pairs: (0,1),(1,0),(0,0),(1,1) = 4
+        assert_eq!(stg.transition_pair_count(), 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! Synthesis of an encoded STG into a gate-level netlist.
+//!
+//! Next-state and output functions are built symbolically as BDDs over the
+//! primary inputs and present-state lines, then mapped to multiplexer
+//! networks (§III-H's direct translation). The state register uses
+//! feedback flip-flops; reset is modeled through flip-flop initial values.
+
+use hlpower_bdd::{bdd_to_mux_netlist, BddManager, BddRef};
+use hlpower_netlist::{Bus, Netlist};
+
+use crate::encode::Encoding;
+use crate::stg::{FsmError, Stg};
+
+/// A synthesized FSM circuit.
+#[derive(Debug)]
+pub struct FsmCircuit {
+    /// The gate-level implementation.
+    pub netlist: Netlist,
+    /// Primary-input nodes (the machine's input word, LSB first).
+    pub inputs: Bus,
+    /// Present-state flip-flop outputs, LSB first.
+    pub state: Bus,
+    /// Output nodes (Mealy outputs, LSB first).
+    pub outputs: Bus,
+}
+
+/// Synthesizes `stg` under `encoding` into a gate-level netlist.
+///
+/// State-register flip-flops are attributed to the `registers/clock` group
+/// and the next-state/output logic to `control logic`, matching the
+/// component classes used by the survey's Table I.
+///
+/// # Errors
+///
+/// Returns [`FsmError::InvalidEncoding`] if the encoding does not cover
+/// every state, or [`FsmError::Empty`] for an empty machine.
+pub fn synthesize(stg: &Stg, encoding: &Encoding) -> Result<FsmCircuit, FsmError> {
+    if stg.state_count() == 0 {
+        return Err(FsmError::Empty);
+    }
+    if encoding.codes().len() != stg.state_count() {
+        return Err(FsmError::InvalidEncoding {
+            reason: format!(
+                "encoding covers {} states, machine has {}",
+                encoding.codes().len(),
+                stg.state_count()
+            ),
+        });
+    }
+    let in_bits = stg.input_bits();
+    let st_bits = encoding.bits();
+    let out_bits = stg.output_bits();
+
+    let mut nl = Netlist::new();
+    let inputs = nl.input_bus("in", in_bits);
+    let reset_code = encoding.code(stg.reset());
+    let state: Bus = nl.with_group("registers/clock", |nl| {
+        (0..st_bits).map(|i| nl.dff_placeholder((reset_code >> i) & 1 == 1)).collect()
+    });
+
+    // Symbolic functions over variables: inputs at 0..in_bits, state at
+    // in_bits..in_bits+st_bits.
+    let mut m = BddManager::new(in_bits + st_bits);
+    let mut next_fns: Vec<BddRef> = vec![BddRef::FALSE; st_bits];
+    let mut out_fns: Vec<BddRef> = vec![BddRef::FALSE; out_bits];
+    for s in 0..stg.state_count() {
+        let code = encoding.code(s);
+        // State-match literal product.
+        let mut state_cube = BddRef::TRUE;
+        for b in 0..st_bits {
+            let lit = if (code >> b) & 1 == 1 {
+                m.var((in_bits + b) as u32)
+            } else {
+                m.nvar((in_bits + b) as u32)
+            };
+            state_cube = m.and(state_cube, lit);
+        }
+        for w in 0..stg.symbol_count() as u64 {
+            let next_code = encoding.code(stg.next(s, w).expect("in range"));
+            let out_word = stg.output(s, w).expect("in range");
+            if next_code == 0 && out_word == 0 {
+                continue;
+            }
+            let mut cube = state_cube;
+            for b in 0..in_bits {
+                let lit = if (w >> b) & 1 == 1 { m.var(b as u32) } else { m.nvar(b as u32) };
+                cube = m.and(cube, lit);
+            }
+            for (bit, f) in next_fns.iter_mut().enumerate() {
+                if (next_code >> bit) & 1 == 1 {
+                    *f = m.or(*f, cube);
+                }
+            }
+            for (bit, f) in out_fns.iter_mut().enumerate() {
+                if (out_word >> bit) & 1 == 1 {
+                    *f = m.or(*f, cube);
+                }
+            }
+        }
+    }
+
+    // Map to logic. Variable nodes: inputs then state lines.
+    let mut var_nodes = inputs.clone();
+    var_nodes.extend(state.iter().copied());
+    let (next_nodes, outputs): (Bus, Bus) = nl.with_group("control logic", |nl| {
+        let next_nodes: Bus =
+            next_fns.iter().map(|&f| bdd_to_mux_netlist(&m, f, &var_nodes, nl)).collect();
+        let outputs: Bus =
+            out_fns.iter().map(|&f| bdd_to_mux_netlist(&m, f, &var_nodes, nl)).collect();
+        (next_nodes, outputs)
+    });
+    for (q, d) in state.iter().zip(&next_nodes) {
+        nl.connect_dff_d(*q, *d);
+    }
+    for (i, &o) in outputs.iter().enumerate() {
+        nl.set_output(format!("out[{i}]"), o);
+    }
+
+    Ok(FsmCircuit { netlist: nl, inputs, state, outputs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoding;
+    use crate::generators;
+    use hlpower_netlist::{words::to_bits, ZeroDelaySim};
+
+    /// Simulate the synthesized circuit against the STG reference.
+    fn check_equivalence(stg: &Stg, enc: &Encoding, steps: usize, seed: u64) {
+        let circuit = synthesize(stg, enc).unwrap();
+        let mut sim = ZeroDelaySim::new(&circuit.netlist).unwrap();
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let words: Vec<u64> =
+            (0..steps).map(|_| rng.gen_range(0..stg.symbol_count() as u64)).collect();
+        let (_, expected_outputs) = stg.simulate(&words).unwrap();
+        for (i, &w) in words.iter().enumerate() {
+            sim.step(&to_bits(w, stg.input_bits())).unwrap();
+            let got: u64 = hlpower_netlist::words::from_bits(&sim.output_values());
+            assert_eq!(got, expected_outputs[i], "step {i} input {w}");
+        }
+    }
+
+    #[test]
+    fn toggler_synthesizes_correctly() {
+        let mut stg = Stg::new(1);
+        let s0 = stg.add_state("s0");
+        let s1 = stg.add_state("s1");
+        stg.set_transition(s0, 1, s1, 1);
+        stg.set_transition(s1, 1, s0, 0);
+        stg.set_transition(s1, 0, s1, 0);
+        check_equivalence(&stg, &Encoding::binary(&stg), 50, 1);
+    }
+
+    #[test]
+    fn random_machines_synthesize_correctly_under_all_encodings() {
+        for seed in 0..3u64 {
+            let stg = generators::random_stg(2, 6, 2, seed);
+            for enc in [Encoding::binary(&stg), Encoding::gray(&stg), Encoding::one_hot(&stg)] {
+                check_equivalence(&stg, &enc, 100, seed + 10);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_state_is_honored() {
+        let mut stg = Stg::new(1);
+        let a = stg.add_state("a");
+        let b = stg.add_state("b");
+        stg.set_transition(a, 0, a, 0);
+        stg.set_transition(a, 1, b, 0);
+        stg.set_transition(b, 0, b, 1);
+        stg.set_transition(b, 1, b, 1);
+        stg.set_reset(b).unwrap();
+        let enc = Encoding::binary(&stg);
+        let circuit = synthesize(&stg, &enc).unwrap();
+        let mut sim = ZeroDelaySim::new(&circuit.netlist).unwrap();
+        sim.step(&[false]).unwrap();
+        // From reset state b, input 0 outputs 1.
+        assert_eq!(sim.output_values(), vec![true]);
+    }
+
+    #[test]
+    fn encoding_mismatch_is_rejected() {
+        let mut stg = Stg::new(1);
+        stg.add_state("a");
+        stg.add_state("b");
+        let enc = Encoding::from_codes(vec![0], 1).unwrap();
+        assert!(matches!(synthesize(&stg, &enc), Err(FsmError::InvalidEncoding { .. })));
+    }
+
+    #[test]
+    fn state_register_width_matches_encoding() {
+        let stg = generators::random_stg(1, 5, 1, 2);
+        let one_hot = Encoding::one_hot(&stg);
+        let c = synthesize(&stg, &one_hot).unwrap();
+        assert_eq!(c.state.len(), 5);
+        let bin = Encoding::binary(&stg);
+        let c2 = synthesize(&stg, &bin).unwrap();
+        assert_eq!(c2.state.len(), 3);
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::netlist::NodeId;
+
+/// Errors produced while building or analyzing a [`crate::Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// The combinational part of the netlist contains a cycle through the
+    /// given node, so no topological evaluation order exists.
+    CombinationalCycle {
+        /// A node participating in the cycle.
+        node: NodeId,
+    },
+    /// A gate was constructed with the wrong number of inputs.
+    ArityMismatch {
+        /// The offending gate kind, as a human-readable name.
+        gate: &'static str,
+        /// Number of inputs supplied.
+        got: usize,
+        /// Number of inputs expected (minimum for variadic gates).
+        expected: usize,
+    },
+    /// Two buses that must have equal widths do not.
+    WidthMismatch {
+        /// Width of the first operand.
+        left: usize,
+        /// Width of the second operand.
+        right: usize,
+    },
+    /// A vector supplied to a simulator does not match the input count.
+    InputWidthMismatch {
+        /// Number of bits supplied.
+        got: usize,
+        /// Number of primary inputs of the netlist.
+        expected: usize,
+    },
+    /// An empty stream or workload was supplied where at least one vector is
+    /// required.
+    EmptyStream,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::CombinationalCycle { node } => {
+                write!(f, "combinational cycle through node {node}")
+            }
+            NetlistError::ArityMismatch { gate, got, expected } => {
+                write!(f, "gate {gate} built with {got} inputs, expected {expected}")
+            }
+            NetlistError::WidthMismatch { left, right } => {
+                write!(f, "bus width mismatch: {left} vs {right}")
+            }
+            NetlistError::InputWidthMismatch { got, expected } => {
+                write!(f, "input vector has {got} bits, netlist has {expected} primary inputs")
+            }
+            NetlistError::EmptyStream => write!(f, "input stream produced no vectors"),
+        }
+    }
+}
+
+impl Error for NetlistError {}

@@ -1,0 +1,347 @@
+//! Event-driven, real-delay simulation capturing glitches.
+//!
+//! The zero-delay simulator in [`crate::ZeroDelaySim`] counts at most one
+//! transition per node per cycle. Real circuits also produce *glitches*
+//! (spurious transitions caused by unequal path delays) which can dominate
+//! power in arithmetic circuits; the survey's retiming and guarded-evaluation
+//! sections depend on them. This simulator propagates events under the
+//! library's transport-delay model, counting every transition.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::error::NetlistError;
+use crate::library::Library;
+use crate::netlist::{Netlist, NodeId, NodeKind};
+use crate::power::PowerReport;
+use crate::sim::Activity;
+
+/// Activity record with glitch decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedActivity {
+    /// All transitions per node (functional + glitches).
+    pub activity: Activity,
+    /// Functional (zero-delay) transitions per node; `activity.toggles -
+    /// functional` is the per-node glitch count.
+    pub functional: Vec<u64>,
+}
+
+impl TimedActivity {
+    /// Total number of glitch transitions across the circuit.
+    pub fn total_glitches(&self) -> u64 {
+        self.activity
+            .toggles
+            .iter()
+            .zip(&self.functional)
+            .map(|(&t, &f)| t - f)
+            .sum()
+    }
+
+    /// Glitch transitions on one node.
+    pub fn node_glitches(&self, node: NodeId) -> u64 {
+        self.activity.toggles[node.index()] - self.functional[node.index()]
+    }
+
+    /// Fraction of all transitions that are glitches.
+    pub fn glitch_fraction(&self) -> f64 {
+        let total: u64 = self.activity.toggles.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_glitches() as f64 / total as f64
+        }
+    }
+
+    /// Converts the (glitch-inclusive) activity into a power report.
+    pub fn power(&self, netlist: &Netlist, lib: &Library) -> PowerReport {
+        self.activity.power(netlist, lib)
+    }
+}
+
+/// Per-gate transport delays derived from a library.
+fn gate_delays_ps(netlist: &Netlist, lib: &Library) -> Vec<u64> {
+    netlist
+        .node_ids()
+        .map(|id| match netlist.kind(id) {
+            NodeKind::Gate { kind, inputs } => {
+                let c = lib.cell(*kind);
+                (c.delay_ps + c.delay_per_fanin_ps * (inputs.len().saturating_sub(1)) as f64)
+                    .round()
+                    .max(1.0) as u64
+            }
+            _ => 0,
+        })
+        .collect()
+}
+
+/// An event-driven simulator with per-gate transport delays.
+///
+/// Each [`step`](EventDrivenSim::step) models one clock cycle: primary
+/// inputs and flip-flop outputs change at time zero, and the resulting
+/// events propagate through the gates in timestamp order. All transitions —
+/// including glitches — are counted.
+#[derive(Debug, Clone)]
+pub struct EventDrivenSim<'a> {
+    netlist: &'a Netlist,
+    fanouts: Vec<Vec<NodeId>>,
+    delays: Vec<u64>,
+    values: Vec<bool>,
+    dff_next: Vec<bool>,
+    toggles: Vec<u64>,
+    functional: Vec<u64>,
+    cycles: u64,
+    initialized: bool,
+    order: Vec<NodeId>,
+}
+
+impl<'a> EventDrivenSim<'a> {
+    /// Creates an event-driven simulator for `netlist` under `lib`'s delay
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// network is cyclic.
+    pub fn new(netlist: &'a Netlist, lib: &Library) -> Result<Self, NetlistError> {
+        let order = netlist.topo_order()?;
+        let mut values = vec![false; netlist.node_count()];
+        let mut dff_next = Vec::with_capacity(netlist.dffs().len());
+        for &q in netlist.dffs() {
+            if let NodeKind::Dff { init, .. } = netlist.kind(q) {
+                values[q.index()] = *init;
+                dff_next.push(*init);
+            }
+        }
+        for id in netlist.node_ids() {
+            if let NodeKind::Const(v) = netlist.kind(id) {
+                values[id.index()] = *v;
+            }
+        }
+        // Settle the combinational network so the initial state is
+        // consistent (all-false inputs, flip-flops at their init values);
+        // otherwise the first input changes would propagate through stale
+        // gate values.
+        for &id in &order {
+            if let NodeKind::Gate { kind, inputs } = netlist.kind(id) {
+                let vals: Vec<bool> = inputs.iter().map(|f| values[f.index()]).collect();
+                values[id.index()] = kind.eval(&vals);
+            }
+        }
+        Ok(EventDrivenSim {
+            netlist,
+            fanouts: netlist.fanouts(),
+            delays: gate_delays_ps(netlist, lib),
+            values,
+            dff_next,
+            toggles: vec![0; netlist.node_count()],
+            functional: vec![0; netlist.node_count()],
+            cycles: 0,
+            initialized: false,
+            order,
+        })
+    }
+
+    fn eval_gate(&self, id: NodeId) -> bool {
+        match self.netlist.kind(id) {
+            NodeKind::Gate { kind, inputs } => {
+                let vals: Vec<bool> = inputs.iter().map(|f| self.values[f.index()]).collect();
+                kind.eval(&vals)
+            }
+            _ => self.values[id.index()],
+        }
+    }
+
+    /// Simulates one clock cycle with the given input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if `inputs` does not
+    /// have one bit per primary input.
+    pub fn step(&mut self, inputs: &[bool]) -> Result<(), NetlistError> {
+        if inputs.len() != self.netlist.input_count() {
+            return Err(NetlistError::InputWidthMismatch {
+                got: inputs.len(),
+                expected: self.netlist.input_count(),
+            });
+        }
+        let count = self.initialized;
+        // Record functional transitions by diffing stable states: snapshot
+        // old stable values of gates first.
+        let old_values = self.values.clone();
+
+        let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+        // Time-zero events: DFF outputs and primary inputs.
+        for (i, &q) in self.netlist.dffs().iter().enumerate() {
+            let new = self.dff_next[i];
+            if self.values[q.index()] != new {
+                self.values[q.index()] = new;
+                if count {
+                    self.toggles[q.index()] += 1;
+                }
+                for &f in &self.fanouts[q.index()] {
+                    if matches!(self.netlist.kind(f), NodeKind::Gate { .. }) {
+                        heap.push(Reverse((self.delays[f.index()], f)));
+                    }
+                }
+            }
+        }
+        for (i, &inp) in self.netlist.inputs().iter().enumerate() {
+            if self.values[inp.index()] != inputs[i] {
+                self.values[inp.index()] = inputs[i];
+                if count {
+                    self.toggles[inp.index()] += 1;
+                }
+                for &f in &self.fanouts[inp.index()] {
+                    if matches!(self.netlist.kind(f), NodeKind::Gate { .. }) {
+                        heap.push(Reverse((self.delays[f.index()], f)));
+                    }
+                }
+            }
+        }
+        // Propagate events in time order (transport delay: every scheduled
+        // evaluation re-reads current fanin values).
+        while let Some(Reverse((t, id))) = heap.pop() {
+            let new = self.eval_gate(id);
+            if new != self.values[id.index()] {
+                self.values[id.index()] = new;
+                if count {
+                    self.toggles[id.index()] += 1;
+                }
+                for &f in &self.fanouts[id.index()] {
+                    if matches!(self.netlist.kind(f), NodeKind::Gate { .. }) {
+                        heap.push(Reverse((t + self.delays[f.index()], f)));
+                    }
+                }
+            }
+        }
+        // Functional transition accounting: stable-state diff.
+        if count {
+            for &id in &self.order {
+                if old_values[id.index()] != self.values[id.index()] {
+                    self.functional[id.index()] += 1;
+                }
+            }
+            self.cycles += 1;
+        }
+        // Sample D inputs at the (next) clock edge.
+        for (i, &q) in self.netlist.dffs().iter().enumerate() {
+            if let NodeKind::Dff { d, .. } = self.netlist.kind(q) {
+                self.dff_next[i] = self.values[d.index()];
+            }
+        }
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Current value of a node.
+    pub fn value(&self, node: NodeId) -> bool {
+        self.values[node.index()]
+    }
+
+    /// Current primary-output values.
+    pub fn output_values(&self) -> Vec<bool> {
+        self.netlist.outputs().iter().map(|&(_, n)| self.values[n.index()]).collect()
+    }
+
+    /// Runs over a stream of vectors and returns the timed activity.
+    pub fn run(&mut self, stream: impl IntoIterator<Item = Vec<bool>>) -> TimedActivity {
+        for v in stream {
+            if self.step(&v).is_err() {
+                break;
+            }
+        }
+        self.take_activity()
+    }
+
+    /// Returns the accumulated activity, resetting the counters.
+    pub fn take_activity(&mut self) -> TimedActivity {
+        let toggles = std::mem::replace(&mut self.toggles, vec![0; self.netlist.node_count()]);
+        let functional =
+            std::mem::replace(&mut self.functional, vec![0; self.netlist.node_count()]);
+        let cycles = self.cycles;
+        self.cycles = 0;
+        TimedActivity { activity: Activity { toggles, cycles }, functional }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Library;
+    use crate::netlist::Netlist;
+    use crate::sim::ZeroDelaySim;
+
+    /// A classic glitch generator: y = a AND (NOT a) settles to 0 but
+    /// produces a pulse when `a` rises (the AND sees the new `a` before the
+    /// inverted one).
+    fn glitcher() -> (Netlist, NodeId) {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let na = nl.not(a);
+        // Lengthen the inverting path to widen the hazard window.
+        let na2 = nl.buf(na);
+        let na3 = nl.buf(na2);
+        let y = nl.and([a, na3]);
+        nl.set_output("y", y);
+        (nl, y)
+    }
+
+    #[test]
+    fn static_hazard_is_counted_as_glitch() {
+        let (nl, y) = glitcher();
+        let lib = Library::default();
+        let mut sim = EventDrivenSim::new(&nl, &lib).unwrap();
+        sim.step(&[false]).unwrap();
+        sim.step(&[true]).unwrap(); // rising edge: glitch pulse on y
+        let act = sim.take_activity();
+        // y stays functionally 0 but glitched (two transitions: 0->1->0).
+        assert_eq!(act.functional[y.index()], 0);
+        assert_eq!(act.activity.toggles[y.index()], 2);
+        assert_eq!(act.node_glitches(y), 2);
+    }
+
+    #[test]
+    fn settles_to_functional_values() {
+        let (nl, _) = glitcher();
+        let lib = Library::default();
+        let mut ev = EventDrivenSim::new(&nl, &lib).unwrap();
+        let mut zd = ZeroDelaySim::new(&nl).unwrap();
+        for v in [false, true, true, false, true] {
+            ev.step(&[v]).unwrap();
+            zd.step(&[v]).unwrap();
+            assert_eq!(ev.output_values(), zd.output_values());
+        }
+    }
+
+    #[test]
+    fn event_toggles_at_least_functional() {
+        // On a random-ish circuit: event-driven counts >= zero-delay counts.
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 4);
+        let b = nl.input_bus("b", 4);
+        let zero = nl.constant(false);
+        let sum = crate::gen::ripple_adder(&mut nl, &a, &b, zero);
+        nl.output_bus("s", &sum);
+        let lib = Library::default();
+        let mut ev = EventDrivenSim::new(&nl, &lib).unwrap();
+        let vecs: Vec<Vec<bool>> = crate::streams::random(3, nl.input_count()).take(50).collect();
+        let timed = ev.run(vecs.clone());
+        let mut zd = ZeroDelaySim::new(&nl).unwrap();
+        let plain = zd.run(vecs);
+        let ev_total: u64 = timed.activity.toggles.iter().sum();
+        let zd_total: u64 = plain.toggles.iter().sum();
+        assert!(ev_total >= zd_total);
+        // Functional decomposition must match the zero-delay simulator.
+        assert_eq!(timed.functional, plain.toggles);
+    }
+
+    #[test]
+    fn glitch_fraction_bounded() {
+        let (nl, _) = glitcher();
+        let lib = Library::default();
+        let mut sim = EventDrivenSim::new(&nl, &lib).unwrap();
+        let t = sim.run(crate::streams::random(11, 1).take(200));
+        let f = t.glitch_fraction();
+        assert!((0.0..=1.0).contains(&f));
+    }
+}

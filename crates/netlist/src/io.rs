@@ -1,0 +1,302 @@
+//! Textual netlist interchange: a small BLIF-inspired structural format.
+//!
+//! One declaration per line:
+//!
+//! ```text
+//! # comment
+//! input a
+//! const c0 0
+//! gate  g1 and a b c0
+//! dff   q1 g1 0
+//! output y g1
+//! group g1 control_logic
+//! ```
+//!
+//! Node names are arbitrary identifiers; gates reference previously
+//! declared nodes, with forward references allowed only for flip-flop
+//! data inputs (matching the builder's feedback rule).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::library::GateKind;
+use crate::netlist::{Netlist, NodeId, NodeKind};
+
+/// Errors from parsing the textual netlist format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseNetlistError {
+    /// A line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A referenced node name was never declared.
+    UnknownName {
+        /// 1-based line number.
+        line: usize,
+        /// The undeclared name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetlistError::Malformed { line, reason } => {
+                write!(f, "netlist line {line}: {reason}")
+            }
+            ParseNetlistError::UnknownName { line, name } => {
+                write!(f, "netlist line {line}: unknown node '{name}'")
+            }
+        }
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+fn gate_kind_by_name(name: &str) -> Option<GateKind> {
+    GateKind::all().into_iter().find(|k| k.name() == name)
+}
+
+/// Serializes a netlist to the textual format. Node names are synthesized
+/// as `n<index>` unless the node carries a name.
+pub fn write_netlist(nl: &Netlist) -> String {
+    let name_of = |id: NodeId| -> String {
+        match nl.name(id) {
+            // Escape whitespace-unsafe names by index fallback.
+            Some(n) if !n.contains(char::is_whitespace) => n.to_string(),
+            _ => format!("n{}", id.index()),
+        }
+    };
+    let mut out = String::new();
+    for id in nl.node_ids() {
+        match nl.kind(id) {
+            NodeKind::Input => out.push_str(&format!("input {}\n", name_of(id))),
+            NodeKind::Const(v) => {
+                out.push_str(&format!("const {} {}\n", name_of(id), *v as u8))
+            }
+            NodeKind::Gate { kind, inputs } => {
+                out.push_str(&format!("gate {} {}", name_of(id), kind.name()));
+                for i in inputs {
+                    out.push_str(&format!(" {}", name_of(*i)));
+                }
+                out.push('\n');
+            }
+            NodeKind::Dff { d, init } => {
+                out.push_str(&format!("dff {} {} {}\n", name_of(id), name_of(*d), *init as u8))
+            }
+        }
+        if let Some(g) = nl.node_group(id) {
+            out.push_str(&format!(
+                "group {} {}\n",
+                name_of(id),
+                nl.group_name(g).replace(char::is_whitespace, "_")
+            ));
+        }
+    }
+    for (name, node) in nl.outputs() {
+        out.push_str(&format!(
+            "output {} {}\n",
+            name.replace(char::is_whitespace, "_"),
+            name_of(*node)
+        ));
+    }
+    out
+}
+
+/// Parses the textual format back into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] with the offending line on any syntax or
+/// reference problem.
+pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
+    let mut nl = Netlist::new();
+    let mut names: HashMap<String, NodeId> = HashMap::new();
+    // Flip-flops may reference nodes declared later: collect fixups.
+    let mut dff_fixups: Vec<(usize, NodeId, String)> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = ln + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let malformed = |reason: &str| ParseNetlistError::Malformed {
+            line: lineno,
+            reason: reason.to_string(),
+        };
+        match fields[0] {
+            "input" => {
+                let name = fields.get(1).ok_or_else(|| malformed("input needs a name"))?;
+                let id = nl.input(name.to_string());
+                names.insert(name.to_string(), id);
+            }
+            "const" => {
+                if fields.len() != 3 {
+                    return Err(malformed("const needs a name and 0/1"));
+                }
+                let v = match fields[2] {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(malformed("const value must be 0 or 1")),
+                };
+                let id = nl.constant(v);
+                names.insert(fields[1].to_string(), id);
+            }
+            "gate" => {
+                if fields.len() < 4 {
+                    return Err(malformed("gate needs name, kind, inputs"));
+                }
+                let kind = gate_kind_by_name(fields[2])
+                    .ok_or_else(|| malformed(&format!("unknown gate kind '{}'", fields[2])))?;
+                let mut inputs = Vec::new();
+                for f in &fields[3..] {
+                    let id = names.get(*f).ok_or_else(|| ParseNetlistError::UnknownName {
+                        line: lineno,
+                        name: f.to_string(),
+                    })?;
+                    inputs.push(*id);
+                }
+                let id = nl.gate(kind, inputs).map_err(|e| malformed(&e.to_string()))?;
+                nl.set_name(id, fields[1].to_string());
+                names.insert(fields[1].to_string(), id);
+            }
+            "dff" => {
+                if fields.len() != 4 {
+                    return Err(malformed("dff needs name, data input, init"));
+                }
+                let init = match fields[3] {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(malformed("dff init must be 0 or 1")),
+                };
+                let q = nl.dff_placeholder(init);
+                nl.set_name(q, fields[1].to_string());
+                names.insert(fields[1].to_string(), q);
+                dff_fixups.push((lineno, q, fields[2].to_string()));
+            }
+            "output" => {
+                if fields.len() != 3 {
+                    return Err(malformed("output needs a name and a node"));
+                }
+                let id = names.get(fields[2]).ok_or_else(|| ParseNetlistError::UnknownName {
+                    line: lineno,
+                    name: fields[2].to_string(),
+                })?;
+                nl.set_output(fields[1].to_string(), *id);
+            }
+            "group" => {
+                if fields.len() != 3 {
+                    return Err(malformed("group needs a node and a group name"));
+                }
+                let id = *names.get(fields[1]).ok_or_else(|| ParseNetlistError::UnknownName {
+                    line: lineno,
+                    name: fields[1].to_string(),
+                })?;
+                let g = nl.group(fields[2].to_string());
+                nl.set_node_group(id, g);
+            }
+            other => return Err(malformed(&format!("unknown declaration '{other}'"))),
+        }
+    }
+    for (lineno, q, dname) in dff_fixups {
+        let d = *names.get(&dname).ok_or(ParseNetlistError::UnknownName {
+            line: lineno,
+            name: dname,
+        })?;
+        nl.connect_dff_d(q, d);
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::streams;
+    use crate::ZeroDelaySim;
+
+    #[test]
+    fn round_trip_combinational() {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 4);
+        let b = nl.input_bus("b", 4);
+        let zero = nl.constant(false);
+        let s = gen::ripple_adder(&mut nl, &a, &b, zero);
+        nl.output_bus("s", &s);
+        let text = write_netlist(&nl);
+        let back = parse_netlist(&text).expect("well-formed");
+        assert_eq!(back.input_count(), nl.input_count());
+        assert_eq!(back.gate_count(), nl.gate_count());
+        let vecs: Vec<Vec<bool>> = streams::random(1, 8).take(200).collect();
+        let mut s1 = ZeroDelaySim::new(&nl).expect("acyclic");
+        let mut s2 = ZeroDelaySim::new(&back).expect("acyclic");
+        for v in &vecs {
+            assert_eq!(
+                s1.eval_combinational(v).expect("width"),
+                s2.eval_combinational(v).expect("width")
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_sequential_with_feedback() {
+        // q = dff(xor(q, en)): a toggle register with feedback.
+        let mut nl = Netlist::new();
+        let en = nl.input("en");
+        let q = nl.dff_placeholder(false);
+        let d = nl.xor([q, en]);
+        nl.connect_dff_d(q, d);
+        nl.set_output("q", q);
+        let text = write_netlist(&nl);
+        let back = parse_netlist(&text).expect("well-formed");
+        let mut s1 = ZeroDelaySim::new(&nl).expect("ok");
+        let mut s2 = ZeroDelaySim::new(&back).expect("ok");
+        for v in [true, false, true, true, false, true] {
+            s1.step(&[v]).expect("width");
+            s2.step(&[v]).expect("width");
+            assert_eq!(s1.output_values(), s2.output_values());
+        }
+    }
+
+    #[test]
+    fn groups_survive_round_trip() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.with_group("control logic", |nl| nl.and([a, b]));
+        nl.set_output("y", y);
+        let back = parse_netlist(&write_netlist(&nl)).expect("well-formed");
+        let yid = back.outputs()[0].1;
+        assert_eq!(back.group_name(back.node_group(yid).expect("grouped")), "control_logic");
+    }
+
+    #[test]
+    fn parse_errors_carry_lines() {
+        assert!(matches!(
+            parse_netlist("input a\nfrobnicate x\n"),
+            Err(ParseNetlistError::Malformed { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_netlist("gate g and x y\n"),
+            Err(ParseNetlistError::UnknownName { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_netlist("input a\ngate g frob a a\n"),
+            Err(ParseNetlistError::Malformed { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\ninput a\n  # indented comment\noutput y a\n";
+        let nl = parse_netlist(text).expect("well-formed");
+        assert_eq!(nl.input_count(), 1);
+        assert_eq!(nl.outputs().len(), 1);
+    }
+}

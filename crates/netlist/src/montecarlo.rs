@@ -1,0 +1,187 @@
+//! Monte-Carlo average-power estimation with confidence intervals (survey
+//! reference 32, Burch et al.) and simple batching.
+
+use crate::error::NetlistError;
+use crate::library::Library;
+use crate::netlist::Netlist;
+use crate::sim::ZeroDelaySim;
+
+/// Options controlling a Monte-Carlo power-estimation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloOptions {
+    /// Cycles per batch (each batch yields one power sample).
+    pub batch_cycles: usize,
+    /// Maximum number of batches.
+    pub max_batches: usize,
+    /// Stop when the half-width of the confidence interval falls below this
+    /// fraction of the running mean.
+    pub target_relative_error: f64,
+    /// Two-sided confidence multiplier (1.96 ~ 95% under normality).
+    pub z: f64,
+}
+
+impl Default for MonteCarloOptions {
+    fn default() -> Self {
+        MonteCarloOptions {
+            batch_cycles: 200,
+            max_batches: 200,
+            target_relative_error: 0.02,
+            z: 1.96,
+        }
+    }
+}
+
+/// Result of a Monte-Carlo power estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloResult {
+    /// Estimated average power, in microwatts.
+    pub power_uw: f64,
+    /// Half-width of the confidence interval, in microwatts.
+    pub half_width_uw: f64,
+    /// Number of batches simulated.
+    pub batches: usize,
+    /// Total cycles simulated.
+    pub cycles: u64,
+}
+
+impl MonteCarloResult {
+    /// Relative half-width of the confidence interval.
+    pub fn relative_error(&self) -> f64 {
+        if self.power_uw == 0.0 {
+            0.0
+        } else {
+            self.half_width_uw / self.power_uw
+        }
+    }
+}
+
+/// Estimates average power by batched Monte-Carlo simulation over a stream.
+///
+/// The stream supplies input vectors; each batch of `opts.batch_cycles`
+/// cycles contributes one power sample, and sampling stops when the
+/// normal-approximation confidence interval is tighter than
+/// `opts.target_relative_error` (after at least 5 batches) or when
+/// `opts.max_batches` is exhausted.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists or
+/// [`NetlistError::EmptyStream`] if the stream ends before one full batch.
+pub fn monte_carlo_power(
+    netlist: &Netlist,
+    lib: &Library,
+    stream: impl IntoIterator<Item = Vec<bool>>,
+    opts: &MonteCarloOptions,
+) -> Result<MonteCarloResult, NetlistError> {
+    let mut sim = ZeroDelaySim::new(netlist)?;
+    let mut it = stream.into_iter();
+    let mut samples: Vec<f64> = Vec::new();
+    let mut total_cycles = 0u64;
+    for _batch in 0..opts.max_batches {
+        let mut got = 0usize;
+        for _ in 0..opts.batch_cycles {
+            match it.next() {
+                Some(v) => {
+                    sim.step(&v)?;
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        if got == 0 {
+            break;
+        }
+        let act = sim.take_activity();
+        total_cycles += act.cycles;
+        samples.push(act.power(netlist, lib).total_power_uw());
+        if samples.len() >= 5 {
+            let (mean, hw) = mean_half_width(&samples, opts.z);
+            if mean > 0.0 && hw / mean < opts.target_relative_error {
+                return Ok(MonteCarloResult {
+                    power_uw: mean,
+                    half_width_uw: hw,
+                    batches: samples.len(),
+                    cycles: total_cycles,
+                });
+            }
+        }
+    }
+    if samples.is_empty() {
+        return Err(NetlistError::EmptyStream);
+    }
+    let (mean, hw) = mean_half_width(&samples, opts.z);
+    Ok(MonteCarloResult {
+        power_uw: mean,
+        half_width_uw: hw,
+        batches: samples.len(),
+        cycles: total_cycles,
+    })
+}
+
+fn mean_half_width(samples: &[f64], z: f64) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, f64::INFINITY);
+    }
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, z * (var / n).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streams;
+
+    fn adder() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 8);
+        let b = nl.input_bus("b", 8);
+        let c0 = nl.constant(false);
+        let s = crate::gen::ripple_adder(&mut nl, &a, &b, c0);
+        nl.output_bus("s", &s);
+        nl
+    }
+
+    #[test]
+    fn converges_on_random_stimulus() {
+        let nl = adder();
+        let lib = Library::default();
+        let r = monte_carlo_power(
+            &nl,
+            &lib,
+            streams::random(77, nl.input_count()),
+            &MonteCarloOptions::default(),
+        )
+        .unwrap();
+        assert!(r.power_uw > 0.0);
+        assert!(r.relative_error() <= 0.02 + 1e-9);
+        assert!(r.batches >= 5);
+    }
+
+    #[test]
+    fn matches_exhaustive_average() {
+        let nl = adder();
+        let lib = Library::default();
+        let mc = monte_carlo_power(
+            &nl,
+            &lib,
+            streams::random(5, nl.input_count()),
+            &MonteCarloOptions { target_relative_error: 0.01, max_batches: 400, ..Default::default() },
+        )
+        .unwrap();
+        let mut sim = ZeroDelaySim::new(&nl).unwrap();
+        let act = sim.run(streams::random(123, nl.input_count()).take(40_000));
+        let full = act.power(&nl, &lib).total_power_uw();
+        let rel = (mc.power_uw - full).abs() / full;
+        assert!(rel < 0.03, "mc {:.2} vs full {:.2}", mc.power_uw, full);
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        let nl = adder();
+        let lib = Library::default();
+        let err = monte_carlo_power(&nl, &lib, Vec::<Vec<bool>>::new(), &MonteCarloOptions::default());
+        assert!(matches!(err, Err(NetlistError::EmptyStream)));
+    }
+}

@@ -1,0 +1,359 @@
+//! Probabilistic power estimation: signal probabilities and switching
+//! activities propagated through the netlist under the spatial-independence
+//! assumption (the probabilistic-simulation family of the survey's refs
+//! \[27\]–\[31\]).
+//!
+//! Each signal carries a stationary pair model `(p, d)`: `p` is the
+//! probability of being 1 and `d` the probability of toggling between
+//! consecutive cycles (zero-delay semantics, so `d` is also the expected
+//! transitions per cycle). Under input independence the propagation below
+//! is *exact* for fanout-free circuits; reconvergent fanout introduces the
+//! correlation error that the survey's sampling-based methods address.
+
+use crate::error::NetlistError;
+use crate::library::Library;
+use crate::netlist::{Netlist, NodeId, NodeKind};
+
+/// Signal statistics of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SignalStats {
+    /// Probability that the signal is logic 1.
+    pub probability: f64,
+    /// Probability of a (zero-delay) transition between consecutive cycles.
+    pub density: f64,
+}
+
+impl SignalStats {
+    /// Statistics of an independent fair coin re-drawn every cycle.
+    pub fn uniform() -> Self {
+        SignalStats { probability: 0.5, density: 0.5 }
+    }
+
+    /// Joint probability of being 1 in two consecutive cycles, assuming
+    /// stationarity: `P11 = p - d/2`.
+    pub fn p11(&self) -> f64 {
+        (self.probability - self.density / 2.0).max(0.0)
+    }
+
+    /// Joint probability of being 0 in two consecutive cycles.
+    pub fn p00(&self) -> f64 {
+        (1.0 - self.probability - self.density / 2.0).max(0.0)
+    }
+}
+
+/// Probabilistic analysis of a netlist: per-node signal probability and
+/// switching activity, from which an analytic power estimate is derived.
+#[derive(Debug, Clone)]
+pub struct ProbabilityAnalysis {
+    stats: Vec<SignalStats>,
+}
+
+impl ProbabilityAnalysis {
+    /// Propagates the given primary-input statistics through the netlist.
+    ///
+    /// `input_stats` must contain one entry per primary input, in
+    /// declaration order. Flip-flop outputs are fixed-point iterated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if `input_stats` has the
+    /// wrong length, or [`NetlistError::CombinationalCycle`] if the netlist
+    /// is cyclic.
+    pub fn propagate(
+        netlist: &Netlist,
+        input_stats: &[SignalStats],
+    ) -> Result<Self, NetlistError> {
+        if input_stats.len() != netlist.input_count() {
+            return Err(NetlistError::InputWidthMismatch {
+                got: input_stats.len(),
+                expected: netlist.input_count(),
+            });
+        }
+        let order = netlist.topo_order()?;
+        let mut stats = vec![SignalStats::default(); netlist.node_count()];
+        for (i, &inp) in netlist.inputs().iter().enumerate() {
+            stats[inp.index()] = input_stats[i];
+        }
+        for id in netlist.node_ids() {
+            match netlist.kind(id) {
+                NodeKind::Const(v) => {
+                    stats[id.index()] = SignalStats {
+                        probability: if *v { 1.0 } else { 0.0 },
+                        density: 0.0,
+                    }
+                }
+                NodeKind::Dff { .. } => stats[id.index()] = SignalStats::uniform(),
+                _ => {}
+            }
+        }
+        // Fixed point over sequential feedback.
+        for _ in 0..50 {
+            for &id in &order {
+                if let NodeKind::Gate { kind, inputs } = netlist.kind(id) {
+                    let fanin: Vec<SignalStats> =
+                        inputs.iter().map(|f| stats[f.index()]).collect();
+                    stats[id.index()] = propagate_gate(*kind, &fanin);
+                }
+            }
+            let mut delta = 0.0f64;
+            for &q in netlist.dffs() {
+                if let NodeKind::Dff { d, .. } = netlist.kind(q) {
+                    // q is d delayed one cycle: identical stationary stats.
+                    let new = stats[d.index()];
+                    delta = delta
+                        .max((new.probability - stats[q.index()].probability).abs())
+                        .max((new.density - stats[q.index()].density).abs());
+                    stats[q.index()] = new;
+                }
+            }
+            if delta < 1e-10 {
+                break;
+            }
+        }
+        Ok(ProbabilityAnalysis { stats })
+    }
+
+    /// Propagates uniform random input statistics (`p = 0.5`, toggle
+    /// probability 0.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the netlist is cyclic.
+    pub fn propagate_uniform(netlist: &Netlist) -> Result<Self, NetlistError> {
+        let stats = vec![SignalStats::uniform(); netlist.input_count()];
+        Self::propagate(netlist, &stats)
+    }
+
+    /// The statistics of one node.
+    pub fn stats(&self, node: NodeId) -> SignalStats {
+        self.stats[node.index()]
+    }
+
+    /// Analytic average-power estimate in microwatts: `sum(0.5 Vdd^2 C_i
+    /// D_i) * f` plus internal energies weighted by densities and the clock
+    /// tree contribution.
+    pub fn power_uw(&self, netlist: &Netlist, lib: &Library) -> f64 {
+        let caps = netlist.load_caps_ff(lib);
+        let period_s = lib.clock_period_ns() * 1e-9;
+        let mut fj_per_cycle = 0.0;
+        for id in netlist.node_ids() {
+            let d = self.stats[id.index()].density;
+            if d == 0.0 {
+                continue;
+            }
+            let mut e = lib.switching_energy_fj(caps[id.index()]) * d;
+            match netlist.kind(id) {
+                NodeKind::Gate { kind, .. } => e += lib.cell(*kind).internal_energy_fj * d,
+                NodeKind::Dff { .. } => e += lib.dff_internal_energy_fj * d,
+                _ => {}
+            }
+            fj_per_cycle += e;
+        }
+        let n_dff = netlist.dffs().len() as f64;
+        fj_per_cycle +=
+            lib.switching_energy_fj(lib.dff_clk_cap_ff) * 2.0 * n_dff + lib.dff_clock_energy_fj * n_dff;
+        fj_per_cycle * 1e-15 / period_s * 1e6
+    }
+}
+
+/// Propagate `(p, d)` across one gate assuming independent, stationary
+/// fanins. Exact for every gate kind.
+fn propagate_gate(kind: crate::library::GateKind, fanin: &[SignalStats]) -> SignalStats {
+    use crate::library::GateKind::*;
+    let clamp = |s: SignalStats| SignalStats {
+        probability: s.probability.clamp(0.0, 1.0),
+        density: s.density.clamp(0.0, 1.0),
+    };
+    let out = match kind {
+        Buf => fanin[0],
+        Not => SignalStats { probability: 1.0 - fanin[0].probability, density: fanin[0].density },
+        And | Nand => {
+            let p: f64 = fanin.iter().map(|s| s.probability).product();
+            let p11: f64 = fanin.iter().map(|s| s.p11()).product();
+            let d = 2.0 * (p - p11);
+            let p = if kind == And { p } else { 1.0 - p };
+            SignalStats { probability: p, density: d }
+        }
+        Or | Nor => {
+            let q: f64 = fanin.iter().map(|s| 1.0 - s.probability).product();
+            let p00: f64 = fanin.iter().map(|s| s.p00()).product();
+            let d = 2.0 * (q - p00);
+            let p = if kind == Or { 1.0 - q } else { q };
+            SignalStats { probability: p, density: d }
+        }
+        Xor | Xnor => {
+            // Probability by pairwise combination; the output toggles iff an
+            // odd number of inputs toggle.
+            let mut p = 0.0;
+            for s in fanin {
+                p = p * (1.0 - s.probability) + (1.0 - p) * s.probability;
+            }
+            let prod: f64 = fanin.iter().map(|s| 1.0 - 2.0 * s.density).product();
+            let d = (1.0 - prod) / 2.0;
+            SignalStats { probability: if kind == Xor { p } else { 1.0 - p }, density: d }
+        }
+        Mux => mux_exact(fanin[0], fanin[1], fanin[2]),
+    };
+    clamp(out)
+}
+
+/// Exact two-cycle enumeration for the 2:1 mux `y = s ? b : a`.
+fn mux_exact(s: SignalStats, a: SignalStats, b: SignalStats) -> SignalStats {
+    // Pair distribution of one signal: [P00, P01, P10, P11].
+    let pairs = |x: SignalStats| [x.p00(), x.density / 2.0, x.density / 2.0, x.p11()];
+    let (ps, pa, pb) = (pairs(s), pairs(a), pairs(b));
+    let bit = |pair_idx: usize, cycle: usize| -> bool {
+        if cycle == 0 {
+            pair_idx & 2 != 0
+        } else {
+            pair_idx & 1 != 0
+        }
+    };
+    let mut p1 = 0.0;
+    let mut toggle = 0.0;
+    for is in 0..4 {
+        for ia in 0..4 {
+            for ib in 0..4 {
+                let w = ps[is] * pa[ia] * pb[ib];
+                if w == 0.0 {
+                    continue;
+                }
+                let y0 = if bit(is, 0) { bit(ib, 0) } else { bit(ia, 0) };
+                let y1 = if bit(is, 1) { bit(ib, 1) } else { bit(ia, 1) };
+                if y1 {
+                    p1 += w;
+                }
+                if y0 != y1 {
+                    toggle += w;
+                }
+            }
+        }
+    }
+    SignalStats { probability: p1, density: toggle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::sim::ZeroDelaySim;
+    use crate::streams;
+
+    #[test]
+    fn and_gate_probability_and_density() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.and([a, b]);
+        nl.set_output("y", y);
+        let pa = ProbabilityAnalysis::propagate_uniform(&nl).unwrap();
+        assert!((pa.stats(y).probability - 0.25).abs() < 1e-12);
+        // For iid uniform inputs: P(toggle) = 2 * (1/4 - 1/16) = 3/8.
+        assert!((pa.stats(y).density - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_gate_probability_and_density() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.xor([a, b]);
+        nl.set_output("y", y);
+        let pa = ProbabilityAnalysis::propagate_uniform(&nl).unwrap();
+        assert!((pa.stats(y).probability - 0.5).abs() < 1e-12);
+        assert!((pa.stats(y).density - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_inputs_have_zero_density() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let c = nl.constant(true);
+        let y = nl.and([a, c]);
+        nl.set_output("y", y);
+        let pa = ProbabilityAnalysis::propagate_uniform(&nl).unwrap();
+        assert!((pa.stats(y).probability - 0.5).abs() < 1e-12);
+        assert!((pa.stats(y).density - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mux_matches_composition() {
+        // y = s ? b : a with uniform inputs: p = 0.5; density measured
+        // against simulation below.
+        let mut nl = Netlist::new();
+        let s = nl.input("s");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.mux(s, a, b);
+        nl.set_output("y", y);
+        let pa = ProbabilityAnalysis::propagate_uniform(&nl).unwrap();
+        assert!((pa.stats(y).probability - 0.5).abs() < 1e-12);
+        let mut sim = ZeroDelaySim::new(&nl).unwrap();
+        let act = sim.run(streams::random(31, 3).take(100_000));
+        let measured = act.node_activity(y);
+        assert!(
+            (pa.stats(y).density - measured).abs() < 0.01,
+            "analytic {} vs measured {}",
+            pa.stats(y).density,
+            measured
+        );
+    }
+
+    #[test]
+    fn estimate_tracks_simulation_on_tree_circuit() {
+        // A fanout-free tree: independence holds exactly, so the analytic
+        // estimate should closely match simulation.
+        let mut nl = Netlist::new();
+        let ins = nl.input_bus("x", 8);
+        let g1 = nl.and([ins[0], ins[1]]);
+        let g2 = nl.or([ins[2], ins[3]]);
+        let g3 = nl.xor([ins[4], ins[5]]);
+        let g4 = nl.nand([ins[6], ins[7]]);
+        let g5 = nl.or([g1, g2]);
+        let g6 = nl.and([g3, g4]);
+        let y = nl.xor([g5, g6]);
+        nl.set_output("y", y);
+        let lib = crate::Library::default();
+        let pa = ProbabilityAnalysis::propagate_uniform(&nl).unwrap();
+        let est = pa.power_uw(&nl, &lib);
+        let mut sim = ZeroDelaySim::new(&nl).unwrap();
+        let act = sim.run(streams::random(9, 8).take(50_000));
+        let measured = act.power(&nl, &lib).total_power_uw();
+        let rel = (est - measured).abs() / measured;
+        assert!(rel < 0.03, "estimate {est:.3} vs measured {measured:.3} (rel {rel:.3})");
+    }
+
+    #[test]
+    fn biased_inputs_propagate() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.or([a, b]);
+        nl.set_output("y", y);
+        // p(a)=0.9 iid => d(a) = 2*0.9*0.1 = 0.18.
+        let s = SignalStats { probability: 0.9, density: 0.18 };
+        let pa = ProbabilityAnalysis::propagate(&nl, &[s, s]).unwrap();
+        assert!((pa.stats(y).probability - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_stats_length_validated() {
+        let mut nl = Netlist::new();
+        let _ = nl.input("a");
+        let err = ProbabilityAnalysis::propagate(&nl, &[]).unwrap_err();
+        assert!(matches!(err, NetlistError::InputWidthMismatch { .. }));
+    }
+
+    #[test]
+    fn sequential_fixed_point_converges() {
+        let mut nl = Netlist::new();
+        let en = nl.input("en");
+        let t = nl.dff(en, false);
+        let q = nl.xor([t, en]);
+        nl.set_output("q", q);
+        let pa = ProbabilityAnalysis::propagate_uniform(&nl).unwrap();
+        let s = pa.stats(q);
+        assert!(s.probability > 0.0 && s.probability < 1.0);
+        assert!(s.density > 0.0 && s.density <= 1.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Bit-vector <-> machine-word helpers (least-significant bit first).
+
+/// Expands the low `width` bits of `value` into a bit vector, LSB first.
+///
+/// # Panics
+///
+/// Panics if `width > 64`.
+pub fn to_bits(value: u64, width: usize) -> Vec<bool> {
+    assert!(width <= 64, "width {width} exceeds 64 bits");
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Packs a bit vector (LSB first) into a word.
+///
+/// # Panics
+///
+/// Panics if `bits.len() > 64`.
+pub fn from_bits(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64, "bit vector of {} bits exceeds 64", bits.len());
+    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+/// Interprets a bit vector (LSB first) as a two's-complement signed value.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty or longer than 64.
+pub fn from_bits_signed(bits: &[bool]) -> i64 {
+    assert!(!bits.is_empty() && bits.len() <= 64);
+    let raw = from_bits(bits);
+    let w = bits.len();
+    if w == 64 {
+        raw as i64
+    } else if bits[w - 1] {
+        (raw as i64) - (1i64 << w)
+    } else {
+        raw as i64
+    }
+}
+
+/// Hamming distance between two equal-length bit vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn hamming(a: &[bool], b: &[bool]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming distance requires equal widths");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for v in [0u64, 1, 5, 255, 256, 0xDEAD] {
+            assert_eq!(from_bits(&to_bits(v, 16)), v & 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(from_bits_signed(&to_bits(0xFF, 8)), -1);
+        assert_eq!(from_bits_signed(&to_bits(0x80, 8)), -128);
+        assert_eq!(from_bits_signed(&to_bits(0x7F, 8)), 127);
+    }
+
+    #[test]
+    fn hamming_distance() {
+        assert_eq!(hamming(&to_bits(0b1010, 4), &to_bits(0b0110, 4)), 2);
+        assert_eq!(hamming(&to_bits(0, 4), &to_bits(0xF, 4)), 4);
+    }
+}

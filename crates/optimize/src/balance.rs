@@ -1,0 +1,239 @@
+//! Glitch reduction by path balancing (survey §III-I's companion
+//! transformation, reference 109: "RT-level transformations for glitch
+//! minimization").
+//!
+//! Glitches arise when a gate's fanins settle at different times. Buffer
+//! chains inserted on early-arriving fanins equalize path delays, trading
+//! a little buffer capacitance for the (often much larger) glitch
+//! capacitance downstream — the same arithmetic as Fig. 9's registers,
+//! but without touching the clock discipline.
+
+use std::collections::HashMap;
+
+use hlpower_netlist::{EventDrivenSim, Library, Netlist, NetlistError, NodeId, NodeKind};
+
+/// Outcome of path balancing.
+#[derive(Debug, Clone)]
+pub struct BalanceOutcome {
+    /// The balanced netlist.
+    pub netlist: Netlist,
+    /// Buffers inserted.
+    pub buffers_added: usize,
+    /// Power before, in µW (event-driven, glitches included).
+    pub baseline_uw: f64,
+    /// Power after, in µW.
+    pub balanced_uw: f64,
+    /// Glitch fraction before.
+    pub glitch_fraction_before: f64,
+    /// Glitch fraction after.
+    pub glitch_fraction_after: f64,
+}
+
+impl BalanceOutcome {
+    /// Fractional power saving (negative when buffers cost more than the
+    /// glitches they remove).
+    pub fn saving(&self) -> f64 {
+        1.0 - self.balanced_uw / self.baseline_uw.max(1e-12)
+    }
+}
+
+/// Options for [`balance_paths`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceOptions {
+    /// Only pad fanins lagging the gate's latest fanin by more than this.
+    pub tolerance_ps: f64,
+    /// Only touch gates whose output glitched at least this many times in
+    /// the profiling stream.
+    pub min_glitches: u64,
+    /// Maximum padding buffers per fanin (caps the capacitance spent).
+    pub max_chain: usize,
+}
+
+impl Default for BalanceOptions {
+    fn default() -> Self {
+        BalanceOptions { tolerance_ps: 60.0, min_glitches: 2, max_chain: 8 }
+    }
+}
+
+/// Rebuilds `netlist` with buffer chains inserted on gate fanins whose
+/// arrival time trails the gate's latest fanin by more than the
+/// tolerance. Only gates whose output glitched at least `min_glitches`
+/// times in the profiling stream are touched, so quiet logic does not pay
+/// buffer overhead.
+///
+/// # Errors
+///
+/// Returns a netlist error for cyclic circuits.
+pub fn balance_paths(
+    netlist: &Netlist,
+    lib: &Library,
+    stream: &[Vec<bool>],
+    opts: &BalanceOptions,
+) -> Result<BalanceOutcome, NetlistError> {
+    let BalanceOptions { tolerance_ps, min_glitches, max_chain } = *opts;
+    let arrivals = netlist.arrival_times_ps(lib)?;
+    let buf_delay = lib.cell(hlpower_netlist::GateKind::Buf).delay_ps;
+
+    // Profile glitches on the original.
+    let mut sim = EventDrivenSim::new(netlist, lib)?;
+    let timed = sim.run(stream.iter().cloned());
+    let baseline_uw = timed.power(netlist, lib).total_power_uw();
+    let glitch_fraction_before = timed.glitch_fraction();
+
+    // Rebuild with delay-padding buffers.
+    let mut out = Netlist::new();
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut buffers_added = 0usize;
+    for id in netlist.node_ids() {
+        let new_id = match netlist.kind(id) {
+            NodeKind::Input => out.input(netlist.name(id).unwrap_or("in").to_string()),
+            NodeKind::Const(c) => out.constant(*c),
+            NodeKind::Dff { d, init } => {
+                let md = map[d];
+                out.dff(md, *init)
+            }
+            NodeKind::Gate { kind, inputs } => {
+                let glitchy = timed.node_glitches(id) >= min_glitches;
+                let latest = inputs
+                    .iter()
+                    .map(|i| arrivals[i.index()])
+                    .fold(0.0f64, f64::max);
+                let mut new_inputs = Vec::with_capacity(inputs.len());
+                for &src in inputs {
+                    let mut mapped = map[&src];
+                    if glitchy {
+                        let lag = latest - arrivals[src.index()];
+                        if lag > tolerance_ps {
+                            let chains = (lag / buf_delay).round() as usize;
+                            for _ in 0..chains.min(max_chain) {
+                                mapped = out.buf(mapped);
+                                buffers_added += 1;
+                            }
+                        }
+                    }
+                    new_inputs.push(mapped);
+                }
+                out.gate(*kind, new_inputs).expect("same arity as source")
+            }
+        };
+        map.insert(id, new_id);
+    }
+    for (name, o) in netlist.outputs() {
+        out.set_output(name.clone(), map[o]);
+    }
+
+    let mut sim2 = EventDrivenSim::new(&out, lib)?;
+    let timed2 = sim2.run(stream.iter().cloned());
+    Ok(BalanceOutcome {
+        balanced_uw: timed2.power(&out, lib).total_power_uw(),
+        glitch_fraction_after: timed2.glitch_fraction(),
+        netlist: out,
+        buffers_added,
+        baseline_uw,
+        glitch_fraction_before,
+    })
+}
+
+/// A circuit class where balancing pays: a serial parity chain (whose
+/// skewed fanins glitch heavily) driving a heavy output load. Every
+/// glitch that escapes the chain charges the big load, so the small
+/// buffer investment wins.
+pub fn skewed_parity_example(bits: usize, fanout: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let a = nl.input_bus("a", bits);
+    let mut chain = a[0];
+    for &bit in &a[1..] {
+        chain = nl.xor([chain, bit]);
+    }
+    for i in 0..fanout {
+        let driver = nl.buf(chain);
+        nl.set_output(format!("y[{i}]"), driver);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlpower_netlist::{gen, streams, words::to_bits, ZeroDelaySim};
+
+    fn multiplier(width: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", width);
+        let b = nl.input_bus("b", width);
+        let p = gen::array_multiplier(&mut nl, &a, &b);
+        nl.output_bus("p", &p);
+        nl
+    }
+
+    #[test]
+    fn balancing_preserves_function() {
+        let nl = multiplier(4);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(1, 8).take(100).collect();
+        let out = balance_paths(&nl, &lib, &stream, &BalanceOptions::default()).unwrap();
+        let mut s1 = ZeroDelaySim::new(&nl).unwrap();
+        let mut s2 = ZeroDelaySim::new(&out.netlist).unwrap();
+        for x in 0u64..16 {
+            for y in [0u64, 3, 7, 15] {
+                let mut v = to_bits(x, 4);
+                v.extend(to_bits(y, 4));
+                assert_eq!(
+                    s1.eval_combinational(&v).unwrap(),
+                    s2.eval_combinational(&v).unwrap(),
+                    "{x}*{y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balancing_reduces_glitch_fraction() {
+        let nl = multiplier(5);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(2, 10).take(250).collect();
+        let out = balance_paths(&nl, &lib, &stream, &BalanceOptions::default()).unwrap();
+        assert!(out.buffers_added > 0);
+        assert!(
+            out.glitch_fraction_after < out.glitch_fraction_before,
+            "{:.3} -> {:.3}",
+            out.glitch_fraction_before,
+            out.glitch_fraction_after
+        );
+    }
+
+    #[test]
+    fn balancing_pays_on_skewed_high_load_parity() {
+        let nl = skewed_parity_example(8, 8);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(4, 8).take(300).collect();
+        let out = balance_paths(&nl, &lib, &stream, &BalanceOptions::default()).unwrap();
+        assert!(out.buffers_added > 0);
+        assert!(
+            out.saving() > 0.05,
+            "expected >5% net saving: {:.1}% ({} buffers, glitch {:.2} -> {:.2})",
+            100.0 * out.saving(),
+            out.buffers_added,
+            out.glitch_fraction_before,
+            out.glitch_fraction_after
+        );
+    }
+
+    #[test]
+    fn quiet_circuits_are_left_alone() {
+        // A balanced parity tree has little glitching; with a high glitch
+        // threshold nothing should be touched.
+        let mut nl = Netlist::new();
+        let xs = nl.input_bus("x", 4);
+        let p1 = nl.xor([xs[0], xs[1]]);
+        let p2 = nl.xor([xs[2], xs[3]]);
+        let p = nl.xor([p1, p2]);
+        nl.set_output("p", p);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(3, 4).take(200).collect();
+        let opts = BalanceOptions { min_glitches: 50, ..BalanceOptions::default() };
+        let out = balance_paths(&nl, &lib, &stream, &opts).unwrap();
+        assert_eq!(out.buffers_added, 0);
+        assert!((out.saving()).abs() < 1e-9);
+    }
+}

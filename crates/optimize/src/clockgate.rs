@@ -1,0 +1,240 @@
+//! Gated clocks for reactive FSMs (survey §III-I, Fig. 7, refs
+//! \[101\]–\[103\]).
+//!
+//! The activation function `Fa` asserts exactly when the machine will
+//! change state (or produce a changed Moore-style output); on every other
+//! cycle the state register's clock is stopped. Power accounting: the
+//! clock tree and register energy is paid only on enabled cycles, while
+//! the synthesized `Fa` logic is a new cost — the classic gated-clock
+//! trade-off.
+
+use hlpower_bdd::bdd_to_mux_netlist;
+use hlpower_fsm::{synthesize, Encoding, FsmError, MarkovAnalysis, Stg};
+use hlpower_netlist::{Library, Netlist, NodeId, ZeroDelaySim};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of a gated-clock transformation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockGateOutcome {
+    /// Power of the plain synthesized machine, in µW.
+    pub baseline_uw: f64,
+    /// Power of the gated machine (clock charged only on enabled cycles,
+    /// plus the activation-logic power), in µW.
+    pub gated_uw: f64,
+    /// Fraction of cycles the clock was stopped.
+    pub gated_fraction: f64,
+    /// Steady-state self-loop probability (the analytic upper bound on
+    /// the gating opportunity).
+    pub self_loop_probability: f64,
+}
+
+impl ClockGateOutcome {
+    /// Fractional power saving.
+    pub fn saving(&self) -> f64 {
+        1.0 - self.gated_uw / self.baseline_uw.max(1e-12)
+    }
+}
+
+/// Builds the activation-function netlist `Fa(inputs, state)` for an
+/// encoded machine: `Fa = 1` iff the next state differs from the present
+/// state. Returns the netlist and its output node; inputs are the
+/// machine's inputs followed by the state lines.
+///
+/// # Errors
+///
+/// Returns [`FsmError`] variants for invalid machines/encodings.
+pub fn activation_function(
+    stg: &Stg,
+    encoding: &Encoding,
+) -> Result<(Netlist, NodeId), FsmError> {
+    // Synthesize the machine once to reuse its BDD construction, then
+    // derive Fa = OR over state bits of (next_i XOR present_i).
+    let circuit = synthesize(stg, encoding)?;
+    // Build BDDs of the synthesized circuit's next-state functions: they
+    // are the D inputs of the state flip-flops.
+    let nl = &circuit.netlist;
+    let (mut m, map) = hlpower_bdd::build_node_bdds(nl).map_err(|_| FsmError::Empty)?;
+    let in_bits = stg.input_bits();
+    let mut fa = hlpower_bdd::BddRef::FALSE;
+    for (i, &q) in circuit.state.iter().enumerate() {
+        let d_node = match nl.kind(q) {
+            hlpower_netlist::NodeKind::Dff { d, .. } => *d,
+            _ => unreachable!("state lines are flip-flops"),
+        };
+        let next = map[&d_node];
+        let present = m.var((in_bits + i) as u32);
+        let x = m.xor(next, present);
+        fa = m.or(fa, x);
+    }
+    // Map Fa into a standalone netlist over fresh inputs.
+    let mut out = Netlist::new();
+    let ins = out.input_bus("in", in_bits);
+    let st = out.input_bus("state", circuit.state.len());
+    let mut vars = ins;
+    vars.extend(st);
+    let node = bdd_to_mux_netlist(&m, fa, &vars, &mut out);
+    out.set_output("fa", node);
+    Ok((out, node))
+}
+
+/// Simulates the machine with and without clock gating under a random
+/// input stream and compares power.
+///
+/// The gated machine's accounting: on cycles where `Fa = 0`, the state
+/// register clock does not fire (no clock-tree or flip-flop energy) and
+/// the next-state logic inputs are frozen; the activation logic itself is
+/// simulated at gate level and charged in full.
+///
+/// # Errors
+///
+/// Returns [`FsmError`] variants for invalid machines/encodings.
+pub fn evaluate(
+    stg: &Stg,
+    encoding: &Encoding,
+    lib: &Library,
+    cycles: usize,
+    seed: u64,
+    input_one_prob: f64,
+) -> Result<ClockGateOutcome, FsmError> {
+    let circuit = synthesize(stg, encoding)?;
+    let (fa_netlist, _) = activation_function(stg, encoding)?;
+    // Input-symbol distribution matching the biased per-bit stream.
+    let symbols = stg.symbol_count();
+    let dist: Vec<f64> = (0..symbols as u64)
+        .map(|w| {
+            let ones = w.count_ones() as i32;
+            let zeros = stg.input_bits() as i32 - ones;
+            input_one_prob.powi(ones) * (1.0 - input_one_prob).powi(zeros)
+        })
+        .collect();
+    let markov = MarkovAnalysis::with_input_distribution(stg, &dist);
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let words: Vec<u64> = (0..cycles)
+        .map(|_| {
+            (0..stg.input_bits() as u64)
+                .map(|b| (rng.gen_bool(input_one_prob) as u64) << b)
+                .sum()
+        })
+        .collect();
+
+    // Baseline power: plain simulation.
+    let mut sim = ZeroDelaySim::new(&circuit.netlist).map_err(|_| FsmError::Empty)?;
+    let mut fa_sim = ZeroDelaySim::new(&fa_netlist).map_err(|_| FsmError::Empty)?;
+    let mut gated_cycles = 0u64;
+    let mut state_words: Vec<u64> = Vec::with_capacity(cycles);
+    for &w in &words {
+        // Record present state before stepping.
+        let st: u64 = circuit
+            .state
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (sim.value(q) as u64) << i)
+            .sum();
+        state_words.push(st);
+        sim.step(&hlpower_netlist::words::to_bits(w, stg.input_bits()))
+            .map_err(|_| FsmError::Empty)?;
+    }
+    let act = sim.take_activity();
+    let base_report = act.power(&circuit.netlist, lib);
+    let baseline_uw = base_report.total_power_uw();
+
+    // Activation logic power + gating decisions.
+    let mut fa_values = Vec::with_capacity(cycles);
+    for (i, &w) in words.iter().enumerate() {
+        let mut v = hlpower_netlist::words::to_bits(w, stg.input_bits());
+        v.extend(hlpower_netlist::words::to_bits(state_words[i], circuit.state.len()));
+        fa_sim.step(&v).map_err(|_| FsmError::Empty)?;
+        let fa = fa_sim.output_values()[0];
+        fa_values.push(fa);
+        if !fa {
+            gated_cycles += 1;
+        }
+    }
+    let fa_act = fa_sim.take_activity();
+    let fa_uw = fa_act.power(&fa_netlist, lib).total_power_uw();
+
+    // Gated power: baseline minus the clock/register energy saved on
+    // gated cycles, plus the activation logic. Clock power scales with
+    // the fraction of enabled cycles.
+    let gate_fraction = gated_cycles as f64 / cycles.max(1) as f64;
+    let clock_saving = base_report.clock_power_uw * gate_fraction;
+    let gated_uw = baseline_uw - clock_saving + fa_uw;
+
+    Ok(ClockGateOutcome {
+        baseline_uw,
+        gated_uw,
+        gated_fraction: gate_fraction,
+        self_loop_probability: markov.self_loop_probability(stg),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlpower_fsm::generators;
+
+    #[test]
+    fn activation_function_detects_state_changes() {
+        let stg = generators::sequence_detector();
+        let enc = Encoding::binary(&stg);
+        let (fa_nl, _) = activation_function(&stg, &enc).unwrap();
+        let mut sim = ZeroDelaySim::new(&fa_nl).unwrap();
+        // Exhaustively check Fa against the STG for every (state, input).
+        for s in 0..stg.state_count() {
+            for w in 0..stg.symbol_count() as u64 {
+                let mut v = hlpower_netlist::words::to_bits(w, stg.input_bits());
+                v.extend(hlpower_netlist::words::to_bits(enc.code(s), enc.bits()));
+                let fa = sim.eval_combinational(&v).unwrap()[0];
+                let changes = stg.next(s, w).unwrap() != s;
+                assert_eq!(fa, changes, "state {s} input {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn reactive_controller_benefits_from_gating() {
+        // A mostly-idle reactive controller with a one-hot (register-rich)
+        // state encoding and rare requests: the regime gated clocks are
+        // built for.
+        let stg = generators::reactive_controller(8);
+        let enc = Encoding::one_hot(&stg);
+        let lib = Library::default();
+        let outcome = evaluate(&stg, &enc, &lib, 4000, 1, 0.05).unwrap();
+        assert!(outcome.gated_fraction > 0.5, "{outcome:?}");
+        assert!(outcome.saving() > 0.05, "gating should save power: {outcome:?}");
+    }
+
+    #[test]
+    fn gated_fraction_tracks_self_loop_probability() {
+        let stg = generators::reactive_controller(4);
+        let enc = Encoding::binary(&stg);
+        let lib = Library::default();
+        let outcome = evaluate(&stg, &enc, &lib, 6000, 2, 0.1).unwrap();
+        assert!(
+            (outcome.gated_fraction - outcome.self_loop_probability).abs() < 0.08,
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn busy_machine_gains_little() {
+        // A ring counter never self-loops: gating cannot help and the Fa
+        // logic is pure overhead.
+        let mut stg = Stg::new(1);
+        for i in 0..4 {
+            stg.add_state(format!("s{i}"));
+        }
+        for i in 0..4 {
+            stg.set_transition(i, 0, (i + 1) % 4, 0);
+            stg.set_transition(i, 1, (i + 1) % 4, 0);
+        }
+        let enc = Encoding::binary(&stg);
+        let lib = Library::default();
+        let outcome = evaluate(&stg, &enc, &lib, 2000, 3, 0.5).unwrap();
+        assert!(outcome.gated_fraction < 0.01);
+        assert!(outcome.saving() <= 0.0, "no gating opportunity: {outcome:?}");
+    }
+}

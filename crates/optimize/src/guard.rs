@@ -1,0 +1,392 @@
+//! Guarded evaluation (survey §III-I, Fig. 8, reference 105).
+//!
+//! For an internal signal `z` with observability don't-care set `D_z(X)`,
+//! any existing signal `s` with `s ⇒ D_z` can guard the logic cone `F`
+//! driving `z`: when `s = 1`, transparent latches at `F`'s inputs hold
+//! their values and the cone does not switch — the outputs are unaffected
+//! *by construction* of the ODC. The timing condition `t_l(s) < t_e(Y)`
+//! ensures the latches close before the cone's inputs move.
+
+use std::collections::{HashMap, HashSet};
+
+use hlpower_bdd::{BddManager, BddRef};
+use hlpower_netlist::{Library, Netlist, NetlistError, NodeId, NodeKind, ZeroDelaySim};
+
+/// One guarded-evaluation opportunity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardCandidate {
+    /// The guarded signal whose cone is latched.
+    pub target: NodeId,
+    /// The existing signal used as the guard (asserts when `target` is
+    /// unobservable).
+    pub guard: NodeId,
+    /// Probability that the guard asserts (shutdown fraction) under
+    /// uniform inputs.
+    pub guard_probability: f64,
+    /// Nodes in the guarded cone (the logic that stops switching).
+    pub cone: Vec<NodeId>,
+    /// Whether the timing condition `t_l(s) < t_e(Y)` holds under the
+    /// library's delay model.
+    pub timing_ok: bool,
+}
+
+/// Computes the observability don't-care set of `target` by re-extracting
+/// the output BDDs with `target` replaced by a fresh variable: `ODC =
+/// AND_out XNOR(out|z=0, out|z=1)`.
+fn odc_of(
+    netlist: &Netlist,
+    target: NodeId,
+) -> Result<(BddManager, BddRef, HashMap<NodeId, BddRef>), NetlistError> {
+    let order = netlist.topo_order()?;
+    let nvars = netlist.input_count() + netlist.dffs().len() + 1;
+    let zvar = (nvars - 1) as u32;
+    let mut m = BddManager::new(nvars);
+    let mut map: HashMap<NodeId, BddRef> = HashMap::new();
+    for (i, &inp) in netlist.inputs().iter().enumerate() {
+        let v = m.var(i as u32);
+        map.insert(inp, v);
+    }
+    for (i, &q) in netlist.dffs().iter().enumerate() {
+        let v = m.var((netlist.input_count() + i) as u32);
+        map.insert(q, v);
+    }
+    for id in netlist.node_ids() {
+        if let NodeKind::Const(c) = netlist.kind(id) {
+            map.insert(id, m.constant(*c));
+        }
+    }
+    for &id in &order {
+        if id == target {
+            let v = m.var(zvar);
+            map.insert(id, v);
+            continue;
+        }
+        if let NodeKind::Gate { kind, inputs } = netlist.kind(id) {
+            use hlpower_netlist::GateKind::*;
+            let fanin: Vec<BddRef> = inputs.iter().map(|f| map[f]).collect();
+            let f = match kind {
+                Buf => fanin[0],
+                Not => m.not(fanin[0]),
+                And => m.and_many(fanin.iter().copied()),
+                Or => m.or_many(fanin.iter().copied()),
+                Nand => {
+                    let x = m.and_many(fanin.iter().copied());
+                    m.not(x)
+                }
+                Nor => {
+                    let x = m.or_many(fanin.iter().copied());
+                    m.not(x)
+                }
+                Xor => fanin[1..].iter().fold(fanin[0], |acc, &x| m.xor(acc, x)),
+                Xnor => {
+                    let x = fanin[1..].iter().fold(fanin[0], |acc, &x| m.xor(acc, x));
+                    m.not(x)
+                }
+                Mux => m.ite(fanin[0], fanin[2], fanin[1]),
+            };
+            map.insert(id, f);
+        }
+    }
+    let mut odc = BddRef::TRUE;
+    for &(_, o) in netlist.outputs() {
+        let f = map[&o];
+        let f0 = m.cofactor(f, zvar, false);
+        let f1 = m.cofactor(f, zvar, true);
+        let same = m.xnor(f0, f1);
+        odc = m.and(odc, same);
+    }
+    Ok((m, odc, map))
+}
+
+/// The transitive fan-in cone of a node (gates only, the node included).
+fn cone_of(netlist: &Netlist, target: NodeId) -> Vec<NodeId> {
+    let mut seen = HashSet::new();
+    let mut stack = vec![target];
+    let mut cone = Vec::new();
+    while let Some(x) = stack.pop() {
+        if !seen.insert(x) {
+            continue;
+        }
+        if let NodeKind::Gate { inputs, .. } = netlist.kind(x) {
+            cone.push(x);
+            stack.extend(inputs.iter().copied());
+        }
+    }
+    cone
+}
+
+/// Finds guarded-evaluation opportunities: for each internal signal with
+/// a non-trivial ODC, search the other signals for one that implies it,
+/// check timing, and report the candidates ranked by expected saving
+/// (guard probability x cone size).
+///
+/// # Errors
+///
+/// Returns a netlist error for cyclic circuits.
+pub fn find_candidates(
+    netlist: &Netlist,
+    lib: &Library,
+    max_targets: usize,
+) -> Result<Vec<GuardCandidate>, NetlistError> {
+    let arrivals = netlist.arrival_times_ps(lib)?;
+    let gates: Vec<NodeId> = netlist
+        .node_ids()
+        .filter(|&id| matches!(netlist.kind(id), NodeKind::Gate { .. }))
+        .collect();
+    // Any existing signal may serve as a guard, including primary inputs
+    // (the paper's "a signal s in C").
+    let mut guard_pool = gates.clone();
+    guard_pool.extend(netlist.inputs().iter().copied());
+    let output_set: HashSet<NodeId> = netlist.outputs().iter().map(|&(_, n)| n).collect();
+    let mut out = Vec::new();
+    // Prefer targets with large cones.
+    let mut targets: Vec<NodeId> =
+        gates.iter().copied().filter(|id| !output_set.contains(id)).collect();
+    targets.sort_by_key(|&t| std::cmp::Reverse(cone_of(netlist, t).len()));
+    for &target in targets.iter().take(max_targets) {
+        let (mut m, odc, map) = odc_of(netlist, target)?;
+        if odc == BddRef::FALSE {
+            continue;
+        }
+        let cone = cone_of(netlist, target);
+        let cone_set: HashSet<NodeId> = cone.iter().copied().collect();
+        // Earliest switching time of the cone's inputs.
+        let t_e = cone
+            .iter()
+            .flat_map(|&c| match netlist.kind(c) {
+                NodeKind::Gate { inputs, .. } => inputs.clone(),
+                _ => Vec::new(),
+            })
+            .filter(|x| !cone_set.contains(x))
+            .map(|x| arrivals[x.index()])
+            .fold(f64::INFINITY, f64::min);
+        for &guard in &guard_pool {
+            if cone_set.contains(&guard) || guard == target {
+                continue;
+            }
+            // Guard must not depend on the target's cone output (it
+            // does not, structurally: it is outside the cone, but it may
+            // read the target; skip if target is in its fan-in).
+            if cone_of(netlist, guard).contains(&target) {
+                continue;
+            }
+            let s = map[&guard];
+            // s implies ODC: s & !ODC == false.
+            let nodc = m.not(odc);
+            if m.and(s, nodc) != BddRef::FALSE {
+                continue;
+            }
+            let p = m.sat_fraction(s);
+            if p < 0.05 {
+                continue;
+            }
+            let timing_ok = arrivals[guard.index()] < t_e;
+            out.push(GuardCandidate {
+                target,
+                guard,
+                guard_probability: p,
+                cone: cone.clone(),
+                timing_ok,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        let sa = a.guard_probability * a.cone.len() as f64;
+        let sb = b.guard_probability * b.cone.len() as f64;
+        sb.partial_cmp(&sa).expect("finite")
+    });
+    Ok(out)
+}
+
+/// Simulates the circuit with guarded evaluation applied to one
+/// candidate: on cycles where the guard (computed from current inputs)
+/// asserts, the cone's nodes hold their previous values (the transparent
+/// latches are opaque) and dissipate nothing; outputs remain correct by
+/// the ODC property. Returns `(baseline_energy_fj, guarded_energy_fj,
+/// outputs_match)`.
+///
+/// # Errors
+///
+/// Returns a netlist error for cyclic circuits or width mismatches.
+pub fn evaluate(
+    netlist: &Netlist,
+    lib: &Library,
+    candidate: &GuardCandidate,
+    stream: &[Vec<bool>],
+) -> Result<(f64, f64, bool), NetlistError> {
+    let order = netlist.topo_order()?;
+    let caps = netlist.load_caps_ff(lib);
+    let energy_of: Vec<f64> = netlist
+        .node_ids()
+        .map(|id| {
+            let mut e = lib.switching_energy_fj(caps[id.index()]);
+            if let NodeKind::Gate { kind, .. } = netlist.kind(id) {
+                e += lib.cell(*kind).internal_energy_fj;
+            }
+            e
+        })
+        .collect();
+    let cone_set: HashSet<NodeId> = candidate.cone.iter().copied().collect();
+
+    // Baseline.
+    let mut base_sim = ZeroDelaySim::new(netlist)?;
+    let mut base_outputs = Vec::new();
+    let mut base_energy = 0.0;
+    for v in stream {
+        base_sim.step(v)?;
+        base_outputs.push(base_sim.output_values());
+        let act = base_sim.take_activity();
+        base_energy += act
+            .toggles
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| t as f64 * energy_of[i])
+            .sum::<f64>();
+    }
+
+    // Guarded interpretation.
+    let mut values = vec![false; netlist.node_count()];
+    for id in netlist.node_ids() {
+        if let NodeKind::Const(c) = netlist.kind(id) {
+            values[id.index()] = *c;
+        }
+    }
+    let mut guarded_energy = 0.0;
+    let mut outputs_match = true;
+    let mut first = true;
+    for (t, v) in stream.iter().enumerate() {
+        // Apply inputs.
+        for (i, &inp) in netlist.inputs().iter().enumerate() {
+            if !first && values[inp.index()] != v[i] {
+                guarded_energy += energy_of[inp.index()];
+            }
+            values[inp.index()] = v[i];
+        }
+        // The guard's own cone is disjoint from the target cone (checked
+        // during candidate search), so it can be settled first to decide
+        // the freeze; then one topological pass evaluates everything else,
+        // holding the target cone when the guard asserts.
+        let guard_cone: HashSet<NodeId> = {
+            let mut gc: HashSet<NodeId> = cone_of(netlist, candidate.guard).into_iter().collect();
+            gc.insert(candidate.guard);
+            gc
+        };
+        for &id in &order {
+            if !guard_cone.contains(&id) {
+                continue;
+            }
+            if let NodeKind::Gate { kind, inputs } = netlist.kind(id) {
+                let vals: Vec<bool> = inputs.iter().map(|f| values[f.index()]).collect();
+                let new = kind.eval(&vals);
+                if !first && new != values[id.index()] {
+                    guarded_energy += energy_of[id.index()];
+                }
+                values[id.index()] = new;
+            }
+        }
+        let guard_asserted = values[candidate.guard.index()];
+        for &id in &order {
+            if guard_cone.contains(&id) {
+                continue;
+            }
+            if guard_asserted && cone_set.contains(&id) {
+                continue; // latched: holds its previous value, no energy
+            }
+            if let NodeKind::Gate { kind, inputs } = netlist.kind(id) {
+                let vals: Vec<bool> = inputs.iter().map(|f| values[f.index()]).collect();
+                let new = kind.eval(&vals);
+                if !first && new != values[id.index()] {
+                    guarded_energy += energy_of[id.index()];
+                }
+                values[id.index()] = new;
+            }
+        }
+        // Compare outputs.
+        let outs: Vec<bool> =
+            netlist.outputs().iter().map(|&(_, n)| values[n.index()]).collect();
+        if outs != base_outputs[t] {
+            outputs_match = false;
+        }
+        first = false;
+    }
+    Ok((base_energy, guarded_energy, outputs_match))
+}
+
+/// A mux-dominated example circuit with a natural guard: `y = sel ? a_fn :
+/// b_fn` where `sel` makes one branch unobservable.
+pub fn guarded_mux_example(width: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let sel = nl.input("sel");
+    let a = nl.input_bus("a", width);
+    let b = nl.input_bus("b", width);
+    // Branch A: parity chain (deep cone).
+    let mut pa = a[0];
+    for &bit in &a[1..] {
+        pa = nl.xor([pa, bit]);
+    }
+    // Branch B: AND-OR tree.
+    let mut pb = b[0];
+    for &bit in &b[1..] {
+        pb = nl.and([pb, bit]);
+    }
+    let y = nl.mux(sel, pa, pb);
+    nl.set_output("y", y);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlpower_netlist::streams;
+
+    #[test]
+    fn finds_mux_guard() {
+        let nl = guarded_mux_example(6);
+        let lib = Library::default();
+        let candidates = find_candidates(&nl, &lib, 8).unwrap();
+        assert!(!candidates.is_empty(), "mux select must guard a branch");
+        // The guard probability of a select-like guard is ~1/2.
+        assert!(candidates.iter().any(|c| (c.guard_probability - 0.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn guarded_outputs_stay_correct() {
+        let nl = guarded_mux_example(6);
+        let lib = Library::default();
+        let candidates = find_candidates(&nl, &lib, 8).unwrap();
+        let stream: Vec<Vec<bool>> = streams::random(2, nl.input_count()).take(500).collect();
+        let best = &candidates[0];
+        let (_, _, ok) = evaluate(&nl, &lib, best, &stream).unwrap();
+        assert!(ok, "guarded evaluation changed outputs for {best:?}");
+    }
+
+    #[test]
+    fn guarding_saves_energy() {
+        let nl = guarded_mux_example(8);
+        let lib = Library::default();
+        let candidates = find_candidates(&nl, &lib, 8).unwrap();
+        let stream: Vec<Vec<bool>> = streams::random(3, nl.input_count()).take(1500).collect();
+        let best = &candidates[0];
+        let (base, guarded, ok) = evaluate(&nl, &lib, best, &stream).unwrap();
+        assert!(ok);
+        assert!(
+            guarded < 0.95 * base,
+            "expected >5% energy saving: {base:.0} -> {guarded:.0}"
+        );
+    }
+
+    #[test]
+    fn no_candidates_in_fully_observable_circuit() {
+        // A parity tree: every node is always observable (ODC empty).
+        let mut nl = Netlist::new();
+        let xs = nl.input_bus("x", 6);
+        let mut p = xs[0];
+        for &x in &xs[1..] {
+            p = nl.xor([p, x]);
+        }
+        nl.set_output("p", p);
+        let lib = Library::default();
+        let candidates = find_candidates(&nl, &lib, 10).unwrap();
+        assert!(candidates.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Power optimization techniques (survey §III).
+//!
+//! * [`buscode`] — low-power bus encoding (§III-G): Bus-Invert, Gray, T0,
+//!   Working-Zone, and the trace-driven Beach code, all as reversible
+//!   codecs with transition accounting.
+//! * [`shutdown`] — system-level power management (§III-B): static
+//!   timeout, Srivastava predictive (regression and threshold) and
+//!   Hwang–Wu exponential-average policies over bursty event workloads.
+//! * [`precompute`] — precomputation architectures (§III-I): predictor
+//!   synthesis by universal quantification over BDDs, input-subset search,
+//!   and simulated savings.
+//! * [`clockgate`] — gated clocks for reactive FSMs (§III-I).
+//! * [`guard`] — guarded evaluation via observability don't-cares
+//!   (§III-I).
+//! * [`retime`] — glitch-aware pipelining/retiming (§III-J).
+//! * [`balance`] — buffer-insertion path balancing for glitch reduction
+//!   (the §III-I/reference 109 companion transformation).
+
+#![warn(missing_docs)]
+
+// Matrix- and table-style numerics read more clearly with explicit index
+// loops; silence clippy's iterator-style suggestion for them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod balance;
+pub mod buscode;
+pub mod shutdown;
+pub mod precompute;
+pub mod clockgate;
+pub mod guard;
+pub mod retime;

@@ -1,0 +1,301 @@
+//! Precomputation-based shutdown (survey §III-I, Fig. 6, refs 99,
+//! \[100\]).
+//!
+//! For a single-output block `f(X)`, predictor functions over a subset `S`
+//! of the inputs are derived by universal quantification:
+//! `g1 = ∀_{X\S} f` and `g0 = ∀_{X\S} ¬f`. When either asserts, the
+//! block's registered inputs are disabled for the next cycle and the
+//! output is taken from the registered predictor result. The expected
+//! saving is the shutdown probability times the block's power, minus the
+//! predictor's own cost.
+
+use hlpower_bdd::{bdd_to_mux_netlist, build_output_bdds};
+use hlpower_netlist::{Library, Netlist, NetlistError, NodeId, ZeroDelaySim};
+
+/// Analysis of one candidate precomputation architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecomputeCandidate {
+    /// Indices (into the primary inputs) of the retained subset `S`.
+    pub subset: Vec<usize>,
+    /// Probability (under uniform inputs) that `g1 + g0` asserts — the
+    /// fraction of cycles the block can be shut down.
+    pub shutdown_probability: f64,
+    /// Number of BDD nodes in the two predictors (predictor size proxy).
+    pub predictor_nodes: usize,
+}
+
+/// Enumerates all input subsets of size `k` of a single-output block and
+/// ranks them by shutdown probability (§III-I's predictor selection).
+///
+/// # Errors
+///
+/// Returns a netlist error for cyclic blocks.
+///
+/// # Panics
+///
+/// Panics if the block does not have exactly one output.
+pub fn rank_subsets(
+    block: &Netlist,
+    k: usize,
+) -> Result<Vec<PrecomputeCandidate>, NetlistError> {
+    assert_eq!(block.outputs().len(), 1, "precomputation predictor needs a single-output block");
+    let (mut m, roots) = build_output_bdds(block)?;
+    let f = roots[0];
+    let n = block.input_count();
+    let mut out = Vec::new();
+    for subset in subsets(n, k) {
+        let others: Vec<u32> =
+            (0..n as u32).filter(|v| !subset.contains(&(*v as usize))).collect();
+        let g1 = m.forall(f, &others);
+        let nf = m.not(f);
+        let g0 = m.forall(nf, &others);
+        let either = m.or(g1, g0);
+        let p = m.sat_fraction(either);
+        out.push(PrecomputeCandidate {
+            subset,
+            shutdown_probability: p,
+            predictor_nodes: m.node_count_many(&[g0, g1]),
+        });
+    }
+    out.sort_by(|a, b| {
+        b.shutdown_probability
+            .partial_cmp(&a.shutdown_probability)
+            .expect("finite probabilities")
+    });
+    Ok(out)
+}
+
+fn subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i + 1, n, k, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, k, &mut cur, &mut out);
+    out
+}
+
+/// A synthesized precomputation architecture (Fig. 6): the original block
+/// with input registers gated by the predictor pair.
+#[derive(Debug)]
+pub struct PrecomputeArchitecture {
+    /// The transformed sequential netlist.
+    pub netlist: Netlist,
+    /// The candidate the architecture was built from.
+    pub candidate: PrecomputeCandidate,
+}
+
+/// Builds the Fig. 6 architecture for the best subset of size `k`.
+///
+/// The block's inputs are registered; when `g1 + g0` asserted in the
+/// previous cycle, the input registers hold their values (emulated with
+/// recirculating muxes, as enable flip-flops would be in a real library)
+/// and the output is taken from the registered predictor decision.
+///
+/// # Errors
+///
+/// Returns a netlist error for cyclic blocks.
+///
+/// # Panics
+///
+/// Panics if the block does not have exactly one output or has no
+/// feasible candidate.
+pub fn build_architecture(
+    block: &Netlist,
+    k: usize,
+) -> Result<PrecomputeArchitecture, NetlistError> {
+    let candidates = rank_subsets(block, k)?;
+    let candidate = candidates.into_iter().next().expect("at least one subset");
+    let (mut m, roots) = build_output_bdds(block)?;
+    let f = roots[0];
+    let n = block.input_count();
+    let others: Vec<u32> =
+        (0..n as u32).filter(|v| !candidate.subset.contains(&(*v as usize))).collect();
+    let g1 = m.forall(f, &others);
+    let nf = m.not(f);
+    let g0 = m.forall(nf, &others);
+
+    // Rebuild: new netlist with fresh inputs; predictors over raw inputs;
+    // registered inputs recirculate when the registered predictor fired.
+    let mut nl = Netlist::new();
+    let raw: Vec<NodeId> = (0..n).map(|i| nl.input(format!("x[{i}]"))).collect();
+    let g1_node = nl.with_group("predictor", |nl| bdd_to_mux_netlist(&m, g1, &raw, nl));
+    let g0_node = nl.with_group("predictor", |nl| bdd_to_mux_netlist(&m, g0, &raw, nl));
+    let fire = nl.with_group("predictor", |nl| nl.or([g1_node, g0_node]));
+    let fire_q = nl.with_group("predictor", |nl| nl.dff(fire, false));
+    let g1_q = nl.with_group("predictor", |nl| nl.dff(g1_node, false));
+    // Input registers with hold: q = dff(mux(fire, x, q)).
+    let mut held = Vec::with_capacity(n);
+    nl.with_group("registers/clock", |nl| {
+        for &x in &raw {
+            let q = nl.dff_placeholder(false);
+            let d = nl.mux(fire, x, q);
+            nl.connect_dff_d(q, d);
+            held.push(q);
+        }
+    });
+    // Rebuild the block over the held inputs.
+    let block_out = nl.with_group("block", |nl| {
+        let (bm, broots) = build_output_bdds(block).expect("validated above");
+        bdd_to_mux_netlist(&bm, broots[0], &held, nl)
+    });
+    // Output: if the predictor fired last cycle, g1_q is the answer;
+    // otherwise the block's output over the (freshly loaded) registers.
+    let y = nl.mux(fire_q, block_out, g1_q);
+    nl.set_output("y", y);
+    Ok(PrecomputeArchitecture { netlist: nl, candidate })
+}
+
+/// Measured outcome of a precomputation transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecomputeOutcome {
+    /// Baseline block power (registered inputs, no predictor), in µW.
+    pub baseline_uw: f64,
+    /// Precomputed-architecture power, in µW.
+    pub optimized_uw: f64,
+    /// Measured shutdown fraction.
+    pub shutdown_fraction: f64,
+}
+
+impl PrecomputeOutcome {
+    /// Fractional power saving.
+    pub fn saving(&self) -> f64 {
+        1.0 - self.optimized_uw / self.baseline_uw.max(1e-12)
+    }
+}
+
+/// Simulates the baseline (registered-input block) and the precomputation
+/// architecture under the same stream and compares power.
+///
+/// # Errors
+///
+/// Returns a netlist error for cyclic blocks.
+pub fn evaluate(
+    block: &Netlist,
+    k: usize,
+    stream: &[Vec<bool>],
+    lib: &Library,
+) -> Result<PrecomputeOutcome, NetlistError> {
+    // Baseline: inputs registered, block evaluated every cycle.
+    let n = block.input_count();
+    let mut base = Netlist::new();
+    let raw: Vec<NodeId> = (0..n).map(|i| base.input(format!("x[{i}]"))).collect();
+    let regs = base.dff_bus(&raw);
+    let (bm, broots) = build_output_bdds(block)?;
+    let y = bdd_to_mux_netlist(&bm, broots[0], &regs, &mut base);
+    base.set_output("y", y);
+
+    let arch = build_architecture(block, k)?;
+    let mut sim_base = ZeroDelaySim::new(&base)?;
+    let act_base = sim_base.run(stream.iter().cloned());
+    let mut sim_arch = ZeroDelaySim::new(&arch.netlist)?;
+    let act_arch = sim_arch.run(stream.iter().cloned());
+    Ok(PrecomputeOutcome {
+        baseline_uw: act_base.power(&base, lib).total_power_uw(),
+        optimized_uw: act_arch.power(&arch.netlist, lib).total_power_uw(),
+        shutdown_fraction: arch.candidate.shutdown_probability,
+    })
+}
+
+/// Functional-equivalence check between block and architecture over a
+/// stream (the architecture has one cycle of latency).
+///
+/// # Errors
+///
+/// Returns a netlist error for cyclic blocks.
+pub fn check_equivalence(
+    block: &Netlist,
+    k: usize,
+    stream: &[Vec<bool>],
+) -> Result<bool, NetlistError> {
+    let arch = build_architecture(block, k)?;
+    let mut ref_sim = ZeroDelaySim::new(block)?;
+    let mut arch_sim = ZeroDelaySim::new(&arch.netlist)?;
+    let mut expected: Vec<bool> = Vec::new();
+    for v in stream {
+        let r = ref_sim.eval_combinational(v)?;
+        arch_sim.step(v)?;
+        expected.push(r[0]);
+    }
+    // The architecture outputs, delayed by one cycle, must match.
+    let mut arch_sim2 = ZeroDelaySim::new(&arch.netlist)?;
+    let mut got = Vec::new();
+    for v in stream {
+        arch_sim2.step(v)?;
+        got.push(arch_sim2.output_values()[0]);
+    }
+    // got[t] corresponds to inputs at t-1.
+    Ok(got[1..] == expected[..expected.len() - 1])
+}
+
+/// The survey's canonical precomputation example: an n-bit magnitude
+/// comparator, where the two MSBs decide the output most of the time.
+pub fn comparator_block(width: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let a = nl.input_bus("a", width);
+    let b = nl.input_bus("b", width);
+    let lt = hlpower_netlist::gen::less_than(&mut nl, &a, &b);
+    nl.set_output("lt", lt);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlpower_netlist::streams;
+
+    #[test]
+    fn msb_subset_has_half_shutdown_probability() {
+        // For a < b, knowing the MSBs a_{n-1} != b_{n-1} decides the
+        // output: probability 1/2.
+        let block = comparator_block(4);
+        let ranked = rank_subsets(&block, 2).unwrap();
+        let best = &ranked[0];
+        // Best subset should be the two MSBs: inputs 3 (a[3]) and 7 (b[3]).
+        assert_eq!(best.subset, vec![3, 7], "{best:?}");
+        assert!((best.shutdown_probability - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn architecture_is_functionally_equivalent() {
+        let block = comparator_block(4);
+        let stream: Vec<Vec<bool>> = streams::random(3, 8).take(300).collect();
+        assert!(check_equivalence(&block, 2, &stream).unwrap());
+    }
+
+    #[test]
+    fn precomputation_saves_power_on_comparator() {
+        let block = comparator_block(8);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(4, 16).take(2000).collect();
+        let outcome = evaluate(&block, 2, &stream, &lib).unwrap();
+        assert!(
+            outcome.saving() > 0.1,
+            "expected >10% saving, got {:.1}% ({outcome:?})",
+            outcome.saving() * 100.0
+        );
+    }
+
+    #[test]
+    fn full_subset_gives_certain_shutdown() {
+        let block = comparator_block(3);
+        let ranked = rank_subsets(&block, 6).unwrap();
+        assert!((ranked[0].shutdown_probability - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_subset_gives_no_shutdown_for_nonconstant_f() {
+        let block = comparator_block(3);
+        let ranked = rank_subsets(&block, 0).unwrap();
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].shutdown_probability, 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Low-power retiming (survey §III-J, Fig. 9, reference 111).
+//!
+//! Registers filter glitches: a register's output makes at most one
+//! transition per cycle regardless of how much its input glitched. The
+//! Monteiro heuristic therefore places registers at the outputs of gates
+//! with high glitch activity whose glitching propagates far. This module
+//! implements a legal pipelining cut (every input→output path is
+//! registered exactly once) parameterized by an arrival-time threshold,
+//! profiles glitches with the event-driven simulator, and searches the
+//! threshold for minimum total power.
+
+use std::collections::HashMap;
+
+use hlpower_netlist::{EventDrivenSim, Library, Netlist, NetlistError, NodeId, NodeKind};
+
+/// A pipelined version of a combinational netlist: registers inserted on
+/// every edge crossing the arrival-time threshold, so all outputs are
+/// delayed by exactly one cycle.
+///
+/// # Errors
+///
+/// Returns a netlist error for cyclic inputs.
+pub fn pipeline_cut(
+    netlist: &Netlist,
+    lib: &Library,
+    threshold_ps: f64,
+) -> Result<Netlist, NetlistError> {
+    let arrivals = netlist.arrival_times_ps(lib)?;
+    let mut out = Netlist::new();
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    // Registered view of a node, created lazily (shared among consumers).
+    let mut registered: HashMap<NodeId, NodeId> = HashMap::new();
+
+    let mut reg_of = |src: NodeId, mapped: NodeId, out: &mut Netlist| -> NodeId {
+        *registered.entry(src).or_insert_with(|| out.dff(mapped, false))
+    };
+
+    for id in netlist.node_ids() {
+        let new_id = match netlist.kind(id) {
+            NodeKind::Input => {
+                out.input(netlist.name(id).unwrap_or("in").to_string())
+            }
+            NodeKind::Const(c) => out.constant(*c),
+            NodeKind::Dff { .. } => {
+                // Only combinational circuits are supported: treat any
+                // existing flip-flop as opaque (re-register below).
+                let d = match netlist.kind(id) {
+                    NodeKind::Dff { d, .. } => *d,
+                    _ => unreachable!(),
+                };
+                let md = map[&d];
+                out.dff(md, false)
+            }
+            NodeKind::Gate { kind, inputs } => {
+                let mut new_inputs = Vec::with_capacity(inputs.len());
+                for &src in inputs {
+                    let mapped = map[&src];
+                    // Cut the edge if it crosses the threshold.
+                    let a_src = arrivals[src.index()];
+                    let a_dst = arrivals[id.index()];
+                    if a_src < threshold_ps && a_dst >= threshold_ps {
+                        new_inputs.push(reg_of(src, mapped, &mut out));
+                    } else {
+                        new_inputs.push(mapped);
+                    }
+                }
+                out.gate(*kind, new_inputs).expect("same arity as source gate")
+            }
+        };
+        map.insert(id, new_id);
+    }
+    for (name, o) in netlist.outputs() {
+        let mapped = map[o];
+        // Outputs below the threshold never crossed a register: register
+        // them at the boundary so every path is cut exactly once.
+        let a = arrivals[o.index()];
+        let final_node = if a < threshold_ps { reg_of(*o, mapped, &mut out) } else { mapped };
+        out.set_output(name.clone(), final_node);
+    }
+    Ok(out)
+}
+
+/// Per-node glitch counts under a stream (the selection signal of the
+/// Monteiro heuristic).
+///
+/// # Errors
+///
+/// Returns a netlist error for cyclic circuits.
+pub fn glitch_profile(
+    netlist: &Netlist,
+    lib: &Library,
+    stream: &[Vec<bool>],
+) -> Result<Vec<u64>, NetlistError> {
+    let mut sim = EventDrivenSim::new(netlist, lib)?;
+    let timed = sim.run(stream.iter().cloned());
+    Ok(netlist
+        .node_ids()
+        .map(|id| timed.node_glitches(id))
+        .collect())
+}
+
+/// Outcome of the retiming search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetimeOutcome {
+    /// Power of the unpipelined circuit (with output registers only), µW.
+    pub baseline_uw: f64,
+    /// Power of the best cut found, µW.
+    pub best_uw: f64,
+    /// The chosen arrival-time threshold, ps.
+    pub best_threshold_ps: f64,
+    /// Power at every probed threshold (threshold, µW).
+    pub sweep: Vec<(f64, f64)>,
+    /// Glitch fraction of the baseline.
+    pub baseline_glitch_fraction: f64,
+}
+
+impl RetimeOutcome {
+    /// Fractional power reduction of the best cut vs the baseline.
+    pub fn saving(&self) -> f64 {
+        1.0 - self.best_uw / self.baseline_uw.max(1e-12)
+    }
+}
+
+/// Searches arrival-time thresholds for the minimum-power pipeline cut
+/// (the registers-at-glitchy-outputs heuristic realized as a sweep).
+///
+/// The baseline is the same circuit cut at the *output* boundary (every
+/// path registered once at the end), so all compared designs have equal
+/// latency and register discipline; differences come from where the
+/// registers sit — exactly Fig. 9's point.
+///
+/// # Errors
+///
+/// Returns a netlist error for cyclic circuits.
+pub fn low_power_retime(
+    netlist: &Netlist,
+    lib: &Library,
+    stream: &[Vec<bool>],
+    probes: usize,
+) -> Result<RetimeOutcome, NetlistError> {
+    let max_arrival = netlist.critical_path_ps(lib)?;
+    let power_of = |nl: &Netlist| -> Result<f64, NetlistError> {
+        let mut sim = EventDrivenSim::new(nl, lib)?;
+        let timed = sim.run(stream.iter().cloned());
+        Ok(timed.power(nl, lib).total_power_uw())
+    };
+    // Baseline: registers at the very end.
+    let baseline_nl = pipeline_cut(netlist, lib, max_arrival + 1.0)?;
+    // The cut at threshold > max registers nothing mid-cone; outputs get
+    // registered by the boundary rule only if below threshold — which
+    // they are, so this is the output-registered baseline.
+    let baseline_uw = power_of(&baseline_nl)?;
+    let mut sim = EventDrivenSim::new(netlist, lib)?;
+    let timed = sim.run(stream.iter().cloned());
+    let baseline_glitch_fraction = timed.glitch_fraction();
+
+    let mut sweep = Vec::with_capacity(probes);
+    let mut best = (max_arrival + 1.0, baseline_uw);
+    for i in 1..=probes {
+        let threshold = max_arrival * i as f64 / (probes + 1) as f64;
+        let cut = pipeline_cut(netlist, lib, threshold)?;
+        let uw = power_of(&cut)?;
+        sweep.push((threshold, uw));
+        if uw < best.1 {
+            best = (threshold, uw);
+        }
+    }
+    Ok(RetimeOutcome {
+        baseline_uw,
+        best_uw: best.1,
+        best_threshold_ps: best.0,
+        sweep,
+        baseline_glitch_fraction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlpower_netlist::{gen, streams, words::to_bits, ZeroDelaySim};
+
+    fn multiplier(width: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", width);
+        let b = nl.input_bus("b", width);
+        let p = gen::array_multiplier(&mut nl, &a, &b);
+        nl.output_bus("p", &p);
+        nl
+    }
+
+    #[test]
+    fn pipeline_cut_preserves_function_with_one_cycle_latency() {
+        let nl = multiplier(4);
+        let lib = Library::default();
+        let cut = pipeline_cut(&nl, &lib, nl.critical_path_ps(&lib).unwrap() / 2.0).unwrap();
+        assert!(!cut.dffs().is_empty(), "cut must insert registers");
+        let mut ref_sim = ZeroDelaySim::new(&nl).unwrap();
+        let mut cut_sim = ZeroDelaySim::new(&cut).unwrap();
+        let vecs: Vec<Vec<bool>> = streams::random(1, 8).take(60).collect();
+        let mut expected = Vec::new();
+        let mut got = Vec::new();
+        for v in &vecs {
+            expected.push(ref_sim.eval_combinational(v).unwrap());
+            cut_sim.step(v).unwrap();
+            got.push(cut_sim.output_values());
+        }
+        assert_eq!(&got[1..], &expected[..expected.len() - 1], "one-cycle pipeline");
+    }
+
+    #[test]
+    fn every_path_cut_exactly_once() {
+        // Register count sanity: with the all-paths-once discipline, a
+        // second pipelining of the cut circuit is still functional; here
+        // we just check the output is registered or downstream of the cut.
+        let nl = multiplier(3);
+        let lib = Library::default();
+        for frac in [0.25, 0.5, 0.75] {
+            let t = nl.critical_path_ps(&lib).unwrap() * frac;
+            let cut = pipeline_cut(&nl, &lib, t).unwrap();
+            let mut ref_sim = ZeroDelaySim::new(&nl).unwrap();
+            let mut cut_sim = ZeroDelaySim::new(&cut).unwrap();
+            for (i, x) in [(3u64, 5u64), (7, 7), (2, 6), (1, 1)].iter().enumerate() {
+                let mut v = to_bits(x.0, 3);
+                v.extend(to_bits(x.1, 3));
+                let e = ref_sim.eval_combinational(&v).unwrap();
+                cut_sim.step(&v).unwrap();
+                if i > 0 {
+                    // Output corresponds to the previous vector.
+                    let _ = e;
+                }
+            }
+            // Functional check against delayed reference.
+            let vecs: Vec<Vec<bool>> = streams::random(9, 6).take(40).collect();
+            let mut ref2 = ZeroDelaySim::new(&nl).unwrap();
+            let mut cut2 = ZeroDelaySim::new(&cut).unwrap();
+            let mut exp = Vec::new();
+            let mut got = Vec::new();
+            for v in &vecs {
+                exp.push(ref2.eval_combinational(v).unwrap());
+                cut2.step(v).unwrap();
+                got.push(cut2.output_values());
+            }
+            assert_eq!(&got[1..], &exp[..exp.len() - 1], "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn multiplier_glitches_heavily() {
+        let nl = multiplier(6);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(2, 12).take(200).collect();
+        let mut sim = EventDrivenSim::new(&nl, &lib).unwrap();
+        let timed = sim.run(stream.iter().cloned());
+        assert!(timed.glitch_fraction() > 0.15, "glitch fraction {}", timed.glitch_fraction());
+    }
+
+    #[test]
+    fn retiming_reduces_power_on_glitchy_circuit() {
+        let nl = multiplier(5);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(3, 10).take(300).collect();
+        let outcome = low_power_retime(&nl, &lib, &stream, 4).unwrap();
+        assert!(
+            outcome.saving() > 0.0,
+            "mid-cone registers should beat output-only registers: {outcome:?}"
+        );
+        assert!(outcome.best_threshold_ps < nl.critical_path_ps(&lib).unwrap());
+    }
+
+    #[test]
+    fn glitch_profile_nonzero_for_multiplier() {
+        let nl = multiplier(4);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(4, 8).take(150).collect();
+        let profile = glitch_profile(&nl, &lib, &stream).unwrap();
+        assert!(profile.iter().any(|&g| g > 0));
+    }
+}

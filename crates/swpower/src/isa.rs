@@ -1,0 +1,356 @@
+//! The instruction set: a small load-store RISC with 16 registers.
+
+use std::fmt;
+
+/// A register index (0..16). `r0` reads as zero and ignores writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired-zero register.
+    pub const ZERO: Reg = Reg(0);
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `rd = rs1 + rs2`
+    Add(Reg, Reg, Reg),
+    /// `rd = rs1 - rs2`
+    Sub(Reg, Reg, Reg),
+    /// `rd = rs1 * rs2`
+    Mul(Reg, Reg, Reg),
+    /// `rd = rs1 & rs2`
+    And(Reg, Reg, Reg),
+    /// `rd = rs1 | rs2`
+    Or(Reg, Reg, Reg),
+    /// `rd = rs1 ^ rs2`
+    Xor(Reg, Reg, Reg),
+    /// `rd = rs1 + imm`
+    Addi(Reg, Reg, i32),
+    /// `rd = rs1 << imm`
+    Shli(Reg, Reg, u8),
+    /// `rd = mem[rs1 + imm]`
+    Ld(Reg, Reg, i32),
+    /// `mem[rs1 + imm] = rs2`
+    St(Reg, Reg, i32),
+    /// Branch to `pc + off` when `rs1 == rs2`.
+    Beq(Reg, Reg, i32),
+    /// Branch to `pc + off` when `rs1 != rs2`.
+    Bne(Reg, Reg, i32),
+    /// Branch to `pc + off` when `rs1 < rs2` (signed).
+    Blt(Reg, Reg, i32),
+    /// Unconditional jump to `pc + off`.
+    Jmp(i32),
+    /// No operation.
+    Nop,
+    /// Stop execution.
+    Halt,
+}
+
+/// Coarse instruction classes used by the energy models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Single-cycle integer ALU (add/sub/logic/shift/addi).
+    Alu,
+    /// Integer multiply.
+    Mul,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump.
+    Jump,
+    /// No-op / halt.
+    Nop,
+}
+
+impl OpClass {
+    /// All classes, in a stable order.
+    pub fn all() -> [OpClass; 7] {
+        [
+            OpClass::Alu,
+            OpClass::Mul,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Branch,
+            OpClass::Jump,
+            OpClass::Nop,
+        ]
+    }
+
+    /// A stable index (0..7) for table lookups.
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Alu => 0,
+            OpClass::Mul => 1,
+            OpClass::Load => 2,
+            OpClass::Store => 3,
+            OpClass::Branch => 4,
+            OpClass::Jump => 5,
+            OpClass::Nop => 6,
+        }
+    }
+}
+
+impl Instr {
+    /// The instruction's class.
+    pub fn class(&self) -> OpClass {
+        match self {
+            Instr::Add(..)
+            | Instr::Sub(..)
+            | Instr::And(..)
+            | Instr::Or(..)
+            | Instr::Xor(..)
+            | Instr::Addi(..)
+            | Instr::Shli(..) => OpClass::Alu,
+            Instr::Mul(..) => OpClass::Mul,
+            Instr::Ld(..) => OpClass::Load,
+            Instr::St(..) => OpClass::Store,
+            Instr::Beq(..) | Instr::Bne(..) | Instr::Blt(..) => OpClass::Branch,
+            Instr::Jmp(..) => OpClass::Jump,
+            Instr::Nop | Instr::Halt => OpClass::Nop,
+        }
+    }
+
+    /// The destination register, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        match self {
+            Instr::Add(d, ..)
+            | Instr::Sub(d, ..)
+            | Instr::Mul(d, ..)
+            | Instr::And(d, ..)
+            | Instr::Or(d, ..)
+            | Instr::Xor(d, ..)
+            | Instr::Addi(d, ..)
+            | Instr::Shli(d, ..)
+            | Instr::Ld(d, ..) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Source registers.
+    pub fn sources(&self) -> Vec<Reg> {
+        match self {
+            Instr::Add(_, a, b)
+            | Instr::Sub(_, a, b)
+            | Instr::Mul(_, a, b)
+            | Instr::And(_, a, b)
+            | Instr::Or(_, a, b)
+            | Instr::Xor(_, a, b) => vec![*a, *b],
+            Instr::Addi(_, a, _) | Instr::Shli(_, a, _) | Instr::Ld(_, a, _) => vec![*a],
+            Instr::St(a, v, _) => vec![*a, *v],
+            Instr::Beq(a, b, _) | Instr::Bne(a, b, _) | Instr::Blt(a, b, _) => vec![*a, *b],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether this instruction may change the control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Beq(..) | Instr::Bne(..) | Instr::Blt(..) | Instr::Jmp(..) | Instr::Halt
+        )
+    }
+
+    /// A 32-bit encoding used for instruction-bus switching accounting:
+    /// `opcode(5) | rd(4) | rs1(4) | rs2(4) | imm(15)`.
+    pub fn encode(&self) -> u32 {
+        let (op, rd, rs1, rs2, imm): (u32, u32, u32, u32, i32) = match *self {
+            Instr::Add(d, a, b) => (1, d.0 as u32, a.0 as u32, b.0 as u32, 0),
+            Instr::Sub(d, a, b) => (2, d.0 as u32, a.0 as u32, b.0 as u32, 0),
+            Instr::Mul(d, a, b) => (3, d.0 as u32, a.0 as u32, b.0 as u32, 0),
+            Instr::And(d, a, b) => (4, d.0 as u32, a.0 as u32, b.0 as u32, 0),
+            Instr::Or(d, a, b) => (5, d.0 as u32, a.0 as u32, b.0 as u32, 0),
+            Instr::Xor(d, a, b) => (6, d.0 as u32, a.0 as u32, b.0 as u32, 0),
+            Instr::Addi(d, a, i) => (7, d.0 as u32, a.0 as u32, 0, i),
+            Instr::Shli(d, a, k) => (8, d.0 as u32, a.0 as u32, 0, k as i32),
+            Instr::Ld(d, a, i) => (9, d.0 as u32, a.0 as u32, 0, i),
+            Instr::St(a, v, i) => (10, 0, a.0 as u32, v.0 as u32, i),
+            Instr::Beq(a, b, o) => (11, 0, a.0 as u32, b.0 as u32, o),
+            Instr::Bne(a, b, o) => (12, 0, a.0 as u32, b.0 as u32, o),
+            Instr::Blt(a, b, o) => (13, 0, a.0 as u32, b.0 as u32, o),
+            Instr::Jmp(o) => (14, 0, 0, 0, o),
+            Instr::Nop => (15, 0, 0, 0, 0),
+            Instr::Halt => (16, 0, 0, 0, 0),
+        };
+        (op << 27) | (rd << 23) | (rs1 << 19) | (rs2 << 15) | ((imm as u32) & 0x7FFF)
+    }
+}
+
+/// A program: instructions plus initial data memory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The instruction stream.
+    pub code: Vec<Instr>,
+    /// Initial contents of data memory (word addressed from 0).
+    pub data: Vec<i64>,
+}
+
+impl Program {
+    /// Total instruction-bus Hamming transitions over a dynamic execution
+    /// trace of instruction indices.
+    pub fn bus_transitions(&self, trace: &[usize]) -> u64 {
+        trace
+            .windows(2)
+            .map(|w| (self.code[w[0]].encode() ^ self.code[w[1]].encode()).count_ones() as u64)
+            .sum()
+    }
+}
+
+/// A deferred branch: (instruction slot, target label, constructor).
+type BranchFixup = (usize, usize, fn(i32) -> Instr);
+
+/// A label-based builder for programs with forward branches.
+///
+/// # Example
+///
+/// ```
+/// use hlpower_sw::{ProgramBuilder, Instr, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// let loop_top = b.label();
+/// b.bind(loop_top);
+/// b.push(Instr::Addi(Reg(1), Reg(1), -1));
+/// b.branch_to(loop_top, |off| Instr::Bne(Reg(1), Reg::ZERO, off));
+/// b.push(Instr::Halt);
+/// let prog = b.build(vec![]);
+/// assert_eq!(prog.code.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    code: Vec<Instr>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<BranchFixup>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Allocates a fresh label.
+    pub fn label(&mut self) -> usize {
+        self.labels.push(None);
+        self.labels.len() - 1
+    }
+
+    /// Binds a label to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: usize) {
+        assert!(self.labels[label].is_none(), "label bound twice");
+        self.labels[label] = Some(self.code.len());
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, i: Instr) {
+        self.code.push(i);
+    }
+
+    /// Appends a control-flow instruction targeting `label`; `make`
+    /// receives the relative offset once known.
+    pub fn branch_to(&mut self, label: usize, make: fn(i32) -> Instr) {
+        let at = self.code.len();
+        self.code.push(Instr::Nop); // placeholder
+        self.fixups.push((at, label, make));
+    }
+
+    /// Current instruction count.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether no instructions have been added.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label is unbound.
+    pub fn build(mut self, data: Vec<i64>) -> Program {
+        for (at, label, make) in self.fixups {
+            let target = self.labels[label].expect("label must be bound before build");
+            let off = target as i32 - at as i32;
+            self.code[at] = make(off);
+        }
+        Program { code: self.code, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_cover_instructions() {
+        assert_eq!(Instr::Add(Reg(1), Reg(2), Reg(3)).class(), OpClass::Alu);
+        assert_eq!(Instr::Mul(Reg(1), Reg(2), Reg(3)).class(), OpClass::Mul);
+        assert_eq!(Instr::Ld(Reg(1), Reg(2), 0).class(), OpClass::Load);
+        assert_eq!(Instr::St(Reg(1), Reg(2), 0).class(), OpClass::Store);
+        assert_eq!(Instr::Beq(Reg(1), Reg(2), -1).class(), OpClass::Branch);
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        let instrs = [
+            Instr::Add(Reg(1), Reg(2), Reg(3)),
+            Instr::Sub(Reg(1), Reg(2), Reg(3)),
+            Instr::Addi(Reg(1), Reg(2), 5),
+            Instr::Ld(Reg(1), Reg(2), 5),
+            Instr::Nop,
+        ];
+        let encs: std::collections::HashSet<u32> = instrs.iter().map(|i| i.encode()).collect();
+        assert_eq!(encs.len(), instrs.len());
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let i = Instr::Mul(Reg(4), Reg(5), Reg(6));
+        assert_eq!(i.dest(), Some(Reg(4)));
+        assert_eq!(i.sources(), vec![Reg(5), Reg(6)]);
+        let s = Instr::St(Reg(1), Reg(2), 8);
+        assert_eq!(s.dest(), None);
+        assert_eq!(s.sources(), vec![Reg(1), Reg(2)]);
+    }
+
+    #[test]
+    fn builder_resolves_backward_and_forward_labels() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        let done = b.label();
+        b.bind(top);
+        b.push(Instr::Addi(Reg(1), Reg(1), -1));
+        b.branch_to(done, |off| Instr::Beq(Reg(1), Reg::ZERO, off));
+        b.branch_to(top, Instr::Jmp);
+        b.bind(done);
+        b.push(Instr::Halt);
+        let p = b.build(vec![]);
+        assert_eq!(p.code[1], Instr::Beq(Reg(1), Reg::ZERO, 2));
+        assert_eq!(p.code[2], Instr::Jmp(-2));
+    }
+
+    #[test]
+    fn bus_transitions_counts_hamming() {
+        let p = Program {
+            code: vec![Instr::Nop, Instr::Halt],
+            data: vec![],
+        };
+        let h = (Instr::Nop.encode() ^ Instr::Halt.encode()).count_ones() as u64;
+        assert_eq!(p.bus_transitions(&[0, 1]), h);
+    }
+}

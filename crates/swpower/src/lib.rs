@@ -1,0 +1,38 @@
+//! Software-level power estimation substrate (survey §II-A and §III-A).
+//!
+//! Provides a small RISC instruction set with an architectural simulator
+//! (instruction/data caches, branch prediction, load-use stalls) whose
+//! cycle-by-cycle energy accounting substitutes for the physical current
+//! measurements of Tiwari et al.; on top of it: the Tiwari instruction-level
+//! power model (base costs + circuit-state overheads + stall/miss costs),
+//! cold scheduling of basic blocks for instruction-bus activity, the Hsieh
+//! profile-driven program synthesis flow, and the Fig. 2 memory-access
+//! optimization example.
+//!
+//! # Example
+//!
+//! ```
+//! use hlpower_sw::{workloads, Machine, MachineConfig};
+//!
+//! let program = workloads::stream_sum(64);
+//! let mut m = Machine::new(MachineConfig::default());
+//! let run = m.run(&program, 100_000).expect("program halts");
+//! assert!(run.cycles > 0 && run.energy_pj > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+// Matrix- and table-style numerics read more clearly with explicit index
+// loops; silence clippy's iterator-style suggestion for them.
+#![allow(clippy::needless_range_loop)]
+
+mod isa;
+mod machine;
+pub mod tiwari;
+pub mod coldsched;
+pub mod synthesis;
+pub mod workloads;
+pub mod memopt;
+
+pub use isa::{Instr, OpClass, Program, ProgramBuilder, Reg};
+pub use machine::{CacheConfig, EnergyCosts, Machine, MachineConfig, RunStats, SwError};

@@ -1,0 +1,585 @@
+//! The architectural simulator: caches, branch prediction, pipeline
+//! stalls, and cycle-by-cycle energy accounting.
+//!
+//! The per-cycle energy model plays the role of the "actual current
+//! measurements" of Tiwari et al. (survey reference 7): it charges a base cost
+//! per executed instruction class, a circuit-state cost proportional to
+//! the instruction-bus Hamming switching plus an inter-class transition
+//! penalty, and event costs for cache misses, branch mispredictions, and
+//! load-use stalls. The instruction-level macro-model in
+//! [`crate::tiwari`] is then *characterized against* this reference.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{Instr, OpClass, Program, Reg};
+
+/// Errors from program execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SwError {
+    /// The program ran past `max_cycles` without halting.
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The program counter left the code segment.
+    PcOutOfRange {
+        /// The offending program counter.
+        pc: i64,
+    },
+    /// A load or store touched an address outside data memory.
+    MemOutOfRange {
+        /// The offending word address.
+        addr: i64,
+    },
+}
+
+impl fmt::Display for SwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
+            SwError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+            SwError::MemOutOfRange { addr } => write!(f, "memory address {addr} out of range"),
+        }
+    }
+}
+
+impl Error for SwError {}
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Words per block.
+    pub block_words: usize,
+}
+
+impl CacheConfig {
+    /// An 8 KB-style two-way cache (matching the survey's Pentium
+    /// description in spirit): 64 sets x 2 ways x 4 words.
+    pub fn small() -> Self {
+        CacheConfig { sets: 64, ways: 2, block_words: 4 }
+    }
+
+    /// A tiny cache that misses often (for stress tests).
+    pub fn tiny() -> Self {
+        CacheConfig { sets: 4, ways: 1, block_words: 2 }
+    }
+}
+
+/// Per-event energy costs, in picojoules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyCosts {
+    /// Base cost per instruction class (indexed by [`OpClass::index`]).
+    pub base_pj: [f64; 7],
+    /// Cost per toggled instruction-bus bit.
+    pub bus_pj_per_bit: f64,
+    /// Extra cost when consecutive instructions belong to different
+    /// classes (circuit-state effect).
+    pub class_switch_pj: f64,
+    /// Instruction-cache miss.
+    pub imiss_pj: f64,
+    /// Data-cache miss.
+    pub dmiss_pj: f64,
+    /// Branch misprediction.
+    pub mispredict_pj: f64,
+    /// Per stall cycle.
+    pub stall_pj: f64,
+}
+
+impl Default for EnergyCosts {
+    fn default() -> Self {
+        EnergyCosts {
+            // Alu, Mul, Load, Store, Branch, Jump, Nop
+            base_pj: [8.0, 32.0, 18.0, 16.0, 7.0, 6.0, 2.0],
+            bus_pj_per_bit: 0.4,
+            class_switch_pj: 3.5,
+            imiss_pj: 42.0,
+            dmiss_pj: 55.0,
+            mispredict_pj: 11.0,
+            stall_pj: 2.0,
+        }
+    }
+}
+
+/// Machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Instruction-cache geometry.
+    pub icache: CacheConfig,
+    /// Data-cache geometry.
+    pub dcache: CacheConfig,
+    /// Cycles stalled on an instruction-cache miss.
+    pub imiss_penalty: u64,
+    /// Cycles stalled on a data-cache miss.
+    pub dmiss_penalty: u64,
+    /// Cycles lost to a branch misprediction.
+    pub mispredict_penalty: u64,
+    /// Data memory size in words.
+    pub memory_words: usize,
+    /// Energy model.
+    pub energy: EnergyCosts,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            icache: CacheConfig::small(),
+            dcache: CacheConfig::small(),
+            imiss_penalty: 8,
+            dmiss_penalty: 12,
+            mispredict_penalty: 3,
+            memory_words: 1 << 16,
+            energy: EnergyCosts::default(),
+        }
+    }
+}
+
+/// Statistics and energy from one program run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Dynamic instruction count.
+    pub instructions: u64,
+    /// Total cycles (including stalls and penalties).
+    pub cycles: u64,
+    /// Total energy, in picojoules.
+    pub energy_pj: f64,
+    /// Per-class dynamic counts (indexed by [`OpClass::index`]).
+    pub class_counts: [u64; 7],
+    /// Dynamic counts of consecutive class pairs `(prev, next)`.
+    pub pair_counts: HashMap<(OpClass, OpClass), u64>,
+    /// Instruction-cache misses.
+    pub imisses: u64,
+    /// Instruction-cache accesses.
+    pub iaccesses: u64,
+    /// Data-cache misses.
+    pub dmisses: u64,
+    /// Data-cache accesses.
+    pub daccesses: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Load-use stall cycles.
+    pub stalls: u64,
+    /// Total instruction-bus bit transitions.
+    pub bus_transitions: u64,
+    /// Final register file (for functional checks).
+    pub regs: [i64; 16],
+    /// The dynamic trace of executed instruction indices (capped; empty if
+    /// tracing was disabled).
+    pub trace: Vec<usize>,
+}
+
+impl RunStats {
+    /// Average power in energy units per cycle.
+    pub fn power_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.energy_pj / self.cycles as f64
+        }
+    }
+
+    /// Instruction-cache miss rate.
+    pub fn imiss_rate(&self) -> f64 {
+        if self.iaccesses == 0 {
+            0.0
+        } else {
+            self.imisses as f64 / self.iaccesses as f64
+        }
+    }
+
+    /// Data-cache miss rate.
+    pub fn dmiss_rate(&self) -> f64 {
+        if self.daccesses == 0 {
+            0.0
+        } else {
+            self.dmisses as f64 / self.daccesses as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Instruction mix as fractions per class.
+    pub fn instruction_mix(&self) -> [f64; 7] {
+        let n = self.instructions.max(1) as f64;
+        let mut mix = [0.0; 7];
+        for (i, &c) in self.class_counts.iter().enumerate() {
+            mix[i] = c as f64 / n;
+        }
+        mix
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    cfg: CacheConfig,
+    /// tags[set][way] and LRU stamps.
+    tags: Vec<Vec<Option<u64>>>,
+    stamps: Vec<Vec<u64>>,
+    tick: u64,
+}
+
+impl Cache {
+    fn new(cfg: CacheConfig) -> Self {
+        Cache {
+            cfg,
+            tags: vec![vec![None; cfg.ways]; cfg.sets],
+            stamps: vec![vec![0; cfg.ways]; cfg.sets],
+            tick: 0,
+        }
+    }
+
+    /// Returns true on hit; updates state either way.
+    fn access(&mut self, word_addr: u64) -> bool {
+        self.tick += 1;
+        let block = word_addr / self.cfg.block_words as u64;
+        let set = (block % self.cfg.sets as u64) as usize;
+        let tag = block / self.cfg.sets as u64;
+        for w in 0..self.cfg.ways {
+            if self.tags[set][w] == Some(tag) {
+                self.stamps[set][w] = self.tick;
+                return true;
+            }
+        }
+        // Miss: replace LRU.
+        let victim = (0..self.cfg.ways).min_by_key(|&w| self.stamps[set][w]).expect("ways >= 1");
+        self.tags[set][victim] = Some(tag);
+        self.stamps[set][victim] = self.tick;
+        false
+    }
+}
+
+/// Two-bit saturating branch predictor table.
+#[derive(Debug, Clone)]
+struct Predictor {
+    counters: Vec<u8>,
+}
+
+impl Predictor {
+    fn new() -> Self {
+        Predictor { counters: vec![1; 512] }
+    }
+
+    fn predict(&self, pc: usize) -> bool {
+        self.counters[pc % 512] >= 2
+    }
+
+    fn update(&mut self, pc: usize, taken: bool) {
+        let c = &mut self.counters[pc % 512];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// The architectural simulator.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    trace_limit: usize,
+}
+
+impl Machine {
+    /// Creates a machine with the given configuration. Dynamic traces are
+    /// captured up to one million instructions by default.
+    pub fn new(config: MachineConfig) -> Self {
+        Machine { config, trace_limit: 1_000_000 }
+    }
+
+    /// Sets the maximum captured trace length (0 disables tracing).
+    pub fn set_trace_limit(&mut self, limit: usize) {
+        self.trace_limit = limit;
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Runs `program` to `Halt` or until `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwError::CycleLimit`] if the program does not halt in
+    /// time, [`SwError::PcOutOfRange`] / [`SwError::MemOutOfRange`] on
+    /// wild control flow or memory accesses.
+    pub fn run(&mut self, program: &Program, max_cycles: u64) -> Result<RunStats, SwError> {
+        let e = self.config.energy.clone();
+        let mut regs = [0i64; 16];
+        let mut mem = vec![0i64; self.config.memory_words];
+        mem[..program.data.len()].copy_from_slice(&program.data);
+
+        let mut icache = Cache::new(self.config.icache);
+        let mut dcache = Cache::new(self.config.dcache);
+        let mut predictor = Predictor::new();
+
+        let mut stats = RunStats {
+            instructions: 0,
+            cycles: 0,
+            energy_pj: 0.0,
+            class_counts: [0; 7],
+            pair_counts: HashMap::new(),
+            imisses: 0,
+            iaccesses: 0,
+            dmisses: 0,
+            daccesses: 0,
+            mispredicts: 0,
+            branches: 0,
+            stalls: 0,
+            bus_transitions: 0,
+            regs,
+            trace: Vec::new(),
+        };
+
+        let mut pc: i64 = 0;
+        let mut prev: Option<Instr> = None;
+        let mut prev_dest: Option<Reg> = None; // for load-use hazard
+        loop {
+            if stats.cycles > max_cycles {
+                return Err(SwError::CycleLimit { limit: max_cycles });
+            }
+            if pc < 0 || pc as usize >= program.code.len() {
+                return Err(SwError::PcOutOfRange { pc });
+            }
+            let i = program.code[pc as usize];
+
+            // Fetch.
+            stats.iaccesses += 1;
+            if !icache.access(pc as u64) {
+                stats.imisses += 1;
+                stats.cycles += self.config.imiss_penalty;
+                stats.energy_pj += e.imiss_pj + e.stall_pj * self.config.imiss_penalty as f64;
+            }
+
+            // Circuit state: bus switching + class change.
+            if let Some(p) = prev {
+                let toggles = (p.encode() ^ i.encode()).count_ones() as u64;
+                stats.bus_transitions += toggles;
+                stats.energy_pj += e.bus_pj_per_bit * toggles as f64;
+                if p.class() != i.class() {
+                    stats.energy_pj += e.class_switch_pj;
+                }
+                *stats.pair_counts.entry((p.class(), i.class())).or_insert(0) += 1;
+            }
+
+            // Load-use hazard: previous instruction was a load whose dest
+            // is one of our sources.
+            if let (Some(Instr::Ld(..)), Some(d)) = (prev, prev_dest) {
+                if i.sources().contains(&d) {
+                    stats.stalls += 1;
+                    stats.cycles += 1;
+                    stats.energy_pj += e.stall_pj;
+                }
+            }
+
+            stats.instructions += 1;
+            stats.class_counts[i.class().index()] += 1;
+            stats.energy_pj += e.base_pj[i.class().index()];
+            stats.cycles += 1;
+            if stats.trace.len() < self.trace_limit {
+                stats.trace.push(pc as usize);
+            }
+
+            let rd = |r: Reg| if r.0 == 0 { 0 } else { regs[r.0 as usize] };
+            let mut next_pc = pc + 1;
+            match i {
+                Instr::Add(d, a, b) => regs[d.0 as usize] = rd(a).wrapping_add(rd(b)),
+                Instr::Sub(d, a, b) => regs[d.0 as usize] = rd(a).wrapping_sub(rd(b)),
+                Instr::Mul(d, a, b) => regs[d.0 as usize] = rd(a).wrapping_mul(rd(b)),
+                Instr::And(d, a, b) => regs[d.0 as usize] = rd(a) & rd(b),
+                Instr::Or(d, a, b) => regs[d.0 as usize] = rd(a) | rd(b),
+                Instr::Xor(d, a, b) => regs[d.0 as usize] = rd(a) ^ rd(b),
+                Instr::Addi(d, a, imm) => regs[d.0 as usize] = rd(a).wrapping_add(imm as i64),
+                Instr::Shli(d, a, k) => regs[d.0 as usize] = rd(a).wrapping_shl(k as u32),
+                Instr::Ld(d, a, imm) => {
+                    let addr = rd(a) + imm as i64;
+                    if addr < 0 || addr as usize >= mem.len() {
+                        return Err(SwError::MemOutOfRange { addr });
+                    }
+                    stats.daccesses += 1;
+                    if !dcache.access(addr as u64) {
+                        stats.dmisses += 1;
+                        stats.cycles += self.config.dmiss_penalty;
+                        stats.energy_pj +=
+                            e.dmiss_pj + e.stall_pj * self.config.dmiss_penalty as f64;
+                    }
+                    regs[d.0 as usize] = mem[addr as usize];
+                }
+                Instr::St(a, v, imm) => {
+                    let addr = rd(a) + imm as i64;
+                    if addr < 0 || addr as usize >= mem.len() {
+                        return Err(SwError::MemOutOfRange { addr });
+                    }
+                    stats.daccesses += 1;
+                    if !dcache.access(addr as u64) {
+                        stats.dmisses += 1;
+                        stats.cycles += self.config.dmiss_penalty;
+                        stats.energy_pj +=
+                            e.dmiss_pj + e.stall_pj * self.config.dmiss_penalty as f64;
+                    }
+                    mem[addr as usize] = rd(v);
+                }
+                Instr::Beq(a, b, off) | Instr::Bne(a, b, off) | Instr::Blt(a, b, off) => {
+                    let taken = match i {
+                        Instr::Beq(..) => rd(a) == rd(b),
+                        Instr::Bne(..) => rd(a) != rd(b),
+                        _ => rd(a) < rd(b),
+                    };
+                    stats.branches += 1;
+                    let predicted = predictor.predict(pc as usize);
+                    if predicted != taken {
+                        stats.mispredicts += 1;
+                        stats.cycles += self.config.mispredict_penalty;
+                        stats.energy_pj +=
+                            e.mispredict_pj + e.stall_pj * self.config.mispredict_penalty as f64;
+                    }
+                    predictor.update(pc as usize, taken);
+                    if taken {
+                        next_pc = pc + off as i64;
+                    }
+                }
+                Instr::Jmp(off) => next_pc = pc + off as i64,
+                Instr::Nop => {}
+                Instr::Halt => {
+                    regs[0] = 0;
+                    stats.regs = regs;
+                    return Ok(stats);
+                }
+            }
+            regs[0] = 0;
+            prev_dest = i.dest();
+            prev = Some(i);
+            pc = next_pc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::ProgramBuilder;
+
+    fn count_down(n: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Addi(Reg(1), Reg::ZERO, n as i32));
+        let top = b.label();
+        b.bind(top);
+        b.push(Instr::Addi(Reg(1), Reg(1), -1));
+        b.branch_to(top, |off| Instr::Bne(Reg(1), Reg::ZERO, off));
+        b.push(Instr::Halt);
+        b.build(vec![])
+    }
+
+    #[test]
+    fn loop_executes_expected_instructions() {
+        let mut m = Machine::new(MachineConfig::default());
+        let stats = m.run(&count_down(10), 10_000).unwrap();
+        // 1 init + 10 * (addi + bne) + halt
+        assert_eq!(stats.instructions, 1 + 20 + 1);
+        assert_eq!(stats.regs[1], 0);
+        assert!(stats.energy_pj > 0.0);
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let p = Program { code: vec![Instr::Jmp(0)], data: vec![] };
+        let mut m = Machine::new(MachineConfig::default());
+        assert!(matches!(m.run(&p, 100), Err(SwError::CycleLimit { .. })));
+    }
+
+    #[test]
+    fn memory_bounds_checked() {
+        let p = Program { code: vec![Instr::Ld(Reg(1), Reg::ZERO, -5), Instr::Halt], data: vec![] };
+        let mut m = Machine::new(MachineConfig::default());
+        assert!(matches!(m.run(&p, 100), Err(SwError::MemOutOfRange { addr: -5 })));
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let p = Program {
+            code: vec![
+                Instr::Addi(Reg(1), Reg::ZERO, 99),
+                Instr::St(Reg::ZERO, Reg(1), 7),
+                Instr::Ld(Reg(2), Reg::ZERO, 7),
+                Instr::Halt,
+            ],
+            data: vec![],
+        };
+        let mut m = Machine::new(MachineConfig::default());
+        let stats = m.run(&p, 100).unwrap();
+        assert_eq!(stats.regs[2], 99);
+        assert_eq!(stats.daccesses, 2);
+        // First store misses the cold cache, load hits the same block.
+        assert_eq!(stats.dmisses, 1);
+    }
+
+    #[test]
+    fn streaming_misses_with_tiny_cache() {
+        // Walk 64 distinct blocks with a tiny cache: high miss rate.
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::Addi(Reg(1), Reg::ZERO, 0));
+        b.push(Instr::Addi(Reg(2), Reg::ZERO, 128));
+        let top = b.label();
+        b.bind(top);
+        b.push(Instr::Ld(Reg(3), Reg(1), 0));
+        b.push(Instr::Addi(Reg(1), Reg(1), 8)); // stride past the block
+        b.branch_to(top, |off| Instr::Blt(Reg(1), Reg(2), off));
+        b.push(Instr::Halt);
+        let p = b.build(vec![0; 256]);
+        let cfg = MachineConfig { dcache: CacheConfig::tiny(), ..MachineConfig::default() };
+        let mut m = Machine::new(cfg);
+        let stats = m.run(&p, 100_000).unwrap();
+        assert!(stats.dmiss_rate() > 0.9, "rate {}", stats.dmiss_rate());
+    }
+
+    #[test]
+    fn load_use_stall_detected() {
+        let p = Program {
+            code: vec![
+                Instr::Ld(Reg(1), Reg::ZERO, 0),
+                Instr::Add(Reg(2), Reg(1), Reg(1)), // uses r1 right away
+                Instr::Halt,
+            ],
+            data: vec![5],
+        };
+        let mut m = Machine::new(MachineConfig::default());
+        let stats = m.run(&p, 100).unwrap();
+        assert_eq!(stats.stalls, 1);
+        assert_eq!(stats.regs[2], 10);
+    }
+
+    #[test]
+    fn branch_predictor_learns_loop() {
+        let mut m = Machine::new(MachineConfig::default());
+        let stats = m.run(&count_down(200), 100_000).unwrap();
+        // A long loop with a 2-bit counter should mispredict rarely.
+        assert!(stats.mispredict_rate() < 0.05, "rate {}", stats.mispredict_rate());
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let p = Program {
+            code: vec![Instr::Addi(Reg(0), Reg::ZERO, 42), Instr::Add(Reg(1), Reg(0), Reg(0)), Instr::Halt],
+            data: vec![],
+        };
+        let mut m = Machine::new(MachineConfig::default());
+        let stats = m.run(&p, 100).unwrap();
+        assert_eq!(stats.regs[1], 0);
+    }
+}

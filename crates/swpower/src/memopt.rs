@@ -1,0 +1,151 @@
+//! The Fig. 2 memory-access optimization: eliminating an intermediate
+//! array's 2n memory accesses by keeping each element in a register
+//! (scalar replacement / loop fusion, survey §III-A).
+//!
+//! ```text
+//! for i in 0..n { b[i] = a[i] + c; }        for i in 0..n {
+//! for i in 0..n { d[i] = b[i] * k; }   =>      let t = a[i] + c;   // register
+//!                                              b[i] = t;           // if still live
+//!                                              d[i] = t * k;
+//!                                           }
+//! ```
+
+use crate::isa::{Instr, Program, ProgramBuilder, Reg};
+use crate::machine::{Machine, MachineConfig, RunStats, SwError};
+
+/// The unoptimized two-loop version: the intermediate array `b` is written
+/// by the first loop and read back by the second (2n extra accesses).
+pub fn two_loop_version(n: usize, c: i32, k: i32) -> Program {
+    let a_base = 0i32;
+    // Pad the array bases so the three streams map to different cache
+    // sets (a real compiler would do the same to avoid conflict misses).
+    let b_base = n as i32 + 8;
+    let d_base = 2 * n as i32 + 16;
+    let mut b = ProgramBuilder::new();
+    b.push(Instr::Addi(Reg(10), Reg::ZERO, n as i32));
+    b.push(Instr::Addi(Reg(11), Reg::ZERO, c));
+    b.push(Instr::Addi(Reg(12), Reg::ZERO, k));
+    // Loop 1: b[i] = a[i] + c
+    b.push(Instr::Addi(Reg(1), Reg::ZERO, 0));
+    let l1 = b.label();
+    b.bind(l1);
+    b.push(Instr::Ld(Reg(2), Reg(1), a_base));
+    b.push(Instr::Add(Reg(3), Reg(2), Reg(11)));
+    b.push(Instr::St(Reg(1), Reg(3), b_base));
+    b.push(Instr::Addi(Reg(1), Reg(1), 1));
+    b.branch_to(l1, |off| Instr::Blt(Reg(1), Reg(10), off));
+    // Loop 2: d[i] = b[i] * k
+    b.push(Instr::Addi(Reg(1), Reg::ZERO, 0));
+    let l2 = b.label();
+    b.bind(l2);
+    b.push(Instr::Ld(Reg(4), Reg(1), b_base));
+    b.push(Instr::Mul(Reg(5), Reg(4), Reg(12)));
+    b.push(Instr::St(Reg(1), Reg(5), d_base));
+    b.push(Instr::Addi(Reg(1), Reg(1), 1));
+    b.branch_to(l2, |off| Instr::Blt(Reg(1), Reg(10), off));
+    b.push(Instr::Halt);
+    b.build(test_data(n))
+}
+
+/// The optimized fused version: the intermediate element stays in a
+/// register; `b` is still materialized once (it may be live-out), but the
+/// n re-reads are gone and the loop overhead is halved.
+pub fn fused_version(n: usize, c: i32, k: i32) -> Program {
+    let a_base = 0i32;
+    let b_base = n as i32 + 8;
+    let d_base = 2 * n as i32 + 16;
+    let mut b = ProgramBuilder::new();
+    b.push(Instr::Addi(Reg(10), Reg::ZERO, n as i32));
+    b.push(Instr::Addi(Reg(11), Reg::ZERO, c));
+    b.push(Instr::Addi(Reg(12), Reg::ZERO, k));
+    b.push(Instr::Addi(Reg(1), Reg::ZERO, 0));
+    let l = b.label();
+    b.bind(l);
+    b.push(Instr::Ld(Reg(2), Reg(1), a_base));
+    b.push(Instr::Add(Reg(3), Reg(2), Reg(11))); // t = a[i] + c (register)
+    b.push(Instr::St(Reg(1), Reg(3), b_base)); // b[i] = t (live-out)
+    b.push(Instr::Mul(Reg(5), Reg(3), Reg(12))); // d[i] = t * k
+    b.push(Instr::St(Reg(1), Reg(5), d_base));
+    b.push(Instr::Addi(Reg(1), Reg(1), 1));
+    b.branch_to(l, |off| Instr::Blt(Reg(1), Reg(10), off));
+    b.push(Instr::Halt);
+    b.build(test_data(n))
+}
+
+fn test_data(n: usize) -> Vec<i64> {
+    let mut data = vec![0i64; 3 * n + 32];
+    for (i, d) in data.iter_mut().take(n).enumerate() {
+        *d = (i as i64 * 7) % 23 - 11;
+    }
+    data
+}
+
+/// Runs both versions and returns `(two_loop_stats, fused_stats)`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn compare(n: usize, config: &MachineConfig) -> Result<(RunStats, RunStats), SwError> {
+    let mut m = Machine::new(config.clone());
+    m.set_trace_limit(0);
+    let before = m.run(&two_loop_version(n, 5, 3), 100_000_000)?;
+    let mut m2 = Machine::new(config.clone());
+    m2.set_trace_limit(0);
+    let after = m2.run(&fused_version(n, 5, 3), 100_000_000)?;
+    Ok((before, after))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_version_reduces_memory_accesses() {
+        let (before, after) = compare(256, &MachineConfig::default()).unwrap();
+        // Two-loop: 4n accesses (ld a, st b, ld b, st d); fused: 3n.
+        let n = 256u64;
+        assert_eq!(before.daccesses, 4 * n);
+        assert_eq!(after.daccesses, 3 * n);
+    }
+
+    #[test]
+    fn fused_version_saves_energy_and_cycles() {
+        let (before, after) = compare(512, &MachineConfig::default()).unwrap();
+        assert!(after.energy_pj < before.energy_pj);
+        assert!(after.cycles < before.cycles);
+    }
+
+    #[test]
+    fn both_versions_compute_same_results() {
+        // Spot check through final register state is insufficient (results
+        // live in memory); instead compare instruction-level effects by
+        // replaying with tiny n and capturing the store values through a
+        // third program that sums d[].
+        let n = 16;
+        let sum_d = |prog: Program| -> i64 {
+            // Append "sum d" after halting is impossible; build combined
+            // program: run the kernel body then sum.
+            let mut code = prog.code.clone();
+            code.pop(); // remove Halt
+            // sum d[0..n] into r9
+            let base = code.len();
+            code.push(Instr::Addi(Reg(1), Reg::ZERO, 0));
+            code.push(Instr::Addi(Reg(9), Reg::ZERO, 0));
+            code.push(Instr::Ld(Reg(2), Reg(1), 2 * n as i32 + 16));
+            code.push(Instr::Add(Reg(9), Reg(9), Reg(2)));
+            code.push(Instr::Addi(Reg(1), Reg(1), 1));
+            code.push(Instr::Blt(Reg(1), Reg(10), -3_i32));
+            code.push(Instr::Halt);
+            let _ = base;
+            let p = Program { code, data: prog.data };
+            let mut m = Machine::new(MachineConfig::default());
+            m.run(&p, 10_000_000).unwrap().regs[9]
+        };
+        let s1 = sum_d(two_loop_version(n, 5, 3));
+        let s2 = sum_d(fused_version(n, 5, 3));
+        assert_eq!(s1, s2);
+        // And against a Rust reference.
+        let expect: i64 = (0..n as i64).map(|i| (((i * 7) % 23 - 11) + 5) * 3).sum();
+        assert_eq!(s1, expect);
+    }
+}

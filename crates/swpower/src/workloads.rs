@@ -1,0 +1,186 @@
+//! Benchmark programs: the "typical application programs" the survey's
+//! software-level estimation flow starts from.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::isa::{Instr, Program, ProgramBuilder, Reg};
+
+/// Streaming sum of `n` array elements (memory-bound, sequential access).
+pub fn stream_sum(n: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.push(Instr::Addi(Reg(1), Reg::ZERO, 0)); // index
+    b.push(Instr::Addi(Reg(2), Reg::ZERO, n as i32)); // limit
+    b.push(Instr::Addi(Reg(3), Reg::ZERO, 0)); // sum
+    let top = b.label();
+    b.bind(top);
+    b.push(Instr::Ld(Reg(4), Reg(1), 0));
+    b.push(Instr::Add(Reg(3), Reg(3), Reg(4)));
+    b.push(Instr::Addi(Reg(1), Reg(1), 1));
+    b.branch_to(top, |off| Instr::Blt(Reg(1), Reg(2), off));
+    b.push(Instr::St(Reg::ZERO, Reg(3), 0));
+    b.push(Instr::Halt);
+    let data: Vec<i64> = (0..n as i64).map(|i| i % 17).collect();
+    b.build(data)
+}
+
+/// Naive `k x k` matrix multiply (compute-bound, mul-heavy).
+pub fn matmul(k: usize) -> Program {
+    let k_i32 = k as i32;
+    let a_base = 0i32;
+    let b_base = (k * k) as i32;
+    let c_base = (2 * k * k) as i32;
+    let mut b = ProgramBuilder::new();
+    // r1=i, r2=j, r3=l, r4=acc, r5..r9 temps, r10=k
+    b.push(Instr::Addi(Reg(10), Reg::ZERO, k_i32));
+    b.push(Instr::Addi(Reg(1), Reg::ZERO, 0));
+    let loop_i = b.label();
+    b.bind(loop_i);
+    b.push(Instr::Addi(Reg(2), Reg::ZERO, 0));
+    let loop_j = b.label();
+    b.bind(loop_j);
+    b.push(Instr::Addi(Reg(4), Reg::ZERO, 0));
+    b.push(Instr::Addi(Reg(3), Reg::ZERO, 0));
+    let loop_l = b.label();
+    b.bind(loop_l);
+    // a[i*k + l]
+    b.push(Instr::Mul(Reg(5), Reg(1), Reg(10)));
+    b.push(Instr::Add(Reg(5), Reg(5), Reg(3)));
+    b.push(Instr::Ld(Reg(6), Reg(5), a_base));
+    // b[l*k + j]
+    b.push(Instr::Mul(Reg(7), Reg(3), Reg(10)));
+    b.push(Instr::Add(Reg(7), Reg(7), Reg(2)));
+    b.push(Instr::Ld(Reg(8), Reg(7), b_base));
+    b.push(Instr::Mul(Reg(9), Reg(6), Reg(8)));
+    b.push(Instr::Add(Reg(4), Reg(4), Reg(9)));
+    b.push(Instr::Addi(Reg(3), Reg(3), 1));
+    b.branch_to(loop_l, |off| Instr::Blt(Reg(3), Reg(10), off));
+    // c[i*k + j] = acc
+    b.push(Instr::Mul(Reg(5), Reg(1), Reg(10)));
+    b.push(Instr::Add(Reg(5), Reg(5), Reg(2)));
+    b.push(Instr::St(Reg(5), Reg(4), c_base));
+    b.push(Instr::Addi(Reg(2), Reg(2), 1));
+    b.branch_to(loop_j, |off| Instr::Blt(Reg(2), Reg(10), off));
+    b.push(Instr::Addi(Reg(1), Reg(1), 1));
+    b.branch_to(loop_i, |off| Instr::Blt(Reg(1), Reg(10), off));
+    b.push(Instr::Halt);
+    let mut data = vec![0i64; 3 * k * k];
+    for i in 0..k * k {
+        data[i] = (i as i64 % 7) + 1;
+        data[k * k + i] = (i as i64 % 5) - 2;
+    }
+    b.build(data)
+}
+
+/// Bubble sort of `n` pseudo-random elements (branchy, data-dependent).
+pub fn bubble_sort(n: usize, seed: u64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let n_i32 = n as i32;
+    // r1 = i (outer), r2 = j (inner), r3 = n-1, r5/r6 elems
+    b.push(Instr::Addi(Reg(3), Reg::ZERO, n_i32 - 1));
+    b.push(Instr::Addi(Reg(1), Reg::ZERO, 0));
+    let outer = b.label();
+    b.bind(outer);
+    b.push(Instr::Addi(Reg(2), Reg::ZERO, 0));
+    let inner = b.label();
+    b.bind(inner);
+    b.push(Instr::Ld(Reg(5), Reg(2), 0));
+    b.push(Instr::Ld(Reg(6), Reg(2), 1));
+    let no_swap = b.label();
+    b.branch_to(no_swap, |off| Instr::Blt(Reg(5), Reg(6), off));
+    b.push(Instr::St(Reg(2), Reg(6), 0));
+    b.push(Instr::St(Reg(2), Reg(5), 1));
+    b.bind(no_swap);
+    b.push(Instr::Addi(Reg(2), Reg(2), 1));
+    b.branch_to(inner, |off| Instr::Blt(Reg(2), Reg(3), off));
+    b.push(Instr::Addi(Reg(1), Reg(1), 1));
+    b.branch_to(outer, |off| Instr::Blt(Reg(1), Reg(3), off));
+    b.push(Instr::Halt);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data: Vec<i64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+    b.build(data)
+}
+
+/// FIR filter over an input array (MAC-heavy DSP kernel).
+pub fn fir(n: usize, taps: usize) -> Program {
+    let x_base = 0i32;
+    let c_base = n as i32;
+    let y_base = (n + taps) as i32;
+    let mut b = ProgramBuilder::new();
+    // r1 = n (sample index), r2 = t (tap), r3 = acc, r10 = limits
+    b.push(Instr::Addi(Reg(1), Reg::ZERO, taps as i32 - 1));
+    b.push(Instr::Addi(Reg(10), Reg::ZERO, n as i32));
+    b.push(Instr::Addi(Reg(11), Reg::ZERO, taps as i32));
+    let outer = b.label();
+    b.bind(outer);
+    b.push(Instr::Addi(Reg(3), Reg::ZERO, 0));
+    b.push(Instr::Addi(Reg(2), Reg::ZERO, 0));
+    let inner = b.label();
+    b.bind(inner);
+    b.push(Instr::Sub(Reg(4), Reg(1), Reg(2))); // sample idx - tap
+    b.push(Instr::Ld(Reg(5), Reg(4), x_base));
+    b.push(Instr::Ld(Reg(6), Reg(2), c_base));
+    b.push(Instr::Mul(Reg(7), Reg(5), Reg(6)));
+    b.push(Instr::Add(Reg(3), Reg(3), Reg(7)));
+    b.push(Instr::Addi(Reg(2), Reg(2), 1));
+    b.branch_to(inner, |off| Instr::Blt(Reg(2), Reg(11), off));
+    b.push(Instr::St(Reg(1), Reg(3), y_base));
+    b.push(Instr::Addi(Reg(1), Reg(1), 1));
+    b.branch_to(outer, |off| Instr::Blt(Reg(1), Reg(10), off));
+    b.push(Instr::Halt);
+    let mut data = vec![0i64; n + taps + n];
+    for i in 0..n {
+        data[i] = ((i * 13) % 29) as i64 - 14;
+    }
+    for t in 0..taps {
+        data[n + t] = (t as i64 % 5) + 1;
+    }
+    b.build(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, MachineConfig};
+
+    #[test]
+    fn stream_sum_is_correct() {
+        let p = stream_sum(20);
+        let expect: i64 = (0..20i64).map(|i| i % 17).sum();
+        let mut m = Machine::new(MachineConfig::default());
+        let stats = m.run(&p, 100_000).unwrap();
+        assert_eq!(stats.regs[3], expect);
+    }
+
+    #[test]
+    fn matmul_produces_correct_products() {
+        let k = 3;
+        let p = matmul(k);
+        let mut m = Machine::new(MachineConfig::default());
+        let stats = m.run(&p, 1_000_000).unwrap();
+        // Recompute reference in Rust and compare one element via memory?
+        // The machine does not expose memory; check instruction counts are
+        // as expected for k^3 multiply-accumulate structure instead.
+        let muls = stats.class_counts[crate::isa::OpClass::Mul.index()];
+        // 3 muls per inner iteration (2 addressing + 1 data) + 1 per (i,j).
+        assert_eq!(muls as usize, 3 * k * k * k + k * k);
+    }
+
+    #[test]
+    fn bubble_sort_runs_to_completion() {
+        let p = bubble_sort(24, 3);
+        let mut m = Machine::new(MachineConfig::default());
+        let stats = m.run(&p, 2_000_000).unwrap();
+        assert!(stats.branches > 100);
+        assert!(stats.mispredict_rate() > 0.0, "data-dependent branches mispredict");
+    }
+
+    #[test]
+    fn fir_is_mul_heavy() {
+        let p = fir(32, 8);
+        let mut m = Machine::new(MachineConfig::default());
+        let stats = m.run(&p, 2_000_000).unwrap();
+        let mix = stats.instruction_mix();
+        assert!(mix[crate::isa::OpClass::Mul.index()] > 0.1);
+    }
+}

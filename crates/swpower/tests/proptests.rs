@@ -1,0 +1,96 @@
+//! Property-based tests: the architectural simulator and cold scheduler
+//! preserve program semantics under arbitrary inputs.
+
+use hlpower_sw::{coldsched, Instr, Machine, MachineConfig, Program, Reg};
+use proptest::prelude::*;
+
+/// Strategy for straight-line ALU blocks (no control flow, no memory).
+fn alu_block() -> impl Strategy<Value = Vec<Instr>> {
+    proptest::collection::vec(
+        (0u8..5, 1u8..16, 1u8..16, 1u8..16, -100i32..100).prop_map(|(k, d, a, b, imm)| {
+            match k {
+                0 => Instr::Add(Reg(d), Reg(a), Reg(b)),
+                1 => Instr::Sub(Reg(d), Reg(a), Reg(b)),
+                2 => Instr::Xor(Reg(d), Reg(a), Reg(b)),
+                3 => Instr::Addi(Reg(d), Reg(a), imm),
+                _ => Instr::Mul(Reg(d), Reg(a), Reg(b)),
+            }
+        }),
+        1..30,
+    )
+}
+
+/// Runs a straight-line block on the machine with seeded register inits
+/// and returns the final registers.
+fn run_block(block: &[Instr], inits: &[i64]) -> [i64; 16] {
+    let mut code = Vec::new();
+    for (i, &v) in inits.iter().enumerate().take(15) {
+        // Materialize small initial values.
+        code.push(Instr::Addi(Reg(i as u8 + 1), Reg::ZERO, (v % 1000) as i32));
+    }
+    code.extend_from_slice(block);
+    code.push(Instr::Halt);
+    let p = Program { code, data: vec![0; 16] };
+    let mut m = Machine::new(MachineConfig::default());
+    m.set_trace_limit(0);
+    m.run(&p, 10_000_000).expect("straight-line code halts").regs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cold scheduling preserves the register-file semantics of arbitrary
+    /// straight-line blocks.
+    #[test]
+    fn cold_schedule_preserves_semantics(
+        block in alu_block(),
+        inits in proptest::collection::vec(-1000i64..1000, 15),
+    ) {
+        let r = coldsched::cold_schedule(&block);
+        prop_assert!(r.transitions_after <= r.transitions_before);
+        prop_assert_eq!(run_block(&block, &inits), run_block(&r.scheduled, &inits));
+    }
+
+    /// The scheduled block is a permutation of the original.
+    #[test]
+    fn cold_schedule_is_permutation(block in alu_block()) {
+        let r = coldsched::cold_schedule(&block);
+        let mut a = block.clone();
+        let mut b = r.scheduled.clone();
+        let key = |i: &Instr| i.encode();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Cycle counts dominate instruction counts, and the energy model is
+    /// monotone in work: appending instructions never reduces energy.
+    #[test]
+    fn machine_accounting_monotone(block in alu_block(), extra in alu_block()) {
+        let build = |instrs: &[Instr]| {
+            let mut code = instrs.to_vec();
+            code.push(Instr::Halt);
+            Program { code, data: vec![] }
+        };
+        let mut m = Machine::new(MachineConfig::default());
+        m.set_trace_limit(0);
+        let short = m.run(&build(&block), 10_000_000).expect("halts");
+        let mut longer_code = block.clone();
+        longer_code.extend_from_slice(&extra);
+        let long = m.run(&build(&longer_code), 10_000_000).expect("halts");
+        prop_assert!(short.cycles >= short.instructions);
+        prop_assert!(long.energy_pj >= short.energy_pj);
+        prop_assert!(long.instructions == short.instructions + extra.len() as u64);
+    }
+
+    /// Instruction encodings are injective over register fields.
+    #[test]
+    fn encodings_distinguish_operands(d in 1u8..16, a in 1u8..16, b in 1u8..16) {
+        let base = Instr::Add(Reg(d), Reg(a), Reg(b));
+        let other = Instr::Add(Reg(d % 15 + 1), Reg(a), Reg(b));
+        if base != other {
+            prop_assert_ne!(base.encode(), other.encode());
+        }
+        prop_assert_ne!(base.encode(), Instr::Sub(Reg(d), Reg(a), Reg(b)).encode());
+    }
+}

@@ -1,0 +1,85 @@
+//! Power management at three granularities on one "system":
+//! system-level predictive shutdown of an event-driven device (§III-B),
+//! gated clocks on its reactive controller (§III-I), and precomputation
+//! on a datapath comparator (§III-I).
+//!
+//! ```text
+//! cargo run --example power_managed_soc
+//! ```
+
+use hlpower::fsm::{generators, Encoding};
+use hlpower::netlist::{streams, Library};
+use hlpower::optimize::{clockgate, precompute, shutdown};
+
+fn main() {
+    let lib = Library::default();
+
+    // ---- System level: the display-server-style device.
+    println!("=== system level: predictive shutdown ===");
+    let device = shutdown::DeviceModel::default();
+    let workload = shutdown::bursty_workload(42, 5000);
+    println!(
+        "workload: {} episodes, oracle improvement bound {:.1}x, break-even idle {:.1}",
+        workload.len(),
+        shutdown::improvement_upper_bound(&workload),
+        device.breakeven()
+    );
+    let report = |name: &str, r: shutdown::PolicyResult| {
+        println!(
+            "  {name:<24} power {:.3}  improvement {:>5.1}x  perf penalty {:.2}%",
+            r.average_power,
+            r.improvement,
+            100.0 * r.performance_penalty
+        );
+    };
+    use shutdown::policies::*;
+    report("always-on", shutdown::simulate(&mut AlwaysOn, &device, &workload));
+    report(
+        "static timeout (4x BE)",
+        shutdown::simulate(&mut StaticTimeout { timeout: 4.0 * device.breakeven() }, &device, &workload),
+    );
+    report(
+        "Srivastava regression",
+        shutdown::simulate(&mut SrivastavaRegression::new(&device, 64), &device, &workload),
+    );
+    report(
+        "Hwang-Wu",
+        shutdown::simulate(&mut HwangWu::new(&device, 0.5, false), &device, &workload),
+    );
+    report(
+        "Hwang-Wu + prewakeup",
+        shutdown::simulate(&mut HwangWu::new(&device, 0.5, true), &device, &workload),
+    );
+    report("oracle", shutdown::simulate(&mut Oracle::new(&device, &workload), &device, &workload));
+
+    // ---- Controller level: gated clock on the reactive FSM.
+    println!("\n=== controller level: gated clock ===");
+    let stg = generators::reactive_controller(8);
+    let enc = Encoding::one_hot(&stg);
+    let outcome =
+        clockgate::evaluate(&stg, &enc, &lib, 4000, 7, 0.05).expect("valid controller");
+    println!(
+        "  baseline {:.1} uW -> gated {:.1} uW ({:.1}% saving, clock stopped {:.0}% of cycles)",
+        outcome.baseline_uw,
+        outcome.gated_uw,
+        100.0 * outcome.saving(),
+        100.0 * outcome.gated_fraction
+    );
+
+    // ---- Datapath level: precomputation on a magnitude comparator.
+    println!("\n=== datapath level: precomputation ===");
+    let block = precompute::comparator_block(8);
+    let stream: Vec<Vec<bool>> = streams::random(3, block.input_count()).take(3000).collect();
+    let ranked = precompute::rank_subsets(&block, 2).expect("acyclic block");
+    println!(
+        "  best 2-input predictor subset {:?}: shutdown probability {:.2}",
+        ranked[0].subset, ranked[0].shutdown_probability
+    );
+    let outcome = precompute::evaluate(&block, 2, &stream, &lib).expect("acyclic block");
+    println!(
+        "  comparator power {:.1} uW -> {:.1} uW ({:.1}% saving)",
+        outcome.baseline_uw,
+        outcome.optimized_uw,
+        100.0 * outcome.saving()
+    );
+}

@@ -1,0 +1,103 @@
+//! Software-level power estimation and optimization (§II-A, §III-A):
+//! Tiwari instruction-level modeling, profile-driven program synthesis,
+//! cold scheduling, and the Fig. 2 memory-access optimization.
+//!
+//! ```text
+//! cargo run --example software_power
+//! ```
+
+use hlpower::sw::{
+    coldsched, memopt, synthesis, tiwari, workloads, Machine, MachineConfig,
+};
+
+fn main() {
+    let config = MachineConfig::default();
+
+    // ---- Tiwari model: characterize once, validate on four workloads.
+    println!("=== Tiwari instruction-level power model ===");
+    let model = tiwari::characterize(&config);
+    println!("base costs (pJ/instr): alu {:.1}  mul {:.1}  load {:.1}  store {:.1}  branch {:.1}",
+        model.base_cost_pj[0], model.base_cost_pj[1], model.base_cost_pj[2],
+        model.base_cost_pj[3], model.base_cost_pj[4]);
+    for (name, program) in [
+        ("stream-sum", workloads::stream_sum(256)),
+        ("matmul 8x8", workloads::matmul(8)),
+        ("bubble-sort", workloads::bubble_sort(48, 1)),
+        ("fir 64x8", workloads::fir(64, 8)),
+    ] {
+        let (reference, predicted, rel) =
+            model.validate(&config, &program, 100_000_000).expect("program halts");
+        println!(
+            "  {name:<12} reference {reference:>10.0} pJ   model {predicted:>10.0} pJ   error {:.1}%",
+            100.0 * rel
+        );
+    }
+
+    // ---- Profile-driven program synthesis.
+    println!("\n=== profile-driven program synthesis (Hsieh) ===");
+    let workload = workloads::matmul(12);
+    let (reference, synth, speedup, err) =
+        synthesis::profile_synthesis_experiment(&workload, &config, 9).expect("halts");
+    println!(
+        "  reference: {} instructions / {} cycles",
+        reference.instructions, reference.cycles
+    );
+    println!(
+        "  synthesized: {} cycles  ->  {speedup:.0}x fewer simulated cycles, power error {:.1}%",
+        synth.cycles,
+        100.0 * err
+    );
+
+    // ---- Cold scheduling.
+    println!("\n=== cold scheduling (instruction-bus activity) ===");
+    let program = workloads::fir(32, 8);
+    // Cold-schedule the inner straight-line runs of the program.
+    let mut total_before = 0u64;
+    let mut total_after = 0u64;
+    let mut block = Vec::new();
+    for &i in &program.code {
+        if i.is_control() {
+            if block.len() > 2 {
+                let r = coldsched::cold_schedule(&block);
+                total_before += r.transitions_before;
+                total_after += r.transitions_after;
+            }
+            block.clear();
+        } else {
+            block.push(i);
+        }
+    }
+    println!(
+        "  basic-block bus transitions: {total_before} -> {total_after} ({:.1}% reduction)",
+        100.0 * (1.0 - total_after as f64 / total_before.max(1) as f64)
+    );
+
+    // ---- Fig. 2 memory-access optimization.
+    println!("\n=== Fig. 2: scalar replacement of an intermediate array ===");
+    let (before, after) = memopt::compare(512, &config).expect("halts");
+    println!(
+        "  two-loop: {} memory accesses, {:.0} pJ, {} cycles",
+        before.daccesses, before.energy_pj, before.cycles
+    );
+    println!(
+        "  fused:    {} memory accesses, {:.0} pJ, {} cycles  ({:.1}% energy saved)",
+        after.daccesses,
+        after.energy_pj,
+        after.cycles,
+        100.0 * (1.0 - after.energy_pj / before.energy_pj)
+    );
+
+    // ---- A peek at the architectural statistics driving all of this.
+    println!("\n=== architectural statistics (matmul 8x8) ===");
+    let mut machine = Machine::new(config);
+    let stats = machine.run(&workloads::matmul(8), 100_000_000).expect("halts");
+    println!(
+        "  {} instr, {} cycles, I$ miss {:.2}%, D$ miss {:.2}%, mispredict {:.2}%, {:.1} pJ/cycle",
+        stats.instructions,
+        stats.cycles,
+        100.0 * stats.imiss_rate(),
+        100.0 * stats.dmiss_rate(),
+        100.0 * stats.mispredict_rate(),
+        stats.power_per_cycle()
+    );
+}
