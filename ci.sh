@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Hermetic CI gate: everything here runs offline (the default dependency
+# tree contains no external crates — see README "Hermetic build").
+set -euxo pipefail
+
+cd "$(dirname "$0")"
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check
+cargo run --release --offline -p hlpower-bench --bin repro -- --table1

@@ -31,4 +31,6 @@ mod netlist_bridge;
 pub mod zdd;
 
 pub use manager::{BddManager, BddRef};
-pub use netlist_bridge::{bdd_to_mux_netlist, bdd_to_timed_shannon, build_node_bdds, build_output_bdds};
+pub use netlist_bridge::{
+    bdd_to_mux_netlist, bdd_to_timed_shannon, build_node_bdds, build_output_bdds,
+};

@@ -54,10 +54,7 @@ pub struct BddManager {
 impl BddManager {
     /// Creates a manager over `var_count` variables with the identity order.
     pub fn new(var_count: usize) -> Self {
-        let nodes = vec![
-            Node { var: NO_VAR, lo: 0, hi: 0 },
-            Node { var: NO_VAR, lo: 1, hi: 1 },
-        ];
+        let nodes = vec![Node { var: NO_VAR, lo: 0, hi: 0 }, Node { var: NO_VAR, lo: 1, hi: 1 }];
         BddManager {
             nodes,
             unique: HashMap::new(),
@@ -471,10 +468,8 @@ impl BddManager {
         assert_eq!(order.len(), self.var_count(), "order size mismatch");
         let mut dst = BddManager::with_order(order);
         let mut memo: HashMap<u32, u32> = HashMap::new();
-        let new_roots = roots
-            .iter()
-            .map(|r| BddRef(transfer_rec(self, &mut dst, r.0, &mut memo)))
-            .collect();
+        let new_roots =
+            roots.iter().map(|r| BddRef(transfer_rec(self, &mut dst, r.0, &mut memo))).collect();
         (dst, new_roots)
     }
 
@@ -520,7 +515,12 @@ impl BddManager {
     }
 }
 
-fn transfer_rec(src: &BddManager, dst: &mut BddManager, f: u32, memo: &mut HashMap<u32, u32>) -> u32 {
+fn transfer_rec(
+    src: &BddManager,
+    dst: &mut BddManager,
+    f: u32,
+    memo: &mut HashMap<u32, u32>,
+) -> u32 {
     if f < 2 {
         return f;
     }

@@ -158,12 +158,7 @@ pub fn bdd_to_timed_shannon(
     // DFS post-order reversal provides for the child links.
     let mut order: Vec<BddRef> = Vec::new();
     let mut seen: HashMap<BddRef, bool> = HashMap::new();
-    fn dfs(
-        m: &BddManager,
-        f: BddRef,
-        seen: &mut HashMap<BddRef, bool>,
-        order: &mut Vec<BddRef>,
-    ) {
+    fn dfs(m: &BddManager, f: BddRef, seen: &mut HashMap<BddRef, bool>, order: &mut Vec<BddRef>) {
         if f.is_const() || seen.contains_key(&f) {
             return;
         }

@@ -38,10 +38,7 @@ impl ZddManager {
     /// Creates a manager over `var_count` element variables.
     pub fn new(var_count: usize) -> Self {
         ZddManager {
-            nodes: vec![
-                Node { var: u32::MAX, lo: 0, hi: 0 },
-                Node { var: u32::MAX, lo: 1, hi: 1 },
-            ],
+            nodes: vec![Node { var: u32::MAX, lo: 0, hi: 0 }, Node { var: u32::MAX, lo: 1, hi: 1 }],
             unique: HashMap::new(),
             var_count,
         }
@@ -348,10 +345,7 @@ mod tests {
         let b3 = z.set(&[2, 3]);
         let g = z.union(b2, b3); // {{2},{2,3}}
         let j = z.join(f, g);
-        assert_eq!(
-            z.enumerate(j),
-            vec![vec![0, 2], vec![0, 2, 3], vec![1, 2], vec![1, 2, 3]]
-        );
+        assert_eq!(z.enumerate(j), vec![vec![0, 2], vec![0, 2, 3], vec![1, 2], vec![1, 2, 3]]);
     }
 
     #[test]

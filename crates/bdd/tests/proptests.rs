@@ -1,9 +1,10 @@
 //! Property-based tests: BDD operations agree with direct Boolean
 //! evaluation on random expression trees, and canonical-form identities
-//! hold.
+//! hold. Runs on the in-tree [`hlpower_rng::check`] harness.
 
 use hlpower_bdd::{BddManager, BddRef};
-use proptest::prelude::*;
+use hlpower_rng::check::Check;
+use hlpower_rng::Rng;
 
 /// A random Boolean expression over `n` variables.
 #[derive(Debug, Clone)]
@@ -16,21 +17,32 @@ enum Expr {
     Ite(Box<Expr>, Box<Expr>, Box<Expr>),
 }
 
-fn expr_strategy(nvars: u32) -> impl Strategy<Value = Expr> {
-    let leaf = (0..nvars).prop_map(Expr::Var);
-    leaf.prop_recursive(5, 48, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
-        ]
-    })
+/// Draws a random expression tree of depth at most `depth` (the recursive
+/// analogue of the old `prop_recursive` strategy).
+fn random_expr(rng: &mut Rng, nvars: u32, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.25) {
+        return Expr::Var(rng.gen_range(0..nvars));
+    }
+    match rng.gen_range(0u32..5) {
+        0 => Expr::Not(Box::new(random_expr(rng, nvars, depth - 1))),
+        1 => Expr::And(
+            Box::new(random_expr(rng, nvars, depth - 1)),
+            Box::new(random_expr(rng, nvars, depth - 1)),
+        ),
+        2 => Expr::Or(
+            Box::new(random_expr(rng, nvars, depth - 1)),
+            Box::new(random_expr(rng, nvars, depth - 1)),
+        ),
+        3 => Expr::Xor(
+            Box::new(random_expr(rng, nvars, depth - 1)),
+            Box::new(random_expr(rng, nvars, depth - 1)),
+        ),
+        _ => Expr::Ite(
+            Box::new(random_expr(rng, nvars, depth - 1)),
+            Box::new(random_expr(rng, nvars, depth - 1)),
+            Box::new(random_expr(rng, nvars, depth - 1)),
+        ),
+    }
 }
 
 fn build(m: &mut BddManager, e: &Expr) -> BddRef {
@@ -77,58 +89,69 @@ fn eval(e: &Expr, asg: &[bool]) -> bool {
 }
 
 const NVARS: u32 = 6;
+const DEPTH: u32 = 5;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The BDD of a random expression evaluates identically to the
-    /// expression on every assignment, and its sat-count matches brute
-    /// force.
-    #[test]
-    fn bdd_matches_expression(e in expr_strategy(NVARS)) {
+/// The BDD of a random expression evaluates identically to the
+/// expression on every assignment, and its sat-count matches brute
+/// force.
+#[test]
+fn bdd_matches_expression() {
+    Check::new("bdd_matches_expression").cases(48).run(|rng| {
+        let e = random_expr(rng, NVARS, DEPTH);
         let mut m = BddManager::new(NVARS as usize);
         let f = build(&mut m, &e);
         let mut count = 0u32;
         for bits in 0..(1u32 << NVARS) {
             let asg: Vec<bool> = (0..NVARS).map(|i| bits & (1 << i) != 0).collect();
             let expect = eval(&e, &asg);
-            prop_assert_eq!(m.eval(f, &asg), expect);
+            assert_eq!(m.eval(f, &asg), expect);
             count += expect as u32;
         }
-        prop_assert_eq!(m.sat_count(f), count as f64);
-    }
+        assert_eq!(m.sat_count(f), count as f64);
+    });
+}
 
-    /// Canonical-form identity: semantically equal expressions produce the
-    /// same node (double negation, De Morgan).
-    #[test]
-    fn canonical_identities(e in expr_strategy(NVARS)) {
+/// Canonical-form identity: semantically equal expressions produce the
+/// same node (double negation, De Morgan).
+#[test]
+fn canonical_identities() {
+    Check::new("canonical_identities").cases(48).run(|rng| {
+        let e = random_expr(rng, NVARS, DEPTH);
         let mut m = BddManager::new(NVARS as usize);
         let f = build(&mut m, &e);
         let nf = m.not(f);
         let nnf = m.not(nf);
-        prop_assert_eq!(nnf, f, "double negation");
+        assert_eq!(nnf, f, "double negation");
         let tautology = m.or(f, nf);
-        prop_assert_eq!(tautology, BddRef::TRUE);
+        assert_eq!(tautology, BddRef::TRUE);
         let contradiction = m.and(f, nf);
-        prop_assert_eq!(contradiction, BddRef::FALSE);
-    }
+        assert_eq!(contradiction, BddRef::FALSE);
+    });
+}
 
-    /// Shannon expansion: f == ite(x, f|x=1, f|x=0) for every variable.
-    #[test]
-    fn shannon_expansion(e in expr_strategy(NVARS), v in 0..NVARS) {
+/// Shannon expansion: f == ite(x, f|x=1, f|x=0) for every variable.
+#[test]
+fn shannon_expansion() {
+    Check::new("shannon_expansion").cases(48).run(|rng| {
+        let e = random_expr(rng, NVARS, DEPTH);
+        let v = rng.gen_range(0..NVARS);
         let mut m = BddManager::new(NVARS as usize);
         let f = build(&mut m, &e);
         let f1 = m.cofactor(f, v, true);
         let f0 = m.cofactor(f, v, false);
         let x = m.var(v);
         let rebuilt = m.ite(x, f1, f0);
-        prop_assert_eq!(rebuilt, f);
-    }
+        assert_eq!(rebuilt, f);
+    });
+}
 
-    /// Quantification: exists x. f is the OR of cofactors; forall the AND;
-    /// and forall f => f => exists f pointwise.
-    #[test]
-    fn quantification_sandwich(e in expr_strategy(NVARS), v in 0..NVARS) {
+/// Quantification: exists x. f is the OR of cofactors; forall the AND;
+/// and forall f => f => exists f pointwise.
+#[test]
+fn quantification_sandwich() {
+    Check::new("quantification_sandwich").cases(48).run(|rng| {
+        let e = random_expr(rng, NVARS, DEPTH);
+        let v = rng.gen_range(0..NVARS);
         let mut m = BddManager::new(NVARS as usize);
         let f = build(&mut m, &e);
         let ex = m.exists(f, &[v]);
@@ -136,16 +159,20 @@ proptest! {
         // forall implies f implies exists.
         let i1 = m.implies(fa, f);
         let i2 = m.implies(f, ex);
-        prop_assert_eq!(i1, BddRef::TRUE);
-        prop_assert_eq!(i2, BddRef::TRUE);
+        assert_eq!(i1, BddRef::TRUE);
+        assert_eq!(i2, BddRef::TRUE);
         // Quantified results are independent of v.
-        prop_assert!(!m.support(ex).contains(&v));
-        prop_assert!(!m.support(fa).contains(&v));
-    }
+        assert!(!m.support(ex).contains(&v));
+        assert!(!m.support(fa).contains(&v));
+    });
+}
 
-    /// Transfer to a random variable order preserves the function.
-    #[test]
-    fn transfer_preserves_function(e in expr_strategy(NVARS), perm_seed in 0u64..1000) {
+/// Transfer to a random variable order preserves the function.
+#[test]
+fn transfer_preserves_function() {
+    Check::new("transfer_preserves_function").cases(48).run(|rng| {
+        let e = random_expr(rng, NVARS, DEPTH);
+        let perm_seed = rng.gen_range(0u64..1000);
         let mut m = BddManager::new(NVARS as usize);
         let f = build(&mut m, &e);
         // Derive a permutation from the seed.
@@ -158,18 +185,21 @@ proptest! {
         let (m2, roots) = m.transfer(&[f], &order);
         for bits in 0..(1u32 << NVARS) {
             let asg: Vec<bool> = (0..NVARS).map(|i| bits & (1 << i) != 0).collect();
-            prop_assert_eq!(m.eval(f, &asg), m2.eval(roots[0], &asg));
+            assert_eq!(m.eval(f, &asg), m2.eval(roots[0], &asg));
         }
-    }
+    });
+}
 
-    /// `any_sat` returns a satisfying assignment exactly when one exists.
-    #[test]
-    fn any_sat_is_sound(e in expr_strategy(NVARS)) {
+/// `any_sat` returns a satisfying assignment exactly when one exists.
+#[test]
+fn any_sat_is_sound() {
+    Check::new("any_sat_is_sound").cases(48).run(|rng| {
+        let e = random_expr(rng, NVARS, DEPTH);
         let mut m = BddManager::new(NVARS as usize);
         let f = build(&mut m, &e);
         match m.any_sat(f) {
-            Some(asg) => prop_assert!(m.eval(f, &asg)),
-            None => prop_assert_eq!(f, BddRef::FALSE),
+            Some(asg) => assert!(m.eval(f, &asg)),
+            None => assert_eq!(f, BddRef::FALSE),
         }
-    }
+    });
 }

@@ -1,9 +1,9 @@
-//! Criterion bench for the BDD package, including the ITE memo-cache
+//! Timing bench for the BDD package, including the ITE memo-cache
 //! ablation called out in DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hlpower::bdd::{build_output_bdds, BddManager};
 use hlpower::netlist::{gen, Netlist};
+use std::hint::black_box;
 
 /// A 16-stage carry chain: heavily reconvergent, so the ITE memo cache is
 /// load-bearing (the DESIGN.md cache ablation).
@@ -20,30 +20,23 @@ fn carry_chain(m: &mut BddManager, n: u32) -> hlpower::bdd::BddRef {
     carry
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bdd");
-    g.sample_size(15);
-    g.bench_function("carry16_with_cache", |b| {
-        b.iter(|| {
-            let mut m = BddManager::new(32);
-            carry_chain(&mut m, 16)
-        })
+fn main() {
+    let mut g = hlpower_bench::timing::group("bdd");
+    g.bench_function("carry16_with_cache", || {
+        let mut m = BddManager::new(32);
+        carry_chain(&mut m, 16)
     });
     // Without memoization the chain cost grows geometrically; 12 stages
     // already shows the blow-up while keeping the bench runnable (16
     // stages take seconds per build uncached vs ~100 us cached).
-    g.bench_function("carry12_without_cache", |b| {
-        b.iter(|| {
-            let mut m = BddManager::new(32);
-            m.set_cache_enabled(false);
-            carry_chain(&mut m, 12)
-        })
+    g.bench_function("carry12_without_cache", || {
+        let mut m = BddManager::new(32);
+        m.set_cache_enabled(false);
+        carry_chain(&mut m, 12)
     });
-    g.bench_function("carry12_with_cache", |b| {
-        b.iter(|| {
-            let mut m = BddManager::new(32);
-            carry_chain(&mut m, 12)
-        })
+    g.bench_function("carry12_with_cache", || {
+        let mut m = BddManager::new(32);
+        carry_chain(&mut m, 12)
     });
     let mut nl = Netlist::new();
     let a = nl.input_bus("a", 8);
@@ -51,13 +44,8 @@ fn bench(c: &mut Criterion) {
     let zero = nl.constant(false);
     let s = gen::ripple_adder(&mut nl, &a, &bbus, zero);
     nl.output_bus("s", &s);
-    g.bench_function("extract_adder8", |b| {
-        b.iter(|| build_output_bdds(std::hint::black_box(&nl)).expect("acyclic"))
-    });
+    g.bench_function("extract_adder8", || build_output_bdds(black_box(&nl)).expect("acyclic"));
     let (m, roots) = build_output_bdds(&nl).expect("acyclic");
-    g.bench_function("sift_adder8", |b| b.iter(|| m.sift(std::hint::black_box(&roots))));
+    g.bench_function("sift_adder8", || m.sift(black_box(&roots)));
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,58 +1,40 @@
-//! Criterion bench for §III-G: codec throughput on each stream family.
+//! Timing bench for §III-G: codec throughput on each stream family.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hlpower::optimize::buscode::*;
+use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let width = 20;
     let seq = traces::sequential(0x1000, 4000);
     let rnd = traces::random(1, width, 4000);
     let emb = traces::embedded(3, 4000);
     let beach = BeachCode::train(width, &emb[..2000], 8);
-    let mut g = c.benchmark_group("buscode");
-    g.sample_size(20);
-    g.bench_function("bus_invert_random", |b| {
-        b.iter(|| {
-            transitions_per_word(
-                Box::new(BusInvert::new(width)),
-                Box::new(BusInvert::new(width)),
-                std::hint::black_box(&rnd),
-            )
-        })
+    let mut g = hlpower_bench::timing::group("buscode");
+    g.bench_function("bus_invert_random", || {
+        transitions_per_word(
+            Box::new(BusInvert::new(width)),
+            Box::new(BusInvert::new(width)),
+            black_box(&rnd),
+        )
     });
-    g.bench_function("t0_sequential", |b| {
-        b.iter(|| {
-            transitions_per_word(
-                Box::new(T0Code::new(width)),
-                Box::new(T0Code::new(width)),
-                std::hint::black_box(&seq),
-            )
-        })
+    g.bench_function("t0_sequential", || {
+        transitions_per_word(
+            Box::new(T0Code::new(width)),
+            Box::new(T0Code::new(width)),
+            black_box(&seq),
+        )
     });
-    g.bench_function("working_zone_interleaved", |b| {
-        let ila = traces::interleaved_arrays(2, 3, 4000);
-        b.iter(|| {
-            transitions_per_word(
-                Box::new(WorkingZone::new(width, 4, 10)),
-                Box::new(WorkingZone::new(width, 4, 10)),
-                std::hint::black_box(&ila),
-            )
-        })
+    let ila = traces::interleaved_arrays(2, 3, 4000);
+    g.bench_function("working_zone_interleaved", || {
+        transitions_per_word(
+            Box::new(WorkingZone::new(width, 4, 10)),
+            Box::new(WorkingZone::new(width, 4, 10)),
+            black_box(&ila),
+        )
     });
-    g.bench_function("beach_embedded", |b| {
-        b.iter(|| {
-            transitions_per_word(
-                Box::new(beach.clone()),
-                Box::new(beach.clone()),
-                std::hint::black_box(&emb),
-            )
-        })
+    g.bench_function("beach_embedded", || {
+        transitions_per_word(Box::new(beach.clone()), Box::new(beach.clone()), black_box(&emb))
     });
-    g.bench_function("beach_training", |b| {
-        b.iter(|| BeachCode::train(width, std::hint::black_box(&emb[..2000]), 8))
-    });
+    g.bench_function("beach_training", || BeachCode::train(width, black_box(&emb[..2000]), 8));
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion bench for §II-B1: the entropy estimator vs full simulation —
+//! Timing bench for §II-B1: the entropy estimator vs full simulation —
 //! the speed gap is the estimator's reason to exist.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hlpower::estimate::entropy;
 use hlpower::netlist::{gen, streams, Library, Netlist, ZeroDelaySim};
+use std::hint::black_box;
 
 fn adder(width: usize) -> Netlist {
     let mut nl = Netlist::new();
@@ -15,30 +15,22 @@ fn adder(width: usize) -> Netlist {
     nl
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let lib = Library::default();
     let nl = adder(12);
-    let mut g = c.benchmark_group("entropy");
-    g.sample_size(15);
-    g.bench_function("entropy_estimate_500", |b| {
-        b.iter(|| {
-            entropy::entropy_power_estimate(
-                std::hint::black_box(&nl),
-                &lib,
-                streams::random(3, nl.input_count()).take(500),
-            )
-            .expect("acyclic")
-        })
+    let mut g = hlpower_bench::timing::group("entropy");
+    g.bench_function("entropy_estimate_500", || {
+        entropy::entropy_power_estimate(
+            black_box(&nl),
+            &lib,
+            streams::random(3, nl.input_count()).take(500),
+        )
+        .expect("acyclic")
     });
-    g.bench_function("full_simulation_5000", |b| {
-        b.iter(|| {
-            let mut sim = ZeroDelaySim::new(std::hint::black_box(&nl)).expect("acyclic");
-            let act = sim.run(streams::random(3, nl.input_count()).take(5000));
-            act.power(&nl, &lib).total_power_uw()
-        })
+    g.bench_function("full_simulation_5000", || {
+        let mut sim = ZeroDelaySim::new(black_box(&nl)).expect("acyclic");
+        let act = sim.run(streams::random(3, nl.input_count()).take(5000));
+        act.power(&nl, &lib).total_power_uw()
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

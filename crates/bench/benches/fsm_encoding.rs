@@ -1,25 +1,15 @@
-//! Criterion bench for §III-H: encoding search cost and quality metric.
+//! Timing bench for §III-H: encoding search cost and quality metric.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hlpower::fsm::{generators, Encoding, MarkovAnalysis};
+use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let stg = generators::random_stg(2, 16, 2, 7);
     let markov = MarkovAnalysis::uniform(&stg);
     let binary = Encoding::binary(&stg);
-    let mut g = c.benchmark_group("fsm_encoding");
-    g.sample_size(10);
-    g.bench_function("markov_analysis", |b| {
-        b.iter(|| MarkovAnalysis::uniform(std::hint::black_box(&stg)))
-    });
-    g.bench_function("expected_switching", |b| {
-        b.iter(|| markov.expected_switching(std::hint::black_box(&stg), &binary))
-    });
-    g.bench_function("low_power_reencode", |b| {
-        b.iter(|| binary.re_encode(std::hint::black_box(&stg), &markov, 3))
-    });
+    let mut g = hlpower_bench::timing::group("fsm_encoding");
+    g.bench_function("markov_analysis", || MarkovAnalysis::uniform(black_box(&stg)));
+    g.bench_function("expected_switching", || markov.expected_switching(black_box(&stg), &binary));
+    g.bench_function("low_power_reencode", || binary.re_encode(black_box(&stg), &markov, 3));
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! Criterion bench for §II-C1: macro-model evaluation vs gate-level
+//! Timing bench for §II-C1: macro-model evaluation vs gate-level
 //! simulation per cycle (the evaluation-overhead axis of the ladder).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hlpower::estimate::{MacroModelKind, ModuleHarness, TrainedMacroModel};
 use hlpower::netlist::{streams, Library};
+use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let h = ModuleHarness::adder(8, Library::default());
     let records = h.trace(streams::random(1, 16).take(1000)).expect("widths");
     let models: Vec<(MacroModelKind, TrainedMacroModel)> = [
@@ -17,23 +17,14 @@ fn bench(c: &mut Criterion) {
     .into_iter()
     .map(|k| (k, TrainedMacroModel::fit(k, &records).expect("data")))
     .collect();
-    let mut g = c.benchmark_group("macromodel");
-    g.sample_size(20);
+    let mut g = hlpower_bench::timing::group("macromodel");
     for (kind, model) in &models {
-        g.bench_function(format!("predict_{kind:?}"), |b| {
-            b.iter(|| {
-                records
-                    .iter()
-                    .map(|r| model.predict_cycle_fj(std::hint::black_box(r)))
-                    .sum::<f64>()
-            })
+        g.bench_function(&format!("predict_{kind:?}"), || {
+            records.iter().map(|r| model.predict_cycle_fj(black_box(r))).sum::<f64>()
         });
     }
-    g.bench_function("gate_level_trace_1000", |b| {
-        b.iter(|| h.trace(streams::random(2, 16).take(1000)).expect("widths"))
+    g.bench_function("gate_level_trace_1000", || {
+        h.trace(streams::random(2, 16).take(1000)).expect("widths")
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

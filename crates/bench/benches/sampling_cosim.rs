@@ -1,42 +1,22 @@
-//! Criterion bench for §II-C2: census vs sampler vs adaptive work.
+//! Timing bench for §II-C2: census vs sampler vs adaptive work.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hlpower::estimate::sampling::{cosimulate, CosimStrategy};
 use hlpower::estimate::{MacroModelKind, ModuleHarness, TrainedMacroModel};
 use hlpower::netlist::{streams, Library};
+use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let h = ModuleHarness::adder(8, Library::default());
     let train = h.trace(streams::random(1, 16).take(1000)).expect("widths");
     let model = TrainedMacroModel::fit(MacroModelKind::InputOutput, &train).expect("data");
     let app = h.trace(streams::random(2, 16).take(6000)).expect("widths");
-    let mut g = c.benchmark_group("cosim");
-    g.sample_size(20);
-    g.bench_function("census", |b| {
-        b.iter(|| cosimulate(&model, std::hint::black_box(&app), CosimStrategy::Census, 1))
+    let mut g = hlpower_bench::timing::group("cosim");
+    g.bench_function("census", || cosimulate(&model, black_box(&app), CosimStrategy::Census, 1));
+    g.bench_function("sampler", || {
+        cosimulate(&model, black_box(&app), CosimStrategy::Sampler { groups: 4, group_size: 30 }, 2)
     });
-    g.bench_function("sampler", |b| {
-        b.iter(|| {
-            cosimulate(
-                &model,
-                std::hint::black_box(&app),
-                CosimStrategy::Sampler { groups: 4, group_size: 30 },
-                2,
-            )
-        })
-    });
-    g.bench_function("adaptive", |b| {
-        b.iter(|| {
-            cosimulate(
-                &model,
-                std::hint::black_box(&app),
-                CosimStrategy::Adaptive { gate_cycles: 100 },
-                3,
-            )
-        })
+    g.bench_function("adaptive", || {
+        cosimulate(&model, black_box(&app), CosimStrategy::Adaptive { gate_cycles: 100 }, 3)
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,24 +1,20 @@
-//! Criterion bench for §III-I: precomputation analysis and guarded-
+//! Timing bench for §III-I: precomputation analysis and guarded-
 //! evaluation candidate search.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hlpower::netlist::Library;
 use hlpower::optimize::{guard, precompute};
+use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let lib = Library::default();
     let block = precompute::comparator_block(8);
     let mux = guard::guarded_mux_example(8);
-    let mut g = c.benchmark_group("shutdown_logic");
-    g.sample_size(10);
-    g.bench_function("precompute_rank_subsets_k2", |b| {
-        b.iter(|| precompute::rank_subsets(std::hint::black_box(&block), 2).expect("acyclic"))
+    let mut g = hlpower_bench::timing::group("shutdown_logic");
+    g.bench_function("precompute_rank_subsets_k2", || {
+        precompute::rank_subsets(black_box(&block), 2).expect("acyclic")
     });
-    g.bench_function("guard_find_candidates", |b| {
-        b.iter(|| guard::find_candidates(std::hint::black_box(&mux), &lib, 6).expect("acyclic"))
+    g.bench_function("guard_find_candidates", || {
+        guard::find_candidates(black_box(&mux), &lib, 6).expect("acyclic")
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

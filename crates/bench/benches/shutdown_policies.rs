@@ -1,33 +1,23 @@
-//! Criterion bench for the Fig. 3 / §III-B shutdown-policy simulations.
+//! Timing bench for the Fig. 3 / §III-B shutdown-policy simulations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hlpower::optimize::shutdown::{self, policies::*};
+use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let device = shutdown::DeviceModel::default();
     let workload = shutdown::bursty_workload(42, 2000);
-    let mut g = c.benchmark_group("shutdown");
-    g.sample_size(20);
-    g.bench_function("static_timeout", |b| {
-        b.iter(|| {
-            let mut p = StaticTimeout { timeout: 2.0 * device.breakeven() };
-            shutdown::simulate(&mut p, &device, std::hint::black_box(&workload))
-        })
+    let mut g = hlpower_bench::timing::group("shutdown");
+    g.bench_function("static_timeout", || {
+        let mut p = StaticTimeout { timeout: 2.0 * device.breakeven() };
+        shutdown::simulate(&mut p, &device, black_box(&workload))
     });
-    g.bench_function("srivastava_regression", |b| {
-        b.iter(|| {
-            let mut p = SrivastavaRegression::new(&device, 64);
-            shutdown::simulate(&mut p, &device, std::hint::black_box(&workload))
-        })
+    g.bench_function("srivastava_regression", || {
+        let mut p = SrivastavaRegression::new(&device, 64);
+        shutdown::simulate(&mut p, &device, black_box(&workload))
     });
-    g.bench_function("hwang_wu", |b| {
-        b.iter(|| {
-            let mut p = HwangWu::new(&device, 0.5, true);
-            shutdown::simulate(&mut p, &device, std::hint::black_box(&workload))
-        })
+    g.bench_function("hwang_wu", || {
+        let mut p = HwangWu::new(&device, 0.5, true);
+        shutdown::simulate(&mut p, &device, black_box(&workload))
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

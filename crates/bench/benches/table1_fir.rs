@@ -1,27 +1,19 @@
-//! Criterion bench for the Table I flow: RTL capacitance estimation of the
+//! Timing bench for the Table I flow: RTL capacitance estimation of the
 //! FIR before/after constant-multiplication conversion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hlpower::cdfg::{rtl, transform};
+use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let costs = rtl::RtlCosts::default();
     let taps = [9i64, 23, 51, 89, 119, 131, 119, 89, 51, 23, 9];
     let before = transform::fir_cdfg(&taps, 16);
     let after = transform::strength_reduce_const_mults(&before);
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(20);
-    g.bench_function("estimate_before", |b| {
-        b.iter(|| rtl::quick_estimate(std::hint::black_box(&before), 1, &costs))
-    });
-    g.bench_function("estimate_after", |b| {
-        b.iter(|| rtl::quick_estimate(std::hint::black_box(&after), 1, &costs))
-    });
-    g.bench_function("strength_reduce", |b| {
-        b.iter(|| transform::strength_reduce_const_mults(std::hint::black_box(&before)))
+    let mut g = hlpower_bench::timing::group("table1");
+    g.bench_function("estimate_before", || rtl::quick_estimate(black_box(&before), 1, &costs));
+    g.bench_function("estimate_after", || rtl::quick_estimate(black_box(&after), 1, &costs));
+    g.bench_function("strength_reduce", || {
+        transform::strength_reduce_const_mults(black_box(&before))
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

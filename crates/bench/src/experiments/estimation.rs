@@ -2,6 +2,7 @@
 //! complexity models, the macro-model accuracy ladder, and sampling-based
 //! co-simulation.
 
+use crate::json;
 use hlpower::estimate::complexity::{
     area_complexity, optimized_area, random_function, AreaRegression,
 };
@@ -10,7 +11,6 @@ use hlpower::estimate::sampling::{cosimulate, CosimStrategy};
 use hlpower::estimate::{MacroModelKind, ModuleHarness, TrainedMacroModel};
 use hlpower::fsm::{generators, tyagi_bound, Encoding, EncodingStrategy, MarkovAnalysis};
 use hlpower::netlist::{gen, streams, Library, Netlist, ZeroDelaySim};
-use serde_json::json;
 
 use crate::report::ExperimentResult;
 
@@ -96,11 +96,9 @@ pub fn tyagi() -> ExperimentResult {
     for seed in 0..6u64 {
         let stg = generators::random_stg(2, 20, 1, seed);
         let markov = MarkovAnalysis::uniform(&stg);
-        for strategy in [
-            EncodingStrategy::Binary,
-            EncodingStrategy::OneHot,
-            EncodingStrategy::LowPower(seed),
-        ] {
+        for strategy in
+            [EncodingStrategy::Binary, EncodingStrategy::OneHot, EncodingStrategy::LowPower(seed)]
+        {
             let enc = Encoding::with_strategy(&stg, &markov, strategy);
             let r = tyagi_bound(&stg, &markov, &enc);
             total += 1;
@@ -131,8 +129,10 @@ pub fn tyagi() -> ExperimentResult {
 /// §II-B2: Nemani-Najm area regression and its exponential shape.
 pub fn complexity() -> ExperimentResult {
     let mut samples = Vec::new();
+    // 24 seeds per density: below ~64 functions the fitted correlation
+    // swings by +-0.2 between draws; at 96 it is stable to ~0.01.
     for (i, p) in [0.05, 0.15, 0.3, 0.5].iter().enumerate() {
-        for seed in 0..8u64 {
+        for seed in 0..24u64 {
             let on = random_function(7, *p, seed * 37 + i as u64);
             if on.is_empty() {
                 continue;
@@ -146,8 +146,7 @@ pub fn complexity() -> ExperimentResult {
     let mut num = 0.0;
     let mut den_p = 0.0;
     let mut den_a = 0.0;
-    let mean_p: f64 =
-        samples.iter().map(|s| reg.predict(s.0)).sum::<f64>() / samples.len() as f64;
+    let mean_p: f64 = samples.iter().map(|s| reg.predict(s.0)).sum::<f64>() / samples.len() as f64;
     for &(c, a) in &samples {
         let p = reg.predict(c);
         num += (p - mean_p) * (a - mean_a);
@@ -180,35 +179,32 @@ pub fn macromodel_ladder() -> ExperimentResult {
     // Training: mixed random + signed data, as a characterization flow
     // would use; validation on held-out signed data (the regime that
     // separates the models).
-    let train: Vec<Vec<bool>> = streams::zip_concat(
-        streams::signed_walk(1, 8, 6),
-        streams::signed_walk(2, 8, 6),
-    )
-    .take(4000)
-    .collect();
+    let train: Vec<Vec<bool>> =
+        streams::zip_concat(streams::signed_walk(1, 8, 6), streams::signed_walk(2, 8, 6))
+            .take(4000)
+            .collect();
     h.detect_breakpoints(&train);
     let records = h.trace(train).expect("widths");
-    let test: Vec<Vec<bool>> = streams::zip_concat(
-        streams::signed_walk(7, 8, 12),
-        streams::signed_walk(8, 8, 12),
-    )
-    .take(2500)
-    .collect();
+    let test: Vec<Vec<bool>> =
+        streams::zip_concat(streams::signed_walk(7, 8, 12), streams::signed_walk(8, 8, 12))
+            .take(2500)
+            .collect();
     let test_records = h.trace(test).expect("widths");
-    let mut lines = vec![format!(
-        "{:<12} {:>12} {:>12}",
-        "model", "avg error", "cycle error"
-    )];
+    let mut lines = vec![format!("{:<12} {:>12} {:>12}", "model", "avg error", "cycle error")];
     let mut rows = Vec::new();
-    for kind in [
+    let kinds = [
         MacroModelKind::Pfa,
         MacroModelKind::DualBitType,
         MacroModelKind::Bitwise,
         MacroModelKind::InputOutput,
         MacroModelKind::Table3d,
         MacroModelKind::Stepwise,
-    ] {
-        let model = TrainedMacroModel::fit(kind, &records).expect("enough data");
+    ];
+    // The six regressions are independent: train them across the worker
+    // pool (identical results at any thread count).
+    let sweep = TrainedMacroModel::fit_sweep(&kinds, &records);
+    for (kind, fitted) in kinds.into_iter().zip(sweep) {
+        let model = fitted.expect("enough data");
         let acc = model.accuracy(&test_records);
         lines.push(format!(
             "{:<12} {:>11.1}% {:>11.1}%",
@@ -242,13 +238,9 @@ pub fn sampling_cosim() -> ExperimentResult {
     // In-distribution application: sampler's home turf.
     let app_random = h.trace(streams::random(9, 16).take(12_000)).expect("widths");
     let census = cosimulate(&io, &app_random, CosimStrategy::Census, 1).expect("data");
-    let sampler = cosimulate(
-        &io,
-        &app_random,
-        CosimStrategy::Sampler { groups: 8, group_size: 30 },
-        2,
-    )
-    .expect("data");
+    let sampler =
+        cosimulate(&io, &app_random, CosimStrategy::Sampler { groups: 8, group_size: 30 }, 2)
+            .expect("data");
     // Out-of-distribution application: adaptive's home turf.
     let app_corr = h.trace(streams::correlated(4, 16, 0.15).take(12_000)).expect("widths");
     let census_biased = cosimulate(&pfa, &app_corr, CosimStrategy::Census, 3).expect("data");

@@ -4,10 +4,8 @@
 
 use std::collections::HashMap;
 
-use hlpower::cdfg::{
-    allocate, multivolt, profile, rtl, schedule, transform, Cdfg, Delays,
-};
-use serde_json::json;
+use crate::json;
+use hlpower::cdfg::{allocate, multivolt, profile, rtl, schedule, transform, Cdfg, Delays};
 
 use crate::report::ExperimentResult;
 
@@ -49,9 +47,7 @@ pub fn table1() -> ExperimentResult {
         "Component", "before (pF)", "%", "after (pF)", "%"
     )];
     for ((name, bpf, bpct), (_, apf, apct)) in b.rows().into_iter().zip(a.rows()) {
-        lines.push(format!(
-            "{name:<18} {bpf:>12.2} {bpct:>7.2}% | {apf:>12.2} {apct:>7.2}%"
-        ));
+        lines.push(format!("{name:<18} {bpf:>12.2} {bpct:>7.2}% | {apf:>12.2} {apct:>7.2}%"));
     }
     lines.push(format!(
         "{:<18} {:>12.2} {:>8} | {:>12.2} {:>8}",
@@ -70,7 +66,8 @@ pub fn table1() -> ExperimentResult {
     ExperimentResult {
         id: "T1",
         title: "Table I: Tap FIR capacitance before/after constant-mult conversion",
-        paper: "exec units 739.65->93.07 pF (7.9x), total 1141.36->430.36 pF (2.65x), control rises",
+        paper:
+            "exec units 739.65->93.07 pF (7.9x), total 1141.36->430.36 pF (2.65x), control rises",
         lines,
         json: json!({
             "before": {"exec": b.execution_units_pf, "regs": b.registers_clock_pf,
@@ -116,7 +113,8 @@ pub fn figs_4_5() -> ExperimentResult {
     ExperimentResult {
         id: "F4F5",
         title: "Figs. 4/5: polynomial evaluation restructuring",
-        paper: "2nd order: 2add+2mul cp3 -> 2add+1mul cp3; 3rd order: 3add+4mul cp4 -> 3add+2mul cp5",
+        paper:
+            "2nd order: 2add+2mul cp3 -> 2add+1mul cp3; 3rd order: 3add+4mul cp4 -> 3add+2mul cp5",
         lines,
         json: json!(rows),
     }
@@ -144,10 +142,7 @@ pub fn pm_scheduling() -> ExperimentResult {
     let relaxed = schedule::power_managed_schedule(&g, &delays, Some(base.makespan + 1));
     let lines = vec![
         format!("unconstrained makespan: {} steps", base.makespan),
-        format!(
-            "no latency slack: {} manageable muxes",
-            strict.manageable_muxes.len()
-        ),
+        format!("no latency slack: {} manageable muxes", strict.manageable_muxes.len()),
         format!(
             "one extra step:  {} manageable muxes, expected ops disabled {:.0}% (makespan {})",
             relaxed.manageable_muxes.len(),
@@ -178,8 +173,7 @@ pub fn pm_scheduling() -> ExperimentResult {
 /// capacitance-only binder interleaves the channels and pays full-swing
 /// switching at every hand-off — the §III-E effect.
 pub fn allocation() -> ExperimentResult {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use hlpower_rng::Rng;
     let mut savings = Vec::new();
     let mut lines = Vec::new();
     for seed in 0..6u64 {
@@ -213,11 +207,11 @@ pub fn allocation() -> ExperimentResult {
         let sched = schedule::list_schedule(&g, &delays, &limits);
         // Channel L: mean-reverting sensor signal; channel R: random data.
         let stream: Vec<HashMap<String, i64>> = {
-            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let mut x: i64 = 0;
             (0..800)
                 .map(|_| {
-                    x = (x * 7) / 8 + rng.gen_range(-20..=20);
+                    x = (x * 7) / 8 + rng.gen_range(-20i64..=20);
                     let mut m = HashMap::new();
                     for (i, _) in l_in.iter().enumerate() {
                         m.insert(format!("l{i}"), x + i as i64);
@@ -233,16 +227,28 @@ pub fn allocation() -> ExperimentResult {
         let prof = profile::profile(&g, stream, &pairs).expect("stream binds inputs");
         let costs = rtl::RtlCosts::default();
         let aware = allocate::allocate(
-            &g, &delays, &sched, &prof, &costs, allocate::AllocationStrategy::ActivityAware,
+            &g,
+            &delays,
+            &sched,
+            &prof,
+            &costs,
+            allocate::AllocationStrategy::ActivityAware,
         );
         let blind = allocate::allocate(
-            &g, &delays, &sched, &prof, &costs, allocate::AllocationStrategy::CapacitanceOnly,
+            &g,
+            &delays,
+            &sched,
+            &prof,
+            &costs,
+            allocate::AllocationStrategy::CapacitanceOnly,
         );
         let ca = allocate::binding_switched_cap_ff(&g, &aware, &prof, &costs);
         let cb = allocate::binding_switched_cap_ff(&g, &blind, &prof, &costs);
         let saving = 100.0 * (1.0 - ca / cb);
         savings.push(saving);
-        lines.push(format!("seed {seed}: blind {cb:.0} fF -> aware {ca:.0} fF ({saving:.1}% saved)"));
+        lines.push(format!(
+            "seed {seed}: blind {cb:.0} fF -> aware {ca:.0} fF ({saving:.1}% saved)"
+        ));
     }
     let min = savings.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = savings.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

@@ -1,10 +1,11 @@
 //! Software-level experiments: Tiwari model accuracy, profile-driven
 //! program synthesis, cold scheduling, and the Fig. 2 memory optimization.
 
+use crate::json;
 use hlpower::estimate::memory::MemoryModel;
-use hlpower::sw::{coldsched, memopt, synthesis, tiwari, workloads, CacheConfig, Machine,
-                  MachineConfig};
-use serde_json::json;
+use hlpower::sw::{
+    coldsched, memopt, synthesis, tiwari, workloads, CacheConfig, Machine, MachineConfig,
+};
 
 use crate::report::ExperimentResult;
 
@@ -25,8 +26,7 @@ pub fn tiwari() -> ExperimentResult {
         ("bubble-sort", workloads::bubble_sort(48, 1)),
         ("fir-64x8", workloads::fir(64, 8)),
     ] {
-        let (reference, predicted, rel) =
-            model.validate(&config, &p, 100_000_000).expect("halts");
+        let (reference, predicted, rel) = model.validate(&config, &p, 100_000_000).expect("halts");
         lines.push(format!(
             "{name:<12} reference {reference:>9.0} pJ, model {predicted:>9.0} pJ, error {:.1}%",
             100.0 * rel
@@ -83,13 +83,12 @@ pub fn profile_synthesis() -> ExperimentResult {
 /// §III-A: cold scheduling of basic blocks.
 pub fn cold_scheduling() -> ExperimentResult {
     use hlpower::sw::{Instr, Reg};
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use hlpower_rng::Rng;
     let mut lines = Vec::new();
     let mut total_before = 0u64;
     let mut total_after = 0u64;
     for seed in 0..10u64 {
-        let mut rng = SmallRng::seed_from_u64(seed * 3 + 1);
+        let mut rng = Rng::seed_from_u64(seed * 3 + 1);
         let block: Vec<Instr> = (0..24)
             .map(|_| {
                 let d = Reg(rng.gen_range(1..16));

@@ -1,13 +1,13 @@
 //! System-level experiments: predictive shutdown (Fig. 3 / §III-B) and
 //! bus encoding (§III-G).
 
+use crate::json;
 use hlpower::optimize::buscode::{
     self, traces, BeachCode, BusCodec, BusInvert, GrayCode, T0BusInvert, T0Code, Unencoded,
     WorkingZone,
 };
-use hlpower::sw::{workloads, Machine, MachineConfig};
 use hlpower::optimize::shutdown::{self, policies::*};
-use serde_json::json;
+use hlpower::sw::{workloads, Machine, MachineConfig};
 
 use crate::report::ExperimentResult;
 
@@ -45,7 +45,8 @@ pub fn shutdown_policies() -> ExperimentResult {
     ExperimentResult {
         id: "F3",
         title: "Shutdown policies (Fig. 3, Srivastava, Hwang-Wu)",
-        paper: "predictive shutdown up to ~38x improvement at ~3% performance cost on X-server traces",
+        paper:
+            "predictive shutdown up to ~38x improvement at ~3% performance cost on X-server traces",
         lines,
         json: json!({"bound": bound, "policies": rows}),
     }
@@ -70,7 +71,13 @@ pub fn bus_encoding() -> ExperimentResult {
     ];
     let mut lines = vec![format!(
         "{:<20} {:>10} {:>10} {:>7} {:>7} {:>7} {:>12} {:>7}",
-        "stream (trans/word)", "unencoded", "businvert", "gray", "t0", "t0+bi", "workingzone",
+        "stream (trans/word)",
+        "unencoded",
+        "businvert",
+        "gray",
+        "t0",
+        "t0+bi",
+        "workingzone",
         "beach"
     )];
     let mut rows = Vec::new();
@@ -83,10 +90,7 @@ pub fn bus_encoding() -> ExperimentResult {
             (Box::new(GrayCode::new(WIDTH)), Box::new(GrayCode::new(WIDTH))),
             (Box::new(T0Code::new(WIDTH)), Box::new(T0Code::new(WIDTH))),
             (Box::new(T0BusInvert::new(WIDTH)), Box::new(T0BusInvert::new(WIDTH))),
-            (
-                Box::new(WorkingZone::new(WIDTH, 4, 10)),
-                Box::new(WorkingZone::new(WIDTH, 4, 10)),
-            ),
+            (Box::new(WorkingZone::new(WIDTH, 4, 10)), Box::new(WorkingZone::new(WIDTH, 4, 10))),
             (Box::new(beach.clone()), Box::new(beach)),
         ];
         let mut cells = Vec::new();

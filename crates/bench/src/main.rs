@@ -2,18 +2,23 @@
 //! the survey (see DESIGN.md's experiment index).
 //!
 //! ```text
-//! repro --all            # run everything
+//! repro --all            # run everything (in parallel across the pool)
 //! repro --table1 --fig2  # run selected experiments
 //! repro --list           # list experiment ids
 //! ```
 //!
 //! Each experiment prints a human-readable block and writes
-//! `results/<id>.json` for EXPERIMENTS.md regeneration.
+//! `results/<id>.json` for EXPERIMENTS.md regeneration. Unknown flags are
+//! an error: the flag list is printed and the exit status is non-zero.
+//!
+//! Experiments are independent, so selected runners are fanned out across
+//! the scoped worker pool (`HLPOWER_THREADS` overrides the width); output
+//! blocks are printed in registry order once all runners finish, so the
+//! rendered report is byte-identical at any thread count.
 
-mod experiments;
-mod report;
-
-use report::ExperimentResult;
+use hlpower_bench::experiments;
+use hlpower_bench::report::ExperimentResult;
+use hlpower_rng::par;
 
 type Runner = fn() -> ExperimentResult;
 
@@ -26,10 +31,18 @@ fn registry() -> Vec<(&'static str, &'static str, Runner)> {
         ("--allocate", "S3E: activity-aware allocation", hls::allocation),
         ("--multivolt", "S3F: multiple supply-voltage scheduling", hls::multivoltage),
         ("--tiwari", "S2A-1: Tiwari instruction-level model", software::tiwari),
-        ("--profile-synthesis", "S2A-2: profile-driven program synthesis", software::profile_synthesis),
+        (
+            "--profile-synthesis",
+            "S2A-2: profile-driven program synthesis",
+            software::profile_synthesis,
+        ),
         ("--coldsched", "S3A: cold scheduling", software::cold_scheduling),
         ("--fig2", "F2: memory-access optimization", software::fig2_memopt),
-        ("--memory", "S2C-M: Liu-Svensson memory model + hierarchy exploration", software::memory_exploration),
+        (
+            "--memory",
+            "S2C-M: Liu-Svensson memory model + hierarchy exploration",
+            software::memory_exploration,
+        ),
         ("--entropy", "S2B-1: information-theoretic estimation", estimation::entropy_models),
         ("--tyagi", "S2B-1T: Tyagi FSM bound", estimation::tyagi),
         ("--complexity", "S2B-2: area-complexity regression", estimation::complexity),
@@ -41,10 +54,20 @@ fn registry() -> Vec<(&'static str, &'static str, Runner)> {
         ("--retime", "F9: low-power retiming", logic::retiming),
         ("--balance", "F9-B: glitch minimization by path balancing", logic::path_balancing),
         ("--fsm-encode", "S3H: FSM state encoding", logic::fsm_encoding),
-        ("--fsm-decompose", "S3H-D: FSM decomposition / selective clocking", logic::fsm_decomposition),
+        (
+            "--fsm-decompose",
+            "S3H-D: FSM decomposition / selective clocking",
+            logic::fsm_decomposition,
+        ),
         ("--shutdown", "F3: predictive shutdown policies", system::shutdown_policies),
         ("--buscode", "S3G: bus encoding", system::bus_encoding),
     ]
+}
+
+fn print_flag_list(registry: &[(&str, &str, Runner)]) {
+    for (flag, desc, _) in registry {
+        println!("{flag:<22} {desc}");
+    }
 }
 
 fn main() {
@@ -53,33 +76,51 @@ fn main() {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         println!("repro — regenerate the survey's tables and figures\n");
         println!("usage: repro [--all] [--list] [flags...]\n");
-        for (flag, desc, _) in &registry {
-            println!("  {flag:<22} {desc}");
-        }
+        print_flag_list(&registry);
         return;
     }
     if args.iter().any(|a| a == "--list") {
-        for (flag, desc, _) in &registry {
-            println!("{flag:<22} {desc}");
-        }
+        print_flag_list(&registry);
         return;
     }
-    let run_all = args.iter().any(|a| a == "--all");
-    let mut ran = 0;
-    for (flag, _, runner) in &registry {
-        let aliased = *flag == "--fig4" && args.iter().any(|a| a == "--fig5");
-        if run_all || args.iter().any(|a| a == *flag) || aliased {
-            let result = runner();
-            result.print();
-            if let Err(e) = result.write_json() {
-                eprintln!("warning: could not write results/{}.json: {e}", result.id);
-            }
-            ran += 1;
+    // Reject unknown flags loudly instead of silently ignoring them: a
+    // typo like `--tabel1` must not report "experiments complete".
+    let known =
+        |a: &str| a == "--all" || a == "--fig5" || registry.iter().any(|(flag, _, _)| a == *flag);
+    let unknown: Vec<&String> = args.iter().filter(|a| !known(a)).collect();
+    if !unknown.is_empty() {
+        for a in &unknown {
+            eprintln!("error: unknown flag `{a}`");
         }
+        eprintln!("\navailable experiments:");
+        print_flag_list(&registry);
+        std::process::exit(2);
     }
-    if ran == 0 {
+    let run_all = args.iter().any(|a| a == "--all");
+    let selected: Vec<&(&str, &str, Runner)> = registry
+        .iter()
+        .filter(|(flag, _, _)| {
+            let aliased = *flag == "--fig4" && args.iter().any(|a| a == "--fig5");
+            run_all || args.iter().any(|a| a == *flag) || aliased
+        })
+        .collect();
+    if selected.is_empty() {
         eprintln!("no experiment matched; try --list");
         std::process::exit(2);
     }
-    println!("\n{ran} experiment(s) complete; JSON dumps under results/");
+    // Fan the independent experiments out across the pool; print and dump
+    // in registry order afterwards so the report is deterministic.
+    let results = par::map(&selected, |_, (_, _, runner)| runner());
+    let mut failures = 0;
+    for result in &results {
+        result.print();
+        if let Err(e) = result.write_json() {
+            eprintln!("warning: could not write results/{}.json: {e}", result.id);
+            failures += 1;
+        }
+    }
+    println!("\n{} experiment(s) complete; JSON dumps under results/", results.len());
+    if failures > 0 {
+        std::process::exit(1);
+    }
 }

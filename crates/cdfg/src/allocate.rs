@@ -376,7 +376,8 @@ mod tests {
     #[test]
     fn binding_respects_resource_intervals() {
         let (g, d, sched, p) = setup();
-        let b = allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
+        let b =
+            allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
         for unit in &b.units {
             for pair in unit.ops.windows(2) {
                 let i0 = interval(&g, &d, &sched, pair[0]);
@@ -389,7 +390,8 @@ mod tests {
     #[test]
     fn units_share_only_same_kind() {
         let (g, d, sched, p) = setup();
-        let b = allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
+        let b =
+            allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
         for unit in &b.units {
             let m = unit.kind_sample.mnemonic();
             for &op in &unit.ops {
@@ -414,7 +416,8 @@ mod tests {
     #[test]
     fn registers_cover_all_stored_values() {
         let (g, d, sched, p) = setup();
-        let b = allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
+        let b =
+            allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
         let users = g.users();
         for id in g.op_ids() {
             if lifetime(&g, &d, &sched, &users, id).is_some() {
@@ -426,7 +429,8 @@ mod tests {
     #[test]
     fn operand_reordering_never_hurts() {
         let (g, d, sched, p) = setup();
-        let b = allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::CapacitanceOnly);
+        let b =
+            allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::CapacitanceOnly);
         let (orientation, before, after) = reorder_operands(&g, &b, &p);
         assert!(after <= before + 1e-12, "{after} vs {before}");
         // Only commutative two-operand ops may be swapped.
@@ -454,8 +458,9 @@ mod tests {
         limits.insert("add", 1usize);
         let sched = crate::schedule::list_schedule(&g, &d, &limits);
         let pairs = allocation_pairs(&g);
-        let p = crate::profile::profile(&g, crate::profile::correlated_stream(&g, 3, 500, 20), &pairs)
-            .unwrap();
+        let p =
+            crate::profile::profile(&g, crate::profile::correlated_stream(&g, 3, 500, 20), &pairs)
+                .unwrap();
         let binding =
             allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
         let (orientation, before, after) = reorder_operands(&g, &binding, &p);
@@ -470,14 +475,18 @@ mod tests {
     fn register_sharing_requires_disjoint_lifetimes() {
         let (g, d, sched, p) = setup();
         let users = g.users();
-        let b = allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
+        let b =
+            allocate(&g, &d, &sched, &p, &RtlCosts::default(), AllocationStrategy::ActivityAware);
         for reg in &b.registers {
             for pair in reg.values.windows(2) {
                 let l0 = lifetime(&g, &d, &sched, &users, pair[0]).unwrap();
                 let l1 = lifetime(&g, &d, &sched, &users, pair[1]).unwrap();
                 // Inclusive-end lifetimes may touch but not strictly overlap.
-                assert!(!overlaps((l0.0, l0.1 + 1), (l1.0, l1.1)) || !overlaps((l1.0, l1.1 + 1), (l0.0, l0.1)),
-                    "register lifetimes overlap: {l0:?} {l1:?}");
+                assert!(
+                    !overlaps((l0.0, l0.1 + 1), (l1.0, l1.1))
+                        || !overlaps((l1.0, l1.1 + 1), (l0.0, l0.1)),
+                    "register lifetimes overlap: {l0:?} {l1:?}"
+                );
             }
         }
     }

@@ -302,12 +302,15 @@ impl Cdfg {
                     .get(name)
                     .ok_or_else(|| CdfgError::MissingInput { name: name.clone() })?,
                 OpKind::Const(c) => *c,
-                OpKind::Add => vals[self.args(id)[0].index()]
-                    .wrapping_add(vals[self.args(id)[1].index()]),
-                OpKind::Sub => vals[self.args(id)[0].index()]
-                    .wrapping_sub(vals[self.args(id)[1].index()]),
-                OpKind::Mul => vals[self.args(id)[0].index()]
-                    .wrapping_mul(vals[self.args(id)[1].index()]),
+                OpKind::Add => {
+                    vals[self.args(id)[0].index()].wrapping_add(vals[self.args(id)[1].index()])
+                }
+                OpKind::Sub => {
+                    vals[self.args(id)[0].index()].wrapping_sub(vals[self.args(id)[1].index()])
+                }
+                OpKind::Mul => {
+                    vals[self.args(id)[0].index()].wrapping_mul(vals[self.args(id)[1].index()])
+                }
                 OpKind::Shl(k) => vals[self.args(id)[0].index()].wrapping_shl(*k),
                 OpKind::Neg => vals[self.args(id)[0].index()].wrapping_neg(),
                 OpKind::Mux => {

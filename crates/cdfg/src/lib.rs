@@ -30,13 +30,13 @@
 
 #![warn(missing_docs)]
 
-mod graph;
-pub mod profile;
-pub mod transform;
-pub mod schedule;
 pub mod allocate;
+mod graph;
 pub mod multivolt;
+pub mod profile;
 pub mod rtl;
+pub mod schedule;
+pub mod transform;
 
 pub use graph::{Cdfg, CdfgError, OpId, OpKind};
 pub use schedule::{Delays, Schedule};

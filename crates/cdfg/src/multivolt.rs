@@ -164,11 +164,7 @@ pub fn schedule_voltages(
                         (0.0, 0.0)
                     };
                     for (pi, p) in curves[&(child, cl)].iter().enumerate() {
-                        merged.push((
-                            p.t + shift.0,
-                            p.e + shift.1,
-                            (cl * 1000 + pi) as u32,
-                        ));
+                        merged.push((p.t + shift.0, p.e + shift.1, (cl * 1000 + pi) as u32));
                     }
                 }
                 let mut next: Vec<Point> = Vec::new();
@@ -201,9 +197,7 @@ pub fn schedule_voltages(
         for li in 0..nl {
             for (pi, p) in curves[&(r, li)].iter().enumerate() {
                 root_fastest = root_fastest.min(p.t);
-                if p.t <= latency_constraint
-                    && root_best.is_none_or(|(e, _, _, _)| p.e < e)
-                {
+                if p.t <= latency_constraint && root_best.is_none_or(|(e, _, _, _)| p.e < e) {
                     root_best = Some((p.e, p.t, li, pi));
                 }
             }
@@ -282,7 +276,13 @@ pub fn single_supply_energy_fj(g: &Cdfg, costs: &RtlCosts, v: f64) -> f64 {
 }
 
 /// Latency of the all-at-`v` assignment, in scaled delay units.
-pub fn single_supply_latency(g: &Cdfg, delays: &Delays, model: &VoltageModel, v: f64, vref: f64) -> f64 {
+pub fn single_supply_latency(
+    g: &Cdfg,
+    delays: &Delays,
+    model: &VoltageModel,
+    v: f64,
+    vref: f64,
+) -> f64 {
     // Longest path in scaled delay.
     let mut t = vec![0.0f64; g.node_count()];
     let mut max_t: f64 = 0.0;

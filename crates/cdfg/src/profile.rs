@@ -7,8 +7,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hlpower_rng::Rng;
 
 use crate::graph::{Cdfg, CdfgError, OpId};
 
@@ -94,7 +93,7 @@ pub fn random_stream(
 ) -> impl Iterator<Item = HashMap<String, i64>> {
     let names: Vec<String> = g.inputs().into_iter().map(|(n, _)| n).collect();
     let w = g.width();
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..len).map(move |_| {
         names
             .iter()
@@ -116,7 +115,7 @@ pub fn correlated_stream(
 ) -> impl Iterator<Item = HashMap<String, i64>> {
     let names: Vec<String> = g.inputs().into_iter().map(|(n, _)| n).collect();
     let w = g.width();
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let max = (1i64 << (w - 1)) - 1;
     let mut state: Vec<i64> = names.iter().map(|_| rng.gen_range(-max / 2..max / 2)).collect();
     (0..len).map(move |_| {
@@ -142,7 +141,7 @@ pub fn sliding_window_stream(
 ) -> impl Iterator<Item = HashMap<String, i64>> {
     let names: Vec<String> = g.inputs().into_iter().map(|(n, _)| n).collect();
     let w = g.width();
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let max = (1i64 << (w - 1)) - 1;
     let mut history: Vec<i64> = vec![0; names.len()];
     let mut x: i64 = 0;
@@ -207,8 +206,7 @@ mod tests {
         let b = g.input("b");
         let s = g.add(a, b);
         g.output("y", s);
-        let vals: Vec<HashMap<String, i64>> =
-            sliding_window_stream(&g, 3, 50, 10).collect();
+        let vals: Vec<HashMap<String, i64>> = sliding_window_stream(&g, 3, 50, 10).collect();
         for t in 1..50 {
             assert_eq!(vals[t]["b"], vals[t - 1]["a"], "b lags a by one cycle");
         }

@@ -111,7 +111,10 @@ pub struct RtlBreakdown {
 impl RtlBreakdown {
     /// Total switched capacitance, in picofarads.
     pub fn total_pf(&self) -> f64 {
-        self.execution_units_pf + self.registers_clock_pf + self.control_logic_pf + self.interconnect_pf
+        self.execution_units_pf
+            + self.registers_clock_pf
+            + self.control_logic_pf
+            + self.interconnect_pf
     }
 
     /// The four classes as (label, pF, percent-of-total) rows, in Table I
@@ -171,11 +174,8 @@ pub fn estimate(
         // Constant operands contribute no switching; average the data
         // operands only (a constant-coefficient multiplier still switches
         // from its data input).
-        let data_args: Vec<_> = g
-            .args(id)
-            .iter()
-            .filter(|a| !matches!(g.kind(**a), OpKind::Const(_)))
-            .collect();
+        let data_args: Vec<_> =
+            g.args(id).iter().filter(|a| !matches!(g.kind(**a), OpKind::Const(_))).collect();
         let act = if data_args.is_empty() {
             0.01
         } else {
@@ -209,11 +209,7 @@ pub fn estimate(
     let mut reg_count = 0usize;
     for id in g.op_ids() {
         let finish = sched.start_of(id) + delays.of(g.kind(id));
-        let last_use = users[id.index()]
-            .iter()
-            .map(|u| sched.start_of(*u))
-            .max()
-            .unwrap_or(finish);
+        let last_use = users[id.index()].iter().map(|u| sched.start_of(*u)).max().unwrap_or(finish);
         let is_output = g.outputs().iter().any(|&(_, o)| o == id);
         // Values consumed within the next step ride the producing unit's
         // output latch (charged with the unit); the register file holds
@@ -258,7 +254,8 @@ pub fn estimate(
             };
             if !same_unit {
                 // Multiplier results travel on double-width product busses.
-                let bits = if matches!(g.kind(id), OpKind::Mul) { 2.0 * w as f64 } else { w as f64 };
+                let bits =
+                    if matches!(g.kind(id), OpKind::Mul) { 2.0 * w as f64 } else { w as f64 };
                 wire_ff += costs.wire_cap_ff_per_bit * bits * act * wire_factor;
             }
         }

@@ -132,8 +132,7 @@ pub fn alap(g: &Cdfg, delays: &Delays, deadline: u32) -> Option<Schedule> {
             }
             for &(before, after) in g.precedence_edges() {
                 if before == id {
-                    latest =
-                        latest.min(start[after.index()].saturating_sub(delays.of(g.kind(id))));
+                    latest = latest.min(start[after.index()].saturating_sub(delays.of(g.kind(id))));
                 }
             }
             if latest < start[id.index()] {
@@ -168,10 +167,7 @@ pub fn list_schedule(g: &Cdfg, delays: &Delays, limits: &HashMap<&str, usize>) -
     let mut start = vec![u32::MAX; g.node_count()];
     let mut finished_at = vec![0u32; g.node_count()];
     // Inputs/constants are ready at step 0 with zero delay.
-    let mut ready: Vec<OpId> = g
-        .op_ids()
-        .filter(|&id| remaining_preds[id.index()] == 0)
-        .collect();
+    let mut ready: Vec<OpId> = g.op_ids().filter(|&id| remaining_preds[id.index()] == 0).collect();
     let mut scheduled = 0usize;
     let total = g.node_count();
     let mut step = 0u32;

@@ -265,8 +265,9 @@ mod tests {
         let g = fir_cdfg(&coeffs, 32);
         let r = strength_reduce_const_mults(&g);
         for seed in 0..5i64 {
-            let inputs: HashMap<String, i64> =
-                (0..coeffs.len()).map(|i| (format!("x{i}"), seed * 17 + i as i64 * 3 - 20)).collect();
+            let inputs: HashMap<String, i64> = (0..coeffs.len())
+                .map(|i| (format!("x{i}"), seed * 17 + i as i64 * 3 - 20))
+                .collect();
             assert_eq!(g.eval(&inputs).unwrap(), r.eval(&inputs).unwrap(), "seed {seed}");
         }
     }

@@ -1,10 +1,12 @@
 //! Property-based tests: transformations preserve semantics, schedules
-//! respect dependences and resource limits.
+//! respect dependences and resource limits. Runs on the in-tree
+//! [`hlpower_rng::check`] harness.
 
 use std::collections::HashMap;
 
 use hlpower_cdfg::{profile, schedule, transform, Cdfg, Delays, OpId};
-use proptest::prelude::*;
+use hlpower_rng::check::Check;
+use hlpower_rng::Rng;
 
 /// A random arithmetic CDFG built from a sequence of op choices.
 fn random_cdfg(ops: &[(u8, u8, u8, i64)], width: u32) -> Cdfg {
@@ -34,86 +36,106 @@ fn random_cdfg(ops: &[(u8, u8, u8, i64)], width: u32) -> Cdfg {
     g
 }
 
-fn op_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, i64)>> {
-    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), -200i64..200), 1..20)
+/// Draws the op-choice sequence the old `op_strategy` generated.
+fn random_ops(rng: &mut Rng) -> Vec<(u8, u8, u8, i64)> {
+    let len = rng.gen_range(1usize..20);
+    (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0u8..=u8::MAX),
+                rng.gen_range(0u8..=u8::MAX),
+                rng.gen_range(0u8..=u8::MAX),
+                rng.gen_range(-200i64..200),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Strength reduction preserves the function on random graphs and
-    /// random inputs.
-    #[test]
-    fn strength_reduction_preserves_semantics(
-        ops in op_strategy(),
-        inputs in proptest::collection::vec(-1000i64..1000, 4),
-    ) {
+/// Strength reduction preserves the function on random graphs and
+/// random inputs.
+#[test]
+fn strength_reduction_preserves_semantics() {
+    Check::new("strength_reduction_preserves_semantics").cases(48).run(|rng| {
+        let ops = random_ops(rng);
+        let inputs: Vec<i64> = (0..4).map(|_| rng.gen_range(-1000i64..1000)).collect();
         let g = random_cdfg(&ops, 32);
         let r = transform::strength_reduce_const_mults(&g);
         let bindings: HashMap<String, i64> =
             inputs.iter().enumerate().map(|(i, &v)| (format!("x{i}"), v)).collect();
-        prop_assert_eq!(g.eval(&bindings).expect("bound"), r.eval(&bindings).expect("bound"));
-    }
+        assert_eq!(g.eval(&bindings).expect("bound"), r.eval(&bindings).expect("bound"));
+    });
+}
 
-    /// ASAP start times respect every data dependence.
-    #[test]
-    fn asap_respects_dependences(ops in op_strategy()) {
-        let g = random_cdfg(&ops, 16);
+/// ASAP start times respect every data dependence.
+#[test]
+fn asap_respects_dependences() {
+    Check::new("asap_respects_dependences").cases(48).run(|rng| {
+        let g = random_cdfg(&random_ops(rng), 16);
         let delays = Delays::default();
         let s = schedule::asap(&g, &delays);
         for id in g.op_ids() {
             for &arg in g.args(id) {
-                prop_assert!(
+                assert!(
                     s.start_of(id) >= s.start_of(arg) + delays.of(g.kind(arg)),
                     "dependence violated"
                 );
             }
         }
-    }
+    });
+}
 
-    /// List scheduling with limits never beats ASAP and never violates the
-    /// limits.
-    #[test]
-    fn list_schedule_sound(ops in op_strategy(), muls in 1usize..3) {
-        let g = random_cdfg(&ops, 16);
+/// List scheduling with limits never beats ASAP and never violates the
+/// limits.
+#[test]
+fn list_schedule_sound() {
+    Check::new("list_schedule_sound").cases(48).run(|rng| {
+        let g = random_cdfg(&random_ops(rng), 16);
+        let muls = rng.gen_range(1usize..3);
         let delays = Delays::default();
         let asap = schedule::asap(&g, &delays);
         let mut limits = HashMap::new();
         limits.insert("mul", muls);
         let ls = schedule::list_schedule(&g, &delays, &limits);
-        prop_assert!(ls.makespan >= asap.makespan);
+        assert!(ls.makespan >= asap.makespan);
         let usage = schedule::resource_usage(&g, &delays, &ls);
-        prop_assert!(usage.get("mul").copied().unwrap_or(0) <= muls);
+        assert!(usage.get("mul").copied().unwrap_or(0) <= muls);
         // Dependences hold under the constrained schedule too.
         for id in g.op_ids() {
             for &arg in g.args(id) {
-                prop_assert!(ls.start_of(id) >= ls.start_of(arg) + delays.of(g.kind(arg)));
+                assert!(ls.start_of(id) >= ls.start_of(arg) + delays.of(g.kind(arg)));
             }
         }
-    }
+    });
+}
 
-    /// ALAP at the ASAP makespan never schedules anything before its ASAP
-    /// time, and both meet the deadline.
-    #[test]
-    fn alap_bounds_asap(ops in op_strategy()) {
-        let g = random_cdfg(&ops, 16);
+/// ALAP at the ASAP makespan never schedules anything before its ASAP
+/// time, and both meet the deadline.
+#[test]
+fn alap_bounds_asap() {
+    Check::new("alap_bounds_asap").cases(48).run(|rng| {
+        let g = random_cdfg(&random_ops(rng), 16);
         let delays = Delays::default();
         let asap = schedule::asap(&g, &delays);
         let alap = schedule::alap(&g, &delays, asap.makespan).expect("feasible at own makespan");
         for id in g.op_ids() {
-            prop_assert!(alap.start_of(id) >= asap.start_of(id), "{} < {}",
-                alap.start_of(id), asap.start_of(id));
-            prop_assert!(alap.start_of(id) + delays.of(g.kind(id)) <= asap.makespan);
+            assert!(
+                alap.start_of(id) >= asap.start_of(id),
+                "{} < {}",
+                alap.start_of(id),
+                asap.start_of(id)
+            );
+            assert!(alap.start_of(id) + delays.of(g.kind(id)) <= asap.makespan);
         }
-    }
+    });
+}
 
-    /// Horner and direct polynomial forms agree for arbitrary coefficients.
-    #[test]
-    fn polynomial_forms_agree(
-        degree in 1usize..5,
-        coeffs in proptest::collection::vec(-50i64..50, 5),
-        x in -20i64..20,
-    ) {
+/// Horner and direct polynomial forms agree for arbitrary coefficients.
+#[test]
+fn polynomial_forms_agree() {
+    Check::new("polynomial_forms_agree").cases(48).run(|rng| {
+        let degree = rng.gen_range(1usize..5);
+        let coeffs: Vec<i64> = (0..5).map(|_| rng.gen_range(-50i64..50)).collect();
+        let x = rng.gen_range(-20i64..20);
         let d = transform::polynomial_direct(degree, 40);
         let h = transform::polynomial_horner(degree, 40);
         let mut bindings = HashMap::new();
@@ -121,18 +143,21 @@ proptest! {
         for i in 0..=degree {
             bindings.insert(format!("a{i}"), coeffs[i % coeffs.len()]);
         }
-        prop_assert_eq!(d.eval(&bindings).expect("bound"), h.eval(&bindings).expect("bound"));
-    }
+        assert_eq!(d.eval(&bindings).expect("bound"), h.eval(&bindings).expect("bound"));
+    });
+}
 
-    /// Profiling activities are valid fractions for any stream.
-    #[test]
-    fn profile_activities_bounded(ops in op_strategy(), seed in 0u64..100) {
-        let g = random_cdfg(&ops, 12);
+/// Profiling activities are valid fractions for any stream.
+#[test]
+fn profile_activities_bounded() {
+    Check::new("profile_activities_bounded").cases(48).run(|rng| {
+        let g = random_cdfg(&random_ops(rng), 12);
+        let seed = rng.gen_range(0u64..100);
         let p = profile::profile(&g, profile::random_stream(&g, seed, 100), &[])
             .expect("stream binds inputs");
         for id in g.op_ids() {
             let a = p.node_activity(id);
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&a), "activity {}", a);
+            assert!((0.0..=1.0 + 1e-9).contains(&a), "activity {}", a);
         }
-    }
+    });
 }

@@ -24,9 +24,7 @@ impl Candidate {
 /// Sorts candidates ascending by cost (best first). NaN costs sort last.
 pub fn rank(mut candidates: Vec<Candidate>) -> Vec<Candidate> {
     candidates.sort_by(|a, b| {
-        a.cost
-            .partial_cmp(&b.cost)
-            .unwrap_or_else(|| a.cost.is_nan().cmp(&b.cost.is_nan()))
+        a.cost.partial_cmp(&b.cost).unwrap_or_else(|| a.cost.is_nan().cmp(&b.cost.is_nan()))
     });
     candidates
 }
@@ -81,11 +79,7 @@ impl DesignLoop {
     /// # Panics
     ///
     /// Panics if `candidates` is empty.
-    pub fn decide(
-        &mut self,
-        stage: impl Into<String>,
-        candidates: Vec<Candidate>,
-    ) -> String {
+    pub fn decide(&mut self, stage: impl Into<String>, candidates: Vec<Candidate>) -> String {
         assert!(!candidates.is_empty(), "a design decision needs at least one option");
         let ranked = rank(candidates);
         let winner = ranked[0].name.clone();
@@ -146,15 +140,11 @@ mod tests {
     #[test]
     fn loop_records_decisions_and_spread() {
         let mut dl = DesignLoop::new();
-        let w1 = dl.decide(
-            "scheduling",
-            vec![Candidate::new("asap", 10.0), Candidate::new("pm", 6.0)],
-        );
+        let w1 =
+            dl.decide("scheduling", vec![Candidate::new("asap", 10.0), Candidate::new("pm", 6.0)]);
         assert_eq!(w1, "pm");
-        let w2 = dl.decide(
-            "bus encoding",
-            vec![Candidate::new("none", 8.0), Candidate::new("t0", 2.0)],
-        );
+        let w2 =
+            dl.decide("bus encoding", vec![Candidate::new("none", 8.0), Candidate::new("t0", 2.0)]);
         assert_eq!(w2, "t0");
         assert_eq!(dl.decisions().len(), 2);
         // Spread: (10/6) * (8/2) = 6.67x.

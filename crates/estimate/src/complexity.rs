@@ -191,8 +191,7 @@ impl AreaRegression {
     pub fn fit(samples: &[(f64, f64)]) -> AreaRegression {
         let rows: Vec<Vec<f64>> =
             samples.iter().filter(|s| s.1 > 0.0).map(|&(c, _)| vec![c, 1.0]).collect();
-        let ys: Vec<f64> =
-            samples.iter().filter(|s| s.1 > 0.0).map(|&(_, a)| a.ln()).collect();
+        let ys: Vec<f64> = samples.iter().filter(|s| s.1 > 0.0).map(|&(_, a)| a.ln()).collect();
         match least_squares(&rows, &ys) {
             Some(coefs) => AreaRegression { a: coefs[1].exp(), b: coefs[0] },
             None => AreaRegression { a: 1.0, b: 0.0 },
@@ -321,9 +320,7 @@ impl ControllerModel {
         let scale = 0.5 * vdd * vdd * f_hz * 1e-15 * 1e6;
         let rows: Vec<Vec<f64>> = samples
             .iter()
-            .map(|(ft, _)| {
-                vec![scale * ft.n_i * ft.e_i * ft.n_m, scale * ft.n_o * ft.e_o * ft.n_m]
-            })
+            .map(|(ft, _)| vec![scale * ft.n_i * ft.e_i * ft.n_m, scale * ft.n_o * ft.e_o * ft.n_m])
             .collect();
         let ys: Vec<f64> = samples.iter().map(|&(_, p)| p).collect();
         // The two columns are often nearly collinear (controllers with
@@ -331,9 +328,7 @@ impl ControllerModel {
         // turns a coefficient negative, refit on the other column alone
         // instead of clamping (clamping a collinear pair wrecks the fit).
         match least_squares(&rows, &ys) {
-            Some(c) if c[0] >= 0.0 && c[1] >= 0.0 => {
-                ControllerModel { c_i_ff: c[0], c_o_ff: c[1] }
-            }
+            Some(c) if c[0] >= 0.0 && c[1] >= 0.0 => ControllerModel { c_i_ff: c[0], c_o_ff: c[1] },
             Some(c) => {
                 let keep = if c[0] < 0.0 { 1 } else { 0 };
                 let single: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[keep]]).collect();
@@ -363,9 +358,8 @@ impl ControllerModel {
 
 /// A seeded random single-output function with on-set density `p`.
 pub fn random_function(n: u32, p: f64, seed: u64) -> Vec<u32> {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = SmallRng::seed_from_u64(seed);
+    use hlpower_rng::Rng;
+    let mut rng = Rng::seed_from_u64(seed);
     (0..(1u32 << n)).filter(|_| rng.gen_bool(p)).collect()
 }
 
@@ -459,12 +453,8 @@ mod tests {
 
     #[test]
     fn chip_estimation_scales_linearly() {
-        let m = ChipEstimationModel {
-            energy_gate_fj: 4.0,
-            c_load_ff: 12.0,
-            vdd: 3.3,
-            clock_mhz: 50.0,
-        };
+        let m =
+            ChipEstimationModel { energy_gate_fj: 4.0, c_load_ff: 12.0, vdd: 3.3, clock_mhz: 50.0 };
         let p1 = m.power_uw(1000.0, 0.2);
         let p2 = m.power_uw(2000.0, 0.2);
         let p3 = m.power_uw(1000.0, 0.4);

@@ -117,18 +117,14 @@ impl FerrandiModel {
     /// # Errors
     ///
     /// Returns an error if any circuit is cyclic.
-    pub fn fit(
-        circuits: &[(&Netlist, f64)],
-        lib: &Library,
-    ) -> Result<FerrandiModel, NetlistError> {
+    pub fn fit(circuits: &[(&Netlist, f64)], lib: &Library) -> Result<FerrandiModel, NetlistError> {
         let mut rows = Vec::new();
         let mut ys = Vec::new();
         for &(nl, h_out) in circuits {
             let (m, roots) = build_output_bdds(nl)?;
             let nodes = m.node_count_many(&roots);
-            let x = (nl.outputs().len() as f64 / nl.input_count().max(1) as f64)
-                * nodes as f64
-                * h_out;
+            let x =
+                (nl.outputs().len() as f64 / nl.input_count().max(1) as f64) * nodes as f64 * h_out;
             rows.push(vec![x, 1.0]);
             ys.push(nl.load_caps_ff(lib).iter().sum::<f64>());
         }
@@ -187,13 +183,11 @@ pub fn entropy_power_estimate(
     let n = netlist.input_count();
     let m = netlist.outputs().len();
     let h_avg_m = marculescu_avg_entropy(n, m, h_in, h_out).clamp(0.0, 1.0);
-    let h_avg_nn =
-        nemani_najm_avg_entropy(n, m, h_in * n as f64, h_out * m as f64).clamp(0.0, 1.0);
+    let h_avg_nn = nemani_najm_avg_entropy(n, m, h_in * n as f64, h_out * m as f64).clamp(0.0, 1.0);
     let c_tot_ff: f64 = netlist.load_caps_ff(lib).iter().sum();
     let f_hz = lib.clock_mhz * 1e6;
-    let to_uw = |h_avg: f64| {
-        0.5 * lib.vdd * lib.vdd * f_hz * (c_tot_ff * 1e-15) * (h_avg / 2.0) * 1e6
-    };
+    let to_uw =
+        |h_avg: f64| 0.5 * lib.vdd * lib.vdd * f_hz * (c_tot_ff * 1e-15) * (h_avg / 2.0) * 1e6;
     Ok(EntropyEstimate {
         h_in,
         h_out,

@@ -22,16 +22,15 @@
 //! in [`stats`].
 
 #![warn(missing_docs)]
-
 // Matrix- and table-style numerics read more clearly with explicit index
 // loops; silence clippy's iterator-style suggestion for them.
 #![allow(clippy::needless_range_loop)]
 
-pub mod stats;
-pub mod entropy;
 pub mod complexity;
+pub mod entropy;
 pub mod macromodel;
 pub mod memory;
 pub mod sampling;
+pub mod stats;
 
 pub use macromodel::{MacroModelKind, ModuleHarness, TrainedMacroModel};

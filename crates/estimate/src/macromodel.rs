@@ -21,6 +21,7 @@ use std::error::Error;
 use std::fmt;
 
 use hlpower_netlist::{gen, Library, Netlist, NetlistError, ZeroDelaySim};
+use hlpower_rng::par;
 
 use crate::stats::{least_squares, stepwise_select, StreamStats};
 
@@ -226,9 +227,7 @@ impl ModuleHarness {
                 for (oi, &w) in self.operand_widths.iter().enumerate() {
                     let bp = self.breakpoints[oi].min(w);
                     let u_bits = bp.max(1);
-                    let u_act = pin_toggles[offset..offset + bp.max(1).min(w)]
-                        .iter()
-                        .sum::<f64>()
+                    let u_act = pin_toggles[offset..offset + bp.max(1).min(w)].iter().sum::<f64>()
                         / u_bits as f64;
                     operand_u_act.push(u_act);
                     let prev_sign = pi[offset + w - 1];
@@ -364,8 +363,8 @@ impl TrainedMacroModel {
                         row
                     })
                     .collect();
-                model.coefs = least_squares(&rows, &y)
-                    .unwrap_or(vec![0.0; records[0].pin_toggles.len() + 1]);
+                model.coefs =
+                    least_squares(&rows, &y).unwrap_or(vec![0.0; records[0].pin_toggles.len() + 1]);
             }
             MacroModelKind::InputOutput => {
                 let rows: Vec<Vec<f64>> =
@@ -399,6 +398,21 @@ impl TrainedMacroModel {
         Ok(model)
     }
 
+    /// Fits one model per kind in `kinds`, sharding the independent
+    /// regressions across the scoped worker pool ([`hlpower_rng::par`]).
+    ///
+    /// This is the training-sweep form used by the accuracy-ladder
+    /// experiments: each kind's fit reads the shared records and writes
+    /// only its own model, so the sweep parallelizes without changing any
+    /// result — the returned vector (in `kinds` order) is identical to
+    /// calling [`TrainedMacroModel::fit`] in a loop, at any thread count.
+    pub fn fit_sweep(
+        kinds: &[MacroModelKind],
+        records: &[CycleRecord],
+    ) -> Vec<Result<TrainedMacroModel, MacroModelError>> {
+        par::map(kinds, |_, &kind| TrainedMacroModel::fit(kind, records))
+    }
+
     fn dbt_row(&self, r: &CycleRecord) -> Vec<f64> {
         // [sum(n_u * u_act), per-sign-class counts x4, 1]
         let mut row = vec![0.0; 6];
@@ -423,9 +437,8 @@ impl TrainedMacroModel {
 
     /// Predicts one cycle's energy, in femtojoules.
     pub fn predict_cycle_fj(&self, r: &CycleRecord) -> f64 {
-        let dot = |coefs: &[f64], row: &[f64]| -> f64 {
-            coefs.iter().zip(row).map(|(c, x)| c * x).sum()
-        };
+        let dot =
+            |coefs: &[f64], row: &[f64]| -> f64 { coefs.iter().zip(row).map(|(c, x)| c * x).sum() };
         let _ = self.n_operands;
         match self.kind {
             MacroModelKind::Pfa => self.coefs[0],
@@ -458,11 +471,9 @@ impl TrainedMacroModel {
             records.iter().map(|r| r.energy_fj).sum::<f64>() / records.len().max(1) as f64;
         let mean_pred = records.iter().map(|r| self.predict_cycle_fj(r)).sum::<f64>()
             / records.len().max(1) as f64;
-        let cycle_abs = records
-            .iter()
-            .map(|r| (self.predict_cycle_fj(r) - r.energy_fj).abs())
-            .sum::<f64>()
-            / records.len().max(1) as f64;
+        let cycle_abs =
+            records.iter().map(|r| (self.predict_cycle_fj(r) - r.energy_fj).abs()).sum::<f64>()
+                / records.len().max(1) as f64;
         MacroModelAccuracy {
             average_error: (mean_pred - mean_true).abs() / mean_true.max(1e-12),
             cycle_error: cycle_abs / mean_true.max(1e-12),
@@ -530,11 +541,8 @@ mod tests {
         let h = adder_harness();
         let train = h.trace(op_stream(4, 8, 1500)).unwrap();
         let model = TrainedMacroModel::fit(MacroModelKind::Pfa, &train).unwrap();
-        let frozen = streams::zip_concat(
-            streams::constant_word(1, 8),
-            streams::random(5, 8),
-        )
-        .take(1500);
+        let frozen =
+            streams::zip_concat(streams::constant_word(1, 8), streams::random(5, 8)).take(1500);
         let test = h.trace(frozen).unwrap();
         let acc = model.accuracy(&test);
         assert!(acc.average_error > 0.25, "PFA should be badly biased: {acc:?}");
@@ -545,11 +553,8 @@ mod tests {
         let h = adder_harness();
         let train = h.trace(op_stream(6, 8, 2500)).unwrap();
         let model = TrainedMacroModel::fit(MacroModelKind::Bitwise, &train).unwrap();
-        let frozen = streams::zip_concat(
-            streams::constant_word(1, 8),
-            streams::random(7, 8),
-        )
-        .take(1500);
+        let frozen =
+            streams::zip_concat(streams::constant_word(1, 8), streams::random(7, 8)).take(1500);
         let test = h.trace(frozen).unwrap();
         let acc = model.accuracy(&test);
         // The pin-level model adapts to the frozen operand far better than
@@ -572,21 +577,16 @@ mod tests {
         let trecs = h.trace(test).unwrap();
         let acc_io = io.accuracy(&trecs);
         let acc_pfa = pfa.accuracy(&trecs);
-        assert!(
-            acc_io.cycle_error < acc_pfa.cycle_error,
-            "io {acc_io:?} vs pfa {acc_pfa:?}"
-        );
+        assert!(acc_io.cycle_error < acc_pfa.cycle_error, "io {acc_io:?} vs pfa {acc_pfa:?}");
     }
 
     #[test]
     fn dbt_breakpoint_detection() {
         let mut h = adder_harness();
-        let sw: Vec<Vec<bool>> = streams::zip_concat(
-            streams::signed_walk(10, 8, 3),
-            streams::signed_walk(11, 8, 3),
-        )
-        .take(3000)
-        .collect();
+        let sw: Vec<Vec<bool>> =
+            streams::zip_concat(streams::signed_walk(10, 8, 3), streams::signed_walk(11, 8, 3))
+                .take(3000)
+                .collect();
         h.detect_breakpoints(&sw);
         // Slow walks have several correlated sign bits: breakpoint below
         // the full width.
@@ -597,22 +597,18 @@ mod tests {
     #[test]
     fn dbt_beats_pfa_on_signed_data() {
         let mut h = adder_harness();
-        let train: Vec<Vec<bool>> = streams::zip_concat(
-            streams::signed_walk(12, 8, 4),
-            streams::signed_walk(13, 8, 4),
-        )
-        .take(3000)
-        .collect();
+        let train: Vec<Vec<bool>> =
+            streams::zip_concat(streams::signed_walk(12, 8, 4), streams::signed_walk(13, 8, 4))
+                .take(3000)
+                .collect();
         h.detect_breakpoints(&train);
         let recs = h.trace(train).unwrap();
         let dbt = TrainedMacroModel::fit(MacroModelKind::DualBitType, &recs).unwrap();
         let pfa = TrainedMacroModel::fit(MacroModelKind::Pfa, &recs).unwrap();
-        let test: Vec<Vec<bool>> = streams::zip_concat(
-            streams::signed_walk(14, 8, 10),
-            streams::signed_walk(15, 8, 10),
-        )
-        .take(2000)
-        .collect();
+        let test: Vec<Vec<bool>> =
+            streams::zip_concat(streams::signed_walk(14, 8, 10), streams::signed_walk(15, 8, 10))
+                .take(2000)
+                .collect();
         let trecs = h.trace(test).unwrap();
         assert!(
             dbt.accuracy(&trecs).cycle_error < pfa.accuracy(&trecs).cycle_error,
@@ -644,6 +640,30 @@ mod tests {
         let test = h.trace(op_stream(19, 8, 1000)).unwrap();
         let acc = model.accuracy(&test);
         assert!(acc.average_error < 0.1, "{acc:?}");
+    }
+
+    #[test]
+    fn fit_sweep_matches_serial_fits() {
+        let h = adder_harness();
+        let train = h.trace(op_stream(21, 8, 1200)).unwrap();
+        let kinds = [
+            MacroModelKind::Pfa,
+            MacroModelKind::DualBitType,
+            MacroModelKind::Bitwise,
+            MacroModelKind::InputOutput,
+            MacroModelKind::Table3d,
+            MacroModelKind::Stepwise,
+        ];
+        let sweep = TrainedMacroModel::fit_sweep(&kinds, &train);
+        assert_eq!(sweep.len(), kinds.len());
+        let probe = &train[17];
+        for (kind, fitted) in kinds.iter().zip(&sweep) {
+            let serial = TrainedMacroModel::fit(*kind, &train).unwrap();
+            let parallel = fitted.as_ref().unwrap();
+            assert_eq!(parallel.kind, *kind);
+            // Same training data, same regression -> bit-identical predictions.
+            assert_eq!(parallel.predict_cycle_fj(probe), serial.predict_cycle_fj(probe));
+        }
     }
 
     #[test]

@@ -108,8 +108,7 @@ impl MemoryModel {
         // (3) word line: full-swing across all columns of the row.
         let wordline_fj = 0.5 * self.vdd * self.vdd * self.c_wordline_ff * cols;
         // (4) column select: one-of-2^k mux per output bit.
-        let column_select_fj =
-            0.5 * self.vdd * self.vdd * self.c_colsel_ff * 2f64.powi(k as i32);
+        let column_select_fj = 0.5 * self.vdd * self.vdd * self.c_colsel_ff * 2f64.powi(k as i32);
         // (5) sense amps on the accessed word.
         let sense_fj = self.e_sense_fj * self.word_bits as f64;
         MemoryAccessEnergy {

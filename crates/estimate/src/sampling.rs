@@ -9,12 +9,20 @@
 //! reported as work units so the survey's ~50x sampler speedup and the
 //! census-vs-adaptive bias numbers can be reproduced.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hlpower_rng::{par, Rng};
 
 use crate::macromodel::{CycleRecord, MacroModelError, ModuleHarness, TrainedMacroModel};
 use crate::stats::mean;
 
+/// Evaluates the macro-model over every record, sharded across the worker
+/// pool in contiguous slices. Slicing only changes *where* each
+/// prediction is computed, never its value or its position, so the
+/// returned vector is identical for any thread count.
+fn predict_all(model: &TrainedMacroModel, records: &[CycleRecord]) -> Vec<f64> {
+    par::map_slices(par::num_threads(), records, |slice| {
+        slice.iter().map(|r| model.predict_cycle_fj(r)).collect()
+    })
+}
 
 /// The co-simulation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,7 +90,7 @@ pub fn cosimulate(
     let reference = mean(&records.iter().map(|r| r.energy_fj).collect::<Vec<_>>());
     let (estimate, model_evals, gate_cycles) = match strategy {
         CosimStrategy::Census => {
-            let preds: Vec<f64> = records.iter().map(|r| model.predict_cycle_fj(r)).collect();
+            let preds = predict_all(model, records);
             (mean(&preds), records.len() as u64, 0)
         }
         CosimStrategy::Sampler { groups, group_size } => {
@@ -90,25 +98,28 @@ pub fn cosimulate(
             if records.len() < need {
                 return Err(MacroModelError::NotEnoughData { cycles: records.len() });
             }
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let mut group_means = Vec::with_capacity(groups);
-            let mut evals = 0u64;
-            for _ in 0..groups {
-                let start = rng.gen_range(0..records.len() - group_size);
+            // Group start positions are drawn serially from the seed (so
+            // the sample is independent of parallelism); the groups are
+            // then evaluated across the worker pool and their means
+            // reassembled in draw order.
+            let mut rng = Rng::seed_from_u64(seed);
+            let starts: Vec<usize> =
+                (0..groups).map(|_| rng.gen_range(0..records.len() - group_size)).collect();
+            let group_means = par::map(&starts, |_, &start| {
                 let preds: Vec<f64> = records[start..start + group_size]
                     .iter()
                     .map(|r| model.predict_cycle_fj(r))
                     .collect();
-                evals += group_size as u64;
-                group_means.push(mean(&preds));
-            }
+                mean(&preds)
+            });
+            let evals = (groups * group_size) as u64;
             (mean(&group_means), evals, 0)
         }
         CosimStrategy::Adaptive { gate_cycles } => {
             if records.len() < gate_cycles || gate_cycles == 0 {
                 return Err(MacroModelError::NotEnoughData { cycles: records.len() });
             }
-            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             // Calibration subsample: the gate-level power is *measured* on
             // these cycles (they come from the reference trace, which is
             // exactly what a gate-level simulator would produce). The
@@ -123,7 +134,7 @@ pub fn cosimulate(
                 pred_sum += model.predict_cycle_fj(&records[i]);
             }
             let r = true_sum / pred_sum.max(1e-9);
-            let preds: Vec<f64> = records.iter().map(|r| model.predict_cycle_fj(r)).collect();
+            let preds = predict_all(model, records);
             (r * mean(&preds), records.len() as u64, gate_cycles as u64)
         }
     };
@@ -185,13 +196,9 @@ mod tests {
     fn sampler_is_much_cheaper_with_small_error() {
         let (_, model, app) = setup();
         let census = cosimulate(&model, &app, CosimStrategy::Census, 1).unwrap();
-        let sampler = cosimulate(
-            &model,
-            &app,
-            CosimStrategy::Sampler { groups: 4, group_size: 30 },
-            7,
-        )
-        .unwrap();
+        let sampler =
+            cosimulate(&model, &app, CosimStrategy::Sampler { groups: 4, group_size: 30 }, 7)
+                .unwrap();
         let speedup = census.cost() / sampler.cost();
         assert!(speedup > 20.0, "speedup {speedup}");
         // Sampler vs census estimates agree within a few percent.
@@ -217,8 +224,13 @@ mod tests {
     #[test]
     fn strategies_validate_data_sizes() {
         let (_, model, app) = setup();
-        assert!(cosimulate(&model, &app[..10], CosimStrategy::Sampler { groups: 5, group_size: 30 }, 1)
-            .is_err());
+        assert!(cosimulate(
+            &model,
+            &app[..10],
+            CosimStrategy::Sampler { groups: 5, group_size: 30 },
+            1
+        )
+        .is_err());
         assert!(cosimulate(&model, &[], CosimStrategy::Census, 1).is_err());
     }
 

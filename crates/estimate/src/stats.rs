@@ -220,9 +220,8 @@ mod tests {
     #[test]
     fn least_squares_recovers_exact_coefficients() {
         // y = 2 x0 - 3 x1 + 1 (intercept as third column).
-        let rows: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![i as f64, (i * i % 7) as f64, 1.0])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![i as f64, (i * i % 7) as f64, 1.0]).collect();
         let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 1.0).collect();
         let b = least_squares(&rows, &y).unwrap();
         assert!((b[0] - 2.0).abs() < 1e-6);

@@ -1,21 +1,22 @@
 //! Property-based tests for the estimation stack: regression numerics,
-//! entropy bounds, and Quine-McCluskey cover invariants.
+//! entropy bounds, and Quine-McCluskey cover invariants. Runs on the
+//! in-tree [`hlpower_rng::check`] harness.
+
+use std::collections::BTreeSet;
 
 use hlpower_estimate::complexity::{essential_primes, greedy_cover, prime_implicants};
 use hlpower_estimate::entropy::{binary_entropy, mean_bit_entropy, word_entropy};
 use hlpower_estimate::stats::{least_squares, mean, rss, StreamStats};
-use proptest::prelude::*;
+use hlpower_rng::check::Check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Least squares exactly recovers noiseless linear models.
-    #[test]
-    fn least_squares_recovers_models(
-        c0 in -10.0f64..10.0, c1 in -10.0f64..10.0, c2 in -10.0f64..10.0,
-        seed in 0u64..1000,
-    ) {
-        let mut s = seed;
+/// Least squares exactly recovers noiseless linear models.
+#[test]
+fn least_squares_recovers_models() {
+    Check::new("least_squares_recovers_models").cases(48).run(|rng| {
+        let c0 = rng.gen_range(-10.0..10.0);
+        let c1 = rng.gen_range(-10.0..10.0);
+        let c2 = rng.gen_range(-10.0..10.0);
+        let mut s = rng.gen_range(0u64..1000);
         let mut next = || {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
@@ -23,83 +24,107 @@ proptest! {
         let rows: Vec<Vec<f64>> = (0..40).map(|_| vec![next(), next(), 1.0]).collect();
         let y: Vec<f64> = rows.iter().map(|r| c0 * r[0] + c1 * r[1] + c2).collect();
         let coefs = least_squares(&rows, &y).expect("well-posed");
-        prop_assert!((coefs[0] - c0).abs() < 1e-6);
-        prop_assert!((coefs[1] - c1).abs() < 1e-6);
-        prop_assert!((coefs[2] - c2).abs() < 1e-5);
-        prop_assert!(rss(&rows, &y, &coefs) < 1e-9);
-    }
+        assert!((coefs[0] - c0).abs() < 1e-6);
+        assert!((coefs[1] - c1).abs() < 1e-6);
+        assert!((coefs[2] - c2).abs() < 1e-5);
+        assert!(rss(&rows, &y, &coefs) < 1e-9);
+    });
+}
 
-    /// Binary entropy is bounded by 1 bit and symmetric around 1/2.
-    #[test]
-    fn binary_entropy_properties(p in 0.0f64..1.0) {
+/// Binary entropy is bounded by 1 bit and symmetric around 1/2.
+#[test]
+fn binary_entropy_properties() {
+    Check::new("binary_entropy_properties").cases(48).run(|rng| {
+        let p = rng.gen_range(0.0..1.0);
         let h = binary_entropy(p);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
-        prop_assert!((h - binary_entropy(1.0 - p)).abs() < 1e-9);
-    }
+        assert!((0.0..=1.0 + 1e-12).contains(&h));
+        assert!((h - binary_entropy(1.0 - p)).abs() < 1e-9);
+    });
+}
 
-    /// Word entropy is at most the sum of bit entropies (independence
-    /// bound) and at most log2 of the sample count.
-    #[test]
-    fn word_entropy_bounds(words in proptest::collection::vec(0u64..16, 4..200)) {
-        let vectors: Vec<Vec<bool>> = words
-            .iter()
-            .map(|&w| (0..4).map(|i| (w >> i) & 1 == 1).collect())
+/// Word entropy is at most the sum of bit entropies (independence
+/// bound) and at most log2 of the sample count.
+#[test]
+fn word_entropy_bounds() {
+    Check::new("word_entropy_bounds").cases(48).run(|rng| {
+        let len = rng.gen_range(4usize..200);
+        let vectors: Vec<Vec<bool>> = (0..len)
+            .map(|_| {
+                let w = rng.gen_range(0u64..16);
+                (0..4).map(|i| (w >> i) & 1 == 1).collect()
+            })
             .collect();
         let h = word_entropy(&vectors);
         let stats = StreamStats::collect(&vectors);
         let bit_sum = mean_bit_entropy(&stats) * 4.0;
-        prop_assert!(h <= bit_sum + 1e-9, "{h} > {bit_sum}");
-        prop_assert!(h <= (vectors.len() as f64).log2() + 1e-9);
-        prop_assert!(h >= -1e-12);
-    }
+        assert!(h <= bit_sum + 1e-9, "{h} > {bit_sum}");
+        assert!(h <= (vectors.len() as f64).log2() + 1e-9);
+        assert!(h >= -1e-12);
+    });
+}
 
-    /// Stream statistics are valid probabilities, and mean activity of an
-    /// iid stream is bounded by half its entropy (the §II-B1 bound).
-    #[test]
-    fn activity_entropy_bound(words in proptest::collection::vec(0u64..256, 100..400)) {
-        let vectors: Vec<Vec<bool>> = words
-            .iter()
-            .map(|&w| (0..8).map(|i| (w >> i) & 1 == 1).collect())
+/// Stream statistics are valid probabilities, and mean activity of an
+/// iid stream is bounded by half its entropy (the §II-B1 bound).
+#[test]
+fn activity_entropy_bound() {
+    Check::new("activity_entropy_bound").cases(48).run(|rng| {
+        let len = rng.gen_range(100usize..400);
+        let vectors: Vec<Vec<bool>> = (0..len)
+            .map(|_| {
+                let w = rng.gen_range(0u64..256);
+                (0..8).map(|i| (w >> i) & 1 == 1).collect()
+            })
             .collect();
         let stats = StreamStats::collect(&vectors);
         for (&p, &a) in stats.bit_probs.iter().zip(&stats.bit_activities) {
-            prop_assert!((0.0..=1.0).contains(&p));
-            prop_assert!((0.0..=1.0).contains(&a));
+            assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&a));
         }
         // iid-sampled words: empirical activity <= h/2 + sampling slack.
         let h = mean_bit_entropy(&stats);
-        prop_assert!(stats.mean_activity() <= h / 2.0 + 0.1);
-    }
+        assert!(stats.mean_activity() <= h / 2.0 + 0.1);
+    });
+}
 
-    /// Quine-McCluskey invariants: primes cover the on-set exactly,
-    /// essential primes are a subset, and the greedy cover is sound and
-    /// complete.
-    #[test]
-    fn qm_cover_invariants(on_bits in proptest::collection::btree_set(0u32..64, 1..40)) {
+/// Quine-McCluskey invariants: primes cover the on-set exactly,
+/// essential primes are a subset, and the greedy cover is sound and
+/// complete.
+#[test]
+fn qm_cover_invariants() {
+    Check::new("qm_cover_invariants").cases(48).run(|rng| {
+        let target = rng.gen_range(1usize..40);
+        let mut on_bits = BTreeSet::new();
+        while on_bits.len() < target {
+            on_bits.insert(rng.gen_range(0u32..64));
+        }
         let on: Vec<u32> = on_bits.into_iter().collect();
         let n = 6;
         let primes = prime_implicants(n, &on);
         for m in 0..(1u32 << n) {
             let covered = primes.iter().any(|p| p.covers(m));
-            prop_assert_eq!(covered, on.contains(&m), "prime cover wrong at {}", m);
+            assert_eq!(covered, on.contains(&m), "prime cover wrong at {}", m);
         }
         let ess = essential_primes(n, &on, &primes);
         for e in &ess {
-            prop_assert!(primes.contains(e));
+            assert!(primes.contains(e));
         }
         let cover = greedy_cover(n, &on);
         for m in 0..(1u32 << n) {
             let covered = cover.iter().any(|p| p.covers(m));
-            prop_assert_eq!(covered, on.contains(&m), "greedy cover wrong at {}", m);
+            assert_eq!(covered, on.contains(&m), "greedy cover wrong at {}", m);
         }
-        prop_assert!(cover.len() <= on.len());
-    }
+        assert!(cover.len() <= on.len());
+    });
+}
 
-    /// The mean helper matches the definition.
-    #[test]
-    fn mean_matches_definition(xs in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+/// The mean helper matches the definition.
+#[test]
+fn mean_matches_definition() {
+    Check::new("mean_matches_definition").cases(48).run(|rng| {
+        let len = rng.gen_range(1usize..50);
+        let xs: Vec<f64> = (0..len).map(|_| rng.gen_range(-100.0..100.0)).collect();
         let m = mean(&xs);
         let expect = xs.iter().sum::<f64>() / xs.len() as f64;
-        prop_assert!((m - expect).abs() < 1e-9);
-    }
+        assert!((m - expect).abs() < 1e-9);
+    });
 }

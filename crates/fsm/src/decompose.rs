@@ -53,9 +53,7 @@ pub fn decompose(stg: &Stg, markov: &MarkovAnalysis) -> Decomposition {
     // states.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        markov.state_probs[b]
-            .partial_cmp(&markov.state_probs[a])
-            .expect("finite probabilities")
+        markov.state_probs[b].partial_cmp(&markov.state_probs[a]).expect("finite probabilities")
     });
     let top = &order[..n.min(6)];
     let mut seeds = (top[0], *top.last().expect("nonempty"));

@@ -7,8 +7,7 @@
 //! search seeded from an existing assignment (the "reencoding" problem for
 //! already-encoded large machines).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hlpower_rng::Rng;
 
 use crate::markov::MarkovAnalysis;
 use crate::stg::{FsmError, Stg};
@@ -81,7 +80,7 @@ impl Encoding {
     /// Random minimum-width assignment.
     pub fn random(stg: &Stg, seed: u64) -> Self {
         let bits = min_bits(stg.state_count());
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut pool: Vec<u64> = (0..(1u64 << bits)).collect();
         // Fisher-Yates shuffle, take the first `n`.
         for i in (1..pool.len()).rev() {
@@ -99,9 +98,7 @@ impl Encoding {
             EncodingStrategy::Gray => Encoding::gray(stg),
             EncodingStrategy::OneHot => Encoding::one_hot(stg),
             EncodingStrategy::Random(seed) => Encoding::random(stg, seed),
-            EncodingStrategy::LowPower(seed) => {
-                Encoding::binary(stg).re_encode(stg, markov, seed)
-            }
+            EncodingStrategy::LowPower(seed) => Encoding::binary(stg).re_encode(stg, markov, seed),
         }
     }
 
@@ -110,7 +107,7 @@ impl Encoding {
     /// Only minimum-width (non-one-hot) encodings are searched; the code
     /// width is preserved.
     pub fn re_encode(&self, stg: &Stg, markov: &MarkovAnalysis, seed: u64) -> Encoding {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let q = markov.joint_transition_probs(stg);
         let n = stg.state_count();
         // Candidate code pool: all codes of this width (swap with unused
@@ -264,9 +261,7 @@ mod tests {
         let m = MarkovAnalysis::uniform(&stg);
         let start = Encoding::binary(&stg);
         let improved = start.re_encode(&stg, &m, 3);
-        assert!(
-            m.expected_switching(&stg, &improved) <= m.expected_switching(&stg, &start) + 1e-9
-        );
+        assert!(m.expected_switching(&stg, &improved) <= m.expected_switching(&stg, &start) + 1e-9);
         assert_eq!(improved.bits(), start.bits());
     }
 }

@@ -1,8 +1,7 @@
 //! FSM generators: seeded random machines and small hand-built controllers
 //! used across the experiments.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hlpower_rng::Rng;
 
 use crate::stg::Stg;
 
@@ -13,7 +12,7 @@ use crate::stg::Stg;
 /// indices preferred) so the machines are sparse in the Tyagi sense, like
 /// real controllers.
 pub fn random_stg(input_bits: usize, states: usize, output_bits: usize, seed: u64) -> Stg {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5f3759df);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5f3759df);
     let mut stg = Stg::with_outputs(input_bits, output_bits);
     for i in 0..states {
         stg.add_state(format!("s{i}"));
@@ -28,7 +27,7 @@ pub fn random_stg(input_bits: usize, states: usize, output_bits: usize, seed: u6
             } else {
                 rng.gen_range(0..states)
             };
-            let output = rng.gen::<u64>() & out_mask;
+            let output = rng.next_u64() & out_mask;
             stg.set_transition(s, w, next, output);
         }
     }

@@ -109,9 +109,7 @@ pub fn parse_kiss2(text: &str) -> Result<Stg, KissError> {
     let mut stg = Stg::with_outputs(in_bits, out_bits);
     let mut index: HashMap<String, usize> = HashMap::new();
     let state_of = |stg: &mut Stg, name: &str, index: &mut HashMap<String, usize>| {
-        *index
-            .entry(name.to_string())
-            .or_insert_with(|| stg.add_state(name.to_string()))
+        *index.entry(name.to_string()).or_insert_with(|| stg.add_state(name.to_string()))
     };
     for (lineno, in_pat, src, dst, out_pat) in &transitions {
         if in_pat.len() != in_bits {
@@ -142,10 +140,8 @@ pub fn parse_kiss2(text: &str) -> Result<Stg, KissError> {
 }
 
 fn parse_num(val: Option<&str>, line: usize) -> Result<usize, KissError> {
-    val.and_then(|v| v.parse().ok()).ok_or_else(|| KissError::Malformed {
-        line,
-        reason: "expected a number".to_string(),
-    })
+    val.and_then(|v| v.parse().ok())
+        .ok_or_else(|| KissError::Malformed { line, reason: "expected a number".to_string() })
 }
 
 /// KISS2 patterns are MSB-first; returns the word with bit 0 = last char.

@@ -23,24 +23,23 @@
 //! ```
 
 #![warn(missing_docs)]
-
 // Matrix- and table-style numerics read more clearly with explicit index
 // loops; silence clippy's iterator-style suggestion for them.
 #![allow(clippy::needless_range_loop)]
 
-mod stg;
-mod markov;
-mod encode;
-mod minimize;
-mod synth;
 mod bounds;
 pub mod decompose;
+mod encode;
 pub mod generators;
 pub mod kiss;
+mod markov;
+mod minimize;
+mod stg;
+mod synth;
 
-pub use stg::{FsmError, Stg};
-pub use markov::MarkovAnalysis;
-pub use encode::{Encoding, EncodingStrategy};
-pub use minimize::minimize_states;
-pub use synth::{synthesize, FsmCircuit};
 pub use bounds::{tyagi_bound, TyagiBoundReport};
+pub use encode::{Encoding, EncodingStrategy};
+pub use markov::MarkovAnalysis;
+pub use minimize::minimize_states;
+pub use stg::{FsmError, Stg};
+pub use synth::{synthesize, FsmCircuit};

@@ -47,8 +47,7 @@ impl MarkovAnalysis {
         let mut a = vec![vec![0.0f64; n + 1]; n];
         for i in 0..n {
             for j in 0..n {
-                a[i][j] = damp * p[j][i] - if i == j { 1.0 } else { 0.0 }
-                    + (1.0 - damp) / n as f64;
+                a[i][j] = damp * p[j][i] - if i == j { 1.0 } else { 0.0 } + (1.0 - damp) / n as f64;
             }
         }
         for j in 0..n {

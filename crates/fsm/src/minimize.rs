@@ -40,9 +40,8 @@ pub fn minimize_states(stg: &Stg) -> (Stg, Vec<usize>) {
         let mut new_class = vec![0usize; n];
         let mut canon: Vec<(usize, Vec<usize>)> = Vec::new();
         for s in 0..n {
-            let succ: Vec<usize> = (0..symbols)
-                .map(|w| class[stg.next(s, w as u64).expect("in range")])
-                .collect();
+            let succ: Vec<usize> =
+                (0..symbols).map(|w| class[stg.next(s, w as u64).expect("in range")]).collect();
             let key = (class[s], succ);
             if let Some(i) = canon.iter().position(|c| *c == key) {
                 new_class[s] = i;
@@ -141,12 +140,7 @@ mod tests {
         // Two states with identical outputs but successors that differ
         // only two steps later.
         let mut stg = Stg::new(1);
-        let s = [
-            stg.add_state("p"),
-            stg.add_state("q"),
-            stg.add_state("x"),
-            stg.add_state("y"),
-        ];
+        let s = [stg.add_state("p"), stg.add_state("q"), stg.add_state("x"), stg.add_state("y")];
         // p -> x, q -> y (same outputs); x outputs 0, y outputs 1 on input 1.
         for w in 0..2u64 {
             stg.set_transition(s[0], w, s[2], 0);

@@ -130,8 +130,8 @@ mod tests {
     fn check_equivalence(stg: &Stg, enc: &Encoding, steps: usize, seed: u64) {
         let circuit = synthesize(stg, enc).unwrap();
         let mut sim = ZeroDelaySim::new(&circuit.netlist).unwrap();
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        use hlpower_rng::Rng;
+        let mut rng = Rng::seed_from_u64(seed);
         let words: Vec<u64> =
             (0..steps).map(|_| rng.gen_range(0..stg.symbol_count() as u64)).collect();
         let (_, expected_outputs) = stg.simulate(&words).unwrap();

@@ -1,34 +1,42 @@
 //! Property-based tests: minimization preserves observable behavior,
 //! synthesis is I/O-equivalent to the STG, and Markov/encoding invariants
-//! hold on random machines.
+//! hold on random machines. Runs on the in-tree [`hlpower_rng::check`]
+//! harness.
 
 use hlpower_fsm::kiss::{parse_kiss2, to_kiss2};
-use hlpower_fsm::{
-    generators, minimize_states, synthesize, tyagi_bound, Encoding, MarkovAnalysis,
-};
+use hlpower_fsm::{generators, minimize_states, synthesize, tyagi_bound, Encoding, MarkovAnalysis};
 use hlpower_netlist::{words, ZeroDelaySim};
-use proptest::prelude::*;
+use hlpower_rng::check::Check;
+use hlpower_rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_inputs(rng: &mut Rng, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_range(1usize..max_len);
+    (0..len).map(|_| rng.gen_range(0u64..4)).collect()
+}
 
-    /// Minimization never grows the machine and preserves the output
-    /// sequence on random input words.
-    #[test]
-    fn minimize_preserves_io(seed in 0u64..500, states in 2usize..14,
-                             inputs in proptest::collection::vec(0u64..4, 1..120)) {
+/// Minimization never grows the machine and preserves the output
+/// sequence on random input words.
+#[test]
+fn minimize_preserves_io() {
+    Check::new("minimize_preserves_io").cases(32).run(|rng| {
+        let seed = rng.gen_range(0u64..500);
+        let states = rng.gen_range(2usize..14);
+        let inputs = random_inputs(rng, 120);
         let stg = generators::random_stg(2, states, 2, seed);
         let (min, _) = minimize_states(&stg);
-        prop_assert!(min.state_count() <= stg.state_count());
+        assert!(min.state_count() <= stg.state_count());
         let (_, out1) = stg.simulate(&inputs).expect("in range");
         let (_, out2) = min.simulate(&inputs).expect("in range");
-        prop_assert_eq!(out1, out2);
-    }
+        assert_eq!(out1, out2);
+    });
+}
 
-    /// Synthesized netlists are sequentially equivalent to the STG.
-    #[test]
-    fn synthesis_is_io_equivalent(seed in 0u64..200,
-                                  inputs in proptest::collection::vec(0u64..4, 1..60)) {
+/// Synthesized netlists are sequentially equivalent to the STG.
+#[test]
+fn synthesis_is_io_equivalent() {
+    Check::new("synthesis_is_io_equivalent").cases(32).run(|rng| {
+        let seed = rng.gen_range(0u64..200);
+        let inputs = random_inputs(rng, 60);
         let stg = generators::random_stg(2, 5, 2, seed);
         let enc = Encoding::binary(&stg);
         let circuit = synthesize(&stg, &enc).expect("valid");
@@ -37,76 +45,96 @@ proptest! {
         for (i, &w) in inputs.iter().enumerate() {
             sim.step(&words::to_bits(w, 2)).expect("width");
             let got = words::from_bits(&sim.output_values());
-            prop_assert_eq!(got, expected[i], "step {}", i);
+            assert_eq!(got, expected[i], "step {}", i);
         }
-    }
+    });
+}
 
-    /// Steady-state probabilities form a distribution and joint transition
-    /// probabilities sum to one.
-    #[test]
-    fn markov_invariants(seed in 0u64..500, states in 2usize..20) {
+/// Steady-state probabilities form a distribution and joint transition
+/// probabilities sum to one.
+#[test]
+fn markov_invariants() {
+    Check::new("markov_invariants").cases(32).run(|rng| {
+        let seed = rng.gen_range(0u64..500);
+        let states = rng.gen_range(2usize..20);
         let stg = generators::random_stg(2, states, 1, seed);
         let m = MarkovAnalysis::uniform(&stg);
         let total: f64 = m.state_probs.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
-        prop_assert!(m.state_probs.iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(m.state_probs.iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
         let q: f64 = m.joint_transition_probs(&stg).iter().flatten().sum();
-        prop_assert!((q - 1.0).abs() < 1e-6);
+        assert!((q - 1.0).abs() < 1e-6);
         let sl = m.self_loop_probability(&stg);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&sl));
-    }
+        assert!((0.0..=1.0 + 1e-9).contains(&sl));
+    });
+}
 
-    /// Every stock encoding assigns distinct codes, and expected switching
-    /// is nonnegative and at most the code width.
-    #[test]
-    fn encoding_invariants(seed in 0u64..300, states in 2usize..16) {
+/// Every stock encoding assigns distinct codes, and expected switching
+/// is nonnegative and at most the code width.
+#[test]
+fn encoding_invariants() {
+    Check::new("encoding_invariants").cases(32).run(|rng| {
+        let seed = rng.gen_range(0u64..300);
+        let states = rng.gen_range(2usize..16);
         let stg = generators::random_stg(1, states, 1, seed);
         let m = MarkovAnalysis::uniform(&stg);
-        for enc in [Encoding::binary(&stg), Encoding::gray(&stg), Encoding::one_hot(&stg),
-                    Encoding::random(&stg, seed)] {
+        for enc in [
+            Encoding::binary(&stg),
+            Encoding::gray(&stg),
+            Encoding::one_hot(&stg),
+            Encoding::random(&stg, seed),
+        ] {
             let mut seen = std::collections::HashSet::new();
             for s in 0..states {
-                prop_assert!(seen.insert(enc.code(s)), "duplicate code");
+                assert!(seen.insert(enc.code(s)), "duplicate code");
             }
             let e = m.expected_switching(&stg, &enc);
-            prop_assert!(e >= 0.0);
-            prop_assert!(e <= enc.bits() as f64 + 1e-9);
+            assert!(e >= 0.0);
+            assert!(e <= enc.bits() as f64 + 1e-9);
         }
-    }
+    });
+}
 
-    /// Tyagi's bound holds on random machines for random encodings.
-    #[test]
-    fn tyagi_bound_holds(seed in 0u64..300, states in 4usize..24) {
+/// Tyagi's bound holds on random machines for random encodings.
+#[test]
+fn tyagi_bound_holds() {
+    Check::new("tyagi_bound_holds").cases(32).run(|rng| {
+        let seed = rng.gen_range(0u64..300);
+        let states = rng.gen_range(4usize..24);
         let stg = generators::random_stg(2, states, 1, seed);
         let m = MarkovAnalysis::uniform(&stg);
         let enc = Encoding::random(&stg, seed ^ 0xABCD);
-        prop_assert!(tyagi_bound(&stg, &m, &enc).holds());
-    }
+        assert!(tyagi_bound(&stg, &m, &enc).holds());
+    });
+}
 
-    /// KISS2 serialization round-trips machine behavior for any random
-    /// machine and any input sequence.
-    #[test]
-    fn kiss2_round_trip(seed in 0u64..300, states in 1usize..12,
-                        inputs in proptest::collection::vec(0u64..4, 1..80)) {
+/// KISS2 serialization round-trips machine behavior for any random
+/// machine and any input sequence.
+#[test]
+fn kiss2_round_trip() {
+    Check::new("kiss2_round_trip").cases(32).run(|rng| {
+        let seed = rng.gen_range(0u64..300);
+        let states = rng.gen_range(1usize..12);
+        let inputs = random_inputs(rng, 80);
         let stg = generators::random_stg(2, states, 2, seed);
         let text = to_kiss2(&stg);
         let back = parse_kiss2(&text).expect("well-formed output");
-        prop_assert_eq!(back.state_count(), stg.state_count());
+        assert_eq!(back.state_count(), stg.state_count());
         let (_, o1) = stg.simulate(&inputs).expect("in range");
         let (_, o2) = back.simulate(&inputs).expect("in range");
-        prop_assert_eq!(o1, o2);
-    }
+        assert_eq!(o1, o2);
+    });
+}
 
-    /// Low-power re-encoding never increases the cost metric it optimizes.
-    #[test]
-    fn reencoding_monotone(seed in 0u64..100) {
+/// Low-power re-encoding never increases the cost metric it optimizes.
+#[test]
+fn reencoding_monotone() {
+    Check::new("reencoding_monotone").cases(32).run(|rng| {
+        let seed = rng.gen_range(0u64..100);
         let stg = generators::random_stg(2, 10, 1, seed);
         let m = MarkovAnalysis::uniform(&stg);
         let start = Encoding::binary(&stg);
         let improved = start.re_encode(&stg, &m, seed);
-        prop_assert!(
-            m.expected_switching(&stg, &improved)
-                <= m.expected_switching(&stg, &start) + 1e-9
-        );
-    }
+        assert!(m.expected_switching(&stg, &improved) <= m.expected_switching(&stg, &start) + 1e-9);
+    });
 }

@@ -29,12 +29,7 @@ pub struct TimedActivity {
 impl TimedActivity {
     /// Total number of glitch transitions across the circuit.
     pub fn total_glitches(&self) -> u64 {
-        self.activity
-            .toggles
-            .iter()
-            .zip(&self.functional)
-            .map(|(&t, &f)| t - f)
-            .sum()
+        self.activity.toggles.iter().zip(&self.functional).map(|(&t, &f)| t - f).sum()
     }
 
     /// Glitch transitions on one node.

@@ -10,8 +10,7 @@
 //! All word-level generators use least-significant-bit-first buses and
 //! two's-complement modulo arithmetic at the declared output width.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hlpower_rng::Rng;
 
 use crate::library::GateKind;
 use crate::netlist::{Bus, Netlist, NodeId};
@@ -255,16 +254,10 @@ pub fn random_logic(
     n_gates: usize,
     n_outputs: usize,
 ) -> Vec<NodeId> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut pool: Vec<NodeId> = (0..n_inputs).map(|i| nl.input(format!("x[{i}]"))).collect();
-    let kinds = [
-        GateKind::And,
-        GateKind::Or,
-        GateKind::Nand,
-        GateKind::Nor,
-        GateKind::Xor,
-        GateKind::Xnor,
-    ];
+    let kinds =
+        [GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor, GateKind::Xor, GateKind::Xnor];
     let mut gates = Vec::with_capacity(n_gates);
     for _ in 0..n_gates {
         let kind = kinds[rng.gen_range(0..kinds.len())];
@@ -296,14 +289,10 @@ pub fn random_logic(
 ///
 /// Nodes are attributed to Table I's component groups: `execution units`,
 /// `registers/clock`, and `interconnect` (inter-stage buffers).
-pub fn fir_filter(
-    nl: &mut Netlist,
-    x: &[NodeId],
-    coeffs: &[u64],
-    shift_add: bool,
-) -> Bus {
+pub fn fir_filter(nl: &mut Netlist, x: &[NodeId], coeffs: &[u64], shift_add: bool) -> Bus {
     let w = x.len();
-    let max_coef_bits = coeffs.iter().map(|&c| (64 - c.leading_zeros()) as usize).max().unwrap_or(1).max(1);
+    let max_coef_bits =
+        coeffs.iter().map(|&c| (64 - c.leading_zeros()) as usize).max().unwrap_or(1).max(1);
     let acc_w = w + max_coef_bits + coeffs.len().next_power_of_two().trailing_zeros() as usize + 1;
 
     // Delay line.
@@ -331,9 +320,8 @@ pub fn fir_filter(
                     // hardware is built in full, as an unoptimized RTL
                     // library instantiation would.
                     let cbits = 64 - c.leading_zeros() as usize;
-                    let cb: Bus = (0..cbits.max(1))
-                        .map(|i| nl.constant((c >> i) & 1 == 1))
-                        .collect();
+                    let cb: Bus =
+                        (0..cbits.max(1)).map(|i| nl.constant((c >> i) & 1 == 1)).collect();
                     let p = array_multiplier(nl, tap, &cb);
                     zero_extend(nl, &p, acc_w)
                 }
@@ -348,7 +336,8 @@ pub fn fir_filter(
         let mut it = layer.chunks(2);
         for pair in &mut it {
             if pair.len() == 2 {
-                let s = nl.with_group("execution units", |nl| add_mod(nl, &pair[0], &pair[1], acc_w));
+                let s =
+                    nl.with_group("execution units", |nl| add_mod(nl, &pair[0], &pair[1], acc_w));
                 let buffered: Bus =
                     nl.with_group("interconnect", |nl| s.iter().map(|&b| nl.buf(b)).collect());
                 next.push(buffered);
@@ -428,11 +417,7 @@ mod tests {
     #[test]
     fn csd_digits_reconstruct_value() {
         for k in [1u64, 2, 3, 7, 11, 15, 23, 100, 255, 1000, 0xABCD] {
-            let val: i128 = csd_digits(k)
-                .iter()
-                .enumerate()
-                .map(|(i, &d)| (d as i128) << i)
-                .sum();
+            let val: i128 = csd_digits(k).iter().enumerate().map(|(i, &d)| (d as i128) << i).sum();
             assert_eq!(val, k as i128, "k = {k}");
         }
     }

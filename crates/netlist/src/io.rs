@@ -76,9 +76,7 @@ pub fn write_netlist(nl: &Netlist) -> String {
     for id in nl.node_ids() {
         match nl.kind(id) {
             NodeKind::Input => out.push_str(&format!("input {}\n", name_of(id))),
-            NodeKind::Const(v) => {
-                out.push_str(&format!("const {} {}\n", name_of(id), *v as u8))
-            }
+            NodeKind::Const(v) => out.push_str(&format!("const {} {}\n", name_of(id), *v as u8)),
             NodeKind::Gate { kind, inputs } => {
                 out.push_str(&format!("gate {} {}", name_of(id), kind.name()));
                 for i in inputs {
@@ -205,10 +203,9 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
         }
     }
     for (lineno, q, dname) in dff_fixups {
-        let d = *names.get(&dname).ok_or(ParseNetlistError::UnknownName {
-            line: lineno,
-            name: dname,
-        })?;
+        let d = *names
+            .get(&dname)
+            .ok_or(ParseNetlistError::UnknownName { line: lineno, name: dname })?;
         nl.connect_dff_d(q, d);
     }
     Ok(nl)

@@ -34,30 +34,32 @@
 //! ```
 
 #![warn(missing_docs)]
-
 // Matrix- and table-style numerics read more clearly with explicit index
 // loops; silence clippy's iterator-style suggestion for them.
 #![allow(clippy::needless_range_loop)]
 
 mod error;
-mod library;
-mod netlist;
-mod sim;
 mod event;
-mod power;
-mod prob;
-mod montecarlo;
 pub mod gen;
 pub mod io;
+mod library;
+mod montecarlo;
+mod netlist;
+mod power;
+mod prob;
+mod sim;
 pub mod streams;
 pub mod words;
 
 pub use error::NetlistError;
-pub use library::{GateKind, Library};
-pub use netlist::{Bus, GroupId, Netlist, NodeId, NodeKind};
-pub use sim::{Activity, ZeroDelaySim};
 pub use event::{EventDrivenSim, TimedActivity};
+pub use io::{parse_netlist, write_netlist, ParseNetlistError};
+pub use library::{GateKind, Library};
+pub use montecarlo::{
+    monte_carlo_power, monte_carlo_power_seeded, monte_carlo_power_seeded_threads,
+    MonteCarloOptions, MonteCarloResult,
+};
+pub use netlist::{Bus, GroupId, Netlist, NodeId, NodeKind};
 pub use power::{GroupPower, PowerReport};
 pub use prob::{ProbabilityAnalysis, SignalStats};
-pub use io::{parse_netlist, write_netlist, ParseNetlistError};
-pub use montecarlo::{monte_carlo_power, MonteCarloOptions, MonteCarloResult};
+pub use sim::{Activity, ZeroDelaySim};

@@ -207,23 +207,77 @@ impl Default for Library {
         // Index order must match the GateKind discriminants.
         let params = [
             // Buf
-            CellParams { input_cap_ff: 4.0, internal_energy_fj: 2.0, delay_ps: 80.0, delay_per_fanin_ps: 0.0, area_gates: 1.0 },
+            CellParams {
+                input_cap_ff: 4.0,
+                internal_energy_fj: 2.0,
+                delay_ps: 80.0,
+                delay_per_fanin_ps: 0.0,
+                area_gates: 1.0,
+            },
             // Not
-            CellParams { input_cap_ff: 3.0, internal_energy_fj: 1.5, delay_ps: 50.0, delay_per_fanin_ps: 0.0, area_gates: 0.5 },
+            CellParams {
+                input_cap_ff: 3.0,
+                internal_energy_fj: 1.5,
+                delay_ps: 50.0,
+                delay_per_fanin_ps: 0.0,
+                area_gates: 0.5,
+            },
             // And
-            CellParams { input_cap_ff: 4.5, internal_energy_fj: 3.0, delay_ps: 90.0, delay_per_fanin_ps: 20.0, area_gates: 1.25 },
+            CellParams {
+                input_cap_ff: 4.5,
+                internal_energy_fj: 3.0,
+                delay_ps: 90.0,
+                delay_per_fanin_ps: 20.0,
+                area_gates: 1.25,
+            },
             // Or
-            CellParams { input_cap_ff: 4.5, internal_energy_fj: 3.0, delay_ps: 95.0, delay_per_fanin_ps: 20.0, area_gates: 1.25 },
+            CellParams {
+                input_cap_ff: 4.5,
+                internal_energy_fj: 3.0,
+                delay_ps: 95.0,
+                delay_per_fanin_ps: 20.0,
+                area_gates: 1.25,
+            },
             // Nand
-            CellParams { input_cap_ff: 4.0, internal_energy_fj: 2.5, delay_ps: 70.0, delay_per_fanin_ps: 18.0, area_gates: 1.0 },
+            CellParams {
+                input_cap_ff: 4.0,
+                internal_energy_fj: 2.5,
+                delay_ps: 70.0,
+                delay_per_fanin_ps: 18.0,
+                area_gates: 1.0,
+            },
             // Nor
-            CellParams { input_cap_ff: 4.0, internal_energy_fj: 2.5, delay_ps: 75.0, delay_per_fanin_ps: 22.0, area_gates: 1.0 },
+            CellParams {
+                input_cap_ff: 4.0,
+                internal_energy_fj: 2.5,
+                delay_ps: 75.0,
+                delay_per_fanin_ps: 22.0,
+                area_gates: 1.0,
+            },
             // Xor
-            CellParams { input_cap_ff: 6.0, internal_energy_fj: 5.0, delay_ps: 130.0, delay_per_fanin_ps: 35.0, area_gates: 2.5 },
+            CellParams {
+                input_cap_ff: 6.0,
+                internal_energy_fj: 5.0,
+                delay_ps: 130.0,
+                delay_per_fanin_ps: 35.0,
+                area_gates: 2.5,
+            },
             // Xnor
-            CellParams { input_cap_ff: 6.0, internal_energy_fj: 5.0, delay_ps: 135.0, delay_per_fanin_ps: 35.0, area_gates: 2.5 },
+            CellParams {
+                input_cap_ff: 6.0,
+                internal_energy_fj: 5.0,
+                delay_ps: 135.0,
+                delay_per_fanin_ps: 35.0,
+                area_gates: 2.5,
+            },
             // Mux
-            CellParams { input_cap_ff: 5.0, internal_energy_fj: 4.0, delay_ps: 110.0, delay_per_fanin_ps: 0.0, area_gates: 2.0 },
+            CellParams {
+                input_cap_ff: 5.0,
+                internal_energy_fj: 4.0,
+                delay_ps: 110.0,
+                delay_per_fanin_ps: 0.0,
+                area_gates: 2.0,
+            },
         ];
         Library {
             vdd: 3.3,

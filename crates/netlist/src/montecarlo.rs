@@ -1,12 +1,86 @@
 //! Monte-Carlo average-power estimation with confidence intervals (survey
-//! reference 32, Burch et al.) and simple batching.
+//! reference 32, Burch et al.), batching, and a deterministic parallel
+//! engine.
+//!
+//! Two entry points:
+//!
+//! * [`monte_carlo_power`] — the classic serial form: one simulator
+//!   instance consumes an arbitrary input-vector iterator, one power
+//!   sample per batch, normal-approximation stopping rule.
+//! * [`monte_carlo_power_seeded`] — the parallel form: every batch gets
+//!   its own simulator and its own RNG stream, *split by batch index* from
+//!   a root seed ([`hlpower_rng::Rng::split`]). Batches are sharded across
+//!   a scoped worker pool in fixed-size waves, and the stopping rule is
+//!   applied in batch-index order, so the result is **bit-identical for
+//!   any thread count** — `threads = 1` and `threads = 64` return the
+//!   same `MonteCarloResult`, exactly.
+//!
+//! The two forms are statistically equivalent but not bit-compatible with
+//! each other: the seeded engine restarts the simulator per batch (batches
+//! must be independent to parallelize), while the serial engine carries
+//! simulator state across batches.
+
+use hlpower_rng::{par, Rng};
 
 use crate::error::NetlistError;
 use crate::library::Library;
 use crate::netlist::Netlist;
 use crate::sim::ZeroDelaySim;
 
+/// Batches dispatched per scheduling wave of the parallel engine.
+///
+/// The wave size is a fixed constant — *never* derived from the worker
+/// count — because the set of batches simulated ahead of the stopping
+/// check must not depend on parallelism for results to be bit-identical
+/// across thread counts.
+const WAVE: usize = 16;
+
 /// Options controlling a Monte-Carlo power-estimation run.
+///
+/// # Batching and stopping contract
+///
+/// Simulation proceeds in batches of [`batch_cycles`](Self::batch_cycles)
+/// cycles; each batch contributes one power sample. After at least 5
+/// samples, the run stops as soon as the two-sided normal-approximation
+/// confidence interval (multiplier [`z`](Self::z)) has half-width below
+/// [`target_relative_error`](Self::target_relative_error) × mean, or
+/// unconditionally after [`max_batches`](Self::max_batches) batches. The
+/// returned [`MonteCarloResult`] reports the achieved half-width so the
+/// caller can check which stop fired:
+///
+/// ```
+/// use hlpower_netlist::{gen, streams, Library, Netlist};
+/// use hlpower_netlist::{monte_carlo_power, MonteCarloOptions};
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.input_bus("a", 8);
+/// let b = nl.input_bus("b", 8);
+/// let c0 = nl.constant(false);
+/// let s = gen::ripple_adder(&mut nl, &a, &b, c0);
+/// nl.output_bus("s", &s);
+///
+/// let opts = MonteCarloOptions {
+///     batch_cycles: 100,          // 100 cycles -> one power sample
+///     max_batches: 500,           // hard budget: <= 50_000 cycles
+///     target_relative_error: 0.05, // stop at +/-5% of the mean...
+///     z: 1.96,                    // ...at 95% confidence
+/// };
+/// let r = monte_carlo_power(
+///     &nl,
+///     &Library::default(),
+///     streams::random(7, nl.input_count()),
+///     &opts,
+/// ).unwrap();
+///
+/// // The stopping rule guarantees the advertised precision (or the
+/// // budget ran out — not the case for this easy circuit):
+/// assert!(r.batches >= 5 && r.batches <= 500);
+/// assert!(r.relative_error() <= 0.05);
+/// // Each batch consumed `batch_cycles` vectors; the very first vector
+/// // of the run only initializes the simulator (no transition to
+/// // measure), so one fewer cycle is counted than vectors consumed.
+/// assert_eq!(r.cycles, r.batches as u64 * 100 - 1);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonteCarloOptions {
     /// Cycles per batch (each batch yields one power sample).
@@ -63,6 +137,9 @@ impl MonteCarloResult {
 /// `opts.target_relative_error` (after at least 5 batches) or when
 /// `opts.max_batches` is exhausted.
 ///
+/// For parallel estimation with a determinism guarantee, see
+/// [`monte_carlo_power_seeded`].
+///
 /// # Errors
 ///
 /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists or
@@ -103,6 +180,148 @@ pub fn monte_carlo_power(
                     batches: samples.len(),
                     cycles: total_cycles,
                 });
+            }
+        }
+    }
+    if samples.is_empty() {
+        return Err(NetlistError::EmptyStream);
+    }
+    let (mean, hw) = mean_half_width(&samples, opts.z);
+    Ok(MonteCarloResult {
+        power_uw: mean,
+        half_width_uw: hw,
+        batches: samples.len(),
+        cycles: total_cycles,
+    })
+}
+
+/// Parallel Monte-Carlo power estimation on the default worker count
+/// ([`hlpower_rng::par::num_threads`], i.e. `HLPOWER_THREADS` or all
+/// cores).
+///
+/// `stream_fn` is called once per batch with that batch's *split* RNG
+/// stream (`root.split(batch_index)`) and must return the batch's input
+/// vectors; typically one of the `_rng` constructors in
+/// [`streams`](crate::streams):
+///
+/// ```
+/// use hlpower_netlist::{gen, streams, Library, Netlist};
+/// use hlpower_netlist::{monte_carlo_power_seeded, MonteCarloOptions};
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.input_bus("a", 8);
+/// let b = nl.input_bus("b", 8);
+/// let c0 = nl.constant(false);
+/// let s = gen::ripple_adder(&mut nl, &a, &b, c0);
+/// nl.output_bus("s", &s);
+/// let w = nl.input_count();
+///
+/// let r = monte_carlo_power_seeded(
+///     &nl,
+///     &Library::default(),
+///     |rng| streams::random_rng(rng, w),
+///     42,
+///     &MonteCarloOptions::default(),
+/// ).unwrap();
+/// assert!(r.power_uw > 0.0);
+/// ```
+///
+/// # Determinism
+///
+/// The result is a pure function of `(netlist, lib, stream_fn, seed,
+/// opts)` — the worker count never affects it. See
+/// [`monte_carlo_power_seeded_threads`] for the mechanism.
+///
+/// # Errors
+///
+/// As [`monte_carlo_power`].
+pub fn monte_carlo_power_seeded<F, I>(
+    netlist: &Netlist,
+    lib: &Library,
+    stream_fn: F,
+    seed: u64,
+    opts: &MonteCarloOptions,
+) -> Result<MonteCarloResult, NetlistError>
+where
+    F: Fn(Rng) -> I + Sync,
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    monte_carlo_power_seeded_threads(netlist, lib, stream_fn, seed, opts, par::num_threads())
+}
+
+/// [`monte_carlo_power_seeded`] with an explicit worker count.
+///
+/// Batches are scheduled in fixed-size waves ([`WAVE`] batches per wave,
+/// a constant): each wave's batch samples are computed in parallel — each
+/// batch on a fresh simulator, fed by `stream_fn(root.split(batch))` — and
+/// then the serial stopping rule is replayed over the samples in
+/// batch-index order. A batch's sample is a pure function of the seed and
+/// its index, and the stopping decision is a pure function of the ordered
+/// sample prefix, so every thread count computes the identical result (at
+/// most `WAVE - 1` speculative batches are discarded at the stop point).
+///
+/// # Errors
+///
+/// As [`monte_carlo_power`].
+pub fn monte_carlo_power_seeded_threads<F, I>(
+    netlist: &Netlist,
+    lib: &Library,
+    stream_fn: F,
+    seed: u64,
+    opts: &MonteCarloOptions,
+    threads: usize,
+) -> Result<MonteCarloResult, NetlistError>
+where
+    F: Fn(Rng) -> I + Sync,
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    // Surface cyclic-netlist errors once, up front, rather than from
+    // whichever worker happens to hit them first.
+    ZeroDelaySim::new(netlist)?;
+    let root = Rng::seed_from_u64(seed);
+    let mut samples: Vec<f64> = Vec::new();
+    let mut total_cycles = 0u64;
+    let mut exhausted = false;
+    let mut next_batch = 0u64;
+    while !exhausted && samples.len() < opts.max_batches {
+        let wave_len = WAVE.min(opts.max_batches - samples.len());
+        let indices: Vec<u64> = (next_batch..next_batch + wave_len as u64).collect();
+        next_batch += wave_len as u64;
+        let wave: Vec<Result<Option<(f64, u64)>, NetlistError>> =
+            par::map_with_threads(threads, &indices, |_, &batch| {
+                let mut sim = ZeroDelaySim::new(netlist)?;
+                let mut got = 0usize;
+                for v in stream_fn(root.split(batch)).into_iter().take(opts.batch_cycles) {
+                    sim.step(&v)?;
+                    got += 1;
+                }
+                if got == 0 {
+                    return Ok(None);
+                }
+                let act = sim.take_activity();
+                Ok(Some((act.power(netlist, lib).total_power_uw(), act.cycles)))
+            });
+        for outcome in wave {
+            match outcome? {
+                None => {
+                    exhausted = true;
+                    break;
+                }
+                Some((power, cycles)) => {
+                    samples.push(power);
+                    total_cycles += cycles;
+                    if samples.len() >= 5 {
+                        let (mean, hw) = mean_half_width(&samples, opts.z);
+                        if mean > 0.0 && hw / mean < opts.target_relative_error {
+                            return Ok(MonteCarloResult {
+                                power_uw: mean,
+                                half_width_uw: hw,
+                                batches: samples.len(),
+                                cycles: total_cycles,
+                            });
+                        }
+                    }
+                }
             }
         }
     }
@@ -167,7 +386,11 @@ mod tests {
             &nl,
             &lib,
             streams::random(5, nl.input_count()),
-            &MonteCarloOptions { target_relative_error: 0.01, max_batches: 400, ..Default::default() },
+            &MonteCarloOptions {
+                target_relative_error: 0.01,
+                max_batches: 400,
+                ..Default::default()
+            },
         )
         .unwrap();
         let mut sim = ZeroDelaySim::new(&nl).unwrap();
@@ -181,7 +404,85 @@ mod tests {
     fn empty_stream_is_an_error() {
         let nl = adder();
         let lib = Library::default();
-        let err = monte_carlo_power(&nl, &lib, Vec::<Vec<bool>>::new(), &MonteCarloOptions::default());
+        let err =
+            monte_carlo_power(&nl, &lib, Vec::<Vec<bool>>::new(), &MonteCarloOptions::default());
         assert!(matches!(err, Err(NetlistError::EmptyStream)));
+    }
+
+    #[test]
+    fn seeded_engine_is_bit_identical_across_thread_counts() {
+        let nl = adder();
+        let lib = Library::default();
+        let w = nl.input_count();
+        let opts = MonteCarloOptions::default();
+        let run = |threads: usize| {
+            monte_carlo_power_seeded_threads(
+                &nl,
+                &lib,
+                |rng| streams::random_rng(rng, w),
+                99,
+                &opts,
+                threads,
+            )
+            .unwrap()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(4));
+        assert_eq!(one, run(16));
+        assert!(one.power_uw > 0.0);
+        assert!(one.relative_error() <= opts.target_relative_error + 1e-9);
+    }
+
+    #[test]
+    fn seeded_engine_agrees_with_serial_estimate() {
+        let nl = adder();
+        let lib = Library::default();
+        let w = nl.input_count();
+        let opts = MonteCarloOptions {
+            target_relative_error: 0.01,
+            max_batches: 400,
+            ..Default::default()
+        };
+        let par = monte_carlo_power_seeded(&nl, &lib, |rng| streams::random_rng(rng, w), 7, &opts)
+            .unwrap();
+        let ser = monte_carlo_power(&nl, &lib, streams::random(1234, w), &opts).unwrap();
+        let rel = (par.power_uw - ser.power_uw).abs() / ser.power_uw;
+        assert!(rel < 0.03, "par {:.2} vs serial {:.2}", par.power_uw, ser.power_uw);
+    }
+
+    #[test]
+    fn seeded_engine_depends_on_seed() {
+        let nl = adder();
+        let lib = Library::default();
+        let w = nl.input_count();
+        let opts = MonteCarloOptions { max_batches: 8, ..Default::default() };
+        let run = |seed| {
+            monte_carlo_power_seeded(&nl, &lib, |rng| streams::random_rng(rng, w), seed, &opts)
+                .unwrap()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).power_uw, run(6).power_uw);
+    }
+
+    #[test]
+    fn seeded_engine_respects_finite_streams() {
+        let nl = adder();
+        let lib = Library::default();
+        let w = nl.input_count();
+        let opts = MonteCarloOptions { batch_cycles: 50, ..Default::default() };
+        // Empty per-batch streams -> EmptyStream, like the serial engine.
+        let err = monte_carlo_power_seeded(&nl, &lib, |_| Vec::<Vec<bool>>::new(), 1, &opts);
+        assert!(matches!(err, Err(NetlistError::EmptyStream)));
+        // Short per-batch streams still produce samples.
+        let r = monte_carlo_power_seeded(
+            &nl,
+            &lib,
+            |rng| streams::random_rng(rng, w).take(10).collect::<Vec<_>>(),
+            1,
+            &opts,
+        )
+        .unwrap();
+        assert!(r.batches > 0);
     }
 }

@@ -499,7 +499,8 @@ impl Netlist {
         }
         let fanouts = self.fanouts();
         let mut emitted = 0usize;
-        let gate_total = self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Gate { .. })).count();
+        let gate_total =
+            self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Gate { .. })).count();
         while let Some(id) = stack.pop() {
             order.push(id);
             emitted += 1;
@@ -517,7 +518,8 @@ impl Netlist {
             let node = (0..self.nodes.len())
                 .map(|i| NodeId(i as u32))
                 .find(|id| {
-                    matches!(self.nodes[id.index()].kind, NodeKind::Gate { .. }) && indegree[id.index()] > 0
+                    matches!(self.nodes[id.index()].kind, NodeKind::Gate { .. })
+                        && indegree[id.index()] > 0
                 })
                 .expect("a blocked gate must exist when the order is incomplete");
             return Err(NetlistError::CombinationalCycle { node });
@@ -556,7 +558,8 @@ impl Netlist {
         for id in order {
             if let NodeKind::Gate { kind, inputs } = &self.nodes[id.index()].kind {
                 let cell = lib.cell(*kind);
-                let gd = cell.delay_ps + cell.delay_per_fanin_ps * (inputs.len().saturating_sub(1)) as f64;
+                let gd = cell.delay_ps
+                    + cell.delay_per_fanin_ps * (inputs.len().saturating_sub(1)) as f64;
                 let worst = inputs.iter().map(|i| at[i.index()]).fold(0.0, f64::max);
                 at[id.index()] = worst + gd;
             }

@@ -88,11 +88,12 @@ impl PowerReport {
         // plus per-edge internal energy.
         let n_dff = netlist.dffs().len() as f64;
         let clk_cap_per_cycle = n_dff * lib.dff_clk_cap_ff * 2.0;
-        let clk_fj_per_cycle =
-            lib.switching_energy_fj(lib.dff_clk_cap_ff) * 2.0 * n_dff + lib.dff_clock_energy_fj * n_dff;
+        let clk_fj_per_cycle = lib.switching_energy_fj(lib.dff_clk_cap_ff) * 2.0 * n_dff
+            + lib.dff_clock_energy_fj * n_dff;
         let clock_fj = clk_fj_per_cycle * cycles;
         if n_dff > 0.0 {
-            *group_cap.entry("registers/clock".to_string()).or_default() += clk_cap_per_cycle * cycles;
+            *group_cap.entry("registers/clock".to_string()).or_default() +=
+                clk_cap_per_cycle * cycles;
             *group_energy.entry("registers/clock".to_string()).or_default() += clock_fj;
         }
 
@@ -101,10 +102,7 @@ impl PowerReport {
             .into_iter()
             .map(|(name, cap)| {
                 let e = group_energy[&name];
-                (
-                    name,
-                    GroupPower { switched_cap_ff: cap / cycles, power_uw: to_uw(e) },
-                )
+                (name, GroupPower { switched_cap_ff: cap / cycles, power_uw: to_uw(e) })
             })
             .collect();
 
@@ -187,7 +185,10 @@ mod tests {
     fn group_breakdown_sums_to_total_cap() {
         let r = adder_report(200);
         let group_sum: f64 = r.by_group.values().map(|g| g.switched_cap_ff).sum();
-        assert!((group_sum - r.switched_cap_ff_per_cycle).abs() < 1e-6 * r.switched_cap_ff_per_cycle.max(1.0));
+        assert!(
+            (group_sum - r.switched_cap_ff_per_cycle).abs()
+                < 1e-6 * r.switched_cap_ff_per_cycle.max(1.0)
+        );
     }
 
     #[test]

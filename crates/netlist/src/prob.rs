@@ -59,10 +59,7 @@ impl ProbabilityAnalysis {
     /// Returns [`NetlistError::InputWidthMismatch`] if `input_stats` has the
     /// wrong length, or [`NetlistError::CombinationalCycle`] if the netlist
     /// is cyclic.
-    pub fn propagate(
-        netlist: &Netlist,
-        input_stats: &[SignalStats],
-    ) -> Result<Self, NetlistError> {
+    pub fn propagate(netlist: &Netlist, input_stats: &[SignalStats]) -> Result<Self, NetlistError> {
         if input_stats.len() != netlist.input_count() {
             return Err(NetlistError::InputWidthMismatch {
                 got: input_stats.len(),
@@ -77,10 +74,8 @@ impl ProbabilityAnalysis {
         for id in netlist.node_ids() {
             match netlist.kind(id) {
                 NodeKind::Const(v) => {
-                    stats[id.index()] = SignalStats {
-                        probability: if *v { 1.0 } else { 0.0 },
-                        density: 0.0,
-                    }
+                    stats[id.index()] =
+                        SignalStats { probability: if *v { 1.0 } else { 0.0 }, density: 0.0 }
                 }
                 NodeKind::Dff { .. } => stats[id.index()] = SignalStats::uniform(),
                 _ => {}
@@ -90,8 +85,7 @@ impl ProbabilityAnalysis {
         for _ in 0..50 {
             for &id in &order {
                 if let NodeKind::Gate { kind, inputs } = netlist.kind(id) {
-                    let fanin: Vec<SignalStats> =
-                        inputs.iter().map(|f| stats[f.index()]).collect();
+                    let fanin: Vec<SignalStats> = inputs.iter().map(|f| stats[f.index()]).collect();
                     stats[id.index()] = propagate_gate(*kind, &fanin);
                 }
             }
@@ -150,8 +144,8 @@ impl ProbabilityAnalysis {
             fj_per_cycle += e;
         }
         let n_dff = netlist.dffs().len() as f64;
-        fj_per_cycle +=
-            lib.switching_energy_fj(lib.dff_clk_cap_ff) * 2.0 * n_dff + lib.dff_clock_energy_fj * n_dff;
+        fj_per_cycle += lib.switching_energy_fj(lib.dff_clk_cap_ff) * 2.0 * n_dff
+            + lib.dff_clock_energy_fj * n_dff;
         fj_per_cycle * 1e-15 / period_s * 1e6
     }
 }

@@ -4,21 +4,35 @@
 //! of the applied stimulus (random vs temporally correlated vs signed
 //! "dual-bit-type" data vs sequential addresses). This module provides
 //! seeded, reproducible generators for each stream family.
+//!
+//! Each random family comes in two forms: a seed-taking constructor
+//! (`random(seed, width)`) for standalone use, and an [`Rng`]-taking
+//! constructor (`random_rng(rng, width)`) for use with *split* generator
+//! streams — the form the parallel Monte-Carlo estimator
+//! ([`crate::monte_carlo_power_seeded`]) uses to give every batch its own
+//! independent, thread-count-invariant stream.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hlpower_rng::Rng;
 
 use crate::words::to_bits;
 
 /// Uniform random vectors: every bit is an independent fair coin each cycle.
 pub fn random(seed: u64, width: usize) -> impl Iterator<Item = Vec<bool>> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    random_rng(Rng::seed_from_u64(seed), width)
+}
+
+/// [`random`], drawing from an externally constructed (e.g. split) stream.
+pub fn random_rng(mut rng: Rng, width: usize) -> impl Iterator<Item = Vec<bool>> {
     std::iter::from_fn(move || Some((0..width).map(|_| rng.gen_bool(0.5)).collect()))
 }
 
 /// Biased random vectors: each bit is 1 with probability `p`.
 pub fn biased(seed: u64, width: usize, p: f64) -> impl Iterator<Item = Vec<bool>> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    biased_rng(Rng::seed_from_u64(seed), width, p)
+}
+
+/// [`biased`], drawing from an externally constructed (e.g. split) stream.
+pub fn biased_rng(mut rng: Rng, width: usize, p: f64) -> impl Iterator<Item = Vec<bool>> {
     std::iter::from_fn(move || Some((0..width).map(|_| rng.gen_bool(p)).collect()))
 }
 
@@ -26,7 +40,16 @@ pub fn biased(seed: u64, width: usize, p: f64) -> impl Iterator<Item = Vec<bool>
 /// `toggle_p` per cycle (lag-1 correlation; `toggle_p = 0.5` is random,
 /// small values are highly correlated / low activity).
 pub fn correlated(seed: u64, width: usize, toggle_p: f64) -> impl Iterator<Item = Vec<bool>> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    correlated_rng(Rng::seed_from_u64(seed), width, toggle_p)
+}
+
+/// [`correlated`], drawing from an externally constructed (e.g. split)
+/// stream.
+pub fn correlated_rng(
+    mut rng: Rng,
+    width: usize,
+    toggle_p: f64,
+) -> impl Iterator<Item = Vec<bool>> {
     let mut state: Vec<bool> = (0..width).map(|_| rng.gen_bool(0.5)).collect();
     std::iter::from_fn(move || {
         for b in &mut state {
@@ -43,8 +66,13 @@ pub fn correlated(seed: u64, width: usize, toggle_p: f64) -> impl Iterator<Item 
 /// while low-order bits look random: the regime the dual-bit-type
 /// macro-model (Landman–Rabaey) was designed for. `width` must be <= 63.
 pub fn signed_walk(seed: u64, width: usize, step: i64) -> impl Iterator<Item = Vec<bool>> {
+    signed_walk_rng(Rng::seed_from_u64(seed), width, step)
+}
+
+/// [`signed_walk`], drawing from an externally constructed (e.g. split)
+/// stream.
+pub fn signed_walk_rng(mut rng: Rng, width: usize, step: i64) -> impl Iterator<Item = Vec<bool>> {
     assert!(width <= 63, "signed_walk supports at most 63-bit words");
-    let mut rng = SmallRng::seed_from_u64(seed);
     let max = (1i64 << (width - 1)) - 1;
     let mut x: i64 = 0;
     std::iter::from_fn(move || {
@@ -104,10 +132,8 @@ mod tests {
 
     #[test]
     fn biased_matches_probability() {
-        let ones: usize = biased(1, 16, 0.9)
-            .take(1000)
-            .map(|v| v.iter().filter(|&&b| b).count())
-            .sum();
+        let ones: usize =
+            biased(1, 16, 0.9).take(1000).map(|v| v.iter().filter(|&&b| b).count()).sum();
         let frac = ones as f64 / 16000.0;
         assert!((frac - 0.9).abs() < 0.02, "frac = {frac}");
     }

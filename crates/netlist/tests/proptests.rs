@@ -1,19 +1,20 @@
-//! Property-based tests for the gate-level substrate.
+//! Property-based tests for the gate-level substrate. Runs on the
+//! in-tree [`hlpower_rng::check`] harness.
 
 use hlpower_netlist::{gen, streams, words, Library, Netlist, ZeroDelaySim};
-use proptest::prelude::*;
+use hlpower_rng::check::Check;
 
 fn eval_once(nl: &Netlist, inputs: &[bool]) -> Vec<bool> {
     let mut sim = ZeroDelaySim::new(nl).expect("acyclic");
     sim.eval_combinational(inputs).expect("width matches")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Ripple adders compute addition for arbitrary operand values.
-    #[test]
-    fn adder_matches_integer_addition(a in 0u64..256, b in 0u64..256) {
+/// Ripple adders compute addition for arbitrary operand values.
+#[test]
+fn adder_matches_integer_addition() {
+    Check::new("adder_matches_integer_addition").cases(64).run(|rng| {
+        let a = rng.gen_range(0u64..256);
+        let b = rng.gen_range(0u64..256);
         let mut nl = Netlist::new();
         let ab = nl.input_bus("a", 8);
         let bb = nl.input_bus("b", 8);
@@ -23,12 +24,16 @@ proptest! {
         let mut v = words::to_bits(a, 8);
         v.extend(words::to_bits(b, 8));
         let out = eval_once(&nl, &v);
-        prop_assert_eq!(words::from_bits(&out), a + b);
-    }
+        assert_eq!(words::from_bits(&out), a + b);
+    });
+}
 
-    /// Array multipliers compute multiplication for arbitrary operands.
-    #[test]
-    fn multiplier_matches_integer_multiplication(a in 0u64..64, b in 0u64..64) {
+/// Array multipliers compute multiplication for arbitrary operands.
+#[test]
+fn multiplier_matches_integer_multiplication() {
+    Check::new("multiplier_matches_integer_multiplication").cases(64).run(|rng| {
+        let a = rng.gen_range(0u64..64);
+        let b = rng.gen_range(0u64..64);
         let mut nl = Netlist::new();
         let ab = nl.input_bus("a", 6);
         let bb = nl.input_bus("b", 6);
@@ -37,12 +42,16 @@ proptest! {
         let mut v = words::to_bits(a, 6);
         v.extend(words::to_bits(b, 6));
         let out = eval_once(&nl, &v);
-        prop_assert_eq!(words::from_bits(&out), a * b);
-    }
+        assert_eq!(words::from_bits(&out), a * b);
+    });
+}
 
-    /// CSD constant multipliers agree with multiplication for any constant.
-    #[test]
-    fn csd_multiplier_correct(k in 1u64..512, x in 0u64..64) {
+/// CSD constant multipliers agree with multiplication for any constant.
+#[test]
+fn csd_multiplier_correct() {
+    Check::new("csd_multiplier_correct").cases(64).run(|rng| {
+        let k = rng.gen_range(1u64..512);
+        let x = rng.gen_range(0u64..64);
         let mut nl = Netlist::new();
         let a = nl.input_bus("a", 6);
         let p = gen::csd_const_multiplier(&mut nl, &a, k);
@@ -50,63 +59,81 @@ proptest! {
         let w = p.len();
         let out = eval_once(&nl, &words::to_bits(x, 6));
         let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
-        prop_assert_eq!(words::from_bits(&out), (x * k) & mask);
-    }
+        assert_eq!(words::from_bits(&out), (x * k) & mask);
+    });
+}
 
-    /// CSD digit strings reconstruct the constant and have no adjacent
-    /// nonzero digits.
-    #[test]
-    fn csd_digits_invariants(k in 0u64..100_000) {
+/// CSD digit strings reconstruct the constant and have no adjacent
+/// nonzero digits.
+#[test]
+fn csd_digits_invariants() {
+    Check::new("csd_digits_invariants").cases(64).run(|rng| {
+        let k = rng.gen_range(0u64..100_000);
         let digits = gen::csd_digits(k);
         let value: i128 = digits.iter().enumerate().map(|(i, &d)| (d as i128) << i).sum();
-        prop_assert_eq!(value, k as i128);
+        assert_eq!(value, k as i128);
         for w in digits.windows(2) {
-            prop_assert!(!(w[0] != 0 && w[1] != 0));
+            assert!(!(w[0] != 0 && w[1] != 0));
         }
-    }
+    });
+}
 
-    /// Simulation is deterministic: the same stream yields identical
-    /// activity twice.
-    #[test]
-    fn simulation_is_deterministic(seed in 0u64..1000) {
+/// Simulation is deterministic: the same stream yields identical
+/// activity twice.
+#[test]
+fn simulation_is_deterministic() {
+    Check::new("simulation_is_deterministic").cases(64).run(|rng| {
+        let seed = rng.gen_range(0u64..1000);
         let mut nl = Netlist::new();
         gen::random_logic(&mut nl, seed, 6, 30, 3);
         let run = |s: u64| {
             let mut sim = ZeroDelaySim::new(&nl).expect("acyclic");
             sim.run(streams::random(s, nl.input_count()).take(100))
         };
-        prop_assert_eq!(run(seed).toggles, run(seed).toggles);
-    }
+        assert_eq!(run(seed).toggles, run(seed).toggles);
+    });
+}
 
-    /// Random logic netlists are always acyclic and power-analyzable.
-    #[test]
-    fn random_logic_is_well_formed(seed in 0u64..500, gates in 5usize..80) {
+/// Random logic netlists are always acyclic and power-analyzable.
+#[test]
+fn random_logic_is_well_formed() {
+    Check::new("random_logic_is_well_formed").cases(64).run(|rng| {
+        let seed = rng.gen_range(0u64..500);
+        let gates = rng.gen_range(5usize..80);
         let mut nl = Netlist::new();
         gen::random_logic(&mut nl, seed, 8, gates, 4);
-        prop_assert!(nl.topo_order().is_ok());
+        assert!(nl.topo_order().is_ok());
         let lib = Library::default();
         let mut sim = ZeroDelaySim::new(&nl).expect("acyclic");
         let act = sim.run(streams::random(seed, 8).take(50));
         let report = act.power(&nl, &lib);
-        prop_assert!(report.total_power_uw().is_finite());
-        prop_assert!(report.total_power_uw() >= 0.0);
-    }
+        assert!(report.total_power_uw().is_finite());
+        assert!(report.total_power_uw() >= 0.0);
+    });
+}
 
-    /// Word helpers round-trip for any width.
-    #[test]
-    fn word_round_trip(v in 0u64..u64::MAX, width in 1usize..64) {
+/// Word helpers round-trip for any width.
+#[test]
+fn word_round_trip() {
+    Check::new("word_round_trip").cases(64).run(|rng| {
+        let v = rng.next_u64();
+        let width = rng.gen_range(1usize..=64);
         let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
         let bits = words::to_bits(v, width);
-        prop_assert_eq!(words::from_bits(&bits), v & mask);
-    }
+        assert_eq!(words::from_bits(&bits), v & mask);
+    });
+}
 
-    /// Hamming distance is a metric on bit vectors (symmetry + identity).
-    #[test]
-    fn hamming_is_symmetric(a in 0u64..65536, b in 0u64..65536) {
+/// Hamming distance is a metric on bit vectors (symmetry + identity).
+#[test]
+fn hamming_is_symmetric() {
+    Check::new("hamming_is_symmetric").cases(64).run(|rng| {
+        let a = rng.gen_range(0u64..65536);
+        let b = rng.gen_range(0u64..65536);
         let va = words::to_bits(a, 16);
         let vb = words::to_bits(b, 16);
-        prop_assert_eq!(words::hamming(&va, &vb), words::hamming(&vb, &va));
-        prop_assert_eq!(words::hamming(&va, &va), 0);
-        prop_assert_eq!(words::hamming(&va, &vb) as u32, (a ^ b).count_ones());
-    }
+        assert_eq!(words::hamming(&va, &vb), words::hamming(&vb, &va));
+        assert_eq!(words::hamming(&va, &va), 0);
+        assert_eq!(words::hamming(&va, &vb) as u32, (a ^ b).count_ones());
+    });
 }

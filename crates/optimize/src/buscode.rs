@@ -127,11 +127,7 @@ impl BusCodec for BusInvert {
         let word = word & m;
         let prev_data = self.prev_lines & m;
         let toggles = (word ^ prev_data).count_ones() as usize;
-        let lines = if 2 * toggles > self.width {
-            (!word & m) | (1 << self.width)
-        } else {
-            word
-        };
+        let lines = if 2 * toggles > self.width { (!word & m) | (1 << self.width) } else { word };
         self.prev_lines = lines;
         lines
     }
@@ -269,10 +265,7 @@ impl WorkingZone {
     /// Panics if the zone id and offset do not fit in the data lines.
     pub fn new(width: usize, zone_count: usize, offset_bits: usize) -> Self {
         let id_bits = zone_count.next_power_of_two().trailing_zeros() as usize;
-        assert!(
-            offset_bits + id_bits.max(1) <= width,
-            "zone id + offset must fit in the bus"
-        );
+        assert!(offset_bits + id_bits.max(1) <= width, "zone id + offset must fit in the bus");
         WorkingZone {
             width,
             offset_bits,
@@ -312,9 +305,8 @@ impl BusCodec for WorkingZone {
             }
             None => {
                 // Miss: transmit in full, install as new zone base (LRU).
-                let victim = (0..self.zones.len())
-                    .min_by_key(|&i| self.lru[i])
-                    .expect("at least one zone");
+                let victim =
+                    (0..self.zones.len()).min_by_key(|&i| self.lru[i]).expect("at least one zone");
                 self.zones[victim] = word;
                 self.lru[victim] = self.tick;
                 word
@@ -459,9 +451,10 @@ impl BeachCode {
             let k = cluster.len();
             let size = 1usize << k;
             let extract = |w: u64| -> u64 {
-                cluster.iter().enumerate().fold(0u64, |acc, (pos, &line)| {
-                    acc | (((w >> line) & 1) << pos)
-                })
+                cluster
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (pos, &line)| acc | (((w >> line) & 1) << pos))
             };
             // Transition frequencies between cluster values.
             let mut freq: HashMap<(u64, u64), u64> = HashMap::new();
@@ -482,7 +475,10 @@ impl BeachCode {
             // takes the free code minimizing weighted Hamming to
             // already-placed neighbours.
             let mut values: Vec<u64> = occur.keys().copied().collect();
-            values.sort_by_key(|v| std::cmp::Reverse(occur[v]));
+            // Tie-break equal occurrence counts by value: the map's
+            // iteration order is seeded per process and must not leak
+            // into the code assignment.
+            values.sort_by_key(|&v| (std::cmp::Reverse(occur[&v]), v));
             let mut fwd = vec![u64::MAX; size];
             let mut used = vec![false; size];
             let mut placed: Vec<(u64, u64)> = Vec::new(); // (value, code)
@@ -534,9 +530,10 @@ impl BeachCode {
     fn map(&self, word: u64, tables: &[Vec<u64>]) -> u64 {
         let mut out = 0u64;
         for (ci, cluster) in self.clusters.iter().enumerate() {
-            let v = cluster.iter().enumerate().fold(0u64, |acc, (pos, &line)| {
-                acc | (((word >> line) & 1) << pos)
-            });
+            let v = cluster
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (pos, &line)| acc | (((word >> line) & 1) << pos));
             let coded = tables[ci][v as usize];
             for (pos, &line) in cluster.iter().enumerate() {
                 out |= ((coded >> pos) & 1) << line;
@@ -638,8 +635,7 @@ impl BusCodec for T0BusInvert {
 
 /// Synthetic address-trace generators for the §III-G experiments.
 pub mod traces {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use hlpower_rng::Rng;
 
     /// Purely sequential addresses.
     pub fn sequential(start: u64, len: usize) -> Vec<u64> {
@@ -648,16 +644,16 @@ pub mod traces {
 
     /// Uniform random words (data-bus regime).
     pub fn random(seed: u64, width: usize, len: usize) -> Vec<u64> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let m = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
-        (0..len).map(|_| rng.gen::<u64>() & m).collect()
+        (0..len).map(|_| rng.next_u64() & m).collect()
     }
 
     /// Interleaved sequential accesses to `arrays` distinct arrays — the
     /// working-zone regime (in-sequence per array, but the bus sees the
     /// interleave).
     pub fn interleaved_arrays(seed: u64, arrays: usize, len: usize) -> Vec<u64> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut cursors: Vec<u64> = (0..arrays as u64).map(|a| a * 0x10000).collect();
         (0..len)
             .map(|_| {
@@ -673,9 +669,8 @@ pub mod traces {
     /// block-correlated addresses) with occasional far jumps — the Beach
     /// regime.
     pub fn embedded(seed: u64, len: usize) -> Vec<u64> {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let loops: Vec<(u64, u64)> =
-            vec![(0x4000, 12), (0x8A00, 20), (0x1200, 6), (0xC340, 30)];
+        let mut rng = Rng::seed_from_u64(seed);
+        let loops: Vec<(u64, u64)> = vec![(0x4000, 12), (0x8A00, 20), (0x1200, 6), (0xC340, 30)];
         let mut out = Vec::with_capacity(len);
         let mut li = 0usize;
         let mut pos = 0u64;
@@ -731,8 +726,11 @@ mod tests {
             Box::new(Unencoded::new(16)),
             &words,
         );
-        let t_bi =
-            transitions_per_word(Box::new(BusInvert::new(16)), Box::new(BusInvert::new(16)), &words);
+        let t_bi = transitions_per_word(
+            Box::new(BusInvert::new(16)),
+            Box::new(BusInvert::new(16)),
+            &words,
+        );
         assert_eq!(t_plain, 16.0);
         assert!(t_bi <= 9.0, "t_bi = {t_bi}");
     }
@@ -740,7 +738,8 @@ mod tests {
     #[test]
     fn gray_gives_one_transition_on_sequential() {
         let words = traces::sequential(1000, 500);
-        let t = transitions_per_word(Box::new(GrayCode::new(16)), Box::new(GrayCode::new(16)), &words);
+        let t =
+            transitions_per_word(Box::new(GrayCode::new(16)), Box::new(GrayCode::new(16)), &words);
         assert!((t - 1.0).abs() < 1e-9, "t = {t}");
     }
 
@@ -758,7 +757,8 @@ mod tests {
         let words = traces::interleaved_arrays(3, 3, 3000);
         let t_gray =
             transitions_per_word(Box::new(GrayCode::new(20)), Box::new(GrayCode::new(20)), &words);
-        let t_t0 = transitions_per_word(Box::new(T0Code::new(20)), Box::new(T0Code::new(20)), &words);
+        let t_t0 =
+            transitions_per_word(Box::new(T0Code::new(20)), Box::new(T0Code::new(20)), &words);
         let t_wz = transitions_per_word(
             Box::new(WorkingZone::new(20, 4, 10)),
             Box::new(WorkingZone::new(20, 4, 10)),
@@ -773,17 +773,10 @@ mod tests {
         let train = traces::embedded(5, 4000);
         let test = traces::embedded(6, 4000);
         let beach = BeachCode::train(16, &train, 8);
-        let t_plain = transitions_per_word(
-            Box::new(Unencoded::new(16)),
-            Box::new(Unencoded::new(16)),
-            &test,
-        );
-        let t_beach =
-            transitions_per_word(Box::new(beach.clone()), Box::new(beach), &test);
-        assert!(
-            t_beach < 0.9 * t_plain,
-            "beach {t_beach} vs unencoded {t_plain}"
-        );
+        let t_plain =
+            transitions_per_word(Box::new(Unencoded::new(16)), Box::new(Unencoded::new(16)), &test);
+        let t_beach = transitions_per_word(Box::new(beach.clone()), Box::new(beach), &test);
+        assert!(t_beach < 0.9 * t_plain, "beach {t_beach} vs unencoded {t_plain}");
     }
 
     #[test]

@@ -12,8 +12,7 @@ use hlpower_bdd::bdd_to_mux_netlist;
 use hlpower_fsm::{synthesize, Encoding, FsmError, MarkovAnalysis, Stg};
 use hlpower_netlist::{Library, Netlist, NodeId, ZeroDelaySim};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hlpower_rng::Rng;
 
 /// Outcome of a gated-clock transformation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,10 +44,7 @@ impl ClockGateOutcome {
 /// # Errors
 ///
 /// Returns [`FsmError`] variants for invalid machines/encodings.
-pub fn activation_function(
-    stg: &Stg,
-    encoding: &Encoding,
-) -> Result<(Netlist, NodeId), FsmError> {
+pub fn activation_function(stg: &Stg, encoding: &Encoding) -> Result<(Netlist, NodeId), FsmError> {
     // Synthesize the machine once to reuse its BDD construction, then
     // derive Fa = OR over state bits of (next_i XOR present_i).
     let circuit = synthesize(stg, encoding)?;
@@ -111,12 +107,10 @@ pub fn evaluate(
         .collect();
     let markov = MarkovAnalysis::with_input_distribution(stg, &dist);
 
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let words: Vec<u64> = (0..cycles)
         .map(|_| {
-            (0..stg.input_bits() as u64)
-                .map(|b| (rng.gen_bool(input_one_prob) as u64) << b)
-                .sum()
+            (0..stg.input_bits() as u64).map(|b| (rng.gen_bool(input_one_prob) as u64) << b).sum()
         })
         .collect();
 
@@ -127,12 +121,8 @@ pub fn evaluate(
     let mut state_words: Vec<u64> = Vec::with_capacity(cycles);
     for &w in &words {
         // Record present state before stepping.
-        let st: u64 = circuit
-            .state
-            .iter()
-            .enumerate()
-            .map(|(i, &q)| (sim.value(q) as u64) << i)
-            .sum();
+        let st: u64 =
+            circuit.state.iter().enumerate().map(|(i, &q)| (sim.value(q) as u64) << i).sum();
         state_words.push(st);
         sim.step(&hlpower_netlist::words::to_bits(w, stg.input_bits()))
             .map_err(|_| FsmError::Empty)?;

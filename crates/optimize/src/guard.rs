@@ -236,12 +236,8 @@ pub fn evaluate(
         base_sim.step(v)?;
         base_outputs.push(base_sim.output_values());
         let act = base_sim.take_activity();
-        base_energy += act
-            .toggles
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| t as f64 * energy_of[i])
-            .sum::<f64>();
+        base_energy +=
+            act.toggles.iter().enumerate().map(|(i, &t)| t as f64 * energy_of[i]).sum::<f64>();
     }
 
     // Guarded interpretation.
@@ -302,8 +298,7 @@ pub fn evaluate(
             }
         }
         // Compare outputs.
-        let outs: Vec<bool> =
-            netlist.outputs().iter().map(|&(_, n)| values[n.index()]).collect();
+        let outs: Vec<bool> = netlist.outputs().iter().map(|&(_, n)| values[n.index()]).collect();
         if outs != base_outputs[t] {
             outputs_match = false;
         }
@@ -369,10 +364,7 @@ mod tests {
         let best = &candidates[0];
         let (base, guarded, ok) = evaluate(&nl, &lib, best, &stream).unwrap();
         assert!(ok);
-        assert!(
-            guarded < 0.95 * base,
-            "expected >5% energy saving: {base:.0} -> {guarded:.0}"
-        );
+        assert!(guarded < 0.95 * base, "expected >5% energy saving: {base:.0} -> {guarded:.0}");
     }
 
     #[test]

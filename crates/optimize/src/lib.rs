@@ -17,15 +17,14 @@
 //!   (the §III-I/reference 109 companion transformation).
 
 #![warn(missing_docs)]
-
 // Matrix- and table-style numerics read more clearly with explicit index
 // loops; silence clippy's iterator-style suggestion for them.
 #![allow(clippy::needless_range_loop)]
 
 pub mod balance;
 pub mod buscode;
-pub mod shutdown;
-pub mod precompute;
 pub mod clockgate;
 pub mod guard;
+pub mod precompute;
 pub mod retime;
+pub mod shutdown;

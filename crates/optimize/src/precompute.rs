@@ -34,18 +34,14 @@ pub struct PrecomputeCandidate {
 /// # Panics
 ///
 /// Panics if the block does not have exactly one output.
-pub fn rank_subsets(
-    block: &Netlist,
-    k: usize,
-) -> Result<Vec<PrecomputeCandidate>, NetlistError> {
+pub fn rank_subsets(block: &Netlist, k: usize) -> Result<Vec<PrecomputeCandidate>, NetlistError> {
     assert_eq!(block.outputs().len(), 1, "precomputation predictor needs a single-output block");
     let (mut m, roots) = build_output_bdds(block)?;
     let f = roots[0];
     let n = block.input_count();
     let mut out = Vec::new();
     for subset in subsets(n, k) {
-        let others: Vec<u32> =
-            (0..n as u32).filter(|v| !subset.contains(&(*v as usize))).collect();
+        let others: Vec<u32> = (0..n as u32).filter(|v| !subset.contains(&(*v as usize))).collect();
         let g1 = m.forall(f, &others);
         let nf = m.not(f);
         let g0 = m.forall(nf, &others);
@@ -58,9 +54,7 @@ pub fn rank_subsets(
         });
     }
     out.sort_by(|a, b| {
-        b.shutdown_probability
-            .partial_cmp(&a.shutdown_probability)
-            .expect("finite probabilities")
+        b.shutdown_probability.partial_cmp(&a.shutdown_probability).expect("finite probabilities")
     });
     Ok(out)
 }

@@ -37,9 +37,7 @@ pub fn pipeline_cut(
 
     for id in netlist.node_ids() {
         let new_id = match netlist.kind(id) {
-            NodeKind::Input => {
-                out.input(netlist.name(id).unwrap_or("in").to_string())
-            }
+            NodeKind::Input => out.input(netlist.name(id).unwrap_or("in").to_string()),
             NodeKind::Const(c) => out.constant(*c),
             NodeKind::Dff { .. } => {
                 // Only combinational circuits are supported: treat any
@@ -93,10 +91,7 @@ pub fn glitch_profile(
 ) -> Result<Vec<u64>, NetlistError> {
     let mut sim = EventDrivenSim::new(netlist, lib)?;
     let timed = sim.run(stream.iter().cloned());
-    Ok(netlist
-        .node_ids()
-        .map(|id| timed.node_glitches(id))
-        .collect())
+    Ok(netlist.node_ids().map(|id| timed.node_glitches(id)).collect())
 }
 
 /// Outcome of the retiming search.

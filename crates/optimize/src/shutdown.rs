@@ -8,8 +8,7 @@
 //! shut down, using only the observable history — exactly the framing of
 //! Srivastava et al. and Hwang–Wu.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hlpower_rng::Rng;
 
 use crate::shutdown::policies::ShutdownPolicy;
 
@@ -60,7 +59,7 @@ pub struct Episode {
 /// long-idle structure is exactly the signal Srivastava's threshold
 /// heuristic keys on.
 pub fn bursty_workload(seed: u64, episodes: usize) -> Vec<Episode> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(episodes);
     let mut away = false;
     for _ in 0..episodes {
@@ -70,7 +69,7 @@ pub fn bursty_workload(seed: u64, episodes: usize) -> Vec<Episode> {
         let active = rng.gen_range(0.2..3.0);
         let idle = if away {
             // Long, heavy-tailed idle: 30..~300.
-            30.0 * (rng.gen::<f64>() * 2.3).exp()
+            30.0 * (rng.next_f64() * 2.3).exp()
         } else {
             rng.gen_range(0.5..3.0)
         };
@@ -311,11 +310,8 @@ pub mod policies {
                 return 0.0; // not enough history: stay powered
             }
             // Least squares on [1, a, i, a^2, a*i] -> next idle.
-            let rows: Vec<Vec<f64>> = self
-                .window
-                .iter()
-                .map(|&(pi, a, _)| vec![1.0, a, pi, a * a, a * pi])
-                .collect();
+            let rows: Vec<Vec<f64>> =
+                self.window.iter().map(|&(pi, a, _)| vec![1.0, a, pi, a * a, a * pi]).collect();
             let y: Vec<f64> = self.window.iter().map(|&(_, _, i)| i).collect();
             // Tiny built-in least squares (5 unknowns).
             match solve_ls(&rows, &y) {
@@ -437,9 +433,8 @@ pub mod policies {
             row[i] += 1e-9;
         }
         for col in 0..p {
-            let piv = (col..p).max_by(|&x, &z| {
-                a[x][col].abs().partial_cmp(&a[z][col].abs()).expect("finite")
-            })?;
+            let piv = (col..p)
+                .max_by(|&x, &z| a[x][col].abs().partial_cmp(&a[z][col].abs()).expect("finite"))?;
             a.swap(col, piv);
             if a[col][col].abs() < 1e-30 {
                 return None;

@@ -1,21 +1,23 @@
 //! Property-based tests: every bus codec is bijective on arbitrary
 //! streams, Bus-Invert honors its transition bound, and shutdown policy
-//! simulation respects physical bounds.
+//! simulation respects physical bounds. Runs on the in-tree
+//! [`hlpower_rng::check`] harness.
 
 use hlpower_opt::buscode::*;
 use hlpower_opt::shutdown::{self, policies::*};
-use proptest::prelude::*;
+use hlpower_rng::check::Check;
+use hlpower_rng::Rng;
 
-fn word_stream() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0u64..(1 << 16), 2..200)
+fn word_stream(rng: &mut Rng) -> Vec<u64> {
+    let len = rng.gen_range(2usize..200);
+    (0..len).map(|_| rng.gen_range(0u64..(1 << 16))).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// All stateful codecs round-trip arbitrary word streams.
-    #[test]
-    fn codecs_round_trip(words in word_stream()) {
+/// All stateful codecs round-trip arbitrary word streams.
+#[test]
+fn codecs_round_trip() {
+    Check::new("codecs_round_trip").cases(48).run(|rng| {
+        let words = word_stream(rng);
         let mut pairs: Vec<(Box<dyn BusCodec>, Box<dyn BusCodec>)> = vec![
             (Box::new(Unencoded::new(16)), Box::new(Unencoded::new(16))),
             (Box::new(BusInvert::new(16)), Box::new(BusInvert::new(16))),
@@ -28,59 +30,73 @@ proptest! {
         for (enc, dec) in &mut pairs {
             for &w in &words {
                 let lines = enc.encode(w);
-                prop_assert_eq!(dec.decode(lines), w, "{} failed", enc.name());
+                assert_eq!(dec.decode(lines), w, "{} failed", enc.name());
             }
         }
-    }
+    });
+}
 
-    /// Bus-Invert never toggles more than N/2 + 1 lines per word.
-    #[test]
-    fn bus_invert_bound(words in word_stream()) {
+/// Bus-Invert never toggles more than N/2 + 1 lines per word.
+#[test]
+fn bus_invert_bound() {
+    Check::new("bus_invert_bound").cases(48).run(|rng| {
+        let words = word_stream(rng);
         let mut enc = BusInvert::new(16);
         let mut prev: Option<u64> = None;
         for &w in &words {
             let lines = enc.encode(w);
             if let Some(p) = prev {
-                prop_assert!((lines ^ p).count_ones() <= 9);
+                assert!((lines ^ p).count_ones() <= 9);
             }
             prev = Some(lines);
         }
-    }
+    });
+}
 
-    /// Gray encoding of consecutive integers differs in exactly one bit,
-    /// for any starting point.
-    #[test]
-    fn gray_adjacency(start in 0u64..(1 << 16)) {
+/// Gray encoding of consecutive integers differs in exactly one bit,
+/// for any starting point.
+#[test]
+fn gray_adjacency() {
+    Check::new("gray_adjacency").cases(48).run(|rng| {
+        let start = rng.gen_range(0u64..(1 << 16));
         let mut g = GrayCode::new(17);
         let a = g.encode(start);
         let b = g.encode(start + 1);
-        prop_assert_eq!((a ^ b).count_ones(), 1);
-    }
+        assert_eq!((a ^ b).count_ones(), 1);
+    });
+}
 
-    /// Policy simulations never report power below `p_off` or above
-    /// `p_wake`, never exceed the oracle bound, and keep the shutdown
-    /// fraction a valid probability.
-    #[test]
-    fn shutdown_simulation_bounds(seed in 0u64..200, timeout in 0.5f64..20.0) {
+/// Policy simulations never report power below `p_off` or above
+/// `p_wake`, never exceed the oracle bound, and keep the shutdown
+/// fraction a valid probability.
+#[test]
+fn shutdown_simulation_bounds() {
+    Check::new("shutdown_simulation_bounds").cases(48).run(|rng| {
+        let seed = rng.gen_range(0u64..200);
+        let timeout = rng.gen_range(0.5..20.0);
         let device = shutdown::DeviceModel::default();
         let w = shutdown::bursty_workload(seed, 300);
         let mut policy = StaticTimeout { timeout };
         let r = shutdown::simulate(&mut policy, &device, &w);
-        prop_assert!(r.average_power >= device.p_off - 1e-9);
-        prop_assert!(r.average_power <= device.p_wake + 1e-9);
-        prop_assert!((0.0..=1.0).contains(&r.shutdown_fraction));
-        prop_assert!(r.performance_penalty >= 0.0);
+        assert!(r.average_power >= device.p_off - 1e-9);
+        assert!(r.average_power <= device.p_wake + 1e-9);
+        assert!((0.0..=1.0).contains(&r.shutdown_fraction));
+        assert!(r.performance_penalty >= 0.0);
         // No policy beats the physics: improvement below the T_I/T_A bound.
-        prop_assert!(r.improvement <= shutdown::improvement_upper_bound(&w) + 1e-9);
-    }
+        assert!(r.improvement <= shutdown::improvement_upper_bound(&w) + 1e-9);
+    });
+}
 
-    /// The oracle never loses to any static timeout on the same workload.
-    #[test]
-    fn oracle_dominates_static(seed in 0u64..100, timeout in 0.5f64..20.0) {
+/// The oracle never loses to any static timeout on the same workload.
+#[test]
+fn oracle_dominates_static() {
+    Check::new("oracle_dominates_static").cases(48).run(|rng| {
+        let seed = rng.gen_range(0u64..100);
+        let timeout = rng.gen_range(0.5..20.0);
         let device = shutdown::DeviceModel::default();
         let w = shutdown::bursty_workload(seed, 300);
         let r_static = shutdown::simulate(&mut StaticTimeout { timeout }, &device, &w);
         let r_oracle = shutdown::simulate(&mut Oracle::new(&device, &w), &device, &w);
-        prop_assert!(r_oracle.average_power <= r_static.average_power + 1e-9);
-    }
+        assert!(r_oracle.average_power <= r_static.average_power + 1e-9);
+    });
 }

@@ -1,0 +1,160 @@
+//! A miniature property-based-testing harness (the workspace's in-tree
+//! `proptest` replacement).
+//!
+//! A property is a closure over a seeded [`Rng`]; the harness runs it for a
+//! deterministic sequence of cases and, on failure, reports the case index
+//! and seed so the exact failing input can be replayed in isolation.
+//!
+//! ```
+//! use hlpower_rng::check::Check;
+//!
+//! Check::new("addition_commutes").cases(64).run(|rng| {
+//!     let a = rng.gen_range(0u64..1000);
+//!     let b = rng.gen_range(0u64..1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+//!
+//! Case counts scale two ways:
+//!
+//! * the `proptest` cargo feature multiplies every requested count by 16
+//!   (the "thorough CI" mode that replaces the old external dependency);
+//! * the `HLPOWER_CHECK_CASES` environment variable, when set, overrides
+//!   the count outright.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::{Rng, SplitMix64};
+
+/// Default number of cases when [`Check::cases`] is not called.
+pub const DEFAULT_CASES: usize = 64;
+
+/// A configured property check. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Check {
+    name: &'static str,
+    cases: usize,
+    seed: u64,
+}
+
+impl Check {
+    /// Starts a check named `name` (the name seeds the case sequence, so
+    /// different properties in one test binary explore different inputs).
+    pub fn new(name: &'static str) -> Self {
+        let mut h = SplitMix64::new(0x4845_434B); // "HECK"
+        let mut seed = h.next_u64();
+        for b in name.bytes() {
+            seed = SplitMix64::new(seed ^ b as u64).next_u64();
+        }
+        Check { name, cases: DEFAULT_CASES, seed }
+    }
+
+    /// Sets the base case count (default [`DEFAULT_CASES`]).
+    pub fn cases(mut self, n: usize) -> Self {
+        self.cases = n;
+        self
+    }
+
+    /// Overrides the derived base seed (rarely needed; replaying a failure
+    /// is easier with [`Check::only_case`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The number of cases this check will actually run after applying the
+    /// `proptest` feature multiplier and `HLPOWER_CHECK_CASES` override.
+    pub fn effective_cases(&self) -> usize {
+        if let Ok(v) = std::env::var("HLPOWER_CHECK_CASES") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        if cfg!(feature = "proptest") {
+            self.cases * 16
+        } else {
+            self.cases
+        }
+    }
+
+    /// Runs `property` once per case with a per-case deterministic [`Rng`].
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the property's panic after printing the failing case
+    /// index, so standard `#[test]` reporting still works.
+    pub fn run<F: FnMut(&mut Rng)>(self, mut property: F) {
+        let root = Rng::seed_from_u64(self.seed);
+        for case in 0..self.effective_cases() {
+            let mut rng = root.split(case as u64);
+            let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+            if let Err(panic) = outcome {
+                eprintln!(
+                    "property `{}` failed at case {case}; replay with \
+                     Check::new(\"{}\").only_case({case})",
+                    self.name, self.name
+                );
+                resume_unwind(panic);
+            }
+        }
+    }
+
+    /// Replays exactly one case (for debugging a reported failure).
+    pub fn only_case<F: FnMut(&mut Rng)>(self, case: usize, mut property: F) {
+        let root = Rng::seed_from_u64(self.seed);
+        let mut rng = root.split(case as u64);
+        property(&mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let expected = Check::new("counts_cases").cases(10).effective_cases();
+        let mut count = 0;
+        Check::new("counts_cases").cases(10).run(|_| count += 1);
+        assert_eq!(count, expected);
+    }
+
+    #[test]
+    fn cases_see_distinct_inputs() {
+        let mut seen = Vec::new();
+        Check::new("distinct_inputs").cases(32).run(|rng| seen.push(rng.next_u64()));
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(seen.len(), dedup.len(), "all case inputs should differ");
+    }
+
+    #[test]
+    fn failing_property_panics_with_case() {
+        let result = catch_unwind(|| {
+            Check::new("fails_eventually").cases(8).run(|rng| {
+                let v = rng.gen_range(0u64..4);
+                assert!(v != 2, "boom");
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn replay_is_consistent_with_run() {
+        let mut from_run = Vec::new();
+        Check::new("replayable").cases(4).run(|rng| from_run.push(rng.next_u64()));
+        let mut replayed = 0;
+        Check::new("replayable").only_case(2, |rng| replayed = rng.next_u64());
+        assert_eq!(replayed, from_run[2]);
+    }
+
+    #[test]
+    fn different_names_explore_different_inputs() {
+        let mut a = 0;
+        let mut b = 0;
+        Check::new("name_a").cases(1).run(|rng| a = rng.next_u64());
+        Check::new("name_b").cases(1).run(|rng| b = rng.next_u64());
+        assert_ne!(a, b);
+    }
+}

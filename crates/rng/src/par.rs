@@ -1,0 +1,188 @@
+//! A scoped `std::thread` worker pool for embarrassingly parallel
+//! estimation work.
+//!
+//! The pool is deliberately minimal: no queues, no channels, no global
+//! state. Each call to [`map`] (or [`map_with_threads`]) spawns scoped
+//! workers that pull item indices from a shared atomic counter, then
+//! reassembles results **in item order**. Because work items must be
+//! independent and results are merged positionally, the output is
+//! identical for any worker count — the scheduling order never leaks into
+//! the result. Combined with [`Rng::split`](crate::Rng::split) streams
+//! keyed by item index, this gives the workspace's determinism contract:
+//! seed + any thread count ⇒ bit-identical output.
+//!
+//! ```
+//! use hlpower_rng::par;
+//!
+//! let squares = par::map_with_threads(4, &[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! // Same result at any worker count:
+//! assert_eq!(squares, par::map_with_threads(1, &[1, 2, 3, 4, 5], |_, &x| x * x));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default worker count: the `HLPOWER_THREADS` environment variable if set
+/// to a positive integer, otherwise [`std::thread::available_parallelism`]
+/// (1 if unavailable).
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("HLPOWER_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on the default worker count ([`num_threads`]).
+///
+/// `f` receives `(index, &item)` and results are returned in item order.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_with_threads(num_threads(), items, f)
+}
+
+/// Maps `f` over `items` on exactly `threads` workers.
+///
+/// Workers claim indices from a shared counter (dynamic load balancing —
+/// estimation batches can have very uneven costs), and results are
+/// reassembled by index, so the output never depends on `threads`.
+///
+/// # Panics
+///
+/// Propagates the first worker panic (by index order) after all workers
+/// have stopped.
+pub fn map_with_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect::<Result<_, _>>().unwrap_or_else(|e| {
+            std::panic::resume_unwind(e);
+        })
+    });
+    let mut merged: Vec<(usize, R)> = buckets.drain(..).flatten().collect();
+    merged.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(merged.len(), items.len());
+    merged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Splits `items` into at most `threads * chunks_per_thread` contiguous
+/// slices, maps `f` over the slices in parallel, and concatenates the
+/// per-slice outputs in order.
+///
+/// This is the low-overhead shape for long vectors of cheap work (e.g.
+/// evaluating a macro-model over every cycle record): per-item dispatch
+/// would cost more than the work itself. The result equals
+/// `items.iter().map(per_item).collect()` whenever `f` maps a slice
+/// independently of its position, so determinism is preserved for any
+/// thread count.
+pub fn map_slices<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() < 2 {
+        return f(items);
+    }
+    let chunk = items.len().div_ceil(threads * 4).max(1);
+    let slices: Vec<&[T]> = items.chunks(chunk).collect();
+    let per_slice = map_with_threads(threads, &slices, |_, s| f(s));
+    per_slice.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn map_preserves_order_across_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x.wrapping_mul(31)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = map_with_threads(threads, &items, |_, &x| x.wrapping_mul(31));
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_with_threads(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(map_with_threads(4, &[9], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn split_streams_through_pool_are_thread_count_invariant() {
+        // The determinism contract end-to-end: per-item RNG streams keyed
+        // by index produce identical output at any worker count.
+        let root = Rng::seed_from_u64(2024);
+        let idx: Vec<usize> = (0..40).collect();
+        let run = |threads| {
+            map_with_threads(threads, &idx, |i, _| {
+                let mut rng = root.split(i as u64);
+                (0..100).map(|_| rng.next_u64()).fold(0u64, u64::wrapping_add)
+            })
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn map_slices_equals_serial_map() {
+        let items: Vec<f64> = (0..1000).map(|i| i as f64 * 0.5).collect();
+        let serial: Vec<f64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 7] {
+            let got = map_slices(threads, &items, |s| s.iter().map(|x| x * x).collect());
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..16).collect();
+        let r = std::panic::catch_unwind(|| {
+            map_with_threads(4, &items, |i, _| {
+                if i == 7 {
+                    panic!("worker failure");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
+}

@@ -29,10 +29,7 @@ impl ColdScheduleResult {
 
 /// Static bus transitions of a straight-line sequence.
 pub fn block_transitions(block: &[Instr]) -> u64 {
-    block
-        .windows(2)
-        .map(|w| (w[0].encode() ^ w[1].encode()).count_ones() as u64)
-        .sum()
+    block.windows(2).map(|w| (w[0].encode() ^ w[1].encode()).count_ones() as u64).sum()
 }
 
 /// Dependence test: must `b` stay after `a`?
@@ -165,11 +162,10 @@ pub fn swap_operands(block: &[Instr]) -> ColdScheduleResult {
 mod tests {
     use super::*;
     use crate::isa::Reg;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use hlpower_rng::Rng;
 
     fn random_block(seed: u64, n: usize) -> Vec<Instr> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 let d = Reg(rng.gen_range(1..16));

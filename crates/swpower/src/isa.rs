@@ -346,10 +346,7 @@ mod tests {
 
     #[test]
     fn bus_transitions_counts_hamming() {
-        let p = Program {
-            code: vec![Instr::Nop, Instr::Halt],
-            data: vec![],
-        };
+        let p = Program { code: vec![Instr::Nop, Instr::Halt], data: vec![] };
         let h = (Instr::Nop.encode() ^ Instr::Halt.encode()).count_ones() as u64;
         assert_eq!(p.bus_transitions(&[0, 1]), h);
     }

@@ -21,18 +21,17 @@
 //! ```
 
 #![warn(missing_docs)]
-
 // Matrix- and table-style numerics read more clearly with explicit index
 // loops; silence clippy's iterator-style suggestion for them.
 #![allow(clippy::needless_range_loop)]
 
+pub mod coldsched;
 mod isa;
 mod machine;
-pub mod tiwari;
-pub mod coldsched;
-pub mod synthesis;
-pub mod workloads;
 pub mod memopt;
+pub mod synthesis;
+pub mod tiwari;
+pub mod workloads;
 
 pub use isa::{Instr, OpClass, Program, ProgramBuilder, Reg};
 pub use machine::{CacheConfig, EnergyCosts, Machine, MachineConfig, RunStats, SwError};

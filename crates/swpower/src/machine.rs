@@ -575,7 +575,11 @@ mod tests {
     #[test]
     fn r0_is_hardwired_zero() {
         let p = Program {
-            code: vec![Instr::Addi(Reg(0), Reg::ZERO, 42), Instr::Add(Reg(1), Reg(0), Reg(0)), Instr::Halt],
+            code: vec![
+                Instr::Addi(Reg(0), Reg::ZERO, 42),
+                Instr::Add(Reg(1), Reg(0), Reg(0)),
+                Instr::Halt,
+            ],
             data: vec![],
         };
         let mut m = Machine::new(MachineConfig::default());

@@ -127,7 +127,7 @@ mod tests {
             // program: run the kernel body then sum.
             let mut code = prog.code.clone();
             code.pop(); // remove Halt
-            // sum d[0..n] into r9
+                        // sum d[0..n] into r9
             let base = code.len();
             code.push(Instr::Addi(Reg(1), Reg::ZERO, 0));
             code.push(Instr::Addi(Reg(9), Reg::ZERO, 0));

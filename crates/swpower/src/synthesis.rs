@@ -9,8 +9,7 @@
 //! simulator" is the same architectural model, so the speedup manifests
 //! as the cycle-count ratio.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hlpower_rng::Rng;
 
 use crate::isa::{Instr, OpClass, Program, ProgramBuilder, Reg};
 use crate::machine::{Machine, MachineConfig, RunStats, SwError};
@@ -126,7 +125,7 @@ fn generate(
     branch_rand: f64,
     seed: u64,
 ) -> Program {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = ProgramBuilder::new();
     // r1 = loop counter, r2 = hot pointer, r3 = streaming pointer,
     // r4 = branch-pattern register, r5.. = data regs.
@@ -154,7 +153,7 @@ fn generate(
     let mut since_branch = 0usize;
     for k in 0..body_len {
         let pick = {
-            let mut x = rng.gen::<f64>() * weights.iter().map(|(_, w)| w).sum::<f64>();
+            let mut x = rng.next_f64() * weights.iter().map(|(_, w)| w).sum::<f64>();
             let mut chosen = weights[0].0;
             for &(c, w) in &weights {
                 if x < w {
@@ -234,8 +233,8 @@ pub fn profile_synthesis_experiment(
     let profile = CharacteristicProfile::from_stats(&reference);
     let synth = synthesize(&profile, config, 64, 40, seed)?;
     let speedup = reference.cycles as f64 / synth.cycles as f64;
-    let power_error = (synth.power_per_cycle - reference.power_per_cycle()).abs()
-        / reference.power_per_cycle();
+    let power_error =
+        (synth.power_per_cycle - reference.power_per_cycle()).abs() / reference.power_per_cycle();
     Ok((reference, synth, speedup, power_error))
 }
 

@@ -125,8 +125,7 @@ pub fn characterize(config: &MachineConfig) -> TiwariModel {
     }
     // Fill jump pairs with the mean measured overhead.
     let mean: f64 = {
-        let vals: Vec<f64> =
-            state.iter().filter(|(&(a, b), _)| a != b).map(|(_, &v)| v).collect();
+        let vals: Vec<f64> = state.iter().filter(|(&(a, b), _)| a != b).map(|(_, &v)| v).collect();
         if vals.is_empty() {
             0.0
         } else {
@@ -197,8 +196,12 @@ mod tests {
     fn base_costs_order_sensibly() {
         let model = characterize(&MachineConfig::default());
         // Multiply costs more than ALU; loads more than nops.
-        assert!(model.base_cost_pj[OpClass::Mul.index()] > model.base_cost_pj[OpClass::Alu.index()]);
-        assert!(model.base_cost_pj[OpClass::Load.index()] > model.base_cost_pj[OpClass::Nop.index()]);
+        assert!(
+            model.base_cost_pj[OpClass::Mul.index()] > model.base_cost_pj[OpClass::Alu.index()]
+        );
+        assert!(
+            model.base_cost_pj[OpClass::Load.index()] > model.base_cost_pj[OpClass::Nop.index()]
+        );
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Benchmark programs: the "typical application programs" the survey's
 //! software-level estimation flow starts from.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hlpower_rng::Rng;
 
 use crate::isa::{Instr, Program, ProgramBuilder, Reg};
 
@@ -96,7 +95,7 @@ pub fn bubble_sort(n: usize, seed: u64) -> Program {
     b.push(Instr::Addi(Reg(1), Reg(1), 1));
     b.branch_to(outer, |off| Instr::Blt(Reg(1), Reg(3), off));
     b.push(Instr::Halt);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let data: Vec<i64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
     b.build(data)
 }

@@ -1,23 +1,30 @@
 //! Property-based tests: the architectural simulator and cold scheduler
-//! preserve program semantics under arbitrary inputs.
+//! preserve program semantics under arbitrary inputs. Runs on the
+//! in-tree [`hlpower_rng::check`] harness.
 
+use hlpower_rng::check::Check;
+use hlpower_rng::Rng;
 use hlpower_sw::{coldsched, Instr, Machine, MachineConfig, Program, Reg};
-use proptest::prelude::*;
 
-/// Strategy for straight-line ALU blocks (no control flow, no memory).
-fn alu_block() -> impl Strategy<Value = Vec<Instr>> {
-    proptest::collection::vec(
-        (0u8..5, 1u8..16, 1u8..16, 1u8..16, -100i32..100).prop_map(|(k, d, a, b, imm)| {
+/// Draws a straight-line ALU block (no control flow, no memory).
+fn alu_block(rng: &mut Rng) -> Vec<Instr> {
+    let len = rng.gen_range(1usize..30);
+    (0..len)
+        .map(|_| {
+            let k = rng.gen_range(0u8..5);
+            let d = Reg(rng.gen_range(1u8..16));
+            let a = Reg(rng.gen_range(1u8..16));
+            let b = Reg(rng.gen_range(1u8..16));
+            let imm = rng.gen_range(-100i32..100);
             match k {
-                0 => Instr::Add(Reg(d), Reg(a), Reg(b)),
-                1 => Instr::Sub(Reg(d), Reg(a), Reg(b)),
-                2 => Instr::Xor(Reg(d), Reg(a), Reg(b)),
-                3 => Instr::Addi(Reg(d), Reg(a), imm),
-                _ => Instr::Mul(Reg(d), Reg(a), Reg(b)),
+                0 => Instr::Add(d, a, b),
+                1 => Instr::Sub(d, a, b),
+                2 => Instr::Xor(d, a, b),
+                3 => Instr::Addi(d, a, imm),
+                _ => Instr::Mul(d, a, b),
             }
-        }),
-        1..30,
-    )
+        })
+        .collect()
 }
 
 /// Runs a straight-line block on the machine with seeded register inits
@@ -36,37 +43,41 @@ fn run_block(block: &[Instr], inits: &[i64]) -> [i64; 16] {
     m.run(&p, 10_000_000).expect("straight-line code halts").regs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Cold scheduling preserves the register-file semantics of arbitrary
-    /// straight-line blocks.
-    #[test]
-    fn cold_schedule_preserves_semantics(
-        block in alu_block(),
-        inits in proptest::collection::vec(-1000i64..1000, 15),
-    ) {
+/// Cold scheduling preserves the register-file semantics of arbitrary
+/// straight-line blocks.
+#[test]
+fn cold_schedule_preserves_semantics() {
+    Check::new("cold_schedule_preserves_semantics").cases(48).run(|rng| {
+        let block = alu_block(rng);
+        let inits: Vec<i64> = (0..15).map(|_| rng.gen_range(-1000i64..1000)).collect();
         let r = coldsched::cold_schedule(&block);
-        prop_assert!(r.transitions_after <= r.transitions_before);
-        prop_assert_eq!(run_block(&block, &inits), run_block(&r.scheduled, &inits));
-    }
+        assert!(r.transitions_after <= r.transitions_before);
+        assert_eq!(run_block(&block, &inits), run_block(&r.scheduled, &inits));
+    });
+}
 
-    /// The scheduled block is a permutation of the original.
-    #[test]
-    fn cold_schedule_is_permutation(block in alu_block()) {
+/// The scheduled block is a permutation of the original.
+#[test]
+fn cold_schedule_is_permutation() {
+    Check::new("cold_schedule_is_permutation").cases(48).run(|rng| {
+        let block = alu_block(rng);
         let r = coldsched::cold_schedule(&block);
         let mut a = block.clone();
         let mut b = r.scheduled.clone();
         let key = |i: &Instr| i.encode();
         a.sort_by_key(key);
         b.sort_by_key(key);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Cycle counts dominate instruction counts, and the energy model is
-    /// monotone in work: appending instructions never reduces energy.
-    #[test]
-    fn machine_accounting_monotone(block in alu_block(), extra in alu_block()) {
+/// Cycle counts dominate instruction counts, and the energy model is
+/// monotone in work: appending instructions never reduces energy.
+#[test]
+fn machine_accounting_monotone() {
+    Check::new("machine_accounting_monotone").cases(48).run(|rng| {
+        let block = alu_block(rng);
+        let extra = alu_block(rng);
         let build = |instrs: &[Instr]| {
             let mut code = instrs.to_vec();
             code.push(Instr::Halt);
@@ -78,19 +89,24 @@ proptest! {
         let mut longer_code = block.clone();
         longer_code.extend_from_slice(&extra);
         let long = m.run(&build(&longer_code), 10_000_000).expect("halts");
-        prop_assert!(short.cycles >= short.instructions);
-        prop_assert!(long.energy_pj >= short.energy_pj);
-        prop_assert!(long.instructions == short.instructions + extra.len() as u64);
-    }
+        assert!(short.cycles >= short.instructions);
+        assert!(long.energy_pj >= short.energy_pj);
+        assert!(long.instructions == short.instructions + extra.len() as u64);
+    });
+}
 
-    /// Instruction encodings are injective over register fields.
-    #[test]
-    fn encodings_distinguish_operands(d in 1u8..16, a in 1u8..16, b in 1u8..16) {
+/// Instruction encodings are injective over register fields.
+#[test]
+fn encodings_distinguish_operands() {
+    Check::new("encodings_distinguish_operands").cases(48).run(|rng| {
+        let d = rng.gen_range(1u8..16);
+        let a = rng.gen_range(1u8..16);
+        let b = rng.gen_range(1u8..16);
         let base = Instr::Add(Reg(d), Reg(a), Reg(b));
         let other = Instr::Add(Reg(d % 15 + 1), Reg(a), Reg(b));
         if base != other {
-            prop_assert_ne!(base.encode(), other.encode());
+            assert_ne!(base.encode(), other.encode());
         }
-        prop_assert_ne!(base.encode(), Instr::Sub(Reg(d), Reg(a), Reg(b)).encode());
-    }
+        assert_ne!(base.encode(), Instr::Sub(Reg(d), Reg(a), Reg(b)).encode());
+    });
 }

@@ -6,8 +6,8 @@
 //! ```
 
 use hlpower::optimize::buscode::{
-    traces, BeachCode, BusCodec, BusInvert, GrayCode, T0Code, Unencoded, WorkingZone,
-    transitions_per_word,
+    traces, transitions_per_word, BeachCode, BusCodec, BusInvert, GrayCode, T0Code, Unencoded,
+    WorkingZone,
 };
 
 const WIDTH: usize = 20;
@@ -19,10 +19,7 @@ fn codec_pairs(train: &[u64]) -> Vec<(Box<dyn BusCodec>, Box<dyn BusCodec>)> {
         (Box::new(BusInvert::new(WIDTH)), Box::new(BusInvert::new(WIDTH))),
         (Box::new(GrayCode::new(WIDTH)), Box::new(GrayCode::new(WIDTH))),
         (Box::new(T0Code::new(WIDTH)), Box::new(T0Code::new(WIDTH))),
-        (
-            Box::new(WorkingZone::new(WIDTH, 4, 8)),
-            Box::new(WorkingZone::new(WIDTH, 4, 8)),
-        ),
+        (Box::new(WorkingZone::new(WIDTH, 4, 8)), Box::new(WorkingZone::new(WIDTH, 4, 8))),
         (Box::new(beach.clone()), Box::new(beach)),
     ]
 }

@@ -47,7 +47,10 @@ fn main() {
     println!("after state minimization: {} states", min.state_count());
     // Verify behavior is preserved on a probe sequence.
     let probe: Vec<u64> = (0..64).map(|i| (i * 5 + 2) % 4).collect();
-    assert_eq!(stg.simulate(&probe).expect("in range").1, min.simulate(&probe).expect("in range").1);
+    assert_eq!(
+        stg.simulate(&probe).expect("in range").1,
+        min.simulate(&probe).expect("in range").1
+    );
 
     // ---- Compare encodings on the minimized machine.
     let markov = MarkovAnalysis::uniform(&min);

@@ -36,7 +36,11 @@ fn main() {
     report("always-on", shutdown::simulate(&mut AlwaysOn, &device, &workload));
     report(
         "static timeout (4x BE)",
-        shutdown::simulate(&mut StaticTimeout { timeout: 4.0 * device.breakeven() }, &device, &workload),
+        shutdown::simulate(
+            &mut StaticTimeout { timeout: 4.0 * device.breakeven() },
+            &device,
+            &workload,
+        ),
     );
     report(
         "Srivastava regression",
@@ -56,8 +60,7 @@ fn main() {
     println!("\n=== controller level: gated clock ===");
     let stg = generators::reactive_controller(8);
     let enc = Encoding::one_hot(&stg);
-    let outcome =
-        clockgate::evaluate(&stg, &enc, &lib, 4000, 7, 0.05).expect("valid controller");
+    let outcome = clockgate::evaluate(&stg, &enc, &lib, 4000, 7, 0.05).expect("valid controller");
     println!(
         "  baseline {:.1} uW -> gated {:.1} uW ({:.1}% saving, clock stopped {:.0}% of cycles)",
         outcome.baseline_uw,

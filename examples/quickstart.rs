@@ -57,12 +57,9 @@ fn main() {
     let s = gen::ripple_adder(&mut nl, &a, &b, c0);
     nl.output_bus("s", &s);
 
-    let est = entropy::entropy_power_estimate(
-        &nl,
-        &lib,
-        streams::random(1, nl.input_count()).take(2000),
-    )
-    .expect("acyclic adder");
+    let est =
+        entropy::entropy_power_estimate(&nl, &lib, streams::random(1, nl.input_count()).take(2000))
+            .expect("acyclic adder");
     let mut sim = ZeroDelaySim::new(&nl).expect("acyclic adder");
     let act = sim.run(streams::random(1, nl.input_count()).take(2000));
     let measured = act.power(&nl, &lib);

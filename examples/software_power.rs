@@ -6,9 +6,7 @@
 //! cargo run --example software_power
 //! ```
 
-use hlpower::sw::{
-    coldsched, memopt, synthesis, tiwari, workloads, Machine, MachineConfig,
-};
+use hlpower::sw::{coldsched, memopt, synthesis, tiwari, workloads, Machine, MachineConfig};
 
 fn main() {
     let config = MachineConfig::default();
@@ -16,9 +14,14 @@ fn main() {
     // ---- Tiwari model: characterize once, validate on four workloads.
     println!("=== Tiwari instruction-level power model ===");
     let model = tiwari::characterize(&config);
-    println!("base costs (pJ/instr): alu {:.1}  mul {:.1}  load {:.1}  store {:.1}  branch {:.1}",
-        model.base_cost_pj[0], model.base_cost_pj[1], model.base_cost_pj[2],
-        model.base_cost_pj[3], model.base_cost_pj[4]);
+    println!(
+        "base costs (pJ/instr): alu {:.1}  mul {:.1}  load {:.1}  store {:.1}  branch {:.1}",
+        model.base_cost_pj[0],
+        model.base_cost_pj[1],
+        model.base_cost_pj[2],
+        model.base_cost_pj[3],
+        model.base_cost_pj[4]
+    );
     for (name, program) in [
         ("stream-sum", workloads::stream_sum(256)),
         ("matmul 8x8", workloads::matmul(8)),
@@ -38,10 +41,7 @@ fn main() {
     let workload = workloads::matmul(12);
     let (reference, synth, speedup, err) =
         synthesis::profile_synthesis_experiment(&workload, &config, 9).expect("halts");
-    println!(
-        "  reference: {} instructions / {} cycles",
-        reference.instructions, reference.cycles
-    );
+    println!("  reference: {} instructions / {} cycles", reference.instructions, reference.cycles);
     println!(
         "  synthesized: {} cycles  ->  {speedup:.0}x fewer simulated cycles, power error {:.1}%",
         synth.cycles,

@@ -4,8 +4,8 @@
 
 use hlpower::estimate::entropy;
 use hlpower::netlist::{
-    gen, monte_carlo_power, streams, Library, MonteCarloOptions, Netlist,
-    ProbabilityAnalysis, ZeroDelaySim,
+    gen, monte_carlo_power, streams, Library, MonteCarloOptions, Netlist, ProbabilityAnalysis,
+    ZeroDelaySim,
 };
 
 fn adder(width: usize) -> Netlist {
@@ -24,9 +24,8 @@ fn adder(width: usize) -> Netlist {
 fn three_estimators_agree_on_adder() {
     let nl = adder(8);
     let lib = Library::default();
-    let analytic = ProbabilityAnalysis::propagate_uniform(&nl)
-        .expect("acyclic")
-        .power_uw(&nl, &lib);
+    let analytic =
+        ProbabilityAnalysis::propagate_uniform(&nl).expect("acyclic").power_uw(&nl, &lib);
     let mc = monte_carlo_power(
         &nl,
         &lib,
@@ -52,9 +51,8 @@ fn estimators_preserve_size_ordering() {
     let big = adder(12);
     let lib = Library::default();
     // Level 1: entropy model.
-    let e_small =
-        entropy::entropy_power_estimate(&small, &lib, streams::random(1, 12).take(1500))
-            .expect("acyclic");
+    let e_small = entropy::entropy_power_estimate(&small, &lib, streams::random(1, 12).take(1500))
+        .expect("acyclic");
     let e_big = entropy::entropy_power_estimate(&big, &lib, streams::random(1, 24).take(1500))
         .expect("acyclic");
     assert!(e_big.power_uw_marculescu > e_small.power_uw_marculescu);
@@ -89,9 +87,8 @@ fn estimators_preserve_activity_ordering() {
     assert!(p_corr < p_random);
     let e_random = entropy::entropy_power_estimate(&nl, &lib, streams::random(3, n).take(4000))
         .expect("acyclic");
-    let e_corr =
-        entropy::entropy_power_estimate(&nl, &lib, streams::biased(3, n, 0.92).take(4000))
-            .expect("acyclic");
+    let e_corr = entropy::entropy_power_estimate(&nl, &lib, streams::biased(3, n, 0.92).take(4000))
+        .expect("acyclic");
     assert!(e_corr.power_uw_marculescu < e_random.power_uw_marculescu);
 }
 

@@ -32,8 +32,7 @@ fn fsm_encoding_gains_survive_synthesis() {
             let circuit = synthesize(&stg, enc).expect("valid encoding");
             let mut sim = ZeroDelaySim::new(&circuit.netlist).expect("acyclic");
             let act = sim.run(streams::random(seed + 9, stg.input_bits()).take(1500));
-            let toggles: u64 =
-                circuit.state.iter().map(|&q| act.toggles[q.index()]).sum();
+            let toggles: u64 = circuit.state.iter().map(|&q| act.toggles[q.index()]).sum();
             toggles as f64 / act.cycles as f64
         };
         if gate_power(&low) <= gate_power(&rand) * 1.05 {
@@ -54,8 +53,8 @@ fn macromodel_works_on_synthesized_control_logic() {
     // The synthesized machine has input bits as primary inputs; treat the
     // whole input vector as one operand.
     let width = circuit.netlist.input_count();
-    let harness = ModuleHarness::new(circuit.netlist, Library::default(), vec![width])
-        .expect("widths match");
+    let harness =
+        ModuleHarness::new(circuit.netlist, Library::default(), vec![width]).expect("widths match");
     let train = harness.trace(streams::random(1, width).take(1200)).expect("widths");
     let model = TrainedMacroModel::fit(MacroModelKind::InputOutput, &train).expect("enough data");
     let test = harness.trace(streams::random(2, width).take(800)).expect("widths");
@@ -68,16 +67,17 @@ fn macromodel_works_on_synthesized_control_logic() {
 #[test]
 fn controller_model_predicts_synthesized_power() {
     let lib = Library::default();
-    let measure = |seed: u64, states: usize| -> (hlpower::estimate::complexity::ControllerFeatures, f64) {
-        let stg = generators::random_stg(2, states, 2, seed);
-        let markov = MarkovAnalysis::uniform(&stg);
-        let enc = Encoding::binary(&stg);
-        let circuit = synthesize(&stg, &enc).expect("valid");
-        let mut sim = ZeroDelaySim::new(&circuit.netlist).expect("acyclic");
-        let act = sim.run(streams::random(seed, stg.input_bits()).take(2000));
-        let uw = act.power(&circuit.netlist, &lib).total_power_uw();
-        (controller_features(&stg, &markov, &enc), uw)
-    };
+    let measure =
+        |seed: u64, states: usize| -> (hlpower::estimate::complexity::ControllerFeatures, f64) {
+            let stg = generators::random_stg(2, states, 2, seed);
+            let markov = MarkovAnalysis::uniform(&stg);
+            let enc = Encoding::binary(&stg);
+            let circuit = synthesize(&stg, &enc).expect("valid");
+            let mut sim = ZeroDelaySim::new(&circuit.netlist).expect("acyclic");
+            let act = sim.run(streams::random(seed, stg.input_bits()).take(2000));
+            let uw = act.power(&circuit.netlist, &lib).total_power_uw();
+            (controller_features(&stg, &markov, &enc), uw)
+        };
     let training: Vec<_> = (0..8).map(|s| measure(s, 6 + s as usize)).collect();
     let model = ControllerModel::fit(&training, lib.vdd, lib.clock_mhz);
     // Held-out machines: prediction within a factor of 2.5 (the model has

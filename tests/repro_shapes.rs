@@ -50,8 +50,7 @@ fn tiwari_shape() {
     use hlpower::sw::{tiwari, workloads, MachineConfig};
     let config = MachineConfig::default();
     let model = tiwari::characterize(&config);
-    let (_, _, rel) =
-        model.validate(&config, &workloads::fir(32, 6), 10_000_000).expect("halts");
+    let (_, _, rel) = model.validate(&config, &workloads::fir(32, 6), 10_000_000).expect("halts");
     assert!(rel < 0.10, "error {rel:.3}");
 }
 
@@ -66,13 +65,8 @@ fn sampling_shape() {
     let pfa = TrainedMacroModel::fit(MacroModelKind::Pfa, &train).expect("ok");
     let app = h.trace(streams::correlated(2, 16, 0.15).take(5000)).expect("ok");
     let census = cosimulate(&pfa, &app, CosimStrategy::Census, 1).expect("ok");
-    let sampler = cosimulate(
-        &pfa,
-        &app,
-        CosimStrategy::Sampler { groups: 4, group_size: 30 },
-        2,
-    )
-    .expect("ok");
+    let sampler = cosimulate(&pfa, &app, CosimStrategy::Sampler { groups: 4, group_size: 30 }, 2)
+        .expect("ok");
     let adaptive =
         cosimulate(&pfa, &app, CosimStrategy::Adaptive { gate_cycles: 400 }, 3).expect("ok");
     assert!(census.cost() / sampler.cost() > 20.0, "sampler speedup");
@@ -135,8 +129,7 @@ fn shutdown_logic_shape() {
     assert!(pc.saving() > 0.1, "precompute {:.2}", pc.saving());
     // Clock gating on a mostly-idle controller.
     let stg = generators::reactive_controller(8);
-    let cg = clockgate::evaluate(&stg, &Encoding::one_hot(&stg), &lib, 2500, 2, 0.05)
-        .expect("ok");
+    let cg = clockgate::evaluate(&stg, &Encoding::one_hot(&stg), &lib, 2500, 2, 0.05).expect("ok");
     assert!(cg.saving() > 0.0, "clockgate {:.2}", cg.saving());
     // Guarded evaluation on a mux-dominated circuit.
     let nl = guard::guarded_mux_example(8);
