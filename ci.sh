@@ -9,3 +9,6 @@ cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
 cargo run --release --offline -p hlpower-bench --bin repro -- --table1
+# Instrumentation smoke: exits non-zero if any instrumented counter is
+# still zero after the pass; dumps results/metrics.json.
+cargo run --release --offline -p hlpower-bench --bin repro -- --metrics

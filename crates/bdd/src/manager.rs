@@ -2,6 +2,8 @@
 
 use std::collections::HashMap;
 
+use hlpower_obs::metrics as obs;
+
 /// A reference to a BDD node inside a [`BddManager`].
 ///
 /// References are only meaningful within the manager that produced them.
@@ -196,7 +198,13 @@ impl BddManager {
 
     /// If-then-else: `f ? g : h`.
     pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
-        BddRef(self.ite_rec(f.0, g.0, h.0))
+        let (calls0, hits0, nodes0) = (self.ite_calls, self.ite_hits, self.nodes.len());
+        let r = BddRef(self.ite_rec(f.0, g.0, h.0));
+        obs::BDD_ITE_CALLS.add(self.ite_calls - calls0);
+        obs::BDD_ITE_CACHE_HITS.add(self.ite_hits - hits0);
+        obs::BDD_NODES_CREATED.add((self.nodes.len() - nodes0) as u64);
+        obs::BDD_UNIQUE_TABLE_PEAK.record(self.nodes.len() as u64);
+        r
     }
 
     fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
@@ -482,6 +490,8 @@ impl BddManager {
     /// variable counts of this crate's experiments; it trades the in-place
     /// swap machinery of production packages for simplicity.
     pub fn sift(&self, roots: &[BddRef]) -> (BddManager, Vec<BddRef>, Vec<u32>) {
+        obs::BDD_SIFT_ROUNDS.inc();
+        let _t = obs::BDD_SIFT_TIME.span();
         let mut best_order: Vec<u32> = self.var_at.clone();
         let (mut best_m, mut best_roots) = self.transfer(roots, &best_order);
         let mut best_size = best_m.node_count_many(&best_roots);
@@ -496,6 +506,7 @@ impl BddManager {
                 let mut cand = best_order.clone();
                 cand.remove(cur_pos);
                 cand.insert(pos, v);
+                obs::BDD_SIFT_CANDIDATE_ORDERS.inc();
                 let (m, r) = self.transfer(roots, &cand);
                 let size = m.node_count_many(&r);
                 if size < local_best.0 {
@@ -503,6 +514,7 @@ impl BddManager {
                 }
             }
             if local_best.1 != cur_pos {
+                obs::BDD_SIFT_MOVES.inc();
                 best_order.remove(cur_pos);
                 best_order.insert(local_best.1, v);
                 let (m, r) = self.transfer(roots, &best_order);

@@ -12,5 +12,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod metrics;
 pub mod report;
 pub mod timing;

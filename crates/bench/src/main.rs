@@ -5,6 +5,7 @@
 //! repro --all            # run everything (in parallel across the pool)
 //! repro --table1 --fig2  # run selected experiments
 //! repro --list           # list experiment ids
+//! repro --metrics        # instrumentation smoke + results/metrics.json
 //! ```
 //!
 //! Each experiment prints a human-readable block and writes
@@ -16,8 +17,8 @@
 //! blocks are printed in registry order once all runners finish, so the
 //! rendered report is byte-identical at any thread count.
 
-use hlpower_bench::experiments;
 use hlpower_bench::report::ExperimentResult;
+use hlpower_bench::{experiments, metrics};
 use hlpower_rng::par;
 
 type Runner = fn() -> ExperimentResult;
@@ -75,7 +76,9 @@ fn main() {
     let registry = registry();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         println!("repro — regenerate the survey's tables and figures\n");
-        println!("usage: repro [--all] [--list] [flags...]\n");
+        println!("usage: repro [--all] [--list] [--metrics] [flags...]\n");
+        println!("--metrics runs an instrumentation smoke pass and dumps the");
+        println!("accumulated counters to results/metrics.json.\n");
         print_flag_list(&registry);
         return;
     }
@@ -85,8 +88,12 @@ fn main() {
     }
     // Reject unknown flags loudly instead of silently ignoring them: a
     // typo like `--tabel1` must not report "experiments complete".
-    let known =
-        |a: &str| a == "--all" || a == "--fig5" || registry.iter().any(|(flag, _, _)| a == *flag);
+    let known = |a: &str| {
+        a == "--all"
+            || a == "--fig5"
+            || a == "--metrics"
+            || registry.iter().any(|(flag, _, _)| a == *flag)
+    };
     let unknown: Vec<&String> = args.iter().filter(|a| !known(a)).collect();
     if !unknown.is_empty() {
         for a in &unknown {
@@ -97,6 +104,7 @@ fn main() {
         std::process::exit(2);
     }
     let run_all = args.iter().any(|a| a == "--all");
+    let want_metrics = args.iter().any(|a| a == "--metrics");
     let selected: Vec<&(&str, &str, Runner)> = registry
         .iter()
         .filter(|(flag, _, _)| {
@@ -104,7 +112,7 @@ fn main() {
             run_all || args.iter().any(|a| a == *flag) || aliased
         })
         .collect();
-    if selected.is_empty() {
+    if selected.is_empty() && !want_metrics {
         eprintln!("no experiment matched; try --list");
         std::process::exit(2);
     }
@@ -119,7 +127,33 @@ fn main() {
             failures += 1;
         }
     }
-    println!("\n{} experiment(s) complete; JSON dumps under results/", results.len());
+    if !results.is_empty() {
+        println!("\n{} experiment(s) complete; JSON dumps under results/", results.len());
+    }
+    if want_metrics {
+        // Make sure every instrumented subsystem has moved (experiments
+        // alone may not touch all of them), then dump the accumulated
+        // metrics — experiment work and smoke work combined.
+        metrics::run_smoke();
+        let snap = hlpower::obs::metrics::snapshot();
+        println!("\n== metrics ({}) ==", snap.schema);
+        print!("{}", snap.render_text());
+        if let Err(e) = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write("results/metrics.json", snap.to_json_pretty()))
+        {
+            eprintln!("warning: could not write results/metrics.json: {e}");
+            failures += 1;
+        } else {
+            println!("\nmetrics dump written to results/metrics.json");
+        }
+        let zeros = metrics::zero_counters(&snap);
+        if !zeros.is_empty() {
+            for z in &zeros {
+                eprintln!("error: instrumented counter `{z}` is zero after the smoke run");
+            }
+            std::process::exit(1);
+        }
+    }
     if failures > 0 {
         std::process::exit(1);
     }

@@ -1,0 +1,123 @@
+//! The `repro --metrics` smoke run: exercises every instrumented
+//! subsystem, snapshots the metric registry, and checks that no required
+//! counter stayed at zero.
+//!
+//! This exists so CI can verify the observability layer end-to-end: the
+//! smoke run drives the zero-delay simulator, the event-driven simulator,
+//! the BDD manager (including a sifting pass), the Monte-Carlo engine,
+//! and the scoped worker pool; the resulting snapshot is printed as a
+//! human-readable summary and archived as bench-style JSON under
+//! `results/metrics.json`.
+
+use hlpower::bdd::build_output_bdds;
+use hlpower::netlist::{
+    gen, monte_carlo_power_seeded_threads, streams, EventDrivenSim, Library, MonteCarloOptions,
+    Netlist, ZeroDelaySim,
+};
+use hlpower_obs::metrics;
+use hlpower_obs::report::Snapshot;
+
+/// Counters that the smoke run must leave nonzero, as `(section, name)`
+/// pairs. One per instrumented subsystem — if any of these reads zero the
+/// instrumentation regressed (or the smoke run stopped covering it).
+pub const REQUIRED_NONZERO: &[(&str, &str)] = &[
+    ("sim_zero_delay", "steps"),
+    ("sim_zero_delay", "gate_evals"),
+    ("sim_event", "steps"),
+    ("sim_event", "events"),
+    ("bdd", "ite_calls"),
+    ("bdd", "nodes_created"),
+    ("bdd", "sift_rounds"),
+    ("monte_carlo", "runs"),
+    ("monte_carlo", "batches"),
+    ("monte_carlo", "cycles"),
+    ("pool", "tasks"),
+    ("pool", "jobs"),
+];
+
+fn adder(bits: usize) -> Netlist {
+    let mut nl = Netlist::new();
+    let a = nl.input_bus("a", bits);
+    let b = nl.input_bus("b", bits);
+    let c0 = nl.constant(false);
+    let s = gen::ripple_adder(&mut nl, &a, &b, c0);
+    nl.output_bus("s", &s);
+    nl
+}
+
+/// Exercises every instrumented subsystem once and returns the resulting
+/// metric snapshot.
+///
+/// The run is small (a few hundred cycles on 8-bit adders plus one BDD
+/// sift on a 6-variable function) — enough to make every counter in
+/// [`REQUIRED_NONZERO`] move without noticeably extending CI.
+pub fn run_smoke() -> Snapshot {
+    let lib = Library::default();
+
+    // Zero-delay simulator.
+    let nl = adder(8);
+    let mut zd = ZeroDelaySim::new(&nl).expect("acyclic adder");
+    zd.run(streams::random(11, nl.input_count()).take(300));
+
+    // Event-driven simulator (captures glitches on the carry chain).
+    let mut ev = EventDrivenSim::new(&nl, &lib).expect("acyclic adder");
+    ev.run(streams::random(13, nl.input_count()).take(200));
+
+    // BDD manager + sifting on the interleaved-AND function, whose size is
+    // order-sensitive (so the sift actually moves variables).
+    let mut bnl = Netlist::new();
+    let xs: Vec<_> = (0..6).map(|i| bnl.input(format!("x{i}"))).collect();
+    let t1 = bnl.and([xs[0], xs[3]]);
+    let t2 = bnl.and([xs[1], xs[4]]);
+    let t3 = bnl.and([xs[2], xs[5]]);
+    let y = bnl.or([t1, t2, t3]);
+    bnl.set_output("y", y);
+    let (m, roots) = build_output_bdds(&bnl).expect("acyclic function");
+    m.sift(&roots);
+
+    // Monte-Carlo engine on two workers (drives the pool's parallel path).
+    let w = nl.input_count();
+    monte_carlo_power_seeded_threads(
+        &nl,
+        &lib,
+        |rng| streams::random_rng(rng, w),
+        42,
+        &MonteCarloOptions { batch_cycles: 100, max_batches: 64, ..Default::default() },
+        2,
+    )
+    .expect("smoke Monte-Carlo run");
+
+    metrics::snapshot()
+}
+
+/// Returns the `section.name` paths from [`REQUIRED_NONZERO`] whose
+/// counters are zero (or missing) in `snap`. Empty means the smoke check
+/// passed.
+pub fn zero_counters(snap: &Snapshot) -> Vec<String> {
+    REQUIRED_NONZERO
+        .iter()
+        .filter(|(section, name)| snap.count(section, name).unwrap_or(0) == 0)
+        .map(|(section, name)| format!("{section}.{name}"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_moves_every_required_counter() {
+        let snap = run_smoke();
+        let zeros = zero_counters(&snap);
+        assert!(zeros.is_empty(), "counters stuck at zero: {zeros:?}");
+    }
+
+    #[test]
+    fn smoke_snapshot_serializes() {
+        let snap = run_smoke();
+        let json = snap.to_json_pretty();
+        assert!(json.contains("\"monte_carlo\""));
+        assert!(json.contains("\"pool\""));
+        assert!(!snap.render_text().is_empty());
+    }
+}

@@ -17,12 +17,24 @@
 //!   CI smoke test.
 //! * `--features criterion` or `HLPOWER_BENCH_FULL=1` — full mode: longer
 //!   measurements, more samples, tighter medians.
+//!
+//! Setting `HLPOWER_BENCH_METRICS=1` additionally prints, after each
+//! benchmark, the per-iteration deltas of every instrumented counter the
+//! measured closure moved (see `hlpower-obs`) — e.g. ITE calls per
+//! iteration for the BDD benches.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use hlpower_obs::metrics;
+use hlpower_obs::report::Value;
+
 fn full_mode() -> bool {
     cfg!(feature = "criterion") || std::env::var_os("HLPOWER_BENCH_FULL").is_some()
+}
+
+fn metrics_mode() -> bool {
+    std::env::var_os("HLPOWER_BENCH_METRICS").is_some()
 }
 
 /// A named group of related benchmarks (prints a header, aligns rows).
@@ -57,15 +69,21 @@ impl Group {
         black_box(f());
         let once = t0.elapsed().max(Duration::from_nanos(1));
         let iters = (sample_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let baseline = metrics_mode().then(metrics::snapshot);
+        let mut total_iters = 0u64;
         let mut per_iter_ns: Vec<f64> = (0..samples)
             .map(|_| {
                 let t = Instant::now();
                 for _ in 0..iters {
                     black_box(f());
                 }
+                total_iters += iters;
                 t.elapsed().as_nanos() as f64 / iters as f64
             })
             .collect();
+        if let Some(baseline) = baseline {
+            print_counter_deltas(&metrics::snapshot().delta(&baseline), total_iters);
+        }
         per_iter_ns.sort_by(f64::total_cmp);
         let median = per_iter_ns[per_iter_ns.len() / 2];
         let (lo, hi) = (per_iter_ns[0], per_iter_ns[per_iter_ns.len() - 1]);
@@ -80,6 +98,25 @@ impl Group {
     /// Ends the group (prints a trailing blank line for readability).
     pub fn finish(self) {
         println!();
+    }
+}
+
+/// Prints the nonzero integer counter deltas of a measured closure,
+/// normalized per iteration (`HLPOWER_BENCH_METRICS=1` mode).
+fn print_counter_deltas(delta: &hlpower_obs::report::Snapshot, iters: u64) {
+    let iters = iters.max(1);
+    for section in &delta.sections {
+        for (name, value) in &section.entries {
+            if let Value::Count(n) = value {
+                if *n > 0 {
+                    println!(
+                        "      {:<32} {:>14.1}/iter",
+                        format!("{}.{name}", section.name),
+                        *n as f64 / iters as f64
+                    );
+                }
+            }
+        }
     }
 }
 

@@ -22,6 +22,7 @@
 //! | [`sw`] | §II-A, §III-A | RISC simulator, Tiwari model, cold scheduling |
 //! | [`estimate`] | §II | entropy, complexity, macro-models, sampling |
 //! | [`optimize`] | §III | bus codes, shutdown, precomputation, gating, guarding, retiming |
+//! | [`obs`] | telemetry | counters, timers, metric snapshots (`repro --metrics`) |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@ pub use hlpower_cdfg as cdfg;
 pub use hlpower_estimate as estimate;
 pub use hlpower_fsm as fsm;
 pub use hlpower_netlist as netlist;
+pub use hlpower_obs as obs;
 pub use hlpower_opt as optimize;
 pub use hlpower_sw as sw;
 

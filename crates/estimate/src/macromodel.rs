@@ -410,6 +410,7 @@ impl TrainedMacroModel {
         kinds: &[MacroModelKind],
         records: &[CycleRecord],
     ) -> Vec<Result<TrainedMacroModel, MacroModelError>> {
+        hlpower_obs::metrics::EST_MACRO_FITS.add(kinds.len() as u64);
         par::map(kinds, |_, &kind| TrainedMacroModel::fit(kind, records))
     }
 

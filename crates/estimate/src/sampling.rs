@@ -9,6 +9,7 @@
 //! reported as work units so the survey's ~50x sampler speedup and the
 //! census-vs-adaptive bias numbers can be reproduced.
 
+use hlpower_obs::metrics as obs;
 use hlpower_rng::{par, Rng};
 
 use crate::macromodel::{CycleRecord, MacroModelError, ModuleHarness, TrainedMacroModel};
@@ -19,6 +20,7 @@ use crate::stats::mean;
 /// prediction is computed, never its value or its position, so the
 /// returned vector is identical for any thread count.
 fn predict_all(model: &TrainedMacroModel, records: &[CycleRecord]) -> Vec<f64> {
+    obs::EST_MACRO_PREDICTIONS.add(records.len() as u64);
     par::map_slices(par::num_threads(), records, |slice| {
         slice.iter().map(|r| model.predict_cycle_fj(r)).collect()
     })
@@ -87,6 +89,7 @@ pub fn cosimulate(
     if records.is_empty() {
         return Err(MacroModelError::NotEnoughData { cycles: 0 });
     }
+    obs::EST_COSIM_RUNS.inc();
     let reference = mean(&records.iter().map(|r| r.energy_fj).collect::<Vec<_>>());
     let (estimate, model_evals, gate_cycles) = match strategy {
         CosimStrategy::Census => {
@@ -102,6 +105,7 @@ pub fn cosimulate(
             // the sample is independent of parallelism); the groups are
             // then evaluated across the worker pool and their means
             // reassembled in draw order.
+            obs::EST_SAMPLER_GROUPS.add(groups as u64);
             let mut rng = Rng::seed_from_u64(seed);
             let starts: Vec<usize> =
                 (0..groups).map(|_| rng.gen_range(0..records.len() - group_size)).collect();

@@ -39,6 +39,12 @@ pub enum NetlistError {
     /// An empty stream or workload was supplied where at least one vector is
     /// required.
     EmptyStream,
+    /// The requested worker-thread count is invalid (zero, or an
+    /// `HLPOWER_THREADS` value that does not parse as a positive integer).
+    InvalidThreadCount {
+        /// Human-readable description of the offending configuration.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -57,6 +63,9 @@ impl fmt::Display for NetlistError {
                 write!(f, "input vector has {got} bits, netlist has {expected} primary inputs")
             }
             NetlistError::EmptyStream => write!(f, "input stream produced no vectors"),
+            NetlistError::InvalidThreadCount { reason } => {
+                write!(f, "invalid worker-thread count: {reason}")
+            }
         }
     }
 }

@@ -10,6 +10,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use hlpower_obs::metrics as obs;
+
 use crate::error::NetlistError;
 use crate::library::Library;
 use crate::netlist::{Netlist, NodeId, NodeKind};
@@ -195,7 +197,9 @@ impl<'a> EventDrivenSim<'a> {
         }
         // Propagate events in time order (transport delay: every scheduled
         // evaluation re-reads current fanin values).
+        let mut events = 0u64;
         while let Some(Reverse((t, id))) = heap.pop() {
+            events += 1;
             let new = self.eval_gate(id);
             if new != self.values[id.index()] {
                 self.values[id.index()] = new;
@@ -209,6 +213,8 @@ impl<'a> EventDrivenSim<'a> {
                 }
             }
         }
+        obs::SIM_EV_STEPS.inc();
+        obs::SIM_EV_EVENTS.add(events);
         // Functional transition accounting: stable-state diff.
         if count {
             for &id in &self.order {
@@ -255,7 +261,11 @@ impl<'a> EventDrivenSim<'a> {
             std::mem::replace(&mut self.functional, vec![0; self.netlist.node_count()]);
         let cycles = self.cycles;
         self.cycles = 0;
-        TimedActivity { activity: Activity { toggles, cycles }, functional }
+        let timed = TimedActivity { activity: Activity { toggles, cycles }, functional };
+        obs::SIM_EV_CYCLES.add(cycles);
+        obs::SIM_EV_TRANSITIONS.add(timed.activity.toggles.iter().sum::<u64>());
+        obs::SIM_EV_GLITCHES.add(timed.total_glitches());
+        timed
     }
 }
 

@@ -20,6 +20,7 @@
 //! must be independent to parallelize), while the serial engine carries
 //! simulator state across batches.
 
+use hlpower_obs::metrics as obs;
 use hlpower_rng::{par, Rng};
 
 use crate::error::NetlistError;
@@ -150,6 +151,8 @@ pub fn monte_carlo_power(
     stream: impl IntoIterator<Item = Vec<bool>>,
     opts: &MonteCarloOptions,
 ) -> Result<MonteCarloResult, NetlistError> {
+    obs::MC_RUNS.inc();
+    let _t = obs::MC_TIME.span();
     let mut sim = ZeroDelaySim::new(netlist)?;
     let mut it = stream.into_iter();
     let mut samples: Vec<f64> = Vec::new();
@@ -171,6 +174,12 @@ pub fn monte_carlo_power(
         let act = sim.take_activity();
         total_cycles += act.cycles;
         samples.push(act.power(netlist, lib).total_power_uw());
+        obs::MC_BATCHES.inc();
+        obs::MC_CYCLES.add(act.cycles);
+        if samples.len() >= 2 {
+            let (_, hw) = mean_half_width(&samples, opts.z);
+            obs::MC_CI_HALF_WIDTH_UW.push(hw);
+        }
         if samples.len() >= 5 {
             let (mean, hw) = mean_half_width(&samples, opts.z);
             if mean > 0.0 && hw / mean < opts.target_relative_error {
@@ -246,7 +255,9 @@ where
     F: Fn(Rng) -> I + Sync,
     I: IntoIterator<Item = Vec<bool>>,
 {
-    monte_carlo_power_seeded_threads(netlist, lib, stream_fn, seed, opts, par::num_threads())
+    let threads = par::num_threads_checked()
+        .map_err(|e| NetlistError::InvalidThreadCount { reason: e.to_string() })?;
+    monte_carlo_power_seeded_threads(netlist, lib, stream_fn, seed, opts, threads)
 }
 
 /// [`monte_carlo_power_seeded`] with an explicit worker count.
@@ -262,7 +273,8 @@ where
 ///
 /// # Errors
 ///
-/// As [`monte_carlo_power`].
+/// As [`monte_carlo_power`], plus [`NetlistError::InvalidThreadCount`]
+/// when `threads` is 0 (previously this was silently clamped to 1).
 pub fn monte_carlo_power_seeded_threads<F, I>(
     netlist: &Netlist,
     lib: &Library,
@@ -275,9 +287,16 @@ where
     F: Fn(Rng) -> I + Sync,
     I: IntoIterator<Item = Vec<bool>>,
 {
+    if threads == 0 {
+        return Err(NetlistError::InvalidThreadCount {
+            reason: "explicit worker count 0".to_string(),
+        });
+    }
     // Surface cyclic-netlist errors once, up front, rather than from
     // whichever worker happens to hit them first.
     ZeroDelaySim::new(netlist)?;
+    obs::MC_RUNS.inc();
+    let _t = obs::MC_TIME.span();
     let root = Rng::seed_from_u64(seed);
     let mut samples: Vec<f64> = Vec::new();
     let mut total_cycles = 0u64;
@@ -287,6 +306,7 @@ where
         let wave_len = WAVE.min(opts.max_batches - samples.len());
         let indices: Vec<u64> = (next_batch..next_batch + wave_len as u64).collect();
         next_batch += wave_len as u64;
+        obs::MC_WAVES.inc();
         let wave: Vec<Result<Option<(f64, u64)>, NetlistError>> =
             par::map_with_threads(threads, &indices, |_, &batch| {
                 let mut sim = ZeroDelaySim::new(netlist)?;
@@ -301,7 +321,8 @@ where
                 let act = sim.take_activity();
                 Ok(Some((act.power(netlist, lib).total_power_uw(), act.cycles)))
             });
-        for outcome in wave {
+        let wave_count = wave.len();
+        for (wi, outcome) in wave.into_iter().enumerate() {
             match outcome? {
                 None => {
                     exhausted = true;
@@ -310,9 +331,19 @@ where
                 Some((power, cycles)) => {
                     samples.push(power);
                     total_cycles += cycles;
+                    obs::MC_BATCHES.inc();
+                    obs::MC_CYCLES.add(cycles);
+                    if samples.len() >= 2 {
+                        let (_, hw) = mean_half_width(&samples, opts.z);
+                        obs::MC_CI_HALF_WIDTH_UW.push(hw);
+                    }
                     if samples.len() >= 5 {
                         let (mean, hw) = mean_half_width(&samples, opts.z);
                         if mean > 0.0 && hw / mean < opts.target_relative_error {
+                            // Speculative batches simulated in this wave but
+                            // past the stop point (same count at any thread
+                            // count — the wave size is a constant).
+                            obs::MC_DISCARDED_BATCHES.add((wave_count - wi - 1) as u64);
                             return Ok(MonteCarloResult {
                                 power_uw: mean,
                                 half_width_uw: hw,
@@ -463,6 +494,22 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5).power_uw, run(6).power_uw);
+    }
+
+    #[test]
+    fn zero_threads_is_an_error_not_a_clamp() {
+        let nl = adder();
+        let lib = Library::default();
+        let w = nl.input_count();
+        let err = monte_carlo_power_seeded_threads(
+            &nl,
+            &lib,
+            |rng| streams::random_rng(rng, w),
+            99,
+            &MonteCarloOptions::default(),
+            0,
+        );
+        assert!(matches!(err, Err(NetlistError::InvalidThreadCount { .. })), "got {err:?}");
     }
 
     #[test]

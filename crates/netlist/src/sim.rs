@@ -1,5 +1,7 @@
 //! Zero-delay (functional) cycle-based simulation with toggle counting.
 
+use hlpower_obs::metrics as obs;
+
 use crate::error::NetlistError;
 use crate::library::Library;
 use crate::netlist::{Netlist, NodeId, NodeKind};
@@ -78,6 +80,8 @@ pub struct ZeroDelaySim<'a> {
     dff_next: Vec<bool>,
     activity: Activity,
     initialized: bool,
+    /// Gate count, cached so `step` can bump the evaluation metric once.
+    gates_per_step: u64,
 }
 
 impl<'a> ZeroDelaySim<'a> {
@@ -102,6 +106,9 @@ impl<'a> ZeroDelaySim<'a> {
                 values[id.index()] = *v;
             }
         }
+        let gates_per_step =
+            order.iter().filter(|&&id| matches!(netlist.kind(id), NodeKind::Gate { .. })).count()
+                as u64;
         Ok(ZeroDelaySim {
             netlist,
             order,
@@ -109,6 +116,7 @@ impl<'a> ZeroDelaySim<'a> {
             dff_next,
             activity: Activity::zero(netlist),
             initialized: false,
+            gates_per_step,
         })
     }
 
@@ -144,6 +152,8 @@ impl<'a> ZeroDelaySim<'a> {
                 expected: self.netlist.input_count(),
             });
         }
+        obs::SIM_ZD_STEPS.inc();
+        obs::SIM_ZD_GATE_EVALS.add(self.gates_per_step);
         let count = self.initialized;
         // Present DFF outputs (sampled at the previous edge).
         for (i, &q) in self.netlist.dffs().iter().enumerate() {
@@ -205,6 +215,8 @@ impl<'a> ZeroDelaySim<'a> {
     pub fn take_activity(&mut self) -> Activity {
         let mut fresh = Activity::zero(self.netlist);
         std::mem::swap(&mut fresh, &mut self.activity);
+        obs::SIM_ZD_CYCLES.add(fresh.cycles);
+        obs::SIM_ZD_TOGGLES.add(fresh.toggles.iter().sum::<u64>());
         fresh
     }
 
@@ -221,6 +233,7 @@ impl<'a> ZeroDelaySim<'a> {
                 expected: self.netlist.input_count(),
             });
         }
+        obs::SIM_ZD_GATE_EVALS.add(self.gates_per_step);
         for (i, &inp) in self.netlist.inputs().iter().enumerate() {
             self.values[inp.index()] = inputs[i];
         }

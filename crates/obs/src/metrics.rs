@@ -1,0 +1,271 @@
+//! The workspace metric registry: one static per instrumented quantity,
+//! grouped by subsystem, plus [`snapshot`] / [`reset_all`].
+//!
+//! Statics live here (rather than in the instrumented crates) so the
+//! reporter can enumerate every metric without a registration step and
+//! so crates need only a one-line `add` at each instrumentation point.
+//!
+//! All counters are additive-commutative: after any deterministic
+//! computation their totals are independent of the thread count that
+//! executed it. The only non-counter state is the Monte-Carlo half-width
+//! [`Series`], which is pushed exclusively from the engines' *serial*
+//! stopping-rule replay and is therefore equally deterministic.
+
+use crate::report::{Section, Snapshot, Value};
+use crate::{Counter, MaxGauge, Series, ShardedCounter, TimerNs};
+
+/// Schema tag stamped into every JSON dump.
+pub const SCHEMA: &str = "hlpower-obs/1";
+
+// --- Zero-delay simulator -------------------------------------------------
+
+/// Clock cycles stepped by the zero-delay simulator (including the
+/// initializing first vector of each run).
+pub static SIM_ZD_STEPS: ShardedCounter = ShardedCounter::new();
+/// Gate evaluations performed by the zero-delay simulator (every gate
+/// settles once per step / combinational evaluation).
+pub static SIM_ZD_GATE_EVALS: ShardedCounter = ShardedCounter::new();
+/// Measured cycles flushed through `take_activity`.
+pub static SIM_ZD_CYCLES: ShardedCounter = ShardedCounter::new();
+/// Node transitions flushed through `take_activity`.
+pub static SIM_ZD_TOGGLES: ShardedCounter = ShardedCounter::new();
+
+// --- Event-driven simulator -----------------------------------------------
+
+/// Clock cycles stepped by the event-driven simulator.
+pub static SIM_EV_STEPS: ShardedCounter = ShardedCounter::new();
+/// Events processed (heap pops) by the event-driven simulator.
+pub static SIM_EV_EVENTS: ShardedCounter = ShardedCounter::new();
+/// All transitions (functional + glitch) flushed through `take_activity`.
+pub static SIM_EV_TRANSITIONS: ShardedCounter = ShardedCounter::new();
+/// Glitch transitions flushed through `take_activity`.
+pub static SIM_EV_GLITCHES: ShardedCounter = ShardedCounter::new();
+/// Measured cycles flushed through `take_activity`.
+pub static SIM_EV_CYCLES: ShardedCounter = ShardedCounter::new();
+
+// --- BDD manager ----------------------------------------------------------
+
+/// Recursive ITE calls (batched per top-level `ite`).
+pub static BDD_ITE_CALLS: ShardedCounter = ShardedCounter::new();
+/// ITE memo-cache hits.
+pub static BDD_ITE_CACHE_HITS: ShardedCounter = ShardedCounter::new();
+/// Decision nodes created (unique-table inserts).
+pub static BDD_NODES_CREATED: ShardedCounter = ShardedCounter::new();
+/// Largest unique table (total node count) seen in any single manager.
+pub static BDD_UNIQUE_TABLE_PEAK: MaxGauge = MaxGauge::new();
+/// Calls to `BddManager::sift`.
+pub static BDD_SIFT_ROUNDS: Counter = Counter::new();
+/// Candidate variable positions evaluated during sifting.
+pub static BDD_SIFT_CANDIDATE_ORDERS: Counter = Counter::new();
+/// Accepted sifting moves (a variable actually changed position).
+pub static BDD_SIFT_MOVES: Counter = Counter::new();
+/// Wall-clock time spent inside `sift`.
+pub static BDD_SIFT_TIME: TimerNs = TimerNs::new();
+
+// --- Monte-Carlo engine ---------------------------------------------------
+
+/// Monte-Carlo estimation runs started (serial + seeded engines).
+pub static MC_RUNS: Counter = Counter::new();
+/// Batches whose power sample was consumed by the stopping rule.
+pub static MC_BATCHES: Counter = Counter::new();
+/// Cycles contributing to consumed batches.
+pub static MC_CYCLES: Counter = Counter::new();
+/// Scheduling waves dispatched by the parallel engine.
+pub static MC_WAVES: Counter = Counter::new();
+/// Speculative batches simulated but discarded at the stop point.
+pub static MC_DISCARDED_BATCHES: Counter = Counter::new();
+/// Wall-clock time inside the Monte-Carlo entry points.
+pub static MC_TIME: TimerNs = TimerNs::new();
+/// Confidence-interval half-width (µW) after each consumed batch, in
+/// batch order (recorded from the serial stopping-rule replay only, so
+/// the trajectory is thread-count-invariant).
+pub static MC_CI_HALF_WIDTH_UW: Series = Series::new();
+
+// --- Worker pool ----------------------------------------------------------
+
+/// Parallel jobs dispatched by `par::map_with_threads` (serial fast-path
+/// calls are counted in `pool.tasks` but not here).
+pub static POOL_JOBS: Counter = Counter::new();
+/// Work items processed (both pooled and serial fast-path).
+pub static POOL_TASKS: ShardedCounter = ShardedCounter::new();
+/// Scoped workers spawned across all pooled jobs.
+pub static POOL_WORKERS_SPAWNED: Counter = Counter::new();
+/// Summed wall-clock time workers spent claiming and running tasks.
+pub static POOL_BUSY_NS: Counter = Counter::new();
+/// Summed worker idle time: `workers x job wall time - busy` (claim
+/// contention and end-of-job starvation; the pool claims from a shared
+/// counter rather than stealing, so this is the steal-time analogue).
+pub static POOL_IDLE_NS: Counter = Counter::new();
+/// Wall-clock time of pooled jobs (span per job).
+pub static POOL_WALL: TimerNs = TimerNs::new();
+
+// --- Estimators -----------------------------------------------------------
+
+/// Co-simulation runs (`estimate::sampling::cosimulate`).
+pub static EST_COSIM_RUNS: Counter = Counter::new();
+/// Sampler group means computed by the sampling co-simulator.
+pub static EST_SAMPLER_GROUPS: Counter = Counter::new();
+/// Cycle records evaluated through a trained macro-model.
+pub static EST_MACRO_PREDICTIONS: ShardedCounter = ShardedCounter::new();
+/// Macro-model regressions fitted.
+pub static EST_MACRO_FITS: Counter = Counter::new();
+
+/// Captures every registered metric into a [`Snapshot`].
+pub fn snapshot() -> Snapshot {
+    let ite_calls = BDD_ITE_CALLS.get();
+    let ite_hits = BDD_ITE_CACHE_HITS.get();
+    Snapshot {
+        schema: SCHEMA,
+        sections: vec![
+            Section {
+                name: "sim_zero_delay",
+                entries: vec![
+                    ("steps", Value::Count(SIM_ZD_STEPS.get())),
+                    ("gate_evals", Value::Count(SIM_ZD_GATE_EVALS.get())),
+                    ("cycles", Value::Count(SIM_ZD_CYCLES.get())),
+                    ("toggles", Value::Count(SIM_ZD_TOGGLES.get())),
+                ],
+            },
+            Section {
+                name: "sim_event",
+                entries: vec![
+                    ("steps", Value::Count(SIM_EV_STEPS.get())),
+                    ("events", Value::Count(SIM_EV_EVENTS.get())),
+                    ("transitions", Value::Count(SIM_EV_TRANSITIONS.get())),
+                    ("glitches", Value::Count(SIM_EV_GLITCHES.get())),
+                    ("cycles", Value::Count(SIM_EV_CYCLES.get())),
+                ],
+            },
+            Section {
+                name: "bdd",
+                entries: vec![
+                    ("ite_calls", Value::Count(ite_calls)),
+                    ("ite_cache_hits", Value::Count(ite_hits)),
+                    ("ite_cache_misses", Value::Count(ite_calls.saturating_sub(ite_hits))),
+                    ("nodes_created", Value::Count(BDD_NODES_CREATED.get())),
+                    ("unique_table_peak", Value::Count(BDD_UNIQUE_TABLE_PEAK.get())),
+                    ("sift_rounds", Value::Count(BDD_SIFT_ROUNDS.get())),
+                    ("sift_candidate_orders", Value::Count(BDD_SIFT_CANDIDATE_ORDERS.get())),
+                    ("sift_moves", Value::Count(BDD_SIFT_MOVES.get())),
+                    ("sift_time_ns", Value::Nanos(BDD_SIFT_TIME.total_ns())),
+                ],
+            },
+            Section {
+                name: "monte_carlo",
+                entries: vec![
+                    ("runs", Value::Count(MC_RUNS.get())),
+                    ("batches", Value::Count(MC_BATCHES.get())),
+                    ("cycles", Value::Count(MC_CYCLES.get())),
+                    ("waves", Value::Count(MC_WAVES.get())),
+                    ("discarded_batches", Value::Count(MC_DISCARDED_BATCHES.get())),
+                    ("time_ns", Value::Nanos(MC_TIME.total_ns())),
+                    ("ci_half_width_uw", Value::Series(MC_CI_HALF_WIDTH_UW.snapshot())),
+                ],
+            },
+            Section {
+                name: "pool",
+                entries: vec![
+                    ("jobs", Value::Count(POOL_JOBS.get())),
+                    ("tasks", Value::Count(POOL_TASKS.get())),
+                    ("workers_spawned", Value::Count(POOL_WORKERS_SPAWNED.get())),
+                    ("busy_ns", Value::Nanos(POOL_BUSY_NS.get())),
+                    ("idle_ns", Value::Nanos(POOL_IDLE_NS.get())),
+                    ("wall_ns", Value::Nanos(POOL_WALL.total_ns())),
+                ],
+            },
+            Section {
+                name: "estimate",
+                entries: vec![
+                    ("cosim_runs", Value::Count(EST_COSIM_RUNS.get())),
+                    ("sampler_groups", Value::Count(EST_SAMPLER_GROUPS.get())),
+                    ("macro_predictions", Value::Count(EST_MACRO_PREDICTIONS.get())),
+                    ("macro_fits", Value::Count(EST_MACRO_FITS.get())),
+                ],
+            },
+        ],
+    }
+}
+
+/// Resets every registered metric to zero.
+///
+/// Intended for process-local baselines (e.g. before a metrics smoke run)
+/// and tests; concurrent instrumented work will interleave with the
+/// reset, so callers wanting exact attribution should quiesce first or
+/// use [`Snapshot::delta`] instead.
+pub fn reset_all() {
+    SIM_ZD_STEPS.reset();
+    SIM_ZD_GATE_EVALS.reset();
+    SIM_ZD_CYCLES.reset();
+    SIM_ZD_TOGGLES.reset();
+    SIM_EV_STEPS.reset();
+    SIM_EV_EVENTS.reset();
+    SIM_EV_TRANSITIONS.reset();
+    SIM_EV_GLITCHES.reset();
+    SIM_EV_CYCLES.reset();
+    BDD_ITE_CALLS.reset();
+    BDD_ITE_CACHE_HITS.reset();
+    BDD_NODES_CREATED.reset();
+    BDD_UNIQUE_TABLE_PEAK.reset();
+    BDD_SIFT_ROUNDS.reset();
+    BDD_SIFT_CANDIDATE_ORDERS.reset();
+    BDD_SIFT_MOVES.reset();
+    BDD_SIFT_TIME.reset();
+    MC_RUNS.reset();
+    MC_BATCHES.reset();
+    MC_CYCLES.reset();
+    MC_WAVES.reset();
+    MC_DISCARDED_BATCHES.reset();
+    MC_TIME.reset();
+    MC_CI_HALF_WIDTH_UW.reset();
+    POOL_JOBS.reset();
+    POOL_TASKS.reset();
+    POOL_WORKERS_SPAWNED.reset();
+    POOL_BUSY_NS.reset();
+    POOL_IDLE_NS.reset();
+    POOL_WALL.reset();
+    EST_COSIM_RUNS.reset();
+    EST_SAMPLER_GROUPS.reset();
+    EST_MACRO_PREDICTIONS.reset();
+    EST_MACRO_FITS.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_covers_all_sections() {
+        let s = snapshot();
+        let names: Vec<&str> = s.sections.iter().map(|x| x.name).collect();
+        assert_eq!(
+            names,
+            vec!["sim_zero_delay", "sim_event", "bdd", "monte_carlo", "pool", "estimate"]
+        );
+        // Every section renders into both output formats.
+        let text = s.render_text();
+        let json = s.to_json_pretty();
+        for n in names {
+            assert!(text.contains(&format!("[{n}]")));
+            assert!(json.contains(&format!("\"{n}\"")));
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_metric_updates_monotonically() {
+        // No reset here: other tests in this binary may run concurrently,
+        // so assert monotone growth via delta instead of absolute values.
+        let before = snapshot();
+        SIM_ZD_STEPS.add(7);
+        BDD_ITE_CALLS.add(3);
+        BDD_ITE_CACHE_HITS.add(1);
+        let d = snapshot().delta(&before);
+        assert!(d.count("sim_zero_delay", "steps").unwrap() >= 7);
+        assert!(d.count("bdd", "ite_calls").unwrap() >= 3);
+        // Derived misses stay consistent: calls - hits.
+        let s = snapshot();
+        assert_eq!(
+            s.count("bdd", "ite_cache_misses").unwrap(),
+            s.count("bdd", "ite_calls").unwrap() - s.count("bdd", "ite_cache_hits").unwrap()
+        );
+    }
+}

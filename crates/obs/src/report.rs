@@ -1,0 +1,286 @@
+//! Metric snapshots: structured values plus human-readable and JSON
+//! rendering.
+//!
+//! The JSON emitter reproduces the bench crate's hand-rolled format
+//! (two-space indents, exact integers, `{:?}`-printed floats) so metric
+//! dumps sit next to `results/*.json` and diff the same way. This crate
+//! cannot depend on `hlpower-bench` (it sits below everything in the
+//! dependency tree), so the small emitter is replicated here.
+
+use std::fmt::Write as _;
+
+/// One metric value inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An event count.
+    Count(u64),
+    /// Accumulated wall-clock nanoseconds.
+    Nanos(u64),
+    /// A floating-point reading.
+    Float(f64),
+    /// A recorded sample trajectory.
+    Series(Vec<f64>),
+}
+
+/// A named group of metrics (one instrumented subsystem).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// Section name (stable JSON key, e.g. `"monte_carlo"`).
+    pub name: &'static str,
+    /// `(metric name, value)` pairs in declaration order.
+    pub entries: Vec<(&'static str, Value)>,
+}
+
+/// A point-in-time copy of every registered metric.
+///
+/// Snapshots are plain data: diff two with [`delta`](Self::delta), render
+/// with [`render_text`](Self::render_text) or
+/// [`to_json_pretty`](Self::to_json_pretty).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Schema tag written into the JSON dump (`"hlpower-obs/1"`).
+    pub schema: &'static str,
+    /// All sections in rendering order.
+    pub sections: Vec<Section>,
+}
+
+impl Snapshot {
+    /// Looks up a metric by section and name.
+    pub fn get(&self, section: &str, name: &str) -> Option<&Value> {
+        self.sections
+            .iter()
+            .find(|s| s.name == section)?
+            .entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Looks up an integer metric ([`Value::Count`] or [`Value::Nanos`]).
+    pub fn count(&self, section: &str, name: &str) -> Option<u64> {
+        match self.get(section, name)? {
+            Value::Count(n) | Value::Nanos(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The snapshot minus a baseline, entry by entry.
+    ///
+    /// Integer values subtract saturating; floats subtract; series keep
+    /// this snapshot's samples (trajectories are not differenced).
+    /// Entries missing from the baseline pass through unchanged.
+    pub fn delta(&self, baseline: &Snapshot) -> Snapshot {
+        let sections = self
+            .sections
+            .iter()
+            .map(|s| Section {
+                name: s.name,
+                entries: s
+                    .entries
+                    .iter()
+                    .map(|(name, v)| {
+                        let d = match (v, baseline.get(s.name, name)) {
+                            (Value::Count(n), Some(Value::Count(b))) => {
+                                Value::Count(n.saturating_sub(*b))
+                            }
+                            (Value::Nanos(n), Some(Value::Nanos(b))) => {
+                                Value::Nanos(n.saturating_sub(*b))
+                            }
+                            (Value::Float(x), Some(Value::Float(b))) => Value::Float(x - b),
+                            _ => v.clone(),
+                        };
+                        (*name, d)
+                    })
+                    .collect(),
+            })
+            .collect();
+        Snapshot { schema: self.schema, sections }
+    }
+
+    /// Renders an aligned, human-readable summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for section in &self.sections {
+            let _ = writeln!(out, "[{}]", section.name);
+            for (name, value) in &section.entries {
+                match value {
+                    Value::Count(n) => {
+                        let _ = writeln!(out, "  {name:<28} {n}");
+                    }
+                    Value::Nanos(n) => {
+                        let _ = writeln!(out, "  {name:<28} {}", fmt_ns(*n));
+                    }
+                    Value::Float(x) => {
+                        let _ = writeln!(out, "  {name:<28} {x:.6}");
+                    }
+                    Value::Series(xs) => {
+                        let _ = writeln!(out, "  {name:<28} {} point(s)", xs.len());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes to the bench-style pretty JSON format.
+    ///
+    /// The top-level object carries a `"schema"` tag followed by one
+    /// object per section; counters are exact integers, floats print via
+    /// `{:?}` (shortest round-tripping decimal, non-finite → `null`).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": ");
+        write_json_str(&mut out, self.schema);
+        for section in &self.sections {
+            out.push_str(",\n  ");
+            write_json_str(&mut out, section.name);
+            out.push_str(": {");
+            for (i, (name, value)) in section.entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n    ");
+                write_json_str(&mut out, name);
+                out.push_str(": ");
+                match value {
+                    Value::Count(n) | Value::Nanos(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    Value::Float(x) => write_json_f64(&mut out, *x),
+                    Value::Series(xs) => {
+                        if xs.is_empty() {
+                            out.push_str("[]");
+                        } else {
+                            out.push('[');
+                            for (j, x) in xs.iter().enumerate() {
+                                if j > 0 {
+                                    out.push(',');
+                                }
+                                out.push_str("\n      ");
+                                write_json_f64(&mut out, *x);
+                            }
+                            out.push_str("\n    ]");
+                        }
+                    }
+                }
+            }
+            if section.entries.is_empty() {
+                out.push('}');
+            } else {
+                out.push_str("\n  }");
+            }
+        }
+        out.push_str("\n}");
+        out
+    }
+}
+
+fn write_json_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            schema: "hlpower-obs/1",
+            sections: vec![
+                Section {
+                    name: "sim",
+                    entries: vec![
+                        ("steps", Value::Count(10)),
+                        ("time", Value::Nanos(1_500)),
+                        ("rate", Value::Float(2.5)),
+                    ],
+                },
+                Section { name: "mc", entries: vec![("traj", Value::Series(vec![1.0, 0.5]))] },
+            ],
+        }
+    }
+
+    #[test]
+    fn lookup_and_count() {
+        let s = sample();
+        assert_eq!(s.count("sim", "steps"), Some(10));
+        assert_eq!(s.count("sim", "time"), Some(1500));
+        assert_eq!(s.count("sim", "rate"), None);
+        assert_eq!(s.count("nope", "steps"), None);
+        assert!(matches!(s.get("mc", "traj"), Some(Value::Series(v)) if v.len() == 2));
+    }
+
+    #[test]
+    fn delta_subtracts_saturating() {
+        let mut later = sample();
+        later.sections[0].entries[0].1 = Value::Count(25);
+        let d = later.delta(&sample());
+        assert_eq!(d.count("sim", "steps"), Some(15));
+        assert_eq!(d.count("sim", "time"), Some(0));
+        // Series pass through.
+        assert!(matches!(d.get("mc", "traj"), Some(Value::Series(v)) if v.len() == 2));
+    }
+
+    #[test]
+    fn text_render_names_every_metric() {
+        let text = sample().render_text();
+        assert!(text.contains("[sim]"));
+        assert!(text.contains("steps"));
+        assert!(text.contains("1.50 us"));
+        assert!(text.contains("2 point(s)"));
+    }
+
+    #[test]
+    fn json_matches_bench_style() {
+        let json = sample().to_json_pretty();
+        assert!(json.starts_with("{\n  \"schema\": \"hlpower-obs/1\""));
+        assert!(json.contains("\"sim\": {\n    \"steps\": 10"));
+        assert!(json.contains("\"rate\": 2.5"));
+        assert!(json.contains("\"traj\": [\n      1.0,\n      0.5\n    ]"));
+        assert!(json.ends_with("\n}"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let s = Snapshot {
+            schema: "hlpower-obs/1",
+            sections: vec![Section { name: "x", entries: vec![("nan", Value::Float(f64::NAN))] }],
+        };
+        assert!(s.to_json_pretty().contains("\"nan\": null"));
+    }
+}

@@ -21,19 +21,52 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use hlpower_obs::metrics as obs;
+
+/// The `HLPOWER_THREADS` environment variable holds a value that does not
+/// parse as a positive integer.
+///
+/// Returned by [`num_threads_checked`]; callers that must not silently
+/// fall back (e.g. the Monte-Carlo entry points) surface this to the user
+/// instead of clamping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadConfigError {
+    /// The offending raw value of `HLPOWER_THREADS`.
+    pub value: String,
+}
+
+impl std::fmt::Display for ThreadConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HLPOWER_THREADS={:?} is not a positive integer", self.value)
+    }
+}
+
+impl std::error::Error for ThreadConfigError {}
+
+/// Worker count resolution that rejects invalid `HLPOWER_THREADS` values.
+///
+/// * unset (or non-unicode) → `Ok(available_parallelism)` (1 if unknown)
+/// * set to a positive integer `n` → `Ok(n)`
+/// * set to `0` or anything unparseable → `Err(ThreadConfigError)`
+pub fn num_threads_checked() -> Result<usize, ThreadConfigError> {
+    match std::env::var("HLPOWER_THREADS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(ThreadConfigError { value: v }),
+        },
+        Err(_) => Ok(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)),
+    }
+}
 
 /// Default worker count: the `HLPOWER_THREADS` environment variable if set
 /// to a positive integer, otherwise [`std::thread::available_parallelism`]
-/// (1 if unavailable).
+/// (1 if unavailable). Invalid values fall back to the default; use
+/// [`num_threads_checked`] to surface them as errors instead.
 pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("HLPOWER_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    num_threads_checked()
+        .unwrap_or_else(|_| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 /// Maps `f` over `items` on the default worker count ([`num_threads`]).
@@ -65,16 +98,22 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let threads = threads.max(1).min(items.len().max(1));
+    obs::POOL_TASKS.add(items.len() as u64);
     if threads == 1 || items.len() <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    obs::POOL_JOBS.inc();
+    obs::POOL_WORKERS_SPAWNED.add(threads as u64);
+    let _wall = obs::POOL_WALL.span();
+    let started = Instant::now();
     let next = AtomicUsize::new(0);
     let f = &f;
     let next = &next;
-    let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+    let (mut buckets, busy_ns): (Vec<Vec<(usize, R)>>, u64) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
+                    let begin = Instant::now();
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -83,14 +122,20 @@ where
                         }
                         local.push((i, f(i, &items[i])));
                     }
-                    local
+                    (local, begin.elapsed().as_nanos() as u64)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join()).collect::<Result<_, _>>().unwrap_or_else(|e| {
-            std::panic::resume_unwind(e);
-        })
+        let joined: Vec<(Vec<(usize, R)>, u64)> =
+            handles.into_iter().map(|h| h.join()).collect::<Result<_, _>>().unwrap_or_else(|e| {
+                std::panic::resume_unwind(e);
+            });
+        let busy = joined.iter().map(|(_, ns)| *ns).sum();
+        (joined.into_iter().map(|(local, _)| local).collect(), busy)
     });
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    obs::POOL_BUSY_NS.add(busy_ns);
+    obs::POOL_IDLE_NS.add((wall_ns * threads as u64).saturating_sub(busy_ns));
     let mut merged: Vec<(usize, R)> = buckets.drain(..).flatten().collect();
     merged.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(merged.len(), items.len());

@@ -1,0 +1,129 @@
+//! Serialization round-trip: `parse(emit(nl))` then `emit` again must be
+//! a fixed point for every circuit generator, and the emitted text must
+//! match the golden snapshots under `tests/golden/`.
+//!
+//! Regenerate the snapshots after an intentional format change with:
+//!
+//! ```text
+//! HLPOWER_BLESS=1 cargo test -q --offline -p hlpower --test golden_roundtrip
+//! ```
+
+use std::path::PathBuf;
+
+use hlpower::netlist::io::{parse_netlist, write_netlist};
+use hlpower::netlist::{gen, streams, Netlist, ZeroDelaySim};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
+}
+
+/// Every generator under test, as `(snapshot name, builder)`.
+fn generators() -> Vec<(&'static str, Netlist)> {
+    let ripple = {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 8);
+        let b = nl.input_bus("b", 8);
+        let c0 = nl.constant(false);
+        let s = gen::ripple_adder(&mut nl, &a, &b, c0);
+        nl.output_bus("sum", &s);
+        nl
+    };
+    let multiplier = {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 4);
+        let b = nl.input_bus("b", 4);
+        let p = gen::array_multiplier(&mut nl, &a, &b);
+        nl.output_bus("p", &p);
+        nl
+    };
+    let alu = {
+        let mut nl = Netlist::new();
+        let op0 = nl.input("op0");
+        let op1 = nl.input("op1");
+        let a = nl.input_bus("a", 4);
+        let b = nl.input_bus("b", 4);
+        let y = gen::alu(&mut nl, [op0, op1], &a, &b);
+        nl.output_bus("y", &y);
+        nl
+    };
+    let comparator = {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 6);
+        let b = nl.input_bus("b", 6);
+        let eq = gen::equality(&mut nl, &a, &b);
+        let lt = gen::less_than(&mut nl, &a, &b);
+        nl.set_output("eq", eq);
+        nl.set_output("lt", lt);
+        nl
+    };
+    let fir = {
+        let mut nl = Netlist::new();
+        let x = nl.input_bus("x", 8);
+        let y = gen::fir_filter(&mut nl, &x, &[7, 13, 7], true);
+        nl.output_bus("y", &y);
+        nl
+    };
+    let random = {
+        let mut nl = Netlist::new();
+        gen::random_logic(&mut nl, 2024, 6, 24, 3);
+        nl
+    };
+    vec![
+        ("ripple_adder", ripple),
+        ("array_multiplier", multiplier),
+        ("alu", alu),
+        ("comparator", comparator),
+        ("fir_shift_add", fir),
+        ("random_logic", random),
+    ]
+}
+
+/// `parse -> emit -> parse` is a fixed point, and the reparsed netlist is
+/// functionally identical to the original.
+#[test]
+fn emit_parse_emit_is_a_fixed_point_for_every_generator() {
+    for (name, nl) in generators() {
+        let text1 = write_netlist(&nl);
+        let back = parse_netlist(&text1).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        let text2 = write_netlist(&back);
+        assert_eq!(text1, text2, "{name}: emit(parse(emit(nl))) differs from emit(nl)");
+        let back2 = parse_netlist(&text2).expect("fixed point reparses");
+        assert_eq!(text2, write_netlist(&back2), "{name}: second round trip diverged");
+
+        // Functional equivalence of original and reparsed netlists.
+        assert_eq!(back.input_count(), nl.input_count(), "{name}");
+        assert_eq!(back.node_count(), nl.node_count(), "{name}");
+        let mut s1 = ZeroDelaySim::new(&nl).expect("acyclic");
+        let mut s2 = ZeroDelaySim::new(&back).expect("acyclic");
+        for v in streams::random(77, nl.input_count()).take(100) {
+            s1.step(&v).expect("width");
+            s2.step(&v).expect("width");
+            assert_eq!(s1.output_values(), s2.output_values(), "{name}");
+        }
+    }
+}
+
+/// Emitted text matches the golden snapshots (`HLPOWER_BLESS=1`
+/// regenerates them after an intentional format change).
+#[test]
+fn emitted_text_matches_golden_snapshots() {
+    let bless = std::env::var_os("HLPOWER_BLESS").is_some();
+    for (name, nl) in generators() {
+        let text = write_netlist(&nl);
+        let path = golden_dir().join(format!("{name}.nl"));
+        if bless {
+            std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+            std::fs::write(&path, &text).expect("write golden file");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("{name}: missing golden file {} ({e}); run with HLPOWER_BLESS=1", path.display())
+        });
+        assert_eq!(
+            text,
+            golden,
+            "{name}: emitted netlist differs from {}; bless with HLPOWER_BLESS=1 if intended",
+            path.display()
+        );
+    }
+}
