@@ -12,3 +12,7 @@ cargo run --release --offline -p hlpower-bench --bin repro -- --table1
 # Instrumentation smoke: exits non-zero if any instrumented counter is
 # still zero after the pass; dumps results/metrics.json.
 cargo run --release --offline -p hlpower-bench --bin repro -- --metrics
+# Simulation throughput smoke: exits non-zero if the packed 64-lane
+# kernel is not faster than the scalar one (or if their Monte-Carlo
+# results are not bit-identical); dumps results/BENCH_sim.json.
+cargo bench --offline -p hlpower-bench --bench sim_throughput

@@ -10,6 +10,7 @@
 //! `results/metrics.json`.
 
 use hlpower::bdd::build_output_bdds;
+use hlpower::estimate::ModuleHarness;
 use hlpower::netlist::{
     gen, monte_carlo_power_seeded_threads, streams, EventDrivenSim, Library, MonteCarloOptions,
     Netlist, ZeroDelaySim,
@@ -23,6 +24,11 @@ use hlpower_obs::report::Snapshot;
 pub const REQUIRED_NONZERO: &[(&str, &str)] = &[
     ("sim_zero_delay", "steps"),
     ("sim_zero_delay", "gate_evals"),
+    ("sim_packed", "steps"),
+    ("sim_packed", "gate_evals"),
+    ("sim_packed", "lane_cycles"),
+    ("sim_packed", "toggles"),
+    ("sim_packed", "blocks"),
     ("sim_event", "steps"),
     ("sim_event", "events"),
     ("bdd", "ite_calls"),
@@ -75,17 +81,23 @@ pub fn run_smoke() -> Snapshot {
     let (m, roots) = build_output_bdds(&bnl).expect("acyclic function");
     m.sift(&roots);
 
-    // Monte-Carlo engine on two workers (drives the pool's parallel path).
+    // Monte-Carlo engine on two workers (drives the pool's parallel path
+    // and, through the default kernel, the lane-parallel packed simulator).
     let w = nl.input_count();
     monte_carlo_power_seeded_threads(
         &nl,
         &lib,
         |rng| streams::random_rng(rng, w),
         42,
-        &MonteCarloOptions { batch_cycles: 100, max_batches: 64, ..Default::default() },
+        &MonteCarloOptions { batch_cycles: 100, max_batches: 192, ..Default::default() },
         2,
     )
     .expect("smoke Monte-Carlo run");
+
+    // Macro-model characterization trace (drives the time-packed
+    // combinational kernel: `sim_packed.blocks`).
+    let harness = ModuleHarness::adder(8, Library::default());
+    harness.trace(streams::random(17, 16).take(130)).expect("smoke trace");
 
     metrics::snapshot()
 }

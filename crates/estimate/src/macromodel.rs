@@ -20,7 +20,7 @@
 use std::error::Error;
 use std::fmt;
 
-use hlpower_netlist::{gen, Library, Netlist, NetlistError, ZeroDelaySim};
+use hlpower_netlist::{gen, BlockSim64, Library, Netlist, NetlistError, ZeroDelaySim, LANES};
 use hlpower_rng::par;
 
 use crate::stats::{least_squares, stepwise_select, StreamStats};
@@ -198,10 +198,29 @@ impl ModuleHarness {
     /// Simulates the module cycle by cycle, producing one record per
     /// cycle after the first.
     ///
+    /// Purely combinational modules (every module the built-in harnesses
+    /// construct) run on the time-packed [`BlockSim64`] kernel — one
+    /// network evaluation per 64 cycles — and sequential modules fall back
+    /// to the scalar simulator. Both paths produce bit-identical records:
+    /// packed toggles are exact, and per-cycle energies accumulate in the
+    /// same node-ascending f64 order as the scalar sum.
+    ///
     /// # Errors
     ///
     /// Returns a netlist error on width mismatches.
     pub fn trace(
+        &self,
+        stream: impl IntoIterator<Item = Vec<bool>>,
+    ) -> Result<Vec<CycleRecord>, MacroModelError> {
+        if self.netlist.dffs().is_empty() {
+            self.trace_packed(stream)
+        } else {
+            self.trace_scalar(stream)
+        }
+    }
+
+    /// Scalar reference implementation of [`trace`](Self::trace).
+    fn trace_scalar(
         &self,
         stream: impl IntoIterator<Item = Vec<bool>>,
     ) -> Result<Vec<CycleRecord>, MacroModelError> {
@@ -214,52 +233,134 @@ impl ModuleHarness {
             let out = sim.output_values();
             let act = sim.take_activity();
             if let (Some(pi), Some(po)) = (&prev_in, &prev_out) {
-                let n = v.len() as f64;
-                let in_prob = v.iter().filter(|&&b| b).count() as f64 / n;
-                let pin_toggles: Vec<f64> =
-                    v.iter().zip(pi).map(|(a, b)| (a != b) as u8 as f64).collect();
-                let in_act = pin_toggles.iter().sum::<f64>() / n;
-                let out_act = out.iter().zip(po).filter(|(a, b)| a != b).count() as f64
-                    / out.len().max(1) as f64;
-                let mut operand_u_act = Vec::with_capacity(self.operand_widths.len());
-                let mut operand_sign_class = Vec::with_capacity(self.operand_widths.len());
-                let mut offset = 0;
-                for (oi, &w) in self.operand_widths.iter().enumerate() {
-                    let bp = self.breakpoints[oi].min(w);
-                    let u_bits = bp.max(1);
-                    let u_act = pin_toggles[offset..offset + bp.max(1).min(w)].iter().sum::<f64>()
-                        / u_bits as f64;
-                    operand_u_act.push(u_act);
-                    let prev_sign = pi[offset + w - 1];
-                    let cur_sign = v[offset + w - 1];
-                    operand_sign_class.push(match (prev_sign, cur_sign) {
-                        (false, false) => 0,
-                        (false, true) => 1,
-                        (true, false) => 2,
-                        (true, true) => 3,
-                    });
-                    offset += w;
-                }
                 let energy_fj: f64 = act
                     .toggles
                     .iter()
                     .enumerate()
                     .map(|(i, &t)| t as f64 * self.energy_per_toggle[i])
                     .sum();
-                records.push(CycleRecord {
-                    in_prob,
-                    in_act,
-                    out_act,
-                    pin_toggles,
-                    operand_u_act,
-                    operand_sign_class,
-                    energy_fj,
-                });
+                records.push(self.make_record(&v, pi, &out, po, energy_fj));
             }
             prev_in = Some(v);
             prev_out = Some(out);
         }
         Ok(records)
+    }
+
+    /// Time-packed implementation of [`trace`](Self::trace) for
+    /// combinational modules: 64 consecutive cycles per evaluated block.
+    fn trace_packed(
+        &self,
+        stream: impl IntoIterator<Item = Vec<bool>>,
+    ) -> Result<Vec<CycleRecord>, MacroModelError> {
+        let width = self.netlist.input_count();
+        let out_nodes: Vec<_> = self.netlist.outputs().iter().map(|&(_, n)| n).collect();
+        let mut bs = BlockSim64::new(&self.netlist)?;
+        let mut records = Vec::new();
+        let mut it = stream.into_iter();
+        let mut prev_in: Option<Vec<bool>> = None;
+        let mut prev_out: Option<Vec<bool>> = None;
+        loop {
+            let mut block: Vec<Vec<bool>> = Vec::with_capacity(LANES);
+            while block.len() < LANES {
+                match it.next() {
+                    Some(v) => {
+                        if v.len() != width {
+                            return Err(NetlistError::InputWidthMismatch {
+                                got: v.len(),
+                                expected: width,
+                            }
+                            .into());
+                        }
+                        block.push(v);
+                    }
+                    None => break,
+                }
+            }
+            if block.is_empty() {
+                break;
+            }
+            let valid = block.len();
+            let mut words = vec![0u64; width];
+            for (c, v) in block.iter().enumerate() {
+                for (i, &b) in v.iter().enumerate() {
+                    words[i] |= (b as u64) << c;
+                }
+            }
+            bs.eval_block(&words, valid)?;
+            // Scatter per-cycle energies node-major: nodes ascend exactly
+            // like the scalar per-cycle sum, and skipped zero-toggle terms
+            // contribute `+ 0.0`, so each cycle's f64 total is bitwise
+            // identical to the scalar path.
+            let mut energies = [0.0f64; LANES];
+            for idx in 0..self.netlist.node_count() {
+                let mut d = bs.diff_word_at(idx);
+                while d != 0 {
+                    let c = d.trailing_zeros() as usize;
+                    energies[c] += self.energy_per_toggle[idx];
+                    d &= d - 1;
+                }
+            }
+            let out_words: Vec<u64> = out_nodes.iter().map(|&n| bs.value_word(n)).collect();
+            for (c, v) in block.into_iter().enumerate() {
+                let out: Vec<bool> = out_words.iter().map(|w| (w >> c) & 1 == 1).collect();
+                if let (Some(pi), Some(po)) = (&prev_in, &prev_out) {
+                    records.push(self.make_record(&v, pi, &out, po, energies[c]));
+                }
+                prev_in = Some(v);
+                prev_out = Some(out);
+            }
+            if valid < LANES {
+                break;
+            }
+        }
+        Ok(records)
+    }
+
+    /// Builds one cycle's record from raw vectors — shared by the scalar
+    /// and packed trace paths so their feature math cannot drift apart.
+    fn make_record(
+        &self,
+        v: &[bool],
+        pi: &[bool],
+        out: &[bool],
+        po: &[bool],
+        energy_fj: f64,
+    ) -> CycleRecord {
+        let n = v.len() as f64;
+        let in_prob = v.iter().filter(|&&b| b).count() as f64 / n;
+        let pin_toggles: Vec<f64> = v.iter().zip(pi).map(|(a, b)| (a != b) as u8 as f64).collect();
+        let in_act = pin_toggles.iter().sum::<f64>() / n;
+        let out_act =
+            out.iter().zip(po).filter(|(a, b)| a != b).count() as f64 / out.len().max(1) as f64;
+        let mut operand_u_act = Vec::with_capacity(self.operand_widths.len());
+        let mut operand_sign_class = Vec::with_capacity(self.operand_widths.len());
+        let mut offset = 0;
+        for (oi, &w) in self.operand_widths.iter().enumerate() {
+            let bp = self.breakpoints[oi].min(w);
+            let u_bits = bp.max(1);
+            let u_act =
+                pin_toggles[offset..offset + bp.max(1).min(w)].iter().sum::<f64>() / u_bits as f64;
+            operand_u_act.push(u_act);
+            let prev_sign = pi[offset + w - 1];
+            let cur_sign = v[offset + w - 1];
+            operand_sign_class.push(match (prev_sign, cur_sign) {
+                (false, false) => 0,
+                (false, true) => 1,
+                (true, false) => 2,
+                (true, true) => 3,
+            });
+            offset += w;
+        }
+        CycleRecord {
+            in_prob,
+            in_act,
+            out_act,
+            pin_toggles,
+            operand_u_act,
+            operand_sign_class,
+            energy_fj,
+        }
     }
 }
 
@@ -503,6 +604,28 @@ mod tests {
         nl.output_bus("y", &a);
         let err = ModuleHarness::new(nl, Library::default(), vec![8]).unwrap_err();
         assert!(matches!(err, MacroModelError::OperandMismatch { declared: 8, actual: 4 }));
+    }
+
+    #[test]
+    fn packed_trace_is_bit_identical_to_scalar_trace() {
+        // Combinational modules route through the time-packed kernel;
+        // every record field, including the f64 energies, must match the
+        // scalar reference bitwise. Use a stream length that exercises a
+        // partial final block (257 = 4 * 64 + 1).
+        for h in [
+            ModuleHarness::adder(8, Library::default()),
+            ModuleHarness::multiplier(5, Library::default()),
+        ] {
+            let w = h.netlist().input_count();
+            let vectors: Vec<Vec<bool>> = streams::random(31, w).take(257).collect();
+            let packed = h.trace(vectors.clone()).unwrap();
+            let scalar = h.trace_scalar(vectors).unwrap();
+            assert_eq!(packed.len(), scalar.len());
+            for (p, s) in packed.iter().zip(&scalar) {
+                assert_eq!(p, s);
+                assert_eq!(p.energy_fj.to_bits(), s.energy_fj.to_bits());
+            }
+        }
     }
 
     #[test]

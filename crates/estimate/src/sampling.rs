@@ -8,6 +8,12 @@
 //! number of true gate-level-simulated cycles (*adaptive*). Costs are
 //! reported as work units so the survey's ~50x sampler speedup and the
 //! census-vs-adaptive bias numbers can be reproduced.
+//!
+//! The gate-level reference traces consumed here come from
+//! [`ModuleHarness::trace`], which runs combinational modules on the
+//! time-packed 64-cycle [`hlpower_netlist::BlockSim64`] kernel; the
+//! records (and thus every co-simulation result) are bit-identical to the
+//! scalar simulator's, just cheaper to produce.
 
 use hlpower_obs::metrics as obs;
 use hlpower_rng::{par, Rng};

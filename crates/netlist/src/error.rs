@@ -45,6 +45,20 @@ pub enum NetlistError {
         /// Human-readable description of the offending configuration.
         reason: String,
     },
+    /// Two [`crate::Activity`] records from different netlists (different
+    /// node counts) were merged.
+    ActivitySizeMismatch {
+        /// Node count of the record being merged into.
+        left: usize,
+        /// Node count of the record being merged from.
+        right: usize,
+    },
+    /// A combinational-only engine was asked to simulate a sequential
+    /// netlist.
+    NotCombinational {
+        /// Number of flip-flops in the offending netlist.
+        dffs: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -65,6 +79,12 @@ impl fmt::Display for NetlistError {
             NetlistError::EmptyStream => write!(f, "input stream produced no vectors"),
             NetlistError::InvalidThreadCount { reason } => {
                 write!(f, "invalid worker-thread count: {reason}")
+            }
+            NetlistError::ActivitySizeMismatch { left, right } => {
+                write!(f, "activity size mismatch: {left} vs {right} nodes")
+            }
+            NetlistError::NotCombinational { dffs } => {
+                write!(f, "netlist is sequential ({dffs} flip-flops), expected combinational")
             }
         }
     }

@@ -48,6 +48,7 @@ mod netlist;
 mod power;
 mod prob;
 mod sim;
+mod sim64;
 pub mod streams;
 pub mod words;
 
@@ -57,9 +58,10 @@ pub use io::{parse_netlist, write_netlist, ParseNetlistError};
 pub use library::{GateKind, Library};
 pub use montecarlo::{
     monte_carlo_power, monte_carlo_power_seeded, monte_carlo_power_seeded_threads,
-    MonteCarloOptions, MonteCarloResult,
+    monte_carlo_power_seeded_threads_kernel, McKernel, MonteCarloOptions, MonteCarloResult,
 };
 pub use netlist::{Bus, GroupId, Netlist, NodeId, NodeKind};
 pub use power::{GroupPower, PowerReport};
 pub use prob::{ProbabilityAnalysis, SignalStats};
 pub use sim::{Activity, ZeroDelaySim};
+pub use sim64::{BlockSim64, Sim64, LANES};

@@ -8,17 +8,25 @@
 //!   instance consumes an arbitrary input-vector iterator, one power
 //!   sample per batch, normal-approximation stopping rule.
 //! * [`monte_carlo_power_seeded`] — the parallel form: every batch gets
-//!   its own simulator and its own RNG stream, *split by batch index* from
-//!   a root seed ([`hlpower_rng::Rng::split`]). Batches are sharded across
-//!   a scoped worker pool in fixed-size waves, and the stopping rule is
-//!   applied in batch-index order, so the result is **bit-identical for
-//!   any thread count** — `threads = 1` and `threads = 64` return the
-//!   same `MonteCarloResult`, exactly.
+//!   its own RNG stream, *split by batch index* from a root seed
+//!   ([`hlpower_rng::Rng::split`]). Batches are sharded across a scoped
+//!   worker pool in fixed-size waves, and the stopping rule is applied in
+//!   batch-index order, so the result is **bit-identical for any thread
+//!   count** — `threads = 1` and `threads = 64` return the same
+//!   `MonteCarloResult`, exactly.
 //!
-//! The two forms are statistically equivalent but not bit-compatible with
-//! each other: the seeded engine restarts the simulator per batch (batches
-//! must be independent to parallelize), while the serial engine carries
-//! simulator state across batches.
+//! The seeded engine runs on one of two simulation kernels ([`McKernel`]):
+//! the scalar [`ZeroDelaySim`] (one simulator per batch) or the default
+//! bit-parallel [`Sim64`], which packs 64 batches into the 64 bit lanes of
+//! one compiled simulator instance. Per-lane toggle counts are exact
+//! integers, so the two kernels produce **bit-identical results** — the
+//! packed kernel is purely a wall-clock optimization and the scalar kernel
+//! remains available as the differential oracle.
+//!
+//! The serial and seeded forms are statistically equivalent but not
+//! bit-compatible with each other: the seeded engine restarts the
+//! simulator per batch (batches must be independent to parallelize), while
+//! the serial engine carries simulator state across batches.
 
 use hlpower_obs::metrics as obs;
 use hlpower_rng::{par, Rng};
@@ -27,14 +35,35 @@ use crate::error::NetlistError;
 use crate::library::Library;
 use crate::netlist::Netlist;
 use crate::sim::ZeroDelaySim;
+use crate::sim64::{Sim64, LANES};
 
-/// Batches dispatched per scheduling wave of the parallel engine.
+/// Batches dispatched per scheduling wave of the scalar kernel.
 ///
 /// The wave size is a fixed constant — *never* derived from the worker
 /// count — because the set of batches simulated ahead of the stopping
 /// check must not depend on parallelism for results to be bit-identical
 /// across thread counts.
 const WAVE: usize = 16;
+
+/// 64-lane words dispatched per scheduling wave of the packed kernel
+/// (`WAVE_WORDS * 64` batches per wave). Fixed for the same reason as
+/// [`WAVE`].
+const WAVE_WORDS: usize = 4;
+
+/// The simulation kernel used by the seeded Monte-Carlo engine.
+///
+/// Both kernels return bit-identical [`MonteCarloResult`]s for the same
+/// `(netlist, lib, stream_fn, seed, opts)`: batch `b` of the packed kernel
+/// is lane `b % 64` of word `b / 64`, fed by the same split stream
+/// `root.split(b)` a scalar batch would consume, and per-lane activities
+/// are exact. The only difference is wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McKernel {
+    /// One scalar [`ZeroDelaySim`] per batch — the differential oracle.
+    Scalar,
+    /// One bit-parallel [`Sim64`] per 64 batches (the default).
+    Packed64,
+}
 
 /// Options controlling a Monte-Carlo power-estimation run.
 ///
@@ -260,16 +289,8 @@ where
     monte_carlo_power_seeded_threads(netlist, lib, stream_fn, seed, opts, threads)
 }
 
-/// [`monte_carlo_power_seeded`] with an explicit worker count.
-///
-/// Batches are scheduled in fixed-size waves ([`WAVE`] batches per wave,
-/// a constant): each wave's batch samples are computed in parallel — each
-/// batch on a fresh simulator, fed by `stream_fn(root.split(batch))` — and
-/// then the serial stopping rule is replayed over the samples in
-/// batch-index order. A batch's sample is a pure function of the seed and
-/// its index, and the stopping decision is a pure function of the ordered
-/// sample prefix, so every thread count computes the identical result (at
-/// most `WAVE - 1` speculative batches are discarded at the stop point).
+/// [`monte_carlo_power_seeded`] with an explicit worker count, on the
+/// default [`McKernel::Packed64`] kernel.
 ///
 /// # Errors
 ///
@@ -282,6 +303,49 @@ pub fn monte_carlo_power_seeded_threads<F, I>(
     seed: u64,
     opts: &MonteCarloOptions,
     threads: usize,
+) -> Result<MonteCarloResult, NetlistError>
+where
+    F: Fn(Rng) -> I + Sync,
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    monte_carlo_power_seeded_threads_kernel(
+        netlist,
+        lib,
+        stream_fn,
+        seed,
+        opts,
+        threads,
+        McKernel::Packed64,
+    )
+}
+
+/// [`monte_carlo_power_seeded_threads`] with an explicit simulation
+/// kernel.
+///
+/// Work is scheduled in fixed-size waves of parallel tasks — [`WAVE`]
+/// single-batch tasks for the scalar kernel, [`WAVE_WORDS`] 64-lane words
+/// (64 batches each) for the packed kernel — and the serial stopping rule
+/// is replayed over the resulting power samples in batch-index order.
+/// Batch `b` is fed by `stream_fn(root.split(b))` under either kernel, a
+/// batch's sample is a pure function of the seed and its index, and the
+/// stopping decision is a pure function of the ordered sample prefix, so
+/// **every thread count and both kernels compute the identical result**;
+/// only the number of speculative batches discarded at the stop point
+/// (an `hlpower-obs` counter, not a result) depends on the kernel's wave
+/// granularity.
+///
+/// # Errors
+///
+/// As [`monte_carlo_power_seeded_threads`].
+#[allow(clippy::too_many_arguments)]
+pub fn monte_carlo_power_seeded_threads_kernel<F, I>(
+    netlist: &Netlist,
+    lib: &Library,
+    stream_fn: F,
+    seed: u64,
+    opts: &MonteCarloOptions,
+    threads: usize,
+    kernel: McKernel,
 ) -> Result<MonteCarloResult, NetlistError>
 where
     F: Fn(Rng) -> I + Sync,
@@ -303,57 +367,74 @@ where
     let mut exhausted = false;
     let mut next_batch = 0u64;
     while !exhausted && samples.len() < opts.max_batches {
-        let wave_len = WAVE.min(opts.max_batches - samples.len());
-        let indices: Vec<u64> = (next_batch..next_batch + wave_len as u64).collect();
-        next_batch += wave_len as u64;
+        let remaining = opts.max_batches - samples.len();
+        // Task groups for this wave as `(first batch index, batch count)`.
+        // Group shapes are a pure function of (kernel, remaining), never of
+        // the thread count, so the simulated-batch set stays deterministic.
+        let groups: Vec<(u64, usize)> = match kernel {
+            McKernel::Scalar => {
+                (0..WAVE.min(remaining)).map(|i| (next_batch + i as u64, 1)).collect()
+            }
+            McKernel::Packed64 => (0..WAVE_WORDS.min(remaining.div_ceil(LANES)))
+                .map(|w| (next_batch + (w * LANES) as u64, LANES))
+                .collect(),
+        };
+        let dispatched: usize = groups.iter().map(|&(_, n)| n).sum();
+        next_batch += dispatched as u64;
         obs::MC_WAVES.inc();
-        let wave: Vec<Result<Option<(f64, u64)>, NetlistError>> =
-            par::map_with_threads(threads, &indices, |_, &batch| {
-                let mut sim = ZeroDelaySim::new(netlist)?;
-                let mut got = 0usize;
-                for v in stream_fn(root.split(batch)).into_iter().take(opts.batch_cycles) {
-                    sim.step(&v)?;
-                    got += 1;
+        let wave: Vec<Result<Vec<Option<(f64, u64)>>, NetlistError>> =
+            par::map_with_threads(threads, &groups, |_, &(base, lanes)| match kernel {
+                McKernel::Scalar => {
+                    Ok(vec![run_scalar_batch(netlist, lib, &stream_fn, &root, base, opts)?])
                 }
-                if got == 0 {
-                    return Ok(None);
+                McKernel::Packed64 => {
+                    run_packed_word(netlist, lib, &stream_fn, &root, base, lanes, opts)
                 }
-                let act = sim.take_activity();
-                Ok(Some((act.power(netlist, lib).total_power_uw(), act.cycles)))
             });
-        let wave_count = wave.len();
-        for (wi, outcome) in wave.into_iter().enumerate() {
-            match outcome? {
-                None => {
-                    exhausted = true;
-                    break;
+        let mut consumed = 0usize;
+        let mut stop = None;
+        'replay: for outcome in wave {
+            for sample in outcome? {
+                if samples.len() >= opts.max_batches {
+                    break 'replay;
                 }
-                Some((power, cycles)) => {
-                    samples.push(power);
-                    total_cycles += cycles;
-                    obs::MC_BATCHES.inc();
-                    obs::MC_CYCLES.add(cycles);
-                    if samples.len() >= 2 {
-                        let (_, hw) = mean_half_width(&samples, opts.z);
-                        obs::MC_CI_HALF_WIDTH_UW.push(hw);
+                match sample {
+                    None => {
+                        exhausted = true;
+                        break 'replay;
                     }
-                    if samples.len() >= 5 {
-                        let (mean, hw) = mean_half_width(&samples, opts.z);
-                        if mean > 0.0 && hw / mean < opts.target_relative_error {
-                            // Speculative batches simulated in this wave but
-                            // past the stop point (same count at any thread
-                            // count — the wave size is a constant).
-                            obs::MC_DISCARDED_BATCHES.add((wave_count - wi - 1) as u64);
-                            return Ok(MonteCarloResult {
-                                power_uw: mean,
-                                half_width_uw: hw,
-                                batches: samples.len(),
-                                cycles: total_cycles,
-                            });
+                    Some((power, cycles)) => {
+                        consumed += 1;
+                        samples.push(power);
+                        total_cycles += cycles;
+                        obs::MC_BATCHES.inc();
+                        obs::MC_CYCLES.add(cycles);
+                        if samples.len() >= 2 {
+                            let (_, hw) = mean_half_width(&samples, opts.z);
+                            obs::MC_CI_HALF_WIDTH_UW.push(hw);
+                        }
+                        if samples.len() >= 5 {
+                            let (mean, hw) = mean_half_width(&samples, opts.z);
+                            if mean > 0.0 && hw / mean < opts.target_relative_error {
+                                stop = Some((mean, hw));
+                                break 'replay;
+                            }
                         }
                     }
                 }
             }
+        }
+        // Batches simulated this wave but never consumed by the stopping
+        // rule (speculation past the stop point, the budget, or a dead
+        // stream). Pure function of the kernel and the sample prefix.
+        obs::MC_DISCARDED_BATCHES.add((dispatched - consumed - usize::from(exhausted)) as u64);
+        if let Some((mean, hw)) = stop {
+            return Ok(MonteCarloResult {
+                power_uw: mean,
+                half_width_uw: hw,
+                batches: samples.len(),
+                cycles: total_cycles,
+            });
         }
     }
     if samples.is_empty() {
@@ -366,6 +447,98 @@ where
         batches: samples.len(),
         cycles: total_cycles,
     })
+}
+
+/// Simulates one batch on the scalar kernel: a fresh [`ZeroDelaySim`] over
+/// `stream_fn(root.split(batch))`. Returns `None` for an empty stream.
+fn run_scalar_batch<F, I>(
+    netlist: &Netlist,
+    lib: &Library,
+    stream_fn: &F,
+    root: &Rng,
+    batch: u64,
+    opts: &MonteCarloOptions,
+) -> Result<Option<(f64, u64)>, NetlistError>
+where
+    F: Fn(Rng) -> I + Sync,
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    let mut sim = ZeroDelaySim::new(netlist)?;
+    let mut got = 0usize;
+    for v in stream_fn(root.split(batch)).into_iter().take(opts.batch_cycles) {
+        sim.step(&v)?;
+        got += 1;
+    }
+    if got == 0 {
+        return Ok(None);
+    }
+    let act = sim.take_activity();
+    Ok(Some((act.power(netlist, lib).total_power_uw(), act.cycles)))
+}
+
+/// Simulates `lanes` consecutive batches (`base..base + lanes`) on one
+/// bit-parallel [`Sim64`]: lane `l` consumes `stream_fn(root.split(base +
+/// l))`, exactly the vectors the scalar kernel would feed batch `base +
+/// l`. Lanes whose streams end early are masked out of later steps, so
+/// each lane's activity — and therefore its power sample — is
+/// bit-identical to a scalar run of the same stream.
+fn run_packed_word<F, I>(
+    netlist: &Netlist,
+    lib: &Library,
+    stream_fn: &F,
+    root: &Rng,
+    base: u64,
+    lanes: usize,
+    opts: &MonteCarloOptions,
+) -> Result<Vec<Option<(f64, u64)>>, NetlistError>
+where
+    F: Fn(Rng) -> I + Sync,
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    let width = netlist.input_count();
+    let mut sim = Sim64::new(netlist)?;
+    let mut iters: Vec<I::IntoIter> =
+        (0..lanes).map(|l| stream_fn(root.split(base + l as u64)).into_iter()).collect();
+    let mut got = vec![0u64; lanes];
+    let mut words = vec![0u64; width];
+    // Lanes still consuming their streams; a lane that returns `None` once
+    // stays dead (iterator contract), matching the scalar `for` loop.
+    let mut live = if lanes == LANES { !0u64 } else { (1u64 << lanes) - 1 };
+    for _ in 0..opts.batch_cycles {
+        words.iter_mut().for_each(|w| *w = 0);
+        let mut active = 0u64;
+        for (l, it) in iters.iter_mut().enumerate() {
+            if (live >> l) & 1 == 0 {
+                continue;
+            }
+            if let Some(v) = it.next() {
+                if v.len() != width {
+                    return Err(NetlistError::InputWidthMismatch { got: v.len(), expected: width });
+                }
+                for (i, &b) in v.iter().enumerate() {
+                    words[i] |= (b as u64) << l;
+                }
+                active |= 1 << l;
+                got[l] += 1;
+            }
+        }
+        if active == 0 {
+            break;
+        }
+        sim.step_masked(&words, active)?;
+        live = active;
+    }
+    let acts = sim.take_lane_activities();
+    Ok((0..lanes)
+        .map(|l| {
+            if got[l] == 0 {
+                None
+            } else {
+                let act = &acts[l];
+                Some((act.power(netlist, lib).total_power_uw(), act.cycles))
+            }
+        })
+        .collect())
 }
 
 fn mean_half_width(samples: &[f64], z: f64) -> (f64, f64) {
@@ -463,6 +636,44 @@ mod tests {
         assert_eq!(one, run(16));
         assert!(one.power_uw > 0.0);
         assert!(one.relative_error() <= opts.target_relative_error + 1e-9);
+    }
+
+    #[test]
+    fn packed_kernel_is_bit_identical_to_scalar_kernel() {
+        let nl = adder();
+        let lib = Library::default();
+        let w = nl.input_count();
+        let opts = MonteCarloOptions::default();
+        let run = |kernel: McKernel, threads: usize| {
+            monte_carlo_power_seeded_threads_kernel(
+                &nl,
+                &lib,
+                |rng| streams::random_rng(rng, w),
+                99,
+                &opts,
+                threads,
+                kernel,
+            )
+            .unwrap()
+        };
+        let scalar = run(McKernel::Scalar, 1);
+        assert_eq!(scalar, run(McKernel::Packed64, 1));
+        assert_eq!(scalar, run(McKernel::Packed64, 4));
+        // And on short per-batch streams (lane masking in play).
+        let short = MonteCarloOptions { batch_cycles: 37, max_batches: 70, ..Default::default() };
+        let run_short = |kernel: McKernel| {
+            monte_carlo_power_seeded_threads_kernel(
+                &nl,
+                &lib,
+                |rng| streams::random_rng(rng, w).take(23).collect::<Vec<_>>(),
+                5,
+                &short,
+                2,
+                kernel,
+            )
+            .unwrap()
+        };
+        assert_eq!(run_short(McKernel::Scalar), run_short(McKernel::Packed64));
     }
 
     #[test]

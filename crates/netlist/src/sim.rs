@@ -51,15 +51,22 @@ impl Activity {
 
     /// Merges another activity record (same netlist) into this one.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the records have different node counts.
-    pub fn merge(&mut self, other: &Activity) {
-        assert_eq!(self.toggles.len(), other.toggles.len(), "activity size mismatch");
+    /// Returns [`NetlistError::ActivitySizeMismatch`] if the records have
+    /// different node counts; `self` is left unchanged in that case.
+    pub fn merge(&mut self, other: &Activity) -> Result<(), NetlistError> {
+        if self.toggles.len() != other.toggles.len() {
+            return Err(NetlistError::ActivitySizeMismatch {
+                left: self.toggles.len(),
+                right: other.toggles.len(),
+            });
+        }
         for (t, o) in self.toggles.iter_mut().zip(&other.toggles) {
             *t += o;
         }
         self.cycles += other.cycles;
+        Ok(())
     }
 }
 
@@ -82,6 +89,9 @@ pub struct ZeroDelaySim<'a> {
     initialized: bool,
     /// Gate count, cached so `step` can bump the evaluation metric once.
     gates_per_step: u64,
+    /// Reusable fan-in gather buffer (sized to the widest gate) so the
+    /// inner loop never allocates.
+    scratch: Vec<bool>,
 }
 
 impl<'a> ZeroDelaySim<'a> {
@@ -109,6 +119,14 @@ impl<'a> ZeroDelaySim<'a> {
         let gates_per_step =
             order.iter().filter(|&&id| matches!(netlist.kind(id), NodeKind::Gate { .. })).count()
                 as u64;
+        let max_fanin = netlist
+            .node_ids()
+            .map(|id| match netlist.kind(id) {
+                NodeKind::Gate { inputs, .. } => inputs.len(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
         Ok(ZeroDelaySim {
             netlist,
             order,
@@ -117,6 +135,7 @@ impl<'a> ZeroDelaySim<'a> {
             activity: Activity::zero(netlist),
             initialized: false,
             gates_per_step,
+            scratch: Vec::with_capacity(max_fanin),
         })
     }
 
@@ -170,14 +189,15 @@ impl<'a> ZeroDelaySim<'a> {
             }
             self.values[inp.index()] = inputs[i];
         }
-        // Settle combinational logic in topological order.
+        // Settle combinational logic in topological order, gathering fan-in
+        // values into the one preallocated scratch buffer.
         for &id in &self.order {
             if let NodeKind::Gate { kind, inputs: fanin } = self.netlist.kind(id) {
-                let mut acc = Vec::with_capacity(fanin.len());
+                self.scratch.clear();
                 for f in fanin {
-                    acc.push(self.values[f.index()]);
+                    self.scratch.push(self.values[f.index()]);
                 }
-                let new = kind.eval(&acc);
+                let new = kind.eval(&self.scratch);
                 if count && self.values[id.index()] != new {
                     self.activity.toggles[id.index()] += 1;
                 }
@@ -239,8 +259,11 @@ impl<'a> ZeroDelaySim<'a> {
         }
         for &id in &self.order {
             if let NodeKind::Gate { kind, inputs: fanin } = self.netlist.kind(id) {
-                let acc: Vec<bool> = fanin.iter().map(|f| self.values[f.index()]).collect();
-                self.values[id.index()] = kind.eval(&acc);
+                self.scratch.clear();
+                for f in fanin {
+                    self.scratch.push(self.values[f.index()]);
+                }
+                self.values[id.index()] = kind.eval(&self.scratch);
             }
         }
         Ok(self.output_values())
@@ -318,9 +341,27 @@ mod tests {
         let first = sim.take_activity();
         sim.step(&[false, false]).unwrap();
         let second = sim.take_activity();
-        a.merge(&first);
-        a.merge(&second);
+        a.merge(&first).unwrap();
+        a.merge(&second).unwrap();
         assert_eq!(a.cycles, first.cycles + second.cycles);
+    }
+
+    #[test]
+    fn activity_merge_rejects_size_mismatch() {
+        let nl = xor_circuit();
+        let mut a = Activity::zero(&nl);
+        a.toggles[0] = 7;
+        a.cycles = 3;
+        let other = Activity { toggles: vec![0; nl.node_count() + 1], cycles: 9 };
+        let err = a.merge(&other);
+        assert!(
+            matches!(err, Err(NetlistError::ActivitySizeMismatch { left, right })
+                if left == nl.node_count() && right == nl.node_count() + 1),
+            "got {err:?}"
+        );
+        // The failed merge must not have modified the destination.
+        assert_eq!(a.toggles[0], 7);
+        assert_eq!(a.cycles, 3);
     }
 
     #[test]

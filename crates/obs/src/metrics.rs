@@ -30,6 +30,22 @@ pub static SIM_ZD_CYCLES: ShardedCounter = ShardedCounter::new();
 /// Node transitions flushed through `take_activity`.
 pub static SIM_ZD_TOGGLES: ShardedCounter = ShardedCounter::new();
 
+// --- Packed 64-lane simulator ---------------------------------------------
+
+/// Word steps taken by the lane-parallel packed simulator (each advances
+/// up to 64 lanes one cycle).
+pub static SIM64_STEPS: ShardedCounter = ShardedCounter::new();
+/// Word-wide gate evaluations by the packed engines (multiply by 64 for
+/// the scalar-equivalent gate-evaluation count).
+pub static SIM64_GATE_EVALS: ShardedCounter = ShardedCounter::new();
+/// Counted lane-cycles: active lanes per counted step (lane-parallel) or
+/// valid cycles per block (time-parallel).
+pub static SIM64_LANE_CYCLES: ShardedCounter = ShardedCounter::new();
+/// Node transitions flushed out of the packed toggle planes.
+pub static SIM64_TOGGLES: ShardedCounter = ShardedCounter::new();
+/// Time-packed combinational blocks evaluated (up to 64 cycles each).
+pub static SIM64_BLOCKS: ShardedCounter = ShardedCounter::new();
+
 // --- Event-driven simulator -----------------------------------------------
 
 /// Clock cycles stepped by the event-driven simulator.
@@ -127,6 +143,16 @@ pub fn snapshot() -> Snapshot {
                 ],
             },
             Section {
+                name: "sim_packed",
+                entries: vec![
+                    ("steps", Value::Count(SIM64_STEPS.get())),
+                    ("gate_evals", Value::Count(SIM64_GATE_EVALS.get())),
+                    ("lane_cycles", Value::Count(SIM64_LANE_CYCLES.get())),
+                    ("toggles", Value::Count(SIM64_TOGGLES.get())),
+                    ("blocks", Value::Count(SIM64_BLOCKS.get())),
+                ],
+            },
+            Section {
                 name: "sim_event",
                 entries: vec![
                     ("steps", Value::Count(SIM_EV_STEPS.get())),
@@ -197,6 +223,11 @@ pub fn reset_all() {
     SIM_ZD_GATE_EVALS.reset();
     SIM_ZD_CYCLES.reset();
     SIM_ZD_TOGGLES.reset();
+    SIM64_STEPS.reset();
+    SIM64_GATE_EVALS.reset();
+    SIM64_LANE_CYCLES.reset();
+    SIM64_TOGGLES.reset();
+    SIM64_BLOCKS.reset();
     SIM_EV_STEPS.reset();
     SIM_EV_EVENTS.reset();
     SIM_EV_TRANSITIONS.reset();
@@ -239,7 +270,15 @@ mod tests {
         let names: Vec<&str> = s.sections.iter().map(|x| x.name).collect();
         assert_eq!(
             names,
-            vec!["sim_zero_delay", "sim_event", "bdd", "monte_carlo", "pool", "estimate"]
+            vec![
+                "sim_zero_delay",
+                "sim_packed",
+                "sim_event",
+                "bdd",
+                "monte_carlo",
+                "pool",
+                "estimate"
+            ]
         );
         // Every section renders into both output formats.
         let text = s.render_text();
