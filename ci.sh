@@ -16,3 +16,8 @@ cargo run --release --offline -p hlpower-bench --bin repro -- --metrics
 # kernel is not faster than the scalar one (or if their Monte-Carlo
 # results are not bit-identical); dumps results/BENCH_sim.json.
 cargo bench --offline -p hlpower-bench --bench sim_throughput
+# Timed (glitch) simulation smoke: exits non-zero if the packed 64-lane
+# time-wheel kernel is not faster than the scalar event-driven simulator
+# (or if their glitch-power results are not bit-identical); dumps
+# results/BENCH_glitch.json.
+cargo bench --offline -p hlpower-bench --bench glitch_throughput

@@ -29,7 +29,7 @@ fn main() {
     });
     g.bench_function("full_simulation_5000", || {
         let mut sim = ZeroDelaySim::new(black_box(&nl)).expect("acyclic");
-        let act = sim.run(streams::random(3, nl.input_count()).take(5000));
+        let act = sim.run(streams::random(3, nl.input_count()).take(5000)).expect("width matches");
         act.power(&nl, &lib).total_power_uw()
     });
     g.finish();

@@ -51,7 +51,7 @@ pub fn entropy_models() -> ExperimentResult {
         let est = entropy::entropy_power_estimate(&nl, &lib, streams::random(3, n).take(3000))
             .expect("acyclic");
         let mut sim = ZeroDelaySim::new(&nl).expect("acyclic");
-        let act = sim.run(streams::random(3, n).take(3000));
+        let act = sim.run(streams::random(3, n).take(3000)).expect("width matches");
         let truth = act.power(&nl, &lib).net_power_uw;
         lines.push(format!(
             "{name:<13} sim {truth:>8.1} uW | Marculescu {:>8.1} uW ({:+.0}%) | Nemani-Najm {:>8.1} uW ({:+.0}%)",

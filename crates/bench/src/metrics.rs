@@ -12,8 +12,8 @@
 use hlpower::bdd::build_output_bdds;
 use hlpower::estimate::ModuleHarness;
 use hlpower::netlist::{
-    gen, monte_carlo_power_seeded_threads, streams, EventDrivenSim, Library, MonteCarloOptions,
-    Netlist, ZeroDelaySim,
+    gen, monte_carlo_power_seeded_threads, streams, timed_activity, EventDrivenSim, Library,
+    MonteCarloOptions, Netlist, TimedKernel, ZeroDelaySim,
 };
 use hlpower_obs::metrics;
 use hlpower_obs::report::Snapshot;
@@ -31,6 +31,11 @@ pub const REQUIRED_NONZERO: &[(&str, &str)] = &[
     ("sim_packed", "blocks"),
     ("sim_event", "steps"),
     ("sim_event", "events"),
+    ("sim_ev_packed", "steps"),
+    ("sim_ev_packed", "events"),
+    ("sim_ev_packed", "lane_cycles"),
+    ("sim_ev_packed", "transitions"),
+    ("sim_ev_packed", "glitches"),
     ("bdd", "ite_calls"),
     ("bdd", "nodes_created"),
     ("bdd", "sift_rounds"),
@@ -63,11 +68,15 @@ pub fn run_smoke() -> Snapshot {
     // Zero-delay simulator.
     let nl = adder(8);
     let mut zd = ZeroDelaySim::new(&nl).expect("acyclic adder");
-    zd.run(streams::random(11, nl.input_count()).take(300));
+    zd.run(streams::random(11, nl.input_count()).take(300)).expect("width matches");
 
     // Event-driven simulator (captures glitches on the carry chain).
     let mut ev = EventDrivenSim::new(&nl, &lib).expect("acyclic adder");
-    ev.run(streams::random(13, nl.input_count()).take(200));
+    ev.run(streams::random(13, nl.input_count()).take(200)).expect("width matches");
+
+    // Packed timed kernel (the 64-lane time-wheel glitch simulator).
+    let stream: Vec<Vec<bool>> = streams::random(19, nl.input_count()).take(150).collect();
+    timed_activity(&nl, &lib, &stream, TimedKernel::Packed64).expect("width matches");
 
     // BDD manager + sifting on the interleaved-AND function, whose size is
     // order-sensitive (so the sift actually moves variables).

@@ -341,7 +341,7 @@ mod tests {
             entropy_power_estimate(&nl, &lib, streams::random(5, nl.input_count()).take(3000))
                 .unwrap();
         let mut sim = ZeroDelaySim::new(&nl).unwrap();
-        let act = sim.run(streams::random(5, nl.input_count()).take(3000));
+        let act = sim.run(streams::random(5, nl.input_count()).take(3000)).expect("width matches");
         let truth = act.power(&nl, &lib).net_power_uw;
         for est_p in [est.power_uw_marculescu, est.power_uw_nemani_najm] {
             let ratio = est_p / truth;

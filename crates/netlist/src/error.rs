@@ -59,6 +59,26 @@ pub enum NetlistError {
         /// Number of flip-flops in the offending netlist.
         dffs: usize,
     },
+    /// A [`crate::TimedActivity`] records more functional transitions than
+    /// total transitions on a node, so the glitch count would underflow.
+    /// This indicates the record was assembled from mismatched runs (e.g.
+    /// counters taken mid-stream or merged across different stimuli).
+    GlitchUnderflow {
+        /// Index of the offending node.
+        node: usize,
+        /// Total transitions recorded for the node.
+        toggles: u64,
+        /// Functional transitions recorded for the node.
+        functional: u64,
+    },
+    /// A [`crate::TimedActivity`]'s functional-transition vector does not
+    /// have one entry per node of its toggle vector.
+    FunctionalSizeMismatch {
+        /// Length of the toggle vector.
+        toggles: usize,
+        /// Length of the functional vector.
+        functional: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -85,6 +105,20 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::NotCombinational { dffs } => {
                 write!(f, "netlist is sequential ({dffs} flip-flops), expected combinational")
+            }
+            NetlistError::GlitchUnderflow { node, toggles, functional } => {
+                write!(
+                    f,
+                    "glitch count underflow on node {node}: {toggles} toggles < {functional} \
+                     functional transitions"
+                )
+            }
+            NetlistError::FunctionalSizeMismatch { toggles, functional } => {
+                write!(
+                    f,
+                    "timed activity size mismatch: {toggles} toggle entries vs {functional} \
+                     functional entries"
+                )
             }
         }
     }

@@ -552,7 +552,8 @@ mod tests {
         let lib = crate::Library::default();
         let measure = |nl: &Netlist| {
             let mut sim = ZeroDelaySim::new(nl).unwrap();
-            let act = sim.run(streams::random(4, nl.input_count()).take(300));
+            let act =
+                sim.run(streams::random(4, nl.input_count()).take(300)).expect("width matches");
             act.power(nl, &lib).switched_cap_ff_per_cycle
         };
         let before = build(false);

@@ -26,7 +26,7 @@
 //!
 //! let lib = Library::default();
 //! let mut sim = ZeroDelaySim::new(&nl)?;
-//! let activity = sim.run(streams::random(7, nl.input_count()).take(1000));
+//! let activity = sim.run(streams::random(7, nl.input_count()).take(1000))?;
 //! let report = activity.power(&nl, &lib);
 //! assert!(report.total_power_uw() > 0.0);
 //! # Ok(())
@@ -49,6 +49,7 @@ mod power;
 mod prob;
 mod sim;
 mod sim64;
+mod sim64timed;
 pub mod streams;
 pub mod words;
 
@@ -57,11 +58,14 @@ pub use event::{EventDrivenSim, TimedActivity};
 pub use io::{parse_netlist, write_netlist, ParseNetlistError};
 pub use library::{GateKind, Library};
 pub use montecarlo::{
-    monte_carlo_power, monte_carlo_power_seeded, monte_carlo_power_seeded_threads,
-    monte_carlo_power_seeded_threads_kernel, McKernel, MonteCarloOptions, MonteCarloResult,
+    monte_carlo_glitch_power_seeded, monte_carlo_glitch_power_seeded_threads,
+    monte_carlo_glitch_power_seeded_threads_kernel, monte_carlo_power, monte_carlo_power_seeded,
+    monte_carlo_power_seeded_threads, monte_carlo_power_seeded_threads_kernel, McKernel,
+    MonteCarloOptions, MonteCarloResult,
 };
 pub use netlist::{Bus, GroupId, Netlist, NodeId, NodeKind};
 pub use power::{GroupPower, PowerReport};
 pub use prob::{ProbabilityAnalysis, SignalStats};
 pub use sim::{Activity, ZeroDelaySim};
 pub use sim64::{BlockSim64, Sim64, LANES};
+pub use sim64timed::{timed_activity, TimedKernel, TimedSim64};

@@ -32,10 +32,12 @@ use hlpower_obs::metrics as obs;
 use hlpower_rng::{par, Rng};
 
 use crate::error::NetlistError;
+use crate::event::EventDrivenSim;
 use crate::library::Library;
 use crate::netlist::Netlist;
 use crate::sim::ZeroDelaySim;
 use crate::sim64::{Sim64, LANES};
+use crate::sim64timed::{TimedKernel, TimedSim64};
 
 /// Batches dispatched per scheduling wave of the scalar kernel.
 ///
@@ -351,17 +353,138 @@ where
     F: Fn(Rng) -> I + Sync,
     I: IntoIterator<Item = Vec<bool>>,
 {
+    // Surface cyclic-netlist errors once, up front, rather than from
+    // whichever worker happens to hit them first.
+    ZeroDelaySim::new(netlist)?;
+    let root = Rng::seed_from_u64(seed);
+    let packed = matches!(kernel, McKernel::Packed64);
+    seeded_wave_engine(opts, threads, packed, |base, lanes| match kernel {
+        McKernel::Scalar => {
+            Ok(vec![run_scalar_batch(netlist, lib, &stream_fn, &root, base, opts)?])
+        }
+        McKernel::Packed64 => run_packed_word(netlist, lib, &stream_fn, &root, base, lanes, opts),
+    })
+}
+
+/// Parallel Monte-Carlo estimation of *glitch-aware* (real-delay) average
+/// power on the default worker count and the default
+/// [`TimedKernel::Packed64`] kernel.
+///
+/// This is the timed-simulation sibling of [`monte_carlo_power_seeded`]:
+/// identical batching, splitting, and stopping-rule semantics, but each
+/// batch is simulated under the library's transport-delay model, so the
+/// power samples include glitch transitions the zero-delay estimator
+/// cannot see (on arithmetic circuits these can dominate — the survey's
+/// motivation for real-delay estimation).
+///
+/// # Errors
+///
+/// As [`monte_carlo_power`].
+pub fn monte_carlo_glitch_power_seeded<F, I>(
+    netlist: &Netlist,
+    lib: &Library,
+    stream_fn: F,
+    seed: u64,
+    opts: &MonteCarloOptions,
+) -> Result<MonteCarloResult, NetlistError>
+where
+    F: Fn(Rng) -> I + Sync,
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    let threads = par::num_threads_checked()
+        .map_err(|e| NetlistError::InvalidThreadCount { reason: e.to_string() })?;
+    monte_carlo_glitch_power_seeded_threads(netlist, lib, stream_fn, seed, opts, threads)
+}
+
+/// [`monte_carlo_glitch_power_seeded`] with an explicit worker count.
+///
+/// # Errors
+///
+/// As [`monte_carlo_power_seeded_threads`].
+pub fn monte_carlo_glitch_power_seeded_threads<F, I>(
+    netlist: &Netlist,
+    lib: &Library,
+    stream_fn: F,
+    seed: u64,
+    opts: &MonteCarloOptions,
+    threads: usize,
+) -> Result<MonteCarloResult, NetlistError>
+where
+    F: Fn(Rng) -> I + Sync,
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    monte_carlo_glitch_power_seeded_threads_kernel(
+        netlist,
+        lib,
+        stream_fn,
+        seed,
+        opts,
+        threads,
+        TimedKernel::default(),
+    )
+}
+
+/// [`monte_carlo_glitch_power_seeded_threads`] with an explicit timed
+/// kernel.
+///
+/// Batch `b` is fed by `stream_fn(root.split(b))` under either kernel and
+/// per-lane timed activities are exact, so — as with the zero-delay engine
+/// — **every thread count and both kernels compute the identical result**.
+///
+/// # Errors
+///
+/// As [`monte_carlo_power_seeded_threads`].
+#[allow(clippy::too_many_arguments)]
+pub fn monte_carlo_glitch_power_seeded_threads_kernel<F, I>(
+    netlist: &Netlist,
+    lib: &Library,
+    stream_fn: F,
+    seed: u64,
+    opts: &MonteCarloOptions,
+    threads: usize,
+    kernel: TimedKernel,
+) -> Result<MonteCarloResult, NetlistError>
+where
+    F: Fn(Rng) -> I + Sync,
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    ZeroDelaySim::new(netlist)?;
+    let root = Rng::seed_from_u64(seed);
+    let packed = matches!(kernel, TimedKernel::Packed64);
+    seeded_wave_engine(opts, threads, packed, |base, lanes| match kernel {
+        TimedKernel::Scalar => {
+            Ok(vec![run_scalar_glitch_batch(netlist, lib, &stream_fn, &root, base, opts)?])
+        }
+        TimedKernel::Packed64 => {
+            run_packed_glitch_word(netlist, lib, &stream_fn, &root, base, lanes, opts)
+        }
+    })
+}
+
+/// The shared seeded-engine core: fixed-size speculative waves plus the
+/// serial stopping-rule replay in batch-index order.
+///
+/// `run_group(base, lanes)` simulates batches `base..base + lanes` and
+/// returns one `(power, cycles)` sample per batch (`None` for an empty
+/// stream). Wave shapes are a pure function of `(packed, remaining)`,
+/// never of the thread count, so the simulated-batch set — and therefore
+/// the result — is bit-identical for any `threads`.
+fn seeded_wave_engine<G>(
+    opts: &MonteCarloOptions,
+    threads: usize,
+    packed: bool,
+    run_group: G,
+) -> Result<MonteCarloResult, NetlistError>
+where
+    G: Fn(u64, usize) -> Result<Vec<Option<(f64, u64)>>, NetlistError> + Sync,
+{
     if threads == 0 {
         return Err(NetlistError::InvalidThreadCount {
             reason: "explicit worker count 0".to_string(),
         });
     }
-    // Surface cyclic-netlist errors once, up front, rather than from
-    // whichever worker happens to hit them first.
-    ZeroDelaySim::new(netlist)?;
     obs::MC_RUNS.inc();
     let _t = obs::MC_TIME.span();
-    let root = Rng::seed_from_u64(seed);
     let mut samples: Vec<f64> = Vec::new();
     let mut total_cycles = 0u64;
     let mut exhausted = false;
@@ -369,28 +492,18 @@ where
     while !exhausted && samples.len() < opts.max_batches {
         let remaining = opts.max_batches - samples.len();
         // Task groups for this wave as `(first batch index, batch count)`.
-        // Group shapes are a pure function of (kernel, remaining), never of
-        // the thread count, so the simulated-batch set stays deterministic.
-        let groups: Vec<(u64, usize)> = match kernel {
-            McKernel::Scalar => {
-                (0..WAVE.min(remaining)).map(|i| (next_batch + i as u64, 1)).collect()
-            }
-            McKernel::Packed64 => (0..WAVE_WORDS.min(remaining.div_ceil(LANES)))
+        let groups: Vec<(u64, usize)> = if packed {
+            (0..WAVE_WORDS.min(remaining.div_ceil(LANES)))
                 .map(|w| (next_batch + (w * LANES) as u64, LANES))
-                .collect(),
+                .collect()
+        } else {
+            (0..WAVE.min(remaining)).map(|i| (next_batch + i as u64, 1)).collect()
         };
         let dispatched: usize = groups.iter().map(|&(_, n)| n).sum();
         next_batch += dispatched as u64;
         obs::MC_WAVES.inc();
         let wave: Vec<Result<Vec<Option<(f64, u64)>>, NetlistError>> =
-            par::map_with_threads(threads, &groups, |_, &(base, lanes)| match kernel {
-                McKernel::Scalar => {
-                    Ok(vec![run_scalar_batch(netlist, lib, &stream_fn, &root, base, opts)?])
-                }
-                McKernel::Packed64 => {
-                    run_packed_word(netlist, lib, &stream_fn, &root, base, lanes, opts)
-                }
-            });
+            par::map_with_threads(threads, &groups, |_, &(base, lanes)| run_group(base, lanes));
         let mut consumed = 0usize;
         let mut stop = None;
         'replay: for outcome in wave {
@@ -541,6 +654,96 @@ where
         .collect())
 }
 
+/// Simulates one glitch batch on the scalar timed kernel: a fresh
+/// [`EventDrivenSim`] over `stream_fn(root.split(batch))`. Returns `None`
+/// for an empty stream.
+fn run_scalar_glitch_batch<F, I>(
+    netlist: &Netlist,
+    lib: &Library,
+    stream_fn: &F,
+    root: &Rng,
+    batch: u64,
+    opts: &MonteCarloOptions,
+) -> Result<Option<(f64, u64)>, NetlistError>
+where
+    F: Fn(Rng) -> I + Sync,
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    let mut sim = EventDrivenSim::new(netlist, lib)?;
+    let mut got = 0usize;
+    for v in stream_fn(root.split(batch)).into_iter().take(opts.batch_cycles) {
+        sim.step(&v)?;
+        got += 1;
+    }
+    if got == 0 {
+        return Ok(None);
+    }
+    let act = sim.take_activity();
+    Ok(Some((act.activity.power(netlist, lib).total_power_uw(), act.activity.cycles)))
+}
+
+/// Simulates `lanes` consecutive glitch batches on one [`TimedSim64`],
+/// with the same lane/stream mapping and end-of-stream masking as
+/// [`run_packed_word`]. Each lane's timed activity — and therefore its
+/// glitch-aware power sample — is bit-identical to a scalar
+/// [`EventDrivenSim`] run of the same stream.
+fn run_packed_glitch_word<F, I>(
+    netlist: &Netlist,
+    lib: &Library,
+    stream_fn: &F,
+    root: &Rng,
+    base: u64,
+    lanes: usize,
+    opts: &MonteCarloOptions,
+) -> Result<Vec<Option<(f64, u64)>>, NetlistError>
+where
+    F: Fn(Rng) -> I + Sync,
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    let width = netlist.input_count();
+    let mut sim = TimedSim64::new(netlist, lib)?;
+    let mut iters: Vec<I::IntoIter> =
+        (0..lanes).map(|l| stream_fn(root.split(base + l as u64)).into_iter()).collect();
+    let mut got = vec![0u64; lanes];
+    let mut words = vec![0u64; width];
+    let mut live = if lanes == LANES { !0u64 } else { (1u64 << lanes) - 1 };
+    for _ in 0..opts.batch_cycles {
+        words.iter_mut().for_each(|w| *w = 0);
+        let mut active = 0u64;
+        for (l, it) in iters.iter_mut().enumerate() {
+            if (live >> l) & 1 == 0 {
+                continue;
+            }
+            if let Some(v) = it.next() {
+                if v.len() != width {
+                    return Err(NetlistError::InputWidthMismatch { got: v.len(), expected: width });
+                }
+                for (i, &b) in v.iter().enumerate() {
+                    words[i] |= (b as u64) << l;
+                }
+                active |= 1 << l;
+                got[l] += 1;
+            }
+        }
+        if active == 0 {
+            break;
+        }
+        sim.step_masked(&words, active)?;
+        live = active;
+    }
+    let acts = sim.take_lane_activities();
+    Ok((0..lanes)
+        .map(|l| {
+            if got[l] == 0 {
+                None
+            } else {
+                let act = &acts[l].activity;
+                Some((act.power(netlist, lib).total_power_uw(), act.cycles))
+            }
+        })
+        .collect())
+}
+
 fn mean_half_width(samples: &[f64], z: f64) -> (f64, f64) {
     let n = samples.len() as f64;
     let mean = samples.iter().sum::<f64>() / n;
@@ -598,7 +801,7 @@ mod tests {
         )
         .unwrap();
         let mut sim = ZeroDelaySim::new(&nl).unwrap();
-        let act = sim.run(streams::random(123, nl.input_count()).take(40_000));
+        let act = sim.run(streams::random(123, nl.input_count()).take(40_000)).unwrap();
         let full = act.power(&nl, &lib).total_power_uw();
         let rel = (mc.power_uw - full).abs() / full;
         assert!(rel < 0.03, "mc {:.2} vs full {:.2}", mc.power_uw, full);
@@ -721,6 +924,48 @@ mod tests {
             0,
         );
         assert!(matches!(err, Err(NetlistError::InvalidThreadCount { .. })), "got {err:?}");
+    }
+
+    #[test]
+    fn glitch_engine_is_kernel_and_thread_invariant() {
+        // Use a multiplier so glitch power actually differs from
+        // zero-delay power.
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", 4);
+        let b = nl.input_bus("b", 4);
+        let p = crate::gen::array_multiplier(&mut nl, &a, &b);
+        nl.output_bus("p", &p);
+        let lib = Library::default();
+        let w = nl.input_count();
+        let opts = MonteCarloOptions { batch_cycles: 40, max_batches: 80, ..Default::default() };
+        let run = |kernel: TimedKernel, threads: usize| {
+            monte_carlo_glitch_power_seeded_threads_kernel(
+                &nl,
+                &lib,
+                |rng| streams::random_rng(rng, w),
+                21,
+                &opts,
+                threads,
+                kernel,
+            )
+            .unwrap()
+        };
+        let scalar = run(TimedKernel::Scalar, 1);
+        assert_eq!(scalar, run(TimedKernel::Packed64, 1));
+        assert_eq!(scalar, run(TimedKernel::Packed64, 4));
+        assert_eq!(scalar, run(TimedKernel::Scalar, 3));
+        // Glitches make real-delay power strictly exceed zero-delay power
+        // for the same stimulus distribution.
+        let zd = monte_carlo_power_seeded_threads(
+            &nl,
+            &lib,
+            |rng| streams::random_rng(rng, w),
+            21,
+            &opts,
+            2,
+        )
+        .unwrap();
+        assert!(scalar.power_uw > zd.power_uw, "glitch {} vs zd {}", scalar.power_uw, zd.power_uw);
     }
 
     #[test]

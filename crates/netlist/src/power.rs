@@ -155,7 +155,8 @@ mod tests {
         nl.output_bus("s", &s);
         let lib = Library::default();
         let mut sim = ZeroDelaySim::new(&nl).unwrap();
-        let act = sim.run(streams::random(42, nl.input_count()).take(cycles));
+        let act =
+            sim.run(streams::random(42, nl.input_count()).take(cycles)).expect("width matches");
         act.power(&nl, &lib)
     }
 
@@ -175,7 +176,7 @@ mod tests {
         nl.set_output("q", q);
         let lib = Library::default();
         let mut sim = ZeroDelaySim::new(&nl).unwrap();
-        let act = sim.run(std::iter::repeat_n(vec![false], 100));
+        let act = sim.run(std::iter::repeat_n(vec![false], 100)).expect("width matches");
         let r = act.power(&nl, &lib);
         assert_eq!(r.net_power_uw, 0.0);
         assert!(r.clock_power_uw > 0.0);
@@ -201,7 +202,7 @@ mod tests {
         let hi = Library::default();
         let lo = hi.scaled_to_voltage(hi.vdd / 2.0);
         let mut sim = ZeroDelaySim::new(&nl).unwrap();
-        let act = sim.run(streams::random(1, 2).take(300));
+        let act = sim.run(streams::random(1, 2).take(300)).expect("width matches");
         let p_hi = act.power(&nl, &hi).net_power_uw;
         let p_lo = act.power(&nl, &lo).net_power_uw;
         assert!((p_hi / p_lo - 4.0).abs() < 0.01);

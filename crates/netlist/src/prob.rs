@@ -283,7 +283,7 @@ mod tests {
         let pa = ProbabilityAnalysis::propagate_uniform(&nl).unwrap();
         assert!((pa.stats(y).probability - 0.5).abs() < 1e-12);
         let mut sim = ZeroDelaySim::new(&nl).unwrap();
-        let act = sim.run(streams::random(31, 3).take(100_000));
+        let act = sim.run(streams::random(31, 3).take(100_000)).expect("width matches");
         let measured = act.node_activity(y);
         assert!(
             (pa.stats(y).density - measured).abs() < 0.01,
@@ -311,7 +311,7 @@ mod tests {
         let pa = ProbabilityAnalysis::propagate_uniform(&nl).unwrap();
         let est = pa.power_uw(&nl, &lib);
         let mut sim = ZeroDelaySim::new(&nl).unwrap();
-        let act = sim.run(streams::random(9, 8).take(50_000));
+        let act = sim.run(streams::random(9, 8).take(50_000)).expect("width matches");
         let measured = act.power(&nl, &lib).total_power_uw();
         let rel = (est - measured).abs() / measured;
         assert!(rel < 0.03, "estimate {est:.3} vs measured {measured:.3} (rel {rel:.3})");

@@ -149,6 +149,12 @@ impl<'a> ZeroDelaySim<'a> {
         self.values[node.index()]
     }
 
+    /// Raw per-node value slice (hot-path form of [`value`](Self::value)
+    /// used by the timed kernel's trajectory driver).
+    pub(crate) fn values_raw(&self) -> &[bool] {
+        &self.values
+    }
+
     /// Current values of the primary outputs, in declaration order.
     pub fn output_values(&self) -> Vec<bool> {
         self.netlist.outputs().iter().map(|&(_, n)| self.values[n.index()]).collect()
@@ -218,16 +224,22 @@ impl<'a> ZeroDelaySim<'a> {
     }
 
     /// Runs the simulator over a stream of input vectors and returns the
-    /// accumulated activity. Vectors whose width mismatches the input count
-    /// cause a panic-free early stop (the run returns what was accumulated);
-    /// use [`step`](Self::step) directly for error handling.
-    pub fn run(&mut self, stream: impl IntoIterator<Item = Vec<bool>>) -> Activity {
+    /// accumulated activity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] from the failing step
+    /// if any vector's width does not match the input count. (Earlier
+    /// versions silently truncated the run instead, under-reporting power
+    /// with no signal.)
+    pub fn run(
+        &mut self,
+        stream: impl IntoIterator<Item = Vec<bool>>,
+    ) -> Result<Activity, NetlistError> {
         for v in stream {
-            if self.step(&v).is_err() {
-                break;
-            }
+            self.step(&v)?;
         }
-        self.take_activity()
+        Ok(self.take_activity())
     }
 
     /// Returns the accumulated activity and resets the counter (values and
@@ -327,6 +339,17 @@ mod tests {
         let mut sim = ZeroDelaySim::new(&nl).unwrap();
         assert!(matches!(
             sim.step(&[true]),
+            Err(NetlistError::InputWidthMismatch { got: 1, expected: 2 })
+        ));
+    }
+
+    #[test]
+    fn run_propagates_width_mismatch_instead_of_truncating() {
+        let nl = xor_circuit();
+        let mut sim = ZeroDelaySim::new(&nl).unwrap();
+        let vecs = vec![vec![false, true], vec![true]];
+        assert!(matches!(
+            sim.run(vecs),
             Err(NetlistError::InputWidthMismatch { got: 1, expected: 2 })
         ));
     }

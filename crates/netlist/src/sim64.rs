@@ -50,9 +50,10 @@ const FLUSH_INTERVAL: u64 = (1 << PLANES) - 1;
 
 /// One compiled gate operation. Fixed-arity gates carry their input slots
 /// inline; variadic gates index a `(start, len)` range of the shared fanin
-/// pool. Slots are plain indices into the packed value array.
+/// pool. Slots are plain indices into the packed value array. Shared with
+/// the timed kernel in [`crate::sim64timed`].
 #[derive(Debug, Clone, Copy)]
-enum Op {
+pub(crate) enum Op {
     Buf(u32),
     Not(u32),
     And2(u32, u32),
@@ -72,25 +73,25 @@ enum Op {
 
 /// One instruction: evaluate `op`, store into value slot `out`.
 #[derive(Debug, Clone, Copy)]
-struct Instr {
-    out: u32,
-    op: Op,
+pub(crate) struct Instr {
+    pub(crate) out: u32,
+    pub(crate) op: Op,
 }
 
 /// A netlist compiled to a flat instruction stream in topological order.
 #[derive(Debug, Clone)]
-struct Program {
-    instrs: Vec<Instr>,
+pub(crate) struct Program {
+    pub(crate) instrs: Vec<Instr>,
     /// Shared fanin-slot pool for variadic gates.
-    pool: Vec<u32>,
+    pub(crate) pool: Vec<u32>,
     /// Initial packed value per node (constants and DFF init values
     /// broadcast across all 64 lanes; everything else 0).
-    init: Vec<u64>,
+    pub(crate) init: Vec<u64>,
 }
 
 impl Program {
     /// Compiles the topological order into instructions.
-    fn compile(netlist: &Netlist) -> Result<Program, NetlistError> {
+    pub(crate) fn compile(netlist: &Netlist) -> Result<Program, NetlistError> {
         let order = netlist.topo_order()?;
         let mut instrs = Vec::with_capacity(order.len());
         let mut pool: Vec<u32> = Vec::new();
@@ -137,7 +138,7 @@ impl Program {
 
     /// Evaluates one instruction against the packed value array.
     #[inline]
-    fn eval(&self, values: &[u64], ins: &Instr) -> u64 {
+    pub(crate) fn eval(&self, values: &[u64], ins: &Instr) -> u64 {
         let v = |slot: u32| values[slot as usize];
         let fold = |start: u32, len: u32, unit: u64, f: fn(u64, u64) -> u64| {
             self.pool[start as usize..(start + len) as usize]
@@ -169,7 +170,7 @@ impl Program {
 
 /// Broadcasts a scalar bit across all 64 lanes.
 #[inline]
-fn broadcast(v: bool) -> u64 {
+pub(crate) fn broadcast(v: bool) -> u64 {
     if v {
         !0
     } else {
@@ -580,7 +581,9 @@ mod tests {
         let lanes = sim.take_lane_activities();
         for l in [0usize, 1, 31, 63] {
             let mut scalar = ZeroDelaySim::new(&nl).unwrap();
-            let act = scalar.run(streams::random_rng(root.split(l as u64), w).take(cycles));
+            let act = scalar
+                .run(streams::random_rng(root.split(l as u64), w).take(cycles))
+                .expect("width matches");
             assert_eq!(lanes[l], act, "lane {l} diverged from its scalar stream");
         }
     }
@@ -638,7 +641,9 @@ mod tests {
         let lanes = sim.take_lane_activities();
         for l in [0usize, 5, 63] {
             let mut scalar = ZeroDelaySim::new(&nl).unwrap();
-            let act = scalar.run(streams::random_rng(root.split(l as u64), w).take(len(l)));
+            let act = scalar
+                .run(streams::random_rng(root.split(l as u64), w).take(len(l)))
+                .expect("width matches");
             assert_eq!(lanes[l], act, "masked lane {l} diverged");
         }
     }
@@ -750,7 +755,9 @@ mod tests {
         let lanes = sim.take_lane_activities();
         for l in [0usize, 7, 63] {
             let mut scalar = ZeroDelaySim::new(&nl).unwrap();
-            let act = scalar.run(streams::random_rng(root.split(l as u64), w).take(cycles));
+            let act = scalar
+                .run(streams::random_rng(root.split(l as u64), w).take(cycles))
+                .expect("width matches");
             let packed_uw = lanes[l].power(&nl, &lib).total_power_uw();
             let scalar_uw = act.power(&nl, &lib).total_power_uw();
             assert_eq!(packed_uw.to_bits(), scalar_uw.to_bits(), "lane {l}");

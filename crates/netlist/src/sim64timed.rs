@@ -1,0 +1,779 @@
+//! Compiled, bit-parallel 64-lane *timed* (glitch-capturing) simulation.
+//!
+//! The scalar [`EventDrivenSim`] pops one `(time, node)` event at a time
+//! from a binary heap and re-evaluates one `bool` per pop. [`TimedSim64`]
+//! runs the same transport-delay model 64 stimulus lanes at a time: the
+//! netlist is compiled once into the dense opcode+slot instruction stream
+//! shared with [`crate::sim64`], gate delays are bucketed to the library's
+//! delay resolution (the GCD of all gate delays), and events live on a
+//! discretized **time wheel** — a `wheel_len x node` array of lane masks.
+//! One wheel entry coalesces every pending evaluation of a node at one
+//! timestamp across all 64 lanes, so a dense glitch cascade costs one
+//! word-wide gate evaluation where the scalar engine would pay up to 64
+//! heap pops.
+//!
+//! # Determinism contract
+//!
+//! Lane `l` of a [`TimedSim64`] run is *bit-identical* to a scalar
+//! [`EventDrivenSim`] run over the same vector stream: the wheel processes
+//! time buckets in ascending order and, within a bucket, nodes in
+//! ascending node-id order — exactly the scalar heap's `(time, node)`
+//! ordering — and per-lane toggle/functional counts are exact integers
+//! accumulated in vertical carry-save bit-plane counters. Glitch counts,
+//! glitch fractions, and power reports therefore agree to the bit with the
+//! scalar engine; `tests/timed_differential.rs` locks this in for all six
+//! circuit generators.
+//!
+//! # Single-stream acceleration
+//!
+//! [`timed_activity`] profiles one stream on either kernel. The packed
+//! path exploits that the event-driven simulator always settles to the
+//! zero-delay stable state: a cheap [`ZeroDelaySim`] pass computes the
+//! stable-state trajectory, and the `N - 1` stream transitions are then
+//! replayed 64 per word through [`TimedSim64::eval_transition_block`].
+//! Because per-transition toggle counts are order-independent integers,
+//! the merged [`TimedActivity`] equals the scalar run's exactly.
+
+use hlpower_obs::metrics as obs;
+
+use crate::error::NetlistError;
+use crate::event::{gate_delays_ps, EventDrivenSim, TimedActivity};
+use crate::library::Library;
+use crate::netlist::{Netlist, NodeId, NodeKind};
+use crate::sim::{Activity, ZeroDelaySim};
+use crate::sim64::{broadcast, Program, LANES};
+
+/// Bit planes per node in the vertical transition counters. A node can
+/// absorb `2^PLANES - 1` transitions per lane before the carry chain
+/// spills; unlike the zero-delay packed kernel, a *timed* node can toggle
+/// many times per step, so overflow out of the top plane is handled
+/// exactly (see [`bump_planes_spill`]) rather than avoided by a flush
+/// schedule.
+const PLANES: usize = 16;
+
+/// The simulation kernel used by glitch-aware consumers
+/// ([`timed_activity`], `optimize::balance`, `optimize::retime`, the
+/// glitch Monte-Carlo entry points).
+///
+/// Both kernels produce bit-identical [`TimedActivity`] records; the
+/// packed kernel is purely a wall-clock optimization and the scalar
+/// kernel remains available as the differential oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimedKernel {
+    /// The scalar heap-based [`EventDrivenSim`] — the differential oracle.
+    Scalar,
+    /// The compiled 64-lane time-wheel [`TimedSim64`] (the default).
+    #[default]
+    Packed64,
+}
+
+/// Adds `carry` (a set of lanes that transitioned) into a node's vertical
+/// bit-plane counter, spilling exactly into the 64-bit totals if the
+/// carry ripples out of the top plane.
+#[inline]
+fn bump_planes_spill(
+    planes: &mut [u64],
+    base: usize,
+    lane_totals: &mut [u64],
+    lane_base: usize,
+    mut carry: u64,
+) {
+    for p in 0..PLANES {
+        if carry == 0 {
+            return;
+        }
+        let t = planes[base + p];
+        planes[base + p] = t ^ carry;
+        carry &= t;
+    }
+    // Carry out of the top plane: the plane stack wrapped modulo
+    // `2^PLANES` for these lanes, so credit the wrapped weight directly.
+    while carry != 0 {
+        let l = carry.trailing_zeros() as usize;
+        lane_totals[lane_base + l] += 1u64 << PLANES;
+        carry &= carry - 1;
+    }
+}
+
+/// Drains a bit-plane array into exact per-lane totals.
+fn flush_planes(planes: &mut [u64], lane_totals: &mut [u64], nodes: usize) {
+    for node in 0..nodes {
+        let base = node * PLANES;
+        for p in 0..PLANES {
+            let mut w = planes[base + p];
+            if w == 0 {
+                continue;
+            }
+            planes[base + p] = 0;
+            let weight = 1u64 << p;
+            while w != 0 {
+                let l = w.trailing_zeros() as usize;
+                lane_totals[node * LANES + l] += weight;
+                w &= w - 1;
+            }
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The lane-parallel compiled timed simulator: 64 independent stimulus
+/// lanes advance one clock cycle per [`step`](TimedSim64::step), with
+/// every glitch counted.
+///
+/// Sequencing per step matches [`EventDrivenSim`] exactly: flip-flop
+/// outputs and primary inputs change at time zero, events propagate
+/// through the time wheel in `(time, node)` order under the library's
+/// transport delays, functional transitions are recovered from the
+/// settled-state diff, and flip-flops sample their D inputs. The first
+/// step initializes values without counting.
+#[derive(Debug, Clone)]
+pub struct TimedSim64<'a> {
+    netlist: &'a Netlist,
+    program: Program,
+    /// Per-node index into `program.instrs`, `u32::MAX` for non-gates.
+    instr_of: Vec<u32>,
+    /// CSR fanout graph restricted to gate fanouts: entry `(gate, delay)`
+    /// where `delay` is the *bucketed* transport delay of the fanout gate.
+    fan_start: Vec<u32>,
+    fan: Vec<(u32, u32)>,
+    /// Time-wheel extent: max bucketed gate delay + 1 (all pending events
+    /// lie within one wheel revolution of the cursor).
+    wheel_len: usize,
+    /// Pending-evaluation lane masks, `wheel_len x node_count`.
+    wheel: Vec<u64>,
+    /// Nodes with a nonzero mask per wheel slot.
+    touched: Vec<Vec<u32>>,
+    /// Total touched entries pending across all slots.
+    outstanding: usize,
+    /// Packed node values; bit `l` is lane `l`.
+    values: Vec<u64>,
+    /// Settled values at the start of the current step (functional diff).
+    step_start: Vec<u64>,
+    /// Next-state words latched per DFF (parallel to `netlist.dffs()`).
+    dff_next: Vec<u64>,
+    /// Per-DFF D-input slots.
+    dff_d: Vec<u32>,
+    /// Scratch buffer for one wheel slot's node list (sorted ascending).
+    slot_nodes: Vec<u32>,
+    /// Vertical counters for all transitions (functional + glitch).
+    toggle_planes: Vec<u64>,
+    /// Vertical counters for functional (settled-state) transitions.
+    func_planes: Vec<u64>,
+    /// Exact per-lane totals flushed out of the planes
+    /// (`node * LANES + lane`).
+    lane_toggles: Vec<u64>,
+    lane_functional: Vec<u64>,
+    lane_cycles: [u64; LANES],
+    initialized: bool,
+}
+
+impl<'a> TimedSim64<'a> {
+    /// Compiles the netlist under `lib`'s delay model and creates a
+    /// simulator with all lanes at their settled initial values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn new(netlist: &'a Netlist, lib: &Library) -> Result<Self, NetlistError> {
+        let program = Program::compile(netlist)?;
+        let n = netlist.node_count();
+        let mut instr_of = vec![u32::MAX; n];
+        for (i, ins) in program.instrs.iter().enumerate() {
+            instr_of[ins.out as usize] = i as u32;
+        }
+        // Bucket gate delays to the library's resolution: the GCD of all
+        // gate delays. (1 for the default library; coarser libraries get a
+        // proportionally shorter wheel.)
+        let delays_ps = gate_delays_ps(netlist, lib);
+        let resolution =
+            delays_ps.iter().filter(|&&d| d > 0).fold(0u64, |acc, &d| gcd(d, acc)).max(1);
+        let buckets: Vec<u64> = delays_ps.iter().map(|&d| d / resolution).collect();
+        let wheel_len = buckets.iter().max().copied().unwrap_or(0) as usize + 1;
+        // Gate-only fanout CSR, annotated with the fanout's own delay.
+        let fanouts = netlist.fanouts();
+        let mut fan_start = vec![0u32; n + 1];
+        let mut fan = Vec::new();
+        for u in 0..n {
+            for &f in &fanouts[u] {
+                if matches!(netlist.kind(f), NodeKind::Gate { .. }) {
+                    fan.push((f.index() as u32, buckets[f.index()] as u32));
+                }
+            }
+            fan_start[u + 1] = fan.len() as u32;
+        }
+        // Settle the combinational network from the broadcast initial
+        // state, mirroring the scalar constructor.
+        let mut values = program.init.clone();
+        for ins in &program.instrs {
+            values[ins.out as usize] = program.eval(&values, ins);
+        }
+        let mut dff_next = Vec::with_capacity(netlist.dffs().len());
+        let mut dff_d = Vec::with_capacity(netlist.dffs().len());
+        for &q in netlist.dffs() {
+            if let NodeKind::Dff { d, init } = netlist.kind(q) {
+                dff_next.push(broadcast(*init));
+                dff_d.push(d.index() as u32);
+            }
+        }
+        Ok(TimedSim64 {
+            netlist,
+            program,
+            instr_of,
+            fan_start,
+            fan,
+            wheel_len,
+            wheel: vec![0; wheel_len * n],
+            touched: vec![Vec::new(); wheel_len],
+            outstanding: 0,
+            values,
+            step_start: vec![0; n],
+            dff_next,
+            dff_d,
+            slot_nodes: Vec::new(),
+            toggle_planes: vec![0; n * PLANES],
+            func_planes: vec![0; n * PLANES],
+            lane_toggles: vec![0; n * LANES],
+            lane_functional: vec![0; n * LANES],
+            lane_cycles: [0; LANES],
+            initialized: false,
+        })
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Packed current value of a node (bit `l` is lane `l`).
+    pub fn value_word(&self, node: NodeId) -> u64 {
+        self.values[node.index()]
+    }
+
+    /// Applies a source-node change: updates lanes in `mask`, counts
+    /// toggles in `count_mask`, and schedules the gate fanouts of the
+    /// changed lanes at their transport delays (time zero of this step).
+    fn seed_source(&mut self, node: usize, new: u64, mask: u64, count_mask: u64) {
+        let changed = (self.values[node] ^ new) & mask;
+        if changed == 0 {
+            return;
+        }
+        self.values[node] ^= changed;
+        bump_planes_spill(
+            &mut self.toggle_planes,
+            node * PLANES,
+            &mut self.lane_toggles,
+            node * LANES,
+            changed & count_mask,
+        );
+        let n = self.instr_of.len();
+        for k in self.fan_start[node] as usize..self.fan_start[node + 1] as usize {
+            let (f, db) = self.fan[k];
+            // Gate delays are >= 1 bucket, so at time zero the target slot
+            // is the delay itself (no wrap).
+            let idx = db as usize * n + f as usize;
+            if self.wheel[idx] == 0 {
+                self.touched[db as usize].push(f);
+                self.outstanding += 1;
+            }
+            self.wheel[idx] |= changed;
+        }
+    }
+
+    /// Processes the wheel until no events remain, counting toggles in
+    /// `count_mask`. Returns the number of word-wide evaluations (each
+    /// coalesces up to 64 scalar heap pops at one `(time, node)` point).
+    fn drain(&mut self, count_mask: u64) -> u64 {
+        let n = self.instr_of.len();
+        let mut events = 0u64;
+        let mut t = 0usize;
+        while self.outstanding > 0 {
+            t += 1;
+            let slot = t % self.wheel_len;
+            if self.touched[slot].is_empty() {
+                continue;
+            }
+            let mut nodes = std::mem::take(&mut self.slot_nodes);
+            std::mem::swap(&mut nodes, &mut self.touched[slot]);
+            self.outstanding -= nodes.len();
+            // Scalar tie-break: equal-time events pop in ascending node-id
+            // order. A node appears at most once per slot (wheel dedup).
+            nodes.sort_unstable();
+            for &node in &nodes {
+                let idx = slot * n + node as usize;
+                let sched = self.wheel[idx];
+                self.wheel[idx] = 0;
+                events += 1;
+                let ins = self.program.instrs[self.instr_of[node as usize] as usize];
+                let new = self.program.eval(&self.values, &ins);
+                let node = node as usize;
+                let changed = (self.values[node] ^ new) & sched;
+                if changed == 0 {
+                    continue;
+                }
+                self.values[node] ^= changed;
+                bump_planes_spill(
+                    &mut self.toggle_planes,
+                    node * PLANES,
+                    &mut self.lane_toggles,
+                    node * LANES,
+                    changed & count_mask,
+                );
+                for k in self.fan_start[node] as usize..self.fan_start[node + 1] as usize {
+                    let (f, db) = self.fan[k];
+                    // Delays are in [1, wheel_len - 1], so the target slot
+                    // never collides with the slot being processed.
+                    let slot2 = (t + db as usize) % self.wheel_len;
+                    let idx2 = slot2 * n + f as usize;
+                    if self.wheel[idx2] == 0 {
+                        self.touched[slot2].push(f);
+                        self.outstanding += 1;
+                    }
+                    self.wheel[idx2] |= changed;
+                }
+            }
+            nodes.clear();
+            self.slot_nodes = nodes;
+        }
+        events
+    }
+
+    /// Advances every lane by one clock cycle. `inputs[i]` packs the bit
+    /// of primary input `i` for all 64 lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if `inputs` does not
+    /// have one word per primary input.
+    pub fn step(&mut self, inputs: &[u64]) -> Result<(), NetlistError> {
+        self.step_masked(inputs, !0)
+    }
+
+    /// [`step`](Self::step) restricted to the lanes set in `mask`.
+    ///
+    /// The contract matches [`crate::Sim64::step_masked`]: a prefix-closed
+    /// active set per lane (active for its first `k` steps, inactive
+    /// afterwards) makes lane `l` bit-identical to a scalar
+    /// [`EventDrivenSim`] run over a `k`-vector stream. Input bits of
+    /// inactive lanes are don't-cares.
+    ///
+    /// # Errors
+    ///
+    /// As [`step`](Self::step).
+    pub fn step_masked(&mut self, inputs: &[u64], mask: u64) -> Result<(), NetlistError> {
+        if inputs.len() != self.netlist.input_count() {
+            return Err(NetlistError::InputWidthMismatch {
+                got: inputs.len(),
+                expected: self.netlist.input_count(),
+            });
+        }
+        // The first step only establishes values; count nothing.
+        let count_mask = if self.initialized { mask } else { 0 };
+        self.step_start.copy_from_slice(&self.values);
+        // Time-zero events: DFF outputs and primary inputs.
+        for i in 0..self.dff_next.len() {
+            let q = self.netlist.dffs()[i].index();
+            let new = self.dff_next[i];
+            self.seed_source(q, new, mask, count_mask);
+        }
+        for (i, &new) in inputs.iter().enumerate() {
+            let inp = self.netlist.inputs()[i].index();
+            self.seed_source(inp, new, mask, count_mask);
+        }
+        let events = self.drain(count_mask);
+        obs::SIM_EVP_STEPS.inc();
+        obs::SIM_EVP_EVENTS.add(events);
+        // Functional transition accounting: settled-state diff.
+        if count_mask != 0 {
+            for node in 0..self.values.len() {
+                let diff = (self.step_start[node] ^ self.values[node]) & count_mask;
+                if diff != 0 {
+                    bump_planes_spill(
+                        &mut self.func_planes,
+                        node * PLANES,
+                        &mut self.lane_functional,
+                        node * LANES,
+                        diff,
+                    );
+                }
+            }
+        }
+        // Sample D inputs for the next cycle.
+        for (i, &d) in self.dff_d.iter().enumerate() {
+            self.dff_next[i] = self.values[d as usize];
+        }
+        if self.initialized {
+            obs::SIM_EVP_LANE_CYCLES.add(mask.count_ones() as u64);
+            for l in 0..LANES {
+                self.lane_cycles[l] += (mask >> l) & 1;
+            }
+        }
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Replays 64 independent *transitions* of a single stream: lane `l`
+    /// starts from settled state `from` and receives the source-node
+    /// (primary input and flip-flop output) values of settled state `to`,
+    /// both packed per node with bit `l` = lane `l`. Used by
+    /// [`timed_activity`]'s trajectory driver; every lane counts (no
+    /// initialization step), and flip-flop latching state is bypassed, so
+    /// do not mix transition blocks with [`step`](Self::step) calls on one
+    /// instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ActivitySizeMismatch`] if `from`/`to` do
+    /// not have one word per node.
+    pub fn eval_transition_block(
+        &mut self,
+        from: &[u64],
+        to: &[u64],
+        mask: u64,
+    ) -> Result<(), NetlistError> {
+        let n = self.values.len();
+        if from.len() != n || to.len() != n {
+            return Err(NetlistError::ActivitySizeMismatch {
+                left: n,
+                right: if from.len() != n { from.len() } else { to.len() },
+            });
+        }
+        self.values.copy_from_slice(from);
+        for i in 0..self.dff_next.len() {
+            let q = self.netlist.dffs()[i].index();
+            self.seed_source(q, to[q], mask, mask);
+        }
+        for i in 0..self.netlist.input_count() {
+            // Primary inputs change at time zero like DFF outputs.
+            let inp = self.netlist.inputs()[i].index();
+            self.seed_source(inp, to[inp], mask, mask);
+        }
+        let events = self.drain(mask);
+        obs::SIM_EVP_STEPS.inc();
+        obs::SIM_EVP_EVENTS.add(events);
+        obs::SIM_EVP_LANE_CYCLES.add(mask.count_ones() as u64);
+        for node in 0..n {
+            debug_assert_eq!(
+                (self.values[node] ^ to[node]) & mask,
+                0,
+                "event-driven settle diverged from the zero-delay trajectory at node {node}"
+            );
+            let diff = (from[node] ^ self.values[node]) & mask;
+            if diff != 0 {
+                bump_planes_spill(
+                    &mut self.func_planes,
+                    node * PLANES,
+                    &mut self.lane_functional,
+                    node * LANES,
+                    diff,
+                );
+            }
+        }
+        for l in 0..LANES {
+            self.lane_cycles[l] += (mask >> l) & 1;
+        }
+        Ok(())
+    }
+
+    /// Returns the 64 per-lane timed-activity records and resets the
+    /// counters (values, flip-flop state, and the initialized flag are
+    /// preserved so runs can be chained, mirroring the scalar
+    /// `take_activity`).
+    ///
+    /// Lane `l`'s record is bit-identical to what a scalar
+    /// [`EventDrivenSim`] run over lane `l`'s stream would have
+    /// accumulated.
+    pub fn take_lane_activities(&mut self) -> Vec<TimedActivity> {
+        let n = self.values.len();
+        flush_planes(&mut self.toggle_planes, &mut self.lane_toggles, n);
+        flush_planes(&mut self.func_planes, &mut self.lane_functional, n);
+        let mut out = Vec::with_capacity(LANES);
+        let mut total_toggles = 0u64;
+        let mut total_glitches = 0u64;
+        for l in 0..LANES {
+            let mut toggles = vec![0u64; n];
+            let mut functional = vec![0u64; n];
+            for node in 0..n {
+                toggles[node] = self.lane_toggles[node * LANES + l];
+                functional[node] = self.lane_functional[node * LANES + l];
+                total_toggles += toggles[node];
+                total_glitches += toggles[node].saturating_sub(functional[node]);
+            }
+            out.push(TimedActivity {
+                activity: Activity { toggles, cycles: self.lane_cycles[l] },
+                functional,
+            });
+        }
+        obs::SIM_EVP_TRANSITIONS.add(total_toggles);
+        obs::SIM_EVP_GLITCHES.add(total_glitches);
+        self.lane_toggles.iter_mut().for_each(|t| *t = 0);
+        self.lane_functional.iter_mut().for_each(|t| *t = 0);
+        self.lane_cycles = [0; LANES];
+        out
+    }
+}
+
+/// Profiles one input-vector stream with the chosen timed kernel and
+/// returns the glitch-decomposed activity.
+///
+/// Both kernels return bit-identical records. The scalar kernel steps an
+/// [`EventDrivenSim`] over the stream; the packed kernel computes the
+/// zero-delay stable-state trajectory once, then replays the stream's
+/// `N - 1` transitions 64 per word on a [`TimedSim64`] and merges the
+/// lanes (exact integer sums, so the reorganization is invisible).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists or
+/// [`NetlistError::InputWidthMismatch`] for a bad vector width.
+pub fn timed_activity(
+    netlist: &Netlist,
+    lib: &Library,
+    stream: &[Vec<bool>],
+    kernel: TimedKernel,
+) -> Result<TimedActivity, NetlistError> {
+    match kernel {
+        TimedKernel::Scalar => {
+            let mut sim = EventDrivenSim::new(netlist, lib)?;
+            sim.run(stream.iter().cloned())
+        }
+        TimedKernel::Packed64 => timed_activity_packed(netlist, lib, stream),
+    }
+}
+
+/// The packed [`timed_activity`] driver: zero-delay trajectory +
+/// transition blocks.
+fn timed_activity_packed(
+    netlist: &Netlist,
+    lib: &Library,
+    stream: &[Vec<bool>],
+) -> Result<TimedActivity, NetlistError> {
+    let n = netlist.node_count();
+    let mut zd = ZeroDelaySim::new(netlist)?;
+    if stream.is_empty() {
+        return Ok(TimedActivity::zero(netlist));
+    }
+    // Settled-state trajectory, bit-packed per node: bit `c` of
+    // `traj[node * blocks + c / 64]` is the node's stable value after
+    // vector `c`. The event-driven simulator always settles to exactly
+    // this state, so it is both the per-transition start state and the
+    // functional reference.
+    let blocks = stream.len().div_ceil(64);
+    let mut traj = vec![0u64; n * blocks];
+    for (c, v) in stream.iter().enumerate() {
+        zd.step(v)?;
+        let (w, b) = (c / 64, c % 64);
+        for (node, &val) in zd.values_raw().iter().enumerate() {
+            traj[node * blocks + w] |= (val as u64) << b;
+        }
+    }
+    // Consume the zero-delay activity so the trajectory pass does not
+    // leak into the caller-visible zero-delay metrics totals twice.
+    let _ = zd.take_activity();
+
+    let mut sim = TimedSim64::new(netlist, lib)?;
+    let mut from = vec![0u64; n];
+    let mut to = vec![0u64; n];
+    let transitions = stream.len() - 1;
+    let mut t0 = 1usize;
+    while t0 <= transitions {
+        let lanes = (transitions - t0 + 1).min(LANES);
+        let mask = if lanes == LANES { !0u64 } else { (1u64 << lanes) - 1 };
+        for node in 0..n {
+            let w = &traj[node * blocks..(node + 1) * blocks];
+            from[node] = window(w, t0 - 1);
+            to[node] = window(w, t0);
+        }
+        sim.eval_transition_block(&from, &to, mask)?;
+        t0 += lanes;
+    }
+    let mut out = TimedActivity::zero(netlist);
+    for lane in sim.take_lane_activities() {
+        out.merge(&lane)?;
+    }
+    Ok(out)
+}
+
+/// Extracts 64 bits starting at `start` from a bit-packed word slice
+/// (bits beyond the slice read as zero; callers mask off unused lanes).
+#[inline]
+fn window(words: &[u64], start: usize) -> u64 {
+    let w = start / 64;
+    let b = start % 64;
+    let mut x = words[w] >> b;
+    if b != 0 && w + 1 < words.len() {
+        x |= words[w + 1] << (64 - b);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, streams};
+    use hlpower_rng::Rng;
+
+    fn mult(width: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", width);
+        let b = nl.input_bus("b", width);
+        let p = gen::array_multiplier(&mut nl, &a, &b);
+        nl.output_bus("p", &p);
+        nl
+    }
+
+    fn fir() -> Netlist {
+        let mut nl = Netlist::new();
+        let x = nl.input_bus("x", 6);
+        let y = gen::fir_filter(&mut nl, &x, &[7, 13, 7], true);
+        nl.output_bus("y", &y);
+        nl
+    }
+
+    /// Packs per-lane bool vectors into input words.
+    fn pack(vectors: &[Vec<bool>]) -> Vec<u64> {
+        let width = vectors[0].len();
+        let mut words = vec![0u64; width];
+        for (lane, v) in vectors.iter().enumerate() {
+            for (i, &b) in v.iter().enumerate() {
+                words[i] |= (b as u64) << lane;
+            }
+        }
+        words
+    }
+
+    #[test]
+    fn lanes_match_scalar_event_sim_on_sequential_circuit() {
+        let nl = fir();
+        let lib = Library::default();
+        let w = nl.input_count();
+        let root = Rng::seed_from_u64(42);
+        let cycles = 80;
+        let mut sim = TimedSim64::new(&nl, &lib).unwrap();
+        let mut iters: Vec<_> =
+            (0..LANES).map(|l| streams::random_rng(root.split(l as u64), w)).collect();
+        for _ in 0..cycles {
+            let vectors: Vec<Vec<bool>> = iters.iter_mut().map(|it| it.next().unwrap()).collect();
+            sim.step(&pack(&vectors)).unwrap();
+        }
+        let lanes = sim.take_lane_activities();
+        for l in [0usize, 1, 31, 63] {
+            let mut scalar = EventDrivenSim::new(&nl, &lib).unwrap();
+            let act =
+                scalar.run(streams::random_rng(root.split(l as u64), w).take(cycles)).unwrap();
+            assert_eq!(lanes[l], act, "lane {l} diverged from its scalar stream");
+        }
+    }
+
+    #[test]
+    fn masked_lanes_stop_where_scalar_streams_end() {
+        let nl = mult(3);
+        let lib = Library::default();
+        let w = nl.input_count();
+        let root = Rng::seed_from_u64(17);
+        let len = |l: usize| 5 + l / 2;
+        let mut sim = TimedSim64::new(&nl, &lib).unwrap();
+        let mut iters: Vec<_> =
+            (0..LANES).map(|l| streams::random_rng(root.split(l as u64), w).take(len(l))).collect();
+        loop {
+            let mut mask = 0u64;
+            let mut vectors = vec![vec![false; w]; LANES];
+            for (l, it) in iters.iter_mut().enumerate() {
+                if let Some(v) = it.next() {
+                    vectors[l] = v;
+                    mask |= 1 << l;
+                }
+            }
+            if mask == 0 {
+                break;
+            }
+            sim.step_masked(&pack(&vectors), mask).unwrap();
+        }
+        let lanes = sim.take_lane_activities();
+        for l in [0usize, 9, 63] {
+            let mut scalar = EventDrivenSim::new(&nl, &lib).unwrap();
+            let act =
+                scalar.run(streams::random_rng(root.split(l as u64), w).take(len(l))).unwrap();
+            assert_eq!(lanes[l], act, "masked lane {l} diverged");
+        }
+    }
+
+    #[test]
+    fn timed_activity_kernels_agree_on_combinational_circuit() {
+        let nl = mult(4);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(3, nl.input_count()).take(150).collect();
+        let scalar = timed_activity(&nl, &lib, &stream, TimedKernel::Scalar).unwrap();
+        let packed = timed_activity(&nl, &lib, &stream, TimedKernel::Packed64).unwrap();
+        assert_eq!(scalar, packed);
+        assert!(scalar.total_glitches().unwrap() > 0, "multiplier should glitch");
+    }
+
+    #[test]
+    fn timed_activity_kernels_agree_on_sequential_circuit() {
+        let nl = fir();
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(8, nl.input_count()).take(130).collect();
+        let scalar = timed_activity(&nl, &lib, &stream, TimedKernel::Scalar).unwrap();
+        let packed = timed_activity(&nl, &lib, &stream, TimedKernel::Packed64).unwrap();
+        assert_eq!(scalar, packed);
+    }
+
+    #[test]
+    fn timed_activity_handles_degenerate_streams() {
+        let nl = mult(3);
+        let lib = Library::default();
+        for take in [0usize, 1, 2, 64, 65] {
+            let stream: Vec<Vec<bool>> = streams::random(5, nl.input_count()).take(take).collect();
+            let scalar = timed_activity(&nl, &lib, &stream, TimedKernel::Scalar).unwrap();
+            let packed = timed_activity(&nl, &lib, &stream, TimedKernel::Packed64).unwrap();
+            assert_eq!(scalar, packed, "stream length {take}");
+        }
+    }
+
+    #[test]
+    fn timed_activity_propagates_width_mismatch() {
+        let nl = mult(3);
+        let lib = Library::default();
+        let stream = vec![vec![false; nl.input_count()], vec![true; 2]];
+        for kernel in [TimedKernel::Scalar, TimedKernel::Packed64] {
+            assert!(matches!(
+                timed_activity(&nl, &lib, &stream, kernel),
+                Err(NetlistError::InputWidthMismatch { got: 2, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn input_width_is_validated() {
+        let nl = mult(3);
+        let lib = Library::default();
+        let mut sim = TimedSim64::new(&nl, &lib).unwrap();
+        assert!(matches!(
+            sim.step(&[0u64; 3]),
+            Err(NetlistError::InputWidthMismatch { got: 3, expected: 6 })
+        ));
+    }
+
+    #[test]
+    fn plane_spill_is_exact_past_the_top_plane() {
+        // Force the carry chain out of the 16-plane stack and check that
+        // the spilled weight lands exactly in the 64-bit totals.
+        let mut planes = vec![0u64; PLANES];
+        let mut totals = vec![0u64; LANES];
+        let reps = (1u64 << PLANES) + 5;
+        for _ in 0..reps {
+            bump_planes_spill(&mut planes, 0, &mut totals, 0, !0);
+        }
+        flush_planes(&mut planes, &mut totals, 1);
+        for l in 0..LANES {
+            assert_eq!(totals[l], reps, "lane {l}");
+        }
+    }
+}

@@ -88,7 +88,7 @@ fn simulation_is_deterministic() {
         gen::random_logic(&mut nl, seed, 6, 30, 3);
         let run = |s: u64| {
             let mut sim = ZeroDelaySim::new(&nl).expect("acyclic");
-            sim.run(streams::random(s, nl.input_count()).take(100))
+            sim.run(streams::random(s, nl.input_count()).take(100)).expect("width matches")
         };
         assert_eq!(run(seed).toggles, run(seed).toggles);
     });
@@ -105,7 +105,7 @@ fn random_logic_is_well_formed() {
         assert!(nl.topo_order().is_ok());
         let lib = Library::default();
         let mut sim = ZeroDelaySim::new(&nl).expect("acyclic");
-        let act = sim.run(streams::random(seed, 8).take(50));
+        let act = sim.run(streams::random(seed, 8).take(50)).expect("width matches");
         let report = act.power(&nl, &lib);
         assert!(report.total_power_uw().is_finite());
         assert!(report.total_power_uw() >= 0.0);

@@ -59,6 +59,22 @@ pub static SIM_EV_GLITCHES: ShardedCounter = ShardedCounter::new();
 /// Measured cycles flushed through `take_activity`.
 pub static SIM_EV_CYCLES: ShardedCounter = ShardedCounter::new();
 
+// --- Packed 64-lane timed simulator ---------------------------------------
+
+/// Word steps taken by the packed timed simulator (each advances up to 64
+/// lanes one cycle, or replays up to 64 stream transitions).
+pub static SIM_EVP_STEPS: ShardedCounter = ShardedCounter::new();
+/// Word-wide timed events processed (one coalesces up to 64 scalar heap
+/// pops at a single `(time, node)` point).
+pub static SIM_EVP_EVENTS: ShardedCounter = ShardedCounter::new();
+/// Counted lane-cycles: active lanes per counted step or transition block.
+pub static SIM_EVP_LANE_CYCLES: ShardedCounter = ShardedCounter::new();
+/// All transitions (functional + glitch) flushed through
+/// `take_lane_activities`.
+pub static SIM_EVP_TRANSITIONS: ShardedCounter = ShardedCounter::new();
+/// Glitch transitions flushed through `take_lane_activities`.
+pub static SIM_EVP_GLITCHES: ShardedCounter = ShardedCounter::new();
+
 // --- BDD manager ----------------------------------------------------------
 
 /// Recursive ITE calls (batched per top-level `ite`).
@@ -163,6 +179,16 @@ pub fn snapshot() -> Snapshot {
                 ],
             },
             Section {
+                name: "sim_ev_packed",
+                entries: vec![
+                    ("steps", Value::Count(SIM_EVP_STEPS.get())),
+                    ("events", Value::Count(SIM_EVP_EVENTS.get())),
+                    ("lane_cycles", Value::Count(SIM_EVP_LANE_CYCLES.get())),
+                    ("transitions", Value::Count(SIM_EVP_TRANSITIONS.get())),
+                    ("glitches", Value::Count(SIM_EVP_GLITCHES.get())),
+                ],
+            },
+            Section {
                 name: "bdd",
                 entries: vec![
                     ("ite_calls", Value::Count(ite_calls)),
@@ -233,6 +259,11 @@ pub fn reset_all() {
     SIM_EV_TRANSITIONS.reset();
     SIM_EV_GLITCHES.reset();
     SIM_EV_CYCLES.reset();
+    SIM_EVP_STEPS.reset();
+    SIM_EVP_EVENTS.reset();
+    SIM_EVP_LANE_CYCLES.reset();
+    SIM_EVP_TRANSITIONS.reset();
+    SIM_EVP_GLITCHES.reset();
     BDD_ITE_CALLS.reset();
     BDD_ITE_CACHE_HITS.reset();
     BDD_NODES_CREATED.reset();
@@ -274,6 +305,7 @@ mod tests {
                 "sim_zero_delay",
                 "sim_packed",
                 "sim_event",
+                "sim_ev_packed",
                 "bdd",
                 "monte_carlo",
                 "pool",

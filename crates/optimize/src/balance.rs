@@ -10,7 +10,9 @@
 
 use std::collections::HashMap;
 
-use hlpower_netlist::{EventDrivenSim, Library, Netlist, NetlistError, NodeId, NodeKind};
+use hlpower_netlist::{
+    timed_activity, Library, Netlist, NetlistError, NodeId, NodeKind, TimedKernel,
+};
 
 /// Outcome of path balancing.
 #[derive(Debug, Clone)]
@@ -47,11 +49,19 @@ pub struct BalanceOptions {
     pub min_glitches: u64,
     /// Maximum padding buffers per fanin (caps the capacitance spent).
     pub max_chain: usize,
+    /// Timed-simulation kernel used for the glitch profiling runs (both
+    /// kernels give bit-identical profiles; the packed default is faster).
+    pub kernel: TimedKernel,
 }
 
 impl Default for BalanceOptions {
     fn default() -> Self {
-        BalanceOptions { tolerance_ps: 60.0, min_glitches: 2, max_chain: 8 }
+        BalanceOptions {
+            tolerance_ps: 60.0,
+            min_glitches: 2,
+            max_chain: 8,
+            kernel: TimedKernel::default(),
+        }
     }
 }
 
@@ -70,15 +80,14 @@ pub fn balance_paths(
     stream: &[Vec<bool>],
     opts: &BalanceOptions,
 ) -> Result<BalanceOutcome, NetlistError> {
-    let BalanceOptions { tolerance_ps, min_glitches, max_chain } = *opts;
+    let BalanceOptions { tolerance_ps, min_glitches, max_chain, kernel } = *opts;
     let arrivals = netlist.arrival_times_ps(lib)?;
     let buf_delay = lib.cell(hlpower_netlist::GateKind::Buf).delay_ps;
 
     // Profile glitches on the original.
-    let mut sim = EventDrivenSim::new(netlist, lib)?;
-    let timed = sim.run(stream.iter().cloned());
+    let timed = timed_activity(netlist, lib, stream, kernel)?;
     let baseline_uw = timed.power(netlist, lib).total_power_uw();
-    let glitch_fraction_before = timed.glitch_fraction();
+    let glitch_fraction_before = timed.glitch_fraction()?;
 
     // Rebuild with delay-padding buffers.
     let mut out = Netlist::new();
@@ -93,7 +102,7 @@ pub fn balance_paths(
                 out.dff(md, *init)
             }
             NodeKind::Gate { kind, inputs } => {
-                let glitchy = timed.node_glitches(id) >= min_glitches;
+                let glitchy = timed.node_glitches(id)? >= min_glitches;
                 let latest = inputs.iter().map(|i| arrivals[i.index()]).fold(0.0f64, f64::max);
                 let mut new_inputs = Vec::with_capacity(inputs.len());
                 for &src in inputs {
@@ -119,11 +128,10 @@ pub fn balance_paths(
         out.set_output(name.clone(), map[o]);
     }
 
-    let mut sim2 = EventDrivenSim::new(&out, lib)?;
-    let timed2 = sim2.run(stream.iter().cloned());
+    let timed2 = timed_activity(&out, lib, stream, kernel)?;
     Ok(BalanceOutcome {
         balanced_uw: timed2.power(&out, lib).total_power_uw(),
-        glitch_fraction_after: timed2.glitch_fraction(),
+        glitch_fraction_after: timed2.glitch_fraction()?,
         netlist: out,
         buffers_added,
         baseline_uw,
@@ -221,6 +229,24 @@ mod tests {
         }
         let mean = savings.iter().sum::<f64>() / savings.len() as f64;
         assert!(mean > 0.01, "expected positive mean saving: {savings:?}");
+    }
+
+    #[test]
+    fn kernels_produce_identical_outcomes() {
+        let nl = multiplier(4);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(6, 8).take(120).collect();
+        let run = |kernel| {
+            let opts = BalanceOptions { kernel, ..BalanceOptions::default() };
+            balance_paths(&nl, &lib, &stream, &opts).unwrap()
+        };
+        let s = run(TimedKernel::Scalar);
+        let p = run(TimedKernel::Packed64);
+        assert_eq!(s.buffers_added, p.buffers_added);
+        assert_eq!(s.baseline_uw.to_bits(), p.baseline_uw.to_bits());
+        assert_eq!(s.balanced_uw.to_bits(), p.balanced_uw.to_bits());
+        assert_eq!(s.glitch_fraction_before.to_bits(), p.glitch_fraction_before.to_bits());
+        assert_eq!(s.glitch_fraction_after.to_bits(), p.glitch_fraction_after.to_bits());
     }
 
     #[test]

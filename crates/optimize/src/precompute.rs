@@ -189,9 +189,9 @@ pub fn evaluate(
 
     let arch = build_architecture(block, k)?;
     let mut sim_base = ZeroDelaySim::new(&base)?;
-    let act_base = sim_base.run(stream.iter().cloned());
+    let act_base = sim_base.run(stream.iter().cloned())?;
     let mut sim_arch = ZeroDelaySim::new(&arch.netlist)?;
-    let act_arch = sim_arch.run(stream.iter().cloned());
+    let act_arch = sim_arch.run(stream.iter().cloned())?;
     Ok(PrecomputeOutcome {
         baseline_uw: act_base.power(&base, lib).total_power_uw(),
         optimized_uw: act_arch.power(&arch.netlist, lib).total_power_uw(),

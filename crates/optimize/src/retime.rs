@@ -11,7 +11,9 @@
 
 use std::collections::HashMap;
 
-use hlpower_netlist::{EventDrivenSim, Library, Netlist, NetlistError, NodeId, NodeKind};
+use hlpower_netlist::{
+    timed_activity, Library, Netlist, NetlistError, NodeId, NodeKind, TimedKernel,
+};
 
 /// A pipelined version of a combinational netlist: registers inserted on
 /// every edge crossing the arrival-time threshold, so all outputs are
@@ -89,9 +91,23 @@ pub fn glitch_profile(
     lib: &Library,
     stream: &[Vec<bool>],
 ) -> Result<Vec<u64>, NetlistError> {
-    let mut sim = EventDrivenSim::new(netlist, lib)?;
-    let timed = sim.run(stream.iter().cloned());
-    Ok(netlist.node_ids().map(|id| timed.node_glitches(id)).collect())
+    glitch_profile_kernel(netlist, lib, stream, TimedKernel::default())
+}
+
+/// [`glitch_profile`] on an explicit timed kernel (both kernels give
+/// bit-identical profiles).
+///
+/// # Errors
+///
+/// As [`glitch_profile`].
+pub fn glitch_profile_kernel(
+    netlist: &Netlist,
+    lib: &Library,
+    stream: &[Vec<bool>],
+    kernel: TimedKernel,
+) -> Result<Vec<u64>, NetlistError> {
+    let timed = timed_activity(netlist, lib, stream, kernel)?;
+    netlist.node_ids().map(|id| timed.node_glitches(id)).collect()
 }
 
 /// Outcome of the retiming search.
@@ -133,10 +149,26 @@ pub fn low_power_retime(
     stream: &[Vec<bool>],
     probes: usize,
 ) -> Result<RetimeOutcome, NetlistError> {
+    low_power_retime_kernel(netlist, lib, stream, probes, TimedKernel::default())
+}
+
+/// [`low_power_retime`] on an explicit timed kernel (both kernels give
+/// bit-identical outcomes; the packed default makes the per-threshold
+/// sweep simulations much faster).
+///
+/// # Errors
+///
+/// As [`low_power_retime`].
+pub fn low_power_retime_kernel(
+    netlist: &Netlist,
+    lib: &Library,
+    stream: &[Vec<bool>],
+    probes: usize,
+    kernel: TimedKernel,
+) -> Result<RetimeOutcome, NetlistError> {
     let max_arrival = netlist.critical_path_ps(lib)?;
     let power_of = |nl: &Netlist| -> Result<f64, NetlistError> {
-        let mut sim = EventDrivenSim::new(nl, lib)?;
-        let timed = sim.run(stream.iter().cloned());
+        let timed = timed_activity(nl, lib, stream, kernel)?;
         Ok(timed.power(nl, lib).total_power_uw())
     };
     // Baseline: registers at the very end.
@@ -145,9 +177,8 @@ pub fn low_power_retime(
     // registered by the boundary rule only if below threshold — which
     // they are, so this is the output-registered baseline.
     let baseline_uw = power_of(&baseline_nl)?;
-    let mut sim = EventDrivenSim::new(netlist, lib)?;
-    let timed = sim.run(stream.iter().cloned());
-    let baseline_glitch_fraction = timed.glitch_fraction();
+    let timed = timed_activity(netlist, lib, stream, kernel)?;
+    let baseline_glitch_fraction = timed.glitch_fraction()?;
 
     let mut sweep = Vec::with_capacity(probes);
     let mut best = (max_arrival + 1.0, baseline_uw);
@@ -244,9 +275,22 @@ mod tests {
         let nl = multiplier(6);
         let lib = Library::default();
         let stream: Vec<Vec<bool>> = streams::random(2, 12).take(200).collect();
-        let mut sim = EventDrivenSim::new(&nl, &lib).unwrap();
-        let timed = sim.run(stream.iter().cloned());
-        assert!(timed.glitch_fraction() > 0.15, "glitch fraction {}", timed.glitch_fraction());
+        let timed = timed_activity(&nl, &lib, &stream, TimedKernel::default()).unwrap();
+        let gf = timed.glitch_fraction().unwrap();
+        assert!(gf > 0.15, "glitch fraction {gf}");
+    }
+
+    #[test]
+    fn retime_kernels_produce_identical_outcomes() {
+        let nl = multiplier(4);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(11, 8).take(120).collect();
+        let s = low_power_retime_kernel(&nl, &lib, &stream, 3, TimedKernel::Scalar).unwrap();
+        let p = low_power_retime_kernel(&nl, &lib, &stream, 3, TimedKernel::Packed64).unwrap();
+        assert_eq!(s, p);
+        let sp = glitch_profile_kernel(&nl, &lib, &stream, TimedKernel::Scalar).unwrap();
+        let pp = glitch_profile_kernel(&nl, &lib, &stream, TimedKernel::Packed64).unwrap();
+        assert_eq!(sp, pp);
     }
 
     #[test]

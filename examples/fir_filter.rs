@@ -68,7 +68,7 @@ fn main() {
         let y = gen::fir_filter(&mut nl, &x, &coeffs, shift_add);
         nl.output_bus("y", &y);
         let mut sim = ZeroDelaySim::new(&nl).expect("acyclic");
-        let act = sim.run(streams::signed_walk(5, 10, 80).take(800));
+        let act = sim.run(streams::signed_walk(5, 10, 80).take(800)).expect("width matches");
         let report = act.power(&nl, &lib);
         println!(
             "{label:<20} {:>8} gates  {:>10.1} fF/cycle  {:>8.1} uW",

@@ -82,7 +82,8 @@ fn main() {
     for (strategy, enc, _) in &encodings {
         let circuit = synthesize(&min, enc).expect("valid encoding");
         let mut sim = ZeroDelaySim::new(&circuit.netlist).expect("acyclic");
-        let act = sim.run(streams::biased(3, min.input_bits(), 0.2).take(4000));
+        let act =
+            sim.run(streams::biased(3, min.input_bits(), 0.2).take(4000)).expect("width matches");
         let power = act.power(&circuit.netlist, &lib);
         println!(
             "  {:<22} {} gates, {} flip-flops, {:.1} uW",

@@ -61,7 +61,7 @@ fn main() {
         entropy::entropy_power_estimate(&nl, &lib, streams::random(1, nl.input_count()).take(2000))
             .expect("acyclic adder");
     let mut sim = ZeroDelaySim::new(&nl).expect("acyclic adder");
-    let act = sim.run(streams::random(1, nl.input_count()).take(2000));
+    let act = sim.run(streams::random(1, nl.input_count()).take(2000)).expect("width matches");
     let measured = act.power(&nl, &lib);
     println!(
         "\ngate-level check on an 8-bit adder:\n  entropy estimate {:.1} uW (Marculescu) / {:.1} uW (Nemani-Najm)\n  simulated        {:.1} uW",

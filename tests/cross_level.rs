@@ -34,7 +34,7 @@ fn three_estimators_agree_on_adder() {
     )
     .expect("converges");
     let mut sim = ZeroDelaySim::new(&nl).expect("acyclic");
-    let act = sim.run(streams::random(99, nl.input_count()).take(30_000));
+    let act = sim.run(streams::random(99, nl.input_count()).take(30_000)).expect("width matches");
     let full = act.power(&nl, &lib).total_power_uw();
     let rel = |x: f64| (x - full).abs() / full;
     assert!(rel(mc.power_uw) < 0.05, "mc {:.1} vs sim {:.1}", mc.power_uw, full);
@@ -64,7 +64,8 @@ fn estimators_preserve_size_ordering() {
     // Level 3: simulation.
     let sim_power = |nl: &Netlist, seed: u64| {
         let mut sim = ZeroDelaySim::new(nl).expect("acyclic");
-        let act = sim.run(streams::random(seed, nl.input_count()).take(4000));
+        let act =
+            sim.run(streams::random(seed, nl.input_count()).take(4000)).expect("width matches");
         act.power(nl, &lib).total_power_uw()
     };
     assert!(sim_power(&big, 2) > sim_power(&small, 2));
@@ -79,7 +80,7 @@ fn estimators_preserve_activity_ordering() {
     let n = nl.input_count();
     let sim_power = |stream: Vec<Vec<bool>>| {
         let mut sim = ZeroDelaySim::new(&nl).expect("acyclic");
-        let act = sim.run(stream);
+        let act = sim.run(stream).expect("width matches");
         act.power(&nl, &lib).total_power_uw()
     };
     let p_random = sim_power(streams::random(3, n).take(4000).collect());
@@ -113,7 +114,7 @@ fn rtl_and_gate_level_agree_on_fir_winner() {
         let y = gen::fir_filter(&mut nl, &x, &coeffs, shift_add);
         nl.output_bus("y", &y);
         let mut sim = ZeroDelaySim::new(&nl).expect("acyclic");
-        let act = sim.run(streams::random(6, 8).take(500));
+        let act = sim.run(streams::random(6, 8).take(500)).expect("width matches");
         act.power(&nl, &lib).total_power_uw()
     };
     let gate_before = gate_power(false);
@@ -135,9 +136,10 @@ fn event_driven_power_dominates_zero_delay() {
     let lib = Library::default();
     let vecs: Vec<Vec<bool>> = streams::random(8, 10).take(400).collect();
     let mut zd = ZeroDelaySim::new(&nl).expect("acyclic");
-    let zd_power = zd.run(vecs.iter().cloned()).power(&nl, &lib).total_power_uw();
+    let zd_power =
+        zd.run(vecs.iter().cloned()).expect("width matches").power(&nl, &lib).total_power_uw();
     let mut ev = EventDrivenSim::new(&nl, &lib).expect("acyclic");
-    let ev_power = ev.run(vecs).power(&nl, &lib).total_power_uw();
+    let ev_power = ev.run(vecs).expect("width matches").power(&nl, &lib).total_power_uw();
     assert!(ev_power >= zd_power, "ev {ev_power:.1} vs zd {zd_power:.1}");
     assert!(ev_power > 1.2 * zd_power, "a multiplier should glitch substantially");
 }

@@ -101,8 +101,10 @@ fn zero_delay_switched_capacitance_matches_exact_densities() {
             .sum();
 
         let mut sim = ZeroDelaySim::new(&nl).expect("acyclic");
-        let report =
-            sim.run(streams::random(9000 + seed, nl.input_count()).take(30_000)).power(&nl, &lib);
+        let report = sim
+            .run(streams::random(9000 + seed, nl.input_count()).take(30_000))
+            .expect("width matches")
+            .power(&nl, &lib);
         let rel_power = (report.total_power_uw() - exact).abs() / exact;
         assert!(
             rel_power < 0.05,

@@ -31,7 +31,9 @@ fn fsm_encoding_gains_survive_synthesis() {
         let gate_power = |enc: &Encoding| {
             let circuit = synthesize(&stg, enc).expect("valid encoding");
             let mut sim = ZeroDelaySim::new(&circuit.netlist).expect("acyclic");
-            let act = sim.run(streams::random(seed + 9, stg.input_bits()).take(1500));
+            let act = sim
+                .run(streams::random(seed + 9, stg.input_bits()).take(1500))
+                .expect("width matches");
             let toggles: u64 = circuit.state.iter().map(|&q| act.toggles[q.index()]).sum();
             toggles as f64 / act.cycles as f64
         };
@@ -74,7 +76,8 @@ fn controller_model_predicts_synthesized_power() {
             let enc = Encoding::binary(&stg);
             let circuit = synthesize(&stg, &enc).expect("valid");
             let mut sim = ZeroDelaySim::new(&circuit.netlist).expect("acyclic");
-            let act = sim.run(streams::random(seed, stg.input_bits()).take(2000));
+            let act =
+                sim.run(streams::random(seed, stg.input_bits()).take(2000)).expect("width matches");
             let uw = act.power(&circuit.netlist, &lib).total_power_uw();
             (controller_features(&stg, &markov, &enc), uw)
         };
@@ -105,7 +108,7 @@ fn bdd_capacitance_feeds_entropy_estimate() {
     let est = entropy::entropy_power_estimate(&nl, &lib, streams::random(3, 12).take(3000))
         .expect("acyclic");
     let mut sim = ZeroDelaySim::new(&nl).expect("acyclic");
-    let act = sim.run(streams::random(3, 12).take(3000));
+    let act = sim.run(streams::random(3, 12).take(3000)).expect("width matches");
     let truth = act.power(&nl, &lib).net_power_uw;
     let ratio = est.power_uw_marculescu / truth;
     assert!((0.3..3.5).contains(&ratio), "ratio {ratio:.2}");
