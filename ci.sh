@@ -12,6 +12,14 @@ cargo run --release --offline -p hlpower-bench --bin repro -- --table1
 # Instrumentation smoke: exits non-zero if any instrumented counter is
 # still zero after the pass; dumps results/metrics.json.
 cargo run --release --offline -p hlpower-bench --bin repro -- --metrics
+# Trace + profile smoke: runs the power-attribution profiler with span
+# tracing on. Exits non-zero if any circuit's attribution fails to
+# reconcile with its power report (<= 1e-9 relative), if the exported
+# Chrome trace does not round-trip through the in-tree parser, or if
+# any trace event was dropped; dumps results/trace.json and
+# results/profile/<circuit>.{json,folded}.
+HLPOWER_TRACE=results/trace.json \
+  cargo run --release --offline -p hlpower-bench --bin repro -- --profile
 # Simulation throughput smoke: exits non-zero if the packed 64-lane
 # kernel is not faster than the scalar one (or if their Monte-Carlo
 # results are not bit-identical); dumps results/BENCH_sim.json.

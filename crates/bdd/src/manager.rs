@@ -1,8 +1,10 @@
 //! The BDD manager: unique table, ITE cache, and core algorithms.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use hlpower_obs::metrics as obs;
+use hlpower_obs::trace;
 
 /// A reference to a BDD node inside a [`BddManager`].
 ///
@@ -31,6 +33,10 @@ struct Node {
     hi: u32,
 }
 
+/// Virtual hash-bucket count used to model unique-table chain lengths
+/// (see [`BddManager::mk`]'s instrumentation).
+const CHAIN_BUCKETS: usize = 1024;
+
 /// A reduced ordered BDD manager over a fixed set of variables.
 ///
 /// Variables are identified by index `0..var_count` and ordered by the
@@ -41,6 +47,12 @@ struct Node {
 pub struct BddManager {
     nodes: Vec<Node>,
     unique: HashMap<(u32, u32, u32), u32>,
+    /// Occupancy of each virtual hash bucket: the unique table is a std
+    /// `HashMap` whose real probe chains are unobservable, so collision
+    /// pressure is modeled by hashing every inserted key into one of
+    /// [`CHAIN_BUCKETS`] virtual buckets and histogramming the bucket's
+    /// occupancy after the insert (`obs::BDD_UNIQUE_CHAIN_LEN`).
+    chain_occupancy: Vec<u16>,
     ite_cache: HashMap<(u32, u32, u32), u32>,
     /// `level_of[var]` is the variable's position in the order (0 = top).
     level_of: Vec<u32>,
@@ -60,6 +72,7 @@ impl BddManager {
         BddManager {
             nodes,
             unique: HashMap::new(),
+            chain_occupancy: vec![0; CHAIN_BUCKETS],
             ite_cache: HashMap::new(),
             level_of: (0..var_count as u32).collect(),
             var_at: (0..var_count as u32).collect(),
@@ -154,6 +167,11 @@ impl BddManager {
         let id = self.nodes.len() as u32;
         self.nodes.push(Node { var, lo, hi });
         self.unique.insert((var, lo, hi), id);
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        (var, lo, hi).hash(&mut h);
+        let occ = &mut self.chain_occupancy[(h.finish() % CHAIN_BUCKETS as u64) as usize];
+        *occ = occ.saturating_add(1);
+        obs::BDD_UNIQUE_CHAIN_LEN.record(u64::from(*occ));
         id
     }
 
@@ -492,11 +510,13 @@ impl BddManager {
     pub fn sift(&self, roots: &[BddRef]) -> (BddManager, Vec<BddRef>, Vec<u32>) {
         obs::BDD_SIFT_ROUNDS.inc();
         let _t = obs::BDD_SIFT_TIME.span();
+        let _pass = trace::span("bdd", "bdd.sift");
         let mut best_order: Vec<u32> = self.var_at.clone();
         let (mut best_m, mut best_roots) = self.transfer(roots, &best_order);
         let mut best_size = best_m.node_count_many(&best_roots);
         let nvars = self.var_count();
         for v in 0..nvars as u32 {
+            let _var_span = trace::span_dyn("bdd", || format!("bdd.sift:v{v}"));
             let cur_pos = best_order.iter().position(|&x| x == v).expect("var in order");
             let mut local_best = (best_size, cur_pos);
             for pos in 0..nvars {

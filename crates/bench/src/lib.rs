@@ -13,5 +13,6 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod timing;

@@ -6,19 +6,26 @@
 //! repro --table1 --fig2  # run selected experiments
 //! repro --list           # list experiment ids
 //! repro --metrics        # instrumentation smoke + results/metrics.json
+//! repro --profile        # power-attribution profiler -> results/profile/
 //! ```
 //!
 //! Each experiment prints a human-readable block and writes
 //! `results/<id>.json` for EXPERIMENTS.md regeneration. Unknown flags are
 //! an error: the flag list is printed and the exit status is non-zero.
 //!
+//! Setting `HLPOWER_TRACE=<path>` enables span tracing for the whole run
+//! and writes a Chrome trace-event JSON (Perfetto-loadable) to `<path>`
+//! on exit; the export is validated with the in-tree parser and any
+//! ring-buffer drop makes the run fail.
+//!
 //! Experiments are independent, so selected runners are fanned out across
 //! the scoped worker pool (`HLPOWER_THREADS` overrides the width); output
 //! blocks are printed in registry order once all runners finish, so the
 //! rendered report is byte-identical at any thread count.
 
+use hlpower::obs::trace;
 use hlpower_bench::report::ExperimentResult;
-use hlpower_bench::{experiments, metrics};
+use hlpower_bench::{experiments, metrics, profile};
 use hlpower_rng::par;
 
 type Runner = fn() -> ExperimentResult;
@@ -76,9 +83,12 @@ fn main() {
     let registry = registry();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         println!("repro — regenerate the survey's tables and figures\n");
-        println!("usage: repro [--all] [--list] [--metrics] [flags...]\n");
+        println!("usage: repro [--all] [--list] [--metrics] [--profile] [flags...]\n");
         println!("--metrics runs an instrumentation smoke pass and dumps the");
-        println!("accumulated counters to results/metrics.json.\n");
+        println!("accumulated counters to results/metrics.json.");
+        println!("--profile runs the power-attribution profiler over the generator");
+        println!("suite and writes hotspot reports under results/profile/.");
+        println!("HLPOWER_TRACE=<path> records spans and writes a Chrome trace.\n");
         print_flag_list(&registry);
         return;
     }
@@ -86,12 +96,19 @@ fn main() {
         print_flag_list(&registry);
         return;
     }
+    // Opt into span tracing before any work runs so generator builds,
+    // kernel compiles, and pool jobs are all captured.
+    let trace_path = trace::env_path();
+    if trace_path.is_some() {
+        trace::set_enabled(true);
+    }
     // Reject unknown flags loudly instead of silently ignoring them: a
     // typo like `--tabel1` must not report "experiments complete".
     let known = |a: &str| {
         a == "--all"
             || a == "--fig5"
             || a == "--metrics"
+            || a == "--profile"
             || registry.iter().any(|(flag, _, _)| a == *flag)
     };
     let unknown: Vec<&String> = args.iter().filter(|a| !known(a)).collect();
@@ -105,6 +122,7 @@ fn main() {
     }
     let run_all = args.iter().any(|a| a == "--all");
     let want_metrics = args.iter().any(|a| a == "--metrics");
+    let want_profile = args.iter().any(|a| a == "--profile");
     let selected: Vec<&(&str, &str, Runner)> = registry
         .iter()
         .filter(|(flag, _, _)| {
@@ -112,7 +130,7 @@ fn main() {
             run_all || args.iter().any(|a| a == *flag) || aliased
         })
         .collect();
-    if selected.is_empty() && !want_metrics {
+    if selected.is_empty() && !want_metrics && !want_profile {
         eprintln!("no experiment matched; try --list");
         std::process::exit(2);
     }
@@ -151,7 +169,60 @@ fn main() {
             for z in &zeros {
                 eprintln!("error: instrumented counter `{z}` is zero after the smoke run");
             }
-            std::process::exit(1);
+            failures += 1;
+        }
+    }
+    if want_profile {
+        let outcomes = profile::run_profile();
+        for o in &outcomes {
+            o.print();
+            if let Err(e) = &o.reconcile {
+                eprintln!("error: {}: attribution does not reconcile: {e}", o.name);
+                failures += 1;
+            }
+            if let Err(e) = o.write_files() {
+                eprintln!("warning: could not write results/profile/{}.*: {e}", o.name);
+                failures += 1;
+            }
+        }
+        println!(
+            "\n{} circuit(s) profiled; hotspot reports under results/profile/",
+            outcomes.len()
+        );
+    }
+    // Export the span trace last so every subsystem's spans are in it.
+    // A failed export, an invalid trace, or any ring-buffer drop fails
+    // the run: a silently truncated trace would masquerade as a quiet one.
+    if let Some(path) = trace_path {
+        match trace::write_chrome_json(&path) {
+            Ok(n) => {
+                let text = std::fs::read_to_string(&path).unwrap_or_default();
+                match trace::parse_chrome_trace(&text) {
+                    Ok(parsed) if parsed.len() == n => {
+                        println!("trace: {n} span(s) written to {}", path);
+                    }
+                    Ok(parsed) => {
+                        eprintln!(
+                            "error: trace round-trip mismatch: wrote {n}, parsed {}",
+                            parsed.len()
+                        );
+                        failures += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("error: exported trace is not valid Chrome JSON: {e}");
+                        failures += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: could not write trace to {}: {e}", path);
+                failures += 1;
+            }
+        }
+        let dropped = trace::dropped();
+        if dropped > 0 {
+            eprintln!("error: {dropped} trace event(s) dropped (ring/sink overflow)");
+            failures += 1;
         }
     }
     if failures > 0 {

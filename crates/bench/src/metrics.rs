@@ -31,6 +31,7 @@ pub const REQUIRED_NONZERO: &[(&str, &str)] = &[
     ("sim_packed", "blocks"),
     ("sim_event", "steps"),
     ("sim_event", "events"),
+    ("sim_event", "queue_depth"),
     ("sim_ev_packed", "steps"),
     ("sim_ev_packed", "events"),
     ("sim_ev_packed", "lane_cycles"),
@@ -39,9 +40,12 @@ pub const REQUIRED_NONZERO: &[(&str, &str)] = &[
     ("bdd", "ite_calls"),
     ("bdd", "nodes_created"),
     ("bdd", "sift_rounds"),
+    ("bdd", "unique_chain_len"),
     ("monte_carlo", "runs"),
     ("monte_carlo", "batches"),
     ("monte_carlo", "cycles"),
+    ("monte_carlo", "batch_ns"),
+    ("monte_carlo", "ci_half_width_nw"),
     ("pool", "tasks"),
     ("pool", "jobs"),
 ];

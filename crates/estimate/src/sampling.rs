@@ -96,6 +96,8 @@ pub fn cosimulate(
         return Err(MacroModelError::NotEnoughData { cycles: 0 });
     }
     obs::EST_COSIM_RUNS.inc();
+    let _span =
+        hlpower_obs::trace::span_dyn("estimate", || format!("estimate.cosim:{}cyc", records.len()));
     let reference = mean(&records.iter().map(|r| r.energy_fj).collect::<Vec<_>>());
     let (estimate, model_evals, gate_cycles) = match strategy {
         CosimStrategy::Census => {

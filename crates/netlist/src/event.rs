@@ -284,6 +284,9 @@ impl<'a> EventDrivenSim<'a> {
                 }
             }
         }
+        // Queue depth after the time-zero schedule: how bursty this cycle's
+        // stimulus is (purely observational, never read back).
+        obs::SIM_EV_QUEUE_DEPTH.record(heap.len() as u64);
         // Propagate events in time order (transport delay: every scheduled
         // evaluation re-reads current fanin values).
         let mut events = 0u64;

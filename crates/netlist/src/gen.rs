@@ -350,6 +350,62 @@ pub fn fir_filter(nl: &mut Netlist, x: &[NodeId], coeffs: &[u64], shift_add: boo
     layer.pop().unwrap_or_default()
 }
 
+/// The canonical six-circuit benchmark suite used by the differential
+/// test suites, golden snapshots, and `repro --profile`: an 8-bit ripple
+/// adder, a 4×4 array multiplier, a 4-bit ALU, a 6-bit comparator, a
+/// shift-add FIR filter, and seeded random logic.
+///
+/// Returns `(name, netlist)` pairs in a fixed order. Each build is
+/// wrapped in an `obs::trace` span (`gen.build:<name>`) so generator
+/// construction shows up in exported traces.
+pub fn benchmark_suite() -> Vec<(&'static str, Netlist)> {
+    let build = |name: &'static str, f: &dyn Fn(&mut Netlist)| {
+        let _span = hlpower_obs::trace::span_dyn("gen", || format!("gen.build:{name}"));
+        let mut nl = Netlist::new();
+        f(&mut nl);
+        (name, nl)
+    };
+    vec![
+        build("ripple_adder", &|nl| {
+            let a = nl.input_bus("a", 8);
+            let b = nl.input_bus("b", 8);
+            let c0 = nl.constant(false);
+            let s = ripple_adder(nl, &a, &b, c0);
+            nl.output_bus("sum", &s);
+        }),
+        build("array_multiplier", &|nl| {
+            let a = nl.input_bus("a", 4);
+            let b = nl.input_bus("b", 4);
+            let p = array_multiplier(nl, &a, &b);
+            nl.output_bus("p", &p);
+        }),
+        build("alu", &|nl| {
+            let op0 = nl.input("op0");
+            let op1 = nl.input("op1");
+            let a = nl.input_bus("a", 4);
+            let b = nl.input_bus("b", 4);
+            let y = alu(nl, [op0, op1], &a, &b);
+            nl.output_bus("y", &y);
+        }),
+        build("comparator", &|nl| {
+            let a = nl.input_bus("a", 6);
+            let b = nl.input_bus("b", 6);
+            let eq = equality(nl, &a, &b);
+            let lt = less_than(nl, &a, &b);
+            nl.set_output("eq", eq);
+            nl.set_output("lt", lt);
+        }),
+        build("fir_shift_add", &|nl| {
+            let x = nl.input_bus("x", 8);
+            let y = fir_filter(nl, &x, &[7, 13, 7], true);
+            nl.output_bus("y", &y);
+        }),
+        build("random_logic", &|nl| {
+            random_logic(nl, 2024, 6, 24, 3);
+        }),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,7 +45,7 @@ pub mod io;
 mod library;
 mod montecarlo;
 mod netlist;
-mod power;
+pub mod power;
 mod prob;
 mod sim;
 mod sim64;
@@ -64,6 +64,7 @@ pub use montecarlo::{
     MonteCarloOptions, MonteCarloResult,
 };
 pub use netlist::{Bus, GroupId, Netlist, NodeId, NodeKind};
+pub use power::attribution::{attribute, AttributionReport, NodeAttribution, RollupEntry};
 pub use power::{GroupPower, PowerReport};
 pub use prob::{ProbabilityAnalysis, SignalStats};
 pub use sim::{Activity, ZeroDelaySim};

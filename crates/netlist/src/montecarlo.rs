@@ -29,6 +29,7 @@
 //! the serial engine carries simulator state across batches.
 
 use hlpower_obs::metrics as obs;
+use hlpower_obs::trace;
 use hlpower_rng::{par, Rng};
 
 use crate::error::NetlistError;
@@ -188,7 +189,9 @@ pub fn monte_carlo_power(
     let mut it = stream.into_iter();
     let mut samples: Vec<f64> = Vec::new();
     let mut total_cycles = 0u64;
-    for _batch in 0..opts.max_batches {
+    for batch in 0..opts.max_batches {
+        let _batch_t = obs::MC_BATCH_NS.time();
+        let _span = trace::span_dyn("mc", || format!("mc.batch:{batch}"));
         let mut got = 0usize;
         for _ in 0..opts.batch_cycles {
             match it.next() {
@@ -210,6 +213,7 @@ pub fn monte_carlo_power(
         if samples.len() >= 2 {
             let (_, hw) = mean_half_width(&samples, opts.z);
             obs::MC_CI_HALF_WIDTH_UW.push(hw);
+            obs::MC_CI_HALF_WIDTH_NW.record((hw * 1000.0).round() as u64);
         }
         if samples.len() >= 5 {
             let (mean, hw) = mean_half_width(&samples, opts.z);
@@ -502,8 +506,12 @@ where
         let dispatched: usize = groups.iter().map(|&(_, n)| n).sum();
         next_batch += dispatched as u64;
         obs::MC_WAVES.inc();
+        let wave_span = trace::span_dyn("mc", || {
+            format!("mc.wave:{}+{}", next_batch - dispatched as u64, dispatched)
+        });
         let wave: Vec<Result<Vec<Option<(f64, u64)>>, NetlistError>> =
             par::map_with_threads(threads, &groups, |_, &(base, lanes)| run_group(base, lanes));
+        drop(wave_span);
         let mut consumed = 0usize;
         let mut stop = None;
         'replay: for outcome in wave {
@@ -525,6 +533,7 @@ where
                         if samples.len() >= 2 {
                             let (_, hw) = mean_half_width(&samples, opts.z);
                             obs::MC_CI_HALF_WIDTH_UW.push(hw);
+                            obs::MC_CI_HALF_WIDTH_NW.record((hw * 1000.0).round() as u64);
                         }
                         if samples.len() >= 5 {
                             let (mean, hw) = mean_half_width(&samples, opts.z);
@@ -576,6 +585,8 @@ where
     F: Fn(Rng) -> I + Sync,
     I: IntoIterator<Item = Vec<bool>>,
 {
+    let _batch_t = obs::MC_BATCH_NS.time();
+    let _span = trace::span_dyn("mc", || format!("mc.batch:{batch}"));
     let mut sim = ZeroDelaySim::new(netlist)?;
     let mut got = 0usize;
     for v in stream_fn(root.split(batch)).into_iter().take(opts.batch_cycles) {
@@ -608,6 +619,8 @@ where
     F: Fn(Rng) -> I + Sync,
     I: IntoIterator<Item = Vec<bool>>,
 {
+    let _batch_t = obs::MC_BATCH_NS.time();
+    let _span = trace::span_dyn("mc", || format!("mc.word:{base}+{lanes}"));
     let width = netlist.input_count();
     let mut sim = Sim64::new(netlist)?;
     let mut iters: Vec<I::IntoIter> =
@@ -669,6 +682,8 @@ where
     F: Fn(Rng) -> I + Sync,
     I: IntoIterator<Item = Vec<bool>>,
 {
+    let _batch_t = obs::MC_BATCH_NS.time();
+    let _span = trace::span_dyn("mc", || format!("mc.glitch_batch:{batch}"));
     let mut sim = EventDrivenSim::new(netlist, lib)?;
     let mut got = 0usize;
     for v in stream_fn(root.split(batch)).into_iter().take(opts.batch_cycles) {
@@ -700,6 +715,8 @@ where
     F: Fn(Rng) -> I + Sync,
     I: IntoIterator<Item = Vec<bool>>,
 {
+    let _batch_t = obs::MC_BATCH_NS.time();
+    let _span = trace::span_dyn("mc", || format!("mc.glitch_word:{base}+{lanes}"));
     let width = netlist.input_count();
     let mut sim = TimedSim64::new(netlist, lib)?;
     let mut iters: Vec<I::IntoIter> =

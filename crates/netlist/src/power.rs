@@ -1,5 +1,7 @@
 //! Switched-capacitance power accounting.
 
+pub mod attribution;
+
 use std::collections::BTreeMap;
 
 use crate::library::Library;

@@ -92,6 +92,7 @@ pub(crate) struct Program {
 impl Program {
     /// Compiles the topological order into instructions.
     pub(crate) fn compile(netlist: &Netlist) -> Result<Program, NetlistError> {
+        let _span = hlpower_obs::trace::span("sim64", "sim64.compile");
         let order = netlist.topo_order()?;
         let mut instrs = Vec::with_capacity(order.len());
         let mut pool: Vec<u32> = Vec::new();

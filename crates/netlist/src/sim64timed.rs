@@ -182,6 +182,7 @@ impl<'a> TimedSim64<'a> {
     ///
     /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
     pub fn new(netlist: &'a Netlist, lib: &Library) -> Result<Self, NetlistError> {
+        let _span = hlpower_obs::trace::span("sim64timed", "sim64timed.compile");
         let program = Program::compile(netlist)?;
         let n = netlist.node_count();
         let mut instr_of = vec![u32::MAX; n];

@@ -1,0 +1,455 @@
+//! `const`-constructible log-linear (HDR-style) histograms on relaxed
+//! atomic buckets.
+//!
+//! A [`Hist`] covers the full `u64` range with bounded relative error:
+//! each power-of-two octave is split into [`SUB_BUCKETS`] linear
+//! sub-buckets, so any recorded value lands in a bucket whose width is at
+//! most `1/16` of the value (≈6% worst-case quantile error). Values below
+//! [`SUB_BUCKETS`] get exact unit-width buckets.
+//!
+//! Recording is a handful of relaxed atomic adds — additive and
+//! commutative, like every other primitive in this crate, so totals are
+//! independent of thread interleaving and the workspace's bit-determinism
+//! contract is untouched (no instrumented path reads a histogram to make
+//! a decision).
+//!
+//! ```
+//! use hlpower_obs::hist::Hist;
+//!
+//! static BATCH_NS: Hist = Hist::new();
+//! BATCH_NS.record(1_250);
+//! BATCH_NS.record(900);
+//! let snap = BATCH_NS.snapshot();
+//! assert_eq!(snap.count, 2);
+//! assert!(snap.quantile(0.5) >= 900);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// log2 of the number of linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKET_BITS: u32 = 4;
+
+/// Linear sub-buckets per octave (16 → ≤6.25% bucket width).
+pub const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+
+/// Total bucket count covering all of `0..=u64::MAX`.
+///
+/// Buckets `0..16` are exact unit buckets; each of the 60 remaining
+/// octaves (`msb = 4..=63`) contributes 16 sub-buckets: `16 + 60 * 16`.
+pub const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BUCKET_BITS as usize) * SUB_BUCKETS;
+
+/// Maps a value to its bucket index. Total order preserving: `a <= b`
+/// implies `bucket_index(a) <= bucket_index(b)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let block = (msb - SUB_BUCKET_BITS + 1) as usize;
+    let sub = ((v >> (msb - SUB_BUCKET_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    block * SUB_BUCKETS + sub
+}
+
+/// The smallest value mapping to bucket `idx`.
+#[inline]
+pub fn bucket_low(idx: usize) -> u64 {
+    debug_assert!(idx < BUCKETS);
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let block = (idx / SUB_BUCKETS) as u32;
+    let sub = (idx % SUB_BUCKETS) as u64;
+    let msb = block + SUB_BUCKET_BITS - 1;
+    (1u64 << msb) + (sub << (msb - SUB_BUCKET_BITS))
+}
+
+/// The largest value mapping to bucket `idx`.
+#[inline]
+pub fn bucket_high(idx: usize) -> u64 {
+    debug_assert!(idx < BUCKETS);
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let block = (idx / SUB_BUCKETS) as u32;
+    let msb = block + SUB_BUCKET_BITS - 1;
+    bucket_low(idx) + ((1u64 << (msb - SUB_BUCKET_BITS)) - 1)
+}
+
+/// A lock-free log-linear histogram. `const`-constructible so it can
+/// live in a `static`; see the [module docs](self) for the bucketing
+/// scheme and the determinism argument.
+pub struct Hist {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Hist {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        Hist {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (relaxed atomics; safe from any thread).
+    ///
+    /// The running sum wraps on overflow — with nanosecond samples that
+    /// takes ~584 years of accumulated time, and the sum is only used
+    /// for the mean in reports.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Starts a scoped timer; the elapsed nanoseconds are recorded into
+    /// the histogram when the guard drops.
+    pub fn time(&self) -> HistTimer<'_> {
+        HistTimer { hist: self, start: Instant::now() }
+    }
+
+    /// A point-in-time copy of the full bucket state.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count(),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The compact summary recorded in metric snapshots.
+    pub fn summary(&self) -> HistSummary {
+        self.snapshot().summary()
+    }
+
+    /// Resets to empty (tests and explicit baseline resets only).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+impl std::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hist").field("summary", &self.summary()).finish_non_exhaustive()
+    }
+}
+
+/// A scope guard created by [`Hist::time`].
+#[derive(Debug)]
+pub struct HistTimer<'a> {
+    hist: &'a Hist,
+    start: Instant,
+}
+
+impl Drop for HistTimer<'_> {
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// An owned copy of a [`Hist`]'s state, supporting merge and quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts, indexed by [`bucket_index`].
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Wrapping sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (`0` when empty).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> Self {
+        HistSnapshot { buckets: vec![0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Merges `other` into `self`.
+    ///
+    /// Pure `u64` addition plus min/max, so merging is commutative and
+    /// associative: any grouping of per-thread snapshots yields the same
+    /// aggregate.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as an upper bucket bound, clamped
+    /// to the recorded `[min, max]`. Returns 0 when empty.
+    ///
+    /// Monotone in `q`, and within one bucket width (≤6.25% relative) of
+    /// the exact order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_high(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty; meaningless if `sum`
+    /// wrapped).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The compact summary recorded in metric snapshots.
+    pub fn summary(&self) -> HistSummary {
+        if self.count == 0 {
+            return HistSummary { count: 0, min: 0, max: 0, p50: 0, p90: 0, p99: 0 };
+        }
+        HistSummary {
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// The fixed summary a [`Hist`] contributes to `metrics::snapshot()`
+/// (`report::Value::Hist`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Recorded value count.
+    pub count: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median (upper bucket bound, clamped to `[min, max]`).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xorshift64* — the test's own PRNG; `obs` cannot depend on
+    /// `hlpower-rng` (which depends on `obs`).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        /// A value with a random bit-width, exercising every octave.
+        fn next_spread(&mut self) -> u64 {
+            let bits = (self.next() % 65) as u32;
+            if bits == 0 {
+                0
+            } else {
+                self.next() >> (64 - bits)
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_exact_and_exhaustive() {
+        // Every bucket's [low, high] range maps back to itself, and
+        // consecutive buckets tile the u64 range with no gap or overlap.
+        for idx in 0..BUCKETS {
+            let (lo, hi) = (bucket_low(idx), bucket_high(idx));
+            assert!(lo <= hi, "bucket {idx}");
+            assert_eq!(bucket_index(lo), idx, "low bound of bucket {idx}");
+            assert_eq!(bucket_index(hi), idx, "high bound of bucket {idx}");
+            if idx + 1 < BUCKETS {
+                assert_eq!(bucket_low(idx + 1), hi + 1, "gap after bucket {idx}");
+            }
+        }
+        assert_eq!(bucket_low(0), 0);
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_tight_on_random_values() {
+        let mut rng = XorShift(0x9E3779B97F4A7C15);
+        for _ in 0..20_000 {
+            let v = rng.next_spread();
+            let idx = bucket_index(v);
+            assert!(bucket_low(idx) <= v && v <= bucket_high(idx), "v={v} idx={idx}");
+            // Bucket width stays within the 1/16 relative-error bound.
+            let width = bucket_high(idx) - bucket_low(idx);
+            assert!(width as u128 <= (v as u128 / SUB_BUCKETS as u128) + 1, "v={v}");
+            // Monotone: a nearby larger value never lands in an earlier bucket.
+            let v2 = v.saturating_add(rng.next() % 1024);
+            assert!(bucket_index(v2) >= idx);
+        }
+        // Edges.
+        for v in [0, 1, 15, 16, 17, 255, 256, u64::MAX - 1, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_low(idx) <= v && v <= bucket_high(idx), "edge v={v}");
+        }
+    }
+
+    fn random_snapshot(rng: &mut XorShift, n: usize) -> HistSnapshot {
+        let h = Hist::new();
+        for _ in 0..n {
+            h.record(rng.next_spread());
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let mut rng = XorShift(42);
+        for _ in 0..50 {
+            let a = random_snapshot(&mut rng, 200);
+            let b = random_snapshot(&mut rng, 150);
+            let c = random_snapshot(&mut rng, 100);
+
+            // a + b == b + a
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba);
+
+            // (a + b) + c == a + (b + c)
+            let mut ab_c = ab.clone();
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            assert_eq!(ab_c, a_bc);
+
+            // Identity.
+            let mut a_e = a.clone();
+            a_e.merge(&HistSnapshot::empty());
+            assert_eq!(a_e, a);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed() {
+        let mut rng = XorShift(7);
+        for _ in 0..20 {
+            let snap = random_snapshot(&mut rng, 500);
+            let mut prev = 0u64;
+            for i in 0..=100 {
+                let q = snap.quantile(i as f64 / 100.0);
+                assert!(q >= prev, "quantile not monotone at {i}%");
+                assert!(q >= snap.min && q <= snap.max);
+                prev = q;
+            }
+            assert_eq!(snap.quantile(1.0), snap.max);
+        }
+    }
+
+    #[test]
+    fn quantile_approximates_exact_order_statistic() {
+        let mut rng = XorShift(99);
+        let h = Hist::new();
+        let mut values: Vec<u64> = (0..1000).map(|_| rng.next() % 1_000_000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        for (q, rank) in [(0.5, 499), (0.9, 899), (0.99, 989)] {
+            let exact = values[rank] as f64;
+            let approx = snap.quantile(q) as f64;
+            assert!(
+                (approx - exact).abs() <= exact / SUB_BUCKETS as f64 + 1.0,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Hist::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 8000);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 7999);
+    }
+
+    #[test]
+    fn empty_and_reset_behave() {
+        let h = Hist::new();
+        assert_eq!(h.summary(), HistSummary { count: 0, min: 0, max: 0, p50: 0, p90: 0, p99: 0 });
+        h.record(500);
+        assert_eq!(h.count(), 1);
+        let s = h.summary();
+        assert_eq!((s.min, s.max), (500, 500));
+        assert_eq!(s.p50, 500, "single value: quantiles clamp to it");
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot(), HistSnapshot::empty());
+    }
+}

@@ -30,11 +30,13 @@
 
 #![warn(missing_docs)]
 
+pub mod hist;
 pub mod metrics;
 pub mod report;
+pub mod trace;
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// A monotonically increasing event counter (relaxed atomic).
@@ -249,6 +251,11 @@ pub const SERIES_CAP: usize = 4096;
 /// producer cannot grow memory without bound. Only deterministic serial
 /// code paths should push (the Monte-Carlo engine records from its serial
 /// stopping-rule replay), keeping the recorded order reproducible.
+///
+/// A panic on an instrumented thread poisons the mutex; every accessor
+/// recovers the guard with [`PoisonError::into_inner`] instead of
+/// cascading the panic — samples are plain `f64`s with no invariant a
+/// mid-push panic could break, so the data stays usable.
 #[derive(Debug)]
 pub struct Series {
     data: Mutex<Vec<f64>>,
@@ -263,7 +270,7 @@ impl Series {
 
     /// Appends a sample (dropped, but counted, once the cap is reached).
     pub fn push(&self, v: f64) {
-        let mut data = self.data.lock().expect("series lock");
+        let mut data = self.data.lock().unwrap_or_else(PoisonError::into_inner);
         if data.len() < SERIES_CAP {
             data.push(v);
         } else {
@@ -273,12 +280,12 @@ impl Series {
 
     /// A copy of the recorded samples.
     pub fn snapshot(&self) -> Vec<f64> {
-        self.data.lock().expect("series lock").clone()
+        self.data.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// Number of recorded samples.
     pub fn len(&self) -> usize {
-        self.data.lock().expect("series lock").len()
+        self.data.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// Whether the series is empty.
@@ -293,7 +300,7 @@ impl Series {
 
     /// Clears the series.
     pub fn reset(&self) {
-        self.data.lock().expect("series lock").clear();
+        self.data.lock().unwrap_or_else(PoisonError::into_inner).clear();
         self.dropped.reset();
     }
 }
@@ -355,6 +362,28 @@ mod tests {
         t.record_ns(50);
         assert!(t.total_ns() >= 50);
         assert_eq!(t.spans(), 2);
+    }
+
+    #[test]
+    fn series_survives_a_poisoning_panic() {
+        let s = Series::new();
+        s.push(1.0);
+        // Poison the mutex: panic while holding the guard on another thread.
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = s.data.lock().expect("first lock is clean");
+                    panic!("instrumented thread dies mid-push");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "the worker must have panicked");
+        // Every accessor still works and the data is intact.
+        s.push(2.0);
+        assert_eq!(s.snapshot(), vec![1.0, 2.0]);
+        assert_eq!(s.len(), 2);
+        s.reset();
+        assert!(s.is_empty());
     }
 
     #[test]

@@ -11,11 +11,18 @@
 //! [`Series`], which is pushed exclusively from the engines' *serial*
 //! stopping-rule replay and is therefore equally deterministic.
 
+use crate::hist::Hist;
 use crate::report::{Section, Snapshot, Value};
 use crate::{Counter, MaxGauge, Series, ShardedCounter, TimerNs};
 
 /// Schema tag stamped into every JSON dump.
-pub const SCHEMA: &str = "hlpower-obs/1";
+pub const SCHEMA: &str = "hlpower-obs/2";
+
+/// Numeric schema version (the `schema_version` JSON field).
+///
+/// v2 added `schema_version` itself, histogram-valued metrics
+/// (`Value::Hist`), and the union semantics of `Snapshot::delta`.
+pub const SCHEMA_VERSION: u32 = 2;
 
 // --- Zero-delay simulator -------------------------------------------------
 
@@ -52,6 +59,9 @@ pub static SIM64_BLOCKS: ShardedCounter = ShardedCounter::new();
 pub static SIM_EV_STEPS: ShardedCounter = ShardedCounter::new();
 /// Events processed (heap pops) by the event-driven simulator.
 pub static SIM_EV_EVENTS: ShardedCounter = ShardedCounter::new();
+/// Distribution of the event heap's depth, sampled once per step after
+/// the initial schedule (how bursty the timed activity is).
+pub static SIM_EV_QUEUE_DEPTH: Hist = Hist::new();
 /// All transitions (functional + glitch) flushed through `take_activity`.
 pub static SIM_EV_TRANSITIONS: ShardedCounter = ShardedCounter::new();
 /// Glitch transitions flushed through `take_activity`.
@@ -93,6 +103,10 @@ pub static BDD_SIFT_CANDIDATE_ORDERS: Counter = Counter::new();
 pub static BDD_SIFT_MOVES: Counter = Counter::new();
 /// Wall-clock time spent inside `sift`.
 pub static BDD_SIFT_TIME: TimerNs = TimerNs::new();
+/// Distribution of unique-table hash-chain lengths, sampled at each node
+/// insert (occupancy of the node's virtual hash bucket after the insert —
+/// a direct collision-pressure indicator for the unique table).
+pub static BDD_UNIQUE_CHAIN_LEN: Hist = Hist::new();
 
 // --- Monte-Carlo engine ---------------------------------------------------
 
@@ -112,6 +126,15 @@ pub static MC_TIME: TimerNs = TimerNs::new();
 /// batch order (recorded from the serial stopping-rule replay only, so
 /// the trajectory is thread-count-invariant).
 pub static MC_CI_HALF_WIDTH_UW: Series = Series::new();
+/// Distribution of per-batch simulation wall times in nanoseconds
+/// (recorded by every Monte-Carlo kernel, scalar and packed, on the
+/// thread that ran the batch).
+pub static MC_BATCH_NS: Hist = Hist::new();
+/// Distribution of confidence-interval half-widths in nanowatts (µW ×
+/// 1000, quantized to integers for the log-linear buckets), recorded at
+/// the same serial stopping-rule replay points as
+/// [`MC_CI_HALF_WIDTH_UW`].
+pub static MC_CI_HALF_WIDTH_NW: Hist = Hist::new();
 
 // --- Worker pool ----------------------------------------------------------
 
@@ -148,6 +171,7 @@ pub fn snapshot() -> Snapshot {
     let ite_hits = BDD_ITE_CACHE_HITS.get();
     Snapshot {
         schema: SCHEMA,
+        schema_version: SCHEMA_VERSION,
         sections: vec![
             Section {
                 name: "sim_zero_delay",
@@ -176,6 +200,7 @@ pub fn snapshot() -> Snapshot {
                     ("transitions", Value::Count(SIM_EV_TRANSITIONS.get())),
                     ("glitches", Value::Count(SIM_EV_GLITCHES.get())),
                     ("cycles", Value::Count(SIM_EV_CYCLES.get())),
+                    ("queue_depth", Value::Hist(SIM_EV_QUEUE_DEPTH.summary())),
                 ],
             },
             Section {
@@ -200,6 +225,7 @@ pub fn snapshot() -> Snapshot {
                     ("sift_candidate_orders", Value::Count(BDD_SIFT_CANDIDATE_ORDERS.get())),
                     ("sift_moves", Value::Count(BDD_SIFT_MOVES.get())),
                     ("sift_time_ns", Value::Nanos(BDD_SIFT_TIME.total_ns())),
+                    ("unique_chain_len", Value::Hist(BDD_UNIQUE_CHAIN_LEN.summary())),
                 ],
             },
             Section {
@@ -212,6 +238,8 @@ pub fn snapshot() -> Snapshot {
                     ("discarded_batches", Value::Count(MC_DISCARDED_BATCHES.get())),
                     ("time_ns", Value::Nanos(MC_TIME.total_ns())),
                     ("ci_half_width_uw", Value::Series(MC_CI_HALF_WIDTH_UW.snapshot())),
+                    ("batch_ns", Value::Hist(MC_BATCH_NS.summary())),
+                    ("ci_half_width_nw", Value::Hist(MC_CI_HALF_WIDTH_NW.summary())),
                 ],
             },
             Section {
@@ -256,6 +284,7 @@ pub fn reset_all() {
     SIM64_BLOCKS.reset();
     SIM_EV_STEPS.reset();
     SIM_EV_EVENTS.reset();
+    SIM_EV_QUEUE_DEPTH.reset();
     SIM_EV_TRANSITIONS.reset();
     SIM_EV_GLITCHES.reset();
     SIM_EV_CYCLES.reset();
@@ -272,6 +301,7 @@ pub fn reset_all() {
     BDD_SIFT_CANDIDATE_ORDERS.reset();
     BDD_SIFT_MOVES.reset();
     BDD_SIFT_TIME.reset();
+    BDD_UNIQUE_CHAIN_LEN.reset();
     MC_RUNS.reset();
     MC_BATCHES.reset();
     MC_CYCLES.reset();
@@ -279,6 +309,8 @@ pub fn reset_all() {
     MC_DISCARDED_BATCHES.reset();
     MC_TIME.reset();
     MC_CI_HALF_WIDTH_UW.reset();
+    MC_BATCH_NS.reset();
+    MC_CI_HALF_WIDTH_NW.reset();
     POOL_JOBS.reset();
     POOL_TASKS.reset();
     POOL_WORKERS_SPAWNED.reset();

@@ -9,6 +9,8 @@
 
 use std::fmt::Write as _;
 
+use crate::hist::HistSummary;
+
 /// One metric value inside a [`Snapshot`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -20,6 +22,8 @@ pub enum Value {
     Float(f64),
     /// A recorded sample trajectory.
     Series(Vec<f64>),
+    /// A log-linear histogram summary (see [`crate::hist`]).
+    Hist(HistSummary),
 }
 
 /// A named group of metrics (one instrumented subsystem).
@@ -38,8 +42,12 @@ pub struct Section {
 /// [`to_json_pretty`](Self::to_json_pretty).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
-    /// Schema tag written into the JSON dump (`"hlpower-obs/1"`).
+    /// Schema tag written into the JSON dump (`"hlpower-obs/2"`).
     pub schema: &'static str,
+    /// Numeric schema version written as `"schema_version"` in the JSON
+    /// dump — machine-comparable (tools can check `>= 2` instead of
+    /// parsing the tag string).
+    pub schema_version: u32,
     /// All sections in rendering order.
     pub sections: Vec<Section>,
 }
@@ -56,26 +64,34 @@ impl Snapshot {
             .map(|(_, v)| v)
     }
 
-    /// Looks up an integer metric ([`Value::Count`] or [`Value::Nanos`]).
+    /// Looks up an integer metric ([`Value::Count`], [`Value::Nanos`], or
+    /// a [`Value::Hist`]'s recorded-value count).
     pub fn count(&self, section: &str, name: &str) -> Option<u64> {
         match self.get(section, name)? {
             Value::Count(n) | Value::Nanos(n) => Some(*n),
+            Value::Hist(h) => Some(h.count),
             _ => None,
         }
     }
 
     /// The snapshot minus a baseline, entry by entry.
     ///
-    /// Integer values subtract saturating; floats subtract; series keep
-    /// this snapshot's samples (trajectories are not differenced).
-    /// Entries missing from the baseline pass through unchanged.
+    /// Integer values subtract saturating; floats subtract; series and
+    /// histogram summaries keep this snapshot's value (trajectories and
+    /// quantiles are not differenced).
+    ///
+    /// The result is the **union** of both snapshots: a section or entry
+    /// present in only one side is kept with its full value rather than
+    /// silently dropped — self-only entries pass through unchanged, and
+    /// baseline-only sections/entries are appended (after this snapshot's
+    /// entries, in baseline order) so a dump comparison never hides a
+    /// metric that one build knows about and the other does not.
     pub fn delta(&self, baseline: &Snapshot) -> Snapshot {
-        let sections = self
+        let mut sections: Vec<Section> = self
             .sections
             .iter()
-            .map(|s| Section {
-                name: s.name,
-                entries: s
+            .map(|s| {
+                let mut entries: Vec<(&'static str, Value)> = s
                     .entries
                     .iter()
                     .map(|(name, v)| {
@@ -91,10 +107,25 @@ impl Snapshot {
                         };
                         (*name, d)
                     })
-                    .collect(),
+                    .collect();
+                // Baseline-only entries of a shared section: keep whole.
+                if let Some(base) = baseline.sections.iter().find(|b| b.name == s.name) {
+                    for (name, v) in &base.entries {
+                        if !s.entries.iter().any(|(n, _)| n == name) {
+                            entries.push((*name, v.clone()));
+                        }
+                    }
+                }
+                Section { name: s.name, entries }
             })
             .collect();
-        Snapshot { schema: self.schema, sections }
+        // Baseline-only sections: keep whole.
+        for base in &baseline.sections {
+            if !self.sections.iter().any(|s| s.name == base.name) {
+                sections.push(base.clone());
+            }
+        }
+        Snapshot { schema: self.schema, schema_version: self.schema_version, sections }
     }
 
     /// Renders an aligned, human-readable summary.
@@ -116,6 +147,13 @@ impl Snapshot {
                     Value::Series(xs) => {
                         let _ = writeln!(out, "  {name:<28} {} point(s)", xs.len());
                     }
+                    Value::Hist(h) => {
+                        let _ = writeln!(
+                            out,
+                            "  {name:<28} n={} min={} p50={} p90={} p99={} max={}",
+                            h.count, h.min, h.p50, h.p90, h.p99, h.max
+                        );
+                    }
                 }
             }
         }
@@ -131,6 +169,7 @@ impl Snapshot {
         let mut out = String::new();
         out.push_str("{\n  \"schema\": ");
         write_json_str(&mut out, self.schema);
+        let _ = write!(out, ",\n  \"schema_version\": {}", self.schema_version);
         for section in &self.sections {
             out.push_str(",\n  ");
             write_json_str(&mut out, section.name);
@@ -161,6 +200,14 @@ impl Snapshot {
                             }
                             out.push_str("\n    ]");
                         }
+                    }
+                    Value::Hist(h) => {
+                        let _ = write!(
+                            out,
+                            "{{\"count\": {}, \"min\": {}, \"max\": {}, \
+                             \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                            h.count, h.min, h.max, h.p50, h.p90, h.p99
+                        );
                     }
                 }
             }
@@ -220,7 +267,8 @@ mod tests {
 
     fn sample() -> Snapshot {
         Snapshot {
-            schema: "hlpower-obs/1",
+            schema: "hlpower-obs/2",
+            schema_version: 2,
             sections: vec![
                 Section {
                     name: "sim",
@@ -233,6 +281,10 @@ mod tests {
                 Section { name: "mc", entries: vec![("traj", Value::Series(vec![1.0, 0.5]))] },
             ],
         }
+    }
+
+    fn hist_summary() -> HistSummary {
+        HistSummary { count: 4, min: 1, max: 100, p50: 10, p90: 90, p99: 100 }
     }
 
     #[test]
@@ -257,6 +309,51 @@ mod tests {
     }
 
     #[test]
+    fn delta_keeps_one_sided_sections_and_entries() {
+        let mut later = sample();
+        // Entry only in `later` (new metric in the newer build).
+        later.sections[0].entries.push(("fresh", Value::Count(7)));
+        // Section only in `later`.
+        later.sections.push(Section { name: "new_sec", entries: vec![("n", Value::Count(3))] });
+
+        let mut base = sample();
+        // Entry only in the baseline (metric removed since).
+        base.sections[0].entries.push(("legacy", Value::Count(11)));
+        // Section only in the baseline.
+        base.sections.push(Section { name: "old_sec", entries: vec![("o", Value::Count(5))] });
+
+        let d = later.delta(&base);
+        // Both one-sided entries survive with their full value.
+        assert_eq!(d.count("sim", "fresh"), Some(7));
+        assert_eq!(d.count("sim", "legacy"), Some(11));
+        // Both one-sided sections survive whole.
+        assert_eq!(d.count("new_sec", "n"), Some(3));
+        assert_eq!(d.count("old_sec", "o"), Some(5));
+        // Shared entries still subtract.
+        assert_eq!(d.count("sim", "steps"), Some(0));
+    }
+
+    #[test]
+    fn hist_values_count_render_and_pass_through_delta() {
+        let mut s = sample();
+        s.sections[1].entries.push(("batch_ns", Value::Hist(hist_summary())));
+        assert_eq!(s.count("mc", "batch_ns"), Some(4));
+        let text = s.render_text();
+        assert!(text.contains("p50=10"), "{text}");
+        let json = s.to_json_pretty();
+        assert!(
+            json.contains(
+                "\"batch_ns\": {\"count\": 4, \"min\": 1, \"max\": 100, \
+                 \"p50\": 10, \"p90\": 90, \"p99\": 100}"
+            ),
+            "{json}"
+        );
+        // Hist summaries are not differenced: delta keeps the later value.
+        let d = s.delta(&sample());
+        assert_eq!(d.get("mc", "batch_ns"), Some(&Value::Hist(hist_summary())));
+    }
+
+    #[test]
     fn text_render_names_every_metric() {
         let text = sample().render_text();
         assert!(text.contains("[sim]"));
@@ -268,7 +365,7 @@ mod tests {
     #[test]
     fn json_matches_bench_style() {
         let json = sample().to_json_pretty();
-        assert!(json.starts_with("{\n  \"schema\": \"hlpower-obs/1\""));
+        assert!(json.starts_with("{\n  \"schema\": \"hlpower-obs/2\",\n  \"schema_version\": 2"));
         assert!(json.contains("\"sim\": {\n    \"steps\": 10"));
         assert!(json.contains("\"rate\": 2.5"));
         assert!(json.contains("\"traj\": [\n      1.0,\n      0.5\n    ]"));
@@ -278,7 +375,8 @@ mod tests {
     #[test]
     fn non_finite_floats_become_null() {
         let s = Snapshot {
-            schema: "hlpower-obs/1",
+            schema: "hlpower-obs/2",
+            schema_version: 2,
             sections: vec![Section { name: "x", entries: vec![("nan", Value::Float(f64::NAN))] }],
         };
         assert!(s.to_json_pretty().contains("\"nan\": null"));

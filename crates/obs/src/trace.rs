@@ -1,0 +1,647 @@
+//! Opt-in tracing spans: per-thread ring buffers of timed span events,
+//! exported as Chrome trace-event JSON (loadable in `chrome://tracing`
+//! and [Perfetto](https://ui.perfetto.dev)).
+//!
+//! ## Design
+//!
+//! * **Opt-in** — tracing is off by default and costs one relaxed atomic
+//!   load per [`span`] call. The `repro` binary enables it when the
+//!   `HLPOWER_TRACE=<path>` environment variable is set (see
+//!   [`env_path`]); tests may call [`set_enabled`] directly.
+//! * **Lock-free push** — every thread records into its own fixed-capacity
+//!   ring buffer (a plain `Vec` behind a `thread_local!`, so pushes take
+//!   no lock at all). Buffers drain into a global sink when their thread
+//!   exits; the exporting thread drains its own buffer at export time.
+//!   Pushes past [`RING_CAP`] (or past the sink cap) are counted in
+//!   [`dropped`] and discarded — a runaway producer can lose events but
+//!   never grow memory without bound.
+//! * **Determinism-safe** — spans only *observe* wall-clock time; no
+//!   instrumented code path reads the trace state to make a decision, so
+//!   the workspace's bit-identical determinism contract (seed + any
+//!   thread count ⇒ identical output) is untouched with tracing on.
+//!
+//! ## Caveat
+//!
+//! Events held by threads that are still alive (other than the exporting
+//! thread) at export time are not included. The workspace's worker pools
+//! are scoped — workers are joined before any exporter runs — so in
+//! practice only the exporting thread's buffer needs the explicit drain.
+//!
+//! ```
+//! use hlpower_obs::trace;
+//!
+//! trace::set_enabled(true);
+//! {
+//!     let _span = trace::span("doc", "example.work");
+//! }
+//! let events = trace::take_events();
+//! assert!(events.iter().any(|e| e.name == "example.work"));
+//! trace::set_enabled(false);
+//! ```
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+use crate::Counter;
+
+/// Maximum events retained per thread before drops start.
+pub const RING_CAP: usize = 16 * 1024;
+
+/// Maximum events retained in the global sink (sum over exited threads).
+pub const SINK_CAP: usize = 1 << 20;
+
+/// One completed span, in the process-local timebase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span name (e.g. `"mc.wave"`, `"sim64.compile"`).
+    pub name: Cow<'static, str>,
+    /// Category (Chrome `cat` field): the emitting subsystem.
+    pub cat: &'static str,
+    /// Recording thread id (stable per thread, first-use order).
+    pub tid: u64,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DROPPED: Counter = Counter::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static SINK: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+struct ThreadRing {
+    tid: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl Drop for ThreadRing {
+    fn drop(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut sink = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+        let room = SINK_CAP.saturating_sub(sink.len());
+        let take = self.events.len().min(room);
+        DROPPED.add((self.events.len() - take) as u64);
+        sink.extend(self.events.drain(..take));
+    }
+}
+
+thread_local! {
+    static RING: RefCell<ThreadRing> = RefCell::new(ThreadRing {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        events: Vec::new(),
+    });
+}
+
+/// Whether tracing is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns tracing on or off (used by `repro` when `HLPOWER_TRACE` is set,
+/// and by tests).
+pub fn set_enabled(on: bool) {
+    if on {
+        // Pin the epoch before the first span so timestamps are positive.
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The `HLPOWER_TRACE` output path, if the environment variable is set
+/// and non-empty.
+pub fn env_path() -> Option<String> {
+    match std::env::var("HLPOWER_TRACE") {
+        Ok(p) if !p.is_empty() => Some(p),
+        _ => None,
+    }
+}
+
+/// Number of events dropped at a full ring buffer (or sink) so far.
+pub fn dropped() -> u64 {
+    DROPPED.get()
+}
+
+fn push(event: TraceEvent) {
+    RING.with(|ring| {
+        let mut ring = ring.borrow_mut();
+        if ring.events.len() < RING_CAP {
+            ring.events.push(event);
+        } else {
+            DROPPED.inc();
+        }
+    });
+}
+
+/// A scope guard that records one [`TraceEvent`] when dropped.
+///
+/// Inert (no clock read, no allocation) when tracing is disabled at
+/// construction time.
+#[derive(Debug)]
+pub struct TraceSpan {
+    live: Option<(Cow<'static, str>, &'static str, u64)>,
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if let Some((name, cat, ts_ns)) = self.live.take() {
+            let dur_ns = (epoch().elapsed().as_nanos() as u64).saturating_sub(ts_ns);
+            let tid = RING.with(|r| r.borrow().tid);
+            push(TraceEvent { name, cat, tid, ts_ns, dur_ns });
+        }
+    }
+}
+
+/// Starts a span with a static (or pre-built) name. Records on drop.
+pub fn span(cat: &'static str, name: impl Into<Cow<'static, str>>) -> TraceSpan {
+    if !enabled() {
+        return TraceSpan { live: None };
+    }
+    TraceSpan { live: Some((name.into(), cat, epoch().elapsed().as_nanos() as u64)) }
+}
+
+/// Starts a span whose name is built lazily — `name_fn` only runs (and
+/// allocates) when tracing is enabled. Use on hot paths with dynamic
+/// names (e.g. a batch index).
+pub fn span_dyn(cat: &'static str, name_fn: impl FnOnce() -> String) -> TraceSpan {
+    if !enabled() {
+        return TraceSpan { live: None };
+    }
+    span(cat, name_fn())
+}
+
+/// Drains every completed event (the global sink plus the calling
+/// thread's ring buffer), sorted by `(ts_ns, tid)`.
+pub fn take_events() -> Vec<TraceEvent> {
+    let mut events: Vec<TraceEvent> = {
+        let mut sink = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+        std::mem::take(&mut *sink)
+    };
+    RING.with(|ring| events.append(&mut ring.borrow_mut().events));
+    events.sort_by(|a, b| (a.ts_ns, a.tid).cmp(&(b.ts_ns, b.tid)));
+    events
+}
+
+/// Clears all recorded events and the drop counter (tests and explicit
+/// baseline resets).
+pub fn reset() {
+    let _ = take_events();
+    DROPPED.reset();
+}
+
+/// Renders events as Chrome trace-event JSON (the "JSON array format"
+/// with complete `ph: "X"` events; timestamps in microseconds).
+///
+/// The output loads directly in `chrome://tracing` and Perfetto.
+pub fn chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"name\": ");
+        write_json_str(&mut out, &e.name);
+        out.push_str(", \"cat\": ");
+        write_json_str(&mut out, e.cat);
+        let _ = write!(
+            out,
+            ", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {:?}, \"dur\": {:?}}}",
+            e.tid,
+            e.ts_ns as f64 / 1000.0,
+            e.dur_ns as f64 / 1000.0
+        );
+    }
+    if events.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Drains all events and writes them as Chrome trace JSON to `path`.
+///
+/// Returns the number of events written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_chrome_json(path: &str) -> std::io::Result<usize> {
+    let events = take_events();
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, chrome_json(&events))?;
+    Ok(events.len())
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --- Chrome trace parsing / validation -------------------------------------
+//
+// A minimal JSON reader, enough to validate the files this module emits
+// (CI's trace smoke re-parses the written file with this). It is not a
+// general-purpose parser: numbers are f64, no surrogate-pair escapes.
+
+/// One event read back from a Chrome trace JSON file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedTraceEvent {
+    /// Span name.
+    pub name: String,
+    /// Category.
+    pub cat: String,
+    /// Phase — always `"X"` (complete event) in files this module writes.
+    pub ph: String,
+    /// Thread id.
+    pub tid: u64,
+    /// Start timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds.
+    pub dur: f64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JVal {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JVal>),
+    Obj(Vec<(String, JVal)>),
+}
+
+impl JVal {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a JVal> {
+        match self {
+            JVal::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JVal, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JVal::Str(self.string()?)),
+            Some(b't') => self.literal("true", JVal::Bool(true)),
+            Some(b'f') => self.literal("false", JVal::Bool(false)),
+            Some(b'n') => self.literal("null", JVal::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JVal) -> Result<JVal, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JVal, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JVal::Num)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("malformed \\u escape"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty by construction");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JVal, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JVal::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JVal, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JVal::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JVal::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses and validates a Chrome trace-event JSON document (the object
+/// format with a `traceEvents` array, as written by [`chrome_json`]).
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem: malformed
+/// JSON, a missing `traceEvents` array, or an event missing a required
+/// field (`name`, `cat`, `ph`, `tid`, `ts`, `dur`).
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<ParsedTraceEvent>, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after JSON document"));
+    }
+    let events = match root.get("traceEvents") {
+        Some(JVal::Arr(events)) => events,
+        _ => return Err("missing `traceEvents` array".to_string()),
+    };
+    let mut out = Vec::with_capacity(events.len());
+    for (i, e) in events.iter().enumerate() {
+        let field = |key: &str| {
+            e.get(key).cloned().ok_or_else(|| format!("event {i}: missing field `{key}`"))
+        };
+        let str_field = |key: &str| match field(key)? {
+            JVal::Str(s) => Ok(s),
+            other => Err(format!("event {i}: field `{key}` is not a string ({other:?})")),
+        };
+        let num_field = |key: &str| match field(key)? {
+            JVal::Num(n) => Ok(n),
+            other => Err(format!("event {i}: field `{key}` is not a number ({other:?})")),
+        };
+        out.push(ParsedTraceEvent {
+            name: str_field("name")?,
+            cat: str_field("cat")?,
+            ph: str_field("ph")?,
+            tid: num_field("tid")? as u64,
+            ts: num_field("ts")?,
+            dur: num_field("dur")?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes the enabled-flag-manipulating tests (the flag is
+    /// process-global and cargo runs tests on parallel threads).
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        set_enabled(false);
+        reset();
+        {
+            let _s = span("test", "invisible");
+        }
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn enabled_spans_are_recorded_and_sorted() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        set_enabled(true);
+        reset();
+        {
+            let _a = span("test", "outer");
+            let _b = span_dyn("test", || format!("inner-{}", 7));
+        }
+        let events = take_events();
+        set_enabled(false);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_ref()).collect();
+        assert!(names.contains(&"outer"), "{names:?}");
+        assert!(names.contains(&"inner-7"), "{names:?}");
+        // Sorted by start time.
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn cross_thread_events_flush_on_thread_exit() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        set_enabled(true);
+        reset();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _w = span("test", "worker.span");
+            });
+        });
+        let events = take_events();
+        set_enabled(false);
+        assert!(events.iter().any(|e| e.name == "worker.span"));
+    }
+
+    #[test]
+    fn overflow_is_counted_not_grown() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        set_enabled(true);
+        reset();
+        for _ in 0..(RING_CAP + 10) {
+            push(TraceEvent { name: Cow::Borrowed("x"), cat: "test", tid: 0, ts_ns: 0, dur_ns: 0 });
+        }
+        assert_eq!(dropped(), 10);
+        let events = take_events();
+        set_enabled(false);
+        assert!(events.len() >= RING_CAP);
+        reset();
+        assert_eq!(dropped(), 0);
+    }
+
+    #[test]
+    fn chrome_json_round_trips_through_parser() {
+        let events = vec![
+            TraceEvent {
+                name: Cow::Borrowed("mc.wave"),
+                cat: "mc",
+                tid: 3,
+                ts_ns: 1500,
+                dur_ns: 2500,
+            },
+            TraceEvent {
+                name: Cow::Owned("weird \"name\"\n".to_string()),
+                cat: "test",
+                tid: 1,
+                ts_ns: 4000,
+                dur_ns: 0,
+            },
+        ];
+        let json = chrome_json(&events);
+        let parsed = parse_chrome_trace(&json).expect("self-emitted trace parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "mc.wave");
+        assert_eq!(parsed[0].ph, "X");
+        assert_eq!(parsed[0].tid, 3);
+        assert!((parsed[0].ts - 1.5).abs() < 1e-12);
+        assert!((parsed[0].dur - 2.5).abs() < 1e-12);
+        assert_eq!(parsed[1].name, "weird \"name\"\n");
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let json = chrome_json(&[]);
+        assert!(parse_chrome_trace(&json).expect("parses").is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_chrome_trace("{").is_err());
+        assert!(parse_chrome_trace("{}").is_err(), "missing traceEvents");
+        assert!(parse_chrome_trace("{\"traceEvents\": [{}]}").is_err(), "missing fields");
+        assert!(parse_chrome_trace(
+            "{\"traceEvents\": [{\"name\": 1, \"cat\": \"c\", \"ph\": \"X\", \
+             \"tid\": 1, \"ts\": 0, \"dur\": 0}]}"
+        )
+        .is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\": []} trailing").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_numbers() {
+        let parsed = parse_chrome_trace(
+            "{\"traceEvents\": [{\"name\": \"a\\u0041\\n\", \"cat\": \"c\", \
+             \"ph\": \"X\", \"pid\": 1, \"tid\": 2, \"ts\": 1.25e3, \"dur\": -0.5}]}",
+        )
+        .expect("parses");
+        assert_eq!(parsed[0].name, "aA\n");
+        assert!((parsed[0].ts - 1250.0).abs() < 1e-12);
+        assert!((parsed[0].dur + 0.5).abs() < 1e-12);
+    }
+}

@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use hlpower_obs::metrics as obs;
+use hlpower_obs::trace;
 
 /// The `HLPOWER_THREADS` environment variable holds a value that does not
 /// parse as a positive integer.
@@ -105,14 +106,16 @@ where
     obs::POOL_JOBS.inc();
     obs::POOL_WORKERS_SPAWNED.add(threads as u64);
     let _wall = obs::POOL_WALL.span();
+    let _job_span = trace::span_dyn("pool", || format!("pool.job:{}x{}", items.len(), threads));
     let started = Instant::now();
     let next = AtomicUsize::new(0);
     let f = &f;
     let next = &next;
     let (mut buckets, busy_ns): (Vec<Vec<(usize, R)>>, u64) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|w| {
                 scope.spawn(move || {
+                    let _worker_span = trace::span_dyn("pool", || format!("pool.worker:{w}"));
                     let begin = Instant::now();
                     let mut local = Vec::new();
                     loop {

@@ -1,10 +1,12 @@
 //! Cross-crate determinism contract: parallel Monte-Carlo power
 //! estimation is a pure function of the seed — the worker count must
-//! never leak into the result (see README "Determinism and seeding").
+//! never leak into the result (see README "Determinism and seeding"),
+//! and turning span tracing on must not change a single bit either.
 
 use hlpower::netlist::{
     gen, monte_carlo_power_seeded_threads, streams, Library, MonteCarloOptions, Netlist,
 };
+use hlpower::obs::trace;
 
 fn adder(width: usize) -> Netlist {
     let mut nl = Netlist::new();
@@ -49,6 +51,45 @@ fn monte_carlo_bit_identical_across_thread_counts() {
         );
     }
     assert!(serial.power_uw > 0.0);
+}
+
+/// Span tracing is pure observation: with recording enabled, the engine
+/// still returns the exact same bits at every worker count as the
+/// untraced serial reference.
+#[test]
+fn monte_carlo_bit_identical_with_tracing_enabled() {
+    let nl = adder(8);
+    let lib = Library::default();
+    let w = nl.input_count();
+    let opts = MonteCarloOptions {
+        batch_cycles: 80,
+        max_batches: 96,
+        target_relative_error: 0.02,
+        z: 1.96,
+    };
+    let run = |threads: usize| {
+        monte_carlo_power_seeded_threads(
+            &nl,
+            &lib,
+            |rng| streams::random_rng(rng, w),
+            0xBEEF,
+            &opts,
+            threads,
+        )
+        .expect("adder is acyclic and the stream is infinite")
+    };
+    let untraced = run(1);
+    trace::set_enabled(true);
+    let traced: Vec<_> = [1usize, 2, 8].iter().map(|&t| run(t)).collect();
+    trace::set_enabled(false);
+    let events = trace::take_events();
+    for (t, r) in [1usize, 2, 8].iter().zip(&traced) {
+        assert_eq!(&untraced, r, "tracing changed the result at {t} thread(s)");
+    }
+    assert!(
+        events.iter().any(|e| e.cat == "mc"),
+        "no Monte-Carlo spans were recorded while tracing was on"
+    );
 }
 
 /// The confidence-interval half-width stopping rule still fires in the

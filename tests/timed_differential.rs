@@ -13,65 +13,10 @@ use hlpower::netlist::{
 };
 use hlpower_rng::Rng;
 
-/// The same six generators the golden-snapshot suite covers.
+/// The same six generators the golden-snapshot suite covers (the shared
+/// fixture behind the differential suites and `repro --profile`).
 fn generators() -> Vec<(&'static str, Netlist)> {
-    let ripple = {
-        let mut nl = Netlist::new();
-        let a = nl.input_bus("a", 8);
-        let b = nl.input_bus("b", 8);
-        let c0 = nl.constant(false);
-        let s = gen::ripple_adder(&mut nl, &a, &b, c0);
-        nl.output_bus("sum", &s);
-        nl
-    };
-    let multiplier = {
-        let mut nl = Netlist::new();
-        let a = nl.input_bus("a", 4);
-        let b = nl.input_bus("b", 4);
-        let p = gen::array_multiplier(&mut nl, &a, &b);
-        nl.output_bus("p", &p);
-        nl
-    };
-    let alu = {
-        let mut nl = Netlist::new();
-        let op0 = nl.input("op0");
-        let op1 = nl.input("op1");
-        let a = nl.input_bus("a", 4);
-        let b = nl.input_bus("b", 4);
-        let y = gen::alu(&mut nl, [op0, op1], &a, &b);
-        nl.output_bus("y", &y);
-        nl
-    };
-    let comparator = {
-        let mut nl = Netlist::new();
-        let a = nl.input_bus("a", 6);
-        let b = nl.input_bus("b", 6);
-        let eq = gen::equality(&mut nl, &a, &b);
-        let lt = gen::less_than(&mut nl, &a, &b);
-        nl.set_output("eq", eq);
-        nl.set_output("lt", lt);
-        nl
-    };
-    let fir = {
-        let mut nl = Netlist::new();
-        let x = nl.input_bus("x", 8);
-        let y = gen::fir_filter(&mut nl, &x, &[7, 13, 7], true);
-        nl.output_bus("y", &y);
-        nl
-    };
-    let random = {
-        let mut nl = Netlist::new();
-        gen::random_logic(&mut nl, 2024, 6, 24, 3);
-        nl
-    };
-    vec![
-        ("ripple_adder", ripple),
-        ("array_multiplier", multiplier),
-        ("alu", alu),
-        ("comparator", comparator),
-        ("fir_shift_add", fir),
-        ("random_logic", random),
-    ]
+    gen::benchmark_suite()
 }
 
 /// One packed timed run carrying 64 split-seed streams is bit-identical,
