@@ -8,6 +8,10 @@ cd "$(dirname "$0")"
 cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
+# API docs must build clean: every public item is documented
+# (#![warn(missing_docs)] everywhere) and -D warnings makes any rustdoc
+# regression (broken intra-doc link, missing doc) fatal.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 cargo run --release --offline -p hlpower-bench --bin repro -- --table1
 # Instrumentation smoke: exits non-zero if any instrumented counter is
 # still zero after the pass; dumps results/metrics.json.
@@ -20,6 +24,13 @@ cargo run --release --offline -p hlpower-bench --bin repro -- --metrics
 # results/profile/<circuit>.{json,folded}.
 HLPOWER_TRACE=results/trace.json \
   cargo run --release --offline -p hlpower-bench --bin repro -- --profile
+# Ingestion smoke: parse the sample external netlists (structural
+# Verilog + EDIF), run the differential battery on each (packed vs
+# scalar kernels, MC vs BDD-exact, attribution reconciliation, Verilog
+# round trip); exits non-zero on any parse error or failed check and
+# dumps results/ingest/<stem>.json.
+cargo run --release --offline -p hlpower-bench --bin repro -- \
+  --ingest examples/gray_counter4.v examples/majority.edf
 # Simulation throughput smoke: exits non-zero if the packed 64-lane
 # kernel is not faster than the scalar one (or if their Monte-Carlo
 # results are not bit-identical); dumps results/BENCH_sim.json.

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod ingest;
 pub mod metrics;
 pub mod profile;
 pub mod report;

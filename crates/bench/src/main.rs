@@ -7,6 +7,7 @@
 //! repro --list           # list experiment ids
 //! repro --metrics        # instrumentation smoke + results/metrics.json
 //! repro --profile        # power-attribution profiler -> results/profile/
+//! repro --ingest f.v ... # ingest external netlists -> results/ingest/
 //! ```
 //!
 //! Each experiment prints a human-readable block and writes
@@ -25,7 +26,7 @@
 
 use hlpower::obs::trace;
 use hlpower_bench::report::ExperimentResult;
-use hlpower_bench::{experiments, metrics, profile};
+use hlpower_bench::{experiments, ingest, metrics, profile};
 use hlpower_rng::par;
 
 type Runner = fn() -> ExperimentResult;
@@ -83,11 +84,16 @@ fn main() {
     let registry = registry();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         println!("repro — regenerate the survey's tables and figures\n");
-        println!("usage: repro [--all] [--list] [--metrics] [--profile] [flags...]\n");
+        println!(
+            "usage: repro [--all] [--list] [--metrics] [--profile] [--ingest files...] [flags...]\n"
+        );
         println!("--metrics runs an instrumentation smoke pass and dumps the");
         println!("accumulated counters to results/metrics.json.");
         println!("--profile runs the power-attribution profiler over the generator");
         println!("suite and writes hotspot reports under results/profile/.");
+        println!("--ingest parses external netlists (.nl, structural Verilog, or");
+        println!("EDIF 2.0.0; see docs/FORMATS.md), runs the differential battery");
+        println!("on each, and writes reports under results/ingest/.");
         println!("HLPOWER_TRACE=<path> records spans and writes a Chrome trace.\n");
         print_flag_list(&registry);
         return;
@@ -104,11 +110,16 @@ fn main() {
     }
     // Reject unknown flags loudly instead of silently ignoring them: a
     // typo like `--tabel1` must not report "experiments complete".
+    // Bare (non-`--`) arguments are netlist files, valid only with
+    // --ingest.
+    let want_ingest = args.iter().any(|a| a == "--ingest");
     let known = |a: &str| {
         a == "--all"
             || a == "--fig5"
             || a == "--metrics"
             || a == "--profile"
+            || a == "--ingest"
+            || (want_ingest && !a.starts_with("--"))
             || registry.iter().any(|(flag, _, _)| a == *flag)
     };
     let unknown: Vec<&String> = args.iter().filter(|a| !known(a)).collect();
@@ -123,6 +134,11 @@ fn main() {
     let run_all = args.iter().any(|a| a == "--all");
     let want_metrics = args.iter().any(|a| a == "--metrics");
     let want_profile = args.iter().any(|a| a == "--profile");
+    let ingest_files: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    if want_ingest && ingest_files.is_empty() {
+        eprintln!("error: --ingest needs at least one netlist file");
+        std::process::exit(2);
+    }
     let selected: Vec<&(&str, &str, Runner)> = registry
         .iter()
         .filter(|(flag, _, _)| {
@@ -130,7 +146,7 @@ fn main() {
             run_all || args.iter().any(|a| a == *flag) || aliased
         })
         .collect();
-    if selected.is_empty() && !want_metrics && !want_profile {
+    if selected.is_empty() && !want_metrics && !want_profile && !want_ingest {
         eprintln!("no experiment matched; try --list");
         std::process::exit(2);
     }
@@ -189,6 +205,23 @@ fn main() {
             "\n{} circuit(s) profiled; hotspot reports under results/profile/",
             outcomes.len()
         );
+    }
+    if want_ingest {
+        let outcomes = ingest::run_ingest(&ingest_files);
+        for o in &outcomes {
+            o.print();
+            if !o.ok() {
+                eprintln!("error: {}: ingestion checks failed", o.path);
+                failures += 1;
+            }
+            if o.netlist.is_ok() {
+                if let Err(e) = o.write_files() {
+                    eprintln!("warning: could not write results/ingest/{}.json: {e}", o.stem);
+                    failures += 1;
+                }
+            }
+        }
+        println!("\n{} netlist(s) ingested; reports under results/ingest/", outcomes.len());
     }
     // Export the span trace last so every subsystem's spans are in it.
     // A failed export, an invalid trace, or any ring-buffer drop fails

@@ -45,8 +45,10 @@ pub struct ProfileOutcome {
 }
 
 /// Runs the packed kernel over one circuit: 64 lanes, each fed an
-/// independent split stream, merged into a single [`Activity`].
-fn packed_activity(nl: &Netlist) -> Activity {
+/// independent split stream, merged into a single [`Activity`]. Shared
+/// with the `--ingest` pipeline so external netlists are profiled under
+/// exactly the stimulus the generator suite sees.
+pub fn packed_activity(nl: &Netlist) -> Activity {
     let width = nl.input_count();
     let mut sim = Sim64::new(nl).expect("benchmark circuits are acyclic");
     let root = Rng::seed_from_u64(PROFILE_SEED);

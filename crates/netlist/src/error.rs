@@ -3,6 +3,60 @@ use std::fmt;
 
 use crate::netlist::NodeId;
 
+/// The external netlist format a parse error originated from.
+///
+/// Carried by the `Parse*` variants of [`NetlistError`] so a caller (or a
+/// log line) can say *which* front-end rejected the input. The formats
+/// themselves are specified normatively in `docs/FORMATS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceFormat {
+    /// The native line-oriented `.nl` interchange format of [`crate::io`].
+    NativeNl,
+    /// The structural-Verilog subset of [`crate::ingest::parse_verilog`].
+    Verilog,
+    /// The EDIF 2.0.0 subset of [`crate::ingest::parse_edif`].
+    Edif,
+}
+
+impl SourceFormat {
+    /// Lowercase human-readable name (`"nl"`, `"verilog"`, `"edif"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceFormat::NativeNl => "nl",
+            SourceFormat::Verilog => "verilog",
+            SourceFormat::Edif => "edif",
+        }
+    }
+}
+
+impl fmt::Display for SourceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A source position plus the offending line of text, carried by every
+/// parse-error variant of [`NetlistError`].
+///
+/// `line` and `col` are 1-based; `snippet` is the source line the error
+/// points into (trimmed of trailing whitespace, truncated to 120 chars)
+/// so error messages are self-contained even when the input file is gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrcLoc {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in characters).
+    pub col: usize,
+    /// The source line the error points into.
+    pub snippet: String,
+}
+
+impl fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}: `{}`", self.line, self.col, self.snippet)
+    }
+}
+
 /// Errors produced while building or analyzing a [`crate::Netlist`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -79,6 +133,70 @@ pub enum NetlistError {
         /// Length of the functional vector.
         functional: usize,
     },
+    /// An external netlist file violated its format's grammar: an
+    /// unexpected token, a malformed declaration, or (for instance
+    /// networks) a combinational cycle that makes node construction
+    /// impossible. `message` says what was expected.
+    ParseSyntax {
+        /// The front-end that rejected the input.
+        format: SourceFormat,
+        /// Where in the source the violation was detected.
+        at: SrcLoc,
+        /// What was expected versus found.
+        message: String,
+    },
+    /// An identifier (net, instance, or port name) was referenced but
+    /// never declared or driven in a context that requires a declaration.
+    ParseUnknownName {
+        /// The front-end that rejected the input.
+        format: SourceFormat,
+        /// Where the undeclared name was referenced.
+        at: SrcLoc,
+        /// The undeclared name.
+        name: String,
+    },
+    /// An instance references a cell (module) name outside the supported
+    /// primitive/library-cell vocabulary (see `docs/FORMATS.md` for the
+    /// accepted cell names and the suffix-stripping rule).
+    ParseUnknownCell {
+        /// The front-end that rejected the input.
+        format: SourceFormat,
+        /// Where the instance appears.
+        at: SrcLoc,
+        /// The unrecognized cell name, as written.
+        cell: String,
+    },
+    /// The input uses a construct that is valid in the full source
+    /// language but outside the structural subset this crate ingests
+    /// (e.g. behavioral Verilog, expression assigns, hierarchical EDIF).
+    ParseUnsupported {
+        /// The front-end that rejected the input.
+        format: SourceFormat,
+        /// Where the construct appears.
+        at: SrcLoc,
+        /// A short description of the unsupported construct.
+        construct: String,
+    },
+    /// A net is driven by more than one source (two instance outputs,
+    /// or an instance output and a continuous assign).
+    ParseMultipleDrivers {
+        /// The front-end that rejected the input.
+        format: SourceFormat,
+        /// Where the second driver appears.
+        at: SrcLoc,
+        /// The multiply-driven net name.
+        name: String,
+    },
+    /// A net is read (by an instance pin or a primary output) but has no
+    /// driver: no instance output, assign, constant, or input port.
+    ParseUndriven {
+        /// The front-end that rejected the input.
+        format: SourceFormat,
+        /// Where the undriven net is read.
+        at: SrcLoc,
+        /// The undriven net name.
+        name: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -119,6 +237,24 @@ impl fmt::Display for NetlistError {
                     "timed activity size mismatch: {toggles} toggle entries vs {functional} \
                      functional entries"
                 )
+            }
+            NetlistError::ParseSyntax { format, at, message } => {
+                write!(f, "{format} parse error at {at}: {message}")
+            }
+            NetlistError::ParseUnknownName { format, at, name } => {
+                write!(f, "{format} parse error at {at}: unknown name '{name}'")
+            }
+            NetlistError::ParseUnknownCell { format, at, cell } => {
+                write!(f, "{format} parse error at {at}: unknown cell '{cell}'")
+            }
+            NetlistError::ParseUnsupported { format, at, construct } => {
+                write!(f, "{format} parse error at {at}: unsupported construct: {construct}")
+            }
+            NetlistError::ParseMultipleDrivers { format, at, name } => {
+                write!(f, "{format} parse error at {at}: net '{name}' has multiple drivers")
+            }
+            NetlistError::ParseUndriven { format, at, name } => {
+                write!(f, "{format} parse error at {at}: net '{name}' is read but never driven")
             }
         }
     }

@@ -1,0 +1,365 @@
+//! Shared lowering from a parsed instance network to a [`Netlist`].
+//!
+//! Both front-ends (Verilog and EDIF) reduce their input to the same
+//! intermediate form — a list of named net *slots*, primary inputs, an
+//! ordered list of [`BuildItem`]s, and primary outputs — and this module
+//! turns that form into a [`Netlist`]. Centralizing the lowering gives
+//! both parsers identical semantics for instance ordering, forward
+//! references, flip-flop feedback, undriven-net detection, and
+//! combinational-cycle reporting.
+//!
+//! Ordering contract: nodes are created in item order wherever possible
+//! (inputs first, then items as listed), deferring an item only until its
+//! fanins exist. Emit→parse round trips therefore reproduce the original
+//! node-arena order, which is what makes packed-kernel activity records
+//! comparable index-for-index across a round trip.
+
+use crate::error::{NetlistError, SourceFormat, SrcLoc};
+use crate::library::GateKind;
+use crate::netlist::{Netlist, NodeId};
+
+/// A reference to a net slot, with the source position of the reference
+/// (used for undriven/cycle diagnostics).
+#[derive(Debug, Clone)]
+pub struct SlotRef {
+    /// Index into the builder's slot table.
+    pub slot: usize,
+    /// Where the reference appears in the source.
+    pub at: SrcLoc,
+}
+
+/// One ordered netlist-construction step produced by a front-end.
+#[derive(Debug, Clone)]
+pub enum BuildItem {
+    /// A constant driver (`assign n = 1'b0;`, a tie cell).
+    Const {
+        /// The driven slot.
+        slot: usize,
+        /// The constant value.
+        value: bool,
+        /// Power-accounting group, if an attribute named one. Constants
+        /// dedupe to one node per value, so a later grouped driver of
+        /// the same value wins.
+        group: Option<String>,
+    },
+    /// A combinational gate instance.
+    Gate {
+        /// The driven slot.
+        slot: usize,
+        /// The gate function.
+        kind: GateKind,
+        /// Fanin slots in pin order.
+        ins: Vec<SlotRef>,
+        /// Power-accounting group, if an attribute named one.
+        group: Option<String>,
+        /// Where the instance appears (for arity errors).
+        at: SrcLoc,
+    },
+    /// A D flip-flop instance.
+    Dff {
+        /// The driven (Q) slot.
+        slot: usize,
+        /// The data-input slot.
+        d: SlotRef,
+        /// Power-on value.
+        init: bool,
+        /// Power-accounting group, if an attribute named one.
+        group: Option<String>,
+    },
+    /// A pure alias (`assign dst = src;`): no node is created, the
+    /// destination slot resolves to the source's node.
+    Alias {
+        /// The aliased slot.
+        slot: usize,
+        /// The slot it aliases.
+        src: SlotRef,
+    },
+}
+
+impl BuildItem {
+    /// The slot this item drives.
+    fn slot(&self) -> usize {
+        match self {
+            BuildItem::Const { slot, .. }
+            | BuildItem::Gate { slot, .. }
+            | BuildItem::Dff { slot, .. }
+            | BuildItem::Alias { slot, .. } => *slot,
+        }
+    }
+}
+
+/// The complete intermediate form a front-end hands to [`build`].
+#[derive(Debug, Clone, Default)]
+pub struct BuildInput {
+    /// Net-slot names, indexed by slot id (used in diagnostics and as
+    /// node names).
+    pub slot_names: Vec<String>,
+    /// Primary inputs in declaration order: `(slot, group)`.
+    pub inputs: Vec<(usize, Option<String>)>,
+    /// Ordered construction steps.
+    pub items: Vec<BuildItem>,
+    /// Primary outputs in declaration order: `(name, slot, where)`.
+    pub outputs: Vec<(String, SlotRef)>,
+}
+
+/// Lowers a front-end's intermediate form into a [`Netlist`].
+///
+/// # Errors
+///
+/// * [`NetlistError::ParseUndriven`] — an instance pin or output reads a
+///   slot no item drives.
+/// * [`NetlistError::ParseSyntax`] — the instances form a combinational
+///   cycle (construction is impossible because gate fanins must exist
+///   first), or a gate's pin count violates its kind's arity.
+pub fn build(format: SourceFormat, input: BuildInput) -> Result<Netlist, NetlistError> {
+    let BuildInput { slot_names, inputs, items, outputs } = input;
+    let mut nl = Netlist::new();
+    let mut resolved: Vec<Option<NodeId>> = vec![None; slot_names.len()];
+    let mut driven: Vec<bool> = vec![false; slot_names.len()];
+    for item in &items {
+        driven[item.slot()] = true;
+    }
+    for &(slot, ref group) in &inputs {
+        let id = nl.input(slot_names[slot].clone());
+        if let Some(g) = group {
+            let gid = nl.group(g.clone());
+            nl.set_node_group(id, gid);
+        }
+        resolved[slot] = Some(id);
+        driven[slot] = true;
+    }
+
+    // Create nodes in item order, deferring an item only while a fanin
+    // slot is still unresolved. Flip-flops never defer: their D pin is
+    // patched afterwards (that is how sequential feedback parses).
+    let mut dff_fixups: Vec<(NodeId, SlotRef)> = Vec::new();
+    let mut pending: Vec<BuildItem> = items;
+    loop {
+        let mut progressed = false;
+        let mut still: Vec<BuildItem> = Vec::with_capacity(pending.len());
+        for item in pending {
+            let ready = match &item {
+                BuildItem::Const { .. } | BuildItem::Dff { .. } => true,
+                BuildItem::Gate { ins, .. } => ins.iter().all(|r| resolved[r.slot].is_some()),
+                BuildItem::Alias { src, .. } => resolved[src.slot].is_some(),
+            };
+            if !ready {
+                still.push(item);
+                continue;
+            }
+            progressed = true;
+            match item {
+                BuildItem::Const { slot, value, group } => {
+                    let id = nl.constant(value);
+                    nl.set_name(id, slot_names[slot].clone());
+                    if let Some(g) = group {
+                        let gid = nl.group(g);
+                        nl.set_node_group(id, gid);
+                    }
+                    resolved[slot] = Some(id);
+                }
+                BuildItem::Gate { slot, kind, ins, group, at } => {
+                    let fanins: Vec<NodeId> =
+                        ins.iter().map(|r| resolved[r.slot].expect("checked ready")).collect();
+                    let id = nl.gate(kind, fanins).map_err(|e| NetlistError::ParseSyntax {
+                        format,
+                        at,
+                        message: e.to_string(),
+                    })?;
+                    nl.set_name(id, slot_names[slot].clone());
+                    if let Some(g) = group {
+                        let gid = nl.group(g);
+                        nl.set_node_group(id, gid);
+                    }
+                    resolved[slot] = Some(id);
+                }
+                BuildItem::Dff { slot, d, init, group } => {
+                    let id = nl.dff_placeholder(init);
+                    nl.set_name(id, slot_names[slot].clone());
+                    if let Some(g) = group {
+                        let gid = nl.group(g);
+                        nl.set_node_group(id, gid);
+                    }
+                    resolved[slot] = Some(id);
+                    dff_fixups.push((id, d));
+                }
+                BuildItem::Alias { slot, src } => {
+                    resolved[slot] = Some(resolved[src.slot].expect("checked ready"));
+                }
+            }
+        }
+        if still.is_empty() {
+            break;
+        }
+        if !progressed {
+            // No item could make progress: the first blocked item either
+            // reads a net nothing drives, or sits on a combinational
+            // cycle (every fanin is driven, but only by blocked items).
+            let (refs, slot_of) = match &still[0] {
+                BuildItem::Gate { ins, slot, .. } => (ins.clone(), *slot),
+                BuildItem::Alias { src, slot } => (vec![src.clone()], *slot),
+                _ => unreachable!("consts and dffs are always ready"),
+            };
+            let blocked =
+                refs.iter().find(|r| resolved[r.slot].is_none()).expect("item was not ready");
+            if !driven[blocked.slot] {
+                return Err(NetlistError::ParseUndriven {
+                    format,
+                    at: blocked.at.clone(),
+                    name: slot_names[blocked.slot].clone(),
+                });
+            }
+            return Err(NetlistError::ParseSyntax {
+                format,
+                at: blocked.at.clone(),
+                message: format!(
+                    "instances form a combinational cycle through net '{}' (driving '{}'); \
+                     only flip-flops may close feedback loops",
+                    slot_names[blocked.slot], slot_names[slot_of]
+                ),
+            });
+        }
+        pending = still;
+    }
+
+    for (q, d) in dff_fixups {
+        let id = resolved[d.slot].ok_or_else(|| NetlistError::ParseUndriven {
+            format,
+            at: d.at.clone(),
+            name: slot_names[d.slot].clone(),
+        })?;
+        nl.connect_dff_d(q, id);
+    }
+    for (name, slot_ref) in outputs {
+        let id = resolved[slot_ref.slot].ok_or_else(|| NetlistError::ParseUndriven {
+            format,
+            at: slot_ref.at.clone(),
+            name: slot_names[slot_ref.slot].clone(),
+        })?;
+        nl.set_output(name, id);
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NodeKind;
+
+    fn loc(line: usize, col: usize) -> SrcLoc {
+        SrcLoc { line, col, snippet: String::new() }
+    }
+
+    fn slot_ref(slot: usize, line: usize) -> SlotRef {
+        SlotRef { slot, at: loc(line, 1) }
+    }
+
+    #[test]
+    fn forward_references_resolve_out_of_order() {
+        // y = and(w, a) appears before w = not(a): the builder defers it.
+        let input = BuildInput {
+            slot_names: vec!["a".into(), "w".into(), "y".into()],
+            inputs: vec![(0, None)],
+            items: vec![
+                BuildItem::Gate {
+                    slot: 2,
+                    kind: GateKind::And,
+                    ins: vec![slot_ref(1, 1), slot_ref(0, 1)],
+                    group: None,
+                    at: loc(1, 1),
+                },
+                BuildItem::Gate {
+                    slot: 1,
+                    kind: GateKind::Not,
+                    ins: vec![slot_ref(0, 2)],
+                    group: None,
+                    at: loc(2, 1),
+                },
+            ],
+            outputs: vec![("y".into(), slot_ref(2, 3))],
+        };
+        let nl = build(SourceFormat::Verilog, input).expect("builds");
+        assert_eq!(nl.gate_count(), 2);
+        // The NOT was created first (the AND deferred until `w` existed).
+        assert!(matches!(nl.kind(NodeId(1)), NodeKind::Gate { kind: GateKind::Not, .. }));
+    }
+
+    #[test]
+    fn dff_feedback_builds() {
+        // q = dff(xor(q, en)).
+        let input = BuildInput {
+            slot_names: vec!["en".into(), "q".into(), "d".into()],
+            inputs: vec![(0, None)],
+            items: vec![
+                BuildItem::Dff { slot: 1, d: slot_ref(2, 1), init: true, group: None },
+                BuildItem::Gate {
+                    slot: 2,
+                    kind: GateKind::Xor,
+                    ins: vec![slot_ref(1, 2), slot_ref(0, 2)],
+                    group: None,
+                    at: loc(2, 1),
+                },
+            ],
+            outputs: vec![("q".into(), slot_ref(1, 3))],
+        };
+        let nl = build(SourceFormat::Edif, input).expect("builds");
+        assert_eq!(nl.dffs().len(), 1);
+        match nl.kind(nl.dffs()[0]) {
+            NodeKind::Dff { init, .. } => assert!(*init),
+            other => panic!("not a dff: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undriven_and_cycle_diagnostics() {
+        let undriven = BuildInput {
+            slot_names: vec!["a".into(), "ghost".into(), "y".into()],
+            inputs: vec![(0, None)],
+            items: vec![BuildItem::Gate {
+                slot: 2,
+                kind: GateKind::And,
+                ins: vec![slot_ref(0, 4), SlotRef { slot: 1, at: loc(4, 9) }],
+                group: None,
+                at: loc(4, 1),
+            }],
+            outputs: vec![("y".into(), slot_ref(2, 5))],
+        };
+        match build(SourceFormat::Verilog, undriven).unwrap_err() {
+            NetlistError::ParseUndriven { at, name, .. } => {
+                assert_eq!((at.line, at.col), (4, 9));
+                assert_eq!(name, "ghost");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        // x = not(y); y = not(x): a gate-only loop.
+        let cyclic = BuildInput {
+            slot_names: vec!["x".into(), "y".into()],
+            inputs: vec![],
+            items: vec![
+                BuildItem::Gate {
+                    slot: 0,
+                    kind: GateKind::Not,
+                    ins: vec![SlotRef { slot: 1, at: loc(1, 5) }],
+                    group: None,
+                    at: loc(1, 1),
+                },
+                BuildItem::Gate {
+                    slot: 1,
+                    kind: GateKind::Not,
+                    ins: vec![SlotRef { slot: 0, at: loc(2, 5) }],
+                    group: None,
+                    at: loc(2, 1),
+                },
+            ],
+            outputs: vec![],
+        };
+        match build(SourceFormat::Verilog, cyclic).unwrap_err() {
+            NetlistError::ParseSyntax { at, message, .. } => {
+                assert_eq!(at.line, 1);
+                assert!(message.contains("combinational cycle"), "{message}");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Library-cell name mapping shared by the Verilog and EDIF front-ends.
+//!
+//! External netlists name cells after vendor libraries (`AND2`, `NAND3X2`,
+//! `INV`, `DFFQ`, ...). This module maps those names onto the synthetic
+//! library's [`GateKind`]s plus the flip-flop and constant-tie pseudo
+//! cells, using one documented rule (see `docs/FORMATS.md` §"Cell-name
+//! mapping"): names are matched case-insensitively, and a trailing
+//! arity/drive-strength suffix (`2`, `3`, `X1`, `X4`, ...) is stripped
+//! before matching.
+
+use crate::library::GateKind;
+
+/// The function of a recognized library cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellFunc {
+    /// A combinational gate of the given kind.
+    Gate(GateKind),
+    /// A rising-edge D flip-flop (ports `D`, `Q`, optional ignored clock).
+    Dff,
+    /// A constant driver (`TIE0`/`GND`/`VSS` or `TIE1`/`VCC`/`VDD`).
+    Const(bool),
+}
+
+/// Maps a cell (module) name to its function, or `None` if the name is
+/// not in the supported vocabulary.
+///
+/// Matching is case-insensitive. A trailing drive-strength suffix
+/// (`X<digits>` or `_<digits>`) and then a trailing arity suffix
+/// (`<digits>`) are stripped before matching, so `NAND3X2`, `nand4`,
+/// and `NAND` all map to [`GateKind::Nand`]. Tie cells are matched
+/// before stripping (so the `0`/`1` in `TIE0`/`TIE1` survives).
+pub fn cell_func(name: &str) -> Option<CellFunc> {
+    fn base_func(base: &str) -> Option<CellFunc> {
+        let func = match base {
+            "BUF" | "BUFF" | "BUFFER" => CellFunc::Gate(GateKind::Buf),
+            "NOT" | "INV" | "INVERTER" => CellFunc::Gate(GateKind::Not),
+            "AND" => CellFunc::Gate(GateKind::And),
+            "OR" => CellFunc::Gate(GateKind::Or),
+            "NAND" => CellFunc::Gate(GateKind::Nand),
+            "NOR" => CellFunc::Gate(GateKind::Nor),
+            "XOR" | "EXOR" => CellFunc::Gate(GateKind::Xor),
+            "XNOR" | "EXNOR" => CellFunc::Gate(GateKind::Xnor),
+            "MUX" => CellFunc::Gate(GateKind::Mux),
+            "DFF" | "DFFQ" | "FD" | "REG" => CellFunc::Dff,
+            _ => return None,
+        };
+        Some(func)
+    }
+    let upper = name.to_ascii_uppercase();
+    // Constant ties first: their digits are semantic, not an arity suffix.
+    match upper.as_str() {
+        "TIE0" | "GND" | "VSS" | "LOGIC0" | "ZERO" => return Some(CellFunc::Const(false)),
+        "TIE1" | "VCC" | "VDD" | "LOGIC1" | "ONE" => return Some(CellFunc::Const(true)),
+        _ => {}
+    }
+    // First strip a trailing arity suffix (`AND2`, `MUX21` -> `MUX`) and
+    // try the base name; if that misses and the remainder ends in a
+    // drive-strength separator (`NAND3X2` -> `NAND3X`, `INVX1` -> `INVX`),
+    // strip it and one more arity suffix and try again.
+    let base = upper.trim_end_matches(|c: char| c.is_ascii_digit());
+    if let Some(func) = base_func(base) {
+        return Some(func);
+    }
+    let stripped = base.strip_suffix('X').or_else(|| base.strip_suffix('_'))?;
+    base_func(stripped.trim_end_matches(|c: char| c.is_ascii_digit()))
+}
+
+/// The role a named cell port plays, as resolved by [`port_role`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortRole {
+    /// A gate data input with the given pin position (0-based).
+    Input(usize),
+    /// The (single) cell output.
+    Output,
+    /// The mux select pin (pin 0 of [`GateKind::Mux`]).
+    Select,
+    /// The flip-flop data pin.
+    DffD,
+    /// The flip-flop output pin.
+    DffQ,
+    /// A clock pin, accepted and ignored (single implicit clock domain).
+    Clock,
+}
+
+/// Resolves a named port of a recognized cell to its pin role, or `None`
+/// if the port name is not in the documented vocabulary for that cell.
+///
+/// Gate inputs accept single letters `A`..`X` (alphabetical pin order) or
+/// indexed forms `A0`/`I0`/`IN0`/`D0` (index order). Outputs accept `Y`,
+/// `Z`, `O`, `OUT`, `Q`. Mux selects accept `S`/`SEL`; mux data pins `A`/
+/// `B` or `D0`/`D1` or `I0`/`I1`. Flip-flops use `D`, `Q`, and a clock
+/// pin named `CK`/`CLK`/`C`/`CP`/`G` that is accepted and ignored.
+pub fn port_role(func: CellFunc, port: &str) -> Option<PortRole> {
+    let p = port.to_ascii_uppercase();
+    match func {
+        CellFunc::Const(_) => match p.as_str() {
+            "Y" | "Z" | "O" | "OUT" | "Q" => Some(PortRole::Output),
+            _ => None,
+        },
+        CellFunc::Dff => match p.as_str() {
+            "D" => Some(PortRole::DffD),
+            "Q" => Some(PortRole::DffQ),
+            "CK" | "CLK" | "C" | "CP" | "G" => Some(PortRole::Clock),
+            _ => None,
+        },
+        CellFunc::Gate(GateKind::Mux) => match p.as_str() {
+            "S" | "SEL" => Some(PortRole::Select),
+            "A" | "D0" | "I0" => Some(PortRole::Input(0)),
+            "B" | "D1" | "I1" => Some(PortRole::Input(1)),
+            "Y" | "Z" | "O" | "OUT" => Some(PortRole::Output),
+            _ => None,
+        },
+        CellFunc::Gate(_) => {
+            match p.as_str() {
+                "Y" | "Z" | "O" | "OUT" => return Some(PortRole::Output),
+                _ => {}
+            }
+            let mut chars = p.chars();
+            let head = chars.next()?;
+            let tail: String = chars.collect();
+            if tail.is_empty() {
+                // Single letters A..X are inputs in alphabetical pin order
+                // (Y/Z/O were claimed by the output above).
+                if head.is_ascii_uppercase() {
+                    return Some(PortRole::Input((head as u8 - b'A') as usize));
+                }
+                return None;
+            }
+            // Indexed pins: A<k>, I<k>, IN<k>, D<k>.
+            let (prefix, digits) = if let Some(d) = p.strip_prefix("IN") {
+                ("IN", d)
+            } else if let Some(d) = p.strip_prefix('A') {
+                ("A", d)
+            } else if let Some(d) = p.strip_prefix('I') {
+                ("I", d)
+            } else if let Some(d) = p.strip_prefix('D') {
+                ("D", d)
+            } else {
+                return None;
+            };
+            let _ = prefix;
+            digits.parse::<usize>().ok().map(PortRole::Input)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_map_case_insensitively_with_suffixes() {
+        assert_eq!(cell_func("AND2"), Some(CellFunc::Gate(GateKind::And)));
+        assert_eq!(cell_func("nand3"), Some(CellFunc::Gate(GateKind::Nand)));
+        assert_eq!(cell_func("NAND3X2"), Some(CellFunc::Gate(GateKind::Nand)));
+        assert_eq!(cell_func("INVX1"), Some(CellFunc::Gate(GateKind::Not)));
+        assert_eq!(cell_func("Mux2"), Some(CellFunc::Gate(GateKind::Mux)));
+        assert_eq!(cell_func("MUX21"), Some(CellFunc::Gate(GateKind::Mux)));
+        assert_eq!(cell_func("dff"), Some(CellFunc::Dff));
+        assert_eq!(cell_func("TIE0"), Some(CellFunc::Const(false)));
+        assert_eq!(cell_func("VDD"), Some(CellFunc::Const(true)));
+        assert_eq!(cell_func("RAM32"), None);
+    }
+
+    #[test]
+    fn port_roles_resolve() {
+        let and = CellFunc::Gate(GateKind::And);
+        assert_eq!(port_role(and, "A"), Some(PortRole::Input(0)));
+        assert_eq!(port_role(and, "B"), Some(PortRole::Input(1)));
+        assert_eq!(port_role(and, "IN3"), Some(PortRole::Input(3)));
+        assert_eq!(port_role(and, "Y"), Some(PortRole::Output));
+        let mux = CellFunc::Gate(GateKind::Mux);
+        assert_eq!(port_role(mux, "S"), Some(PortRole::Select));
+        assert_eq!(port_role(mux, "D1"), Some(PortRole::Input(1)));
+        assert_eq!(port_role(CellFunc::Dff, "CLK"), Some(PortRole::Clock));
+        assert_eq!(port_role(CellFunc::Dff, "RST"), None);
+    }
+}

@@ -1,0 +1,752 @@
+//! Structural-Verilog front-end.
+//!
+//! Parses the gate-level subset specified in `docs/FORMATS.md`: one
+//! `module` with scalar/vector `input`/`output`/`wire` declarations,
+//! gate-primitive instantiations (`and`, `or`, `nand`, `nor`, `xor`,
+//! `xnor`, `not`, `buf`), library-cell instantiations resolved through
+//! [`super::cells::cell_func`] (including `DFF` and `MUX2` with named
+//! ports), alias/constant `assign`s, and `(* group = "..." *)` /
+//! `(* init = 1'b1 *)` attributes. Everything else is rejected with a
+//! structured [`NetlistError`] carrying line, column, and a snippet.
+
+use std::collections::HashMap;
+
+use crate::error::{NetlistError, SourceFormat, SrcLoc};
+use crate::ingest::build::{self, BuildInput, BuildItem, SlotRef};
+use crate::ingest::cells::{cell_func, port_role, CellFunc, PortRole};
+use crate::ingest::lex::{tokenize_verilog, Loc, Tok, Token};
+use crate::netlist::Netlist;
+
+const FORMAT: SourceFormat = SourceFormat::Verilog;
+
+/// Parses the structural-Verilog subset into a [`Netlist`].
+///
+/// # Errors
+///
+/// Every rejection is a structured [`NetlistError`] parse variant with
+/// line/column and a source snippet; `docs/FORMATS.md` specifies which
+/// violation raises which variant.
+pub fn parse_verilog(src: &str) -> Result<Netlist, NetlistError> {
+    let toks = tokenize_verilog(src)?;
+    let mut p = Parser { src, toks, pos: 0 };
+    let ast = p.parse_module()?;
+    lower(src, ast)
+}
+
+/// A net reference: a scalar name or one bit of a vector.
+#[derive(Debug, Clone)]
+struct NetRef {
+    base: String,
+    bit: Option<u64>,
+    loc: Loc,
+}
+
+/// A pin/assign connection.
+#[derive(Debug, Clone)]
+enum Conn {
+    Net(NetRef),
+    Const(bool, Loc),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Input,
+    Output,
+    Wire,
+}
+
+/// Attributes collected from `(* ... *)` before an item.
+#[derive(Debug, Clone, Default)]
+struct Attrs {
+    group: Option<String>,
+    init: Option<bool>,
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Decl { dir: Dir, range: Option<(u64, u64)>, names: Vec<(String, Loc)>, attrs: Attrs },
+    Assign { lhs: NetRef, rhs: Conn },
+    Inst { cell: String, cell_loc: Loc, conns: Conns, attrs: Attrs },
+}
+
+#[derive(Debug, Clone)]
+enum Conns {
+    Positional(Vec<Conn>),
+    Named(Vec<(String, Loc, Conn)>),
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn src_loc(&self, loc: Loc) -> SrcLoc {
+        loc.src_loc(self.src)
+    }
+
+    fn syntax(&self, loc: Loc, message: String) -> NetlistError {
+        NetlistError::ParseSyntax { format: FORMAT, at: self.src_loc(loc), message }
+    }
+
+    fn unsupported(&self, loc: Loc, construct: &str) -> NetlistError {
+        NetlistError::ParseUnsupported {
+            format: FORMAT,
+            at: self.src_loc(loc),
+            construct: construct.to_string(),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<Loc, NetlistError> {
+        let t = self.bump();
+        if t.tok == Tok::Punct(c) {
+            Ok(t.loc)
+        } else {
+            Err(self.syntax(t.loc, format!("expected `{c}`, found {}", t.tok.describe())))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Loc), NetlistError> {
+        let t = self.bump();
+        match t.tok {
+            Tok::Ident(s) => Ok((s, t.loc)),
+            other => {
+                Err(self.syntax(t.loc, format!("expected {what}, found {}", other.describe())))
+            }
+        }
+    }
+
+    fn expect_num(&mut self, what: &str) -> Result<(u64, Loc), NetlistError> {
+        let t = self.bump();
+        match t.tok {
+            Tok::Num(n) => Ok((n, t.loc)),
+            other => {
+                Err(self.syntax(t.loc, format!("expected {what}, found {}", other.describe())))
+            }
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek().tok == Tok::Punct(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses `(* name = value, ... *)` groups into an [`Attrs`].
+    fn parse_attrs(&mut self) -> Result<Attrs, NetlistError> {
+        let mut attrs = Attrs::default();
+        while self.peek().tok == Tok::AttrOpen {
+            self.bump();
+            loop {
+                let (name, nloc) = self.expect_ident("attribute name")?;
+                let value = if self.eat_punct('=') {
+                    let t = self.bump();
+                    match t.tok {
+                        Tok::Str(s) => AttrValue::Str(s),
+                        Tok::Num(n) => AttrValue::Bit(n != 0),
+                        Tok::Based(b) => AttrValue::Bit(parse_based_bit(&b).ok_or_else(|| {
+                            self.syntax(t.loc, format!("attribute literal `{b}` is not 1'b0/1'b1"))
+                        })?),
+                        other => {
+                            return Err(self.syntax(
+                                t.loc,
+                                format!("expected attribute value, found {}", other.describe()),
+                            ))
+                        }
+                    }
+                } else {
+                    AttrValue::Bit(true)
+                };
+                match (name.as_str(), value) {
+                    ("group", AttrValue::Str(s)) => attrs.group = Some(s),
+                    ("group", AttrValue::Bit(_)) => {
+                        return Err(self.syntax(
+                            nloc,
+                            "the `group` attribute takes a string value".to_string(),
+                        ))
+                    }
+                    ("init", AttrValue::Bit(b)) => attrs.init = Some(b),
+                    ("init", AttrValue::Str(_)) => {
+                        return Err(self
+                            .syntax(nloc, "the `init` attribute takes 1'b0 or 1'b1".to_string()))
+                    }
+                    // Unknown attributes are accepted and ignored.
+                    _ => {}
+                }
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            let t = self.bump();
+            if t.tok != Tok::AttrClose {
+                return Err(
+                    self.syntax(t.loc, format!("expected `*)`, found {}", t.tok.describe()))
+                );
+            }
+        }
+        Ok(attrs)
+    }
+
+    fn parse_net_ref(&mut self) -> Result<NetRef, NetlistError> {
+        let (base, loc) = self.expect_ident("a net name")?;
+        let bit = if self.eat_punct('[') {
+            let (n, _) = self.expect_num("a bit index")?;
+            self.expect_punct(']')?;
+            Some(n)
+        } else {
+            None
+        };
+        Ok(NetRef { base, bit, loc })
+    }
+
+    fn parse_conn(&mut self) -> Result<Conn, NetlistError> {
+        let t = self.peek().clone();
+        match t.tok {
+            Tok::Based(ref b) => {
+                let bit = parse_based_bit(b).ok_or_else(|| {
+                    self.syntax(
+                        t.loc,
+                        format!("literal `{b}` is not supported; only 1'b0 and 1'b1 connect"),
+                    )
+                })?;
+                self.bump();
+                Ok(Conn::Const(bit, t.loc))
+            }
+            Tok::Ident(_) => Ok(Conn::Net(self.parse_net_ref()?)),
+            ref other => {
+                Err(self
+                    .syntax(t.loc, format!("expected a connection, found {}", other.describe())))
+            }
+        }
+    }
+
+    fn parse_module(&mut self) -> Result<Vec<Item>, NetlistError> {
+        // Attributes on the module itself are accepted and ignored.
+        self.parse_attrs()?;
+        let (kw, kloc) = self.expect_ident("`module`")?;
+        if kw != "module" {
+            return Err(self.syntax(kloc, format!("expected `module`, found `{kw}`")));
+        }
+        let _ = self.expect_ident("the module name")?;
+        // The header port list only repeats names that must be declared
+        // with `input`/`output` in the body; it is parsed and discarded.
+        if self.eat_punct('(') {
+            if self.peek().tok != Tok::Punct(')') {
+                loop {
+                    self.expect_ident("a port name")?;
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+            }
+            self.expect_punct(')')?;
+        }
+        self.expect_punct(';')?;
+
+        let mut items = Vec::new();
+        loop {
+            let attrs = self.parse_attrs()?;
+            let t = self.peek().clone();
+            let (word, loc) = match t.tok {
+                Tok::Ident(ref s) => (s.clone(), t.loc),
+                Tok::Eof => {
+                    return Err(
+                        self.syntax(t.loc, "expected `endmodule`, found end of input".into())
+                    )
+                }
+                ref other => {
+                    return Err(self.syntax(
+                        t.loc,
+                        format!("expected a statement, found {}", other.describe()),
+                    ))
+                }
+            };
+            match word.as_str() {
+                "endmodule" => {
+                    self.bump();
+                    break;
+                }
+                "input" | "output" | "wire" | "reg" => {
+                    self.bump();
+                    let dir = match word.as_str() {
+                        "input" => Dir::Input,
+                        "output" => Dir::Output,
+                        _ => Dir::Wire,
+                    };
+                    let range = if self.eat_punct('[') {
+                        let (msb, _) = self.expect_num("the range msb")?;
+                        self.expect_punct(':')?;
+                        let (lsb, _) = self.expect_num("the range lsb")?;
+                        self.expect_punct(']')?;
+                        Some((msb.min(lsb), msb.max(lsb)))
+                    } else {
+                        None
+                    };
+                    let mut names = Vec::new();
+                    loop {
+                        let (n, nloc) = self.expect_ident("a net name")?;
+                        names.push((n, nloc));
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                    self.expect_punct(';')?;
+                    items.push(Item::Decl { dir, range, names, attrs });
+                }
+                "inout" => return Err(self.unsupported(loc, "inout ports")),
+                "assign" => {
+                    self.bump();
+                    let lhs = self.parse_net_ref()?;
+                    self.expect_punct('=')?;
+                    let rhs = self.parse_conn()?;
+                    // Any operator after the rhs means an expression.
+                    if self.peek().tok != Tok::Punct(';') {
+                        let t = self.peek().clone();
+                        return Err(self.unsupported(
+                            t.loc,
+                            "expressions in assign (only aliases and 1'b0/1'b1 constants)",
+                        ));
+                    }
+                    self.expect_punct(';')?;
+                    items.push(Item::Assign { lhs, rhs });
+                }
+                "always" | "initial" | "always_ff" | "always_comb" => {
+                    return Err(self.unsupported(loc, "behavioral blocks (always/initial)"))
+                }
+                "specify" | "primitive" | "task" | "function" | "generate" => {
+                    return Err(self.unsupported(loc, "non-structural module items"))
+                }
+                "parameter" | "localparam" | "defparam" => {
+                    return Err(self.unsupported(loc, "parameter declarations"))
+                }
+                "module" | "macromodule" => {
+                    return Err(self.unsupported(loc, "more than one module per file"))
+                }
+                _ => {
+                    // A gate-primitive or library-cell instantiation.
+                    self.bump();
+                    if self.peek().tok == Tok::Punct('#') {
+                        let t = self.peek().clone();
+                        return Err(self.unsupported(t.loc, "parameter/delay lists (`#`)"));
+                    }
+                    // Optional instance name (required in real netlists,
+                    // optional on primitives).
+                    if let Tok::Ident(_) = self.peek().tok {
+                        self.bump();
+                    }
+                    self.expect_punct('(')?;
+                    let conns = if self.peek().tok == Tok::Punct('.') {
+                        let mut named = Vec::new();
+                        loop {
+                            self.expect_punct('.')?;
+                            let (port, ploc) = self.expect_ident("a port name")?;
+                            self.expect_punct('(')?;
+                            if self.peek().tok == Tok::Punct(')') {
+                                let t = self.peek().clone();
+                                return Err(self.unsupported(t.loc, "unconnected pins"));
+                            }
+                            let conn = self.parse_conn()?;
+                            self.expect_punct(')')?;
+                            named.push((port, ploc, conn));
+                            if !self.eat_punct(',') {
+                                break;
+                            }
+                        }
+                        Conns::Named(named)
+                    } else {
+                        let mut conns = Vec::new();
+                        loop {
+                            conns.push(self.parse_conn()?);
+                            if !self.eat_punct(',') {
+                                break;
+                            }
+                        }
+                        Conns::Positional(conns)
+                    };
+                    self.expect_punct(')')?;
+                    self.expect_punct(';')?;
+                    items.push(Item::Inst { cell: word, cell_loc: loc, conns, attrs });
+                }
+            }
+        }
+        let t = self.peek().clone();
+        if t.tok != Tok::Eof {
+            return Err(self.unsupported(t.loc, "more than one module per file"));
+        }
+        Ok(items)
+    }
+}
+
+enum AttrValue {
+    Str(String),
+    Bit(bool),
+}
+
+fn parse_based_bit(b: &str) -> Option<bool> {
+    match b {
+        "1'b0" | "1'B0" | "1'h0" | "1'd0" => Some(false),
+        "1'b1" | "1'B1" | "1'h1" | "1'd1" => Some(true),
+        _ => None,
+    }
+}
+
+/// A declared net in the symbol table.
+struct Decl {
+    dir: Dir,
+    range: Option<(u64, u64)>,
+    /// Slot ids: `slots[i]` is bit `range.0 + i` (or the scalar slot).
+    slots: Vec<usize>,
+}
+
+/// Semantic lowering: declarations + instances -> [`BuildInput`] -> netlist.
+fn lower(src: &str, items: Vec<Item>) -> Result<Netlist, NetlistError> {
+    let src_loc = |loc: Loc| loc.src_loc(src);
+    let syntax = |loc: Loc, message: String| NetlistError::ParseSyntax {
+        format: FORMAT,
+        at: src_loc(loc),
+        message,
+    };
+
+    let mut slot_names: Vec<String> = Vec::new();
+    let mut decls: HashMap<String, Decl> = HashMap::new();
+    let mut decl_order: Vec<(String, Loc)> = Vec::new();
+
+    // Pass 1: register every declaration (declarations may legally follow
+    // the instances that use them).
+    for item in &items {
+        let Item::Decl { dir, range, names, attrs: _ } = item else { continue };
+        for (name, nloc) in names {
+            if decls.contains_key(name) {
+                return Err(syntax(*nloc, format!("net '{name}' is declared twice")));
+            }
+            let slots: Vec<usize> = match range {
+                None => {
+                    slot_names.push(name.clone());
+                    vec![slot_names.len() - 1]
+                }
+                Some((lo, hi)) => (*lo..=*hi)
+                    .map(|i| {
+                        slot_names.push(format!("{name}[{i}]"));
+                        slot_names.len() - 1
+                    })
+                    .collect(),
+            };
+            decls.insert(name.clone(), Decl { dir: *dir, range: *range, slots });
+            decl_order.push((name.clone(), *nloc));
+        }
+    }
+
+    // Resolves a net reference to its slot.
+    let resolve = |decls: &HashMap<String, Decl>, r: &NetRef| -> Result<usize, NetlistError> {
+        let decl = decls.get(&r.base).ok_or_else(|| NetlistError::ParseUnknownName {
+            format: FORMAT,
+            at: src_loc(r.loc),
+            name: r.base.clone(),
+        })?;
+        match (r.bit, decl.range) {
+            (None, None) => Ok(decl.slots[0]),
+            (Some(b), Some((lo, hi))) => {
+                if b < lo || b > hi {
+                    Err(syntax(
+                        r.loc,
+                        format!(
+                            "bit-select {}[{b}] is outside the declared range [{hi}:{lo}]",
+                            r.base
+                        ),
+                    ))
+                } else {
+                    Ok(decl.slots[(b - lo) as usize])
+                }
+            }
+            (Some(b), None) => {
+                Err(syntax(r.loc, format!("bit-select {}[{b}] on scalar net '{}'", r.base, r.base)))
+            }
+            (None, Some(_)) => Err(NetlistError::ParseUnsupported {
+                format: FORMAT,
+                at: src_loc(r.loc),
+                construct: format!(
+                    "whole-vector reference to '{}' (connect individual bits)",
+                    r.base
+                ),
+            }),
+        }
+    };
+
+    // Driver bookkeeping for ParseMultipleDrivers.
+    let mut driver: Vec<Option<SrcLoc>> = vec![None; slot_names.len()];
+    let claim =
+        |driver: &mut Vec<Option<SrcLoc>>, slot: usize, loc: Loc| -> Result<(), NetlistError> {
+            if driver[slot].is_some() {
+                return Err(NetlistError::ParseMultipleDrivers {
+                    format: FORMAT,
+                    at: src_loc(loc),
+                    name: slot_names[slot].clone(),
+                });
+            }
+            driver[slot] = Some(src_loc(loc));
+            Ok(())
+        };
+
+    let mut input = BuildInput { slot_names: slot_names.clone(), ..BuildInput::default() };
+
+    // Inputs, in declaration order (this fixes the primary-input order).
+    for item in &items {
+        let Item::Decl { dir: Dir::Input, names, attrs, .. } = item else { continue };
+        for (name, nloc) in names {
+            let decl = &decls[name];
+            for &slot in &decl.slots {
+                claim(&mut driver, slot, *nloc)?;
+                input.inputs.push((slot, attrs.group.clone()));
+            }
+        }
+    }
+
+    // Inline 1'b0/1'b1 connections share one hidden slot per value,
+    // created at first use so arena order tracks textual order.
+    let mut const_slots: [Option<usize>; 2] = [None, None];
+
+    // Pass 2: instances and assigns, in textual order.
+    for item in &items {
+        match item {
+            Item::Decl { .. } => {}
+            Item::Assign { lhs, rhs } => {
+                let slot = resolve(&decls, lhs)?;
+                claim(&mut driver, slot, lhs.loc)?;
+                match rhs {
+                    Conn::Const(v, _) => {
+                        input.items.push(BuildItem::Const { slot, value: *v, group: None })
+                    }
+                    Conn::Net(r) => {
+                        let sref = SlotRef { slot: resolve(&decls, r)?, at: src_loc(r.loc) };
+                        input.items.push(BuildItem::Alias { slot, src: sref });
+                    }
+                }
+            }
+            Item::Inst { cell, cell_loc, conns, attrs } => {
+                let func = cell_func(cell).ok_or_else(|| NetlistError::ParseUnknownCell {
+                    format: FORMAT,
+                    at: src_loc(*cell_loc),
+                    cell: cell.clone(),
+                })?;
+                let pins = resolve_pins(src, func, cell, *cell_loc, conns)?;
+                // An inline-constant fanin materializes the hidden slot.
+                let mut ins = Vec::with_capacity(pins.ins.len());
+                for conn in pins.ins {
+                    match conn {
+                        Conn::Net(r) => {
+                            ins.push(SlotRef { slot: resolve(&decls, &r)?, at: src_loc(r.loc) })
+                        }
+                        Conn::Const(v, loc) => {
+                            let idx = v as usize;
+                            let slot = match const_slots[idx] {
+                                Some(s) => s,
+                                None => {
+                                    input.slot_names.push(format!("1'b{}", idx));
+                                    let s = input.slot_names.len() - 1;
+                                    const_slots[idx] = Some(s);
+                                    input.items.push(BuildItem::Const {
+                                        slot: s,
+                                        value: v,
+                                        group: None,
+                                    });
+                                    s
+                                }
+                            };
+                            ins.push(SlotRef { slot, at: src_loc(loc) });
+                        }
+                    }
+                }
+                let out = resolve(&decls, &pins.out)?;
+                claim(&mut driver, out, pins.out.loc)?;
+                match func {
+                    CellFunc::Gate(kind) => input.items.push(BuildItem::Gate {
+                        slot: out,
+                        kind,
+                        ins,
+                        group: attrs.group.clone(),
+                        at: src_loc(*cell_loc),
+                    }),
+                    CellFunc::Dff => input.items.push(BuildItem::Dff {
+                        slot: out,
+                        d: ins.into_iter().next().expect("resolve_pins guarantees a D pin"),
+                        init: attrs.init.unwrap_or(false),
+                        group: attrs.group.clone(),
+                    }),
+                    CellFunc::Const(v) => input.items.push(BuildItem::Const {
+                        slot: out,
+                        value: v,
+                        group: attrs.group.clone(),
+                    }),
+                }
+            }
+        }
+    }
+
+    // Outputs, in declaration order, vectors LSB-first.
+    for (name, nloc) in &decl_order {
+        let decl = &decls[name];
+        if decl.dir != Dir::Output {
+            continue;
+        }
+        match decl.range {
+            None => input
+                .outputs
+                .push((name.clone(), SlotRef { slot: decl.slots[0], at: src_loc(*nloc) })),
+            Some((lo, _)) => {
+                for (i, &slot) in decl.slots.iter().enumerate() {
+                    let bit = lo + i as u64;
+                    input
+                        .outputs
+                        .push((format!("{name}[{bit}]"), SlotRef { slot, at: src_loc(*nloc) }));
+                }
+            }
+        }
+    }
+
+    build::build(FORMAT, input)
+}
+
+/// The resolved pins of one instance: the output reference and the fanin
+/// connections in pin order (for flip-flops: `[D]`, clock dropped).
+struct Pins {
+    out: NetRef,
+    ins: Vec<Conn>,
+}
+
+fn resolve_pins(
+    src: &str,
+    func: CellFunc,
+    cell: &str,
+    cell_loc: Loc,
+    conns: &Conns,
+) -> Result<Pins, NetlistError> {
+    let syntax = |loc: Loc, message: String| NetlistError::ParseSyntax {
+        format: FORMAT,
+        at: loc.src_loc(src),
+        message,
+    };
+    let out_of = |conn: &Conn, loc: Loc| -> Result<NetRef, NetlistError> {
+        match conn {
+            Conn::Net(r) => Ok(r.clone()),
+            Conn::Const(..) => {
+                Err(syntax(loc, "an instance output must connect to a net".to_string()))
+            }
+        }
+    };
+    match conns {
+        Conns::Positional(list) => {
+            if list.is_empty() {
+                return Err(syntax(cell_loc, format!("instance of `{cell}` has no connections")));
+            }
+            let out = out_of(&list[0], cell_loc)?;
+            let ins: Vec<Conn> = list[1..].to_vec();
+            if func == CellFunc::Dff && ins.len() != 1 {
+                return Err(syntax(
+                    cell_loc,
+                    "positional flip-flops take exactly (Q, D); use named ports for a clock pin"
+                        .to_string(),
+                ));
+            }
+            if matches!(func, CellFunc::Const(_)) && !ins.is_empty() {
+                return Err(syntax(
+                    cell_loc,
+                    format!("tie cell `{cell}` takes a single output pin"),
+                ));
+            }
+            Ok(Pins { out, ins })
+        }
+        Conns::Named(named) => {
+            let mut out: Option<NetRef> = None;
+            let mut d: Option<Conn> = None;
+            let mut sel: Option<Conn> = None;
+            let mut indexed: Vec<(usize, Conn)> = Vec::new();
+            for (port, ploc, conn) in named {
+                let role = port_role(func, port).ok_or_else(|| {
+                    syntax(*ploc, format!("cell `{cell}` has no port named `{port}`"))
+                })?;
+                match role {
+                    PortRole::Output | PortRole::DffQ => {
+                        if out.is_some() {
+                            return Err(syntax(
+                                *ploc,
+                                format!("output pin `{port}` connected twice"),
+                            ));
+                        }
+                        out = Some(out_of(conn, *ploc)?);
+                    }
+                    PortRole::DffD => {
+                        if d.is_some() {
+                            return Err(syntax(*ploc, "pin `D` connected twice".to_string()));
+                        }
+                        d = Some(conn.clone());
+                    }
+                    PortRole::Select => {
+                        if sel.is_some() {
+                            return Err(syntax(*ploc, "select pin connected twice".to_string()));
+                        }
+                        sel = Some(conn.clone());
+                    }
+                    PortRole::Input(i) => {
+                        if indexed.iter().any(|(j, _)| *j == i) {
+                            return Err(syntax(*ploc, format!("pin `{port}` connected twice")));
+                        }
+                        indexed.push((i, conn.clone()));
+                    }
+                    PortRole::Clock => {} // single implicit clock domain
+                }
+            }
+            let out = out.ok_or_else(|| {
+                syntax(cell_loc, format!("instance of `{cell}` never connects its output pin"))
+            })?;
+            let ins = match func {
+                CellFunc::Dff => {
+                    vec![d.ok_or_else(|| {
+                        syntax(cell_loc, "flip-flop instance never connects pin `D`".to_string())
+                    })?]
+                }
+                CellFunc::Const(_) => Vec::new(),
+                CellFunc::Gate(kind) => {
+                    indexed.sort_by_key(|(i, _)| *i);
+                    for (want, (got, _)) in indexed.iter().enumerate() {
+                        if *got != want {
+                            return Err(syntax(
+                                cell_loc,
+                                format!("instance of `{cell}` is missing input pin {want}"),
+                            ));
+                        }
+                    }
+                    let mut ins: Vec<Conn> = Vec::new();
+                    if kind == crate::library::GateKind::Mux {
+                        ins.push(sel.ok_or_else(|| {
+                            syntax(
+                                cell_loc,
+                                "mux instance never connects its select pin".to_string(),
+                            )
+                        })?);
+                    } else if sel.is_some() {
+                        return Err(syntax(cell_loc, format!("cell `{cell}` has no select pin")));
+                    }
+                    ins.extend(indexed.into_iter().map(|(_, c)| c));
+                    ins
+                }
+            };
+            Ok(Pins { out, ins })
+        }
+    }
+}

@@ -20,10 +20,18 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
+use crate::error::{NetlistError, SourceFormat, SrcLoc};
+use crate::ingest::lex::{self, Loc, Word};
 use crate::library::GateKind;
 use crate::netlist::{Netlist, NodeId, NodeKind};
 
 /// Errors from parsing the textual netlist format.
+///
+/// Every variant carries the 1-based line *and column* of the offending
+/// token plus the source line it sits on, matching the positions the
+/// Verilog/EDIF front-ends report (the `.nl` lexer is the same
+/// [`crate::ingest::lex`] machinery). Convertible into the corresponding
+/// [`NetlistError`] parse variants via `From`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ParseNetlistError {
@@ -31,6 +39,10 @@ pub enum ParseNetlistError {
     Malformed {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the offending token.
+        col: usize,
+        /// The offending source line.
+        snippet: String,
         /// Explanation.
         reason: String,
     },
@@ -38,6 +50,10 @@ pub enum ParseNetlistError {
     UnknownName {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the undeclared name.
+        col: usize,
+        /// The offending source line.
+        snippet: String,
         /// The undeclared name.
         name: String,
     },
@@ -46,17 +62,38 @@ pub enum ParseNetlistError {
 impl fmt::Display for ParseNetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseNetlistError::Malformed { line, reason } => {
-                write!(f, "netlist line {line}: {reason}")
+            ParseNetlistError::Malformed { line, col, snippet, reason } => {
+                write!(f, "netlist line {line}, column {col}: {reason} (`{snippet}`)")
             }
-            ParseNetlistError::UnknownName { line, name } => {
-                write!(f, "netlist line {line}: unknown node '{name}'")
+            ParseNetlistError::UnknownName { line, col, snippet, name } => {
+                write!(f, "netlist line {line}, column {col}: unknown node '{name}' (`{snippet}`)")
             }
         }
     }
 }
 
 impl Error for ParseNetlistError {}
+
+impl From<ParseNetlistError> for NetlistError {
+    fn from(e: ParseNetlistError) -> NetlistError {
+        match e {
+            ParseNetlistError::Malformed { line, col, snippet, reason } => {
+                NetlistError::ParseSyntax {
+                    format: SourceFormat::NativeNl,
+                    at: SrcLoc { line, col, snippet },
+                    message: reason,
+                }
+            }
+            ParseNetlistError::UnknownName { line, col, snippet, name } => {
+                NetlistError::ParseUnknownName {
+                    format: SourceFormat::NativeNl,
+                    at: SrcLoc { line, col, snippet },
+                    name,
+                }
+            }
+        }
+    }
+}
 
 fn gate_kind_by_name(name: &str) -> Option<GateKind> {
     GateKind::all().into_iter().find(|k| k.name() == name)
@@ -110,102 +147,109 @@ pub fn write_netlist(nl: &Netlist) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`ParseNetlistError`] with the offending line on any syntax or
-/// reference problem.
+/// Returns [`ParseNetlistError`] on any syntax or reference problem,
+/// pointing at the offending token (line, column, and source line).
 pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
     let mut nl = Netlist::new();
     let mut names: HashMap<String, NodeId> = HashMap::new();
+    let malformed = |loc: Loc, reason: String| ParseNetlistError::Malformed {
+        line: loc.line,
+        col: loc.col,
+        snippet: lex::snippet(text, loc.line),
+        reason,
+    };
+    let unknown = |w: &Word| ParseNetlistError::UnknownName {
+        line: w.loc.line,
+        col: w.loc.col,
+        snippet: lex::snippet(text, w.loc.line),
+        name: w.text.clone(),
+    };
     // Flip-flops may reference nodes declared later: collect fixups.
-    let mut dff_fixups: Vec<(usize, NodeId, String)> = Vec::new();
-    for (ln, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        let lineno = ln + 1;
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        let malformed = |reason: &str| ParseNetlistError::Malformed {
-            line: lineno,
-            reason: reason.to_string(),
-        };
-        match fields[0] {
+    let mut dff_fixups: Vec<(Word, NodeId)> = Vec::new();
+    for (_lineno, words) in lex::lines_of_words(text) {
+        let head = &words[0];
+        match head.text.as_str() {
             "input" => {
-                let name = fields.get(1).ok_or_else(|| malformed("input needs a name"))?;
-                let id = nl.input(name.to_string());
-                names.insert(name.to_string(), id);
+                let name = words
+                    .get(1)
+                    .ok_or_else(|| malformed(head.loc, "input needs a name".to_string()))?;
+                let id = nl.input(name.text.clone());
+                names.insert(name.text.clone(), id);
             }
             "const" => {
-                if fields.len() != 3 {
-                    return Err(malformed("const needs a name and 0/1"));
+                if words.len() != 3 {
+                    return Err(malformed(head.loc, "const needs a name and 0/1".to_string()));
                 }
-                let v = match fields[2] {
+                let v = match words[2].text.as_str() {
                     "0" => false,
                     "1" => true,
-                    _ => return Err(malformed("const value must be 0 or 1")),
+                    _ => {
+                        return Err(malformed(
+                            words[2].loc,
+                            "const value must be 0 or 1".to_string(),
+                        ))
+                    }
                 };
                 let id = nl.constant(v);
-                names.insert(fields[1].to_string(), id);
+                names.insert(words[1].text.clone(), id);
             }
             "gate" => {
-                if fields.len() < 4 {
-                    return Err(malformed("gate needs name, kind, inputs"));
+                if words.len() < 4 {
+                    return Err(malformed(head.loc, "gate needs name, kind, inputs".to_string()));
                 }
-                let kind = gate_kind_by_name(fields[2])
-                    .ok_or_else(|| malformed(&format!("unknown gate kind '{}'", fields[2])))?;
+                let kind = gate_kind_by_name(&words[2].text).ok_or_else(|| {
+                    malformed(words[2].loc, format!("unknown gate kind '{}'", words[2].text))
+                })?;
                 let mut inputs = Vec::new();
-                for f in &fields[3..] {
-                    let id = names.get(*f).ok_or_else(|| ParseNetlistError::UnknownName {
-                        line: lineno,
-                        name: f.to_string(),
-                    })?;
-                    inputs.push(*id);
+                for w in &words[3..] {
+                    inputs.push(*names.get(&w.text).ok_or_else(|| unknown(w))?);
                 }
-                let id = nl.gate(kind, inputs).map_err(|e| malformed(&e.to_string()))?;
-                nl.set_name(id, fields[1].to_string());
-                names.insert(fields[1].to_string(), id);
+                let id = nl.gate(kind, inputs).map_err(|e| malformed(head.loc, e.to_string()))?;
+                nl.set_name(id, words[1].text.clone());
+                names.insert(words[1].text.clone(), id);
             }
             "dff" => {
-                if fields.len() != 4 {
-                    return Err(malformed("dff needs name, data input, init"));
+                if words.len() != 4 {
+                    return Err(malformed(
+                        head.loc,
+                        "dff needs name, data input, init".to_string(),
+                    ));
                 }
-                let init = match fields[3] {
+                let init = match words[3].text.as_str() {
                     "0" => false,
                     "1" => true,
-                    _ => return Err(malformed("dff init must be 0 or 1")),
+                    _ => {
+                        return Err(malformed(words[3].loc, "dff init must be 0 or 1".to_string()))
+                    }
                 };
                 let q = nl.dff_placeholder(init);
-                nl.set_name(q, fields[1].to_string());
-                names.insert(fields[1].to_string(), q);
-                dff_fixups.push((lineno, q, fields[2].to_string()));
+                nl.set_name(q, words[1].text.clone());
+                names.insert(words[1].text.clone(), q);
+                dff_fixups.push((words[2].clone(), q));
             }
             "output" => {
-                if fields.len() != 3 {
-                    return Err(malformed("output needs a name and a node"));
+                if words.len() != 3 {
+                    return Err(malformed(head.loc, "output needs a name and a node".to_string()));
                 }
-                let id = names.get(fields[2]).ok_or_else(|| ParseNetlistError::UnknownName {
-                    line: lineno,
-                    name: fields[2].to_string(),
-                })?;
-                nl.set_output(fields[1].to_string(), *id);
+                let id = *names.get(&words[2].text).ok_or_else(|| unknown(&words[2]))?;
+                nl.set_output(words[1].text.clone(), id);
             }
             "group" => {
-                if fields.len() != 3 {
-                    return Err(malformed("group needs a node and a group name"));
+                if words.len() != 3 {
+                    return Err(malformed(
+                        head.loc,
+                        "group needs a node and a group name".to_string(),
+                    ));
                 }
-                let id = *names.get(fields[1]).ok_or_else(|| ParseNetlistError::UnknownName {
-                    line: lineno,
-                    name: fields[1].to_string(),
-                })?;
-                let g = nl.group(fields[2].to_string());
+                let id = *names.get(&words[1].text).ok_or_else(|| unknown(&words[1]))?;
+                let g = nl.group(words[2].text.clone());
                 nl.set_node_group(id, g);
             }
-            other => return Err(malformed(&format!("unknown declaration '{other}'"))),
+            other => return Err(malformed(head.loc, format!("unknown declaration '{other}'"))),
         }
     }
-    for (lineno, q, dname) in dff_fixups {
-        let d = *names
-            .get(&dname)
-            .ok_or(ParseNetlistError::UnknownName { line: lineno, name: dname })?;
+    for (w, q) in dff_fixups {
+        let d = *names.get(&w.text).ok_or_else(|| unknown(&w))?;
         nl.connect_dff_d(q, d);
     }
     Ok(nl)
@@ -287,6 +331,36 @@ mod tests {
             parse_netlist("input a\ngate g frob a a\n"),
             Err(ParseNetlistError::Malformed { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn parse_errors_carry_columns_and_snippets() {
+        // The undeclared name is the fifth word: column 14 of line 2.
+        match parse_netlist("input a\ngate g and a ghost\n").unwrap_err() {
+            ParseNetlistError::UnknownName { line, col, snippet, name } => {
+                assert_eq!((line, col), (2, 14));
+                assert_eq!(snippet, "gate g and a ghost");
+                assert_eq!(name, "ghost");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // The bad gate kind points at the kind word, not the line start.
+        match parse_netlist("input a\n  gate g frob a a\n").unwrap_err() {
+            ParseNetlistError::Malformed { line, col, snippet, .. } => {
+                assert_eq!((line, col), (2, 10));
+                assert_eq!(snippet, "  gate g frob a a");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Conversion into the shared error type preserves the position.
+        let e: crate::NetlistError = parse_netlist("const c0 2\n").unwrap_err().into();
+        match e {
+            crate::NetlistError::ParseSyntax { format, at, .. } => {
+                assert_eq!(format, crate::SourceFormat::NativeNl);
+                assert_eq!((at.line, at.col), (1, 10));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@
 mod error;
 mod event;
 pub mod gen;
+pub mod ingest;
 pub mod io;
 mod library;
 mod montecarlo;
@@ -53,8 +54,12 @@ mod sim64timed;
 pub mod streams;
 pub mod words;
 
-pub use error::NetlistError;
+pub use error::{NetlistError, SourceFormat, SrcLoc};
 pub use event::{EventDrivenSim, TimedActivity};
+pub use ingest::{
+    emit_verilog, emitted_net_names, ingest_auto, ingest_str, parse_edif, parse_verilog,
+    sniff_format, structurally_equivalent,
+};
 pub use io::{parse_netlist, write_netlist, ParseNetlistError};
 pub use library::{GateKind, Library};
 pub use montecarlo::{

@@ -50,7 +50,7 @@ const WAVE: usize = 16;
 
 /// 64-lane words dispatched per scheduling wave of the packed kernel
 /// (`WAVE_WORDS * 64` batches per wave). Fixed for the same reason as
-/// [`WAVE`].
+/// `WAVE`.
 const WAVE_WORDS: usize = 4;
 
 /// The simulation kernel used by the seeded Monte-Carlo engine.
@@ -328,8 +328,8 @@ where
 /// [`monte_carlo_power_seeded_threads`] with an explicit simulation
 /// kernel.
 ///
-/// Work is scheduled in fixed-size waves of parallel tasks — [`WAVE`]
-/// single-batch tasks for the scalar kernel, [`WAVE_WORDS`] 64-lane words
+/// Work is scheduled in fixed-size waves of parallel tasks — `WAVE`
+/// single-batch tasks for the scalar kernel, `WAVE_WORDS` 64-lane words
 /// (64 batches each) for the packed kernel — and the serial stopping rule
 /// is replayed over the resulting power samples in batch-index order.
 /// Batch `b` is fed by `stream_fn(root.split(b))` under either kernel, a

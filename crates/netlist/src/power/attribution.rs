@@ -7,7 +7,7 @@
 //! list (every node, sorted by energy), per-group and per-bus rollups,
 //! and a collapsed-stack rendering for flamegraph tools.
 //!
-//! The attribution replicates [`PowerReport::from_activity`]'s arithmetic
+//! The attribution replicates `PowerReport::from_activity`'s arithmetic
 //! node-for-node in the same iteration order, so its totals reconcile
 //! with [`PowerReport::total_switched_cap_pf`] to ≤1e-9 relative error
 //! ([`AttributionReport::reconcile`] asserts this) — the profiler doubles
@@ -72,7 +72,7 @@ pub struct AttributionReport {
     /// Clock-tree switched capacitance over the run, in fF.
     pub clock_switched_cap_ff: f64,
     /// Total switched capacitance over the run, in fF, accumulated in
-    /// the same node order as [`PowerReport::from_activity`].
+    /// the same node order as `PowerReport::from_activity`.
     pub total_switched_cap_ff: f64,
     /// Total dynamic energy over the run, in fJ (net + internal + clock).
     pub total_energy_fj: f64,
@@ -167,7 +167,7 @@ fn bus_of(label: &str) -> Option<String> {
 ///
 /// The per-node arithmetic — load-capacitance switching energy plus the
 /// driving cell's internal energy, and the flip-flop clock-tree term —
-/// is exactly [`PowerReport::from_activity`]'s, evaluated in the same
+/// is exactly `PowerReport::from_activity`'s, evaluated in the same
 /// node order, so [`AttributionReport::reconcile`] holds by construction.
 pub fn attribute(netlist: &Netlist, lib: &Library, act: &Activity) -> AttributionReport {
     let caps = netlist.load_caps_ff(lib);

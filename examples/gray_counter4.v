@@ -1,0 +1,42 @@
+// 4-bit Gray-code counter with enable — a worked example for the
+// structural-Verilog front-end (docs/FORMATS.md). Try:
+//
+//   cargo run --release --bin repro -- --ingest examples/gray_counter4.v
+//
+// The binary state register b3..b0 increments while `en` is high; the
+// outputs are the Gray encoding g = b ^ (b >> 1), so exactly one output
+// bit toggles per enabled cycle.
+module gray_counter4 (en, g0, g1, g2, g3);
+  input en;
+  output g0, g1, g2, g3;
+  wire b0, b1, b2, b3;
+  wire d0, d1, d2, d3;
+  wire t1, t2, t3;
+
+  // State register: plain DFF cells, grouped for power attribution.
+  // b0 powers up at 1 so the count starts at 0001.
+  (* group = "state", init = 1'b1 *) DFF r0 (.Q(b0), .D(d0), .CK(clk));
+  (* group = "state" *)              DFF r1 (.Q(b1), .D(d1), .CK(clk));
+  (* group = "state" *)              DFF r2 (.Q(b2), .D(d2), .CK(clk));
+  (* group = "state" *)              DFF r3 (.Q(b3), .D(d3), .CK(clk));
+
+  // Ripple-carry increment: toggle bit k when all lower bits are 1.
+  (* group = "increment" *) xor x0 (d0, b0, en);
+  (* group = "increment" *) and c1 (t1, en, b0);
+  (* group = "increment" *) xor x1 (d1, b1, t1);
+  (* group = "increment" *) and c2 (t2, t1, b1);
+  (* group = "increment" *) xor x2 (d2, b2, t2);
+  (* group = "increment" *) and c3 (t3, t2, b2);
+  (* group = "increment" *) xor x3 (d3, b3, t3);
+
+  // Gray encoding of the binary state.
+  XOR2 e0 (.Y(g0), .A(b0), .B(b1));
+  XOR2 e1 (.Y(g1), .A(b1), .B(b2));
+  XOR2 e2 (.Y(g2), .A(b2), .B(b3));
+  BUFX1 e3 (.Y(g3), .A(b3));
+
+  // The clock pin is accepted and ignored (single implicit clock
+  // domain), but the net must still be driven.
+  wire clk;
+  assign clk = 1'b0;
+endmodule

@@ -1,0 +1,108 @@
+//! Executes `docs/FORMATS.md`: every fenced code block tagged `nl`,
+//! `verilog`, or `edif` must parse cleanly with the matching front-end,
+//! and blocks additionally tagged `error=<Variant>` must fail with
+//! exactly that [`NetlistError`] variant. The formats reference can
+//! therefore never drift from the parsers it documents.
+
+use hlpower::netlist::{io, parse_edif, parse_verilog, NetlistError};
+
+/// One fenced code block from the document.
+struct Snippet {
+    /// 1-based line of the opening fence (for failure messages).
+    line: usize,
+    /// `nl`, `verilog`, or `edif`.
+    lang: String,
+    /// Expected error variant name, or `None` for must-parse blocks.
+    expect_error: Option<String>,
+    body: String,
+}
+
+fn formats_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/FORMATS.md");
+    std::fs::read_to_string(path).expect("docs/FORMATS.md exists")
+}
+
+/// Extracts the testable fenced blocks (` ```lang [error=Variant]`).
+fn snippets(doc: &str) -> Vec<Snippet> {
+    let mut out = Vec::new();
+    let mut lines = doc.lines().enumerate();
+    while let Some((i, line)) = lines.next() {
+        let Some(info) = line.trim_start().strip_prefix("```") else {
+            continue;
+        };
+        let mut words = info.split_whitespace();
+        let lang = words.next().unwrap_or("").to_string();
+        let expect_error = words.clone().find_map(|w| w.strip_prefix("error=")).map(str::to_string);
+        let mut body = String::new();
+        for (_, l) in lines.by_ref() {
+            if l.trim_start().starts_with("```") {
+                break;
+            }
+            body.push_str(l);
+            body.push('\n');
+        }
+        if matches!(lang.as_str(), "nl" | "verilog" | "edif") {
+            out.push(Snippet { line: i + 1, lang, expect_error, body });
+        }
+    }
+    out
+}
+
+/// The Debug name of the variant an error is, e.g. `ParseUnknownCell`.
+fn variant_name(e: &NetlistError) -> String {
+    let dbg = format!("{e:?}");
+    dbg.split(|c: char| !c.is_ascii_alphanumeric()).next().unwrap_or("").to_string()
+}
+
+fn parse_by_lang(lang: &str, src: &str) -> Result<(), NetlistError> {
+    match lang {
+        "verilog" => parse_verilog(src).map(|_| ()),
+        "edif" => parse_edif(src).map(|_| ()),
+        "nl" => io::parse_netlist(src).map(|_| ()).map_err(NetlistError::from),
+        other => panic!("unhandled snippet language {other}"),
+    }
+}
+
+#[test]
+fn formats_doc_has_testable_snippets_for_every_format() {
+    let doc = formats_md();
+    let snips = snippets(&doc);
+    for lang in ["nl", "verilog", "edif"] {
+        assert!(
+            snips.iter().any(|s| s.lang == lang && s.expect_error.is_none()),
+            "docs/FORMATS.md has no must-parse `{lang}` example"
+        );
+        assert!(
+            snips.iter().any(|s| s.lang == lang && s.expect_error.is_some()),
+            "docs/FORMATS.md has no expected-error `{lang}` example"
+        );
+    }
+}
+
+#[test]
+fn every_formats_doc_snippet_behaves_as_documented() {
+    let doc = formats_md();
+    for s in snippets(&doc) {
+        let result = parse_by_lang(&s.lang, &s.body);
+        match (&s.expect_error, result) {
+            (None, Ok(())) => {}
+            (None, Err(e)) => {
+                panic!("FORMATS.md:{}: `{}` example failed to parse: {e}", s.line, s.lang)
+            }
+            (Some(want), Err(e)) => {
+                let got = variant_name(&e);
+                assert_eq!(
+                    &got, want,
+                    "FORMATS.md:{}: `{}` example raised {got} ({e}), documented as {want}",
+                    s.line, s.lang
+                );
+            }
+            (Some(want), Ok(())) => {
+                panic!(
+                    "FORMATS.md:{}: `{}` example parsed cleanly, documented to fail with {want}",
+                    s.line, s.lang
+                )
+            }
+        }
+    }
+}
