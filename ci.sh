@@ -40,3 +40,9 @@ cargo bench --offline -p hlpower-bench --bench sim_throughput
 # (or if their glitch-power results are not bit-identical); dumps
 # results/BENCH_glitch.json.
 cargo bench --offline -p hlpower-bench --bench glitch_throughput
+# Wide-word kernel smoke: exits non-zero if the 256-lane Monte-Carlo
+# kernel is not faster than the 64-lane one (or if any width diverges
+# from packed64 by a single bit); dumps results/BENCH_wide.json. The
+# per-lane bit-identity battery itself runs in the test step above
+# (tests/wide_differential.rs).
+cargo bench --offline -p hlpower-bench --bench wide_throughput

@@ -15,6 +15,7 @@ use hlpower::netlist::{
     gen, monte_carlo_power_seeded_threads, streams, timed_activity, EventDrivenSim, Library,
     MonteCarloOptions, Netlist, TimedKernel, ZeroDelaySim,
 };
+use hlpower::optimize::rewrite::{demorgan_example, rewrite_gates, RewriteOptions};
 use hlpower_obs::metrics;
 use hlpower_obs::report::Snapshot;
 
@@ -37,6 +38,10 @@ pub const REQUIRED_NONZERO: &[(&str, &str)] = &[
     ("sim_ev_packed", "lane_cycles"),
     ("sim_ev_packed", "transitions"),
     ("sim_ev_packed", "glitches"),
+    ("sim_incremental", "records"),
+    ("sim_incremental", "resims"),
+    ("sim_incremental", "cone_nodes"),
+    ("sim_incremental", "reused_nodes"),
     ("bdd", "ite_calls"),
     ("bdd", "nodes_created"),
     ("bdd", "sift_rounds"),
@@ -111,6 +116,15 @@ pub fn run_smoke() -> Snapshot {
     // combinational kernel: `sim_packed.blocks`).
     let harness = ModuleHarness::adder(8, Library::default());
     harness.trace(streams::random(17, 16).take(130)).expect("smoke trace");
+
+    // Dirty-cone incremental re-simulation, via the rewrite pass that is
+    // its canonical consumer (drives record + resim + commit, so all four
+    // `sim_incremental` counters move).
+    let rnl = demorgan_example(4);
+    let rstream: Vec<Vec<bool>> = streams::random(23, rnl.input_count()).take(128).collect();
+    let rewritten = rewrite_gates(&rnl, &lib, &rstream, &RewriteOptions::default())
+        .expect("smoke rewrite pass");
+    assert!(rewritten.optimized_uw <= rewritten.baseline_uw);
 
     metrics::snapshot()
 }

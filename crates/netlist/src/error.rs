@@ -187,6 +187,14 @@ pub enum NetlistError {
         /// The multiply-driven net name.
         name: String,
     },
+    /// A mutated netlist handed to [`crate::IncrementalSim::resim`] is not
+    /// an incremental edit of the recorded base netlist: its primary
+    /// inputs differ, it contains flip-flops, nodes were removed, or a
+    /// pre-existing node changed without being declared in the change set.
+    IncrementalMismatch {
+        /// Human-readable description of the violated precondition.
+        reason: String,
+    },
     /// A net is read (by an instance pin or a primary output) but has no
     /// driver: no instance output, assign, constant, or input port.
     ParseUndriven {
@@ -237,6 +245,9 @@ impl fmt::Display for NetlistError {
                     "timed activity size mismatch: {toggles} toggle entries vs {functional} \
                      functional entries"
                 )
+            }
+            NetlistError::IncrementalMismatch { reason } => {
+                write!(f, "netlist is not an incremental edit of the recorded base: {reason}")
             }
             NetlistError::ParseSyntax { format, at, message } => {
                 write!(f, "{format} parse error at {at}: {message}")

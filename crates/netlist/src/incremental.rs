@@ -1,0 +1,524 @@
+//! Dirty-cone incremental re-simulation for optimization loops.
+//!
+//! An optimize pass that rewrites `k` gates of an `n`-gate netlist does
+//! not need a full recompile-and-replay to re-score the candidate: only
+//! the **output cone** of the touched gates (their forward closure through
+//! the fanout graph) can change value, and every other node's packed
+//! stimulus response is already known. [`IncrementalSim`] records one
+//! full time-packed evaluation of a combinational netlist over a stimulus
+//! stream (64 cycles per `u64` word, the [`crate::BlockSim64`] packing),
+//! caches every node's words, and then answers *"what does this mutated
+//! netlist do on the same stream?"* by re-evaluating just the dirty cone
+//! against the cached fan-in words — no instruction-stream recompile, no
+//! replay of untouched nodes.
+//!
+//! The result of a [`resim`](IncrementalSim::resim) is a [`ConeResim`]:
+//! the cone that was re-evaluated, the subset of nodes whose values
+//! actually changed, and a full [`Activity`] for the mutated netlist that
+//! is **bit-identical** to a from-scratch recording (the in-tree property
+//! battery locks this in, together with the cone-superset invariant).
+//! Accepted candidates are folded back with
+//! [`commit`](IncrementalSim::commit), which updates the cache in
+//! `O(cone)` and re-arms the simulator for the next mutation.
+//!
+//! Mutations are expressed with [`crate::Netlist::replace_gate`] (in-place
+//! rewiring, node ids stable) plus ordinary append-only construction for
+//! new logic; [`crate::optimize::rewrite`] in the optimize crate is the
+//! canonical consumer, and the PR 5 attribution profiler consumes the
+//! delta activity through [`crate::attribute_delta`].
+
+use hlpower_obs::metrics as obs;
+
+use crate::error::NetlistError;
+use crate::library::GateKind;
+use crate::netlist::{Netlist, NodeId, NodeKind};
+use crate::sim::Activity;
+use crate::sim64::{broadcast, Program};
+
+/// A recorded time-packed simulation of a combinational netlist over a
+/// fixed stimulus stream, supporting dirty-cone re-simulation of mutated
+/// variants. See the `incremental` module docs for the workflow.
+#[derive(Debug, Clone)]
+pub struct IncrementalSim {
+    /// The netlist the cached values correspond to (owned so mutated
+    /// variants can be derived from it freely).
+    base: Netlist,
+    /// Number of stimulus vectors recorded.
+    n_vectors: usize,
+    /// `u64` words per node (`n_vectors.div_ceil(64)`).
+    blocks: usize,
+    /// Valid-bit mask of the final block.
+    tail_mask: u64,
+    /// Cached packed values, `node * blocks + b`; bit `c` of block `b` is
+    /// the node's settled value on vector `b * 64 + c`.
+    values: Vec<u64>,
+    /// Exact per-node toggle counts over the recorded stream.
+    toggles: Vec<u64>,
+}
+
+/// The outcome of one dirty-cone re-simulation
+/// ([`IncrementalSim::resim`]): which nodes were re-evaluated, which
+/// actually changed, and the mutated netlist's full activity.
+#[derive(Debug, Clone)]
+pub struct ConeResim {
+    /// Every node that was re-evaluated (the mutation seeds, all appended
+    /// nodes, and their forward closure), in evaluation (topological)
+    /// order. Guaranteed to be a superset of
+    /// [`changed_values`](Self::changed_values).
+    pub cone: Vec<NodeId>,
+    /// The cone nodes whose packed values differ from the cached base
+    /// recording (appended nodes always count: they had no prior value).
+    pub changed_values: Vec<NodeId>,
+    /// Activity of the mutated netlist over the recorded stream,
+    /// bit-identical to a from-scratch [`IncrementalSim::record`] of the
+    /// mutated netlist.
+    pub activity: Activity,
+    /// Re-evaluated packed values, parallel to `cone` (blocks per node).
+    updates: Vec<Vec<u64>>,
+}
+
+/// Evaluates one gate function over packed words.
+#[inline]
+fn eval_gate(kind: GateKind, inputs: &[NodeId], get: impl Fn(NodeId) -> u64) -> u64 {
+    let fold =
+        |unit: u64, f: fn(u64, u64) -> u64| inputs.iter().fold(unit, |acc, &i| f(acc, get(i)));
+    match kind {
+        GateKind::Buf => get(inputs[0]),
+        GateKind::Not => !get(inputs[0]),
+        GateKind::And => fold(!0, |a, b| a & b),
+        GateKind::Or => fold(0, |a, b| a | b),
+        GateKind::Nand => !fold(!0, |a, b| a & b),
+        GateKind::Nor => !fold(0, |a, b| a | b),
+        GateKind::Xor => fold(0, |a, b| a ^ b),
+        GateKind::Xnor => !fold(0, |a, b| a ^ b),
+        GateKind::Mux => {
+            let s = get(inputs[0]);
+            (!s & get(inputs[1])) | (s & get(inputs[2]))
+        }
+    }
+}
+
+/// Exact toggle count of one node's packed value words: transitions
+/// between consecutive valid cycles, with the scalar "first vector
+/// initializes" rule (cycle 0 toggles nothing) and cross-block carry.
+fn toggles_of(words: &[u64], n_vectors: usize) -> u64 {
+    let mut total = 0u64;
+    let mut carry = words[0] & 1;
+    for (b, &w) in words.iter().enumerate() {
+        let valid = (n_vectors - b * 64).min(64);
+        let mask = if valid == 64 { !0 } else { (1u64 << valid) - 1 };
+        total += ((w ^ ((w << 1) | carry)) & mask).count_ones() as u64;
+        carry = (w >> (valid - 1)) & 1;
+    }
+    total
+}
+
+impl IncrementalSim {
+    /// Records a full time-packed evaluation of `netlist` over `stream`,
+    /// caching every node's packed values for later dirty-cone
+    /// re-simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotCombinational`] for sequential netlists
+    /// (time-packed words cannot express cycle-to-cycle state),
+    /// [`NetlistError::EmptyStream`] for an empty stream,
+    /// [`NetlistError::InputWidthMismatch`] for a bad vector width, or
+    /// [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn record(netlist: &Netlist, stream: &[Vec<bool>]) -> Result<Self, NetlistError> {
+        if !netlist.dffs().is_empty() {
+            return Err(NetlistError::NotCombinational { dffs: netlist.dffs().len() });
+        }
+        if stream.is_empty() {
+            return Err(NetlistError::EmptyStream);
+        }
+        let width = netlist.input_count();
+        for v in stream {
+            if v.len() != width {
+                return Err(NetlistError::InputWidthMismatch { got: v.len(), expected: width });
+            }
+        }
+        let program = Program::compile(netlist)?;
+        let n = netlist.node_count();
+        let n_vectors = stream.len();
+        let blocks = n_vectors.div_ceil(64);
+        let tail_valid = n_vectors - (blocks - 1) * 64;
+        let tail_mask = if tail_valid == 64 { !0 } else { (1u64 << tail_valid) - 1 };
+        let mut values = vec![0u64; n * blocks];
+        // Pack the stimulus into the input nodes' words.
+        for (c, v) in stream.iter().enumerate() {
+            let (b, bit) = (c / 64, c % 64);
+            for (i, &inp) in netlist.inputs().iter().enumerate() {
+                values[inp.index() * blocks + b] |= (v[i] as u64) << bit;
+            }
+        }
+        // Evaluate block by block: gates only depend on same-cycle values,
+        // so each 64-cycle block settles independently.
+        let mut cur = program.init_words::<u64>();
+        for b in 0..blocks {
+            for &inp in netlist.inputs() {
+                cur[inp.index()] = values[inp.index() * blocks + b];
+            }
+            for ins in &program.instrs {
+                cur[ins.out as usize] = program.eval(&cur, ins);
+            }
+            for node in 0..n {
+                values[node * blocks + b] = cur[node];
+            }
+        }
+        let toggles = (0..n)
+            .map(|node| toggles_of(&values[node * blocks..(node + 1) * blocks], n_vectors))
+            .collect();
+        obs::SIM_INC_RECORDS.inc();
+        Ok(IncrementalSim { base: netlist.clone(), n_vectors, blocks, tail_mask, values, toggles })
+    }
+
+    /// The netlist the cached recording corresponds to (updated by
+    /// [`commit`](Self::commit)).
+    pub fn base(&self) -> &Netlist {
+        &self.base
+    }
+
+    /// Number of stimulus vectors in the recorded stream.
+    pub fn vectors(&self) -> usize {
+        self.n_vectors
+    }
+
+    /// The cached packed value words of a node (bit `c` of word `b` is
+    /// the settled value on vector `b * 64 + c`; trailing bits of the
+    /// final word are zero-padding).
+    pub fn value_words(&self, node: NodeId) -> &[u64] {
+        &self.values[node.index() * self.blocks..(node.index() + 1) * self.blocks]
+    }
+
+    /// Activity of the base netlist over the recorded stream,
+    /// bit-identical to a scalar [`crate::ZeroDelaySim`] run.
+    pub fn activity(&self) -> Activity {
+        Activity { toggles: self.toggles.clone(), cycles: (self.n_vectors - 1) as u64 }
+    }
+
+    /// Re-simulates a mutated variant of the base netlist over the
+    /// recorded stream by evaluating only the dirty cone: the forward
+    /// closure of the `changed` gates plus any appended nodes. Untouched
+    /// nodes reuse their cached words verbatim.
+    ///
+    /// `mutated` must be an *incremental edit* of the base: same primary
+    /// inputs, no flip-flops, no removed nodes, and every pre-existing
+    /// node that differs from the base declared in `changed`
+    /// (out-of-cone nodes are never re-checked — an undeclared edit would
+    /// silently desynchronize the cache, so it is rejected up front).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::IncrementalMismatch`] if `mutated` violates
+    /// the preconditions above, or
+    /// [`NetlistError::CombinationalCycle`] if the rewiring introduced a
+    /// cycle.
+    pub fn resim(&self, mutated: &Netlist, changed: &[NodeId]) -> Result<ConeResim, NetlistError> {
+        let n_base = self.base.node_count();
+        let n_new = mutated.node_count();
+        let mismatch = |reason: String| NetlistError::IncrementalMismatch { reason };
+        if !mutated.dffs().is_empty() {
+            return Err(mismatch(format!(
+                "mutated netlist contains {} flip-flops",
+                mutated.dffs().len()
+            )));
+        }
+        if n_new < n_base {
+            return Err(mismatch(format!(
+                "mutated netlist has {n_new} nodes, base has {n_base} (nodes were removed)"
+            )));
+        }
+        if mutated.inputs() != self.base.inputs() {
+            return Err(mismatch("primary inputs differ from the base netlist".into()));
+        }
+        let mut in_changed = vec![false; n_new];
+        for &c in changed {
+            if c.index() >= n_new {
+                return Err(mismatch(format!("changed node {c} is out of range")));
+            }
+            if !matches!(mutated.kind(c), NodeKind::Gate { .. }) {
+                return Err(mismatch(format!("changed node {c} is not a combinational gate")));
+            }
+            in_changed[c.index()] = true;
+        }
+        for id in self.base.node_ids() {
+            if !in_changed[id.index()] && self.base.kind(id) != mutated.kind(id) {
+                return Err(mismatch(format!(
+                    "node {id} differs from the base but is not in the change set"
+                )));
+            }
+        }
+        // Topological order of the mutated netlist: rewiring can invalidate
+        // the base instruction order, and this is also where a freshly
+        // introduced combinational cycle surfaces.
+        let order = mutated.topo_order()?;
+        // Dirty cone: changed gates and appended nodes, plus their forward
+        // closure through the fanout graph.
+        let fanouts = mutated.fanouts();
+        let mut in_cone = vec![false; n_new];
+        let mut stack: Vec<usize> =
+            changed.iter().map(|c| c.index()).chain(n_base..n_new).collect();
+        while let Some(u) = stack.pop() {
+            if in_cone[u] {
+                continue;
+            }
+            in_cone[u] = true;
+            for &f in &fanouts[u] {
+                if !in_cone[f.index()] {
+                    stack.push(f.index());
+                }
+            }
+        }
+        let cone: Vec<NodeId> = order.iter().copied().filter(|id| in_cone[id.index()]).collect();
+        let mut update_of = vec![usize::MAX; n_new];
+        for (ci, &id) in cone.iter().enumerate() {
+            update_of[id.index()] = ci;
+        }
+        // Re-evaluate the cone block by block against cached fan-in words.
+        let blocks = self.blocks;
+        let mut updates: Vec<Vec<u64>> = vec![vec![0u64; blocks]; cone.len()];
+        for b in 0..blocks {
+            for ci in 0..cone.len() {
+                let id = cone[ci];
+                let w = match mutated.kind(id) {
+                    NodeKind::Const(v) => broadcast(*v),
+                    NodeKind::Gate { kind, inputs } => eval_gate(*kind, inputs, |f| {
+                        let u = update_of[f.index()];
+                        if u != usize::MAX {
+                            // Cone fan-ins precede ci in topological order.
+                            updates[u][b]
+                        } else {
+                            self.values[f.index() * blocks + b]
+                        }
+                    }),
+                    // Inputs are never in the cone (they have no declared
+                    // change and cannot be appended), and flip-flops were
+                    // rejected above.
+                    other => {
+                        return Err(mismatch(format!(
+                            "cone node {id} has non-combinational kind {other:?}"
+                        )))
+                    }
+                };
+                updates[ci][b] = w;
+            }
+        }
+        // Which cone nodes actually changed value on a valid cycle?
+        let mut changed_values = Vec::new();
+        for (ci, &id) in cone.iter().enumerate() {
+            let differs = if id.index() >= n_base {
+                true // newly appended: no prior value to agree with
+            } else {
+                let old = &self.values[id.index() * blocks..(id.index() + 1) * blocks];
+                (0..blocks).any(|b| {
+                    let mask = if b + 1 == blocks { self.tail_mask } else { !0 };
+                    (old[b] ^ updates[ci][b]) & mask != 0
+                })
+            };
+            if differs {
+                changed_values.push(id);
+            }
+        }
+        // Delta activity: untouched nodes keep their recorded toggle
+        // counts, cone nodes are re-counted from their new words.
+        let mut toggles = vec![0u64; n_new];
+        toggles[..n_base].copy_from_slice(&self.toggles);
+        for (ci, &id) in cone.iter().enumerate() {
+            toggles[id.index()] = toggles_of(&updates[ci], self.n_vectors);
+        }
+        obs::SIM_INC_RESIMS.inc();
+        obs::SIM_INC_CONE_NODES.add(cone.len() as u64);
+        obs::SIM_INC_REUSED_NODES.add((n_new - cone.len()) as u64);
+        Ok(ConeResim {
+            cone,
+            changed_values,
+            activity: Activity { toggles, cycles: (self.n_vectors - 1) as u64 },
+            updates,
+        })
+    }
+
+    /// Folds an accepted mutation back into the cache in `O(cone)`:
+    /// `mutated` becomes the new base and the re-evaluated words replace
+    /// the stale ones, so the next [`resim`](Self::resim) builds on it.
+    ///
+    /// `resim` must be the result of [`Self::resim`] for exactly this
+    /// `mutated` netlist.
+    pub fn commit(&mut self, mutated: &Netlist, resim: ConeResim) {
+        let n_new = mutated.node_count();
+        debug_assert_eq!(resim.activity.toggles.len(), n_new, "resim is for a different netlist");
+        let blocks = self.blocks;
+        let mut values = std::mem::take(&mut self.values);
+        values.resize(n_new * blocks, 0);
+        for (ci, &id) in resim.cone.iter().enumerate() {
+            values[id.index() * blocks..(id.index() + 1) * blocks]
+                .copy_from_slice(&resim.updates[ci]);
+        }
+        self.values = values;
+        self.toggles = resim.activity.toggles;
+        self.base = mutated.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::Library;
+    use crate::sim::ZeroDelaySim;
+    use crate::{gen, streams};
+
+    fn adder(bits: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", bits);
+        let b = nl.input_bus("b", bits);
+        let c0 = nl.constant(false);
+        let s = gen::ripple_adder(&mut nl, &a, &b, c0);
+        nl.output_bus("s", &s);
+        nl
+    }
+
+    fn stream_for(nl: &Netlist, seed: u64, cycles: usize) -> Vec<Vec<bool>> {
+        streams::random(seed, nl.input_count()).take(cycles).collect()
+    }
+
+    #[test]
+    fn recording_matches_the_scalar_oracle() {
+        let nl = adder(6);
+        let stream = stream_for(&nl, 11, 130);
+        let inc = IncrementalSim::record(&nl, &stream).unwrap();
+        let mut scalar = ZeroDelaySim::new(&nl).unwrap();
+        let act = scalar.run(stream.iter().cloned()).unwrap();
+        assert_eq!(inc.activity(), act);
+    }
+
+    #[test]
+    fn resim_matches_full_rerecord_after_a_rewrite() {
+        let nl = adder(5);
+        let stream = stream_for(&nl, 3, 200);
+        let inc = IncrementalSim::record(&nl, &stream).unwrap();
+        // Rewire the first 2-input XOR into an XNOR (a real functional
+        // change) and check the dirty-cone result against a full rerecord.
+        let mut mutated = nl.clone();
+        let target = mutated
+            .node_ids()
+            .find(|&id| {
+                matches!(mutated.kind(id),
+                    NodeKind::Gate { kind: GateKind::Xor, inputs } if inputs.len() == 2)
+            })
+            .unwrap();
+        let NodeKind::Gate { inputs, .. } = mutated.kind(target).clone() else { unreachable!() };
+        mutated.replace_gate(target, GateKind::Xnor, inputs).unwrap();
+        let resim = inc.resim(&mutated, &[target]).unwrap();
+        let full = IncrementalSim::record(&mutated, &stream).unwrap();
+        assert_eq!(resim.activity, full.activity());
+        // Cone covers everything that changed.
+        for &id in &resim.changed_values {
+            assert!(resim.cone.contains(&id));
+        }
+        assert!(resim.changed_values.contains(&target));
+        // Untouched siblings were not re-evaluated.
+        assert!(resim.cone.len() < mutated.node_count());
+    }
+
+    #[test]
+    fn commit_chains_mutations() {
+        let nl = adder(4);
+        let lib = Library::default();
+        let stream = stream_for(&nl, 9, 150);
+        let mut inc = IncrementalSim::record(&nl, &stream).unwrap();
+        let mut current = nl.clone();
+        // Two successive mutations, committing each; the cache must track.
+        for flip in 0..2usize {
+            let target = current
+                .node_ids()
+                .filter(|&id| {
+                    matches!(current.kind(id),
+                        NodeKind::Gate { kind: GateKind::And, inputs } if inputs.len() == 2)
+                })
+                .nth(flip)
+                .unwrap();
+            let NodeKind::Gate { inputs, .. } = current.kind(target).clone() else {
+                unreachable!()
+            };
+            let mut mutated = current.clone();
+            mutated.replace_gate(target, GateKind::Nand, inputs).unwrap();
+            let resim = inc.resim(&mutated, &[target]).unwrap();
+            inc.commit(&mutated, resim);
+            current = mutated;
+        }
+        let full = IncrementalSim::record(&current, &stream).unwrap();
+        assert_eq!(inc.activity(), full.activity());
+        assert_eq!(
+            inc.activity().power(&current, &lib).total_power_uw().to_bits(),
+            full.activity().power(&current, &lib).total_power_uw().to_bits()
+        );
+    }
+
+    #[test]
+    fn appended_logic_joins_the_cone() {
+        let nl = adder(4);
+        let stream = stream_for(&nl, 21, 90);
+        let inc = IncrementalSim::record(&nl, &stream).unwrap();
+        // Append an inverter chain and repoint an existing gate at it.
+        let mut mutated = nl.clone();
+        let a0 = mutated.inputs()[0];
+        let inv = mutated.not(a0);
+        let target = mutated
+            .node_ids()
+            .find(|&id| {
+                matches!(mutated.kind(id),
+                    NodeKind::Gate { kind: GateKind::Or, inputs } if inputs.len() == 2)
+            })
+            .unwrap();
+        let NodeKind::Gate { inputs, .. } = mutated.kind(target).clone() else { unreachable!() };
+        mutated.replace_gate(target, GateKind::Or, vec![inputs[0], inv]).unwrap();
+        let resim = inc.resim(&mutated, &[target]).unwrap();
+        assert!(resim.cone.contains(&inv));
+        let full = IncrementalSim::record(&mutated, &stream).unwrap();
+        assert_eq!(resim.activity, full.activity());
+    }
+
+    #[test]
+    fn undeclared_edits_and_bad_bases_are_rejected() {
+        let nl = adder(4);
+        let stream = stream_for(&nl, 5, 70);
+        let inc = IncrementalSim::record(&nl, &stream).unwrap();
+        // Undeclared edit.
+        let mut sneaky = nl.clone();
+        let target = sneaky
+            .node_ids()
+            .find(|&id| {
+                matches!(sneaky.kind(id),
+                    NodeKind::Gate { kind: GateKind::And, inputs } if inputs.len() == 2)
+            })
+            .unwrap();
+        let NodeKind::Gate { inputs, .. } = sneaky.kind(target).clone() else { unreachable!() };
+        sneaky.replace_gate(target, GateKind::Nand, inputs).unwrap();
+        assert!(matches!(inc.resim(&sneaky, &[]), Err(NetlistError::IncrementalMismatch { .. })));
+        // Different inputs.
+        let mut extra_input = nl.clone();
+        extra_input.input("z");
+        assert!(matches!(
+            inc.resim(&extra_input, &[]),
+            Err(NetlistError::IncrementalMismatch { .. })
+        ));
+        // Sequential base is rejected outright.
+        let mut seq = Netlist::new();
+        let x = seq.input("x");
+        let q = seq.dff(x, false);
+        seq.set_output("q", q);
+        assert!(matches!(
+            IncrementalSim::record(&seq, &[vec![false]]),
+            Err(NetlistError::NotCombinational { .. })
+        ));
+        // A rewiring that introduces a cycle surfaces as such.
+        let mut cyclic = nl.clone();
+        let NodeKind::Gate { inputs, kind } = cyclic.kind(target).clone() else { unreachable!() };
+        let downstream = NodeId(cyclic.node_count() as u32 - 1);
+        cyclic.replace_gate(target, kind, vec![inputs[0], downstream]).unwrap();
+        assert!(matches!(
+            inc.resim(&cyclic, &[target]),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+}

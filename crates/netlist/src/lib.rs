@@ -41,6 +41,7 @@
 mod error;
 mod event;
 pub mod gen;
+mod incremental;
 pub mod ingest;
 pub mod io;
 mod library;
@@ -51,11 +52,13 @@ mod prob;
 mod sim;
 mod sim64;
 mod sim64timed;
+mod simwide;
 pub mod streams;
 pub mod words;
 
 pub use error::{NetlistError, SourceFormat, SrcLoc};
 pub use event::{EventDrivenSim, TimedActivity};
+pub use incremental::{ConeResim, IncrementalSim};
 pub use ingest::{
     emit_verilog, emitted_net_names, ingest_auto, ingest_str, parse_edif, parse_verilog,
     sniff_format, structurally_equivalent,
@@ -69,9 +72,13 @@ pub use montecarlo::{
     MonteCarloOptions, MonteCarloResult,
 };
 pub use netlist::{Bus, GroupId, Netlist, NodeId, NodeKind};
-pub use power::attribution::{attribute, AttributionReport, NodeAttribution, RollupEntry};
-pub use power::{GroupPower, PowerReport};
+pub use power::attribution::{
+    attribute, attribute_delta, AttributionReport, NodeAttribution, RollupEntry,
+};
+pub use power::{GroupPower, PowerModel, PowerReport};
 pub use prob::{ProbabilityAnalysis, SignalStats};
 pub use sim::{Activity, ZeroDelaySim};
 pub use sim64::{BlockSim64, Sim64, LANES};
 pub use sim64timed::{timed_activity, TimedKernel, TimedSim64};
+pub use simwide::{simd_level, SimdLevel, WideSim, WideTimedSim};
+pub use words::{Word, W256, W512};

@@ -15,13 +15,15 @@
 //!   count** — `threads = 1` and `threads = 64` return the same
 //!   `MonteCarloResult`, exactly.
 //!
-//! The seeded engine runs on one of two simulation kernels ([`McKernel`]):
-//! the scalar [`ZeroDelaySim`] (one simulator per batch) or the default
-//! bit-parallel [`Sim64`], which packs 64 batches into the 64 bit lanes of
-//! one compiled simulator instance. Per-lane toggle counts are exact
-//! integers, so the two kernels produce **bit-identical results** — the
-//! packed kernel is purely a wall-clock optimization and the scalar kernel
-//! remains available as the differential oracle.
+//! The seeded engine runs on one of several simulation kernels
+//! ([`McKernel`]): the scalar [`ZeroDelaySim`] (one simulator per batch)
+//! or a bit-parallel [`crate::WideSim`] at 64, 256, or 512 lanes, which
+//! packs that many batches into the bit lanes of one compiled simulator
+//! instance ([`McKernel::Auto`], the default, picks the width from the
+//! batch budget). Per-lane toggle counts are exact integers, so every
+//! kernel produces **bit-identical results** — the packed kernels are
+//! purely a wall-clock optimization and the scalar kernel remains
+//! available as the differential oracle.
 //!
 //! The serial and seeded forms are statistically equivalent but not
 //! bit-compatible with each other: the seeded engine restarts the
@@ -36,9 +38,11 @@ use crate::error::NetlistError;
 use crate::event::EventDrivenSim;
 use crate::library::Library;
 use crate::netlist::Netlist;
+use crate::power::PowerModel;
 use crate::sim::ZeroDelaySim;
-use crate::sim64::{Sim64, LANES};
-use crate::sim64timed::{TimedKernel, TimedSim64};
+use crate::sim64timed::TimedKernel;
+use crate::simwide::{WideSim, WideTimedSim};
+use crate::words::{Word, W256, W512};
 
 /// Batches dispatched per scheduling wave of the scalar kernel.
 ///
@@ -48,24 +52,65 @@ use crate::sim64timed::{TimedKernel, TimedSim64};
 /// across thread counts.
 const WAVE: usize = 16;
 
-/// 64-lane words dispatched per scheduling wave of the packed kernel
-/// (`WAVE_WORDS * 64` batches per wave). Fixed for the same reason as
+/// Packed words dispatched per scheduling wave of the packed kernels
+/// (`WAVE_WORDS * lanes` batches per wave). Fixed for the same reason as
 /// `WAVE`.
 const WAVE_WORDS: usize = 4;
 
 /// The simulation kernel used by the seeded Monte-Carlo engine.
 ///
-/// Both kernels return bit-identical [`MonteCarloResult`]s for the same
-/// `(netlist, lib, stream_fn, seed, opts)`: batch `b` of the packed kernel
-/// is lane `b % 64` of word `b / 64`, fed by the same split stream
+/// Every kernel returns bit-identical [`MonteCarloResult`]s for the same
+/// `(netlist, lib, stream_fn, seed, opts)`: batch `b` of a packed kernel
+/// is lane `b % lanes` of word `b / lanes`, fed by the same split stream
 /// `root.split(b)` a scalar batch would consume, and per-lane activities
-/// are exact. The only difference is wall clock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// are exact. The only difference between kernels is wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum McKernel {
     /// One scalar [`ZeroDelaySim`] per batch — the differential oracle.
     Scalar,
-    /// One bit-parallel [`Sim64`] per 64 batches (the default).
+    /// One bit-parallel 64-lane [`crate::Sim64`] per 64 batches.
     Packed64,
+    /// One 256-lane [`crate::WideSim`]`<`[`W256`]`>` per 256 batches.
+    Packed256,
+    /// One 512-lane [`crate::WideSim`]`<`[`W512`]`>` per 512 batches.
+    Packed512,
+    /// Picks the packed width from the batch budget at run time (the
+    /// default): [`Packed512`](Self::Packed512) when `max_batches >= 512`,
+    /// [`Packed256`](Self::Packed256) when `>= 256`, else
+    /// [`Packed64`](Self::Packed64). Result-invariant — every width
+    /// computes identical samples.
+    #[default]
+    Auto,
+}
+
+impl McKernel {
+    /// Resolves [`Auto`](Self::Auto) against the run's batch budget;
+    /// explicit kernels resolve to themselves.
+    pub fn resolve(self, max_batches: usize) -> Self {
+        match self {
+            McKernel::Auto if max_batches >= 512 => McKernel::Packed512,
+            McKernel::Auto if max_batches >= 256 => McKernel::Packed256,
+            McKernel::Auto => McKernel::Packed64,
+            explicit => explicit,
+        }
+    }
+
+    /// Batches simulated per task group: 1 for the scalar kernel, the
+    /// lane count for packed kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Auto`](Self::Auto) — call [`resolve`](Self::resolve)
+    /// first.
+    pub fn lanes(self) -> usize {
+        match self {
+            McKernel::Scalar => 1,
+            McKernel::Packed64 => 64,
+            McKernel::Packed256 => 256,
+            McKernel::Packed512 => 512,
+            McKernel::Auto => panic!("McKernel::Auto must be resolved before lanes()"),
+        }
+    }
 }
 
 /// Options controlling a Monte-Carlo power-estimation run.
@@ -296,7 +341,8 @@ where
 }
 
 /// [`monte_carlo_power_seeded`] with an explicit worker count, on the
-/// default [`McKernel::Packed64`] kernel.
+/// default [`McKernel::Auto`] kernel (packed width picked from the batch
+/// budget).
 ///
 /// # Errors
 ///
@@ -321,7 +367,7 @@ where
         seed,
         opts,
         threads,
-        McKernel::Packed64,
+        McKernel::default(),
     )
 }
 
@@ -329,16 +375,19 @@ where
 /// kernel.
 ///
 /// Work is scheduled in fixed-size waves of parallel tasks — `WAVE`
-/// single-batch tasks for the scalar kernel, `WAVE_WORDS` 64-lane words
-/// (64 batches each) for the packed kernel — and the serial stopping rule
-/// is replayed over the resulting power samples in batch-index order.
-/// Batch `b` is fed by `stream_fn(root.split(b))` under either kernel, a
-/// batch's sample is a pure function of the seed and its index, and the
-/// stopping decision is a pure function of the ordered sample prefix, so
-/// **every thread count and both kernels compute the identical result**;
-/// only the number of speculative batches discarded at the stop point
-/// (an `hlpower-obs` counter, not a result) depends on the kernel's wave
-/// granularity.
+/// single-batch tasks for the scalar kernel, `WAVE_WORDS` packed words
+/// (one batch per lane) for the packed kernels — and the serial stopping
+/// rule is replayed over the resulting power samples in batch-index
+/// order. Batch `b` is fed by `stream_fn(root.split(b))` under every
+/// kernel, a batch's sample is a pure function of the seed and its index,
+/// and the stopping decision is a pure function of the ordered sample
+/// prefix, so **every thread count and every kernel computes the
+/// identical result**; only the number of speculative batches discarded
+/// at the stop point (an `hlpower-obs` counter, not a result) depends on
+/// the kernel's wave granularity. A batch budget that is not a multiple
+/// of the lane count simply leaves the trailing lanes of the final word
+/// masked out — they are never simulated, not silently rounded up or
+/// down.
 ///
 /// # Errors
 ///
@@ -361,18 +410,33 @@ where
     // whichever worker happens to hit them first.
     ZeroDelaySim::new(netlist)?;
     let root = Rng::seed_from_u64(seed);
-    let packed = matches!(kernel, McKernel::Packed64);
-    seeded_wave_engine(opts, threads, packed, |base, lanes| match kernel {
-        McKernel::Scalar => {
-            Ok(vec![run_scalar_batch(netlist, lib, &stream_fn, &root, base, opts)?])
-        }
-        McKernel::Packed64 => run_packed_word(netlist, lib, &stream_fn, &root, base, lanes, opts),
-    })
+    // One coefficient table for the whole run: converting per-lane
+    // activities to power samples is the per-batch fixed cost, and doing
+    // it through `Activity::power` (which re-derives load caps and the
+    // group breakdown every call) used to dwarf the packed simulation.
+    let model = PowerModel::new(netlist, lib);
+    let kernel = kernel.resolve(opts.max_batches);
+    match kernel {
+        McKernel::Scalar => seeded_wave_engine(opts, threads, 1, |base, _lanes| {
+            Ok(vec![run_scalar_batch(netlist, &model, &stream_fn, &root, base, opts)?])
+        }),
+        McKernel::Packed64 => seeded_wave_engine(opts, threads, kernel.lanes(), |base, lanes| {
+            run_packed_word::<u64, _, _>(netlist, &model, &stream_fn, &root, base, lanes, opts)
+        }),
+        McKernel::Packed256 => seeded_wave_engine(opts, threads, kernel.lanes(), |base, lanes| {
+            run_packed_word::<W256, _, _>(netlist, &model, &stream_fn, &root, base, lanes, opts)
+        }),
+        McKernel::Packed512 => seeded_wave_engine(opts, threads, kernel.lanes(), |base, lanes| {
+            run_packed_word::<W512, _, _>(netlist, &model, &stream_fn, &root, base, lanes, opts)
+        }),
+        McKernel::Auto => unreachable!("resolve never returns Auto"),
+    }
 }
 
 /// Parallel Monte-Carlo estimation of *glitch-aware* (real-delay) average
 /// power on the default worker count and the default
-/// [`TimedKernel::Packed64`] kernel.
+/// [`TimedKernel::Auto`] kernel (packed width picked from the batch
+/// budget).
 ///
 /// This is the timed-simulation sibling of [`monte_carlo_power_seeded`]:
 /// identical batching, splitting, and stopping-rule semantics, but each
@@ -431,9 +495,11 @@ where
 /// [`monte_carlo_glitch_power_seeded_threads`] with an explicit timed
 /// kernel.
 ///
-/// Batch `b` is fed by `stream_fn(root.split(b))` under either kernel and
+/// Batch `b` is fed by `stream_fn(root.split(b))` under every kernel and
 /// per-lane timed activities are exact, so — as with the zero-delay engine
-/// — **every thread count and both kernels compute the identical result**.
+/// — **every thread count and every kernel computes the identical
+/// result**. [`TimedKernel::Auto`] resolves against the batch budget,
+/// exactly as [`McKernel::Auto`] does.
 ///
 /// # Errors
 ///
@@ -454,15 +520,37 @@ where
 {
     ZeroDelaySim::new(netlist)?;
     let root = Rng::seed_from_u64(seed);
-    let packed = matches!(kernel, TimedKernel::Packed64);
-    seeded_wave_engine(opts, threads, packed, |base, lanes| match kernel {
-        TimedKernel::Scalar => {
-            Ok(vec![run_scalar_glitch_batch(netlist, lib, &stream_fn, &root, base, opts)?])
-        }
+    // Shared coefficient table, as in the zero-delay engine above. The
+    // library is still threaded through for the simulators' delay model.
+    let model = PowerModel::new(netlist, lib);
+    let kernel = kernel.resolve(opts.max_batches);
+    match kernel {
+        TimedKernel::Scalar => seeded_wave_engine(opts, threads, 1, |base, _lanes| {
+            Ok(vec![run_scalar_glitch_batch(netlist, lib, &model, &stream_fn, &root, base, opts)?])
+        }),
         TimedKernel::Packed64 => {
-            run_packed_glitch_word(netlist, lib, &stream_fn, &root, base, lanes, opts)
+            seeded_wave_engine(opts, threads, kernel.lanes(), |base, lanes| {
+                run_packed_glitch_word::<u64, _, _>(
+                    netlist, lib, &model, &stream_fn, &root, base, lanes, opts,
+                )
+            })
         }
-    })
+        TimedKernel::Packed256 => {
+            seeded_wave_engine(opts, threads, kernel.lanes(), |base, lanes| {
+                run_packed_glitch_word::<W256, _, _>(
+                    netlist, lib, &model, &stream_fn, &root, base, lanes, opts,
+                )
+            })
+        }
+        TimedKernel::Packed512 => {
+            seeded_wave_engine(opts, threads, kernel.lanes(), |base, lanes| {
+                run_packed_glitch_word::<W512, _, _>(
+                    netlist, lib, &model, &stream_fn, &root, base, lanes, opts,
+                )
+            })
+        }
+        TimedKernel::Auto => unreachable!("resolve never returns Auto"),
+    }
 }
 
 /// The shared seeded-engine core: fixed-size speculative waves plus the
@@ -470,13 +558,18 @@ where
 ///
 /// `run_group(base, lanes)` simulates batches `base..base + lanes` and
 /// returns one `(power, cycles)` sample per batch (`None` for an empty
-/// stream). Wave shapes are a pure function of `(packed, remaining)`,
-/// never of the thread count, so the simulated-batch set — and therefore
-/// the result — is bit-identical for any `threads`.
+/// stream). `group_width` is the kernel's lane count (1 for scalar); the
+/// final group of a wave is *ragged* — `lanes < group_width` — when the
+/// remaining batch budget is not a multiple of the width, so the engine
+/// never simulates batches past `max_batches` (the kernel masks the
+/// unused trailing lanes out). Wave shapes are a pure function of
+/// `(group_width, remaining)`, never of the thread count, so the
+/// simulated-batch set — and therefore the result — is bit-identical for
+/// any `threads`.
 fn seeded_wave_engine<G>(
     opts: &MonteCarloOptions,
     threads: usize,
-    packed: bool,
+    group_width: usize,
     run_group: G,
 ) -> Result<MonteCarloResult, NetlistError>
 where
@@ -496,9 +589,12 @@ where
     while !exhausted && samples.len() < opts.max_batches {
         let remaining = opts.max_batches - samples.len();
         // Task groups for this wave as `(first batch index, batch count)`.
-        let groups: Vec<(u64, usize)> = if packed {
-            (0..WAVE_WORDS.min(remaining.div_ceil(LANES)))
-                .map(|w| (next_batch + (w * LANES) as u64, LANES))
+        let groups: Vec<(u64, usize)> = if group_width > 1 {
+            (0..WAVE_WORDS.min(remaining.div_ceil(group_width)))
+                .map(|w| {
+                    let off = w * group_width;
+                    (next_batch + off as u64, group_width.min(remaining - off))
+                })
                 .collect()
         } else {
             (0..WAVE.min(remaining)).map(|i| (next_batch + i as u64, 1)).collect()
@@ -575,7 +671,7 @@ where
 /// `stream_fn(root.split(batch))`. Returns `None` for an empty stream.
 fn run_scalar_batch<F, I>(
     netlist: &Netlist,
-    lib: &Library,
+    model: &PowerModel,
     stream_fn: &F,
     root: &Rng,
     batch: u64,
@@ -597,18 +693,20 @@ where
         return Ok(None);
     }
     let act = sim.take_activity();
-    Ok(Some((act.power(netlist, lib).total_power_uw(), act.cycles)))
+    Ok(Some((model.total_power_uw(&act), act.cycles)))
 }
 
 /// Simulates `lanes` consecutive batches (`base..base + lanes`) on one
-/// bit-parallel [`Sim64`]: lane `l` consumes `stream_fn(root.split(base +
-/// l))`, exactly the vectors the scalar kernel would feed batch `base +
-/// l`. Lanes whose streams end early are masked out of later steps, so
-/// each lane's activity — and therefore its power sample — is
-/// bit-identical to a scalar run of the same stream.
-fn run_packed_word<F, I>(
+/// bit-parallel [`WideSim`]: lane `l` consumes `stream_fn(root.split(base
+/// + l))`, exactly the vectors the scalar kernel would feed batch `base +
+/// l`. Lanes whose streams end early are masked out of later steps, and a
+/// ragged group (`lanes < W::LANES`, the tail of a batch budget that is
+/// not a multiple of the width) starts with its unused trailing lanes
+/// already dead, so each simulated lane's activity — and therefore its
+/// power sample — is bit-identical to a scalar run of the same stream.
+fn run_packed_word<W: Word, F, I>(
     netlist: &Netlist,
-    lib: &Library,
+    model: &PowerModel,
     stream_fn: &F,
     root: &Rng,
     base: u64,
@@ -622,19 +720,19 @@ where
     let _batch_t = obs::MC_BATCH_NS.time();
     let _span = trace::span_dyn("mc", || format!("mc.word:{base}+{lanes}"));
     let width = netlist.input_count();
-    let mut sim = Sim64::new(netlist)?;
+    let mut sim = WideSim::<W>::new(netlist)?;
     let mut iters: Vec<I::IntoIter> =
         (0..lanes).map(|l| stream_fn(root.split(base + l as u64)).into_iter()).collect();
     let mut got = vec![0u64; lanes];
-    let mut words = vec![0u64; width];
+    let mut words = vec![W::zero(); width];
     // Lanes still consuming their streams; a lane that returns `None` once
     // stays dead (iterator contract), matching the scalar `for` loop.
-    let mut live = if lanes == LANES { !0u64 } else { (1u64 << lanes) - 1 };
+    let mut live = W::low_mask(lanes);
     for _ in 0..opts.batch_cycles {
-        words.iter_mut().for_each(|w| *w = 0);
-        let mut active = 0u64;
+        words.iter_mut().for_each(|w| *w = W::zero());
+        let mut active = W::zero();
         for (l, it) in iters.iter_mut().enumerate() {
-            if (live >> l) & 1 == 0 {
+            if !live.lane(l) {
                 continue;
             }
             if let Some(v) = it.next() {
@@ -642,37 +740,30 @@ where
                     return Err(NetlistError::InputWidthMismatch { got: v.len(), expected: width });
                 }
                 for (i, &b) in v.iter().enumerate() {
-                    words[i] |= (b as u64) << l;
+                    words[i].set_lane(l, b);
                 }
-                active |= 1 << l;
+                active.set_lane(l, true);
                 got[l] += 1;
             }
         }
-        if active == 0 {
+        if active.is_zero() {
             break;
         }
         sim.step_masked(&words, active)?;
         live = active;
     }
-    let acts = sim.take_lane_activities();
-    Ok((0..lanes)
-        .map(|l| {
-            if got[l] == 0 {
-                None
-            } else {
-                let act = &acts[l];
-                Some((act.power(netlist, lib).total_power_uw(), act.cycles))
-            }
-        })
-        .collect())
+    let samples = sim.take_lane_powers(model);
+    Ok((0..lanes).map(|l| if got[l] == 0 { None } else { Some(samples[l]) }).collect())
 }
 
 /// Simulates one glitch batch on the scalar timed kernel: a fresh
 /// [`EventDrivenSim`] over `stream_fn(root.split(batch))`. Returns `None`
 /// for an empty stream.
+#[allow(clippy::too_many_arguments)]
 fn run_scalar_glitch_batch<F, I>(
     netlist: &Netlist,
     lib: &Library,
+    model: &PowerModel,
     stream_fn: &F,
     root: &Rng,
     batch: u64,
@@ -694,17 +785,19 @@ where
         return Ok(None);
     }
     let act = sim.take_activity();
-    Ok(Some((act.activity.power(netlist, lib).total_power_uw(), act.activity.cycles)))
+    Ok(Some((model.total_power_uw(&act.activity), act.activity.cycles)))
 }
 
-/// Simulates `lanes` consecutive glitch batches on one [`TimedSim64`],
-/// with the same lane/stream mapping and end-of-stream masking as
-/// [`run_packed_word`]. Each lane's timed activity — and therefore its
-/// glitch-aware power sample — is bit-identical to a scalar
-/// [`EventDrivenSim`] run of the same stream.
-fn run_packed_glitch_word<F, I>(
+/// Simulates `lanes` consecutive glitch batches on one [`WideTimedSim`],
+/// with the same lane/stream mapping, end-of-stream masking, and
+/// ragged-group handling as [`run_packed_word`]. Each simulated lane's
+/// timed activity — and therefore its glitch-aware power sample — is
+/// bit-identical to a scalar [`EventDrivenSim`] run of the same stream.
+#[allow(clippy::too_many_arguments)]
+fn run_packed_glitch_word<W: Word, F, I>(
     netlist: &Netlist,
     lib: &Library,
+    model: &PowerModel,
     stream_fn: &F,
     root: &Rng,
     base: u64,
@@ -718,17 +811,17 @@ where
     let _batch_t = obs::MC_BATCH_NS.time();
     let _span = trace::span_dyn("mc", || format!("mc.glitch_word:{base}+{lanes}"));
     let width = netlist.input_count();
-    let mut sim = TimedSim64::new(netlist, lib)?;
+    let mut sim = WideTimedSim::<W>::new(netlist, lib)?;
     let mut iters: Vec<I::IntoIter> =
         (0..lanes).map(|l| stream_fn(root.split(base + l as u64)).into_iter()).collect();
     let mut got = vec![0u64; lanes];
-    let mut words = vec![0u64; width];
-    let mut live = if lanes == LANES { !0u64 } else { (1u64 << lanes) - 1 };
+    let mut words = vec![W::zero(); width];
+    let mut live = W::low_mask(lanes);
     for _ in 0..opts.batch_cycles {
-        words.iter_mut().for_each(|w| *w = 0);
-        let mut active = 0u64;
+        words.iter_mut().for_each(|w| *w = W::zero());
+        let mut active = W::zero();
         for (l, it) in iters.iter_mut().enumerate() {
-            if (live >> l) & 1 == 0 {
+            if !live.lane(l) {
                 continue;
             }
             if let Some(v) = it.next() {
@@ -736,29 +829,20 @@ where
                     return Err(NetlistError::InputWidthMismatch { got: v.len(), expected: width });
                 }
                 for (i, &b) in v.iter().enumerate() {
-                    words[i] |= (b as u64) << l;
+                    words[i].set_lane(l, b);
                 }
-                active |= 1 << l;
+                active.set_lane(l, true);
                 got[l] += 1;
             }
         }
-        if active == 0 {
+        if active.is_zero() {
             break;
         }
         sim.step_masked(&words, active)?;
         live = active;
     }
-    let acts = sim.take_lane_activities();
-    Ok((0..lanes)
-        .map(|l| {
-            if got[l] == 0 {
-                None
-            } else {
-                let act = &acts[l].activity;
-                Some((act.power(netlist, lib).total_power_uw(), act.cycles))
-            }
-        })
-        .collect())
+    let samples = sim.take_lane_powers(model);
+    Ok((0..lanes).map(|l| if got[l] == 0 { None } else { Some(samples[l]) }).collect())
 }
 
 fn mean_half_width(samples: &[f64], z: f64) -> (f64, f64) {
@@ -894,6 +978,133 @@ mod tests {
             .unwrap()
         };
         assert_eq!(run_short(McKernel::Scalar), run_short(McKernel::Packed64));
+    }
+
+    #[test]
+    fn auto_kernel_resolves_by_batch_budget() {
+        assert_eq!(McKernel::Auto.resolve(1), McKernel::Packed64);
+        assert_eq!(McKernel::Auto.resolve(255), McKernel::Packed64);
+        assert_eq!(McKernel::Auto.resolve(256), McKernel::Packed256);
+        assert_eq!(McKernel::Auto.resolve(511), McKernel::Packed256);
+        assert_eq!(McKernel::Auto.resolve(512), McKernel::Packed512);
+        assert_eq!(McKernel::default(), McKernel::Auto);
+        // Explicit kernels resolve to themselves, whatever the budget.
+        for k in [McKernel::Scalar, McKernel::Packed64, McKernel::Packed256, McKernel::Packed512] {
+            assert_eq!(k.resolve(0), k);
+            assert_eq!(k.resolve(10_000), k);
+        }
+        assert_eq!(McKernel::Scalar.lanes(), 1);
+        assert_eq!(McKernel::Packed64.lanes(), 64);
+        assert_eq!(McKernel::Packed256.lanes(), 256);
+        assert_eq!(McKernel::Packed512.lanes(), 512);
+    }
+
+    #[test]
+    fn wide_kernels_are_bit_identical_to_scalar_kernel() {
+        let nl = adder();
+        let lib = Library::default();
+        let w = nl.input_count();
+        // Small batches, no early stop: every kernel must consume the
+        // exact same 300-sample prefix.
+        let opts = MonteCarloOptions {
+            batch_cycles: 20,
+            max_batches: 300,
+            target_relative_error: 0.0,
+            ..Default::default()
+        };
+        let run = |kernel: McKernel, threads: usize| {
+            monte_carlo_power_seeded_threads_kernel(
+                &nl,
+                &lib,
+                |rng| streams::random_rng(rng, w),
+                13,
+                &opts,
+                threads,
+                kernel,
+            )
+            .unwrap()
+        };
+        let scalar = run(McKernel::Scalar, 1);
+        assert_eq!(scalar.batches, 300);
+        for kernel in [McKernel::Packed64, McKernel::Packed256, McKernel::Packed512] {
+            assert_eq!(scalar, run(kernel, 1), "{kernel:?} @ 1 thread");
+            assert_eq!(scalar, run(kernel, 4), "{kernel:?} @ 4 threads");
+        }
+        // Auto resolves to Packed256 for this budget and stays identical.
+        assert_eq!(scalar, run(McKernel::Auto, 2));
+    }
+
+    #[test]
+    fn ragged_batch_budgets_are_exact_at_every_width() {
+        // A budget that is not a multiple of any lane width must produce
+        // exactly `max_batches` samples — trailing lanes of the final
+        // word are masked out, never silently rounded up or down — and
+        // stay bit-identical to the scalar kernel.
+        let nl = adder();
+        let lib = Library::default();
+        let w = nl.input_count();
+        for max_batches in [37usize, 100, 300] {
+            let opts = MonteCarloOptions {
+                batch_cycles: 25,
+                max_batches,
+                target_relative_error: 0.0,
+                ..Default::default()
+            };
+            let run = |kernel: McKernel| {
+                monte_carlo_power_seeded_threads_kernel(
+                    &nl,
+                    &lib,
+                    |rng| streams::random_rng(rng, w),
+                    41,
+                    &opts,
+                    2,
+                    kernel,
+                )
+                .unwrap()
+            };
+            let scalar = run(McKernel::Scalar);
+            assert_eq!(scalar.batches, max_batches);
+            for kernel in [McKernel::Packed64, McKernel::Packed256, McKernel::Packed512] {
+                let r = run(kernel);
+                assert_eq!(r.batches, max_batches, "{kernel:?} budget {max_batches}");
+                assert_eq!(r, scalar, "{kernel:?} budget {max_batches}");
+            }
+        }
+    }
+
+    #[test]
+    fn glitch_wide_kernels_are_bit_identical_to_scalar_kernel() {
+        let nl = adder();
+        let lib = Library::default();
+        let w = nl.input_count();
+        let opts = MonteCarloOptions {
+            batch_cycles: 15,
+            max_batches: 70,
+            target_relative_error: 0.0,
+            ..Default::default()
+        };
+        let run = |kernel: TimedKernel| {
+            monte_carlo_glitch_power_seeded_threads_kernel(
+                &nl,
+                &lib,
+                |rng| streams::random_rng(rng, w),
+                33,
+                &opts,
+                2,
+                kernel,
+            )
+            .unwrap()
+        };
+        let scalar = run(TimedKernel::Scalar);
+        assert_eq!(scalar.batches, 70);
+        for kernel in [
+            TimedKernel::Packed64,
+            TimedKernel::Packed256,
+            TimedKernel::Packed512,
+            TimedKernel::Auto,
+        ] {
+            assert_eq!(scalar, run(kernel), "{kernel:?}");
+        }
     }
 
     #[test]

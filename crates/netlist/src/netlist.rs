@@ -270,6 +270,50 @@ impl Netlist {
         }
     }
 
+    /// Rewires an existing combinational gate in place: `node` keeps its
+    /// id, name, and group but computes `kind` over `inputs` from now on.
+    /// This is the mutation primitive behind dirty-cone incremental
+    /// re-simulation ([`crate::IncrementalSim`]) and the local rewrite
+    /// optimization passes — the arena stays append-only for everything
+    /// else, so downstream node ids remain stable.
+    ///
+    /// The rewiring is *not* checked for combinational cycles here; a
+    /// cycle introduced by pointing an input at a downstream node is
+    /// caught by the next [`topo_order`](Netlist::topo_order) (and thus by
+    /// every simulator constructor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] if the number of inputs
+    /// violates the gate kind's arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a combinational gate (inputs, constants,
+    /// and flip-flops have no gate function to replace).
+    pub fn replace_gate(
+        &mut self,
+        node: NodeId,
+        kind: GateKind,
+        inputs: impl IntoIterator<Item = NodeId>,
+    ) -> Result<(), NetlistError> {
+        let inputs: Vec<NodeId> = inputs.into_iter().collect();
+        let min = kind.min_arity();
+        let ok = if kind.is_variadic() { inputs.len() >= min } else { inputs.len() == min };
+        if !ok {
+            return Err(NetlistError::ArityMismatch {
+                gate: kind.name(),
+                got: inputs.len(),
+                expected: min,
+            });
+        }
+        match &mut self.nodes[node.index()].kind {
+            k @ NodeKind::Gate { .. } => *k = NodeKind::Gate { kind, inputs },
+            _ => panic!("replace_gate called on non-gate node {node}"),
+        }
+        Ok(())
+    }
+
     /// Declares a named primary output.
     pub fn set_output(&mut self, name: impl Into<String>, node: NodeId) {
         self.outputs.push((name.into(), node));

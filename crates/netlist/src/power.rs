@@ -119,6 +119,118 @@ impl PowerReport {
     }
 }
 
+/// Precomputed per-node energy coefficients for evaluating *many*
+/// [`Activity`] records against the same netlist and library.
+///
+/// [`Activity::power`] re-derives load capacitances and the group
+/// breakdown on every call — fine for one report, but the dominant cost
+/// when a Monte-Carlo engine converts thousands of per-lane activities
+/// into power samples (the conversion outweighed the packed simulation
+/// itself before this type existed). A `PowerModel` hoists everything
+/// that depends only on `(netlist, library)` out of the loop, so
+/// [`total_power_uw`](Self::total_power_uw) is a single fused
+/// multiply-add pass over the toggle counts.
+///
+/// The arithmetic reproduces [`PowerReport`]'s term-for-term — same
+/// per-node products, same accumulation order — so
+/// `model.total_power_uw(&act)` is **bit-identical** to
+/// `act.power(netlist, lib).total_power_uw()`.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    /// Net switching energy per toggle of each node, in fJ
+    /// (`lib.switching_energy_fj(load_cap)`).
+    net_fj_per_toggle: Vec<f64>,
+    /// Cell-internal energy per toggle of each node, in fJ (zero for
+    /// inputs and constants).
+    int_fj_per_toggle: Vec<f64>,
+    /// Clock-tree energy per cycle (all DFF clock pins), in fJ.
+    clk_fj_per_cycle: f64,
+    period_s: f64,
+}
+
+impl PowerModel {
+    /// Precomputes the coefficients for a netlist under a library.
+    pub fn new(netlist: &Netlist, lib: &Library) -> Self {
+        let caps = netlist.load_caps_ff(lib);
+        let net_fj_per_toggle = caps.iter().map(|&cap| lib.switching_energy_fj(cap)).collect();
+        let int_fj_per_toggle = netlist
+            .node_ids()
+            .map(|id| match netlist.kind(id) {
+                NodeKind::Gate { kind, .. } => lib.cell(*kind).internal_energy_fj,
+                NodeKind::Dff { .. } => lib.dff_internal_energy_fj,
+                _ => 0.0,
+            })
+            .collect();
+        let n_dff = netlist.dffs().len() as f64;
+        let clk_fj_per_cycle = lib.switching_energy_fj(lib.dff_clk_cap_ff) * 2.0 * n_dff
+            + lib.dff_clock_energy_fj * n_dff;
+        PowerModel {
+            net_fj_per_toggle,
+            int_fj_per_toggle,
+            clk_fj_per_cycle,
+            period_s: lib.clock_period_ns() * 1e-9,
+        }
+    }
+
+    /// Total average power (net + internal + clock) of an activity
+    /// record, in microwatts. Bit-identical to
+    /// `act.power(netlist, lib).total_power_uw()`.
+    pub fn total_power_uw(&self, act: &Activity) -> f64 {
+        let cycles = act.cycles.max(1) as f64;
+        let mut net_fj = 0.0f64;
+        let mut internal_fj = 0.0f64;
+        for (i, &t) in act.toggles.iter().enumerate() {
+            if t == 0 {
+                continue;
+            }
+            let toggles = t as f64;
+            net_fj += self.net_fj_per_toggle[i] * toggles;
+            internal_fj += self.int_fj_per_toggle[i] * toggles;
+        }
+        let clock_fj = self.clk_fj_per_cycle * cycles;
+        let to_uw = |fj: f64| fj * 1e-15 / (cycles * self.period_s) * 1e6;
+        to_uw(net_fj) + to_uw(internal_fj) + to_uw(clock_fj)
+    }
+
+    /// Per-lane total power over the packed simulators' strided per-lane
+    /// toggle totals (`node * lanes + lane`), walking the totals
+    /// node-major — one sequential pass, with per-lane accumulators that
+    /// stay cache-resident — instead of transposing per-lane [`Activity`]
+    /// records first (a `lanes`-stride gather that falls out of cache for
+    /// the wide words). Lane `l` of the result is bit-identical to
+    /// [`total_power_uw`](Self::total_power_uw) of lane `l`'s activity:
+    /// per lane, the same products accumulate in the same node order.
+    pub(crate) fn lane_powers_uw(
+        &self,
+        lane_toggles: &[u64],
+        lanes: usize,
+        lane_cycles: &[u64],
+    ) -> Vec<f64> {
+        let mut net_fj = vec![0.0f64; lanes];
+        let mut internal_fj = vec![0.0f64; lanes];
+        for (node, row) in lane_toggles.chunks_exact(lanes).enumerate() {
+            let c_net = self.net_fj_per_toggle[node];
+            let c_int = self.int_fj_per_toggle[node];
+            for (l, &t) in row.iter().enumerate() {
+                if t == 0 {
+                    continue;
+                }
+                let toggles = t as f64;
+                net_fj[l] += c_net * toggles;
+                internal_fj[l] += c_int * toggles;
+            }
+        }
+        (0..lanes)
+            .map(|l| {
+                let cycles = lane_cycles[l].max(1) as f64;
+                let clock_fj = self.clk_fj_per_cycle * cycles;
+                let to_uw = |fj: f64| fj * 1e-15 / (cycles * self.period_s) * 1e6;
+                to_uw(net_fj[l]) + to_uw(internal_fj[l]) + to_uw(clock_fj)
+            })
+            .collect()
+    }
+}
+
 impl std::fmt::Display for PowerReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -208,6 +320,39 @@ mod tests {
         let p_hi = act.power(&nl, &hi).net_power_uw;
         let p_lo = act.power(&nl, &lo).net_power_uw;
         assert!((p_hi / p_lo - 4.0).abs() < 0.01);
+    }
+
+    /// The precomputed fast path must reproduce `Activity::power`'s
+    /// arithmetic exactly — the Monte-Carlo engines rely on this for
+    /// their cross-kernel bit-identity contract.
+    #[test]
+    fn power_model_is_bit_identical_to_report() {
+        for (seed, gates, cycles) in [(1u64, 40usize, 100usize), (2, 80, 37), (3, 15, 250)] {
+            let mut nl = Netlist::new();
+            crate::gen::random_logic(&mut nl, seed, 6, gates, 3);
+            let lib = Library::default();
+            let mut sim = ZeroDelaySim::new(&nl).unwrap();
+            let act = sim.run(streams::random(seed, nl.input_count()).take(cycles)).expect("width");
+            let model = PowerModel::new(&nl, &lib);
+            assert_eq!(
+                model.total_power_uw(&act).to_bits(),
+                act.power(&nl, &lib).total_power_uw().to_bits()
+            );
+        }
+        // Sequential circuit: clock power and DFF internal energy.
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let q = nl.dff(a, false);
+        let b = nl.xor([a, q]);
+        nl.set_output("y", b);
+        let lib = Library::default();
+        let mut sim = ZeroDelaySim::new(&nl).unwrap();
+        let act = sim.run(streams::random(9, 1).take(64)).expect("width");
+        let model = PowerModel::new(&nl, &lib);
+        assert_eq!(
+            model.total_power_uw(&act).to_bits(),
+            act.power(&nl, &lib).total_power_uw().to_bits()
+        );
     }
 
     #[test]

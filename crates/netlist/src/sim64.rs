@@ -1,17 +1,20 @@
-//! Compiled, bit-parallel 64-lane zero-delay simulation.
+//! Compiled, bit-parallel zero-delay simulation (64-lane entry points).
 //!
 //! The scalar [`ZeroDelaySim`](crate::ZeroDelaySim) walks the netlist graph
-//! every cycle, evaluating one `bool` per node. The engines in this module
-//! compile the topological order **once** into a dense instruction stream
-//! (one opcode with pre-resolved input slot indices per gate, no per-gate
-//! allocation and no graph chasing) and evaluate 64 values per node per
-//! pass with word-wide boolean operations on `u64`s. Two packings of the
-//! 64 bits are provided:
+//! every cycle, evaluating one `bool` per node. The engines here compile
+//! the topological order **once** into a dense instruction stream (one
+//! opcode with pre-resolved input slot indices per gate, no per-gate
+//! allocation and no graph chasing) and evaluate one machine word per node
+//! per pass with word-wide boolean operations. Two packings are provided:
 //!
 //! * [`Sim64`] — **lane-parallel**: bit `l` of every word belongs to lane
 //!   `l`, an independent stimulus stream. One [`Sim64::step`] advances all
 //!   64 lanes by one clock cycle. This is the Monte-Carlo kernel: 64
 //!   batches per simulator instance, each on its own split RNG stream.
+//!   `Sim64` is the `u64` instantiation of the width-generic
+//!   [`WideSim`](crate::WideSim) in [`crate::simwide`], which also offers
+//!   256- and 512-lane words ([`crate::words::W256`],
+//!   [`crate::words::W512`]).
 //! * [`BlockSim64`] — **time-parallel**: the 64 bits of a word are 64
 //!   *consecutive cycles* of a single stream, so one network evaluation
 //!   retires 64 cycles. Only valid for purely combinational netlists
@@ -35,18 +38,11 @@ use hlpower_obs::metrics as obs;
 use crate::error::NetlistError;
 use crate::library::GateKind;
 use crate::netlist::{Netlist, NodeId, NodeKind};
-use crate::sim::Activity;
+use crate::simwide::WideSim;
+use crate::words::Word;
 
-/// Number of independent bit lanes in one packed word.
+/// Number of independent bit lanes in one packed `u64` word.
 pub const LANES: usize = 64;
-
-/// Bit planes per node in the vertical toggle counters: a node can absorb
-/// `2^PLANES - 1` toggles per lane between flushes.
-const PLANES: usize = 16;
-
-/// Counted steps between plane flushes; one fewer than the plane capacity
-/// so the carry chain can never overflow out of the top plane.
-const FLUSH_INTERVAL: u64 = (1 << PLANES) - 1;
 
 /// One compiled gate operation. Fixed-arity gates carry their input slots
 /// inline; variadic gates index a `(start, len)` range of the shared fanin
@@ -84,9 +80,10 @@ pub(crate) struct Program {
     pub(crate) instrs: Vec<Instr>,
     /// Shared fanin-slot pool for variadic gates.
     pub(crate) pool: Vec<u32>,
-    /// Initial packed value per node (constants and DFF init values
-    /// broadcast across all 64 lanes; everything else 0).
-    pub(crate) init: Vec<u64>,
+    /// Initial scalar value per node (constants and DFF init values;
+    /// everything else false), broadcast across all lanes of any word
+    /// width by [`init_words`](Self::init_words).
+    pub(crate) init_bits: Vec<bool>,
 }
 
 impl Program {
@@ -126,45 +123,51 @@ impl Program {
             };
             instrs.push(Instr { out: id.index() as u32, op });
         }
-        let mut init = vec![0u64; netlist.node_count()];
+        let mut init_bits = vec![false; netlist.node_count()];
         for id in netlist.node_ids() {
             match netlist.kind(id) {
-                NodeKind::Const(v) => init[id.index()] = broadcast(*v),
-                NodeKind::Dff { init: v, .. } => init[id.index()] = broadcast(*v),
+                NodeKind::Const(v) => init_bits[id.index()] = *v,
+                NodeKind::Dff { init: v, .. } => init_bits[id.index()] = *v,
                 _ => {}
             }
         }
-        Ok(Program { instrs, pool, init })
+        Ok(Program { instrs, pool, init_bits })
     }
 
-    /// Evaluates one instruction against the packed value array.
-    #[inline]
-    pub(crate) fn eval(&self, values: &[u64], ins: &Instr) -> u64 {
+    /// Initial packed value per node, broadcast across all lanes of `W`.
+    pub(crate) fn init_words<W: Word>(&self) -> Vec<W> {
+        self.init_bits.iter().map(|&b| W::splat(b)).collect()
+    }
+
+    /// Evaluates one instruction against the packed value array, at any
+    /// word width.
+    #[inline(always)]
+    pub(crate) fn eval<W: Word>(&self, values: &[W], ins: &Instr) -> W {
         let v = |slot: u32| values[slot as usize];
-        let fold = |start: u32, len: u32, unit: u64, f: fn(u64, u64) -> u64| {
+        let fold = |start: u32, len: u32, unit: W, f: fn(W, W) -> W| {
             self.pool[start as usize..(start + len) as usize]
                 .iter()
                 .fold(unit, |acc, &slot| f(acc, values[slot as usize]))
         };
         match ins.op {
             Op::Buf(a) => v(a),
-            Op::Not(a) => !v(a),
-            Op::And2(a, b) => v(a) & v(b),
-            Op::Or2(a, b) => v(a) | v(b),
-            Op::Nand2(a, b) => !(v(a) & v(b)),
-            Op::Nor2(a, b) => !(v(a) | v(b)),
-            Op::Xor2(a, b) => v(a) ^ v(b),
-            Op::Xnor2(a, b) => !(v(a) ^ v(b)),
+            Op::Not(a) => v(a).not(),
+            Op::And2(a, b) => v(a).and(v(b)),
+            Op::Or2(a, b) => v(a).or(v(b)),
+            Op::Nand2(a, b) => v(a).and(v(b)).not(),
+            Op::Nor2(a, b) => v(a).or(v(b)).not(),
+            Op::Xor2(a, b) => v(a).xor(v(b)),
+            Op::Xnor2(a, b) => v(a).xor(v(b)).not(),
             Op::Mux(sel, a, b) => {
                 let s = v(sel);
-                (!s & v(a)) | (s & v(b))
+                s.not().and(v(a)).or(s.and(v(b)))
             }
-            Op::AndN(s, n) => fold(s, n, !0, |a, b| a & b),
-            Op::OrN(s, n) => fold(s, n, 0, |a, b| a | b),
-            Op::NandN(s, n) => !fold(s, n, !0, |a, b| a & b),
-            Op::NorN(s, n) => !fold(s, n, 0, |a, b| a | b),
-            Op::XorN(s, n) => fold(s, n, 0, |a, b| a ^ b),
-            Op::XnorN(s, n) => !fold(s, n, 0, |a, b| a ^ b),
+            Op::AndN(s, n) => fold(s, n, W::splat(true), W::and),
+            Op::OrN(s, n) => fold(s, n, W::zero(), W::or),
+            Op::NandN(s, n) => fold(s, n, W::splat(true), W::and).not(),
+            Op::NorN(s, n) => fold(s, n, W::zero(), W::or).not(),
+            Op::XorN(s, n) => fold(s, n, W::zero(), W::xor),
+            Op::XnorN(s, n) => fold(s, n, W::zero(), W::xor).not(),
         }
     }
 }
@@ -179,237 +182,10 @@ pub(crate) fn broadcast(v: bool) -> u64 {
     }
 }
 
-/// Adds `carry` (a set of lanes that toggled) into a node's vertical
-/// bit-plane counter. Amortized cost is ~2 word operations: the carry
-/// chain almost always dies in the low planes.
-#[inline]
-fn bump_planes(planes: &mut [u64], base: usize, mut carry: u64) {
-    let mut p = 0;
-    while carry != 0 {
-        let t = planes[base + p];
-        planes[base + p] = t ^ carry;
-        carry &= t;
-        p += 1;
-    }
-}
-
-/// The lane-parallel compiled simulator: 64 independent stimulus lanes
-/// advance one clock cycle per [`step`](Sim64::step).
-///
-/// Sequencing per step matches [`ZeroDelaySim`](crate::ZeroDelaySim)
-/// exactly: flip-flops present their previously-sampled values, primary
-/// inputs are applied, the combinational network settles in topological
-/// order, flip-flops sample their D inputs. The first step initializes
-/// values without counting toggles.
-#[derive(Debug, Clone)]
-pub struct Sim64<'a> {
-    netlist: &'a Netlist,
-    program: Program,
-    /// Packed node values; bit `l` is lane `l`.
-    values: Vec<u64>,
-    /// Next-state words latched per DFF (parallel to `netlist.dffs()`).
-    dff_next: Vec<u64>,
-    /// Per-DFF D-input slots, resolved once at construction.
-    dff_d: Vec<u32>,
-    /// Vertical carry-save toggle counters: `PLANES` words per node.
-    planes: Vec<u64>,
-    /// Exact per-lane toggle counts flushed out of the planes
-    /// (`node * LANES + lane`).
-    lane_toggles: Vec<u64>,
-    /// Counted cycles per lane.
-    lane_cycles: [u64; LANES],
-    /// Counted steps since the last plane flush.
-    pending: u64,
-    initialized: bool,
-}
-
-impl<'a> Sim64<'a> {
-    /// Compiles the netlist and creates a simulator with all lanes at
-    /// their initial values.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
-    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
-        let program = Program::compile(netlist)?;
-        let values = program.init.clone();
-        let mut dff_next = Vec::with_capacity(netlist.dffs().len());
-        let mut dff_d = Vec::with_capacity(netlist.dffs().len());
-        for &q in netlist.dffs() {
-            if let NodeKind::Dff { d, init } = netlist.kind(q) {
-                dff_next.push(broadcast(*init));
-                dff_d.push(d.index() as u32);
-            }
-        }
-        let n = netlist.node_count();
-        Ok(Sim64 {
-            netlist,
-            program,
-            values,
-            dff_next,
-            dff_d,
-            planes: vec![0; n * PLANES],
-            lane_toggles: vec![0; n * LANES],
-            lane_cycles: [0; LANES],
-            pending: 0,
-            initialized: false,
-        })
-    }
-
-    /// The netlist being simulated.
-    pub fn netlist(&self) -> &Netlist {
-        self.netlist
-    }
-
-    /// Packed current value of a node (bit `l` is lane `l`).
-    pub fn value_word(&self, node: NodeId) -> u64 {
-        self.values[node.index()]
-    }
-
-    /// Packed current values of the primary outputs, in declaration order.
-    pub fn output_words(&self) -> Vec<u64> {
-        self.netlist.outputs().iter().map(|&(_, n)| self.values[n.index()]).collect()
-    }
-
-    /// Advances every lane by one clock cycle. `inputs[i]` packs the bit
-    /// of primary input `i` for all 64 lanes.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetlistError::InputWidthMismatch`] if `inputs` does not
-    /// have one word per primary input.
-    pub fn step(&mut self, inputs: &[u64]) -> Result<(), NetlistError> {
-        self.step_masked(inputs, !0)
-    }
-
-    /// [`step`](Self::step) restricted to the lanes set in `mask`.
-    ///
-    /// Masked-out lanes do not accumulate toggles or cycles this step, so
-    /// lanes whose stimulus streams end early stop exactly where their
-    /// scalar runs would. A lane must not be re-activated after a masked
-    /// step: the contract is a prefix-closed active set per lane (active
-    /// for its first `k` steps, inactive afterwards), matching a scalar
-    /// run over a `k`-vector stream. Input bits of inactive lanes are
-    /// don't-cares.
-    ///
-    /// # Errors
-    ///
-    /// As [`step`](Self::step).
-    pub fn step_masked(&mut self, inputs: &[u64], mask: u64) -> Result<(), NetlistError> {
-        if inputs.len() != self.netlist.input_count() {
-            return Err(NetlistError::InputWidthMismatch {
-                got: inputs.len(),
-                expected: self.netlist.input_count(),
-            });
-        }
-        obs::SIM64_STEPS.inc();
-        obs::SIM64_GATE_EVALS.add(self.program.instrs.len() as u64);
-        // The first step only establishes values (no previous vector to
-        // toggle from); count nothing by masking every diff to zero.
-        let count_mask = if self.initialized { mask } else { 0 };
-        // Present DFF outputs (sampled at the previous edge).
-        for (i, &q) in self.netlist.dffs().iter().enumerate() {
-            let slot = q.index();
-            let new = self.dff_next[i];
-            bump_planes(&mut self.planes, slot * PLANES, (self.values[slot] ^ new) & count_mask);
-            self.values[slot] = new;
-        }
-        // Apply primary inputs.
-        for (i, &inp) in self.netlist.inputs().iter().enumerate() {
-            let slot = inp.index();
-            let new = inputs[i];
-            bump_planes(&mut self.planes, slot * PLANES, (self.values[slot] ^ new) & count_mask);
-            self.values[slot] = new;
-        }
-        // Settle combinational logic via the compiled instruction stream.
-        for idx in 0..self.program.instrs.len() {
-            let ins = self.program.instrs[idx];
-            let new = self.program.eval(&self.values, &ins);
-            let slot = ins.out as usize;
-            bump_planes(&mut self.planes, slot * PLANES, (self.values[slot] ^ new) & count_mask);
-            self.values[slot] = new;
-        }
-        // Sample D inputs for the next cycle.
-        for (i, &d) in self.dff_d.iter().enumerate() {
-            self.dff_next[i] = self.values[d as usize];
-        }
-        if self.initialized {
-            obs::SIM64_LANE_CYCLES.add(mask.count_ones() as u64);
-            for l in 0..LANES {
-                self.lane_cycles[l] += (mask >> l) & 1;
-            }
-            self.pending += 1;
-            if self.pending >= FLUSH_INTERVAL {
-                self.flush_planes();
-            }
-        }
-        self.initialized = true;
-        Ok(())
-    }
-
-    /// Drains the bit-plane counters into the exact per-lane totals.
-    fn flush_planes(&mut self) {
-        for node in 0..self.netlist.node_count() {
-            let base = node * PLANES;
-            for p in 0..PLANES {
-                let mut w = self.planes[base + p];
-                if w == 0 {
-                    continue;
-                }
-                self.planes[base + p] = 0;
-                let weight = 1u64 << p;
-                while w != 0 {
-                    let l = w.trailing_zeros() as usize;
-                    self.lane_toggles[node * LANES + l] += weight;
-                    w &= w - 1;
-                }
-            }
-        }
-        self.pending = 0;
-    }
-
-    /// Returns the 64 per-lane activity records and resets the counters
-    /// (values, flip-flop state, and the initialized flag are preserved so
-    /// runs can be chained, mirroring the scalar `take_activity`).
-    ///
-    /// Lane `l`'s record is bit-identical to what a scalar
-    /// [`ZeroDelaySim`](crate::ZeroDelaySim) run over lane `l`'s stream
-    /// would have accumulated.
-    pub fn take_lane_activities(&mut self) -> Vec<Activity> {
-        self.flush_planes();
-        let n = self.netlist.node_count();
-        let mut out = Vec::with_capacity(LANES);
-        let mut total_toggles = 0u64;
-        for l in 0..LANES {
-            let mut toggles = vec![0u64; n];
-            for (node, t) in toggles.iter_mut().enumerate() {
-                *t = self.lane_toggles[node * LANES + l];
-                total_toggles += *t;
-            }
-            out.push(Activity { toggles, cycles: self.lane_cycles[l] });
-        }
-        obs::SIM64_TOGGLES.add(total_toggles);
-        self.lane_toggles.iter_mut().for_each(|t| *t = 0);
-        self.lane_cycles = [0; LANES];
-        out
-    }
-
-    /// Returns the lane-collapsed activity (all 64 lanes merged: toggles
-    /// summed per node, cycles summed) and resets the counters.
-    pub fn take_activity(&mut self) -> Activity {
-        self.flush_planes();
-        let n = self.netlist.node_count();
-        let mut toggles = vec![0u64; n];
-        for (node, t) in toggles.iter_mut().enumerate() {
-            *t = self.lane_toggles[node * LANES..(node + 1) * LANES].iter().sum();
-        }
-        obs::SIM64_TOGGLES.add(toggles.iter().sum::<u64>());
-        self.lane_toggles.iter_mut().for_each(|t| *t = 0);
-        let cycles = self.lane_cycles.iter().sum();
-        self.lane_cycles = [0; LANES];
-        Activity { toggles, cycles }
-    }
-}
+/// The 64-lane lane-parallel compiled simulator: the `u64` instantiation
+/// of the width-generic [`WideSim`](crate::WideSim). See
+/// the `simwide` module for the machinery and the wider 256/512-lane words.
+pub type Sim64<'a> = WideSim<'a, u64>;
 
 /// The time-parallel compiled simulator for combinational netlists: the
 /// 64 bits of every word are 64 *consecutive cycles* of one stimulus
@@ -449,7 +225,7 @@ impl<'a> BlockSim64<'a> {
             return Err(NetlistError::NotCombinational { dffs: netlist.dffs().len() });
         }
         let program = Program::compile(netlist)?;
-        let values = program.init.clone();
+        let values = program.init_words::<u64>();
         let n = netlist.node_count();
         Ok(BlockSim64 {
             netlist,
@@ -532,7 +308,7 @@ impl<'a> BlockSim64<'a> {
 mod tests {
     use super::*;
     use crate::library::Library;
-    use crate::sim::ZeroDelaySim;
+    use crate::sim::{Activity, ZeroDelaySim};
     use crate::{gen, streams};
     use hlpower_rng::Rng;
 

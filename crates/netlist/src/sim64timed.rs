@@ -1,4 +1,5 @@
-//! Compiled, bit-parallel 64-lane *timed* (glitch-capturing) simulation.
+//! Compiled, bit-parallel *timed* (glitch-capturing) simulation — kernel
+//! selection and the single-stream driver.
 //!
 //! The scalar [`EventDrivenSim`] pops one `(time, node)` event at a time
 //! from a binary heap and re-evaluates one `bool` per pop. [`TimedSim64`]
@@ -8,9 +9,13 @@
 //! delay resolution (the GCD of all gate delays), and events live on a
 //! discretized **time wheel** — a `wheel_len x node` array of lane masks.
 //! One wheel entry coalesces every pending evaluation of a node at one
-//! timestamp across all 64 lanes, so a dense glitch cascade costs one
-//! word-wide gate evaluation where the scalar engine would pay up to 64
-//! heap pops.
+//! timestamp across all lanes, so a dense glitch cascade costs one
+//! word-wide gate evaluation where the scalar engine would pay up to one
+//! heap pop per lane. `TimedSim64` is the `u64` instantiation of the
+//! width-generic [`WideTimedSim`](crate::WideTimedSim) in
+//! [`crate::simwide`]; [`TimedKernel::Packed256`]/[`TimedKernel::Packed512`]
+//! select the wider words and [`TimedKernel::Auto`] (the default) picks a
+//! width from the workload size.
 //!
 //! # Determinism contract
 //!
@@ -21,513 +26,110 @@
 //! ordering — and per-lane toggle/functional counts are exact integers
 //! accumulated in vertical carry-save bit-plane counters. Glitch counts,
 //! glitch fractions, and power reports therefore agree to the bit with the
-//! scalar engine; `tests/timed_differential.rs` locks this in for all six
-//! circuit generators.
+//! scalar engine at **every** lane width; `tests/timed_differential.rs`
+//! and `tests/wide_differential.rs` lock this in.
 //!
 //! # Single-stream acceleration
 //!
-//! [`timed_activity`] profiles one stream on either kernel. The packed
+//! [`timed_activity`] profiles one stream on the chosen kernel. The packed
 //! path exploits that the event-driven simulator always settles to the
 //! zero-delay stable state: a cheap [`ZeroDelaySim`] pass computes the
 //! stable-state trajectory, and the `N - 1` stream transitions are then
-//! replayed 64 per word through [`TimedSim64::eval_transition_block`].
-//! Because per-transition toggle counts are order-independent integers,
-//! the merged [`TimedActivity`] equals the scalar run's exactly.
-
-use hlpower_obs::metrics as obs;
+//! replayed [`Word::LANES`] per word through
+//! [`WideTimedSim::eval_transition_block`]. Because per-transition toggle
+//! counts are order-independent integers, the merged [`TimedActivity`]
+//! equals the scalar run's exactly.
 
 use crate::error::NetlistError;
-use crate::event::{gate_delays_ps, EventDrivenSim, TimedActivity};
+use crate::event::{EventDrivenSim, TimedActivity};
 use crate::library::Library;
-use crate::netlist::{Netlist, NodeId, NodeKind};
-use crate::sim::{Activity, ZeroDelaySim};
-use crate::sim64::{broadcast, Program, LANES};
+use crate::netlist::Netlist;
+use crate::sim::ZeroDelaySim;
+use crate::simwide::WideTimedSim;
+use crate::words::{Word, W256, W512};
 
-/// Bit planes per node in the vertical transition counters. A node can
-/// absorb `2^PLANES - 1` transitions per lane before the carry chain
-/// spills; unlike the zero-delay packed kernel, a *timed* node can toggle
-/// many times per step, so overflow out of the top plane is handled
-/// exactly (see [`bump_planes_spill`]) rather than avoided by a flush
-/// schedule.
-const PLANES: usize = 16;
+/// The 64-lane lane-parallel compiled timed simulator: the `u64`
+/// instantiation of the width-generic [`WideTimedSim`](crate::WideTimedSim).
+/// See the `simwide` module for the machinery and the wider 256/512-lane
+/// words.
+pub type TimedSim64<'a> = WideTimedSim<'a, u64>;
 
 /// The simulation kernel used by glitch-aware consumers
 /// ([`timed_activity`], `optimize::balance`, `optimize::retime`, the
 /// glitch Monte-Carlo entry points).
 ///
-/// Both kernels produce bit-identical [`TimedActivity`] records; the
-/// packed kernel is purely a wall-clock optimization and the scalar
-/// kernel remains available as the differential oracle.
+/// Every kernel produces bit-identical [`TimedActivity`] records; the
+/// packed kernels are purely wall-clock optimizations and the scalar
+/// kernel remains available as the differential oracle. Wider words
+/// amortize the per-instruction overhead over more lanes but cost more
+/// per-lane state, so [`Auto`](Self::Auto) — the default — picks the
+/// widest word the workload can fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TimedKernel {
     /// The scalar heap-based [`EventDrivenSim`] — the differential oracle.
     Scalar,
-    /// The compiled 64-lane time-wheel [`TimedSim64`] (the default).
-    #[default]
+    /// The compiled 64-lane time-wheel [`TimedSim64`].
     Packed64,
+    /// The compiled 256-lane time-wheel kernel ([`W256`] words).
+    Packed256,
+    /// The compiled 512-lane time-wheel kernel ([`W512`] words).
+    Packed512,
+    /// Picks a packed width from the workload size (the default): wide
+    /// enough words amortize instruction decode, but a workload smaller
+    /// than the lane count would leave lanes masked off for no gain.
+    #[default]
+    Auto,
 }
 
-/// Adds `carry` (a set of lanes that transitioned) into a node's vertical
-/// bit-plane counter, spilling exactly into the 64-bit totals if the
-/// carry ripples out of the top plane.
-#[inline]
-fn bump_planes_spill(
-    planes: &mut [u64],
-    base: usize,
-    lane_totals: &mut [u64],
-    lane_base: usize,
-    mut carry: u64,
-) {
-    for p in 0..PLANES {
-        if carry == 0 {
-            return;
-        }
-        let t = planes[base + p];
-        planes[base + p] = t ^ carry;
-        carry &= t;
-    }
-    // Carry out of the top plane: the plane stack wrapped modulo
-    // `2^PLANES` for these lanes, so credit the wrapped weight directly.
-    while carry != 0 {
-        let l = carry.trailing_zeros() as usize;
-        lane_totals[lane_base + l] += 1u64 << PLANES;
-        carry &= carry - 1;
-    }
-}
-
-/// Drains a bit-plane array into exact per-lane totals.
-fn flush_planes(planes: &mut [u64], lane_totals: &mut [u64], nodes: usize) {
-    for node in 0..nodes {
-        let base = node * PLANES;
-        for p in 0..PLANES {
-            let mut w = planes[base + p];
-            if w == 0 {
-                continue;
-            }
-            planes[base + p] = 0;
-            let weight = 1u64 << p;
-            while w != 0 {
-                let l = w.trailing_zeros() as usize;
-                lane_totals[node * LANES + l] += weight;
-                w &= w - 1;
-            }
-        }
-    }
-}
-
-fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 {
-        a
-    } else {
-        gcd(b, a % b)
-    }
-}
-
-/// The lane-parallel compiled timed simulator: 64 independent stimulus
-/// lanes advance one clock cycle per [`step`](TimedSim64::step), with
-/// every glitch counted.
-///
-/// Sequencing per step matches [`EventDrivenSim`] exactly: flip-flop
-/// outputs and primary inputs change at time zero, events propagate
-/// through the time wheel in `(time, node)` order under the library's
-/// transport delays, functional transitions are recovered from the
-/// settled-state diff, and flip-flops sample their D inputs. The first
-/// step initializes values without counting.
-#[derive(Debug, Clone)]
-pub struct TimedSim64<'a> {
-    netlist: &'a Netlist,
-    program: Program,
-    /// Per-node index into `program.instrs`, `u32::MAX` for non-gates.
-    instr_of: Vec<u32>,
-    /// CSR fanout graph restricted to gate fanouts: entry `(gate, delay)`
-    /// where `delay` is the *bucketed* transport delay of the fanout gate.
-    fan_start: Vec<u32>,
-    fan: Vec<(u32, u32)>,
-    /// Time-wheel extent: max bucketed gate delay + 1 (all pending events
-    /// lie within one wheel revolution of the cursor).
-    wheel_len: usize,
-    /// Pending-evaluation lane masks, `wheel_len x node_count`.
-    wheel: Vec<u64>,
-    /// Nodes with a nonzero mask per wheel slot.
-    touched: Vec<Vec<u32>>,
-    /// Total touched entries pending across all slots.
-    outstanding: usize,
-    /// Packed node values; bit `l` is lane `l`.
-    values: Vec<u64>,
-    /// Settled values at the start of the current step (functional diff).
-    step_start: Vec<u64>,
-    /// Next-state words latched per DFF (parallel to `netlist.dffs()`).
-    dff_next: Vec<u64>,
-    /// Per-DFF D-input slots.
-    dff_d: Vec<u32>,
-    /// Scratch buffer for one wheel slot's node list (sorted ascending).
-    slot_nodes: Vec<u32>,
-    /// Vertical counters for all transitions (functional + glitch).
-    toggle_planes: Vec<u64>,
-    /// Vertical counters for functional (settled-state) transitions.
-    func_planes: Vec<u64>,
-    /// Exact per-lane totals flushed out of the planes
-    /// (`node * LANES + lane`).
-    lane_toggles: Vec<u64>,
-    lane_functional: Vec<u64>,
-    lane_cycles: [u64; LANES],
-    initialized: bool,
-}
-
-impl<'a> TimedSim64<'a> {
-    /// Compiles the netlist under `lib`'s delay model and creates a
-    /// simulator with all lanes at their settled initial values.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
-    pub fn new(netlist: &'a Netlist, lib: &Library) -> Result<Self, NetlistError> {
-        let _span = hlpower_obs::trace::span("sim64timed", "sim64timed.compile");
-        let program = Program::compile(netlist)?;
-        let n = netlist.node_count();
-        let mut instr_of = vec![u32::MAX; n];
-        for (i, ins) in program.instrs.iter().enumerate() {
-            instr_of[ins.out as usize] = i as u32;
-        }
-        // Bucket gate delays to the library's resolution: the GCD of all
-        // gate delays. (1 for the default library; coarser libraries get a
-        // proportionally shorter wheel.)
-        let delays_ps = gate_delays_ps(netlist, lib);
-        let resolution =
-            delays_ps.iter().filter(|&&d| d > 0).fold(0u64, |acc, &d| gcd(d, acc)).max(1);
-        let buckets: Vec<u64> = delays_ps.iter().map(|&d| d / resolution).collect();
-        let wheel_len = buckets.iter().max().copied().unwrap_or(0) as usize + 1;
-        // Gate-only fanout CSR, annotated with the fanout's own delay.
-        let fanouts = netlist.fanouts();
-        let mut fan_start = vec![0u32; n + 1];
-        let mut fan = Vec::new();
-        for u in 0..n {
-            for &f in &fanouts[u] {
-                if matches!(netlist.kind(f), NodeKind::Gate { .. }) {
-                    fan.push((f.index() as u32, buckets[f.index()] as u32));
+impl TimedKernel {
+    /// Resolves [`Auto`](Self::Auto) against a workload of `transitions`
+    /// stream transitions (the wide differential batteries and
+    /// `DESIGN.md` document this heuristic): at least 512 transitions
+    /// fill a [`W512`] word, at least 256 fill a [`W256`] word, anything
+    /// smaller stays on `u64`. Explicit kernels resolve to themselves.
+    pub fn resolve(self, transitions: usize) -> TimedKernel {
+        match self {
+            TimedKernel::Auto => {
+                if transitions >= W512::LANES {
+                    TimedKernel::Packed512
+                } else if transitions >= W256::LANES {
+                    TimedKernel::Packed256
+                } else {
+                    TimedKernel::Packed64
                 }
             }
-            fan_start[u + 1] = fan.len() as u32;
-        }
-        // Settle the combinational network from the broadcast initial
-        // state, mirroring the scalar constructor.
-        let mut values = program.init.clone();
-        for ins in &program.instrs {
-            values[ins.out as usize] = program.eval(&values, ins);
-        }
-        let mut dff_next = Vec::with_capacity(netlist.dffs().len());
-        let mut dff_d = Vec::with_capacity(netlist.dffs().len());
-        for &q in netlist.dffs() {
-            if let NodeKind::Dff { d, init } = netlist.kind(q) {
-                dff_next.push(broadcast(*init));
-                dff_d.push(d.index() as u32);
-            }
-        }
-        Ok(TimedSim64 {
-            netlist,
-            program,
-            instr_of,
-            fan_start,
-            fan,
-            wheel_len,
-            wheel: vec![0; wheel_len * n],
-            touched: vec![Vec::new(); wheel_len],
-            outstanding: 0,
-            values,
-            step_start: vec![0; n],
-            dff_next,
-            dff_d,
-            slot_nodes: Vec::new(),
-            toggle_planes: vec![0; n * PLANES],
-            func_planes: vec![0; n * PLANES],
-            lane_toggles: vec![0; n * LANES],
-            lane_functional: vec![0; n * LANES],
-            lane_cycles: [0; LANES],
-            initialized: false,
-        })
-    }
-
-    /// The netlist being simulated.
-    pub fn netlist(&self) -> &Netlist {
-        self.netlist
-    }
-
-    /// Packed current value of a node (bit `l` is lane `l`).
-    pub fn value_word(&self, node: NodeId) -> u64 {
-        self.values[node.index()]
-    }
-
-    /// Applies a source-node change: updates lanes in `mask`, counts
-    /// toggles in `count_mask`, and schedules the gate fanouts of the
-    /// changed lanes at their transport delays (time zero of this step).
-    fn seed_source(&mut self, node: usize, new: u64, mask: u64, count_mask: u64) {
-        let changed = (self.values[node] ^ new) & mask;
-        if changed == 0 {
-            return;
-        }
-        self.values[node] ^= changed;
-        bump_planes_spill(
-            &mut self.toggle_planes,
-            node * PLANES,
-            &mut self.lane_toggles,
-            node * LANES,
-            changed & count_mask,
-        );
-        let n = self.instr_of.len();
-        for k in self.fan_start[node] as usize..self.fan_start[node + 1] as usize {
-            let (f, db) = self.fan[k];
-            // Gate delays are >= 1 bucket, so at time zero the target slot
-            // is the delay itself (no wrap).
-            let idx = db as usize * n + f as usize;
-            if self.wheel[idx] == 0 {
-                self.touched[db as usize].push(f);
-                self.outstanding += 1;
-            }
-            self.wheel[idx] |= changed;
+            k => k,
         }
     }
 
-    /// Processes the wheel until no events remain, counting toggles in
-    /// `count_mask`. Returns the number of word-wide evaluations (each
-    /// coalesces up to 64 scalar heap pops at one `(time, node)` point).
-    fn drain(&mut self, count_mask: u64) -> u64 {
-        let n = self.instr_of.len();
-        let mut events = 0u64;
-        let mut t = 0usize;
-        while self.outstanding > 0 {
-            t += 1;
-            let slot = t % self.wheel_len;
-            if self.touched[slot].is_empty() {
-                continue;
-            }
-            let mut nodes = std::mem::take(&mut self.slot_nodes);
-            std::mem::swap(&mut nodes, &mut self.touched[slot]);
-            self.outstanding -= nodes.len();
-            // Scalar tie-break: equal-time events pop in ascending node-id
-            // order. A node appears at most once per slot (wheel dedup).
-            nodes.sort_unstable();
-            for &node in &nodes {
-                let idx = slot * n + node as usize;
-                let sched = self.wheel[idx];
-                self.wheel[idx] = 0;
-                events += 1;
-                let ins = self.program.instrs[self.instr_of[node as usize] as usize];
-                let new = self.program.eval(&self.values, &ins);
-                let node = node as usize;
-                let changed = (self.values[node] ^ new) & sched;
-                if changed == 0 {
-                    continue;
-                }
-                self.values[node] ^= changed;
-                bump_planes_spill(
-                    &mut self.toggle_planes,
-                    node * PLANES,
-                    &mut self.lane_toggles,
-                    node * LANES,
-                    changed & count_mask,
-                );
-                for k in self.fan_start[node] as usize..self.fan_start[node + 1] as usize {
-                    let (f, db) = self.fan[k];
-                    // Delays are in [1, wheel_len - 1], so the target slot
-                    // never collides with the slot being processed.
-                    let slot2 = (t + db as usize) % self.wheel_len;
-                    let idx2 = slot2 * n + f as usize;
-                    if self.wheel[idx2] == 0 {
-                        self.touched[slot2].push(f);
-                        self.outstanding += 1;
-                    }
-                    self.wheel[idx2] |= changed;
-                }
-            }
-            nodes.clear();
-            self.slot_nodes = nodes;
-        }
-        events
-    }
-
-    /// Advances every lane by one clock cycle. `inputs[i]` packs the bit
-    /// of primary input `i` for all 64 lanes.
+    /// Number of stimulus lanes one step of this kernel advances (1 for
+    /// the scalar kernel).
     ///
-    /// # Errors
+    /// # Panics
     ///
-    /// Returns [`NetlistError::InputWidthMismatch`] if `inputs` does not
-    /// have one word per primary input.
-    pub fn step(&mut self, inputs: &[u64]) -> Result<(), NetlistError> {
-        self.step_masked(inputs, !0)
-    }
-
-    /// [`step`](Self::step) restricted to the lanes set in `mask`.
-    ///
-    /// The contract matches [`crate::Sim64::step_masked`]: a prefix-closed
-    /// active set per lane (active for its first `k` steps, inactive
-    /// afterwards) makes lane `l` bit-identical to a scalar
-    /// [`EventDrivenSim`] run over a `k`-vector stream. Input bits of
-    /// inactive lanes are don't-cares.
-    ///
-    /// # Errors
-    ///
-    /// As [`step`](Self::step).
-    pub fn step_masked(&mut self, inputs: &[u64], mask: u64) -> Result<(), NetlistError> {
-        if inputs.len() != self.netlist.input_count() {
-            return Err(NetlistError::InputWidthMismatch {
-                got: inputs.len(),
-                expected: self.netlist.input_count(),
-            });
+    /// Panics on [`Auto`](Self::Auto), which has no width until
+    /// [`resolve`](Self::resolve)d against a workload.
+    pub fn lanes(self) -> usize {
+        match self {
+            TimedKernel::Scalar => 1,
+            TimedKernel::Packed64 => 64,
+            TimedKernel::Packed256 => W256::LANES,
+            TimedKernel::Packed512 => W512::LANES,
+            TimedKernel::Auto => panic!("TimedKernel::Auto must be resolved before use"),
         }
-        // The first step only establishes values; count nothing.
-        let count_mask = if self.initialized { mask } else { 0 };
-        self.step_start.copy_from_slice(&self.values);
-        // Time-zero events: DFF outputs and primary inputs.
-        for i in 0..self.dff_next.len() {
-            let q = self.netlist.dffs()[i].index();
-            let new = self.dff_next[i];
-            self.seed_source(q, new, mask, count_mask);
-        }
-        for (i, &new) in inputs.iter().enumerate() {
-            let inp = self.netlist.inputs()[i].index();
-            self.seed_source(inp, new, mask, count_mask);
-        }
-        let events = self.drain(count_mask);
-        obs::SIM_EVP_STEPS.inc();
-        obs::SIM_EVP_EVENTS.add(events);
-        // Functional transition accounting: settled-state diff.
-        if count_mask != 0 {
-            for node in 0..self.values.len() {
-                let diff = (self.step_start[node] ^ self.values[node]) & count_mask;
-                if diff != 0 {
-                    bump_planes_spill(
-                        &mut self.func_planes,
-                        node * PLANES,
-                        &mut self.lane_functional,
-                        node * LANES,
-                        diff,
-                    );
-                }
-            }
-        }
-        // Sample D inputs for the next cycle.
-        for (i, &d) in self.dff_d.iter().enumerate() {
-            self.dff_next[i] = self.values[d as usize];
-        }
-        if self.initialized {
-            obs::SIM_EVP_LANE_CYCLES.add(mask.count_ones() as u64);
-            for l in 0..LANES {
-                self.lane_cycles[l] += (mask >> l) & 1;
-            }
-        }
-        self.initialized = true;
-        Ok(())
-    }
-
-    /// Replays 64 independent *transitions* of a single stream: lane `l`
-    /// starts from settled state `from` and receives the source-node
-    /// (primary input and flip-flop output) values of settled state `to`,
-    /// both packed per node with bit `l` = lane `l`. Used by
-    /// [`timed_activity`]'s trajectory driver; every lane counts (no
-    /// initialization step), and flip-flop latching state is bypassed, so
-    /// do not mix transition blocks with [`step`](Self::step) calls on one
-    /// instance.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetlistError::ActivitySizeMismatch`] if `from`/`to` do
-    /// not have one word per node.
-    pub fn eval_transition_block(
-        &mut self,
-        from: &[u64],
-        to: &[u64],
-        mask: u64,
-    ) -> Result<(), NetlistError> {
-        let n = self.values.len();
-        if from.len() != n || to.len() != n {
-            return Err(NetlistError::ActivitySizeMismatch {
-                left: n,
-                right: if from.len() != n { from.len() } else { to.len() },
-            });
-        }
-        self.values.copy_from_slice(from);
-        for i in 0..self.dff_next.len() {
-            let q = self.netlist.dffs()[i].index();
-            self.seed_source(q, to[q], mask, mask);
-        }
-        for i in 0..self.netlist.input_count() {
-            // Primary inputs change at time zero like DFF outputs.
-            let inp = self.netlist.inputs()[i].index();
-            self.seed_source(inp, to[inp], mask, mask);
-        }
-        let events = self.drain(mask);
-        obs::SIM_EVP_STEPS.inc();
-        obs::SIM_EVP_EVENTS.add(events);
-        obs::SIM_EVP_LANE_CYCLES.add(mask.count_ones() as u64);
-        for node in 0..n {
-            debug_assert_eq!(
-                (self.values[node] ^ to[node]) & mask,
-                0,
-                "event-driven settle diverged from the zero-delay trajectory at node {node}"
-            );
-            let diff = (from[node] ^ self.values[node]) & mask;
-            if diff != 0 {
-                bump_planes_spill(
-                    &mut self.func_planes,
-                    node * PLANES,
-                    &mut self.lane_functional,
-                    node * LANES,
-                    diff,
-                );
-            }
-        }
-        for l in 0..LANES {
-            self.lane_cycles[l] += (mask >> l) & 1;
-        }
-        Ok(())
-    }
-
-    /// Returns the 64 per-lane timed-activity records and resets the
-    /// counters (values, flip-flop state, and the initialized flag are
-    /// preserved so runs can be chained, mirroring the scalar
-    /// `take_activity`).
-    ///
-    /// Lane `l`'s record is bit-identical to what a scalar
-    /// [`EventDrivenSim`] run over lane `l`'s stream would have
-    /// accumulated.
-    pub fn take_lane_activities(&mut self) -> Vec<TimedActivity> {
-        let n = self.values.len();
-        flush_planes(&mut self.toggle_planes, &mut self.lane_toggles, n);
-        flush_planes(&mut self.func_planes, &mut self.lane_functional, n);
-        let mut out = Vec::with_capacity(LANES);
-        let mut total_toggles = 0u64;
-        let mut total_glitches = 0u64;
-        for l in 0..LANES {
-            let mut toggles = vec![0u64; n];
-            let mut functional = vec![0u64; n];
-            for node in 0..n {
-                toggles[node] = self.lane_toggles[node * LANES + l];
-                functional[node] = self.lane_functional[node * LANES + l];
-                total_toggles += toggles[node];
-                total_glitches += toggles[node].saturating_sub(functional[node]);
-            }
-            out.push(TimedActivity {
-                activity: Activity { toggles, cycles: self.lane_cycles[l] },
-                functional,
-            });
-        }
-        obs::SIM_EVP_TRANSITIONS.add(total_toggles);
-        obs::SIM_EVP_GLITCHES.add(total_glitches);
-        self.lane_toggles.iter_mut().for_each(|t| *t = 0);
-        self.lane_functional.iter_mut().for_each(|t| *t = 0);
-        self.lane_cycles = [0; LANES];
-        out
     }
 }
 
 /// Profiles one input-vector stream with the chosen timed kernel and
 /// returns the glitch-decomposed activity.
 ///
-/// Both kernels return bit-identical records. The scalar kernel steps an
-/// [`EventDrivenSim`] over the stream; the packed kernel computes the
-/// zero-delay stable-state trajectory once, then replays the stream's
-/// `N - 1` transitions 64 per word on a [`TimedSim64`] and merges the
-/// lanes (exact integer sums, so the reorganization is invisible).
+/// All kernels return bit-identical records. The scalar kernel steps an
+/// [`EventDrivenSim`] over the stream; the packed kernels compute the
+/// zero-delay stable-state trajectory once, then replay the stream's
+/// `N - 1` transitions [`Word::LANES`] per word on a [`WideTimedSim`] and
+/// merge the lanes (exact integer sums, so the reorganization is
+/// invisible). [`TimedKernel::Auto`] resolves to the widest word the
+/// transition count can fill.
 ///
 /// # Errors
 ///
@@ -539,18 +141,21 @@ pub fn timed_activity(
     stream: &[Vec<bool>],
     kernel: TimedKernel,
 ) -> Result<TimedActivity, NetlistError> {
-    match kernel {
+    match kernel.resolve(stream.len().saturating_sub(1)) {
         TimedKernel::Scalar => {
             let mut sim = EventDrivenSim::new(netlist, lib)?;
             sim.run(stream.iter().cloned())
         }
-        TimedKernel::Packed64 => timed_activity_packed(netlist, lib, stream),
+        TimedKernel::Packed64 => timed_activity_packed::<u64>(netlist, lib, stream),
+        TimedKernel::Packed256 => timed_activity_packed::<W256>(netlist, lib, stream),
+        TimedKernel::Packed512 => timed_activity_packed::<W512>(netlist, lib, stream),
+        TimedKernel::Auto => unreachable!("resolve never returns Auto"),
     }
 }
 
 /// The packed [`timed_activity`] driver: zero-delay trajectory +
-/// transition blocks.
-fn timed_activity_packed(
+/// transition blocks, at any word width.
+fn timed_activity_packed<W: Word>(
     netlist: &Netlist,
     lib: &Library,
     stream: &[Vec<bool>],
@@ -578,18 +183,20 @@ fn timed_activity_packed(
     // leak into the caller-visible zero-delay metrics totals twice.
     let _ = zd.take_activity();
 
-    let mut sim = TimedSim64::new(netlist, lib)?;
-    let mut from = vec![0u64; n];
-    let mut to = vec![0u64; n];
+    let mut sim = WideTimedSim::<W>::new(netlist, lib)?;
+    let mut from = vec![W::zero(); n];
+    let mut to = vec![W::zero(); n];
     let transitions = stream.len() - 1;
     let mut t0 = 1usize;
     while t0 <= transitions {
-        let lanes = (transitions - t0 + 1).min(LANES);
-        let mask = if lanes == LANES { !0u64 } else { (1u64 << lanes) - 1 };
+        let lanes = (transitions - t0 + 1).min(W::LANES);
+        let mask = W::low_mask(lanes);
         for node in 0..n {
             let w = &traj[node * blocks..(node + 1) * blocks];
-            from[node] = window(w, t0 - 1);
-            to[node] = window(w, t0);
+            for c in 0..W::CHUNKS {
+                from[node].chunks_mut()[c] = window(w, t0 - 1 + 64 * c);
+                to[node].chunks_mut()[c] = window(w, t0 + 64 * c);
+            }
         }
         sim.eval_transition_block(&from, &to, mask)?;
         t0 += lanes;
@@ -607,6 +214,9 @@ fn timed_activity_packed(
 fn window(words: &[u64], start: usize) -> u64 {
     let w = start / 64;
     let b = start % 64;
+    if w >= words.len() {
+        return 0;
+    }
     let mut x = words[w] >> b;
     if b != 0 && w + 1 < words.len() {
         x |= words[w + 1] << (64 - b);
@@ -617,6 +227,7 @@ fn window(words: &[u64], start: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim64::LANES;
     use crate::{gen, streams};
     use hlpower_rng::Rng;
 
@@ -711,8 +322,15 @@ mod tests {
         let lib = Library::default();
         let stream: Vec<Vec<bool>> = streams::random(3, nl.input_count()).take(150).collect();
         let scalar = timed_activity(&nl, &lib, &stream, TimedKernel::Scalar).unwrap();
-        let packed = timed_activity(&nl, &lib, &stream, TimedKernel::Packed64).unwrap();
-        assert_eq!(scalar, packed);
+        for kernel in [
+            TimedKernel::Packed64,
+            TimedKernel::Packed256,
+            TimedKernel::Packed512,
+            TimedKernel::Auto,
+        ] {
+            let packed = timed_activity(&nl, &lib, &stream, kernel).unwrap();
+            assert_eq!(scalar, packed, "{kernel:?}");
+        }
         assert!(scalar.total_glitches().unwrap() > 0, "multiplier should glitch");
     }
 
@@ -722,20 +340,41 @@ mod tests {
         let lib = Library::default();
         let stream: Vec<Vec<bool>> = streams::random(8, nl.input_count()).take(130).collect();
         let scalar = timed_activity(&nl, &lib, &stream, TimedKernel::Scalar).unwrap();
-        let packed = timed_activity(&nl, &lib, &stream, TimedKernel::Packed64).unwrap();
-        assert_eq!(scalar, packed);
+        for kernel in [
+            TimedKernel::Packed64,
+            TimedKernel::Packed256,
+            TimedKernel::Packed512,
+            TimedKernel::Auto,
+        ] {
+            let packed = timed_activity(&nl, &lib, &stream, kernel).unwrap();
+            assert_eq!(scalar, packed, "{kernel:?}");
+        }
     }
 
     #[test]
     fn timed_activity_handles_degenerate_streams() {
         let nl = mult(3);
         let lib = Library::default();
-        for take in [0usize, 1, 2, 64, 65] {
+        for take in [0usize, 1, 2, 64, 65, 256, 257] {
             let stream: Vec<Vec<bool>> = streams::random(5, nl.input_count()).take(take).collect();
             let scalar = timed_activity(&nl, &lib, &stream, TimedKernel::Scalar).unwrap();
-            let packed = timed_activity(&nl, &lib, &stream, TimedKernel::Packed64).unwrap();
-            assert_eq!(scalar, packed, "stream length {take}");
+            for kernel in [TimedKernel::Packed64, TimedKernel::Packed512, TimedKernel::Auto] {
+                let packed = timed_activity(&nl, &lib, &stream, kernel).unwrap();
+                assert_eq!(scalar, packed, "stream length {take}, {kernel:?}");
+            }
         }
+    }
+
+    #[test]
+    fn auto_kernel_scales_width_with_the_workload() {
+        assert_eq!(TimedKernel::Auto.resolve(0), TimedKernel::Packed64);
+        assert_eq!(TimedKernel::Auto.resolve(255), TimedKernel::Packed64);
+        assert_eq!(TimedKernel::Auto.resolve(256), TimedKernel::Packed256);
+        assert_eq!(TimedKernel::Auto.resolve(511), TimedKernel::Packed256);
+        assert_eq!(TimedKernel::Auto.resolve(512), TimedKernel::Packed512);
+        assert_eq!(TimedKernel::Scalar.resolve(10_000), TimedKernel::Scalar);
+        assert_eq!(TimedKernel::Packed64.lanes(), 64);
+        assert_eq!(TimedKernel::Packed512.lanes(), 512);
     }
 
     #[test]
@@ -743,7 +382,7 @@ mod tests {
         let nl = mult(3);
         let lib = Library::default();
         let stream = vec![vec![false; nl.input_count()], vec![true; 2]];
-        for kernel in [TimedKernel::Scalar, TimedKernel::Packed64] {
+        for kernel in [TimedKernel::Scalar, TimedKernel::Packed64, TimedKernel::Auto] {
             assert!(matches!(
                 timed_activity(&nl, &lib, &stream, kernel),
                 Err(NetlistError::InputWidthMismatch { got: 2, .. })
@@ -760,21 +399,5 @@ mod tests {
             sim.step(&[0u64; 3]),
             Err(NetlistError::InputWidthMismatch { got: 3, expected: 6 })
         ));
-    }
-
-    #[test]
-    fn plane_spill_is_exact_past_the_top_plane() {
-        // Force the carry chain out of the 16-plane stack and check that
-        // the spilled weight lands exactly in the 64-bit totals.
-        let mut planes = vec![0u64; PLANES];
-        let mut totals = vec![0u64; LANES];
-        let reps = (1u64 << PLANES) + 5;
-        for _ in 0..reps {
-            bump_planes_spill(&mut planes, 0, &mut totals, 0, !0);
-        }
-        flush_planes(&mut planes, &mut totals, 1);
-        for l in 0..LANES {
-            assert_eq!(totals[l], reps, "lane {l}");
-        }
     }
 }

@@ -1,0 +1,1073 @@
+//! Width-generic compiled packed simulation: 64/256/512 stimulus lanes
+//! from one instruction stream.
+//!
+//! This module generalizes the bit-parallel kernels of [`crate::sim64`]
+//! and [`crate::sim64timed`] over the [`Word`] abstraction: the same
+//! compiled opcode+slot instruction stream drives [`Word::LANES`]
+//! independent stimulus lanes per pass, with one word per node. `u64`
+//! reproduces the original 64-lane kernels ([`crate::Sim64`] and
+//! [`crate::TimedSim64`] are aliases of [`WideSim`]/[`WideTimedSim`] at
+//! `W = u64`); [`W256`]/[`W512`] quadruple/octuple the lanes per
+//! instruction decode, amortizing the per-instruction overhead (decode,
+//! bounds checks, toggle-counter carry chains) over 4x/8x the data.
+//!
+//! # Runtime SIMD fast path
+//!
+//! The zero-delay settle loop — the hot core of every packed step — is
+//! compiled a second time inside `#[target_feature]` wrappers for AVX2
+//! (and AVX-512F for [`W512`]) and dispatched at runtime via
+//! [`simd_level`], so wide words use full-width vector loads and logic
+//! ops on machines that have them while the portable per-chunk code
+//! remains the fallback everywhere else. The timed kernel's wheel drain
+//! is dominated by data-dependent scheduling rather than straight-line
+//! word ops, so it intentionally has no hand-dispatched variant: it
+//! relies on ordinary autovectorization of the generic chunk loops.
+//!
+//! # Determinism contract
+//!
+//! Lane `l` of a packed run is *bit-identical* to a scalar run over the
+//! same stream for **every** word width, and the SIMD fast path computes
+//! the same words as the portable path (bitwise boolean algebra has no
+//! rounding). `tests/wide_differential.rs` locks both claims in across
+//! every circuit generator and the ingested example netlists.
+
+use std::any::TypeId;
+use std::sync::OnceLock;
+
+use hlpower_obs::metrics as obs;
+
+use crate::error::NetlistError;
+use crate::event::{gate_delays_ps, TimedActivity};
+use crate::library::Library;
+use crate::netlist::{Netlist, NodeId, NodeKind};
+use crate::power::PowerModel;
+use crate::sim::Activity;
+use crate::sim64::Program;
+use crate::words::{Word, W256, W512};
+
+/// Bit planes per node in the vertical carry-save toggle counters: a node
+/// can absorb `2^PLANES - 1` toggles per lane between flushes.
+pub(crate) const PLANES: usize = 16;
+
+/// Counted steps between plane flushes in the zero-delay kernel; one
+/// fewer than the plane capacity so the carry chain can never overflow
+/// out of the top plane.
+const FLUSH_INTERVAL: u64 = (1 << PLANES) - 1;
+
+/// The vector instruction set the hot settle loop runs on, detected once
+/// per process (see [`simd_level`]). Ordering is by width, so
+/// `level >= SimdLevel::Avx2` asks "are 256-bit ops available".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable per-chunk code only (non-x86-64, or no AVX2).
+    Scalar,
+    /// 256-bit AVX2 loads/logic for [`W256`] and [`W512`] words.
+    Avx2,
+    /// 512-bit AVX-512F loads/logic for [`W512`] words.
+    Avx512,
+}
+
+/// Runtime-detected SIMD capability of this machine, cached after the
+/// first call. Purely a wall-clock concern: every level computes
+/// bit-identical results.
+pub fn simd_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx2")
+            {
+                return SimdLevel::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+        }
+        SimdLevel::Scalar
+    })
+}
+
+/// Adds `carry` (a set of lanes that toggled) into a node's vertical
+/// bit-plane counter. Amortized cost is ~2 word operations: the carry
+/// chain almost always dies in the low planes.
+#[inline(always)]
+pub(crate) fn bump_planes<W: Word>(planes: &mut [W], base: usize, mut carry: W) {
+    let mut p = 0;
+    while !carry.is_zero() {
+        let t = planes[base + p];
+        planes[base + p] = t.xor(carry);
+        carry = carry.and(t);
+        p += 1;
+    }
+}
+
+/// Adds `carry` into a node's vertical bit-plane counter, spilling
+/// exactly into the 64-bit totals if the carry ripples out of the top
+/// plane (the timed kernel can toggle a node many times per step, so the
+/// flush-schedule trick of the zero-delay kernel does not apply).
+#[inline]
+fn bump_planes_spill<W: Word>(
+    planes: &mut [W],
+    base: usize,
+    lane_totals: &mut [u64],
+    lane_base: usize,
+    mut carry: W,
+) {
+    for p in 0..PLANES {
+        if carry.is_zero() {
+            return;
+        }
+        let t = planes[base + p];
+        planes[base + p] = t.xor(carry);
+        carry = carry.and(t);
+    }
+    // Carry out of the top plane: the plane stack wrapped modulo
+    // `2^PLANES` for these lanes, so credit the wrapped weight directly.
+    for (c, &chunk) in carry.chunks().iter().enumerate() {
+        let mut m = chunk;
+        while m != 0 {
+            let l = c * 64 + m.trailing_zeros() as usize;
+            lane_totals[lane_base + l] += 1u64 << PLANES;
+            m &= m - 1;
+        }
+    }
+}
+
+/// Drains a bit-plane array into exact per-lane totals
+/// (`node * W::LANES + lane`).
+fn flush_planes<W: Word>(planes: &mut [W], lane_totals: &mut [u64], nodes: usize) {
+    for node in 0..nodes {
+        let base = node * PLANES;
+        for p in 0..PLANES {
+            let w = planes[base + p];
+            if w.is_zero() {
+                continue;
+            }
+            planes[base + p] = W::zero();
+            let weight = 1u64 << p;
+            for (c, &chunk) in w.chunks().iter().enumerate() {
+                let mut m = chunk;
+                while m != 0 {
+                    let l = c * 64 + m.trailing_zeros() as usize;
+                    lane_totals[node * W::LANES + l] += weight;
+                    m &= m - 1;
+                }
+            }
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The zero-delay settle loop: evaluates the compiled instruction stream
+/// against the packed values, bumping toggle planes for changed lanes.
+/// Kept as one `#[inline(always)]` body so the `#[target_feature]`
+/// wrappers below re-compile the identical code under wider vector ISAs.
+#[inline(always)]
+fn settle_body<W: Word>(program: &Program, values: &mut [W], planes: &mut [W], count_mask: W) {
+    for idx in 0..program.instrs.len() {
+        let ins = program.instrs[idx];
+        let new = program.eval(values, &ins);
+        let slot = ins.out as usize;
+        bump_planes(planes, slot * PLANES, values[slot].xor(new).and(count_mask));
+        values[slot] = new;
+    }
+}
+
+/// `settle_body` re-compiled with AVX2 codegen. Monomorphic (rather than
+/// a generic `#[target_feature]` fn) so dispatch stays a plain TypeId
+/// check with identity slice casts.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn settle_avx2_w256(
+    program: &Program,
+    values: &mut [W256],
+    planes: &mut [W256],
+    count_mask: W256,
+) {
+    settle_body(program, values, planes, count_mask);
+}
+
+/// `settle_body` for [`W512`] under AVX2 (two 256-bit ops per word).
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn settle_avx2_w512(
+    program: &Program,
+    values: &mut [W512],
+    planes: &mut [W512],
+    count_mask: W512,
+) {
+    settle_body(program, values, planes, count_mask);
+}
+
+/// `settle_body` for [`W512`] under AVX-512F (one 512-bit op per word).
+///
+/// # Safety
+///
+/// The caller must have verified AVX-512F support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn settle_avx512_w512(
+    program: &Program,
+    values: &mut [W512],
+    planes: &mut [W512],
+    count_mask: W512,
+) {
+    settle_body(program, values, planes, count_mask);
+}
+
+/// Dispatches the settle loop to the widest vector path this machine and
+/// word width support. Bit-identical to the portable path by
+/// construction (pure boolean algebra, no reassociation-sensitive math).
+fn settle<W: Word>(program: &Program, values: &mut [W], planes: &mut [W], count_mask: W) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let level = simd_level();
+        if level >= SimdLevel::Avx2 && TypeId::of::<W>() == TypeId::of::<W256>() {
+            // SAFETY: the TypeId check proves `W == W256`, so the raw
+            // slice casts are identity casts; AVX2 was runtime-verified.
+            unsafe {
+                settle_avx2_w256(
+                    program,
+                    &mut *(values as *mut [W] as *mut [W256]),
+                    &mut *(planes as *mut [W] as *mut [W256]),
+                    *(&count_mask as *const W as *const W256),
+                );
+            }
+            return;
+        }
+        if TypeId::of::<W>() == TypeId::of::<W512>() && level >= SimdLevel::Avx2 {
+            // SAFETY: as above with `W == W512`; the chosen wrapper's
+            // feature was runtime-verified.
+            unsafe {
+                let values = &mut *(values as *mut [W] as *mut [W512]);
+                let planes = &mut *(planes as *mut [W] as *mut [W512]);
+                let count_mask = *(&count_mask as *const W as *const W512);
+                if level >= SimdLevel::Avx512 {
+                    settle_avx512_w512(program, values, planes, count_mask);
+                } else {
+                    settle_avx2_w512(program, values, planes, count_mask);
+                }
+            }
+            return;
+        }
+    }
+    settle_body(program, values, planes, count_mask);
+}
+
+/// The width-generic lane-parallel compiled simulator: [`Word::LANES`]
+/// independent stimulus lanes advance one clock cycle per
+/// [`step`](WideSim::step).
+///
+/// Sequencing per step matches [`crate::ZeroDelaySim`] exactly:
+/// flip-flops present their previously-sampled values, primary inputs are
+/// applied, the combinational network settles in topological order,
+/// flip-flops sample their D inputs. The first step initializes values
+/// without counting toggles. [`crate::Sim64`] is this type at `W = u64`.
+#[derive(Debug, Clone)]
+pub struct WideSim<'a, W: Word> {
+    netlist: &'a Netlist,
+    program: Program,
+    /// Packed node values; lane `l` of a word is stimulus stream `l`.
+    values: Vec<W>,
+    /// Next-state words latched per DFF (parallel to `netlist.dffs()`).
+    dff_next: Vec<W>,
+    /// Per-DFF D-input slots, resolved once at construction.
+    dff_d: Vec<u32>,
+    /// Vertical carry-save toggle counters: `PLANES` words per node.
+    planes: Vec<W>,
+    /// Exact per-lane toggle counts flushed out of the planes
+    /// (`node * W::LANES + lane`).
+    lane_toggles: Vec<u64>,
+    /// Counted cycles per lane (`W::LANES` entries).
+    lane_cycles: Vec<u64>,
+    /// Counted steps since the last plane flush.
+    pending: u64,
+    initialized: bool,
+}
+
+impl<'a, W: Word> WideSim<'a, W> {
+    /// Compiles the netlist and creates a simulator with all lanes at
+    /// their initial values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        let program = Program::compile(netlist)?;
+        let values = program.init_words::<W>();
+        let mut dff_next = Vec::with_capacity(netlist.dffs().len());
+        let mut dff_d = Vec::with_capacity(netlist.dffs().len());
+        for &q in netlist.dffs() {
+            if let NodeKind::Dff { d, init } = netlist.kind(q) {
+                dff_next.push(W::splat(*init));
+                dff_d.push(d.index() as u32);
+            }
+        }
+        let n = netlist.node_count();
+        Ok(WideSim {
+            netlist,
+            program,
+            values,
+            dff_next,
+            dff_d,
+            planes: vec![W::zero(); n * PLANES],
+            lane_toggles: vec![0; n * W::LANES],
+            lane_cycles: vec![0; W::LANES],
+            pending: 0,
+            initialized: false,
+        })
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Packed current value of a node (lane `l` is stream `l`).
+    pub fn value_word(&self, node: NodeId) -> W {
+        self.values[node.index()]
+    }
+
+    /// Packed current values of the primary outputs, in declaration order.
+    pub fn output_words(&self) -> Vec<W> {
+        self.netlist.outputs().iter().map(|&(_, n)| self.values[n.index()]).collect()
+    }
+
+    /// Advances every lane by one clock cycle. `inputs[i]` packs the bit
+    /// of primary input `i` for all lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if `inputs` does not
+    /// have one word per primary input.
+    pub fn step(&mut self, inputs: &[W]) -> Result<(), NetlistError> {
+        self.step_masked(inputs, W::splat(true))
+    }
+
+    /// [`step`](Self::step) restricted to the lanes set in `mask`.
+    ///
+    /// Masked-out lanes do not accumulate toggles or cycles this step, so
+    /// lanes whose stimulus streams end early stop exactly where their
+    /// scalar runs would. A lane must not be re-activated after a masked
+    /// step: the contract is a prefix-closed active set per lane (active
+    /// for its first `k` steps, inactive afterwards), matching a scalar
+    /// run over a `k`-vector stream. Input bits of inactive lanes are
+    /// don't-cares.
+    ///
+    /// # Errors
+    ///
+    /// As [`step`](Self::step).
+    pub fn step_masked(&mut self, inputs: &[W], mask: W) -> Result<(), NetlistError> {
+        if inputs.len() != self.netlist.input_count() {
+            return Err(NetlistError::InputWidthMismatch {
+                got: inputs.len(),
+                expected: self.netlist.input_count(),
+            });
+        }
+        obs::SIM64_STEPS.inc();
+        obs::SIM64_GATE_EVALS.add(self.program.instrs.len() as u64);
+        // The first step only establishes values (no previous vector to
+        // toggle from); count nothing by masking every diff to zero.
+        let count_mask = if self.initialized { mask } else { W::zero() };
+        // Present DFF outputs (sampled at the previous edge).
+        for (i, &q) in self.netlist.dffs().iter().enumerate() {
+            let slot = q.index();
+            let new = self.dff_next[i];
+            bump_planes(
+                &mut self.planes,
+                slot * PLANES,
+                self.values[slot].xor(new).and(count_mask),
+            );
+            self.values[slot] = new;
+        }
+        // Apply primary inputs.
+        for (i, &inp) in self.netlist.inputs().iter().enumerate() {
+            let slot = inp.index();
+            let new = inputs[i];
+            bump_planes(
+                &mut self.planes,
+                slot * PLANES,
+                self.values[slot].xor(new).and(count_mask),
+            );
+            self.values[slot] = new;
+        }
+        // Settle combinational logic via the compiled instruction stream
+        // (runtime-dispatched to the widest available vector path).
+        settle(&self.program, &mut self.values, &mut self.planes, count_mask);
+        // Sample D inputs for the next cycle.
+        for (i, &d) in self.dff_d.iter().enumerate() {
+            self.dff_next[i] = self.values[d as usize];
+        }
+        if self.initialized {
+            obs::SIM64_LANE_CYCLES.add(mask.count_ones() as u64);
+            for l in 0..W::LANES {
+                self.lane_cycles[l] += mask.lane(l) as u64;
+            }
+            self.pending += 1;
+            if self.pending >= FLUSH_INTERVAL {
+                flush_planes(&mut self.planes, &mut self.lane_toggles, self.netlist.node_count());
+                self.pending = 0;
+            }
+        }
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Returns the per-lane activity records and resets the counters
+    /// (values, flip-flop state, and the initialized flag are preserved so
+    /// runs can be chained, mirroring the scalar `take_activity`).
+    ///
+    /// Lane `l`'s record is bit-identical to what a scalar
+    /// [`crate::ZeroDelaySim`] run over lane `l`'s stream would have
+    /// accumulated.
+    pub fn take_lane_activities(&mut self) -> Vec<Activity> {
+        let n = self.netlist.node_count();
+        flush_planes(&mut self.planes, &mut self.lane_toggles, n);
+        self.pending = 0;
+        // Transpose node-major: one sequential pass over the strided
+        // totals, scattering into at most `LANES` write streams (which
+        // stay cache-resident), instead of `LANES` strided gathers that
+        // each touch one cache line per node.
+        let mut out: Vec<Activity> = self
+            .lane_cycles
+            .iter()
+            .map(|&cycles| Activity { toggles: vec![0u64; n], cycles })
+            .collect();
+        let mut total_toggles = 0u64;
+        for (node, row) in self.lane_toggles.chunks_exact(W::LANES).enumerate() {
+            for (l, &t) in row.iter().enumerate() {
+                if t != 0 {
+                    out[l].toggles[node] = t;
+                    total_toggles += t;
+                }
+            }
+        }
+        obs::SIM64_TOGGLES.add(total_toggles);
+        self.lane_toggles.iter_mut().for_each(|t| *t = 0);
+        self.lane_cycles.iter_mut().for_each(|c| *c = 0);
+        out
+    }
+
+    /// Finalizes the run straight into per-lane `(total power µW,
+    /// counted cycles)` samples under a precomputed [`PowerModel`],
+    /// resetting the counters exactly like
+    /// [`take_lane_activities`](Self::take_lane_activities).
+    ///
+    /// This is the Monte-Carlo fast path: the conversion runs node-major
+    /// over the strided totals without materializing `LANES` per-lane
+    /// toggle vectors, which otherwise costs more than the packed
+    /// simulation itself at 256/512 lanes. Lane `l`'s sample is
+    /// bit-identical to `model.total_power_uw(&lane_activity)` of the
+    /// record [`take_lane_activities`](Self::take_lane_activities) would
+    /// have returned for that lane.
+    pub fn take_lane_powers(&mut self, model: &PowerModel) -> Vec<(f64, u64)> {
+        let n = self.netlist.node_count();
+        flush_planes(&mut self.planes, &mut self.lane_toggles, n);
+        self.pending = 0;
+        obs::SIM64_TOGGLES.add(self.lane_toggles.iter().sum());
+        let powers = model.lane_powers_uw(&self.lane_toggles, W::LANES, &self.lane_cycles);
+        let out = powers.into_iter().zip(self.lane_cycles.iter().copied()).collect();
+        self.lane_toggles.iter_mut().for_each(|t| *t = 0);
+        self.lane_cycles.iter_mut().for_each(|c| *c = 0);
+        out
+    }
+
+    /// Returns the lane-collapsed activity (all lanes merged: toggles
+    /// summed per node, cycles summed) and resets the counters.
+    pub fn take_activity(&mut self) -> Activity {
+        let n = self.netlist.node_count();
+        flush_planes(&mut self.planes, &mut self.lane_toggles, n);
+        self.pending = 0;
+        let mut toggles = vec![0u64; n];
+        for (node, t) in toggles.iter_mut().enumerate() {
+            *t = self.lane_toggles[node * W::LANES..(node + 1) * W::LANES].iter().sum();
+        }
+        obs::SIM64_TOGGLES.add(toggles.iter().sum::<u64>());
+        self.lane_toggles.iter_mut().for_each(|t| *t = 0);
+        let cycles = self.lane_cycles.iter().sum();
+        self.lane_cycles.iter_mut().for_each(|c| *c = 0);
+        Activity { toggles, cycles }
+    }
+}
+
+/// The width-generic lane-parallel compiled *timed* (glitch-capturing)
+/// simulator: [`Word::LANES`] independent stimulus lanes advance one
+/// clock cycle per [`step`](WideTimedSim::step), with every glitch
+/// counted.
+///
+/// Sequencing per step matches [`crate::EventDrivenSim`] exactly:
+/// flip-flop outputs and primary inputs change at time zero, events
+/// propagate through a discretized time wheel in `(time, node)` order
+/// under the library's transport delays, functional transitions are
+/// recovered from the settled-state diff, and flip-flops sample their D
+/// inputs. The first step initializes values without counting.
+/// [`crate::TimedSim64`] is this type at `W = u64`.
+#[derive(Debug, Clone)]
+pub struct WideTimedSim<'a, W: Word> {
+    netlist: &'a Netlist,
+    program: Program,
+    /// Per-node index into `program.instrs`, `u32::MAX` for non-gates.
+    instr_of: Vec<u32>,
+    /// CSR fanout graph restricted to gate fanouts: entry `(gate, delay)`
+    /// where `delay` is the *bucketed* transport delay of the fanout gate.
+    fan_start: Vec<u32>,
+    fan: Vec<(u32, u32)>,
+    /// Time-wheel extent: max bucketed gate delay + 1 (all pending events
+    /// lie within one wheel revolution of the cursor).
+    wheel_len: usize,
+    /// Pending-evaluation lane masks, `wheel_len x node_count`.
+    wheel: Vec<W>,
+    /// Nodes with a nonzero mask per wheel slot.
+    touched: Vec<Vec<u32>>,
+    /// Total touched entries pending across all slots.
+    outstanding: usize,
+    /// Packed node values; lane `l` of a word is stimulus stream `l`.
+    values: Vec<W>,
+    /// Settled values at the start of the current step (functional diff).
+    step_start: Vec<W>,
+    /// Next-state words latched per DFF (parallel to `netlist.dffs()`).
+    dff_next: Vec<W>,
+    /// Per-DFF D-input slots.
+    dff_d: Vec<u32>,
+    /// Scratch buffer for one wheel slot's node list (sorted ascending).
+    slot_nodes: Vec<u32>,
+    /// Vertical counters for all transitions (functional + glitch).
+    toggle_planes: Vec<W>,
+    /// Vertical counters for functional (settled-state) transitions.
+    func_planes: Vec<W>,
+    /// Exact per-lane totals flushed out of the planes
+    /// (`node * W::LANES + lane`).
+    lane_toggles: Vec<u64>,
+    lane_functional: Vec<u64>,
+    lane_cycles: Vec<u64>,
+    initialized: bool,
+}
+
+impl<'a, W: Word> WideTimedSim<'a, W> {
+    /// Compiles the netlist under `lib`'s delay model and creates a
+    /// simulator with all lanes at their settled initial values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn new(netlist: &'a Netlist, lib: &Library) -> Result<Self, NetlistError> {
+        let _span = hlpower_obs::trace::span("sim64timed", "sim64timed.compile");
+        let program = Program::compile(netlist)?;
+        let n = netlist.node_count();
+        let mut instr_of = vec![u32::MAX; n];
+        for (i, ins) in program.instrs.iter().enumerate() {
+            instr_of[ins.out as usize] = i as u32;
+        }
+        // Bucket gate delays to the library's resolution: the GCD of all
+        // gate delays. (1 for the default library; coarser libraries get a
+        // proportionally shorter wheel.)
+        let delays_ps = gate_delays_ps(netlist, lib);
+        let resolution =
+            delays_ps.iter().filter(|&&d| d > 0).fold(0u64, |acc, &d| gcd(d, acc)).max(1);
+        let buckets: Vec<u64> = delays_ps.iter().map(|&d| d / resolution).collect();
+        let wheel_len = buckets.iter().max().copied().unwrap_or(0) as usize + 1;
+        // Gate-only fanout CSR, annotated with the fanout's own delay.
+        let fanouts = netlist.fanouts();
+        let mut fan_start = vec![0u32; n + 1];
+        let mut fan = Vec::new();
+        for u in 0..n {
+            for &f in &fanouts[u] {
+                if matches!(netlist.kind(f), NodeKind::Gate { .. }) {
+                    fan.push((f.index() as u32, buckets[f.index()] as u32));
+                }
+            }
+            fan_start[u + 1] = fan.len() as u32;
+        }
+        // Settle the combinational network from the broadcast initial
+        // state, mirroring the scalar constructor.
+        let mut values = program.init_words::<W>();
+        for ins in &program.instrs {
+            values[ins.out as usize] = program.eval(&values, ins);
+        }
+        let mut dff_next = Vec::with_capacity(netlist.dffs().len());
+        let mut dff_d = Vec::with_capacity(netlist.dffs().len());
+        for &q in netlist.dffs() {
+            if let NodeKind::Dff { d, init } = netlist.kind(q) {
+                dff_next.push(W::splat(*init));
+                dff_d.push(d.index() as u32);
+            }
+        }
+        Ok(WideTimedSim {
+            netlist,
+            program,
+            instr_of,
+            fan_start,
+            fan,
+            wheel_len,
+            wheel: vec![W::zero(); wheel_len * n],
+            touched: vec![Vec::new(); wheel_len],
+            outstanding: 0,
+            values,
+            step_start: vec![W::zero(); n],
+            dff_next,
+            dff_d,
+            slot_nodes: Vec::new(),
+            toggle_planes: vec![W::zero(); n * PLANES],
+            func_planes: vec![W::zero(); n * PLANES],
+            lane_toggles: vec![0; n * W::LANES],
+            lane_functional: vec![0; n * W::LANES],
+            lane_cycles: vec![0; W::LANES],
+            initialized: false,
+        })
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Packed current value of a node (lane `l` is stream `l`).
+    pub fn value_word(&self, node: NodeId) -> W {
+        self.values[node.index()]
+    }
+
+    /// Applies a source-node change: updates lanes in `mask`, counts
+    /// toggles in `count_mask`, and schedules the gate fanouts of the
+    /// changed lanes at their transport delays (time zero of this step).
+    fn seed_source(&mut self, node: usize, new: W, mask: W, count_mask: W) {
+        let changed = self.values[node].xor(new).and(mask);
+        if changed.is_zero() {
+            return;
+        }
+        self.values[node] = self.values[node].xor(changed);
+        bump_planes_spill(
+            &mut self.toggle_planes,
+            node * PLANES,
+            &mut self.lane_toggles,
+            node * W::LANES,
+            changed.and(count_mask),
+        );
+        let n = self.instr_of.len();
+        for k in self.fan_start[node] as usize..self.fan_start[node + 1] as usize {
+            let (f, db) = self.fan[k];
+            // Gate delays are >= 1 bucket, so at time zero the target slot
+            // is the delay itself (no wrap).
+            let idx = db as usize * n + f as usize;
+            if self.wheel[idx].is_zero() {
+                self.touched[db as usize].push(f);
+                self.outstanding += 1;
+            }
+            self.wheel[idx] = self.wheel[idx].or(changed);
+        }
+    }
+
+    /// Processes the wheel until no events remain, counting toggles in
+    /// `count_mask`. Returns the number of word-wide evaluations (each
+    /// coalesces up to `W::LANES` scalar heap pops at one `(time, node)`
+    /// point).
+    fn drain(&mut self, count_mask: W) -> u64 {
+        let n = self.instr_of.len();
+        let mut events = 0u64;
+        let mut t = 0usize;
+        while self.outstanding > 0 {
+            t += 1;
+            let slot = t % self.wheel_len;
+            if self.touched[slot].is_empty() {
+                continue;
+            }
+            let mut nodes = std::mem::take(&mut self.slot_nodes);
+            std::mem::swap(&mut nodes, &mut self.touched[slot]);
+            self.outstanding -= nodes.len();
+            // Scalar tie-break: equal-time events pop in ascending node-id
+            // order. A node appears at most once per slot (wheel dedup).
+            nodes.sort_unstable();
+            for &node in &nodes {
+                let idx = slot * n + node as usize;
+                let sched = self.wheel[idx];
+                self.wheel[idx] = W::zero();
+                events += 1;
+                let ins = self.program.instrs[self.instr_of[node as usize] as usize];
+                let new = self.program.eval(&self.values, &ins);
+                let node = node as usize;
+                let changed = self.values[node].xor(new).and(sched);
+                if changed.is_zero() {
+                    continue;
+                }
+                self.values[node] = self.values[node].xor(changed);
+                bump_planes_spill(
+                    &mut self.toggle_planes,
+                    node * PLANES,
+                    &mut self.lane_toggles,
+                    node * W::LANES,
+                    changed.and(count_mask),
+                );
+                for k in self.fan_start[node] as usize..self.fan_start[node + 1] as usize {
+                    let (f, db) = self.fan[k];
+                    // Delays are in [1, wheel_len - 1], so the target slot
+                    // never collides with the slot being processed.
+                    let slot2 = (t + db as usize) % self.wheel_len;
+                    let idx2 = slot2 * n + f as usize;
+                    if self.wheel[idx2].is_zero() {
+                        self.touched[slot2].push(f);
+                        self.outstanding += 1;
+                    }
+                    self.wheel[idx2] = self.wheel[idx2].or(changed);
+                }
+            }
+            nodes.clear();
+            self.slot_nodes = nodes;
+        }
+        events
+    }
+
+    /// Advances every lane by one clock cycle. `inputs[i]` packs the bit
+    /// of primary input `i` for all lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if `inputs` does not
+    /// have one word per primary input.
+    pub fn step(&mut self, inputs: &[W]) -> Result<(), NetlistError> {
+        self.step_masked(inputs, W::splat(true))
+    }
+
+    /// [`step`](Self::step) restricted to the lanes set in `mask`.
+    ///
+    /// The contract matches [`WideSim::step_masked`]: a prefix-closed
+    /// active set per lane (active for its first `k` steps, inactive
+    /// afterwards) makes lane `l` bit-identical to a scalar
+    /// [`crate::EventDrivenSim`] run over a `k`-vector stream. Input bits
+    /// of inactive lanes are don't-cares.
+    ///
+    /// # Errors
+    ///
+    /// As [`step`](Self::step).
+    pub fn step_masked(&mut self, inputs: &[W], mask: W) -> Result<(), NetlistError> {
+        if inputs.len() != self.netlist.input_count() {
+            return Err(NetlistError::InputWidthMismatch {
+                got: inputs.len(),
+                expected: self.netlist.input_count(),
+            });
+        }
+        // The first step only establishes values; count nothing.
+        let count_mask = if self.initialized { mask } else { W::zero() };
+        self.step_start.copy_from_slice(&self.values);
+        // Time-zero events: DFF outputs and primary inputs.
+        for i in 0..self.dff_next.len() {
+            let q = self.netlist.dffs()[i].index();
+            let new = self.dff_next[i];
+            self.seed_source(q, new, mask, count_mask);
+        }
+        for (i, &new) in inputs.iter().enumerate() {
+            let inp = self.netlist.inputs()[i].index();
+            self.seed_source(inp, new, mask, count_mask);
+        }
+        let events = self.drain(count_mask);
+        obs::SIM_EVP_STEPS.inc();
+        obs::SIM_EVP_EVENTS.add(events);
+        // Functional transition accounting: settled-state diff.
+        if !count_mask.is_zero() {
+            for node in 0..self.values.len() {
+                let diff = self.step_start[node].xor(self.values[node]).and(count_mask);
+                if !diff.is_zero() {
+                    bump_planes_spill(
+                        &mut self.func_planes,
+                        node * PLANES,
+                        &mut self.lane_functional,
+                        node * W::LANES,
+                        diff,
+                    );
+                }
+            }
+        }
+        // Sample D inputs for the next cycle.
+        for (i, &d) in self.dff_d.iter().enumerate() {
+            self.dff_next[i] = self.values[d as usize];
+        }
+        if self.initialized {
+            obs::SIM_EVP_LANE_CYCLES.add(mask.count_ones() as u64);
+            for l in 0..W::LANES {
+                self.lane_cycles[l] += mask.lane(l) as u64;
+            }
+        }
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Replays [`Word::LANES`] independent *transitions* of a single
+    /// stream: lane `l` starts from settled state `from` and receives the
+    /// source-node (primary input and flip-flop output) values of settled
+    /// state `to`, both packed per node with lane `l` = transition `l`.
+    /// Used by [`crate::timed_activity`]'s trajectory driver; every lane
+    /// counts (no initialization step), and flip-flop latching state is
+    /// bypassed, so do not mix transition blocks with
+    /// [`step`](Self::step) calls on one instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ActivitySizeMismatch`] if `from`/`to` do
+    /// not have one word per node.
+    pub fn eval_transition_block(
+        &mut self,
+        from: &[W],
+        to: &[W],
+        mask: W,
+    ) -> Result<(), NetlistError> {
+        let n = self.values.len();
+        if from.len() != n || to.len() != n {
+            return Err(NetlistError::ActivitySizeMismatch {
+                left: n,
+                right: if from.len() != n { from.len() } else { to.len() },
+            });
+        }
+        self.values.copy_from_slice(from);
+        for i in 0..self.dff_next.len() {
+            let q = self.netlist.dffs()[i].index();
+            self.seed_source(q, to[q], mask, mask);
+        }
+        for i in 0..self.netlist.input_count() {
+            // Primary inputs change at time zero like DFF outputs.
+            let inp = self.netlist.inputs()[i].index();
+            self.seed_source(inp, to[inp], mask, mask);
+        }
+        let events = self.drain(mask);
+        obs::SIM_EVP_STEPS.inc();
+        obs::SIM_EVP_EVENTS.add(events);
+        obs::SIM_EVP_LANE_CYCLES.add(mask.count_ones() as u64);
+        for node in 0..n {
+            debug_assert!(
+                self.values[node].xor(to[node]).and(mask).is_zero(),
+                "event-driven settle diverged from the zero-delay trajectory at node {node}"
+            );
+            let diff = from[node].xor(self.values[node]).and(mask);
+            if !diff.is_zero() {
+                bump_planes_spill(
+                    &mut self.func_planes,
+                    node * PLANES,
+                    &mut self.lane_functional,
+                    node * W::LANES,
+                    diff,
+                );
+            }
+        }
+        for l in 0..W::LANES {
+            self.lane_cycles[l] += mask.lane(l) as u64;
+        }
+        Ok(())
+    }
+
+    /// Returns the per-lane timed-activity records and resets the
+    /// counters (values, flip-flop state, and the initialized flag are
+    /// preserved so runs can be chained, mirroring the scalar
+    /// `take_activity`).
+    ///
+    /// Lane `l`'s record is bit-identical to what a scalar
+    /// [`crate::EventDrivenSim`] run over lane `l`'s stream would have
+    /// accumulated.
+    pub fn take_lane_activities(&mut self) -> Vec<TimedActivity> {
+        let n = self.values.len();
+        flush_planes(&mut self.toggle_planes, &mut self.lane_toggles, n);
+        flush_planes(&mut self.func_planes, &mut self.lane_functional, n);
+        // Node-major transpose, for the same cache reasons as
+        // `WideSim::take_lane_activities`.
+        let mut out: Vec<TimedActivity> = self
+            .lane_cycles
+            .iter()
+            .map(|&cycles| TimedActivity {
+                activity: Activity { toggles: vec![0u64; n], cycles },
+                functional: vec![0u64; n],
+            })
+            .collect();
+        let mut total_toggles = 0u64;
+        let mut total_glitches = 0u64;
+        for node in 0..n {
+            let row = &self.lane_toggles[node * W::LANES..(node + 1) * W::LANES];
+            let func = &self.lane_functional[node * W::LANES..(node + 1) * W::LANES];
+            for (l, (&t, &f)) in row.iter().zip(func).enumerate() {
+                if t != 0 || f != 0 {
+                    out[l].activity.toggles[node] = t;
+                    out[l].functional[node] = f;
+                    total_toggles += t;
+                    total_glitches += t.saturating_sub(f);
+                }
+            }
+        }
+        obs::SIM_EVP_TRANSITIONS.add(total_toggles);
+        obs::SIM_EVP_GLITCHES.add(total_glitches);
+        self.lane_toggles.iter_mut().for_each(|t| *t = 0);
+        self.lane_functional.iter_mut().for_each(|t| *t = 0);
+        self.lane_cycles.iter_mut().for_each(|c| *c = 0);
+        out
+    }
+
+    /// Finalizes the run straight into per-lane `(total power µW,
+    /// counted cycles)` samples under a precomputed [`PowerModel`] — the
+    /// glitch-aware sibling of [`WideSim::take_lane_powers`], over the
+    /// glitch-inclusive toggle totals. Lane `l`'s sample is bit-identical
+    /// to `model.total_power_uw(&lane.activity)` of the record
+    /// [`take_lane_activities`](Self::take_lane_activities) would have
+    /// returned for that lane.
+    pub fn take_lane_powers(&mut self, model: &PowerModel) -> Vec<(f64, u64)> {
+        let n = self.values.len();
+        flush_planes(&mut self.toggle_planes, &mut self.lane_toggles, n);
+        flush_planes(&mut self.func_planes, &mut self.lane_functional, n);
+        let (mut total_toggles, mut total_glitches) = (0u64, 0u64);
+        for (&t, &f) in self.lane_toggles.iter().zip(&self.lane_functional) {
+            total_toggles += t;
+            total_glitches += t.saturating_sub(f);
+        }
+        obs::SIM_EVP_TRANSITIONS.add(total_toggles);
+        obs::SIM_EVP_GLITCHES.add(total_glitches);
+        let powers = model.lane_powers_uw(&self.lane_toggles, W::LANES, &self.lane_cycles);
+        let out = powers.into_iter().zip(self.lane_cycles.iter().copied()).collect();
+        self.lane_toggles.iter_mut().for_each(|t| *t = 0);
+        self.lane_functional.iter_mut().for_each(|t| *t = 0);
+        self.lane_cycles.iter_mut().for_each(|c| *c = 0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventDrivenSim;
+    use crate::sim::ZeroDelaySim;
+    use crate::{gen, streams};
+    use hlpower_rng::Rng;
+
+    fn adder(bits: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.input_bus("a", bits);
+        let b = nl.input_bus("b", bits);
+        let c0 = nl.constant(false);
+        let s = gen::ripple_adder(&mut nl, &a, &b, c0);
+        nl.output_bus("s", &s);
+        nl
+    }
+
+    fn fir() -> Netlist {
+        let mut nl = Netlist::new();
+        let x = nl.input_bus("x", 6);
+        let y = gen::fir_filter(&mut nl, &x, &[7, 13, 7], true);
+        nl.output_bus("y", &y);
+        nl
+    }
+
+    /// Packs per-lane bool vectors into input words.
+    fn pack<W: Word>(vectors: &[Vec<bool>]) -> Vec<W> {
+        let width = vectors[0].len();
+        let mut words = vec![W::zero(); width];
+        for (lane, v) in vectors.iter().enumerate() {
+            for (i, &b) in v.iter().enumerate() {
+                words[i].set_lane(lane, b);
+            }
+        }
+        words
+    }
+
+    fn wide_lanes_match_scalar<W: Word>(sample: &[usize]) {
+        let nl = fir();
+        let w = nl.input_count();
+        let root = Rng::seed_from_u64(42);
+        let cycles = 60;
+        let mut sim = WideSim::<W>::new(&nl).unwrap();
+        let mut iters: Vec<_> =
+            (0..W::LANES).map(|l| streams::random_rng(root.split(l as u64), w)).collect();
+        for _ in 0..cycles {
+            let vectors: Vec<Vec<bool>> = iters.iter_mut().map(|it| it.next().unwrap()).collect();
+            sim.step(&pack(&vectors)).unwrap();
+        }
+        let lanes = sim.take_lane_activities();
+        assert_eq!(lanes.len(), W::LANES);
+        for &l in sample {
+            let mut scalar = ZeroDelaySim::new(&nl).unwrap();
+            let act = scalar
+                .run(streams::random_rng(root.split(l as u64), w).take(cycles))
+                .expect("width matches");
+            assert_eq!(lanes[l], act, "lane {l} diverged from its scalar stream");
+        }
+    }
+
+    #[test]
+    fn w256_lanes_match_scalar_streams() {
+        wide_lanes_match_scalar::<W256>(&[0, 63, 64, 128, 255]);
+    }
+
+    #[test]
+    fn w512_lanes_match_scalar_streams() {
+        wide_lanes_match_scalar::<W512>(&[0, 64, 255, 256, 511]);
+    }
+
+    fn wide_timed_lanes_match_scalar<W: Word>(sample: &[usize]) {
+        let nl = adder(4);
+        let lib = Library::default();
+        let w = nl.input_count();
+        let root = Rng::seed_from_u64(7);
+        let cycles = 40;
+        let mut sim = WideTimedSim::<W>::new(&nl, &lib).unwrap();
+        let mut iters: Vec<_> =
+            (0..W::LANES).map(|l| streams::random_rng(root.split(l as u64), w)).collect();
+        for _ in 0..cycles {
+            let vectors: Vec<Vec<bool>> = iters.iter_mut().map(|it| it.next().unwrap()).collect();
+            sim.step(&pack(&vectors)).unwrap();
+        }
+        let lanes = sim.take_lane_activities();
+        for &l in sample {
+            let mut scalar = EventDrivenSim::new(&nl, &lib).unwrap();
+            let act =
+                scalar.run(streams::random_rng(root.split(l as u64), w).take(cycles)).unwrap();
+            assert_eq!(lanes[l], act, "timed lane {l} diverged from its scalar stream");
+        }
+    }
+
+    #[test]
+    fn w256_timed_lanes_match_scalar_event_sim() {
+        wide_timed_lanes_match_scalar::<W256>(&[0, 64, 255]);
+    }
+
+    #[test]
+    fn w512_timed_lanes_match_scalar_event_sim() {
+        wide_timed_lanes_match_scalar::<W512>(&[0, 256, 511]);
+    }
+
+    #[test]
+    fn plane_spill_is_exact_past_the_top_plane() {
+        // Force the carry chain out of the 16-plane stack and check that
+        // the spilled weight lands exactly in the 64-bit totals, for every
+        // word width.
+        fn check<W: Word>() {
+            let mut planes = vec![W::zero(); PLANES];
+            let mut totals = vec![0u64; W::LANES];
+            let reps = (1u64 << PLANES) + 5;
+            for _ in 0..reps {
+                bump_planes_spill(&mut planes, 0, &mut totals, 0, W::splat(true));
+            }
+            flush_planes(&mut planes, &mut totals, 1);
+            for (l, &t) in totals.iter().enumerate() {
+                assert_eq!(t, reps, "lane {l}");
+            }
+        }
+        check::<u64>();
+        check::<W256>();
+        check::<W512>();
+    }
+
+    #[test]
+    fn simd_level_is_stable_and_ordered() {
+        let level = simd_level();
+        assert_eq!(level, simd_level(), "detection must be cached/consistent");
+        assert!(SimdLevel::Scalar < SimdLevel::Avx2);
+        assert!(SimdLevel::Avx2 < SimdLevel::Avx512);
+    }
+}

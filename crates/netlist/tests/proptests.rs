@@ -1,8 +1,11 @@
 //! Property-based tests for the gate-level substrate. Runs on the
 //! in-tree [`hlpower_rng::check`] harness.
 
-use hlpower_netlist::{gen, streams, words, Library, Netlist, ZeroDelaySim};
+use hlpower_netlist::{
+    gen, streams, words, GateKind, IncrementalSim, Library, Netlist, NodeId, NodeKind, ZeroDelaySim,
+};
 use hlpower_rng::check::Check;
+use hlpower_rng::Rng;
 
 fn eval_once(nl: &Netlist, inputs: &[bool]) -> Vec<bool> {
     let mut sim = ZeroDelaySim::new(nl).expect("acyclic");
@@ -121,6 +124,119 @@ fn word_round_trip() {
         let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
         let bits = words::to_bits(v, width);
         assert_eq!(words::from_bits(&bits), v & mask);
+    });
+}
+
+/// One random gate-level mutation of `current`, guaranteed acyclic (new
+/// fanins always have smaller node indices than the gate that reads
+/// them, and `random_logic` builds netlists in topological index order).
+/// Returns the mutated netlist and the declared change set.
+fn random_mutation(rng: &mut Rng, current: &Netlist) -> (Netlist, Vec<NodeId>) {
+    let ids: Vec<NodeId> = current.node_ids().collect();
+    let gates: Vec<NodeId> = ids
+        .iter()
+        .copied()
+        .filter(|&id| matches!(current.kind(id), NodeKind::Gate { .. }))
+        .collect();
+    let variadic =
+        [GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor, GateKind::Xor, GateKind::Xnor];
+    let mut mutated = current.clone();
+    let target = gates[rng.gen_range(0..gates.len())];
+    let NodeKind::Gate { kind, inputs } = current.kind(target).clone() else { unreachable!() };
+    match rng.gen_range(0u32..3) {
+        // Function flip: new gate kind over the same fanins.
+        0 => {
+            let new_kind = variadic[rng.gen_range(0..variadic.len())];
+            mutated.replace_gate(target, new_kind, inputs).expect("arity holds");
+        }
+        // Rewire: repoint one fanin at an arbitrary earlier node.
+        1 => {
+            let mut ins = inputs;
+            let pin = rng.gen_range(0..ins.len());
+            ins[pin] = ids[rng.gen_range(0..target.index())];
+            mutated.replace_gate(target, kind, ins).expect("arity holds");
+        }
+        // Append: fresh logic over earlier nodes, spliced into a fanin.
+        _ => {
+            let new_kind = variadic[rng.gen_range(0..variadic.len())];
+            let a = ids[rng.gen_range(0..target.index())];
+            let b = ids[rng.gen_range(0..target.index())];
+            let fresh = mutated.gate(new_kind, [a, b]).expect("arity holds");
+            let mut ins = inputs;
+            let pin = rng.gen_range(0..ins.len());
+            ins[pin] = fresh;
+            mutated.replace_gate(target, kind, ins).expect("arity holds");
+        }
+    }
+    (mutated, vec![target])
+}
+
+/// Dirty-cone re-simulation equals a full recompile-and-replay —
+/// activity bit-for-bit and cached value words word-for-word — across a
+/// random sequence of committed mutations, and the cone is always a
+/// superset of the nodes whose values actually changed.
+#[test]
+fn dirty_cone_resim_matches_full_replay() {
+    Check::new("dirty_cone_resim_matches_full_replay").cases(32).run(|rng| {
+        let seed = rng.next_u64();
+        let n_inputs = rng.gen_range(3usize..8);
+        let n_gates = rng.gen_range(10usize..60);
+        let mut nl = Netlist::new();
+        gen::random_logic(&mut nl, seed, n_inputs, n_gates, 3);
+        let cycles = rng.gen_range(60usize..200);
+        let stream: Vec<Vec<bool>> = streams::random(seed, n_inputs).take(cycles).collect();
+        let mut inc = IncrementalSim::record(&nl, &stream).expect("combinational");
+        let mut current = nl;
+        for _ in 0..rng.gen_range(1usize..5) {
+            let (mutated, changed) = random_mutation(rng, &current);
+            let resim = inc.resim(&mutated, &changed).expect("incremental edit");
+            let full = IncrementalSim::record(&mutated, &stream).expect("combinational");
+            // The cone is a superset of every node whose value changed...
+            let mut in_cone = vec![false; mutated.node_count()];
+            for &id in &resim.cone {
+                in_cone[id.index()] = true;
+            }
+            for id in current.node_ids() {
+                if inc.value_words(id) != full.value_words(id) {
+                    assert!(in_cone[id.index()], "node {id} changed outside the cone");
+                }
+            }
+            // ...and `changed_values` is inside the cone.
+            for &id in &resim.changed_values {
+                assert!(in_cone[id.index()]);
+            }
+            // The delta activity is bit-identical to the full replay.
+            assert_eq!(resim.activity, full.activity());
+            // Committing leaves the cache word-for-word equal to it too.
+            inc.commit(&mutated, resim);
+            for id in mutated.node_ids() {
+                assert_eq!(
+                    inc.value_words(id),
+                    full.value_words(id),
+                    "committed cache diverged at node {id}"
+                );
+            }
+            current = mutated;
+        }
+    });
+}
+
+/// The recorded base activity always matches the scalar simulator, for
+/// arbitrary random netlists and stream lengths (including non-multiples
+/// of 64, the packed word width).
+#[test]
+fn incremental_recording_matches_scalar_oracle() {
+    Check::new("incremental_recording_matches_scalar_oracle").cases(32).run(|rng| {
+        let seed = rng.next_u64();
+        let n_inputs = rng.gen_range(2usize..7);
+        let mut nl = Netlist::new();
+        gen::random_logic(&mut nl, seed, n_inputs, rng.gen_range(5usize..40), 2);
+        let cycles = rng.gen_range(1usize..150);
+        let stream: Vec<Vec<bool>> = streams::random(seed, n_inputs).take(cycles).collect();
+        let inc = IncrementalSim::record(&nl, &stream).expect("combinational");
+        let mut scalar = ZeroDelaySim::new(&nl).expect("acyclic");
+        let act = scalar.run(stream.iter().cloned()).expect("width matches");
+        assert_eq!(inc.activity(), act);
     });
 }
 

@@ -85,6 +85,19 @@ pub static SIM_EVP_TRANSITIONS: ShardedCounter = ShardedCounter::new();
 /// Glitch transitions flushed through `take_lane_activities`.
 pub static SIM_EVP_GLITCHES: ShardedCounter = ShardedCounter::new();
 
+// --- Incremental (dirty-cone) re-simulation --------------------------------
+
+/// Full time-packed recordings taken by `IncrementalSim::record`.
+pub static SIM_INC_RECORDS: Counter = Counter::new();
+/// Dirty-cone re-simulations answered from the cache
+/// (`IncrementalSim::resim`).
+pub static SIM_INC_RESIMS: Counter = Counter::new();
+/// Nodes re-evaluated across all dirty cones.
+pub static SIM_INC_CONE_NODES: Counter = Counter::new();
+/// Nodes whose cached packed values were reused verbatim (the work an
+/// equivalent full replay would have repeated).
+pub static SIM_INC_REUSED_NODES: Counter = Counter::new();
+
 // --- BDD manager ----------------------------------------------------------
 
 /// Recursive ITE calls (batched per top-level `ite`).
@@ -214,6 +227,15 @@ pub fn snapshot() -> Snapshot {
                 ],
             },
             Section {
+                name: "sim_incremental",
+                entries: vec![
+                    ("records", Value::Count(SIM_INC_RECORDS.get())),
+                    ("resims", Value::Count(SIM_INC_RESIMS.get())),
+                    ("cone_nodes", Value::Count(SIM_INC_CONE_NODES.get())),
+                    ("reused_nodes", Value::Count(SIM_INC_REUSED_NODES.get())),
+                ],
+            },
+            Section {
                 name: "bdd",
                 entries: vec![
                     ("ite_calls", Value::Count(ite_calls)),
@@ -293,6 +315,10 @@ pub fn reset_all() {
     SIM_EVP_LANE_CYCLES.reset();
     SIM_EVP_TRANSITIONS.reset();
     SIM_EVP_GLITCHES.reset();
+    SIM_INC_RECORDS.reset();
+    SIM_INC_RESIMS.reset();
+    SIM_INC_CONE_NODES.reset();
+    SIM_INC_REUSED_NODES.reset();
     BDD_ITE_CALLS.reset();
     BDD_ITE_CACHE_HITS.reset();
     BDD_NODES_CREATED.reset();
@@ -338,6 +364,7 @@ mod tests {
                 "sim_packed",
                 "sim_event",
                 "sim_ev_packed",
+                "sim_incremental",
                 "bdd",
                 "monte_carlo",
                 "pool",

@@ -15,6 +15,9 @@
 //! * [`retime`] — glitch-aware pipelining/retiming (§III-J).
 //! * [`balance`] — buffer-insertion path balancing for glitch reduction
 //!   (the §III-I/reference 109 companion transformation).
+//! * [`rewrite`] — power-driven local gate rewriting (§III-I) scored by
+//!   dirty-cone incremental re-simulation, with fused dead-gate cleanup
+//!   and delta-maintained power attribution.
 
 #![warn(missing_docs)]
 // Matrix- and table-style numerics read more clearly with explicit index
@@ -27,4 +30,5 @@ pub mod clockgate;
 pub mod guard;
 pub mod precompute;
 pub mod retime;
+pub mod rewrite;
 pub mod shutdown;

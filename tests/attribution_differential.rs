@@ -8,7 +8,7 @@
 
 use hlpower::netlist::{
     attribute, gen, streams, Activity, AttributionReport, Library, McKernel, Netlist, Sim64,
-    ZeroDelaySim, LANES,
+    WideSim, Word, ZeroDelaySim, LANES, W256, W512,
 };
 use hlpower_rng::Rng;
 
@@ -20,13 +20,55 @@ fn generators() -> Vec<(&'static str, Netlist)> {
     gen::benchmark_suite()
 }
 
+/// The lane-collapsed activity of one packed run over `W::LANES`
+/// split-seed streams. Lanes beyond the scalar reference's 64 reuse the
+/// same split indices modulo 64, so every width sees the same *multiset*
+/// of streams scaled by `W::LANES / 64` and per-node toggle totals stay
+/// comparable after normalization — here we only need the 64-lane-width
+/// case to match the scalar reference exactly, so wider runs use 64
+/// distinct streams each repeated `W::LANES / 64` times and divide.
+fn packed_activity<W: Word>(nl: &Netlist, repeat: bool) -> Activity {
+    let w = nl.input_count();
+    let root = Rng::seed_from_u64(SEED);
+    let mut sim = WideSim::<W>::new(nl).expect("acyclic");
+    let mut lanes: Vec<_> = (0..W::LANES)
+        .map(|l| {
+            let split = if repeat { (l % LANES) as u64 } else { l as u64 };
+            streams::random_rng(root.split(split), w)
+        })
+        .collect();
+    let mut words = vec![W::zero(); w];
+    for _ in 0..CYCLES {
+        words.iter_mut().for_each(|word| *word = W::zero());
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            let v = lane.next().expect("infinite stream");
+            for (word, &bit) in words.iter_mut().zip(&v) {
+                word.set_lane(l, bit);
+            }
+        }
+        sim.step(&words).expect("width");
+    }
+    sim.take_activity()
+}
+
 /// The activity a kernel's simulator produces for 64 split-seed streams
 /// of `CYCLES` vectors each: 64 merged scalar runs for
-/// [`McKernel::Scalar`], one lane-collapsed packed run for
-/// [`McKernel::Packed64`].
+/// [`McKernel::Scalar`], one lane-collapsed packed run for the packed
+/// kernels. The 256/512-lane kernels drive the same 64 streams repeated
+/// across their extra lanes (4x/8x every toggle count), then divide the
+/// totals back down — exact, since every toggle count is an integer
+/// multiple of the repetition factor.
 fn kernel_activity(nl: &Netlist, kernel: McKernel) -> Activity {
     let w = nl.input_count();
     let root = Rng::seed_from_u64(SEED);
+    let rescale = |mut act: Activity, factor: u64| {
+        for t in &mut act.toggles {
+            assert_eq!(*t % factor, 0, "repeated lanes must toggle identically");
+            *t /= factor;
+        }
+        act.cycles /= factor;
+        act
+    };
     match kernel {
         McKernel::Scalar => {
             let mut total = Activity::zero(nl);
@@ -39,23 +81,10 @@ fn kernel_activity(nl: &Netlist, kernel: McKernel) -> Activity {
             }
             total
         }
-        McKernel::Packed64 => {
-            let mut sim = Sim64::new(nl).expect("acyclic");
-            let mut lanes: Vec<_> =
-                (0..LANES).map(|l| streams::random_rng(root.split(l as u64), w)).collect();
-            let mut words = vec![0u64; w];
-            for _ in 0..CYCLES {
-                words.iter_mut().for_each(|word| *word = 0);
-                for (l, lane) in lanes.iter_mut().enumerate() {
-                    let v = lane.next().expect("infinite stream");
-                    for (word, bit) in words.iter_mut().zip(&v) {
-                        *word |= u64::from(*bit) << l;
-                    }
-                }
-                sim.step(&words).expect("width");
-            }
-            sim.take_activity()
-        }
+        McKernel::Packed64 => packed_activity::<u64>(nl, false),
+        McKernel::Packed256 => rescale(packed_activity::<W256>(nl, true), 4),
+        McKernel::Packed512 => rescale(packed_activity::<W512>(nl, true), 8),
+        McKernel::Auto => kernel_activity(nl, McKernel::Packed64),
     }
 }
 
@@ -69,14 +98,20 @@ fn attribute_under(nl: &Netlist, kernel: McKernel) -> AttributionReport {
     report
 }
 
-/// Both kernels' attributions reconcile with their power reports and are
-/// identical to each other — every node label, toggle count, and energy.
+/// Every kernel's attribution reconciles with its power report and is
+/// identical to the others' — every node label, toggle count, and
+/// energy, at every packed width.
 #[test]
 fn attribution_is_kernel_independent_on_every_generator() {
     for (name, nl) in generators() {
         let scalar = attribute_under(&nl, McKernel::Scalar);
-        let packed = attribute_under(&nl, McKernel::Packed64);
-        assert_eq!(scalar, packed, "{name}: scalar and packed kernels attributed different energy");
+        for kernel in [McKernel::Packed64, McKernel::Packed256, McKernel::Packed512] {
+            let packed = attribute_under(&nl, kernel);
+            assert_eq!(
+                scalar, packed,
+                "{name}: scalar and {kernel:?} kernels attributed different energy"
+            );
+        }
         assert!(!scalar.nodes.is_empty(), "{name}: nothing toggled");
     }
 }
