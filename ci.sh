@@ -46,3 +46,9 @@ cargo bench --offline -p hlpower-bench --bench glitch_throughput
 # per-lane bit-identity battery itself runs in the test step above
 # (tests/wide_differential.rs).
 cargo bench --offline -p hlpower-bench --bench wide_throughput
+# Optimize-pass scoring smoke: exits non-zero if incremental guard
+# candidate scoring is not faster than the from-scratch reference (the
+# two are first asserted bit-identical per candidate) or if the rewrite
+# search's dirty-cone replay did no less work than full replays per
+# candidate; dumps results/BENCH_opt.json.
+cargo bench --offline -p hlpower-bench --bench opt_throughput

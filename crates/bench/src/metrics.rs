@@ -42,6 +42,10 @@ pub const REQUIRED_NONZERO: &[(&str, &str)] = &[
     ("sim_incremental", "resims"),
     ("sim_incremental", "cone_nodes"),
     ("sim_incremental", "reused_nodes"),
+    ("opt_search", "candidates_evaluated"),
+    ("opt_search", "candidates_accepted"),
+    ("opt_search", "cone_size"),
+    ("opt_search", "resim_words"),
     ("bdd", "ite_calls"),
     ("bdd", "nodes_created"),
     ("bdd", "sift_rounds"),

@@ -23,7 +23,7 @@ use crate::power::PowerReport;
 use crate::sim::Activity;
 
 /// Activity record with glitch decomposition.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimedActivity {
     /// All transitions per node (functional + glitches).
     pub activity: Activity,
@@ -241,6 +241,34 @@ impl<'a> EventDrivenSim<'a> {
     /// Returns [`NetlistError::InputWidthMismatch`] if `inputs` does not
     /// have one bit per primary input.
     pub fn step(&mut self, inputs: &[bool]) -> Result<(), NetlistError> {
+        self.step_inner(inputs, None)
+    }
+
+    /// [`step`](Self::step) plus an event trace: appends one `(time_ps,
+    /// node)` entry per actual value flip this cycle, in event order
+    /// (time-zero register/input flips first, then gate flips by
+    /// ascending timestamp). [`crate::IncrementalTimedSim`] records these
+    /// waveforms so dirty-cone replays can play back boundary events
+    /// without re-simulating the rest of the circuit.
+    pub(crate) fn step_traced(
+        &mut self,
+        inputs: &[bool],
+        trace: &mut Vec<(u64, u32)>,
+    ) -> Result<(), NetlistError> {
+        self.step_inner(inputs, Some(trace))
+    }
+
+    /// Settled node values after the last step (power-on settle before the
+    /// first), indexed by node.
+    pub(crate) fn values_raw(&self) -> &[bool] {
+        &self.values
+    }
+
+    fn step_inner(
+        &mut self,
+        inputs: &[bool],
+        mut trace: Option<&mut Vec<(u64, u32)>>,
+    ) -> Result<(), NetlistError> {
         if inputs.len() != self.netlist.input_count() {
             return Err(NetlistError::InputWidthMismatch {
                 got: inputs.len(),
@@ -262,6 +290,9 @@ impl<'a> EventDrivenSim<'a> {
                 if count {
                     self.toggles[q.index()] += 1;
                 }
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push((0, q.index() as u32));
+                }
                 for &f in &self.fanouts[q.index()] {
                     if matches!(self.netlist.kind(f), NodeKind::Gate { .. }) {
                         heap.push(Reverse((self.delays[f.index()], f)));
@@ -275,6 +306,9 @@ impl<'a> EventDrivenSim<'a> {
                 self.values[inp.index()] = inputs[i];
                 if count {
                     self.toggles[inp.index()] += 1;
+                }
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push((0, inp.index() as u32));
                 }
                 for &f in &self.fanouts[inp.index()] {
                     if matches!(self.netlist.kind(f), NodeKind::Gate { .. }) {
@@ -304,6 +338,9 @@ impl<'a> EventDrivenSim<'a> {
                 self.values[id.index()] = new;
                 if count {
                     self.toggles[id.index()] += 1;
+                }
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push((t, id.index() as u32));
                 }
                 for &f in &self.fanouts[id.index()] {
                     if matches!(self.netlist.kind(f), NodeKind::Gate { .. }) {

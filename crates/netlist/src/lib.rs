@@ -38,10 +38,12 @@
 // loops; silence clippy's iterator-style suggestion for them.
 #![allow(clippy::needless_range_loop)]
 
+mod editor;
 mod error;
 mod event;
 pub mod gen;
 mod incremental;
+mod incremental_timed;
 pub mod ingest;
 pub mod io;
 mod library;
@@ -56,9 +58,11 @@ mod simwide;
 pub mod streams;
 pub mod words;
 
+pub use editor::NetlistEditor;
 pub use error::{NetlistError, SourceFormat, SrcLoc};
 pub use event::{EventDrivenSim, TimedActivity};
-pub use incremental::{ConeResim, IncrementalSim};
+pub use incremental::{ConeResim, IncrementalSim, ResimScratch};
+pub use incremental_timed::{IncrementalTimedSim, TimedConeResim, TimedResimScratch};
 pub use ingest::{
     emit_verilog, emitted_net_names, ingest_auto, ingest_str, parse_edif, parse_verilog,
     sniff_format, structurally_equivalent,

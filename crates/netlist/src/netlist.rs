@@ -56,7 +56,7 @@ pub enum NodeKind {
     },
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Node {
     pub(crate) kind: NodeKind,
     pub(crate) name: Option<String>,
@@ -83,7 +83,7 @@ pub(crate) struct Node {
 /// nl.set_output("y", y);
 /// assert_eq!(nl.gate_count(), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Netlist {
     nodes: Vec<Node>,
     inputs: Vec<NodeId>,
@@ -312,6 +312,31 @@ impl Netlist {
             _ => panic!("replace_gate called on non-gate node {node}"),
         }
         Ok(())
+    }
+
+    /// Restores a node's functional kind without validation — the undo
+    /// primitive of [`crate::NetlistEditor`]'s journal. Only ever called
+    /// with a kind that was previously read from the same node.
+    pub(crate) fn set_kind_raw(&mut self, node: NodeId, kind: NodeKind) {
+        self.nodes[node.index()].kind = kind;
+    }
+
+    /// Drops every node appended after the first `keep` nodes — the
+    /// rollback primitive of [`crate::NetlistEditor`]. The caller
+    /// guarantees no surviving node, output, or input references a
+    /// truncated id (the editor only appends gates/flip-flops and never
+    /// declares new outputs, so undoing its journaled rewires and output
+    /// rebinds first restores that invariant).
+    pub(crate) fn truncate_nodes_raw(&mut self, keep: usize) {
+        self.nodes.truncate(keep);
+        self.dffs.retain(|q| q.index() < keep);
+    }
+
+    /// Repoints an existing primary-output binding — the output-rebind
+    /// primitive of [`crate::NetlistEditor`]. The caller guarantees the
+    /// index is in range and the node exists.
+    pub(crate) fn set_output_node_raw(&mut self, index: usize, node: NodeId) {
+        self.outputs[index].1 = node;
     }
 
     /// Declares a named primary output.

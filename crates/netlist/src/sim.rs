@@ -13,7 +13,7 @@ use crate::power::PowerReport;
 /// model: both the zero-delay and the event-driven simulator produce one,
 /// and [`Activity::power`] converts it into a [`PowerReport`] under a
 /// [`Library`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Activity {
     /// Number of output transitions observed per node, indexed by node id.
     pub toggles: Vec<u64>,

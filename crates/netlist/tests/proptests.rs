@@ -2,7 +2,8 @@
 //! in-tree [`hlpower_rng::check`] harness.
 
 use hlpower_netlist::{
-    gen, streams, words, GateKind, IncrementalSim, Library, Netlist, NodeId, NodeKind, ZeroDelaySim,
+    gen, streams, words, GateKind, IncrementalSim, Library, Netlist, NetlistEditor, NodeId,
+    NodeKind, ZeroDelaySim,
 };
 use hlpower_rng::check::Check;
 use hlpower_rng::Rng;
@@ -208,7 +209,7 @@ fn dirty_cone_resim_matches_full_replay() {
             // The delta activity is bit-identical to the full replay.
             assert_eq!(resim.activity, full.activity());
             // Committing leaves the cache word-for-word equal to it too.
-            inc.commit(&mutated, resim);
+            inc.commit(&mutated, &resim);
             for id in mutated.node_ids() {
                 assert_eq!(
                     inc.value_words(id),
@@ -237,6 +238,61 @@ fn incremental_recording_matches_scalar_oracle() {
         let mut scalar = ZeroDelaySim::new(&nl).expect("acyclic");
         let act = scalar.run(stream.iter().cloned()).expect("width matches");
         assert_eq!(inc.activity(), act);
+    });
+}
+
+/// Rolling back an editor session — any interleaving of gate
+/// replacements, rewires, insertions (gates and registers), removals,
+/// and output rebinds, including ops that were rejected mid-sequence —
+/// restores the netlist to structural equality with its pre-edit state.
+#[test]
+fn editor_rollback_restores_structural_equality() {
+    Check::new("editor_rollback_restores_structural_equality").cases(48).run(|rng| {
+        let mut nl = Netlist::new();
+        gen::random_logic(&mut nl, rng.next_u64(), rng.gen_range(3usize..7), 25, 3);
+        let before = nl.clone();
+        let ids: Vec<NodeId> = nl.node_ids().collect();
+        let gates: Vec<NodeId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| matches!(nl.kind(id), NodeKind::Gate { .. }))
+            .collect();
+        let n_outputs = nl.outputs().len();
+        let mut ed = NetlistEditor::begin(&mut nl);
+        for _ in 0..rng.gen_range(1usize..12) {
+            let target = gates[rng.gen_range(0..gates.len())];
+            // Rejected ops (arity, liveness, cycles) must leave no
+            // journal residue, so failures are ignored rather than
+            // avoided.
+            let _ = match rng.gen_range(0u32..6) {
+                0 => ed
+                    .replace_gate(target, GateKind::Nand, [ids[0], ids[1 % ids.len()]])
+                    .map(|_| ()),
+                1 => {
+                    let src = ids[rng.gen_range(0..target.index().max(1))];
+                    ed.rewire_input(target, 0, src).map(|_| ())
+                }
+                2 => {
+                    let a = ids[rng.gen_range(0..ids.len())];
+                    let b = ids[rng.gen_range(0..ids.len())];
+                    ed.insert_gate(GateKind::Xor, [a, b]).map(|fresh| {
+                        let _ = ed.rewire_input(target, 0, fresh);
+                    })
+                }
+                3 => {
+                    let d = ids[rng.gen_range(0..ids.len())];
+                    ed.insert_dff(d, rng.gen_range(0u32..2) == 0).map(|_| ())
+                }
+                4 => ed.remove_gate(target),
+                _ => {
+                    let idx = rng.gen_range(0..n_outputs);
+                    let node = ids[rng.gen_range(0..ids.len())];
+                    ed.rebind_output(idx, node)
+                }
+            };
+        }
+        ed.rollback();
+        assert_eq!(nl, before, "rollback left the netlist structurally different");
     });
 }
 

@@ -98,6 +98,20 @@ pub static SIM_INC_CONE_NODES: Counter = Counter::new();
 /// equivalent full replay would have repeated).
 pub static SIM_INC_REUSED_NODES: Counter = Counter::new();
 
+// --- Optimization candidate search ------------------------------------------
+
+/// Candidates scored across all optimize-pass searches (guard, rewrite,
+/// precompute, clockgate, retime, balance, shutdown).
+pub static OPT_CANDIDATES_EVALUATED: Counter = Counter::new();
+/// Candidates accepted into the evolving netlist / policy.
+pub static OPT_CANDIDATES_ACCEPTED: Counter = Counter::new();
+/// Distribution of dirty-cone sizes (nodes re-evaluated per scored
+/// candidate) — how local the searches' edits are.
+pub static OPT_CONE_SIZE: Hist = Hist::new();
+/// Packed 64-cycle words replayed by incremental candidate scoring (the
+/// work actually done, vs. `nodes x blocks` a full replay would cost).
+pub static OPT_RESIM_WORDS: Counter = Counter::new();
+
 // --- BDD manager ----------------------------------------------------------
 
 /// Recursive ITE calls (batched per top-level `ite`).
@@ -236,6 +250,15 @@ pub fn snapshot() -> Snapshot {
                 ],
             },
             Section {
+                name: "opt_search",
+                entries: vec![
+                    ("candidates_evaluated", Value::Count(OPT_CANDIDATES_EVALUATED.get())),
+                    ("candidates_accepted", Value::Count(OPT_CANDIDATES_ACCEPTED.get())),
+                    ("cone_size", Value::Hist(OPT_CONE_SIZE.summary())),
+                    ("resim_words", Value::Count(OPT_RESIM_WORDS.get())),
+                ],
+            },
+            Section {
                 name: "bdd",
                 entries: vec![
                     ("ite_calls", Value::Count(ite_calls)),
@@ -319,6 +342,10 @@ pub fn reset_all() {
     SIM_INC_RESIMS.reset();
     SIM_INC_CONE_NODES.reset();
     SIM_INC_REUSED_NODES.reset();
+    OPT_CANDIDATES_EVALUATED.reset();
+    OPT_CANDIDATES_ACCEPTED.reset();
+    OPT_CONE_SIZE.reset();
+    OPT_RESIM_WORDS.reset();
     BDD_ITE_CALLS.reset();
     BDD_ITE_CACHE_HITS.reset();
     BDD_NODES_CREATED.reset();
@@ -365,6 +392,7 @@ mod tests {
                 "sim_event",
                 "sim_ev_packed",
                 "sim_incremental",
+                "opt_search",
                 "bdd",
                 "monte_carlo",
                 "pool",

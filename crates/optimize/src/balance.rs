@@ -8,11 +8,11 @@
 //! capacitance downstream — the same arithmetic as Fig. 9's registers,
 //! but without touching the clock discipline.
 
-use std::collections::HashMap;
-
 use hlpower_netlist::{
-    timed_activity, Library, Netlist, NetlistError, NodeId, NodeKind, TimedKernel,
+    GateKind, IncrementalTimedSim, Library, Netlist, NetlistEditor, NetlistError, NodeKind,
+    TimedKernel,
 };
+use hlpower_obs::metrics as obs;
 
 /// Outcome of path balancing.
 #[derive(Debug, Clone)]
@@ -49,8 +49,9 @@ pub struct BalanceOptions {
     pub min_glitches: u64,
     /// Maximum padding buffers per fanin (caps the capacitance spent).
     pub max_chain: usize,
-    /// Timed-simulation kernel used for the glitch profiling runs (both
-    /// kernels give bit-identical profiles; the packed default is faster).
+    /// Retained for API compatibility: profiling now runs through the
+    /// event-driven [`IncrementalTimedSim`] recording, which is
+    /// bit-identical across kernels, so the choice no longer matters.
     pub kernel: TimedKernel,
 }
 
@@ -65,11 +66,16 @@ impl Default for BalanceOptions {
     }
 }
 
-/// Rebuilds `netlist` with buffer chains inserted on gate fanins whose
-/// arrival time trails the gate's latest fanin by more than the
-/// tolerance. Only gates whose output glitched at least `min_glitches`
-/// times in the profiling stream are touched, so quiet logic does not pay
-/// buffer overhead.
+/// Pads early-arriving fanins of glitchy gates with buffer chains,
+/// in place via [`NetlistEditor`]: buffers are appended and the lagging
+/// pins rewired, so node ids of the original survive into the result.
+/// Only gates whose output glitched at least `min_glitches` times in the
+/// profiling stream are touched, so quiet logic does not pay buffer
+/// overhead.
+///
+/// The balanced variant is scored by a dirty-cone timed replay against
+/// the baseline recording ([`IncrementalTimedSim::resim`]), which is
+/// bit-identical to re-simulating the mutated netlist from scratch.
 ///
 /// # Errors
 ///
@@ -80,58 +86,59 @@ pub fn balance_paths(
     stream: &[Vec<bool>],
     opts: &BalanceOptions,
 ) -> Result<BalanceOutcome, NetlistError> {
-    let BalanceOptions { tolerance_ps, min_glitches, max_chain, kernel } = *opts;
+    let BalanceOptions { tolerance_ps, min_glitches, max_chain, kernel: _ } = *opts;
     let arrivals = netlist.arrival_times_ps(lib)?;
-    let buf_delay = lib.cell(hlpower_netlist::GateKind::Buf).delay_ps;
+    let buf_delay = lib.cell(GateKind::Buf).delay_ps;
 
-    // Profile glitches on the original.
-    let timed = timed_activity(netlist, lib, stream, kernel)?;
+    // Record the baseline once: power, glitch profile, and the cached
+    // waveforms every candidate replay reads.
+    let inc = IncrementalTimedSim::record(netlist, lib, stream)?;
+    let timed = inc.activity();
     let baseline_uw = timed.power(netlist, lib).total_power_uw();
     let glitch_fraction_before = timed.glitch_fraction()?;
 
-    // Rebuild with delay-padding buffers.
-    let mut out = Netlist::new();
-    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    // Pad lagging fanins in place.
+    let mut out = netlist.clone();
+    let mut ed = NetlistEditor::begin(&mut out);
     let mut buffers_added = 0usize;
     for id in netlist.node_ids() {
-        let new_id = match netlist.kind(id) {
-            NodeKind::Input => out.input(netlist.name(id).unwrap_or("in").to_string()),
-            NodeKind::Const(c) => out.constant(*c),
-            NodeKind::Dff { d, init } => {
-                let md = map[d];
-                out.dff(md, *init)
+        let NodeKind::Gate { inputs, .. } = netlist.kind(id) else { continue };
+        if timed.node_glitches(id)? < min_glitches {
+            continue;
+        }
+        let latest = inputs.iter().map(|i| arrivals[i.index()]).fold(0.0f64, f64::max);
+        for (pin, &src) in inputs.iter().enumerate() {
+            let lag = latest - arrivals[src.index()];
+            if lag <= tolerance_ps {
+                continue;
             }
-            NodeKind::Gate { kind, inputs } => {
-                let glitchy = timed.node_glitches(id)? >= min_glitches;
-                let latest = inputs.iter().map(|i| arrivals[i.index()]).fold(0.0f64, f64::max);
-                let mut new_inputs = Vec::with_capacity(inputs.len());
-                for &src in inputs {
-                    let mut mapped = map[&src];
-                    if glitchy {
-                        let lag = latest - arrivals[src.index()];
-                        if lag > tolerance_ps {
-                            let chains = (lag / buf_delay).round() as usize;
-                            for _ in 0..chains.min(max_chain) {
-                                mapped = out.buf(mapped);
-                                buffers_added += 1;
-                            }
-                        }
-                    }
-                    new_inputs.push(mapped);
-                }
-                out.gate(*kind, new_inputs).expect("same arity as source")
+            let chains = (lag / buf_delay).round() as usize;
+            let mut mapped = src;
+            for _ in 0..chains.min(max_chain) {
+                mapped = ed.insert_gate(GateKind::Buf, [mapped])?;
+                buffers_added += 1;
             }
-        };
-        map.insert(id, new_id);
+            if mapped != src {
+                ed.rewire_input(id, pin, mapped)?;
+            }
+        }
     }
-    for (name, o) in netlist.outputs() {
-        out.set_output(name.clone(), map[o]);
-    }
+    let changed = ed.changed().to_vec();
+    ed.finish();
 
-    let timed2 = timed_activity(&out, lib, stream, kernel)?;
+    // Score the candidate: replay only the forward cone of the rewired
+    // gates and the appended buffers against the recorded waveforms.
+    let resim = inc.resim(&out, &changed)?;
+    obs::OPT_CANDIDATES_EVALUATED.inc();
+    obs::OPT_CONE_SIZE.record(resim.cone.len() as u64);
+    obs::OPT_RESIM_WORDS.add(resim.words_replayed());
+    let balanced_uw = resim.activity.power(&out, lib).total_power_uw();
+    if balanced_uw < baseline_uw {
+        obs::OPT_CANDIDATES_ACCEPTED.inc();
+    }
     Ok(BalanceOutcome {
-        balanced_uw: timed2.power(&out, lib).total_power_uw(),
-        glitch_fraction_after: timed2.glitch_fraction()?,
+        balanced_uw,
+        glitch_fraction_after: resim.activity.glitch_fraction()?,
         netlist: out,
         buffers_added,
         baseline_uw,
@@ -247,6 +254,25 @@ mod tests {
         assert_eq!(s.balanced_uw.to_bits(), p.balanced_uw.to_bits());
         assert_eq!(s.glitch_fraction_before.to_bits(), p.glitch_fraction_before.to_bits());
         assert_eq!(s.glitch_fraction_after.to_bits(), p.glitch_fraction_after.to_bits());
+    }
+
+    #[test]
+    fn incremental_scoring_matches_a_from_scratch_rerecord() {
+        // The dirty-cone timed replay that scores the balanced netlist
+        // must agree bit for bit with recording the mutated netlist from
+        // scratch.
+        let nl = multiplier(4);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(8, 8).take(150).collect();
+        let out = balance_paths(&nl, &lib, &stream, &BalanceOptions::default()).unwrap();
+        assert!(out.buffers_added > 0);
+        let full = IncrementalTimedSim::record(&out.netlist, &lib, &stream).unwrap();
+        let act = full.activity();
+        assert_eq!(
+            out.balanced_uw.to_bits(),
+            act.power(&out.netlist, &lib).total_power_uw().to_bits()
+        );
+        assert_eq!(out.glitch_fraction_after.to_bits(), act.glitch_fraction().unwrap().to_bits());
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use hlpower_bdd::bdd_to_mux_netlist;
 use hlpower_fsm::{synthesize, Encoding, FsmError, MarkovAnalysis, Stg};
-use hlpower_netlist::{Library, Netlist, NodeId, ZeroDelaySim};
+use hlpower_netlist::{words::to_bits, IncrementalSim, Library, Netlist, NodeId};
+use hlpower_obs::metrics as obs;
 
 use hlpower_rng::Rng;
 
@@ -95,7 +96,7 @@ pub fn evaluate(
     input_one_prob: f64,
 ) -> Result<ClockGateOutcome, FsmError> {
     let circuit = synthesize(stg, encoding)?;
-    let (fa_netlist, _) = activation_function(stg, encoding)?;
+    let (fa_netlist, fa_node) = activation_function(stg, encoding)?;
     // Input-symbol distribution matching the biased per-bit stream.
     let symbols = stg.symbol_count();
     let dist: Vec<f64> = (0..symbols as u64)
@@ -114,37 +115,47 @@ pub fn evaluate(
         })
         .collect();
 
-    // Baseline power: plain simulation.
-    let mut sim = ZeroDelaySim::new(&circuit.netlist).map_err(|_| FsmError::Empty)?;
-    let mut fa_sim = ZeroDelaySim::new(&fa_netlist).map_err(|_| FsmError::Empty)?;
-    let mut gated_cycles = 0u64;
-    let mut state_words: Vec<u64> = Vec::with_capacity(cycles);
-    for &w in &words {
-        // Record present state before stepping.
-        let st: u64 =
-            circuit.state.iter().enumerate().map(|(i, &q)| (sim.value(q) as u64) << i).sum();
-        state_words.push(st);
-        sim.step(&hlpower_netlist::words::to_bits(w, stg.input_bits()))
-            .map_err(|_| FsmError::Empty)?;
-    }
-    let act = sim.take_activity();
-    let base_report = act.power(&circuit.netlist, lib);
+    // Baseline power: one sequential recording of the machine, with its
+    // per-cycle register-boundary snapshots (bit-identical to a scalar
+    // simulation).
+    let stream: Vec<Vec<bool>> = words.iter().map(|&w| to_bits(w, stg.input_bits())).collect();
+    let inc = IncrementalSim::record(&circuit.netlist, &stream).map_err(|_| FsmError::Empty)?;
+    obs::OPT_CANDIDATES_EVALUATED.inc();
+    let base_report = inc.activity().power(&circuit.netlist, lib);
     let baseline_uw = base_report.total_power_uw();
 
-    // Activation logic power + gating decisions.
-    let mut fa_values = Vec::with_capacity(cycles);
-    for (i, &w) in words.iter().enumerate() {
-        let mut v = hlpower_netlist::words::to_bits(w, stg.input_bits());
-        v.extend(hlpower_netlist::words::to_bits(state_words[i], circuit.state.len()));
-        fa_sim.step(&v).map_err(|_| FsmError::Empty)?;
-        let fa = fa_sim.output_values()[0];
-        fa_values.push(fa);
-        if !fa {
-            gated_cycles += 1;
-        }
-    }
-    let fa_act = fa_sim.take_activity();
-    let fa_uw = fa_act.power(&fa_netlist, lib).total_power_uw();
+    // Present state per cycle, read off the register snapshots: power-on
+    // values at cycle 0, then the settled Q of the previous cycle.
+    let init_of = |q: NodeId| match circuit.netlist.kind(q) {
+        hlpower_netlist::NodeKind::Dff { init, .. } => *init,
+        _ => unreachable!("state lines are flip-flops"),
+    };
+    let state_word_at = |c: usize| -> u64 {
+        circuit
+            .state
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let v = if c == 0 { init_of(q) } else { inc.value_at(q, c - 1) };
+                (v as u64) << i
+            })
+            .sum()
+    };
+
+    // Activation logic power + gating decisions: one packed
+    // combinational recording over the (input, present-state) stream.
+    let fa_stream: Vec<Vec<bool>> = words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let mut v = to_bits(w, stg.input_bits());
+            v.extend(to_bits(state_word_at(i), circuit.state.len()));
+            v
+        })
+        .collect();
+    let fa_inc = IncrementalSim::record(&fa_netlist, &fa_stream).map_err(|_| FsmError::Empty)?;
+    let gated_cycles = (0..words.len()).filter(|&i| !fa_inc.value_at(fa_node, i)).count() as u64;
+    let fa_uw = fa_inc.activity().power(&fa_netlist, lib).total_power_uw();
 
     // Gated power: baseline minus the clock/register energy saved on
     // gated cycles, plus the activation logic. Clock power scales with
@@ -152,6 +163,9 @@ pub fn evaluate(
     let gate_fraction = gated_cycles as f64 / cycles.max(1) as f64;
     let clock_saving = base_report.clock_power_uw * gate_fraction;
     let gated_uw = baseline_uw - clock_saving + fa_uw;
+    if gated_uw < baseline_uw {
+        obs::OPT_CANDIDATES_ACCEPTED.inc();
+    }
 
     Ok(ClockGateOutcome {
         baseline_uw,
@@ -165,6 +179,7 @@ pub fn evaluate(
 mod tests {
     use super::*;
     use hlpower_fsm::generators;
+    use hlpower_netlist::ZeroDelaySim;
 
     #[test]
     fn activation_function_detects_state_changes() {
@@ -207,6 +222,52 @@ mod tests {
             (outcome.gated_fraction - outcome.self_loop_probability).abs() < 0.08,
             "{outcome:?}"
         );
+    }
+
+    #[test]
+    fn incremental_evaluate_matches_the_scalar_path_bit_for_bit() {
+        // The recording-based evaluate must reproduce the historical
+        // scalar two-simulator accounting exactly.
+        let stg = generators::reactive_controller(4);
+        let enc = Encoding::one_hot(&stg);
+        let lib = Library::default();
+        let (cycles, seed, p) = (1500usize, 7u64, 0.1f64);
+        let outcome = evaluate(&stg, &enc, &lib, cycles, seed, p).unwrap();
+
+        // Reference: the pre-incremental implementation, verbatim.
+        let circuit = synthesize(&stg, &enc).unwrap();
+        let (fa_netlist, _) = activation_function(&stg, &enc).unwrap();
+        let mut rng = Rng::seed_from_u64(seed);
+        let words: Vec<u64> = (0..cycles)
+            .map(|_| (0..stg.input_bits() as u64).map(|b| (rng.gen_bool(p) as u64) << b).sum())
+            .collect();
+        let mut sim = ZeroDelaySim::new(&circuit.netlist).unwrap();
+        let mut fa_sim = ZeroDelaySim::new(&fa_netlist).unwrap();
+        let mut gated_cycles = 0u64;
+        let mut state_words: Vec<u64> = Vec::with_capacity(cycles);
+        for &w in &words {
+            let st: u64 =
+                circuit.state.iter().enumerate().map(|(i, &q)| (sim.value(q) as u64) << i).sum();
+            state_words.push(st);
+            sim.step(&to_bits(w, stg.input_bits())).unwrap();
+        }
+        let base_report = sim.take_activity().power(&circuit.netlist, &lib);
+        let baseline_uw = base_report.total_power_uw();
+        for (i, &w) in words.iter().enumerate() {
+            let mut v = to_bits(w, stg.input_bits());
+            v.extend(to_bits(state_words[i], circuit.state.len()));
+            fa_sim.step(&v).unwrap();
+            if !fa_sim.output_values()[0] {
+                gated_cycles += 1;
+            }
+        }
+        let fa_uw = fa_sim.take_activity().power(&fa_netlist, &lib).total_power_uw();
+        let gate_fraction = gated_cycles as f64 / cycles.max(1) as f64;
+        let gated_uw = baseline_uw - base_report.clock_power_uw * gate_fraction + fa_uw;
+
+        assert_eq!(outcome.baseline_uw.to_bits(), baseline_uw.to_bits());
+        assert_eq!(outcome.gated_uw.to_bits(), gated_uw.to_bits());
+        assert_eq!(outcome.gated_fraction.to_bits(), gate_fraction.to_bits());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 use std::collections::{HashMap, HashSet};
 
 use hlpower_bdd::{BddManager, BddRef};
-use hlpower_netlist::{Library, Netlist, NetlistError, NodeId, NodeKind, ZeroDelaySim};
+use hlpower_netlist::{
+    GateKind, IncrementalSim, Library, Netlist, NetlistError, NodeId, NodeKind, ZeroDelaySim,
+};
+use hlpower_obs::metrics as obs;
 
 /// One guarded-evaluation opportunity.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,15 +137,24 @@ pub fn find_candidates(
         .filter(|&id| matches!(netlist.kind(id), NodeKind::Gate { .. }))
         .collect();
     // Any existing signal may serve as a guard, including primary inputs
-    // (the paper's "a signal s in C").
-    let mut guard_pool = gates.clone();
-    guard_pool.extend(netlist.inputs().iter().copied());
+    // (the paper's "a signal s in C"). Built once; the search below only
+    // indexes into it.
+    let guard_pool: Vec<NodeId> =
+        gates.iter().copied().chain(netlist.inputs().iter().copied()).collect();
     let output_set: HashSet<NodeId> = netlist.outputs().iter().map(|&(_, n)| n).collect();
+    let fanouts = netlist.fanouts();
     let mut out = Vec::new();
-    // Prefer targets with large cones.
+    // Prefer targets with large cones. `sort_by_cached_key` computes each
+    // cone once instead of once per comparison.
     let mut targets: Vec<NodeId> =
         gates.iter().copied().filter(|id| !output_set.contains(id)).collect();
-    targets.sort_by_key(|&t| std::cmp::Reverse(cone_of(netlist, t).len()));
+    targets.sort_by_cached_key(|&t| std::cmp::Reverse(cone_of(netlist, t).len()));
+    // Forward-reachability marks from the current target: a signal reads
+    // the target iff it lies in the target's gate-level forward closure.
+    // One O(edges) sweep per target replaces a `cone_of` per guard.
+    let mut reads_target = vec![false; netlist.node_count()];
+    let mut marked: Vec<NodeId> = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
     for &target in targets.iter().take(max_targets) {
         let (mut m, odc, map) = odc_of(netlist, target)?;
         if odc == BddRef::FALSE {
@@ -160,6 +172,23 @@ pub fn find_candidates(
             .filter(|x| !cone_set.contains(x))
             .map(|x| arrivals[x.index()])
             .fold(f64::INFINITY, f64::min);
+        for &id in &marked {
+            reads_target[id.index()] = false;
+        }
+        marked.clear();
+        stack.clear();
+        stack.push(target);
+        reads_target[target.index()] = true;
+        marked.push(target);
+        while let Some(x) = stack.pop() {
+            for &r in &fanouts[x.index()] {
+                if !reads_target[r.index()] && matches!(netlist.kind(r), NodeKind::Gate { .. }) {
+                    reads_target[r.index()] = true;
+                    marked.push(r);
+                    stack.push(r);
+                }
+            }
+        }
         for &guard in &guard_pool {
             if cone_set.contains(&guard) || guard == target {
                 continue;
@@ -167,7 +196,7 @@ pub fn find_candidates(
             // Guard must not depend on the target's cone output (it
             // does not, structurally: it is outside the cone, but it may
             // read the target; skip if target is in its fan-in).
-            if cone_of(netlist, guard).contains(&target) {
+            if reads_target[guard.index()] {
                 continue;
             }
             let s = map[&guard];
@@ -198,12 +227,64 @@ pub fn find_candidates(
     Ok(out)
 }
 
+/// Per-node switching energy table: load energy plus internal energy for
+/// gates, indexed by node id.
+fn energy_table(netlist: &Netlist, lib: &Library) -> Vec<f64> {
+    let caps = netlist.load_caps_ff(lib);
+    netlist
+        .node_ids()
+        .map(|id| {
+            let mut e = lib.switching_energy_fj(caps[id.index()]);
+            if let NodeKind::Gate { kind, .. } = netlist.kind(id) {
+                e += lib.cell(*kind).internal_energy_fj;
+            }
+            e
+        })
+        .collect()
+}
+
+/// Energy of integer per-node toggle counts: one dot product in node-index
+/// order. Both the from-scratch and the incremental scorer finish through
+/// this, so equal integer counts give bit-identical f64 energies.
+fn toggle_energy_fj(toggles: &[u64], energy_of: &[f64]) -> f64 {
+    toggles.iter().zip(energy_of).map(|(&t, &e)| t as f64 * e).sum()
+}
+
+/// Allocation-free gate evaluation over a fanin-value lookup, matching
+/// [`GateKind::eval`] bit for bit.
+fn eval_gate_with(kind: GateKind, inputs: &[NodeId], get: impl Fn(NodeId) -> bool) -> bool {
+    use GateKind::*;
+    match kind {
+        Buf => get(inputs[0]),
+        Not => !get(inputs[0]),
+        And => inputs.iter().all(|&f| get(f)),
+        Or => inputs.iter().any(|&f| get(f)),
+        Nand => !inputs.iter().all(|&f| get(f)),
+        Nor => !inputs.iter().any(|&f| get(f)),
+        Xor => inputs.iter().fold(false, |acc, &f| acc ^ get(f)),
+        Xnor => !inputs.iter().fold(false, |acc, &f| acc ^ get(f)),
+        Mux => {
+            if get(inputs[0]) {
+                get(inputs[2])
+            } else {
+                get(inputs[1])
+            }
+        }
+    }
+}
+
 /// Simulates the circuit with guarded evaluation applied to one
 /// candidate: on cycles where the guard (computed from current inputs)
 /// asserts, the cone's nodes hold their previous values (the transparent
 /// latches are opaque) and dissipate nothing; outputs remain correct by
 /// the ODC property. Returns `(baseline_energy_fj, guarded_energy_fj,
 /// outputs_match)`.
+///
+/// This is the from-scratch reference scorer: it replays the whole
+/// netlist for every call. [`GuardScorer`] produces bit-identical results
+/// by replaying only the candidate's dirty region against a recording;
+/// both accumulate integer toggle counts and convert to energy with one
+/// node-order dot product, so their f64 outputs agree exactly.
 ///
 /// # Errors
 ///
@@ -215,67 +296,53 @@ pub fn evaluate(
     stream: &[Vec<bool>],
 ) -> Result<(f64, f64, bool), NetlistError> {
     let order = netlist.topo_order()?;
-    let caps = netlist.load_caps_ff(lib);
-    let energy_of: Vec<f64> = netlist
-        .node_ids()
-        .map(|id| {
-            let mut e = lib.switching_energy_fj(caps[id.index()]);
-            if let NodeKind::Gate { kind, .. } = netlist.kind(id) {
-                e += lib.cell(*kind).internal_energy_fj;
-            }
-            e
-        })
-        .collect();
+    let energy_of = energy_table(netlist, lib);
     let cone_set: HashSet<NodeId> = candidate.cone.iter().copied().collect();
 
-    // Baseline.
+    // Baseline: one full run, integer toggle totals.
     let mut base_sim = ZeroDelaySim::new(netlist)?;
     let mut base_outputs = Vec::new();
-    let mut base_energy = 0.0;
     for v in stream {
         base_sim.step(v)?;
         base_outputs.push(base_sim.output_values());
-        let act = base_sim.take_activity();
-        base_energy +=
-            act.toggles.iter().enumerate().map(|(i, &t)| t as f64 * energy_of[i]).sum::<f64>();
     }
+    let base_energy = toggle_energy_fj(&base_sim.take_activity().toggles, &energy_of);
 
-    // Guarded interpretation.
+    // Guarded interpretation. The guard's own cone is disjoint from the
+    // target cone (checked during candidate search), so it is settled
+    // first each cycle to decide the freeze; then one topological pass
+    // evaluates everything else, holding the target cone when the guard
+    // asserts.
+    let guard_cone: HashSet<NodeId> = {
+        let mut gc: HashSet<NodeId> = cone_of(netlist, candidate.guard).into_iter().collect();
+        gc.insert(candidate.guard);
+        gc
+    };
     let mut values = vec![false; netlist.node_count()];
     for id in netlist.node_ids() {
         if let NodeKind::Const(c) = netlist.kind(id) {
             values[id.index()] = *c;
         }
     }
-    let mut guarded_energy = 0.0;
+    let mut toggles = vec![0u64; netlist.node_count()];
     let mut outputs_match = true;
     let mut first = true;
     for (t, v) in stream.iter().enumerate() {
         // Apply inputs.
         for (i, &inp) in netlist.inputs().iter().enumerate() {
             if !first && values[inp.index()] != v[i] {
-                guarded_energy += energy_of[inp.index()];
+                toggles[inp.index()] += 1;
             }
             values[inp.index()] = v[i];
         }
-        // The guard's own cone is disjoint from the target cone (checked
-        // during candidate search), so it can be settled first to decide
-        // the freeze; then one topological pass evaluates everything else,
-        // holding the target cone when the guard asserts.
-        let guard_cone: HashSet<NodeId> = {
-            let mut gc: HashSet<NodeId> = cone_of(netlist, candidate.guard).into_iter().collect();
-            gc.insert(candidate.guard);
-            gc
-        };
         for &id in &order {
             if !guard_cone.contains(&id) {
                 continue;
             }
             if let NodeKind::Gate { kind, inputs } = netlist.kind(id) {
-                let vals: Vec<bool> = inputs.iter().map(|f| values[f.index()]).collect();
-                let new = kind.eval(&vals);
+                let new = eval_gate_with(*kind, inputs, |f| values[f.index()]);
                 if !first && new != values[id.index()] {
-                    guarded_energy += energy_of[id.index()];
+                    toggles[id.index()] += 1;
                 }
                 values[id.index()] = new;
             }
@@ -289,10 +356,9 @@ pub fn evaluate(
                 continue; // latched: holds its previous value, no energy
             }
             if let NodeKind::Gate { kind, inputs } = netlist.kind(id) {
-                let vals: Vec<bool> = inputs.iter().map(|f| values[f.index()]).collect();
-                let new = kind.eval(&vals);
+                let new = eval_gate_with(*kind, inputs, |f| values[f.index()]);
                 if !first && new != values[id.index()] {
-                    guarded_energy += energy_of[id.index()];
+                    toggles[id.index()] += 1;
                 }
                 values[id.index()] = new;
             }
@@ -304,7 +370,293 @@ pub fn evaluate(
         }
         first = false;
     }
-    Ok((base_energy, guarded_energy, outputs_match))
+    Ok((base_energy, toggle_energy_fj(&toggles, &energy_of), outputs_match))
+}
+
+/// Incremental candidate scorer: records the baseline once with
+/// [`IncrementalSim`] and scores each guard candidate by replaying only
+/// its *dirty region* — the forward closure of the frozen gates (the
+/// target cone minus the guard's own cone). Every node outside that
+/// region provably keeps its baseline values under the guarded
+/// interpretation, so its cached toggle counts are reused as-is.
+///
+/// Scores are bit-identical to [`evaluate`] on the same candidate: both
+/// accumulate integer toggle counts and convert them to energy with the
+/// same node-order dot product.
+#[derive(Debug)]
+pub struct GuardScorer {
+    inc: IncrementalSim,
+    energy_of: Vec<f64>,
+    base_toggles: Vec<u64>,
+    base_energy_fj: f64,
+    order: Vec<NodeId>,
+    fanouts: Vec<Vec<NodeId>>,
+    blocks: usize,
+    // Reusable per-candidate scratch: scoring a candidate allocates
+    // nothing once these reach steady-state capacity.
+    in_cone: Vec<bool>,
+    in_guard_cone: Vec<bool>,
+    in_dirty: Vec<bool>,
+    dirty_idx: Vec<u32>,
+    stack: Vec<NodeId>,
+    gc_nodes: Vec<NodeId>,
+    dirty: Vec<NodeId>,
+    dirty_values: Vec<bool>,
+    dirty_toggles: Vec<u64>,
+}
+
+impl GuardScorer {
+    /// Records the baseline netlist over the profiling stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotCombinational`] for sequential netlists
+    /// (the guarded interpretation has no register semantics), or the
+    /// usual recording errors for cyclic netlists and bad streams.
+    pub fn new(
+        netlist: &Netlist,
+        lib: &Library,
+        stream: &[Vec<bool>],
+    ) -> Result<Self, NetlistError> {
+        if !netlist.dffs().is_empty() {
+            return Err(NetlistError::NotCombinational { dffs: netlist.dffs().len() });
+        }
+        let inc = IncrementalSim::record(netlist, stream)?;
+        let energy_of = energy_table(netlist, lib);
+        let base_toggles = inc.activity().toggles;
+        let base_energy_fj = toggle_energy_fj(&base_toggles, &energy_of);
+        let order = netlist.topo_order()?;
+        let fanouts = netlist.fanouts();
+        let n = netlist.node_count();
+        Ok(GuardScorer {
+            inc,
+            energy_of,
+            base_toggles,
+            base_energy_fj,
+            order,
+            fanouts,
+            blocks: stream.len().div_ceil(64),
+            in_cone: vec![false; n],
+            in_guard_cone: vec![false; n],
+            in_dirty: vec![false; n],
+            dirty_idx: vec![u32::MAX; n],
+            stack: Vec::new(),
+            gc_nodes: Vec::new(),
+            dirty: Vec::new(),
+            dirty_values: Vec::new(),
+            dirty_toggles: Vec::new(),
+        })
+    }
+
+    /// The recorded baseline netlist.
+    pub fn base(&self) -> &Netlist {
+        self.inc.base()
+    }
+
+    /// Baseline energy over the recorded stream, in fJ.
+    pub fn base_energy_fj(&self) -> f64 {
+        self.base_energy_fj
+    }
+
+    /// Scores one candidate: `(baseline_energy_fj, guarded_energy_fj,
+    /// outputs_match)`, bit-identical to [`evaluate`] on the same inputs.
+    ///
+    /// The candidate must come from [`find_candidates`] on the recorded
+    /// netlist (its node ids index the recording).
+    pub fn score(&mut self, candidate: &GuardCandidate) -> (f64, f64, bool) {
+        let GuardScorer {
+            inc,
+            energy_of,
+            base_toggles,
+            base_energy_fj,
+            order,
+            fanouts,
+            blocks,
+            in_cone,
+            in_guard_cone,
+            in_dirty,
+            dirty_idx,
+            stack,
+            gc_nodes,
+            dirty,
+            dirty_values,
+            dirty_toggles,
+        } = self;
+        let nl = inc.base();
+        for &id in &candidate.cone {
+            in_cone[id.index()] = true;
+        }
+        // The guard's fan-in cone: always at baseline values (its gate
+        // fanins are transitively inside it, so no frozen gate can feed
+        // it).
+        gc_nodes.clear();
+        stack.clear();
+        stack.push(candidate.guard);
+        in_guard_cone[candidate.guard.index()] = true;
+        gc_nodes.push(candidate.guard);
+        while let Some(x) = stack.pop() {
+            if let NodeKind::Gate { inputs, .. } = nl.kind(x) {
+                for &f in inputs {
+                    if !in_guard_cone[f.index()] {
+                        in_guard_cone[f.index()] = true;
+                        gc_nodes.push(f);
+                        stack.push(f);
+                    }
+                }
+            }
+        }
+        // Dirty region: forward closure (through gates) of the frozen
+        // set, the target cone minus the guard cone.
+        dirty.clear();
+        stack.clear();
+        for &id in &candidate.cone {
+            if !in_guard_cone[id.index()] && !in_dirty[id.index()] {
+                in_dirty[id.index()] = true;
+                stack.push(id);
+            }
+        }
+        while let Some(x) = stack.pop() {
+            for &r in &fanouts[x.index()] {
+                if !in_dirty[r.index()] && matches!(nl.kind(r), NodeKind::Gate { .. }) {
+                    in_dirty[r.index()] = true;
+                    stack.push(r);
+                }
+            }
+        }
+        for &id in order.iter() {
+            if in_dirty[id.index()] {
+                dirty_idx[id.index()] = dirty.len() as u32;
+                dirty.push(id);
+            }
+        }
+        // Per-cycle replay of the dirty region only. Fanins outside it
+        // are read from the recording; the guard itself is outside it, so
+        // its recorded value decides the freeze.
+        dirty_values.clear();
+        dirty_values.resize(dirty.len(), false);
+        dirty_toggles.clear();
+        dirty_toggles.resize(dirty.len(), 0);
+        let mut outputs_match = true;
+        for c in 0..inc.vectors() {
+            let guard_on = inc.value_at(candidate.guard, c);
+            for (k, &id) in dirty.iter().enumerate() {
+                if guard_on && in_cone[id.index()] {
+                    continue; // latched: holds its previous value
+                }
+                let NodeKind::Gate { kind, inputs } = nl.kind(id) else {
+                    unreachable!("dirty region contains gates only")
+                };
+                let new = eval_gate_with(*kind, inputs, |f| {
+                    let u = dirty_idx[f.index()];
+                    if u != u32::MAX {
+                        dirty_values[u as usize]
+                    } else {
+                        inc.value_at(f, c)
+                    }
+                });
+                if c > 0 && new != dirty_values[k] {
+                    dirty_toggles[k] += 1;
+                }
+                dirty_values[k] = new;
+            }
+            for &(_, o) in nl.outputs() {
+                let u = dirty_idx[o.index()];
+                if u != u32::MAX && dirty_values[u as usize] != inc.value_at(o, c) {
+                    outputs_match = false;
+                }
+            }
+        }
+        // Energy: dirty counts substituted into the cached baseline
+        // counts, one dot product in node-index order (the same order
+        // `evaluate` uses).
+        let mut guarded_energy = 0.0;
+        for (i, &e) in energy_of.iter().enumerate() {
+            let u = dirty_idx[i];
+            let t = if u != u32::MAX { dirty_toggles[u as usize] } else { base_toggles[i] };
+            guarded_energy += t as f64 * e;
+        }
+        obs::OPT_CANDIDATES_EVALUATED.inc();
+        obs::OPT_CONE_SIZE.record(dirty.len() as u64);
+        obs::OPT_RESIM_WORDS.add((dirty.len() * *blocks) as u64);
+        // Clear the per-candidate marks.
+        for &id in candidate.cone.iter() {
+            in_cone[id.index()] = false;
+        }
+        for &id in gc_nodes.iter() {
+            in_guard_cone[id.index()] = false;
+        }
+        for &id in dirty.iter() {
+            in_dirty[id.index()] = false;
+            dirty_idx[id.index()] = u32::MAX;
+        }
+        (*base_energy_fj, guarded_energy, outputs_match)
+    }
+}
+
+/// Options for [`search`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardSearchOptions {
+    /// Targets examined by candidate discovery. The default doubles the
+    /// historical budget of 8: incremental scoring made candidates cheap.
+    pub max_targets: usize,
+    /// Only consider candidates whose latch-timing condition holds. Off
+    /// by default: zero-delay arrival times make the condition vacuously
+    /// fail for input-driven guards (`0 < 0`), and each candidate already
+    /// reports its own `timing_ok` bit.
+    pub require_timing: bool,
+}
+
+impl Default for GuardSearchOptions {
+    fn default() -> Self {
+        GuardSearchOptions { max_targets: 16, require_timing: false }
+    }
+}
+
+/// Outcome of [`search`].
+#[derive(Debug, Clone)]
+pub struct GuardSearchOutcome {
+    /// Baseline energy over the profiling stream, in fJ.
+    pub base_energy_fj: f64,
+    /// The best correct, energy-saving candidate and its guarded energy
+    /// in fJ, if any candidate saves energy.
+    pub best: Option<(GuardCandidate, f64)>,
+    /// Candidates scored.
+    pub candidates_evaluated: usize,
+}
+
+/// Full guarded-evaluation search: discovers candidates, scores every one
+/// through the incremental [`GuardScorer`], and returns the best
+/// energy-saving candidate whose outputs stayed correct.
+///
+/// # Errors
+///
+/// Returns a netlist error for cyclic or sequential circuits and bad
+/// streams.
+pub fn search(
+    netlist: &Netlist,
+    lib: &Library,
+    stream: &[Vec<bool>],
+    opts: &GuardSearchOptions,
+) -> Result<GuardSearchOutcome, NetlistError> {
+    let candidates = find_candidates(netlist, lib, opts.max_targets)?;
+    let mut scorer = GuardScorer::new(netlist, lib, stream)?;
+    let mut best: Option<(GuardCandidate, f64)> = None;
+    let mut candidates_evaluated = 0usize;
+    for c in &candidates {
+        if opts.require_timing && !c.timing_ok {
+            continue;
+        }
+        let (_, guarded, ok) = scorer.score(c);
+        candidates_evaluated += 1;
+        if !ok || guarded >= scorer.base_energy_fj() {
+            continue;
+        }
+        if best.as_ref().is_none_or(|&(_, g)| guarded < g) {
+            obs::OPT_CANDIDATES_ACCEPTED.inc();
+            best = Some((c.clone(), guarded));
+        }
+    }
+    Ok(GuardSearchOutcome { base_energy_fj: scorer.base_energy_fj(), best, candidates_evaluated })
 }
 
 /// A mux-dominated example circuit with a natural guard: `y = sel ? a_fn :
@@ -365,6 +717,67 @@ mod tests {
         let (base, guarded, ok) = evaluate(&nl, &lib, best, &stream).unwrap();
         assert!(ok);
         assert!(guarded < 0.95 * base, "expected >5% energy saving: {base:.0} -> {guarded:.0}");
+    }
+
+    #[test]
+    fn incremental_scorer_matches_evaluate_bit_for_bit() {
+        let nl = guarded_mux_example(6);
+        let lib = Library::default();
+        let candidates = find_candidates(&nl, &lib, 8).unwrap();
+        assert!(!candidates.is_empty());
+        let stream: Vec<Vec<bool>> = streams::random(9, nl.input_count()).take(300).collect();
+        let mut scorer = GuardScorer::new(&nl, &lib, &stream).unwrap();
+        for c in &candidates {
+            let (base_ref, guarded_ref, ok_ref) = evaluate(&nl, &lib, c, &stream).unwrap();
+            let (base, guarded, ok) = scorer.score(c);
+            assert_eq!(base.to_bits(), base_ref.to_bits(), "baseline diverged for {c:?}");
+            assert_eq!(guarded.to_bits(), guarded_ref.to_bits(), "guarded diverged for {c:?}");
+            assert_eq!(ok, ok_ref, "correctness verdict diverged for {c:?}");
+        }
+    }
+
+    #[test]
+    fn scorer_dirty_region_is_smaller_than_the_netlist() {
+        // The economy claim: scoring a candidate replays only the frozen
+        // cone's forward closure, not the whole netlist.
+        let nl = guarded_mux_example(8);
+        let lib = Library::default();
+        let candidates = find_candidates(&nl, &lib, 8).unwrap();
+        let stream: Vec<Vec<bool>> = streams::random(4, nl.input_count()).take(128).collect();
+        hlpower_obs::metrics::reset_all();
+        let mut scorer = GuardScorer::new(&nl, &lib, &stream).unwrap();
+        let best = &candidates[0];
+        let _ = scorer.score(best);
+        let words = hlpower_obs::metrics::OPT_RESIM_WORDS.get();
+        let full = (nl.node_count() * stream.len().div_ceil(64)) as u64;
+        assert!(words > 0 && words < full, "dirty replay {words} vs full {full}");
+    }
+
+    #[test]
+    fn search_returns_a_correct_saving_candidate() {
+        let nl = guarded_mux_example(8);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(3, nl.input_count()).take(1024).collect();
+        let outcome = search(&nl, &lib, &stream, &GuardSearchOptions::default()).unwrap();
+        assert!(outcome.candidates_evaluated > 0);
+        let (best, guarded) = outcome.best.expect("the mux select guards a branch");
+        assert!(guarded < outcome.base_energy_fj);
+        // The chosen candidate re-validates under the from-scratch scorer.
+        let (base_ref, guarded_ref, ok) = evaluate(&nl, &lib, &best, &stream).unwrap();
+        assert!(ok);
+        assert_eq!(guarded.to_bits(), guarded_ref.to_bits());
+        assert_eq!(outcome.base_energy_fj.to_bits(), base_ref.to_bits());
+    }
+
+    #[test]
+    fn sequential_netlists_are_rejected_by_the_scorer() {
+        let mut nl = Netlist::new();
+        let x = nl.input("x");
+        let q = nl.dff(x, false);
+        nl.set_output("q", q);
+        let lib = Library::default();
+        let err = GuardScorer::new(&nl, &lib, &[vec![false]]);
+        assert!(matches!(err, Err(NetlistError::NotCombinational { .. })));
     }
 
     #[test]

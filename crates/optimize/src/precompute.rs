@@ -9,8 +9,12 @@
 //! saving is the shutdown probability times the block's power, minus the
 //! predictor's own cost.
 
-use hlpower_bdd::{bdd_to_mux_netlist, build_output_bdds};
-use hlpower_netlist::{Library, Netlist, NetlistError, NodeId, ZeroDelaySim};
+use hlpower_bdd::{bdd_to_mux_netlist, build_output_bdds, BddManager, BddRef};
+use hlpower_netlist::{
+    ConeResim, GateKind, IncrementalSim, Library, Netlist, NetlistEditor, NetlistError, NodeId,
+    NodeKind, ResimScratch, ZeroDelaySim,
+};
+use hlpower_obs::metrics as obs;
 
 /// Analysis of one candidate precomputation architecture.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,41 +44,55 @@ pub fn rank_subsets(block: &Netlist, k: usize) -> Result<Vec<PrecomputeCandidate
     let f = roots[0];
     let n = block.input_count();
     let mut out = Vec::new();
-    for subset in subsets(n, k) {
-        let others: Vec<u32> = (0..n as u32).filter(|v| !subset.contains(&(*v as usize))).collect();
+    let mut others: Vec<u32> = Vec::with_capacity(n);
+    for_each_subset(n, k, |subset| {
+        others.clear();
+        others.extend((0..n as u32).filter(|v| !subset.contains(&(*v as usize))));
         let g1 = m.forall(f, &others);
         let nf = m.not(f);
         let g0 = m.forall(nf, &others);
         let either = m.or(g1, g0);
         let p = m.sat_fraction(either);
         out.push(PrecomputeCandidate {
-            subset,
+            subset: subset.to_vec(),
             shutdown_probability: p,
             predictor_nodes: m.node_count_many(&[g0, g1]),
         });
-    }
+    });
     out.sort_by(|a, b| {
         b.shutdown_probability.partial_cmp(&a.shutdown_probability).expect("finite probabilities")
     });
     Ok(out)
 }
 
-fn subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
-    let mut out = Vec::new();
-    let mut cur = Vec::new();
-    fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
-        if cur.len() == k {
-            out.push(cur.clone());
-            return;
-        }
-        for i in start..n {
-            cur.push(i);
-            rec(i + 1, n, k, cur, out);
-            cur.pop();
+/// Calls `visit` with every size-`k` subset of `0..n` in lexicographic
+/// order. One scratch buffer is advanced in place (the classic
+/// next-combination walk), so enumeration allocates nothing per subset.
+fn for_each_subset(n: usize, k: usize, mut visit: impl FnMut(&[usize])) {
+    if k > n {
+        return;
+    }
+    let mut cur: Vec<usize> = (0..k).collect();
+    loop {
+        visit(&cur);
+        // Bump the rightmost index that can still grow, then restack
+        // everything after it.
+        let Some(i) = (0..k).rev().find(|&i| cur[i] < n - k + i) else { break };
+        cur[i] += 1;
+        for j in i + 1..k {
+            cur[j] = cur[j - 1] + 1;
         }
     }
-    rec(0, n, k, &mut cur, &mut out);
-    out
+}
+
+/// Universal-quantification predictor pair for a retained subset:
+/// `g1 = ∀_{X\S} f` and `g0 = ∀_{X\S} ¬f`.
+fn predictors(m: &mut BddManager, f: BddRef, n: usize, subset: &[usize]) -> (BddRef, BddRef) {
+    let others: Vec<u32> = (0..n as u32).filter(|v| !subset.contains(&(*v as usize))).collect();
+    let g1 = m.forall(f, &others);
+    let nf = m.not(f);
+    let g0 = m.forall(nf, &others);
+    (g1, g0)
 }
 
 /// A synthesized precomputation architecture (Fig. 6): the original block
@@ -109,23 +127,47 @@ pub fn build_architecture(
     let candidates = rank_subsets(block, k)?;
     let candidate = candidates.into_iter().next().expect("at least one subset");
     let (mut m, roots) = build_output_bdds(block)?;
-    let f = roots[0];
-    let n = block.input_count();
-    let others: Vec<u32> =
-        (0..n as u32).filter(|v| !candidate.subset.contains(&(*v as usize))).collect();
-    let g1 = m.forall(f, &others);
-    let nf = m.not(f);
-    let g0 = m.forall(nf, &others);
+    let (g1, g0) = predictors(&mut m, roots[0], block.input_count(), &candidate.subset);
+    let (netlist, _) = synth_architecture(block, &m, g1, g0);
+    Ok(PrecomputeArchitecture { netlist, candidate })
+}
 
-    // Rebuild: new netlist with fresh inputs; predictors over raw inputs;
+/// Node handles into a synthesized architecture that the candidate-swap
+/// editor path rewires: the `fire` OR gate, the buffer feeding the g1
+/// register (so a swap never touches a flip-flop's D pin directly), the
+/// arena range holding the current predictor logic, and the raw inputs.
+struct ArchHandles {
+    fire: NodeId,
+    g1_buf: NodeId,
+    predictor: (usize, usize),
+    raw: Vec<NodeId>,
+}
+
+/// Synthesizes the Fig. 6 architecture for one predictor pair: raw
+/// inputs, predictor logic, hold registers, the block over held inputs,
+/// and the output mux.
+fn synth_architecture(
+    block: &Netlist,
+    m: &BddManager,
+    g1: BddRef,
+    g0: BddRef,
+) -> (Netlist, ArchHandles) {
+    let n = block.input_count();
+    // New netlist with fresh inputs; predictors over raw inputs;
     // registered inputs recirculate when the registered predictor fired.
     let mut nl = Netlist::new();
     let raw: Vec<NodeId> = (0..n).map(|i| nl.input(format!("x[{i}]"))).collect();
-    let g1_node = nl.with_group("predictor", |nl| bdd_to_mux_netlist(&m, g1, &raw, nl));
-    let g0_node = nl.with_group("predictor", |nl| bdd_to_mux_netlist(&m, g0, &raw, nl));
+    let p_start = nl.node_count();
+    let g1_node = nl.with_group("predictor", |nl| bdd_to_mux_netlist(m, g1, &raw, nl));
+    let g0_node = nl.with_group("predictor", |nl| bdd_to_mux_netlist(m, g0, &raw, nl));
+    let p_end = nl.node_count();
     let fire = nl.with_group("predictor", |nl| nl.or([g1_node, g0_node]));
+    // The g1 register is fed through a buffer so a candidate swap can
+    // repoint it with a gate rewire (flip-flops keep their kind under
+    // the editor).
+    let g1_buf = nl.with_group("predictor", |nl| nl.buf(g1_node));
     let fire_q = nl.with_group("predictor", |nl| nl.dff(fire, false));
-    let g1_q = nl.with_group("predictor", |nl| nl.dff(g1_node, false));
+    let g1_q = nl.with_group("predictor", |nl| nl.dff(g1_buf, false));
     // Input registers with hold: q = dff(mux(fire, x, q)).
     let mut held = Vec::with_capacity(n);
     nl.with_group("registers/clock", |nl| {
@@ -145,7 +187,43 @@ pub fn build_architecture(
     // otherwise the block's output over the (freshly loaded) registers.
     let y = nl.mux(fire_q, block_out, g1_q);
     nl.set_output("y", y);
-    Ok(PrecomputeArchitecture { netlist: nl, candidate })
+    (nl, ArchHandles { fire, g1_buf, predictor: (p_start, p_end), raw })
+}
+
+/// Expresses a candidate's architecture as an in-place edit of the
+/// template: the new predictor pair is appended over the raw inputs,
+/// `fire` and the g1 register feed are rewired onto it, and the
+/// template's old predictor gates are tied to a constant so they stop
+/// toggling (dead logic costs no dynamic power). Returns the
+/// changed-gate set for [`IncrementalSim::resim_into`].
+fn swap_predictor(
+    arch: &mut Netlist,
+    handles: &ArchHandles,
+    m: &BddManager,
+    g1: BddRef,
+    g0: BddRef,
+) -> Result<Vec<NodeId>, NetlistError> {
+    // Appends are rollback-safe arena growth; they happen outside the
+    // editor session so the BDD synthesizer can borrow the netlist.
+    let g1_node = arch.with_group("predictor", |nl| bdd_to_mux_netlist(m, g1, &handles.raw, nl));
+    let g0_node = arch.with_group("predictor", |nl| bdd_to_mux_netlist(m, g0, &handles.raw, nl));
+    let tie = arch.constant(false);
+    let (p_start, p_end) = handles.predictor;
+    let old_gates: Vec<NodeId> = arch
+        .node_ids()
+        .skip(p_start)
+        .take(p_end - p_start)
+        .filter(|&id| matches!(arch.kind(id), NodeKind::Gate { .. }))
+        .collect();
+    let mut ed = NetlistEditor::begin(arch);
+    ed.replace_gate(handles.fire, GateKind::Or, [g1_node, g0_node])?;
+    ed.replace_gate(handles.g1_buf, GateKind::Buf, [g1_node])?;
+    for &id in &old_gates {
+        ed.replace_gate(id, GateKind::Buf, [tie])?;
+    }
+    let changed = ed.changed().to_vec();
+    ed.finish();
+    Ok(changed)
 }
 
 /// Measured outcome of a precomputation transform.
@@ -166,8 +244,120 @@ impl PrecomputeOutcome {
     }
 }
 
+/// One measured-power candidate in a [`search`] outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredCandidate {
+    /// The BDD-ranked candidate.
+    pub candidate: PrecomputeCandidate,
+    /// Measured power of its architecture under the stream, in µW.
+    pub optimized_uw: f64,
+}
+
+/// Outcome of the measured-power candidate [`search`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecomputeSearchOutcome {
+    /// Baseline block power (registered inputs, no predictor), in µW.
+    pub baseline_uw: f64,
+    /// Measured candidates, in BDD rank order.
+    pub scored: Vec<ScoredCandidate>,
+    /// Index into `scored` of the lowest measured power.
+    pub best: usize,
+}
+
+impl PrecomputeSearchOutcome {
+    /// The best measured candidate as a [`PrecomputeOutcome`].
+    pub fn best_outcome(&self) -> PrecomputeOutcome {
+        let b = &self.scored[self.best];
+        PrecomputeOutcome {
+            baseline_uw: self.baseline_uw,
+            optimized_uw: b.optimized_uw,
+            shutdown_fraction: b.candidate.shutdown_probability,
+        }
+    }
+}
+
+/// Measures the top-`top_r` BDD-ranked subsets by simulated power and
+/// picks the cheapest — the Fig. 1 estimate/transform/re-estimate loop
+/// run incrementally. The baseline and the top candidate's architecture
+/// are each recorded once ([`IncrementalSim::record`]); every further
+/// candidate is an in-place predictor swap on the template
+/// (an editor-journaled predictor swap) scored by dirty-cone replay,
+/// bit-identical to
+/// recording its netlist from scratch.
+///
+/// # Errors
+///
+/// Returns a netlist error for cyclic blocks.
+///
+/// # Panics
+///
+/// Panics if the block does not have exactly one output.
+pub fn search(
+    block: &Netlist,
+    k: usize,
+    top_r: usize,
+    stream: &[Vec<bool>],
+    lib: &Library,
+) -> Result<PrecomputeSearchOutcome, NetlistError> {
+    let ranked = rank_subsets(block, k)?;
+    let take = top_r.clamp(1, ranked.len());
+
+    // Baseline: inputs registered, block evaluated every cycle. Recorded
+    // once, shared by every candidate comparison.
+    let n = block.input_count();
+    let mut base = Netlist::new();
+    let raw: Vec<NodeId> = (0..n).map(|i| base.input(format!("x[{i}]"))).collect();
+    let regs = base.dff_bus(&raw);
+    let (bm, broots) = build_output_bdds(block)?;
+    let y = bdd_to_mux_netlist(&bm, broots[0], &regs, &mut base);
+    base.set_output("y", y);
+    let base_rec = IncrementalSim::record(&base, stream)?;
+    let baseline_uw = base_rec.activity().power(&base, lib).total_power_uw();
+
+    // Template: the top-ranked candidate's architecture, recorded once.
+    let (mut m, roots) = build_output_bdds(block)?;
+    let f = roots[0];
+    let (g1, g0) = predictors(&mut m, f, n, &ranked[0].subset);
+    let (tpl, handles) = synth_architecture(block, &m, g1, g0);
+    let inc = IncrementalSim::record(&tpl, stream)?;
+    obs::OPT_CANDIDATES_EVALUATED.inc();
+    let mut scored = Vec::with_capacity(take);
+    scored.push(ScoredCandidate {
+        candidate: ranked[0].clone(),
+        optimized_uw: inc.activity().power(&tpl, lib).total_power_uw(),
+    });
+
+    // Every further candidate: predictor swap + dirty-cone replay.
+    let mut scratch = ResimScratch::default();
+    let mut resim = ConeResim::default();
+    for cand in ranked.iter().take(take).skip(1) {
+        let (g1, g0) = predictors(&mut m, f, n, &cand.subset);
+        let mut swapped = tpl.clone();
+        let changed = swap_predictor(&mut swapped, &handles, &m, g1, g0)?;
+        inc.resim_into(&swapped, &changed, &mut scratch, &mut resim)?;
+        obs::OPT_CANDIDATES_EVALUATED.inc();
+        obs::OPT_CONE_SIZE.record(resim.cone.len() as u64);
+        obs::OPT_RESIM_WORDS.add(resim.words_replayed());
+        scored.push(ScoredCandidate {
+            candidate: cand.clone(),
+            optimized_uw: resim.activity.power(&swapped, lib).total_power_uw(),
+        });
+    }
+    let best = scored
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.optimized_uw.partial_cmp(&b.1.optimized_uw).expect("finite powers"))
+        .map(|(i, _)| i)
+        .expect("at least one candidate");
+    if scored[best].optimized_uw < baseline_uw {
+        obs::OPT_CANDIDATES_ACCEPTED.inc();
+    }
+    Ok(PrecomputeSearchOutcome { baseline_uw, scored, best })
+}
+
 /// Simulates the baseline (registered-input block) and the precomputation
-/// architecture under the same stream and compares power.
+/// architecture of the top-ranked subset under the same stream and
+/// compares power — [`search`] restricted to one candidate.
 ///
 /// # Errors
 ///
@@ -178,24 +368,12 @@ pub fn evaluate(
     stream: &[Vec<bool>],
     lib: &Library,
 ) -> Result<PrecomputeOutcome, NetlistError> {
-    // Baseline: inputs registered, block evaluated every cycle.
-    let n = block.input_count();
-    let mut base = Netlist::new();
-    let raw: Vec<NodeId> = (0..n).map(|i| base.input(format!("x[{i}]"))).collect();
-    let regs = base.dff_bus(&raw);
-    let (bm, broots) = build_output_bdds(block)?;
-    let y = bdd_to_mux_netlist(&bm, broots[0], &regs, &mut base);
-    base.set_output("y", y);
-
-    let arch = build_architecture(block, k)?;
-    let mut sim_base = ZeroDelaySim::new(&base)?;
-    let act_base = sim_base.run(stream.iter().cloned())?;
-    let mut sim_arch = ZeroDelaySim::new(&arch.netlist)?;
-    let act_arch = sim_arch.run(stream.iter().cloned())?;
+    let s = search(block, k, 1, stream, lib)?;
+    let b = &s.scored[0];
     Ok(PrecomputeOutcome {
-        baseline_uw: act_base.power(&base, lib).total_power_uw(),
-        optimized_uw: act_arch.power(&arch.netlist, lib).total_power_uw(),
-        shutdown_fraction: arch.candidate.shutdown_probability,
+        baseline_uw: s.baseline_uw,
+        optimized_uw: b.optimized_uw,
+        shutdown_fraction: b.candidate.shutdown_probability,
     })
 }
 
@@ -276,6 +454,83 @@ mod tests {
             "expected >10% saving, got {:.1}% ({outcome:?})",
             outcome.saving() * 100.0
         );
+    }
+
+    #[test]
+    fn swap_scored_candidates_match_from_scratch_recording() {
+        // Every µW the incremental search reports must be bit-identical
+        // to recording the same (template or swapped) netlist from
+        // scratch.
+        let block = comparator_block(4);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(9, 8).take(200).collect();
+        let outcome = search(&block, 2, 6, &stream, &lib).unwrap();
+        assert_eq!(outcome.scored.len(), 6);
+
+        // Replay the search's construction sequence on a fresh manager so
+        // node ids line up, then record each netlist from scratch.
+        let ranked = rank_subsets(&block, 2).unwrap();
+        let (mut m, roots) = build_output_bdds(&block).unwrap();
+        let f = roots[0];
+        let n = block.input_count();
+        let (g1, g0) = predictors(&mut m, f, n, &ranked[0].subset);
+        let (tpl, handles) = synth_architecture(&block, &m, g1, g0);
+        for (i, sc) in outcome.scored.iter().enumerate() {
+            let nl = if i == 0 {
+                tpl.clone()
+            } else {
+                let (g1, g0) = predictors(&mut m, f, n, &sc.candidate.subset);
+                let mut sw = tpl.clone();
+                swap_predictor(&mut sw, &handles, &m, g1, g0).unwrap();
+                sw
+            };
+            let full = IncrementalSim::record(&nl, &stream).unwrap();
+            assert_eq!(
+                sc.optimized_uw.to_bits(),
+                full.activity().power(&nl, &lib).total_power_uw().to_bits(),
+                "candidate {i} ({:?})",
+                sc.candidate.subset
+            );
+        }
+    }
+
+    #[test]
+    fn swapped_architecture_stays_equivalent_to_the_block() {
+        // A predictor swap must leave the architecture functionally the
+        // one-cycle-latency block: the old predictor is fully detached.
+        let block = comparator_block(3);
+        let ranked = rank_subsets(&block, 2).unwrap();
+        let (mut m, roots) = build_output_bdds(&block).unwrap();
+        let f = roots[0];
+        let n = block.input_count();
+        let (g1, g0) = predictors(&mut m, f, n, &ranked[0].subset);
+        let (tpl, handles) = synth_architecture(&block, &m, g1, g0);
+        let (g1b, g0b) = predictors(&mut m, f, n, &ranked[1].subset);
+        let mut sw = tpl.clone();
+        swap_predictor(&mut sw, &handles, &m, g1b, g0b).unwrap();
+
+        let stream: Vec<Vec<bool>> = streams::random(12, 6).take(200).collect();
+        let mut ref_sim = ZeroDelaySim::new(&block).unwrap();
+        let mut sw_sim = ZeroDelaySim::new(&sw).unwrap();
+        let mut expected = Vec::new();
+        let mut got = Vec::new();
+        for v in &stream {
+            expected.push(ref_sim.eval_combinational(v).unwrap()[0]);
+            sw_sim.step(v).unwrap();
+            got.push(sw_sim.output_values()[0]);
+        }
+        assert_eq!(got[1..], expected[..expected.len() - 1]);
+    }
+
+    #[test]
+    fn search_picks_the_measured_best() {
+        let block = comparator_block(4);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(2, 8).take(400).collect();
+        let outcome = search(&block, 2, 5, &stream, &lib).unwrap();
+        let min = outcome.scored.iter().map(|s| s.optimized_uw).fold(f64::INFINITY, f64::min);
+        assert_eq!(outcome.scored[outcome.best].optimized_uw.to_bits(), min.to_bits());
+        assert!(outcome.best_outcome().baseline_uw > 0.0);
     }
 
     #[test]

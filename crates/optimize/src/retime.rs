@@ -12,8 +12,10 @@
 use std::collections::HashMap;
 
 use hlpower_netlist::{
-    timed_activity, Library, Netlist, NetlistError, NodeId, NodeKind, TimedKernel,
+    timed_activity, IncrementalTimedSim, Library, Netlist, NetlistEditor, NetlistError, NodeId,
+    NodeKind, TimedConeResim, TimedKernel, TimedResimScratch,
 };
+use hlpower_obs::metrics as obs;
 
 /// A pipelined version of a combinational netlist: registers inserted on
 /// every edge crossing the arrival-time threshold, so all outputs are
@@ -152,9 +154,60 @@ pub fn low_power_retime(
     low_power_retime_kernel(netlist, lib, stream, probes, TimedKernel::default())
 }
 
-/// [`low_power_retime`] on an explicit timed kernel (both kernels give
-/// bit-identical outcomes; the packed default makes the per-threshold
-/// sweep simulations much faster).
+/// Applies the threshold cut *in place* on `cut` (a clone of `base`):
+/// every gate edge crossing `threshold_ps` is rewired through a register
+/// and every output arriving below the threshold is rebound to a boundary
+/// register, one shared register per source node — the same discipline as
+/// [`pipeline_cut`], expressed as a [`NetlistEditor`] mutation so the
+/// original node ids survive and the candidate can be scored by
+/// dirty-cone timed replay. Returns the changed-gate set for
+/// [`IncrementalTimedSim::resim_into`].
+fn apply_cut_in_place(
+    base: &Netlist,
+    arrivals: &[f64],
+    threshold_ps: f64,
+    cut: &mut Netlist,
+) -> Result<Vec<NodeId>, NetlistError> {
+    let mut ed = NetlistEditor::begin(cut);
+    let mut registered: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut reg_of = |src: NodeId, ed: &mut NetlistEditor| -> Result<NodeId, NetlistError> {
+        if let Some(&r) = registered.get(&src) {
+            return Ok(r);
+        }
+        let r = ed.insert_dff(src, false)?;
+        registered.insert(src, r);
+        Ok(r)
+    };
+    for id in base.node_ids() {
+        let NodeKind::Gate { inputs, .. } = base.kind(id) else { continue };
+        let a_dst = arrivals[id.index()];
+        for (pin, &src) in inputs.iter().enumerate() {
+            if arrivals[src.index()] < threshold_ps && a_dst >= threshold_ps {
+                let r = reg_of(src, &mut ed)?;
+                ed.rewire_input(id, pin, r)?;
+            }
+        }
+    }
+    for (idx, (_, o)) in base.outputs().iter().enumerate() {
+        if arrivals[o.index()] < threshold_ps {
+            let r = reg_of(*o, &mut ed)?;
+            ed.rebind_output(idx, r)?;
+        }
+    }
+    let changed = ed.changed().to_vec();
+    ed.finish();
+    Ok(changed)
+}
+
+/// [`low_power_retime`] on an explicit timed kernel. Retained for API
+/// compatibility: the sweep is now scored by dirty-cone replay against a
+/// single event-driven [`IncrementalTimedSim`] recording, which is
+/// bit-identical across kernels, so the choice no longer matters.
+///
+/// Each probed threshold is expressed as an in-place register-insertion
+/// edit of the profiled circuit, and only the forward cone of the rewired
+/// gates and appended registers is replayed — the baseline waveforms of
+/// everything upstream are reused from the recording.
 ///
 /// # Errors
 ///
@@ -166,28 +219,42 @@ pub fn low_power_retime_kernel(
     probes: usize,
     kernel: TimedKernel,
 ) -> Result<RetimeOutcome, NetlistError> {
+    let _ = kernel;
     let max_arrival = netlist.critical_path_ps(lib)?;
-    let power_of = |nl: &Netlist| -> Result<f64, NetlistError> {
-        let timed = timed_activity(nl, lib, stream, kernel)?;
-        Ok(timed.power(nl, lib).total_power_uw())
-    };
-    // Baseline: registers at the very end.
-    let baseline_nl = pipeline_cut(netlist, lib, max_arrival + 1.0)?;
-    // The cut at threshold > max registers nothing mid-cone; outputs get
-    // registered by the boundary rule only if below threshold — which
-    // they are, so this is the output-registered baseline.
-    let baseline_uw = power_of(&baseline_nl)?;
-    let timed = timed_activity(netlist, lib, stream, kernel)?;
-    let baseline_glitch_fraction = timed.glitch_fraction()?;
+    let arrivals = netlist.arrival_times_ps(lib)?;
+    // Record the unregistered circuit once; every threshold candidate is
+    // scored by replaying only its dirty cone against this recording.
+    let inc = IncrementalTimedSim::record(netlist, lib, stream)?;
+    let baseline_glitch_fraction = inc.activity().glitch_fraction()?;
 
+    let mut scratch = TimedResimScratch::default();
+    let mut resim = TimedConeResim::default();
+    let score = |threshold: f64,
+                 scratch: &mut TimedResimScratch,
+                 resim: &mut TimedConeResim|
+     -> Result<f64, NetlistError> {
+        let mut cut = netlist.clone();
+        let changed = apply_cut_in_place(netlist, &arrivals, threshold, &mut cut)?;
+        inc.resim_into(&cut, &changed, scratch, resim)?;
+        obs::OPT_CANDIDATES_EVALUATED.inc();
+        obs::OPT_CONE_SIZE.record(resim.cone.len() as u64);
+        obs::OPT_RESIM_WORDS.add(resim.words_replayed());
+        Ok(resim.activity.power(&cut, lib).total_power_uw())
+    };
+
+    // Baseline: the cut above the critical path registers nothing
+    // mid-cone; outputs get registered by the boundary rule only if below
+    // threshold — which they all are, so this is the output-registered
+    // baseline.
+    let baseline_uw = score(max_arrival + 1.0, &mut scratch, &mut resim)?;
     let mut sweep = Vec::with_capacity(probes);
     let mut best = (max_arrival + 1.0, baseline_uw);
     for i in 1..=probes {
         let threshold = max_arrival * i as f64 / (probes + 1) as f64;
-        let cut = pipeline_cut(netlist, lib, threshold)?;
-        let uw = power_of(&cut)?;
+        let uw = score(threshold, &mut scratch, &mut resim)?;
         sweep.push((threshold, uw));
         if uw < best.1 {
+            obs::OPT_CANDIDATES_ACCEPTED.inc();
             best = (threshold, uw);
         }
     }
@@ -291,6 +358,54 @@ mod tests {
         let sp = glitch_profile_kernel(&nl, &lib, &stream, TimedKernel::Scalar).unwrap();
         let pp = glitch_profile_kernel(&nl, &lib, &stream, TimedKernel::Packed64).unwrap();
         assert_eq!(sp, pp);
+    }
+
+    #[test]
+    fn in_place_cut_is_functionally_the_pipeline_cut() {
+        // The editor-expressed cut that the sweep scores must implement
+        // the same one-cycle pipeline as the materializing pipeline_cut.
+        let nl = multiplier(4);
+        let lib = Library::default();
+        let arrivals = nl.arrival_times_ps(&lib).unwrap();
+        let max = nl.critical_path_ps(&lib).unwrap();
+        for frac in [0.25, 0.5, 0.75, 1.5] {
+            let t = max * frac;
+            let rebuilt = pipeline_cut(&nl, &lib, t).unwrap();
+            let mut inplace = nl.clone();
+            apply_cut_in_place(&nl, &arrivals, t, &mut inplace).unwrap();
+            let mut s1 = ZeroDelaySim::new(&rebuilt).unwrap();
+            let mut s2 = ZeroDelaySim::new(&inplace).unwrap();
+            for v in streams::random(7, 8).take(50) {
+                s1.step(&v).unwrap();
+                s2.step(&v).unwrap();
+                assert_eq!(s1.output_values(), s2.output_values(), "frac {frac}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_sweep_matches_from_scratch_recording() {
+        // Every µW the sweep reports must be bit-identical to recording
+        // the same cut netlist from scratch.
+        let nl = multiplier(4);
+        let lib = Library::default();
+        let stream: Vec<Vec<bool>> = streams::random(5, 8).take(150).collect();
+        let outcome = low_power_retime(&nl, &lib, &stream, 3).unwrap();
+        let arrivals = nl.arrival_times_ps(&lib).unwrap();
+        let check = |threshold: f64, uw: f64| {
+            let mut cut = nl.clone();
+            apply_cut_in_place(&nl, &arrivals, threshold, &mut cut).unwrap();
+            let full = IncrementalTimedSim::record(&cut, &lib, &stream).unwrap();
+            assert_eq!(
+                uw.to_bits(),
+                full.activity().power(&cut, &lib).total_power_uw().to_bits(),
+                "threshold {threshold}"
+            );
+        };
+        check(nl.critical_path_ps(&lib).unwrap() + 1.0, outcome.baseline_uw);
+        for &(threshold, uw) in &outcome.sweep {
+            check(threshold, uw);
+        }
     }
 
     #[test]

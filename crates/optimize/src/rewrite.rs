@@ -28,9 +28,10 @@
 use std::collections::BTreeSet;
 
 use hlpower_netlist::{
-    attribute, attribute_delta, AttributionReport, GateKind, IncrementalSim, Library, Netlist,
-    NetlistError, NodeId, NodeKind,
+    attribute, attribute_delta, AttributionReport, ConeResim, GateKind, IncrementalSim, Library,
+    Netlist, NetlistError, NodeId, NodeKind, ResimScratch,
 };
+use hlpower_obs::metrics as obs;
 
 /// The local rewrite rules [`rewrite_gates`] knows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -75,7 +76,9 @@ pub struct RewriteOptions {
 
 impl Default for RewriteOptions {
     fn default() -> Self {
-        RewriteOptions { max_passes: 4, min_saving_uw: 0.0, sweep_dead: true }
+        // Candidate scoring is an allocation-free dirty-cone replay, so
+        // the default scan budget is double the historical 4.
+        RewriteOptions { max_passes: 8, min_saving_uw: 0.0, sweep_dead: true }
     }
 }
 
@@ -362,6 +365,11 @@ pub fn rewrite_gates(
     stream: &[Vec<bool>],
     opts: &RewriteOptions,
 ) -> Result<RewriteOutcome, NetlistError> {
+    // The recording itself now supports sequential circuits, but the
+    // rewrite rules do not reason about register semantics.
+    if !netlist.dffs().is_empty() {
+        return Err(NetlistError::NotCombinational { dffs: netlist.dffs().len() });
+    }
     let mut inc = IncrementalSim::record(netlist, stream)?;
     let mut current = netlist.clone();
     let base_act = inc.activity();
@@ -371,13 +379,19 @@ pub fn rewrite_gates(
     let mut steps = Vec::new();
     let mut candidates_tried = 0usize;
     let mut cone_nodes_resimmed = 0usize;
+    // Reusable replay buffers: a rejected candidate allocates nothing.
+    let mut scratch = ResimScratch::default();
+    let mut resim = ConeResim::default();
     for _pass in 0..opts.max_passes {
         let mut progressed = false;
         for (rule, node) in find_candidates(&current, opts) {
             let Some(m) = plan(rule, node, &current, opts)? else { continue };
-            let resim = inc.resim(&m.mutated, &m.changed)?;
+            inc.resim_into(&m.mutated, &m.changed, &mut scratch, &mut resim)?;
             candidates_tried += 1;
             cone_nodes_resimmed += resim.cone.len();
+            obs::OPT_CANDIDATES_EVALUATED.inc();
+            obs::OPT_CONE_SIZE.record(resim.cone.len() as u64);
+            obs::OPT_RESIM_WORDS.add(resim.words_replayed());
             let after_uw = resim.activity.power(&m.mutated, lib).total_power_uw();
             if current_uw - after_uw <= opts.min_saving_uw {
                 continue;
@@ -385,6 +399,7 @@ pub fn rewrite_gates(
             // Accept: fold the mutation into the cache and refresh the
             // attribution from the delta. The touched set is the resim
             // cone plus every node whose fanout pin count moved.
+            obs::OPT_CANDIDATES_ACCEPTED.inc();
             let touched: BTreeSet<NodeId> =
                 resim.cone.iter().copied().chain(m.touched_extra.iter().copied()).collect();
             let touched: Vec<NodeId> = touched.into_iter().collect();
@@ -397,7 +412,7 @@ pub fn rewrite_gates(
                 after_uw,
                 cone_nodes: resim.cone.len(),
             });
-            inc.commit(&m.mutated, resim);
+            inc.commit(&m.mutated, &resim);
             current = m.mutated;
             current_uw = after_uw;
             progressed = true;

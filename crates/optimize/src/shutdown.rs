@@ -286,10 +286,16 @@ pub mod policies {
     /// from a quadratic function of the previous active and idle periods,
     /// fitted online over a sliding window; shut down immediately when the
     /// prediction exceeds break-even.
+    ///
+    /// The window is a ring ([`std::collections::VecDeque`], O(1) slide
+    /// instead of the O(n) front removal of a `Vec`) and the normal
+    /// equations are accumulated straight off the window rows — no row
+    /// matrix or right-hand side is materialized per prediction, so the
+    /// per-episode hot path allocates nothing.
     #[derive(Debug)]
     pub struct SrivastavaRegression {
         breakeven: f64,
-        window: Vec<(f64, f64, f64)>, // (prev_idle, active, idle)
+        window: std::collections::VecDeque<(f64, f64, f64)>, // (prev_idle, active, idle)
         prev_idle: f64,
         capacity: usize,
     }
@@ -299,7 +305,7 @@ pub mod policies {
         pub fn new(device: &DeviceModel, capacity: usize) -> Self {
             SrivastavaRegression {
                 breakeven: device.breakeven(),
-                window: Vec::new(),
+                window: std::collections::VecDeque::with_capacity(capacity + 1),
                 prev_idle: 0.0,
                 capacity,
             }
@@ -309,12 +315,21 @@ pub mod policies {
             if self.window.len() < 8 {
                 return 0.0; // not enough history: stay powered
             }
-            // Least squares on [1, a, i, a^2, a*i] -> next idle.
-            let rows: Vec<Vec<f64>> =
-                self.window.iter().map(|&(pi, a, _)| vec![1.0, a, pi, a * a, a * pi]).collect();
-            let y: Vec<f64> = self.window.iter().map(|&(_, _, i)| i).collect();
-            // Tiny built-in least squares (5 unknowns).
-            match solve_ls(&rows, &y) {
+            // Least squares on [1, a, i, a^2, a*i] -> next idle, via the
+            // normal equations accumulated directly from the window (the
+            // iteration order matches the old materialized-rows path, so
+            // the fitted coefficients are bit-identical).
+            let mut a_mat = [[0.0f64; 6]; 5];
+            for &(pi, a, i) in &self.window {
+                let r = [1.0, a, pi, a * a, a * pi];
+                for (ai, &ri) in a_mat.iter_mut().zip(&r) {
+                    for (aij, &rj) in ai.iter_mut().zip(&r) {
+                        *aij += ri * rj;
+                    }
+                    ai[5] += ri * i;
+                }
+            }
+            match solve_normal(&mut a_mat) {
                 Some(c) => {
                     let x = [1.0, active, self.prev_idle, active * active, active * self.prev_idle];
                     x.iter().zip(&c).map(|(a, b)| a * b).sum()
@@ -333,9 +348,9 @@ pub mod policies {
             }
         }
         fn observe(&mut self, active: f64, idle: f64) {
-            self.window.push((self.prev_idle, active, idle));
+            self.window.push_back((self.prev_idle, active, idle));
             if self.window.len() > self.capacity {
-                self.window.remove(0);
+                self.window.pop_front();
             }
             self.prev_idle = idle;
         }
@@ -416,40 +431,33 @@ pub mod policies {
         }
     }
 
-    /// Minimal least-squares solver for the regression policy (normal
-    /// equations + Gaussian elimination).
-    fn solve_ls(rows: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
-        let p = rows.first()?.len();
-        let mut a = vec![vec![0.0f64; p + 1]; p];
-        for (r, &yi) in rows.iter().zip(y) {
-            for i in 0..p {
-                for j in 0..p {
-                    a[i][j] += r[i] * r[j];
-                }
-                a[i][p] += r[i] * yi;
-            }
-        }
+    /// Solves the pre-accumulated 5-unknown normal equations `[A | b]` in
+    /// place (Tikhonov-regularized Gaussian elimination with partial
+    /// pivoting) — the fixed-size, allocation-free core of the regression
+    /// policy's least squares.
+    fn solve_normal(a: &mut [[f64; 6]; 5]) -> Option<[f64; 5]> {
+        const P: usize = 5;
         for (i, row) in a.iter_mut().enumerate() {
             row[i] += 1e-9;
         }
-        for col in 0..p {
-            let piv = (col..p)
+        for col in 0..P {
+            let piv = (col..P)
                 .max_by(|&x, &z| a[x][col].abs().partial_cmp(&a[z][col].abs()).expect("finite"))?;
             a.swap(col, piv);
             if a[col][col].abs() < 1e-30 {
                 return None;
             }
-            for row in col + 1..p {
+            for row in col + 1..P {
                 let f = a[row][col] / a[col][col];
-                for k in col..=p {
+                for k in col..=P {
                     a[row][k] -= f * a[col][k];
                 }
             }
         }
-        let mut b = vec![0.0; p];
-        for i in (0..p).rev() {
-            let mut s = a[i][p];
-            for j in i + 1..p {
+        let mut b = [0.0; P];
+        for i in (0..P).rev() {
+            let mut s = a[i][P];
+            for j in i + 1..P {
                 s -= a[i][j] * b[j];
             }
             b[i] = s / a[i][i];
@@ -555,6 +563,114 @@ mod tests {
             r_pre.performance_penalty <= r_plain.performance_penalty,
             "pre {r_pre:?} vs plain {r_plain:?}"
         );
+    }
+
+    #[test]
+    fn ring_window_regression_matches_the_old_vec_path_bit_for_bit() {
+        // The VecDeque window + in-place normal-equation accumulation must
+        // reproduce the original Vec-materializing implementation exactly.
+        struct OldRegression {
+            breakeven: f64,
+            window: Vec<(f64, f64, f64)>,
+            prev_idle: f64,
+            capacity: usize,
+        }
+        fn old_solve_ls(rows: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+            let p = rows.first()?.len();
+            let mut a = vec![vec![0.0f64; p + 1]; p];
+            for (r, &yi) in rows.iter().zip(y) {
+                for i in 0..p {
+                    for j in 0..p {
+                        a[i][j] += r[i] * r[j];
+                    }
+                    a[i][p] += r[i] * yi;
+                }
+            }
+            for (i, row) in a.iter_mut().enumerate() {
+                row[i] += 1e-9;
+            }
+            for col in 0..p {
+                let piv = (col..p).max_by(|&x, &z| {
+                    a[x][col].abs().partial_cmp(&a[z][col].abs()).expect("finite")
+                })?;
+                a.swap(col, piv);
+                if a[col][col].abs() < 1e-30 {
+                    return None;
+                }
+                for row in col + 1..p {
+                    let f = a[row][col] / a[col][col];
+                    for k in col..=p {
+                        a[row][k] -= f * a[col][k];
+                    }
+                }
+            }
+            let mut b = vec![0.0; p];
+            for i in (0..p).rev() {
+                let mut s = a[i][p];
+                for j in i + 1..p {
+                    s -= a[i][j] * b[j];
+                }
+                b[i] = s / a[i][i];
+            }
+            Some(b)
+        }
+        impl ShutdownPolicy for OldRegression {
+            fn wait_before_shutdown(&mut self, preceding_active: f64) -> f64 {
+                let predicted = if self.window.len() < 8 {
+                    0.0
+                } else {
+                    let rows: Vec<Vec<f64>> = self
+                        .window
+                        .iter()
+                        .map(|&(pi, a, _)| vec![1.0, a, pi, a * a, a * pi])
+                        .collect();
+                    let y: Vec<f64> = self.window.iter().map(|&(_, _, i)| i).collect();
+                    match old_solve_ls(&rows, &y) {
+                        Some(c) => {
+                            let a = preceding_active;
+                            let x = [1.0, a, self.prev_idle, a * a, a * self.prev_idle];
+                            x.iter().zip(&c).map(|(a, b)| a * b).sum()
+                        }
+                        None => 0.0,
+                    }
+                };
+                if predicted > self.breakeven {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            }
+            fn observe(&mut self, active: f64, idle: f64) {
+                self.window.push((self.prev_idle, active, idle));
+                if self.window.len() > self.capacity {
+                    self.window.remove(0);
+                }
+                self.prev_idle = idle;
+            }
+            fn name(&self) -> &'static str {
+                "old-srivastava-regression"
+            }
+        }
+
+        let d = DeviceModel::default();
+        for seed in [4u64, 11, 23] {
+            let w = bursty_workload(seed, 3000);
+            let mut new_p = SrivastavaRegression::new(&d, 64);
+            let r_new = simulate(&mut new_p, &d, &w);
+            let mut old_p = OldRegression {
+                breakeven: d.breakeven(),
+                window: Vec::new(),
+                prev_idle: 0.0,
+                capacity: 64,
+            };
+            let r_old = simulate(&mut old_p, &d, &w);
+            assert_eq!(r_new.average_power.to_bits(), r_old.average_power.to_bits(), "seed {seed}");
+            assert_eq!(
+                r_new.shutdown_fraction.to_bits(),
+                r_old.shutdown_fraction.to_bits(),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]
