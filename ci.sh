@@ -52,3 +52,40 @@ cargo bench --offline -p hlpower-bench --bench wide_throughput
 # search's dirty-cone replay did no less work than full replays per
 # candidate; dumps results/BENCH_opt.json.
 cargo bench --offline -p hlpower-bench --bench opt_throughput
+# Estimation-server smoke: boot the daemon on an ephemeral port, drive
+# it with the in-tree client (no curl), require the `serve` metrics
+# section to be live after real traffic, then shut down cleanly. Exits
+# non-zero if the server fails to come up, any POST fails its built-in
+# ok=true check, the metrics poll never sees nonzero serve counters, or
+# the daemon does not exit after `stop`.
+mkdir -p results/serve
+rm -f results/serve/addr
+cargo build --release --offline -p hlpower-serve
+target/release/hlpower-serve serve --addr 127.0.0.1:0 \
+  --addr-file results/serve/addr >results/serve/server.log 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s results/serve/addr ] && break
+  kill -0 "$SERVE_PID" || { cat results/serve/server.log; exit 1; }
+  sleep 0.1
+done
+SERVE_ADDR=$(cat results/serve/addr)
+target/release/hlpower-serve post "$SERVE_ADDR" examples/gray_counter4.v \
+  >results/serve/gray_counter4.json
+target/release/hlpower-serve post "$SERVE_ADDR" examples/majority.edf \
+  >results/serve/majority.json
+target/release/hlpower-serve post "$SERVE_ADDR" examples/gray_counter4.v \
+  --stream --mode glitch --width 256 >results/serve/gray_stream.jsonl
+SERVE_LIVE=0
+for _ in $(seq 1 50); do
+  target/release/hlpower-serve metrics "$SERVE_ADDR" >results/serve/metrics.json
+  if grep -A 20 '"serve"' results/serve/metrics.json \
+      | grep -q '"requests": [1-9]'; then
+    SERVE_LIVE=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$SERVE_LIVE" = 1 ] || { echo "serve metrics stayed zero"; exit 1; }
+target/release/hlpower-serve stop "$SERVE_ADDR"
+wait "$SERVE_PID"

@@ -8,6 +8,7 @@
 //! repro --metrics        # instrumentation smoke + results/metrics.json
 //! repro --profile        # power-attribution profiler -> results/profile/
 //! repro --ingest f.v ... # ingest external netlists -> results/ingest/
+//! repro --serve          # estimation server (HLPOWER_SERVE_ADDR)
 //! ```
 //!
 //! Each experiment prints a human-readable block and writes
@@ -94,6 +95,10 @@ fn main() {
         println!("--ingest parses external netlists (.nl, structural Verilog, or");
         println!("EDIF 2.0.0; see docs/FORMATS.md), runs the differential battery");
         println!("on each, and writes reports under results/ingest/.");
+        println!("--serve runs the estimation server (docs/SERVER.md) until a");
+        println!("POST /shutdown arrives; HLPOWER_SERVE_ADDR sets the bind address");
+        println!("(default 127.0.0.1:0) and HLPOWER_SERVE_ADDR_FILE, if set,");
+        println!("receives the bound address for ephemeral-port discovery.");
         println!("HLPOWER_TRACE=<path> records spans and writes a Chrome trace.\n");
         print_flag_list(&registry);
         return;
@@ -119,6 +124,7 @@ fn main() {
             || a == "--metrics"
             || a == "--profile"
             || a == "--ingest"
+            || a == "--serve"
             || (want_ingest && !a.starts_with("--"))
             || registry.iter().any(|(flag, _, _)| a == *flag)
     };
@@ -134,6 +140,7 @@ fn main() {
     let run_all = args.iter().any(|a| a == "--all");
     let want_metrics = args.iter().any(|a| a == "--metrics");
     let want_profile = args.iter().any(|a| a == "--profile");
+    let want_serve = args.iter().any(|a| a == "--serve");
     let ingest_files: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
     if want_ingest && ingest_files.is_empty() {
         eprintln!("error: --ingest needs at least one netlist file");
@@ -146,7 +153,7 @@ fn main() {
             run_all || args.iter().any(|a| a == *flag) || aliased
         })
         .collect();
-    if selected.is_empty() && !want_metrics && !want_profile && !want_ingest {
+    if selected.is_empty() && !want_metrics && !want_profile && !want_ingest && !want_serve {
         eprintln!("no experiment matched; try --list");
         std::process::exit(2);
     }
@@ -222,6 +229,31 @@ fn main() {
             }
         }
         println!("\n{} netlist(s) ingested; reports under results/ingest/", outcomes.len());
+    }
+    // The estimation server runs last (it blocks until POST /shutdown),
+    // so `repro --metrics --serve` surfaces the smoke counters live.
+    if want_serve {
+        let addr =
+            std::env::var("HLPOWER_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:0".to_string());
+        let config = hlpower_serve::ServerConfig { addr, ..Default::default() };
+        match hlpower_serve::Server::start(config) {
+            Ok(server) => {
+                let bound = server.addr();
+                println!("repro: serving estimates on {bound} (POST /shutdown to stop)");
+                if let Ok(path) = std::env::var("HLPOWER_SERVE_ADDR_FILE") {
+                    if let Err(e) = std::fs::write(&path, bound.to_string()) {
+                        eprintln!("warning: could not write {path}: {e}");
+                        failures += 1;
+                    }
+                }
+                server.join();
+                println!("repro: estimation server stopped");
+            }
+            Err(e) => {
+                eprintln!("error: could not start estimation server: {e}");
+                failures += 1;
+            }
+        }
     }
     // Export the span trace last so every subsystem's spans are in it.
     // A failed export, an invalid trace, or any ring-buffer drop fails

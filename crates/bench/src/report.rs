@@ -11,6 +11,8 @@
 
 use std::fmt::Write as _;
 
+use hlpower_obs::json::{escape_into as write_escaped, write_f64};
+
 /// A JSON value (insertion-ordered objects, `f64` numbers).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -49,15 +51,7 @@ impl Json {
             Json::Int(i) => {
                 let _ = write!(out, "{i}");
             }
-            Json::Num(x) => {
-                if x.is_finite() {
-                    // `{:?}` prints the shortest round-tripping decimal and
-                    // keeps a trailing `.0` on integral floats.
-                    let _ = write!(out, "{x:?}");
-                } else {
-                    out.push_str("null");
-                }
-            }
+            Json::Num(x) => write_f64(out, *x),
             Json::Str(s) => write_escaped(out, s),
             Json::Array(items) => {
                 if items.is_empty() {
@@ -105,24 +99,6 @@ fn push_indent(out: &mut String, indent: usize) {
     for _ in 0..indent {
         out.push_str("  ");
     }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
 
 macro_rules! impl_from_int {
@@ -301,7 +277,32 @@ mod tests {
         assert_eq!(Json::from(1.5).pretty(), "1.5");
         assert_eq!(Json::from(2.0).pretty(), "2.0");
         assert_eq!(Json::from(f64::NAN).pretty(), "null");
+        assert_eq!(Json::from(f64::INFINITY).pretty(), "null");
+        assert_eq!(Json::from(f64::NEG_INFINITY).pretty(), "null");
         assert_eq!(Json::from("hi \"there\"\n").pretty(), "\"hi \\\"there\\\"\\n\"");
+    }
+
+    #[test]
+    fn non_finite_floats_nest_as_null_and_stay_parseable() {
+        let v = json!({
+            "ratio": f64::NAN,
+            "bound": f64::INFINITY,
+            "series": vec![1.0, f64::NEG_INFINITY],
+        });
+        let text = v.pretty();
+        assert!(text.contains("\"ratio\": null"), "{text}");
+        assert!(text.contains("\"bound\": null"), "{text}");
+        hlpower_obs::json::parse(&text).expect("emitted JSON is valid");
+    }
+
+    #[test]
+    fn escaped_identifier_names_survive_emission() {
+        // Verilog escaped identifiers may contain quotes and backslashes;
+        // such names must not corrupt the JSON dump.
+        let name = "\\gate\"0\\ ";
+        let text = json!({ "node": name }).pretty();
+        let back = hlpower_obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(back.get("node").and_then(hlpower_obs::json::Value::as_str), Some(name));
     }
 
     #[test]

@@ -205,6 +205,15 @@ pub enum NetlistError {
         /// The undriven net name.
         name: String,
     },
+    /// A pre-compiled [`crate::CompiledKernel`] was paired with a netlist
+    /// it was not compiled from (node counts differ). Kernel caches must
+    /// key kernels by the exact netlist they were built from.
+    KernelMismatch {
+        /// Node count of the netlist handed to the simulator.
+        expected: usize,
+        /// Node count the kernel was compiled for.
+        got: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -266,6 +275,13 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::ParseUndriven { format, at, name } => {
                 write!(f, "{format} parse error at {at}: net '{name}' is read but never driven")
+            }
+            NetlistError::KernelMismatch { expected, got } => {
+                write!(
+                    f,
+                    "compiled kernel was built for a {got}-node netlist, \
+                     but the netlist has {expected} nodes"
+                )
             }
         }
     }

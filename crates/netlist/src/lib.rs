@@ -70,10 +70,11 @@ pub use ingest::{
 pub use io::{parse_netlist, write_netlist, ParseNetlistError};
 pub use library::{GateKind, Library};
 pub use montecarlo::{
-    monte_carlo_glitch_power_seeded, monte_carlo_glitch_power_seeded_threads,
+    mean_ci_half_width, monte_carlo_glitch_power_seeded, monte_carlo_glitch_power_seeded_threads,
     monte_carlo_glitch_power_seeded_threads_kernel, monte_carlo_power, monte_carlo_power_seeded,
-    monte_carlo_power_seeded_threads, monte_carlo_power_seeded_threads_kernel, McKernel,
-    MonteCarloOptions, MonteCarloResult,
+    monte_carlo_power_seeded_threads, monte_carlo_power_seeded_threads_kernel,
+    simulate_packed_glitch_lanes, simulate_packed_lanes, LaneRequest, McKernel, MonteCarloOptions,
+    MonteCarloResult, StoppingReplay,
 };
 pub use netlist::{Bus, GroupId, Netlist, NodeId, NodeKind};
 pub use power::attribution::{
@@ -82,7 +83,7 @@ pub use power::attribution::{
 pub use power::{GroupPower, PowerModel, PowerReport};
 pub use prob::{ProbabilityAnalysis, SignalStats};
 pub use sim::{Activity, ZeroDelaySim};
-pub use sim64::{BlockSim64, Sim64, LANES};
+pub use sim64::{BlockSim64, CompiledKernel, Sim64, LANES};
 pub use sim64timed::{timed_activity, TimedKernel, TimedSim64};
 pub use simwide::{simd_level, SimdLevel, WideSim, WideTimedSim};
 pub use words::{Word, W256, W512};

@@ -40,6 +40,7 @@ use crate::library::Library;
 use crate::netlist::Netlist;
 use crate::power::PowerModel;
 use crate::sim::ZeroDelaySim;
+use crate::sim64::CompiledKernel;
 use crate::sim64timed::TimedKernel;
 use crate::simwide::{WideSim, WideTimedSim};
 use crate::words::{Word, W256, W512};
@@ -582,12 +583,11 @@ where
     }
     obs::MC_RUNS.inc();
     let _t = obs::MC_TIME.span();
-    let mut samples: Vec<f64> = Vec::new();
-    let mut total_cycles = 0u64;
+    let mut replay = StoppingReplay::new(opts);
     let mut exhausted = false;
     let mut next_batch = 0u64;
-    while !exhausted && samples.len() < opts.max_batches {
-        let remaining = opts.max_batches - samples.len();
+    while !exhausted && !replay.is_done() && replay.batches() < opts.max_batches {
+        let remaining = opts.max_batches - replay.batches();
         // Task groups for this wave as `(first batch index, batch count)`.
         let groups: Vec<(u64, usize)> = if group_width > 1 {
             (0..WAVE_WORDS.min(remaining.div_ceil(group_width)))
@@ -609,10 +609,9 @@ where
             par::map_with_threads(threads, &groups, |_, &(base, lanes)| run_group(base, lanes));
         drop(wave_span);
         let mut consumed = 0usize;
-        let mut stop = None;
         'replay: for outcome in wave {
             for sample in outcome? {
-                if samples.len() >= opts.max_batches {
+                if replay.is_done() {
                     break 'replay;
                 }
                 match sample {
@@ -622,22 +621,7 @@ where
                     }
                     Some((power, cycles)) => {
                         consumed += 1;
-                        samples.push(power);
-                        total_cycles += cycles;
-                        obs::MC_BATCHES.inc();
-                        obs::MC_CYCLES.add(cycles);
-                        if samples.len() >= 2 {
-                            let (_, hw) = mean_half_width(&samples, opts.z);
-                            obs::MC_CI_HALF_WIDTH_UW.push(hw);
-                            obs::MC_CI_HALF_WIDTH_NW.record((hw * 1000.0).round() as u64);
-                        }
-                        if samples.len() >= 5 {
-                            let (mean, hw) = mean_half_width(&samples, opts.z);
-                            if mean > 0.0 && hw / mean < opts.target_relative_error {
-                                stop = Some((mean, hw));
-                                break 'replay;
-                            }
-                        }
+                        replay.push(power, cycles);
                     }
                 }
             }
@@ -646,25 +630,134 @@ where
         // rule (speculation past the stop point, the budget, or a dead
         // stream). Pure function of the kernel and the sample prefix.
         obs::MC_DISCARDED_BATCHES.add((dispatched - consumed - usize::from(exhausted)) as u64);
-        if let Some((mean, hw)) = stop {
-            return Ok(MonteCarloResult {
-                power_uw: mean,
-                half_width_uw: hw,
-                batches: samples.len(),
-                cycles: total_cycles,
-            });
+    }
+    replay.finish()
+}
+
+/// Mean and normal-approximation confidence-interval half-width (`z`
+/// multiplier, sample standard deviation over `sqrt(n)`) of `samples`.
+///
+/// This is the exact arithmetic of the seeded engine's stopping rule,
+/// exported so external consumers (the estimation server's streamed CI
+/// updates) report intervals bit-identical to the engine's. Fewer than
+/// two samples yield an infinite half-width.
+pub fn mean_ci_half_width(samples: &[f64], z: f64) -> (f64, f64) {
+    mean_half_width(samples, z)
+}
+
+/// The seeded engine's serial stopping rule as a reusable object: push
+/// power samples **in batch-index order** and the replay decides — with
+/// exactly the arithmetic and the exact stop conditions of
+/// [`monte_carlo_power_seeded_threads_kernel`] — when the run is done and
+/// what the result is.
+///
+/// The seeded wave engine itself runs on this type, so any scheduler that
+/// produces the same per-batch samples (for example the estimation
+/// server's multi-tenant lane packer, which interleaves batches of many
+/// jobs into shared packed words) and replays them through a
+/// `StoppingReplay` is **bit-identical by construction** to the offline
+/// entry points — same mean, same half-width, same batch count.
+///
+/// The replay also drives the `monte_carlo` metric counters
+/// (`batches`, `cycles`, CI trajectory), matching the engine's
+/// instrumentation.
+#[derive(Debug, Clone)]
+pub struct StoppingReplay {
+    opts: MonteCarloOptions,
+    samples: Vec<f64>,
+    total_cycles: u64,
+    stopped: Option<MonteCarloResult>,
+}
+
+impl StoppingReplay {
+    /// A replay with no samples yet, governed by `opts`.
+    pub fn new(opts: &MonteCarloOptions) -> Self {
+        StoppingReplay { opts: *opts, samples: Vec::new(), total_cycles: 0, stopped: None }
+    }
+
+    /// Samples consumed so far.
+    pub fn batches(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether a stop has fired (confidence target met after >= 5
+    /// samples, or the batch budget consumed). Further pushes are
+    /// ignored once done.
+    pub fn is_done(&self) -> bool {
+        self.stopped.is_some()
+    }
+
+    /// Running `(mean, half-width)` over the samples so far (`None`
+    /// before the first sample). For streamed progress updates; reading
+    /// it never perturbs the stopping decision.
+    pub fn interim(&self) -> Option<(f64, f64)> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(mean_half_width(&self.samples, self.opts.z))
         }
     }
-    if samples.is_empty() {
-        return Err(NetlistError::EmptyStream);
+
+    /// Consumes the next batch's sample (in batch-index order). Returns
+    /// the final result as soon as the run is done; pushes after that
+    /// are discarded speculation and leave the result untouched.
+    pub fn push(&mut self, power: f64, cycles: u64) -> Option<&MonteCarloResult> {
+        if self.stopped.is_some() {
+            return self.stopped.as_ref();
+        }
+        self.samples.push(power);
+        self.total_cycles += cycles;
+        obs::MC_BATCHES.inc();
+        obs::MC_CYCLES.add(cycles);
+        if self.samples.len() >= 2 {
+            let (_, hw) = mean_half_width(&self.samples, self.opts.z);
+            obs::MC_CI_HALF_WIDTH_UW.push(hw);
+            obs::MC_CI_HALF_WIDTH_NW.record((hw * 1000.0).round() as u64);
+        }
+        if self.samples.len() >= 5 {
+            let (mean, hw) = mean_half_width(&self.samples, self.opts.z);
+            if mean > 0.0 && hw / mean < self.opts.target_relative_error {
+                self.stopped = Some(MonteCarloResult {
+                    power_uw: mean,
+                    half_width_uw: hw,
+                    batches: self.samples.len(),
+                    cycles: self.total_cycles,
+                });
+            }
+        }
+        if self.stopped.is_none() && self.samples.len() >= self.opts.max_batches {
+            let (mean, hw) = mean_half_width(&self.samples, self.opts.z);
+            self.stopped = Some(MonteCarloResult {
+                power_uw: mean,
+                half_width_uw: hw,
+                batches: self.samples.len(),
+                cycles: self.total_cycles,
+            });
+        }
+        self.stopped.as_ref()
     }
-    let (mean, hw) = mean_half_width(&samples, opts.z);
-    Ok(MonteCarloResult {
-        power_uw: mean,
-        half_width_uw: hw,
-        batches: samples.len(),
-        cycles: total_cycles,
-    })
+
+    /// The result: the stop point if one fired, otherwise the estimate
+    /// over every pushed sample (a stream that ended before the budget).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::EmptyStream`] when no sample was pushed.
+    pub fn finish(self) -> Result<MonteCarloResult, NetlistError> {
+        if let Some(r) = self.stopped {
+            return Ok(r);
+        }
+        if self.samples.is_empty() {
+            return Err(NetlistError::EmptyStream);
+        }
+        let (mean, hw) = mean_half_width(&self.samples, self.opts.z);
+        Ok(MonteCarloResult {
+            power_uw: mean,
+            half_width_uw: hw,
+            batches: self.samples.len(),
+            cycles: self.total_cycles,
+        })
+    }
 }
 
 /// Simulates one batch on the scalar kernel: a fresh [`ZeroDelaySim`] over
@@ -843,6 +936,175 @@ where
     }
     let samples = sim.take_lane_powers(model);
     Ok((0..lanes).map(|l| if got[l] == 0 { None } else { Some(samples[l]) }).collect())
+}
+
+/// One tenant's lane assignment inside a multi-tenant packed word: batch
+/// `batch` of the Monte-Carlo job rooted at `seed`, simulated for
+/// `cycles` input vectors.
+///
+/// See [`simulate_packed_lanes`]. Lane `l` of the word consumes
+/// `stream_fn(Rng::seed_from_u64(seed).split(batch))` — exactly the
+/// stream batch `batch` of an offline run with root seed `seed` consumes
+/// — so requests from *different* jobs (different seeds, different cycle
+/// budgets) can share one word without perturbing each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneRequest {
+    /// Root seed of the owning Monte-Carlo job.
+    pub seed: u64,
+    /// Batch index within that job.
+    pub batch: u64,
+    /// Input vectors this lane consumes (the job's `batch_cycles`).
+    pub cycles: usize,
+}
+
+/// Simulates one packed word whose lanes belong to arbitrary independent
+/// Monte-Carlo batches — the **multi-tenant lane packer** primitive.
+///
+/// Each lane `l` runs batch `lanes[l]`: a fresh stream split from that
+/// lane's own root seed, stepped for that lane's own cycle budget, then
+/// masked out (the prefix-closed active-set contract of
+/// [`WideSim::step_masked`]). Because a lane's toggle counters are a pure
+/// function of its own stream, the returned per-lane `(power, cycles)`
+/// sample is **bit-identical** to the same batch simulated alone — by the
+/// scalar kernel, by a solo packed run, or packed next to any other
+/// tenants. Feeding each job's samples through a [`StoppingReplay`] in
+/// batch order therefore reproduces the offline
+/// [`monte_carlo_power_seeded_threads_kernel`] result exactly.
+///
+/// `kernel` supplies a pre-compiled instruction stream (a kernel-cache
+/// hit); `None` compiles from scratch. A lane whose stream yields no
+/// vectors reports `None`, mirroring the engine's empty-stream signal.
+///
+/// # Errors
+///
+/// As [`monte_carlo_power_seeded_threads_kernel`], plus
+/// [`NetlistError::KernelMismatch`] for a foreign `kernel`.
+///
+/// # Panics
+///
+/// Panics if `lanes.len() > W::LANES` (callers pack at most one word).
+pub fn simulate_packed_lanes<W: Word, F, I>(
+    netlist: &Netlist,
+    model: &PowerModel,
+    kernel: Option<&CompiledKernel>,
+    stream_fn: &F,
+    lanes: &[LaneRequest],
+) -> Result<Vec<Option<(f64, u64)>>, NetlistError>
+where
+    F: Fn(Rng) -> I,
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    assert!(lanes.len() <= W::LANES, "{} requests exceed {} lanes", lanes.len(), W::LANES);
+    let _batch_t = obs::MC_BATCH_NS.time();
+    let _span = trace::span_dyn("mc", || format!("mc.tenant_word:{}", lanes.len()));
+    let mut sim = match kernel {
+        Some(k) => WideSim::<W>::with_kernel(netlist, k)?,
+        None => WideSim::<W>::new(netlist)?,
+    };
+    let got = run_tenant_lanes(netlist, lanes, stream_fn, |words, active| {
+        sim.step_masked(words, active)
+    })?;
+    let samples = sim.take_lane_powers(model);
+    Ok(collect_tenant_samples(&got, samples))
+}
+
+/// The glitch-aware (real-delay) sibling of [`simulate_packed_lanes`]:
+/// identical lane/stream mapping and masking on a [`WideTimedSim`], so
+/// each lane's glitch-aware power sample is bit-identical to its batch
+/// run alone under [`monte_carlo_glitch_power_seeded_threads_kernel`].
+///
+/// # Errors
+///
+/// As [`simulate_packed_lanes`].
+///
+/// # Panics
+///
+/// Panics if `lanes.len() > W::LANES`.
+pub fn simulate_packed_glitch_lanes<W: Word, F, I>(
+    netlist: &Netlist,
+    lib: &Library,
+    model: &PowerModel,
+    kernel: Option<&CompiledKernel>,
+    stream_fn: &F,
+    lanes: &[LaneRequest],
+) -> Result<Vec<Option<(f64, u64)>>, NetlistError>
+where
+    F: Fn(Rng) -> I,
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    assert!(lanes.len() <= W::LANES, "{} requests exceed {} lanes", lanes.len(), W::LANES);
+    let _batch_t = obs::MC_BATCH_NS.time();
+    let _span = trace::span_dyn("mc", || format!("mc.tenant_glitch_word:{}", lanes.len()));
+    let mut sim = match kernel {
+        Some(k) => WideTimedSim::<W>::with_kernel(netlist, lib, k)?,
+        None => WideTimedSim::<W>::new(netlist, lib)?,
+    };
+    let got = run_tenant_lanes(netlist, lanes, stream_fn, |words, active| {
+        sim.step_masked(words, active)
+    })?;
+    let samples = sim.take_lane_powers(model);
+    Ok(collect_tenant_samples(&got, samples))
+}
+
+/// The shared stepping loop of the multi-tenant packers: feeds each lane
+/// its own split stream for its own cycle budget, with the same
+/// end-of-stream masking and word assembly as [`run_packed_word`].
+/// Returns the vectors consumed per lane.
+fn run_tenant_lanes<F, I, W, S>(
+    netlist: &Netlist,
+    lanes: &[LaneRequest],
+    stream_fn: &F,
+    mut step_masked: S,
+) -> Result<Vec<usize>, NetlistError>
+where
+    F: Fn(Rng) -> I,
+    I: IntoIterator<Item = Vec<bool>>,
+    W: Word,
+    S: FnMut(&[W], W) -> Result<(), NetlistError>,
+{
+    let width = netlist.input_count();
+    let mut iters: Vec<I::IntoIter> = lanes
+        .iter()
+        .map(|r| stream_fn(Rng::seed_from_u64(r.seed).split(r.batch)).into_iter())
+        .collect();
+    let mut got = vec![0usize; lanes.len()];
+    let mut words = vec![W::zero(); width];
+    let mut live = W::low_mask(lanes.len());
+    let max_cycles = lanes.iter().map(|r| r.cycles).max().unwrap_or(0);
+    for _ in 0..max_cycles {
+        words.iter_mut().for_each(|w| *w = W::zero());
+        let mut active = W::zero();
+        for (l, it) in iters.iter_mut().enumerate() {
+            // A lane past its own budget (or whose stream died) stays
+            // masked: active sets are prefix-closed per lane.
+            if !live.lane(l) || got[l] >= lanes[l].cycles {
+                continue;
+            }
+            if let Some(v) = it.next() {
+                if v.len() != width {
+                    return Err(NetlistError::InputWidthMismatch { got: v.len(), expected: width });
+                }
+                for (i, &b) in v.iter().enumerate() {
+                    words[i].set_lane(l, b);
+                }
+                active.set_lane(l, true);
+                got[l] += 1;
+            }
+        }
+        if active.is_zero() {
+            break;
+        }
+        step_masked(&words, active)?;
+        live = active;
+    }
+    Ok(got)
+}
+
+/// Maps per-lane `(power, cycles)` simulator outputs back to requests,
+/// with `None` for lanes that consumed no vectors — the same
+/// empty-stream signal [`run_packed_word`] reports.
+fn collect_tenant_samples(got: &[usize], samples: Vec<(f64, u64)>) -> Vec<Option<(f64, u64)>> {
+    got.iter().enumerate().map(|(l, &g)| if g == 0 { None } else { Some(samples[l]) }).collect()
 }
 
 fn mean_half_width(samples: &[f64], z: f64) -> (f64, f64) {
@@ -1215,5 +1477,209 @@ mod tests {
         )
         .unwrap();
         assert!(r.batches > 0);
+    }
+
+    #[test]
+    fn tenant_lanes_are_bit_identical_to_solo_batches() {
+        // Heterogeneous tenants — different root seeds, batch indices,
+        // and cycle budgets — packed into one word must each produce the
+        // exact sample the scalar kernel produces for that batch alone.
+        let nl = adder();
+        let lib = Library::default();
+        let w = nl.input_count();
+        let model = PowerModel::new(&nl, &lib);
+        let stream_fn = |rng: Rng| streams::random_rng(rng, w);
+        let lanes = [
+            LaneRequest { seed: 99, batch: 0, cycles: 60 },
+            LaneRequest { seed: 0x1997, batch: 7, cycles: 25 },
+            LaneRequest { seed: 99, batch: 3, cycles: 60 },
+            LaneRequest { seed: 5, batch: 1, cycles: 1 },
+        ];
+        let kernel = CompiledKernel::compile(&nl).unwrap();
+        let packed =
+            simulate_packed_lanes::<u64, _, _>(&nl, &model, Some(&kernel), &stream_fn, &lanes)
+                .unwrap();
+        for (l, r) in lanes.iter().enumerate() {
+            let solo = run_scalar_batch(
+                &nl,
+                &model,
+                &stream_fn,
+                &Rng::seed_from_u64(r.seed),
+                r.batch,
+                &MonteCarloOptions { batch_cycles: r.cycles, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(packed[l], solo, "lane {l} ({r:?})");
+            assert!(packed[l].is_some());
+        }
+        // Packing next to *different* neighbors must not change a sample.
+        let alone =
+            simulate_packed_lanes::<u64, _, _>(&nl, &model, None, &stream_fn, &lanes[..1]).unwrap();
+        assert_eq!(alone[0], packed[0]);
+        // Wider words agree too.
+        let wide =
+            simulate_packed_lanes::<W256, _, _>(&nl, &model, Some(&kernel), &stream_fn, &lanes)
+                .unwrap();
+        assert_eq!(wide, packed);
+        // An empty-stream lane reports None without disturbing neighbors.
+        let with_dead = [lanes[0], lanes[1]];
+        let dead = simulate_packed_lanes::<u64, _, _>(
+            &nl,
+            &model,
+            None,
+            &|rng: Rng| {
+                let s = rng.clone().next_u64();
+                let take = if s == Rng::seed_from_u64(0x1997).split(7).next_u64() { 0 } else { 60 };
+                streams::random_rng(rng, w).take(take).collect::<Vec<_>>()
+            },
+            &with_dead,
+        )
+        .unwrap();
+        assert!(dead[0].is_some());
+        assert_eq!(dead[1], None);
+    }
+
+    #[test]
+    fn tenant_glitch_lanes_are_bit_identical_to_solo_batches() {
+        let nl = adder();
+        let lib = Library::default();
+        let w = nl.input_count();
+        let model = PowerModel::new(&nl, &lib);
+        let stream_fn = |rng: Rng| streams::random_rng(rng, w);
+        let lanes = [
+            LaneRequest { seed: 33, batch: 2, cycles: 15 },
+            LaneRequest { seed: 4242, batch: 0, cycles: 40 },
+        ];
+        let kernel = CompiledKernel::compile(&nl).unwrap();
+        let packed = simulate_packed_glitch_lanes::<u64, _, _>(
+            &nl,
+            &lib,
+            &model,
+            Some(&kernel),
+            &stream_fn,
+            &lanes,
+        )
+        .unwrap();
+        for (l, r) in lanes.iter().enumerate() {
+            let solo = run_scalar_glitch_batch(
+                &nl,
+                &lib,
+                &model,
+                &stream_fn,
+                &Rng::seed_from_u64(r.seed),
+                r.batch,
+                &MonteCarloOptions { batch_cycles: r.cycles, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(packed[l], solo, "lane {l} ({r:?})");
+        }
+    }
+
+    #[test]
+    fn foreign_kernel_is_rejected() {
+        let nl = adder();
+        let mut other = Netlist::new();
+        let a = other.input_bus("a", 2);
+        other.set_output("y", a[0]);
+        let lib = Library::default();
+        let model = PowerModel::new(&nl, &lib);
+        let kernel = CompiledKernel::compile(&other).unwrap();
+        let err = simulate_packed_lanes::<u64, _, _>(
+            &nl,
+            &model,
+            Some(&kernel),
+            &|rng: Rng| streams::random_rng(rng, nl.input_count()),
+            &[LaneRequest { seed: 1, batch: 0, cycles: 5 }],
+        );
+        assert!(matches!(err, Err(NetlistError::KernelMismatch { .. })), "got {err:?}");
+    }
+
+    #[test]
+    fn stopping_replay_reproduces_the_engine_exactly() {
+        // An external scheduler — here a toy multi-tenant packer that
+        // interleaves two jobs' batches into shared words — must land on
+        // the engine's exact result when it replays each job's samples
+        // through a StoppingReplay in batch order.
+        let nl = adder();
+        let lib = Library::default();
+        let w = nl.input_count();
+        let stream_fn = |rng: Rng| streams::random_rng(rng, w);
+        let jobs = [
+            (99u64, MonteCarloOptions::default()),
+            (
+                0x1997,
+                MonteCarloOptions {
+                    batch_cycles: 60,
+                    max_batches: 60,
+                    target_relative_error: 0.01,
+                    ..Default::default()
+                },
+            ),
+        ];
+        let offline: Vec<MonteCarloResult> = jobs
+            .iter()
+            .map(|(seed, opts)| {
+                monte_carlo_power_seeded_threads_kernel(
+                    &nl,
+                    &lib,
+                    stream_fn,
+                    *seed,
+                    opts,
+                    1,
+                    McKernel::Packed64,
+                )
+                .unwrap()
+            })
+            .collect();
+        let model = PowerModel::new(&nl, &lib);
+        let kernel = CompiledKernel::compile(&nl).unwrap();
+        let mut replays: Vec<StoppingReplay> =
+            jobs.iter().map(|(_, opts)| StoppingReplay::new(opts)).collect();
+        let mut batch = 0u64;
+        while replays.iter().any(|r| !r.is_done()) {
+            // Pack the next batch of every live job into one word.
+            let live: Vec<usize> = (0..jobs.len()).filter(|&j| !replays[j].is_done()).collect();
+            let lanes: Vec<LaneRequest> = live
+                .iter()
+                .map(|&j| LaneRequest { seed: jobs[j].0, batch, cycles: jobs[j].1.batch_cycles })
+                .collect();
+            let samples =
+                simulate_packed_lanes::<u64, _, _>(&nl, &model, Some(&kernel), &stream_fn, &lanes)
+                    .unwrap();
+            for (slot, &j) in live.iter().enumerate() {
+                let (power, cycles) = samples[slot].expect("random streams never end");
+                replays[j].push(power, cycles);
+            }
+            batch += 1;
+        }
+        for (j, replay) in replays.into_iter().enumerate() {
+            assert_eq!(replay.finish().unwrap(), offline[j], "job {j}");
+        }
+    }
+
+    #[test]
+    fn stopping_replay_edge_cases() {
+        let opts = MonteCarloOptions { max_batches: 3, ..Default::default() };
+        let mut r = StoppingReplay::new(&opts);
+        assert!(!r.is_done());
+        assert_eq!(r.interim(), None);
+        assert!(r.push(1.0, 10).is_none());
+        let (m, hw) = r.interim().unwrap();
+        assert_eq!(m, 1.0);
+        assert!(hw.is_infinite());
+        assert!(r.push(2.0, 10).is_none());
+        // Budget stop fires on the third push; later pushes are ignored.
+        let done = r.push(3.0, 10).cloned().unwrap();
+        assert_eq!(done.batches, 3);
+        assert_eq!(done.cycles, 30);
+        assert!(r.is_done());
+        assert_eq!(r.push(99.0, 10).cloned().unwrap(), done);
+        assert_eq!(r.finish().unwrap(), done);
+        // The exported CI arithmetic is the engine's own.
+        let (mean, half) = mean_ci_half_width(&[1.0, 2.0, 3.0], opts.z);
+        assert_eq!((mean, half), (done.power_uw, done.half_width_uw));
+        // No samples -> EmptyStream, like the engine.
+        let empty = StoppingReplay::new(&opts);
+        assert!(matches!(empty.finish(), Err(NetlistError::EmptyStream)));
     }
 }

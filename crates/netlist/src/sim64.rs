@@ -172,6 +172,68 @@ impl Program {
     }
 }
 
+/// An opaque, shareable compiled instruction stream, detached from any
+/// simulator instance.
+///
+/// The wrapped program is width-generic — one compiled stream drives 64-, 256-,
+/// and 512-lane simulators alike — so a long-running service can compile
+/// a circuit **once** and stamp out packed simulators per request via
+/// [`crate::WideSim::with_kernel`] / [`crate::WideTimedSim::with_kernel`]
+/// without paying the topological-sort + instruction-selection cost
+/// again. Cloning the wrapped instruction vectors is a flat memcpy.
+///
+/// The kernel remembers the node count of the netlist it was compiled
+/// from; pairing it with any other netlist is a
+/// [`NetlistError::KernelMismatch`].
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    pub(crate) program: Program,
+}
+
+impl CompiledKernel {
+    /// Compiles `netlist` into a reusable instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
+    pub fn compile(netlist: &Netlist) -> Result<Self, NetlistError> {
+        Ok(CompiledKernel { program: Program::compile(netlist)? })
+    }
+
+    /// Node count of the netlist this kernel was compiled from.
+    pub fn node_count(&self) -> usize {
+        self.program.init_bits.len()
+    }
+
+    /// Number of gate-evaluation instructions in the stream.
+    pub fn instr_count(&self) -> usize {
+        self.program.instrs.len()
+    }
+
+    /// Approximate heap footprint in bytes (for cache byte budgets).
+    pub fn approx_bytes(&self) -> usize {
+        self.program.instrs.len() * std::mem::size_of::<Instr>()
+            + self.program.pool.len() * std::mem::size_of::<u32>()
+            + self.program.init_bits.len()
+    }
+
+    /// Checks that `netlist` is the netlist this kernel was compiled from
+    /// (by node count — the only property the instruction slots index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::KernelMismatch`] on disagreement.
+    pub(crate) fn check_matches(&self, netlist: &Netlist) -> Result<(), NetlistError> {
+        if self.node_count() != netlist.node_count() {
+            return Err(NetlistError::KernelMismatch {
+                expected: netlist.node_count(),
+                got: self.node_count(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Broadcasts a scalar bit across all 64 lanes.
 #[inline]
 pub(crate) fn broadcast(v: bool) -> u64 {

@@ -42,7 +42,7 @@ use crate::library::Library;
 use crate::netlist::{Netlist, NodeId, NodeKind};
 use crate::power::PowerModel;
 use crate::sim::Activity;
-use crate::sim64::Program;
+use crate::sim64::{CompiledKernel, Program};
 use crate::words::{Word, W256, W512};
 
 /// Bit planes per node in the vertical carry-save toggle counters: a node
@@ -309,7 +309,27 @@ impl<'a, W: Word> WideSim<'a, W> {
     ///
     /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
     pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
-        let program = Program::compile(netlist)?;
+        Self::from_program(netlist, Program::compile(netlist)?)
+    }
+
+    /// Creates a simulator from a pre-compiled [`CompiledKernel`] without
+    /// recompiling the instruction stream (the kernel-cache fast path of
+    /// long-running services: compile once per circuit, stamp out
+    /// simulators per request).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::KernelMismatch`] if `kernel` was compiled
+    /// from a different netlist.
+    pub fn with_kernel(
+        netlist: &'a Netlist,
+        kernel: &CompiledKernel,
+    ) -> Result<Self, NetlistError> {
+        kernel.check_matches(netlist)?;
+        Self::from_program(netlist, kernel.program.clone())
+    }
+
+    fn from_program(netlist: &'a Netlist, program: Program) -> Result<Self, NetlistError> {
         let values = program.init_words::<W>();
         let mut dff_next = Vec::with_capacity(netlist.dffs().len());
         let mut dff_d = Vec::with_capacity(netlist.dffs().len());
@@ -567,8 +587,34 @@ impl<'a, W: Word> WideTimedSim<'a, W> {
     ///
     /// Returns [`NetlistError::CombinationalCycle`] for cyclic netlists.
     pub fn new(netlist: &'a Netlist, lib: &Library) -> Result<Self, NetlistError> {
+        Self::from_program(netlist, lib, Program::compile(netlist)?)
+    }
+
+    /// Creates a simulator from a pre-compiled [`CompiledKernel`] without
+    /// recompiling the instruction stream. The delay wheel and fanout
+    /// graph are still derived per instance (they depend on `lib`), but
+    /// the dominant topological-sort + instruction-selection cost is
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::KernelMismatch`] if `kernel` was compiled
+    /// from a different netlist.
+    pub fn with_kernel(
+        netlist: &'a Netlist,
+        lib: &Library,
+        kernel: &CompiledKernel,
+    ) -> Result<Self, NetlistError> {
+        kernel.check_matches(netlist)?;
+        Self::from_program(netlist, lib, kernel.program.clone())
+    }
+
+    fn from_program(
+        netlist: &'a Netlist,
+        lib: &Library,
+        program: Program,
+    ) -> Result<Self, NetlistError> {
         let _span = hlpower_obs::trace::span("sim64timed", "sim64timed.compile");
-        let program = Program::compile(netlist)?;
         let n = netlist.node_count();
         let mut instr_of = vec![u32::MAX; n];
         for (i, ins) in program.instrs.iter().enumerate() {

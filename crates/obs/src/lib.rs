@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod hist;
+pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod trace;

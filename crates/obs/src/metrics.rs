@@ -192,6 +192,34 @@ pub static EST_MACRO_PREDICTIONS: ShardedCounter = ShardedCounter::new();
 /// Macro-model regressions fitted.
 pub static EST_MACRO_FITS: Counter = Counter::new();
 
+// --- Estimation server ----------------------------------------------------
+
+/// HTTP requests accepted by the estimation server.
+pub static SERVE_REQUESTS: Counter = Counter::new();
+/// Requests answered with a 2xx status.
+pub static SERVE_REQUESTS_OK: Counter = Counter::new();
+/// Requests answered with a 4xx/5xx status.
+pub static SERVE_REQUESTS_ERR: Counter = Counter::new();
+/// Estimation jobs whose compiled kernel was found in the cache.
+pub static SERVE_CACHE_HITS: Counter = Counter::new();
+/// Estimation jobs that missed the kernel cache and compiled.
+pub static SERVE_CACHE_MISSES: Counter = Counter::new();
+/// Cached circuits evicted to respect the cache byte budget.
+pub static SERVE_CACHE_EVICTIONS: Counter = Counter::new();
+/// Estimation jobs completed (one per `/estimate` netlist).
+pub static SERVE_JOBS: Counter = Counter::new();
+/// Packed words simulated by the multi-tenant lane packer.
+pub static SERVE_PACKED_WORDS: Counter = Counter::new();
+/// Tenant lanes carried by those words.
+pub static SERVE_PACKED_LANES: Counter = Counter::new();
+/// Distribution of live lanes per packed word (multi-tenant occupancy;
+/// a mode above 1 means concurrent jobs are actually sharing words).
+pub static SERVE_LANE_OCCUPANCY: Hist = Hist::new();
+/// Distribution of per-request wall times in nanoseconds.
+pub static SERVE_REQUEST_NS: Hist = Hist::new();
+/// Incremental confidence-interval updates streamed to clients.
+pub static SERVE_STREAMED_UPDATES: Counter = Counter::new();
+
 /// Captures every registered metric into a [`Snapshot`].
 pub fn snapshot() -> Snapshot {
     let ite_calls = BDD_ITE_CALLS.get();
@@ -307,6 +335,23 @@ pub fn snapshot() -> Snapshot {
                     ("macro_fits", Value::Count(EST_MACRO_FITS.get())),
                 ],
             },
+            Section {
+                name: "serve",
+                entries: vec![
+                    ("requests", Value::Count(SERVE_REQUESTS.get())),
+                    ("requests_ok", Value::Count(SERVE_REQUESTS_OK.get())),
+                    ("requests_err", Value::Count(SERVE_REQUESTS_ERR.get())),
+                    ("cache_hits", Value::Count(SERVE_CACHE_HITS.get())),
+                    ("cache_misses", Value::Count(SERVE_CACHE_MISSES.get())),
+                    ("cache_evictions", Value::Count(SERVE_CACHE_EVICTIONS.get())),
+                    ("jobs", Value::Count(SERVE_JOBS.get())),
+                    ("packed_words", Value::Count(SERVE_PACKED_WORDS.get())),
+                    ("packed_lanes", Value::Count(SERVE_PACKED_LANES.get())),
+                    ("lane_occupancy", Value::Hist(SERVE_LANE_OCCUPANCY.summary())),
+                    ("request_ns", Value::Hist(SERVE_REQUEST_NS.summary())),
+                    ("streamed_updates", Value::Count(SERVE_STREAMED_UPDATES.get())),
+                ],
+            },
         ],
     }
 }
@@ -374,6 +419,18 @@ pub fn reset_all() {
     EST_SAMPLER_GROUPS.reset();
     EST_MACRO_PREDICTIONS.reset();
     EST_MACRO_FITS.reset();
+    SERVE_REQUESTS.reset();
+    SERVE_REQUESTS_OK.reset();
+    SERVE_REQUESTS_ERR.reset();
+    SERVE_CACHE_HITS.reset();
+    SERVE_CACHE_MISSES.reset();
+    SERVE_CACHE_EVICTIONS.reset();
+    SERVE_JOBS.reset();
+    SERVE_PACKED_WORDS.reset();
+    SERVE_PACKED_LANES.reset();
+    SERVE_LANE_OCCUPANCY.reset();
+    SERVE_REQUEST_NS.reset();
+    SERVE_STREAMED_UPDATES.reset();
 }
 
 #[cfg(test)]
@@ -396,7 +453,8 @@ mod tests {
                 "bdd",
                 "monte_carlo",
                 "pool",
-                "estimate"
+                "estimate",
+                "serve"
             ]
         );
         // Every section renders into both output formats.

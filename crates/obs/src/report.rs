@@ -3,13 +3,14 @@
 //!
 //! The JSON emitter reproduces the bench crate's hand-rolled format
 //! (two-space indents, exact integers, `{:?}`-printed floats) so metric
-//! dumps sit next to `results/*.json` and diff the same way. This crate
-//! cannot depend on `hlpower-bench` (it sits below everything in the
-//! dependency tree), so the small emitter is replicated here.
+//! dumps sit next to `results/*.json` and diff the same way. String
+//! escaping and the non-finite float guard are shared with every other
+//! emitter via [`crate::json`].
 
 use std::fmt::Write as _;
 
 use crate::hist::HistSummary;
+use crate::json::{escape_into as write_json_str, write_f64 as write_json_f64};
 
 /// One metric value inside a [`Snapshot`].
 #[derive(Debug, Clone, PartialEq)]
@@ -222,32 +223,6 @@ impl Snapshot {
     }
 }
 
-fn write_json_f64(out: &mut String, x: f64) {
-    if x.is_finite() {
-        let _ = write!(out, "{x:?}");
-    } else {
-        out.push_str("null");
-    }
-}
-
-fn write_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
 fn fmt_ns(ns: u64) -> String {
     let ns = ns as f64;
     if ns < 1_000.0 {
@@ -377,8 +352,21 @@ mod tests {
         let s = Snapshot {
             schema: "hlpower-obs/2",
             schema_version: 2,
-            sections: vec![Section { name: "x", entries: vec![("nan", Value::Float(f64::NAN))] }],
+            sections: vec![Section {
+                name: "x",
+                entries: vec![
+                    ("nan", Value::Float(f64::NAN)),
+                    ("inf", Value::Float(f64::INFINITY)),
+                    ("traj", Value::Series(vec![1.0, f64::NEG_INFINITY])),
+                ],
+            }],
         };
-        assert!(s.to_json_pretty().contains("\"nan\": null"));
+        let json = s.to_json_pretty();
+        assert!(json.contains("\"nan\": null"), "{json}");
+        assert!(json.contains("\"inf\": null"), "{json}");
+        // Non-finite series points null out too, and the document stays
+        // valid JSON end to end.
+        crate::json::parse(&json).expect("snapshot JSON parses");
+        assert!(json.contains("null\n    ]"), "{json}");
     }
 }

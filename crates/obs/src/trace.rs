@@ -46,6 +46,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
+use crate::json;
 use crate::Counter;
 
 /// Maximum events retained per thread before drops start.
@@ -212,9 +213,9 @@ pub fn chrome_json(events: &[TraceEvent]) -> String {
             out.push(',');
         }
         out.push_str("\n    {\"name\": ");
-        write_json_str(&mut out, &e.name);
+        json::escape_into(&mut out, &e.name);
         out.push_str(", \"cat\": ");
-        write_json_str(&mut out, e.cat);
+        json::escape_into(&mut out, e.cat);
         let _ = write!(
             out,
             ", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {:?}, \"dur\": {:?}}}",
@@ -249,29 +250,12 @@ pub fn write_chrome_json(path: &str) -> std::io::Result<usize> {
     Ok(events.len())
 }
 
-fn write_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
 // --- Chrome trace parsing / validation -------------------------------------
 //
-// A minimal JSON reader, enough to validate the files this module emits
-// (CI's trace smoke re-parses the written file with this). It is not a
-// general-purpose parser: numbers are f64, no surrogate-pair escapes.
+// Validation of the files this module emits (CI's trace smoke re-parses
+// the written file) goes through the shared [`crate::json`] parser, which
+// decodes surrogate-pair `\u` escapes correctly and reports located
+// errors for malformed input.
 
 /// One event read back from a Chrome trace JSON file.
 #[derive(Debug, Clone, PartialEq)]
@@ -290,220 +274,33 @@ pub struct ParsedTraceEvent {
     pub dur: f64,
 }
 
-#[derive(Debug, Clone, PartialEq)]
-enum JVal {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<JVal>),
-    Obj(Vec<(String, JVal)>),
-}
-
-impl JVal {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a JVal> {
-        match self {
-            JVal::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, msg: &str) -> String {
-        format!("{msg} at byte {}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<JVal, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(JVal::Str(self.string()?)),
-            Some(b't') => self.literal("true", JVal::Bool(true)),
-            Some(b'f') => self.literal("false", JVal::Bool(false)),
-            Some(b'n') => self.literal("null", JVal::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: JVal) -> Result<JVal, String> {
-        self.skip_ws();
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(self.err(&format!("expected `{word}`")))
-        }
-    }
-
-    fn number(&mut self) -> Result<JVal, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(JVal::Num)
-            .ok_or_else(|| self.err("malformed number"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.err("malformed \\u escape"))?;
-                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(&b) if b < 0x80 => {
-                    out.push(b as char);
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8: copy the whole scalar.
-                    let s = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty by construction");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<JVal, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(JVal::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(JVal::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<JVal, String> {
-        self.expect(b'{')?;
-        let mut pairs = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(JVal::Obj(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(b':')?;
-            let val = self.value()?;
-            pairs.push((key, val));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(JVal::Obj(pairs));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-}
-
 /// Parses and validates a Chrome trace-event JSON document (the object
 /// format with a `traceEvents` array, as written by [`chrome_json`]).
 ///
 /// # Errors
 ///
 /// Returns a description of the first structural problem: malformed
-/// JSON, a missing `traceEvents` array, or an event missing a required
-/// field (`name`, `cat`, `ph`, `tid`, `ts`, `dur`).
+/// JSON (with the shared parser's line/column location), a missing
+/// `traceEvents` array, or an event missing a required field (`name`,
+/// `cat`, `ph`, `tid`, `ts`, `dur`).
 pub fn parse_chrome_trace(text: &str) -> Result<Vec<ParsedTraceEvent>, String> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
-    let root = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.err("trailing garbage after JSON document"));
-    }
-    let events = match root.get("traceEvents") {
-        Some(JVal::Arr(events)) => events,
-        _ => return Err("missing `traceEvents` array".to_string()),
+    let root = json::parse(text).map_err(|e| e.to_string())?;
+    let events = match root.get("traceEvents").and_then(json::Value::as_arr) {
+        Some(events) => events,
+        None => return Err("missing `traceEvents` array".to_string()),
     };
     let mut out = Vec::with_capacity(events.len());
     for (i, e) in events.iter().enumerate() {
-        let field = |key: &str| {
-            e.get(key).cloned().ok_or_else(|| format!("event {i}: missing field `{key}`"))
+        let field =
+            |key: &str| e.get(key).ok_or_else(|| format!("event {i}: missing field `{key}`"));
+        let str_field = |key: &str| {
+            field(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("event {i}: field `{key}` is not a string"))
         };
-        let str_field = |key: &str| match field(key)? {
-            JVal::Str(s) => Ok(s),
-            other => Err(format!("event {i}: field `{key}` is not a string ({other:?})")),
-        };
-        let num_field = |key: &str| match field(key)? {
-            JVal::Num(n) => Ok(n),
-            other => Err(format!("event {i}: field `{key}` is not a number ({other:?})")),
+        let num_field = |key: &str| {
+            field(key)?.as_f64().ok_or_else(|| format!("event {i}: field `{key}` is not a number"))
         };
         out.push(ParsedTraceEvent {
             name: str_field("name")?,
@@ -631,6 +428,37 @@ mod tests {
         )
         .is_err());
         assert!(parse_chrome_trace("{\"traceEvents\": []} trailing").is_err());
+    }
+
+    #[test]
+    fn non_bmp_span_names_round_trip() {
+        // Regression: the old private parser replaced surrogate pairs with
+        // U+FFFD; a span name outside the BMP must survive export→parse.
+        let name = "mc.wave 😀 \u{1D11E}";
+        let events = vec![TraceEvent {
+            name: Cow::Owned(name.to_string()),
+            cat: "test",
+            tid: 1,
+            ts_ns: 10,
+            dur_ns: 5,
+        }];
+        let parsed = parse_chrome_trace(&chrome_json(&events)).expect("parses");
+        assert_eq!(parsed[0].name, name);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode_and_lone_ones_are_located_errors() {
+        let doc = |name: &str| {
+            format!(
+                "{{\"traceEvents\": [{{\"name\": \"{name}\", \"cat\": \"c\", \
+                 \"ph\": \"X\", \"tid\": 1, \"ts\": 0, \"dur\": 0}}]}}"
+            )
+        };
+        let parsed = parse_chrome_trace(&doc("\\ud83d\\ude00")).expect("pair decodes");
+        assert_eq!(parsed[0].name, "😀");
+        let err = parse_chrome_trace(&doc("\\ud83d")).expect_err("lone high surrogate");
+        assert!(err.contains("surrogate"), "{err}");
+        assert!(err.contains("line"), "located: {err}");
     }
 
     #[test]

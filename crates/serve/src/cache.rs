@@ -1,0 +1,195 @@
+//! The compiled-kernel cache: one compile per distinct circuit.
+//!
+//! Estimation requests are keyed by an FNV-1a hash of their netlist
+//! source text. A hit reuses the ingested [`Netlist`], its precomputed
+//! [`PowerModel`], and the width-generic [`CompiledKernel`] — the
+//! dominant per-request setup costs — so a circuit that streams many
+//! requests compiles exactly once. The cache is LRU under a byte budget:
+//! inserting over budget evicts least-recently-used entries (never the
+//! entry being inserted, so a single oversized circuit still runs).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hlpower_netlist::{CompiledKernel, Library, Netlist, PowerModel, SourceFormat};
+use hlpower_obs::metrics as obs;
+
+/// FNV-1a 64-bit hash of the netlist source — the cache key.
+pub fn hash_source(src: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in src.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Everything reusable across requests for one circuit.
+#[derive(Debug)]
+pub struct CachedCircuit {
+    /// The ingested netlist.
+    pub netlist: Netlist,
+    /// The technology library powering the model (the default library,
+    /// matching the offline `repro --ingest` reference runs).
+    pub lib: Library,
+    /// Per-node switched-capacitance power model, precomputed once.
+    pub model: PowerModel,
+    /// The width-generic compiled simulation kernel.
+    pub kernel: CompiledKernel,
+    /// The front-end that parsed the source.
+    pub format: SourceFormat,
+    /// Approximate resident bytes, charged against the cache budget.
+    pub bytes: usize,
+}
+
+impl CachedCircuit {
+    /// Ingest + model + kernel compile for one source text.
+    ///
+    /// # Errors
+    ///
+    /// Any ingestion or compilation [`hlpower_netlist::NetlistError`].
+    pub fn build(src: &str) -> Result<Self, hlpower_netlist::NetlistError> {
+        let (format, netlist) = hlpower_netlist::ingest_auto(None, src)?;
+        let lib = Library::default();
+        let model = PowerModel::new(&netlist, &lib);
+        let kernel = CompiledKernel::compile(&netlist)?;
+        // Kernel + per-node model/netlist payload dominate; the source
+        // text itself is not retained.
+        let bytes = kernel.approx_bytes() + netlist.node_count() * 64;
+        Ok(CachedCircuit { netlist, lib, model, kernel, format, bytes })
+    }
+}
+
+struct Entry {
+    circuit: Arc<CachedCircuit>,
+    last_used: u64,
+}
+
+/// LRU cache of [`CachedCircuit`]s under a byte budget.
+pub struct KernelCache {
+    budget: usize,
+    tick: u64,
+    entries: HashMap<u64, Entry>,
+}
+
+impl KernelCache {
+    /// An empty cache that evicts down to `budget_bytes`.
+    pub fn new(budget_bytes: usize) -> Self {
+        KernelCache { budget: budget_bytes, tick: 0, entries: HashMap::new() }
+    }
+
+    /// Looks up `hash`, refreshing its recency. Records a cache hit or
+    /// miss in the `serve` metrics section.
+    pub fn get(&mut self, hash: u64) -> Option<Arc<CachedCircuit>> {
+        self.tick += 1;
+        match self.entries.get_mut(&hash) {
+            Some(e) => {
+                e.last_used = self.tick;
+                obs::SERVE_CACHE_HITS.inc();
+                Some(Arc::clone(&e.circuit))
+            }
+            None => {
+                obs::SERVE_CACHE_MISSES.inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly built circuit, then evicts least-recently-used
+    /// entries (never this one) until the budget holds.
+    pub fn insert(&mut self, hash: u64, circuit: Arc<CachedCircuit>) {
+        self.tick += 1;
+        self.entries.insert(hash, Entry { circuit, last_used: self.tick });
+        while self.bytes() > self.budget && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != hash)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    self.entries.remove(&k);
+                    obs::SERVE_CACHE_EVICTIONS.inc();
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Cached circuits.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes charged by resident entries.
+    pub fn bytes(&self) -> usize {
+        self.entries.values().map(|e| e.circuit.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circuit(nodes: usize) -> Arc<CachedCircuit> {
+        // A chain of buffers: node count (and therefore charged bytes)
+        // scales with `nodes`.
+        let mut src = String::from("module m (a, y);\n  input a;\n  output y;\n");
+        let mut prev = "a".to_string();
+        for i in 0..nodes {
+            src.push_str(&format!("  wire w{i};\n  buf b{i} (w{i}, {prev});\n"));
+            prev = format!("w{i}");
+        }
+        src.push_str(&format!("  buf bo (y, {prev});\nendmodule\n"));
+        Arc::new(CachedCircuit::build(&src).unwrap())
+    }
+
+    #[test]
+    fn source_hash_is_stable_and_discriminating() {
+        assert_eq!(hash_source("abc"), hash_source("abc"));
+        assert_ne!(hash_source("abc"), hash_source("abd"));
+        assert_ne!(hash_source(""), hash_source("a"));
+    }
+
+    #[test]
+    fn lru_evicts_under_byte_budget() {
+        let a = circuit(10);
+        let b = circuit(20);
+        let c = circuit(30);
+        let budget = a.bytes + b.bytes + c.bytes - 1;
+        let mut cache = KernelCache::new(budget);
+        cache.insert(1, Arc::clone(&a));
+        cache.insert(2, Arc::clone(&b));
+        // Touch 1 so 2 is the LRU victim when 3 overflows the budget.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, Arc::clone(&c));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert!(cache.bytes() <= budget);
+    }
+
+    #[test]
+    fn an_oversized_entry_still_resides() {
+        let a = circuit(10);
+        let mut cache = KernelCache::new(1);
+        cache.insert(1, Arc::clone(&a));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(1).is_some());
+    }
+
+    #[test]
+    fn build_reuses_the_offline_ingest_path() {
+        let c = circuit(4);
+        assert_eq!(c.format, SourceFormat::Verilog);
+        assert_eq!(c.kernel.node_count(), c.netlist.node_count());
+        assert!(c.bytes > 0);
+    }
+}

@@ -1,0 +1,516 @@
+//! The multi-tenant estimation engine: a batcher thread that packs
+//! independent Monte-Carlo jobs into shared SIMD words.
+//!
+//! Every `/estimate` request becomes a job ([`JobSpec`]): a root seed, stopping
+//! options, and a per-job [`StoppingReplay`]. Each scheduling round the
+//! batcher takes the next batch indices of every live job, groups jobs by
+//! (circuit, mode, width), and packs their [`LaneRequest`]s into
+//! 64/256/512-lane words — so ten small concurrent requests for the same
+//! circuit ride in one simulation pass instead of ten. Words are sharded
+//! across the deterministic worker pool, and each job's samples are
+//! pushed through its replay **in batch order**.
+//!
+//! Because lane `l` of a packed word consumes exactly the stream batch
+//! `l` of an offline run consumes (see
+//! [`hlpower_netlist::simulate_packed_lanes`]), and the replay is the
+//! engine's own stopping rule, every job's result is **bit-identical** to
+//! [`hlpower_netlist::monte_carlo_power_seeded_threads_kernel`] run
+//! offline with the same seed and options — regardless of which tenants
+//! shared its words, the word width, or the thread count.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hlpower_netlist::{
+    simulate_packed_glitch_lanes, simulate_packed_lanes, streams, LaneRequest, MonteCarloOptions,
+    MonteCarloResult, NetlistError, StoppingReplay, W256, W512,
+};
+use hlpower_obs::metrics as obs;
+use hlpower_rng::{par, Rng};
+
+use crate::cache::CachedCircuit;
+
+/// Which simulation semantics a job runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Functional (zero-delay) switching power.
+    ZeroDelay,
+    /// Real-delay, glitch-capturing power.
+    Glitch,
+}
+
+/// The packed-word width a job's batches are simulated at. All widths
+/// produce bit-identical samples; wider words amortize more tenants per
+/// pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackWidth {
+    /// One 64-lane `u64` word per netlist input.
+    W64,
+    /// 256 lanes.
+    W256,
+    /// 512 lanes.
+    W512,
+}
+
+impl PackWidth {
+    /// Lanes per word.
+    pub fn lanes(self) -> usize {
+        match self {
+            PackWidth::W64 => 64,
+            PackWidth::W256 => 256,
+            PackWidth::W512 => 512,
+        }
+    }
+}
+
+/// Everything a request specifies about its Monte-Carlo run.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec {
+    /// Root seed: batch `b` consumes `Rng::seed_from_u64(seed).split(b)`.
+    pub seed: u64,
+    /// Stopping-rule options (batch cycles, budget, CI target).
+    pub opts: MonteCarloOptions,
+    /// Zero-delay or glitch-aware simulation.
+    pub mode: Mode,
+    /// Packed-word width.
+    pub width: PackWidth,
+    /// Whether the client wants streamed interim CI updates.
+    pub stream: bool,
+}
+
+/// A progress or completion message for one job.
+#[derive(Debug)]
+pub enum JobUpdate {
+    /// A confidence-interval snapshot after a scheduling round.
+    Interim {
+        /// Running mean power, µW.
+        mean_uw: f64,
+        /// CI half-width, µW (infinite before the second batch).
+        half_width_uw: f64,
+        /// Batches consumed so far.
+        batches: usize,
+    },
+    /// The job finished (stop rule fired, budget exhausted, or error).
+    Done(Result<MonteCarloResult, NetlistError>),
+}
+
+struct Job {
+    circuit: Arc<CachedCircuit>,
+    spec: JobSpec,
+    replay: StoppingReplay,
+    next_batch: u64,
+    exhausted: bool,
+    tx: Sender<JobUpdate>,
+}
+
+impl Job {
+    /// Group key: jobs pack together only when they share the circuit,
+    /// the simulation semantics, and the word width.
+    fn group(&self) -> (usize, Mode, PackWidth) {
+        (Arc::as_ptr(&self.circuit) as usize, self.spec.mode, self.spec.width)
+    }
+}
+
+struct Shared {
+    incoming: Mutex<Vec<Job>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    threads: usize,
+    gather: Duration,
+}
+
+/// The engine handle: submit jobs, then [`Engine::shutdown`] to drain.
+pub struct Engine {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts the batcher thread. `threads` shards packed words across
+    /// the worker pool; `gather` is the window the batcher waits after
+    /// the first submission of a round so concurrent requests co-pack.
+    pub fn start(threads: usize, gather: Duration) -> Self {
+        let shared = Arc::new(Shared {
+            incoming: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            threads: threads.max(1),
+            gather,
+        });
+        let worker = Arc::clone(&shared);
+        let batcher = std::thread::Builder::new()
+            .name("hlpower-serve-batcher".into())
+            .spawn(move || batcher_loop(&worker))
+            .expect("spawn batcher");
+        Engine { shared, batcher: Some(batcher) }
+    }
+
+    /// Enqueues one job; updates arrive on the returned channel.
+    pub fn submit(&self, circuit: Arc<CachedCircuit>, spec: JobSpec) -> Receiver<JobUpdate> {
+        let (tx, rx) = channel();
+        let job = Job {
+            circuit,
+            spec,
+            replay: StoppingReplay::new(&spec.opts),
+            next_batch: 0,
+            exhausted: false,
+            tx,
+        };
+        self.shared.incoming.lock().expect("engine queue poisoned").push(job);
+        self.shared.cv.notify_one();
+        rx
+    }
+
+    /// Signals shutdown and blocks until in-flight jobs drain.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn batcher_loop(shared: &Shared) {
+    let mut active: Vec<Job> = Vec::new();
+    loop {
+        let was_idle = active.is_empty();
+        {
+            let mut q = shared.incoming.lock().expect("engine queue poisoned");
+            if active.is_empty() {
+                while q.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                    let (guard, _) =
+                        shared.cv.wait_timeout(q, Duration::from_millis(50)).expect("wait");
+                    q = guard;
+                }
+            }
+            active.append(&mut q);
+        }
+        if active.is_empty() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        }
+        // Gather window: let requests that arrived "together" share words.
+        if was_idle && !shared.gather.is_zero() && !shared.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(shared.gather);
+            let mut q = shared.incoming.lock().expect("engine queue poisoned");
+            active.append(&mut q);
+        }
+        round(&mut active, shared.threads);
+    }
+}
+
+/// One word of the round's plan: `lanes[i]` belongs to `active[jobs[i]]`.
+struct WordPlan {
+    jobs: Vec<usize>,
+    lanes: Vec<LaneRequest>,
+}
+
+/// One scheduling round: plan → simulate → demux → report.
+fn round(active: &mut Vec<Job>, threads: usize) {
+    // Group job indices by (circuit, mode, width). Insertion-ordered so
+    // rounds are deterministic for a given arrival order.
+    let mut groups: Vec<((usize, Mode, PackWidth), Vec<usize>)> = Vec::new();
+    for (i, job) in active.iter().enumerate() {
+        let key = job.group();
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+    let mut finished: Vec<usize> = Vec::new();
+    for (_, members) in &groups {
+        let circuit = Arc::clone(&active[members[0]].circuit);
+        let (mode, width) = (active[members[0]].spec.mode, active[members[0]].spec.width);
+        // Plan: each member contributes its next batches (at most one
+        // word's worth per round, so streamed updates keep flowing and
+        // co-tenants interleave fairly), chained then chunked into words.
+        let cap = width.lanes();
+        let mut flat: Vec<(usize, LaneRequest)> = Vec::new();
+        for &i in members {
+            let job = &mut active[i];
+            let remaining = (job.spec.opts.max_batches as u64).saturating_sub(job.next_batch);
+            let quota = remaining.min(cap as u64);
+            for k in 0..quota {
+                flat.push((
+                    i,
+                    LaneRequest {
+                        seed: job.spec.seed,
+                        batch: job.next_batch + k,
+                        cycles: job.spec.opts.batch_cycles,
+                    },
+                ));
+            }
+            job.next_batch += quota;
+        }
+        let words: Vec<WordPlan> = flat
+            .chunks(cap)
+            .map(|chunk| WordPlan {
+                jobs: chunk.iter().map(|(i, _)| *i).collect(),
+                lanes: chunk.iter().map(|(_, r)| *r).collect(),
+            })
+            .collect();
+        for w in &words {
+            obs::SERVE_PACKED_WORDS.inc();
+            obs::SERVE_PACKED_LANES.add(w.lanes.len() as u64);
+            obs::SERVE_LANE_OCCUPANCY
+                .record(w.jobs.iter().collect::<std::collections::HashSet<_>>().len() as u64);
+        }
+        // Simulate the words across the deterministic pool. Word order is
+        // preserved, so each job's samples demux in batch order.
+        let results = par::map_with_threads(threads, &words, |_, w| {
+            simulate_word(&circuit, mode, width, &w.lanes)
+        });
+        for (w, result) in words.iter().zip(results) {
+            match result {
+                Ok(samples) => {
+                    for (slot, &i) in w.jobs.iter().enumerate() {
+                        // Like the offline engine, consumption stops at
+                        // the first end-of-stream batch: later samples of
+                        // an exhausted job are discarded speculation.
+                        if active[i].exhausted {
+                            continue;
+                        }
+                        match samples[slot] {
+                            Some((power, cycles)) => {
+                                active[i].replay.push(power, cycles);
+                            }
+                            // A lane whose stream produced nothing: the
+                            // job's stream is exhausted, like the offline
+                            // engine's end-of-stream signal.
+                            None => active[i].exhausted = true,
+                        }
+                    }
+                }
+                Err(e) => {
+                    for &i in &w.jobs {
+                        if !finished.contains(&i) {
+                            let _ = active[i].tx.send(JobUpdate::Done(Err(e.clone())));
+                            finished.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        // Report: done jobs finish; live streaming jobs get an interim CI.
+        for &i in members {
+            if finished.contains(&i) {
+                continue;
+            }
+            let job = &mut active[i];
+            let budget_spent = job.next_batch >= job.spec.opts.max_batches as u64;
+            if job.replay.is_done() || job.exhausted || budget_spent {
+                let replay =
+                    std::mem::replace(&mut job.replay, StoppingReplay::new(&job.spec.opts));
+                obs::SERVE_JOBS.inc();
+                let _ = job.tx.send(JobUpdate::Done(replay.finish()));
+                finished.push(i);
+            } else if job.spec.stream {
+                if let Some((mean_uw, half_width_uw)) = job.replay.interim() {
+                    obs::SERVE_STREAMED_UPDATES.inc();
+                    let _ = job.tx.send(JobUpdate::Interim {
+                        mean_uw,
+                        half_width_uw,
+                        batches: job.replay.batches(),
+                    });
+                }
+            }
+        }
+    }
+    // Drop finished jobs, preserving the order of the rest.
+    finished.sort_unstable();
+    for &i in finished.iter().rev() {
+        active.remove(i);
+    }
+}
+
+fn simulate_word(
+    circuit: &CachedCircuit,
+    mode: Mode,
+    width: PackWidth,
+    lanes: &[LaneRequest],
+) -> Result<Vec<Option<(f64, u64)>>, NetlistError> {
+    let w = circuit.netlist.input_count();
+    let stream_fn = |rng: Rng| streams::random_rng(rng, w);
+    let (nl, model, kernel) = (&circuit.netlist, &circuit.model, Some(&circuit.kernel));
+    match (mode, width) {
+        (Mode::ZeroDelay, PackWidth::W64) => {
+            simulate_packed_lanes::<u64, _, _>(nl, model, kernel, &stream_fn, lanes)
+        }
+        (Mode::ZeroDelay, PackWidth::W256) => {
+            simulate_packed_lanes::<W256, _, _>(nl, model, kernel, &stream_fn, lanes)
+        }
+        (Mode::ZeroDelay, PackWidth::W512) => {
+            simulate_packed_lanes::<W512, _, _>(nl, model, kernel, &stream_fn, lanes)
+        }
+        (Mode::Glitch, PackWidth::W64) => simulate_packed_glitch_lanes::<u64, _, _>(
+            nl,
+            &circuit.lib,
+            model,
+            kernel,
+            &stream_fn,
+            lanes,
+        ),
+        (Mode::Glitch, PackWidth::W256) => simulate_packed_glitch_lanes::<W256, _, _>(
+            nl,
+            &circuit.lib,
+            model,
+            kernel,
+            &stream_fn,
+            lanes,
+        ),
+        (Mode::Glitch, PackWidth::W512) => simulate_packed_glitch_lanes::<W512, _, _>(
+            nl,
+            &circuit.lib,
+            model,
+            kernel,
+            &stream_fn,
+            lanes,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlpower_netlist::{monte_carlo_power_seeded_threads_kernel, McKernel};
+
+    fn gray_counter_src() -> String {
+        std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/gray_counter4.v"
+        ))
+        .expect("read example")
+    }
+
+    fn offline(circuit: &CachedCircuit, seed: u64, opts: &MonteCarloOptions) -> MonteCarloResult {
+        let w = circuit.netlist.input_count();
+        monte_carlo_power_seeded_threads_kernel(
+            &circuit.netlist,
+            &circuit.lib,
+            |rng| streams::random_rng(rng, w),
+            seed,
+            opts,
+            1,
+            McKernel::Packed64,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn packed_tenants_match_offline_results_exactly() {
+        let circuit = Arc::new(CachedCircuit::build(&gray_counter_src()).unwrap());
+        let opts = MonteCarloOptions {
+            batch_cycles: 60,
+            max_batches: 60,
+            target_relative_error: 0.01,
+            z: 1.96,
+        };
+        let engine = Engine::start(2, Duration::from_millis(1));
+        // Three concurrent tenants with different seeds share words.
+        let specs: Vec<JobSpec> = [0x1997u64, 7, 99]
+            .iter()
+            .map(|&seed| JobSpec {
+                seed,
+                opts,
+                mode: Mode::ZeroDelay,
+                width: PackWidth::W64,
+                stream: false,
+            })
+            .collect();
+        let rxs: Vec<_> = specs.iter().map(|s| engine.submit(Arc::clone(&circuit), *s)).collect();
+        for (spec, rx) in specs.iter().zip(rxs) {
+            let done = rx.recv().expect("job completes");
+            let JobUpdate::Done(result) = done else { panic!("expected Done, got {done:?}") };
+            let got = result.unwrap();
+            let want = offline(&circuit, spec.seed, &opts);
+            assert_eq!(got, want, "seed {}", spec.seed);
+            assert_eq!(got.power_uw.to_bits(), want.power_uw.to_bits());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn streamed_jobs_emit_interims_then_the_same_result() {
+        let circuit = Arc::new(CachedCircuit::build(&gray_counter_src()).unwrap());
+        let opts = MonteCarloOptions {
+            batch_cycles: 30,
+            max_batches: 200,
+            target_relative_error: 0.0,
+            z: 1.96,
+        };
+        let engine = Engine::start(1, Duration::ZERO);
+        let spec =
+            JobSpec { seed: 42, opts, mode: Mode::ZeroDelay, width: PackWidth::W64, stream: true };
+        let rx = engine.submit(Arc::clone(&circuit), spec);
+        let mut interims = 0;
+        let mut last_batches = 0;
+        let result = loop {
+            match rx.recv().expect("update") {
+                JobUpdate::Interim { batches, half_width_uw, .. } => {
+                    interims += 1;
+                    assert!(batches > last_batches, "interim batches advance");
+                    assert!(half_width_uw.is_finite() || batches < 2);
+                    last_batches = batches;
+                }
+                JobUpdate::Done(r) => break r.unwrap(),
+            }
+        };
+        // 200 batches at 64 lanes/round = at least two rounds => >= 1 interim.
+        assert!(interims >= 1, "expected interim updates, got none");
+        assert_eq!(result, offline(&circuit, 42, &opts));
+        assert_eq!(result.batches, 200);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn glitch_mode_and_wide_words_match_offline_too() {
+        let circuit = Arc::new(CachedCircuit::build(&gray_counter_src()).unwrap());
+        let opts = MonteCarloOptions {
+            batch_cycles: 20,
+            max_batches: 30,
+            target_relative_error: 0.0,
+            z: 1.96,
+        };
+        let engine = Engine::start(2, Duration::ZERO);
+        let zd = engine.submit(
+            Arc::clone(&circuit),
+            JobSpec { seed: 5, opts, mode: Mode::ZeroDelay, width: PackWidth::W256, stream: false },
+        );
+        let gl = engine.submit(
+            Arc::clone(&circuit),
+            JobSpec { seed: 5, opts, mode: Mode::Glitch, width: PackWidth::W64, stream: false },
+        );
+        let JobUpdate::Done(zd) = zd.recv().unwrap() else { panic!() };
+        let JobUpdate::Done(gl) = gl.recv().unwrap() else { panic!() };
+        assert_eq!(zd.unwrap(), offline(&circuit, 5, &opts));
+        let w = circuit.netlist.input_count();
+        let want_glitch = hlpower_netlist::monte_carlo_glitch_power_seeded_threads_kernel(
+            &circuit.netlist,
+            &circuit.lib,
+            |rng| streams::random_rng(rng, w),
+            5,
+            &opts,
+            1,
+            hlpower_netlist::TimedKernel::Packed64,
+        )
+        .unwrap();
+        assert_eq!(gl.unwrap(), want_glitch);
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,168 @@
+//! `hlpower-serve` — the estimation server daemon and its CLI client.
+//!
+//! ```text
+//! hlpower-serve serve [--addr 127.0.0.1:0] [--addr-file PATH]
+//!                     [--threads N] [--cache-mb N]
+//! hlpower-serve post    ADDR FILE [--seed N] [--batch-cycles N]
+//!                       [--max-batches N] [--tre X] [--z X]
+//!                       [--mode zero_delay|glitch] [--width 64|256|512]
+//!                       [--stream]
+//! hlpower-serve metrics ADDR
+//! hlpower-serve stop    ADDR
+//! ```
+//!
+//! `serve` blocks until a `POST /shutdown` arrives (from `stop`), then
+//! drains in-flight jobs and exits. `--addr-file` writes the bound
+//! address (useful with an ephemeral `:0` port — the CI smoke reads it
+//! back). The client subcommands exist so the hermetic CI can drive the
+//! server without any external HTTP tooling.
+
+use std::process::ExitCode;
+
+use hlpower_obs::json::{escaped, Value};
+use hlpower_serve::{client, Server, ServerConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("post") => cmd_post(&args[1..]),
+        Some("metrics") => cmd_get(&args[1..], "metrics"),
+        Some("stop") => cmd_stop(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: hlpower-serve serve [--addr A] [--addr-file F] [--threads N] [--cache-mb N]\n\
+                 \x20      hlpower-serve post ADDR FILE [--seed N] [--batch-cycles N] [--max-batches N]\n\
+                 \x20                                   [--tre X] [--z X] [--mode M] [--width W] [--stream]\n\
+                 \x20      hlpower-serve metrics ADDR\n\
+                 \x20      hlpower-serve stop ADDR"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(v) => v.parse::<T>().map(Some).map_err(|_| format!("bad value for {flag}: `{v}`")),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    if let Some(addr) = flag_value(args, "--addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(threads) = parse_flag::<usize>(args, "--threads")? {
+        config.threads = threads;
+    }
+    if let Some(mb) = parse_flag::<usize>(args, "--cache-mb")? {
+        config.cache_bytes = mb * 1024 * 1024;
+    }
+    let server = Server::start(config).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.addr();
+    println!("hlpower-serve listening on {addr}");
+    if let Some(path) = flag_value(args, "--addr-file") {
+        std::fs::write(path, addr.to_string())
+            .map_err(|e| format!("could not write --addr-file {path}: {e}"))?;
+    }
+    server.join();
+    println!("hlpower-serve stopped");
+    Ok(())
+}
+
+fn cmd_post(args: &[String]) -> Result<(), String> {
+    let (addr, file) = match (args.first(), args.get(1)) {
+        (Some(a), Some(f)) if !a.starts_with("--") && !f.starts_with("--") => (a, f),
+        _ => return Err("post needs ADDR and FILE".into()),
+    };
+    let source =
+        std::fs::read_to_string(file).map_err(|e| format!("could not read {file}: {e}"))?;
+    let mut body = format!("{{\"netlist\": {}", escaped(&source));
+    if let Some(seed) = parse_flag::<u64>(args, "--seed")? {
+        body.push_str(&format!(", \"seed\": {seed}"));
+    }
+    let mut opts = Vec::new();
+    if let Some(v) = parse_flag::<u64>(args, "--batch-cycles")? {
+        opts.push(format!("\"batch_cycles\": {v}"));
+    }
+    if let Some(v) = parse_flag::<u64>(args, "--max-batches")? {
+        opts.push(format!("\"max_batches\": {v}"));
+    }
+    if let Some(v) = parse_flag::<f64>(args, "--tre")? {
+        opts.push(format!("\"target_relative_error\": {v}"));
+    }
+    if let Some(v) = parse_flag::<f64>(args, "--z")? {
+        opts.push(format!("\"z\": {v}"));
+    }
+    if !opts.is_empty() {
+        body.push_str(&format!(", \"options\": {{{}}}", opts.join(", ")));
+    }
+    if let Some(mode) = flag_value(args, "--mode") {
+        body.push_str(&format!(", \"mode\": {}", escaped(mode)));
+    }
+    if let Some(width) = parse_flag::<u64>(args, "--width")? {
+        body.push_str(&format!(", \"width\": {width}"));
+    }
+    if args.iter().any(|a| a == "--stream") {
+        body.push_str(", \"stream\": true");
+    }
+    body.push('}');
+    let resp = client::request(addr, "POST", "/estimate", Some(&body))
+        .map_err(|e| format!("request failed: {e}"))?;
+    print!("{}", resp.body);
+    if !resp.body.ends_with('\n') {
+        println!();
+    }
+    if resp.status >= 400 {
+        return Err(format!("server answered {}", resp.status));
+    }
+    // Guard the smoke path: the response must be a parseable success.
+    // Blocking responses are one pretty-printed object; streamed
+    // responses are compact JSON lines whose last line is the result.
+    let last = resp.body.lines().rev().find(|l| !l.trim().is_empty()).unwrap_or("");
+    let parsed = hlpower_obs::json::parse(&resp.body)
+        .or_else(|_| hlpower_obs::json::parse(last))
+        .map_err(|e| format!("unparseable response: {e}"))?;
+    if parsed.get("ok").and_then(Value::as_bool) != Some(true) {
+        return Err("response did not report ok=true".into());
+    }
+    Ok(())
+}
+
+fn cmd_get(args: &[String], what: &str) -> Result<(), String> {
+    let addr = args.first().ok_or_else(|| format!("{what} needs ADDR"))?;
+    let resp = client::request(addr, "GET", &format!("/{what}"), None)
+        .map_err(|e| format!("request failed: {e}"))?;
+    print!("{}", resp.body);
+    if !resp.body.ends_with('\n') {
+        println!();
+    }
+    if resp.status >= 400 {
+        return Err(format!("server answered {}", resp.status));
+    }
+    Ok(())
+}
+
+fn cmd_stop(args: &[String]) -> Result<(), String> {
+    let addr = args.first().ok_or("stop needs ADDR")?;
+    let resp = client::request(addr, "POST", "/shutdown", None)
+        .map_err(|e| format!("request failed: {e}"))?;
+    println!("{}", resp.body.trim_end());
+    if resp.status >= 400 {
+        return Err(format!("server answered {}", resp.status));
+    }
+    Ok(())
+}

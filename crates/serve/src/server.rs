@@ -1,0 +1,515 @@
+//! The estimation server: accept loop, request routing, and the JSON
+//! request/response schema (documented normatively in `docs/SERVER.md`).
+//!
+//! Endpoints:
+//!
+//! * `POST /estimate` — body is a JSON object with the netlist source
+//!   (native `.nl`, structural Verilog, or EDIF — sniffed), a root seed,
+//!   stopping options, simulation mode, and word width. Returns the
+//!   Monte-Carlo power estimate, bit-identical to the offline engine.
+//!   With `"stream": true` the response is chunked: one JSON line per
+//!   scheduling round with the running confidence interval, then the
+//!   final result line.
+//! * `GET /metrics` — the live `hlpower-obs/2` metrics snapshot.
+//! * `GET /healthz` — liveness probe.
+//! * `POST /shutdown` — graceful shutdown: stop accepting, drain
+//!   in-flight jobs, exit.
+//!
+//! Malformed HTTP, oversized payloads, bad JSON, and netlist parse
+//! errors are all structured 4xx responses (`{"ok":false,"error":{...}}`
+//! with the parser's located line/column/snippet where available) —
+//! never a dropped connection mid-request, never a panic.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hlpower_netlist::{MonteCarloOptions, NetlistError};
+use hlpower_obs::json::{self, Value};
+use hlpower_obs::metrics as obs;
+
+use crate::cache::{hash_source, CachedCircuit, KernelCache};
+use crate::engine::{Engine, JobSpec, JobUpdate, Mode, PackWidth};
+use crate::http::{self, ChunkedWriter, HttpError, Limits, Request};
+
+/// Server configuration; `Default` binds an ephemeral localhost port.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (0 = ephemeral port).
+    pub addr: String,
+    /// Worker threads for packed-word sharding (0 = the pool's
+    /// `HLPOWER_THREADS`-aware default).
+    pub threads: usize,
+    /// Kernel-cache byte budget.
+    pub cache_bytes: usize,
+    /// Per-read socket timeout while parsing a request.
+    pub read_timeout: Duration,
+    /// Batcher gather window (lets near-simultaneous requests co-pack).
+    pub gather: Duration,
+    /// HTTP parsing limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            cache_bytes: 64 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            gather: Duration::from_millis(2),
+            limits: Limits::default(),
+        }
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    cache: Mutex<KernelCache>,
+    shutdown: AtomicBool,
+    in_flight: AtomicUsize,
+    limits: Limits,
+    read_timeout: Duration,
+    addr: SocketAddr,
+}
+
+/// A running server; dropping it (or calling [`Server::shutdown`] then
+/// [`Server::join`]) stops it cleanly.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let threads = if config.threads == 0 {
+            hlpower_rng::par::num_threads_checked().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidInput, format!("thread config: {e:?}"))
+            })?
+        } else {
+            config.threads
+        };
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: Engine::start(threads, config.gather),
+            cache: Mutex::new(KernelCache::new(config.cache_bytes)),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            limits: config.limits,
+            read_timeout: config.read_timeout,
+            addr,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("hlpower-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Server { addr, shared, accept: Some(accept) })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals graceful shutdown (idempotent): stop accepting, finish
+    /// in-flight requests, drain the engine.
+    pub fn shutdown(&self) {
+        if !self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Blocks until the accept loop (and its in-flight requests) exit.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// [`Server::shutdown`] then [`Server::join`].
+    pub fn stop(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let conn_shared = Arc::clone(shared);
+        conn_shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let spawned =
+            std::thread::Builder::new().name("hlpower-serve-conn".into()).spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    handle_connection(stream, &conn_shared);
+                }));
+                if result.is_err() {
+                    // The 500 was (if possible) already written by the
+                    // handler's own catch; this catch is the last line of
+                    // defense so a panic never kills the server.
+                    obs::SERVE_REQUESTS_ERR.inc();
+                }
+                conn_shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    // Drain request threads (bounded wait), then the engine via Drop.
+    for _ in 0..500 {
+        if shared.in_flight.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _t = obs::SERVE_REQUEST_NS.time();
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let req = match http::read_request(&mut reader, &shared.limits) {
+        Ok(req) => req,
+        Err(HttpError::Closed) => return,
+        Err(e) => {
+            obs::SERVE_REQUESTS.inc();
+            obs::SERVE_REQUESTS_ERR.inc();
+            let status = if is_timeout(&e) { 408 } else { e.status() };
+            let body = error_body("http", &e.to_string(), Vec::new());
+            let _ = http::write_response(&mut writer, status, "application/json", body.as_bytes());
+            return;
+        }
+    };
+    obs::SERVE_REQUESTS.inc();
+    let outcome = catch_unwind(AssertUnwindSafe(|| route(&req, &mut writer, shared)));
+    match outcome {
+        Ok(status) => {
+            if status < 400 {
+                obs::SERVE_REQUESTS_OK.inc();
+            } else {
+                obs::SERVE_REQUESTS_ERR.inc();
+            }
+        }
+        Err(_) => {
+            obs::SERVE_REQUESTS_ERR.inc();
+            let body = error_body("internal", "request handler panicked", Vec::new());
+            let _ = http::write_response(&mut writer, 500, "application/json", body.as_bytes());
+        }
+    }
+}
+
+fn is_timeout(e: &HttpError) -> bool {
+    matches!(e, HttpError::Io(io) if matches!(io.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut))
+}
+
+/// Routes one request; returns the response status (for metrics).
+fn route<W: Write>(req: &Request, w: &mut W, shared: &Arc<Shared>) -> u16 {
+    match (req.method.as_str(), req.target.split('?').next().unwrap_or("")) {
+        ("POST", "/estimate") => estimate(req, w, shared),
+        ("GET", "/metrics") => {
+            let body = obs::snapshot().to_json_pretty();
+            respond(w, 200, body.as_bytes())
+        }
+        ("GET", "/healthz") => respond(w, 200, b"{\"ok\": true}"),
+        ("POST", "/shutdown") => {
+            let status = respond(w, 200, b"{\"ok\": true, \"stopping\": true}");
+            if !shared.shutdown.swap(true, Ordering::SeqCst) {
+                // Wake the blocking accept so the loop observes the flag.
+                let _ = TcpStream::connect(shared.addr);
+            }
+            status
+        }
+        ("GET" | "POST", _) => {
+            let body =
+                error_body("not_found", &format!("no such endpoint: {}", req.target), vec![]);
+            respond(w, 404, body.as_bytes())
+        }
+        (m, _) => {
+            let body =
+                error_body("method_not_allowed", &format!("method {m} not supported"), vec![]);
+            respond(w, 405, body.as_bytes())
+        }
+    }
+}
+
+fn respond<W: Write>(w: &mut W, status: u16, body: &[u8]) -> u16 {
+    let _ = http::write_response(w, status, "application/json", body);
+    status
+}
+
+/// Builds `{"ok": false, "error": {"kind": ..., "message": ..., ...}}`.
+fn error_body(kind: &str, message: &str, extra: Vec<(String, Value)>) -> String {
+    let mut error = vec![
+        ("kind".to_string(), Value::Str(kind.to_string())),
+        ("message".to_string(), Value::Str(message.to_string())),
+    ];
+    error.extend(extra);
+    Value::Obj(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Obj(error)),
+    ])
+    .pretty()
+}
+
+/// The located payload for a netlist front-end rejection.
+fn netlist_error_extra(e: &NetlistError) -> Vec<(String, Value)> {
+    let (format, at) = match e {
+        NetlistError::ParseSyntax { format, at, .. }
+        | NetlistError::ParseUnknownName { format, at, .. }
+        | NetlistError::ParseUnknownCell { format, at, .. }
+        | NetlistError::ParseUnsupported { format, at, .. }
+        | NetlistError::ParseMultipleDrivers { format, at, .. }
+        | NetlistError::ParseUndriven { format, at, .. } => (format, at),
+        _ => return Vec::new(),
+    };
+    vec![
+        ("format".to_string(), Value::Str(format.name().to_string())),
+        ("line".to_string(), Value::Int(at.line as i128)),
+        ("col".to_string(), Value::Int(at.col as i128)),
+        ("snippet".to_string(), Value::Str(at.snippet.clone())),
+    ]
+}
+
+fn netlist_error_kind(e: &NetlistError) -> &'static str {
+    match e {
+        NetlistError::ParseSyntax { .. } => "parse_syntax",
+        NetlistError::ParseUnknownName { .. } => "parse_unknown_name",
+        NetlistError::ParseUnknownCell { .. } => "parse_unknown_cell",
+        NetlistError::ParseUnsupported { .. } => "parse_unsupported",
+        NetlistError::ParseMultipleDrivers { .. } => "parse_multiple_drivers",
+        NetlistError::ParseUndriven { .. } => "parse_undriven",
+        NetlistError::EmptyStream => "empty_stream",
+        _ => "netlist",
+    }
+}
+
+struct EstimateRequest {
+    source: String,
+    spec: JobSpec,
+}
+
+/// Parses and validates the `/estimate` body. `Err` is a ready-to-send
+/// 400 body.
+fn parse_estimate(body: &[u8]) -> Result<EstimateRequest, String> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| error_body("json", "request body is not UTF-8", vec![]))?;
+    let root = json::parse(text).map_err(|e| {
+        error_body(
+            "json",
+            &e.msg,
+            vec![
+                ("line".to_string(), Value::Int(e.line as i128)),
+                ("col".to_string(), Value::Int(e.col as i128)),
+                ("pos".to_string(), Value::Int(e.pos as i128)),
+            ],
+        )
+    })?;
+    let field_err = |msg: &str| error_body("request", msg, vec![]);
+    let source = root
+        .get("netlist")
+        .and_then(Value::as_str)
+        .ok_or_else(|| field_err("missing required string field `netlist`"))?
+        .to_string();
+    let seed = match root.get("seed") {
+        None => 0x1997,
+        Some(v) => v.as_u64().ok_or_else(|| field_err("`seed` must be a u64"))?,
+    };
+    // Defaults match the offline `repro --ingest` reference battery.
+    let mut opts = MonteCarloOptions {
+        batch_cycles: 60,
+        max_batches: 60,
+        target_relative_error: 0.01,
+        z: 1.96,
+    };
+    if let Some(o) = root.get("options") {
+        if let Some(v) = o.get("batch_cycles") {
+            opts.batch_cycles =
+                v.as_u64().ok_or_else(|| field_err("`options.batch_cycles` must be a u64"))?
+                    as usize;
+        }
+        if let Some(v) = o.get("max_batches") {
+            opts.max_batches =
+                v.as_u64().ok_or_else(|| field_err("`options.max_batches` must be a u64"))?
+                    as usize;
+        }
+        if let Some(v) = o.get("target_relative_error") {
+            opts.target_relative_error = v
+                .as_f64()
+                .ok_or_else(|| field_err("`options.target_relative_error` must be a number"))?;
+        }
+        if let Some(v) = o.get("z") {
+            opts.z = v.as_f64().ok_or_else(|| field_err("`options.z` must be a number"))?;
+        }
+    }
+    if opts.batch_cycles == 0 || opts.max_batches == 0 {
+        return Err(field_err("`options.batch_cycles` and `options.max_batches` must be >= 1"));
+    }
+    if !opts.target_relative_error.is_finite() || opts.target_relative_error < 0.0 {
+        return Err(field_err("`options.target_relative_error` must be a finite number >= 0"));
+    }
+    if !opts.z.is_finite() || opts.z <= 0.0 {
+        return Err(field_err("`options.z` must be a finite number > 0"));
+    }
+    let mode = match root.get("mode").and_then(Value::as_str) {
+        None | Some("zero_delay") => Mode::ZeroDelay,
+        Some("glitch") => Mode::Glitch,
+        Some(other) => {
+            return Err(field_err(&format!(
+                "`mode` must be `zero_delay` or `glitch`, got `{other}`"
+            )))
+        }
+    };
+    let width = match root.get("width").and_then(Value::as_u64) {
+        None | Some(64) => PackWidth::W64,
+        Some(256) => PackWidth::W256,
+        Some(512) => PackWidth::W512,
+        Some(other) => {
+            return Err(field_err(&format!("`width` must be 64, 256, or 512, got {other}")))
+        }
+    };
+    let stream = match root.get("stream") {
+        None => false,
+        Some(v) => v.as_bool().ok_or_else(|| field_err("`stream` must be a boolean"))?,
+    };
+    Ok(EstimateRequest { source, spec: JobSpec { seed, opts, mode, width, stream } })
+}
+
+fn estimate<W: Write>(req: &Request, w: &mut W, shared: &Arc<Shared>) -> u16 {
+    let parsed = match parse_estimate(&req.body) {
+        Ok(p) => p,
+        Err(body) => return respond(w, 400, body.as_bytes()),
+    };
+    // Kernel-cache lookup; a miss ingests and compiles outside the lock.
+    let hash = hash_source(&parsed.source);
+    let cached = shared.cache.lock().expect("cache poisoned").get(hash);
+    let cache_state = if cached.is_some() { "hit" } else { "miss" };
+    let circuit = match cached {
+        Some(c) => c,
+        None => match CachedCircuit::build(&parsed.source) {
+            Ok(c) => {
+                let c = Arc::new(c);
+                shared.cache.lock().expect("cache poisoned").insert(hash, Arc::clone(&c));
+                c
+            }
+            Err(e) => {
+                let body =
+                    error_body(netlist_error_kind(&e), &e.to_string(), netlist_error_extra(&e));
+                return respond(w, 400, body.as_bytes());
+            }
+        },
+    };
+    let spec = parsed.spec;
+    let rx = shared.engine.submit(Arc::clone(&circuit), spec);
+    if spec.stream {
+        let Ok(mut cw) = ChunkedWriter::begin(&mut *w, 200, "application/json") else {
+            return 200;
+        };
+        loop {
+            match rx.recv() {
+                Ok(JobUpdate::Interim { mean_uw, half_width_uw, batches }) => {
+                    let line = Value::Obj(vec![(
+                        "interim".to_string(),
+                        Value::Obj(vec![
+                            ("mean_uw".to_string(), Value::Num(mean_uw)),
+                            ("half_width_uw".to_string(), Value::Num(half_width_uw)),
+                            ("batches".to_string(), Value::Int(batches as i128)),
+                        ]),
+                    )]);
+                    if cw.chunk(format!("{}\n", line.compact()).as_bytes()).is_err() {
+                        return 200;
+                    }
+                }
+                Ok(JobUpdate::Done(result)) => {
+                    let line = match result {
+                        Ok(r) => result_value(&r, &circuit, &spec, cache_state).compact(),
+                        Err(e) => error_body(netlist_error_kind(&e), &e.to_string(), vec![]),
+                    };
+                    let _ = cw.chunk(format!("{line}\n").as_bytes());
+                    let _ = cw.finish();
+                    return 200;
+                }
+                Err(_) => {
+                    let _ = cw.finish();
+                    return 200;
+                }
+            }
+        }
+    }
+    loop {
+        match rx.recv() {
+            Ok(JobUpdate::Interim { .. }) => continue,
+            Ok(JobUpdate::Done(Ok(r))) => {
+                let body = result_value(&r, &circuit, &spec, cache_state).pretty();
+                return respond(w, 200, body.as_bytes());
+            }
+            Ok(JobUpdate::Done(Err(e))) => {
+                let body =
+                    error_body(netlist_error_kind(&e), &e.to_string(), netlist_error_extra(&e));
+                return respond(w, 400, body.as_bytes());
+            }
+            Err(_) => {
+                let body = error_body("internal", "engine dropped the job", vec![]);
+                return respond(w, 500, body.as_bytes());
+            }
+        }
+    }
+}
+
+fn result_value(
+    r: &hlpower_netlist::MonteCarloResult,
+    circuit: &CachedCircuit,
+    spec: &JobSpec,
+    cache_state: &str,
+) -> Value {
+    Value::Obj(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("power_uw".to_string(), Value::Num(r.power_uw)),
+        ("half_width_uw".to_string(), Value::Num(r.half_width_uw)),
+        ("relative_error".to_string(), Value::Num(r.relative_error())),
+        ("batches".to_string(), Value::Int(r.batches as i128)),
+        ("cycles".to_string(), Value::Int(i128::from(r.cycles))),
+        ("seed".to_string(), Value::Int(i128::from(spec.seed))),
+        (
+            "mode".to_string(),
+            Value::Str(
+                match spec.mode {
+                    Mode::ZeroDelay => "zero_delay",
+                    Mode::Glitch => "glitch",
+                }
+                .to_string(),
+            ),
+        ),
+        ("width".to_string(), Value::Int(spec.width.lanes() as i128)),
+        ("format".to_string(), Value::Str(circuit.format.name().to_string())),
+        ("nodes".to_string(), Value::Int(circuit.netlist.node_count() as i128)),
+        ("inputs".to_string(), Value::Int(circuit.netlist.input_count() as i128)),
+        ("cache".to_string(), Value::Str(cache_state.to_string())),
+    ])
+}

@@ -1,0 +1,246 @@
+//! End-to-end server test: a daemon on an ephemeral port, concurrent
+//! clients posting both example netlists (structural Verilog and EDIF),
+//! and every response checked **bit-identical** to the offline engine —
+//! the determinism contract of `docs/SERVER.md`.
+
+use std::sync::Arc;
+
+use hlpower_netlist::{
+    ingest_auto, monte_carlo_power_seeded_threads_kernel, streams, Library, McKernel,
+    MonteCarloOptions, MonteCarloResult, PowerModel,
+};
+use hlpower_obs::json::{self, Value};
+use hlpower_serve::{client, Server, ServerConfig};
+
+/// The offline `repro --ingest` reference options.
+const OPTS: MonteCarloOptions =
+    MonteCarloOptions { batch_cycles: 60, max_batches: 60, target_relative_error: 0.01, z: 1.96 };
+const SEED: u64 = 0x1997;
+
+fn example(name: &str) -> String {
+    let path = format!("{}/../../examples/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn offline_reference(src: &str) -> MonteCarloResult {
+    let (_, nl) = ingest_auto(None, src).expect("ingest");
+    let lib = Library::default();
+    let w = nl.input_count();
+    monte_carlo_power_seeded_threads_kernel(
+        &nl,
+        &lib,
+        |rng| streams::random_rng(rng, w),
+        SEED,
+        &OPTS,
+        1,
+        McKernel::Packed64,
+    )
+    .expect("offline run")
+}
+
+fn estimate_body(src: &str) -> String {
+    format!(
+        "{{\"netlist\": {}, \"seed\": {SEED}, \"options\": {{\"batch_cycles\": 60, \
+         \"max_batches\": 60, \"target_relative_error\": 0.01, \"z\": 1.96}}}}",
+        json::escaped(src)
+    )
+}
+
+fn assert_matches_offline(body: &str, want: &MonteCarloResult, what: &str) {
+    let v = json::parse(body).unwrap_or_else(|e| panic!("{what}: unparseable `{body}`: {e}"));
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{what}: {body}");
+    let power = v.get("power_uw").and_then(Value::as_f64).expect("power_uw");
+    let hw = v.get("half_width_uw").and_then(Value::as_f64).expect("half_width_uw");
+    // Bit-identical, not approximately equal: the JSON layer emits f64s
+    // via shortest-round-trip `{:?}`, so the parse gives back the bits.
+    assert_eq!(power.to_bits(), want.power_uw.to_bits(), "{what}: power mismatch");
+    assert_eq!(hw.to_bits(), want.half_width_uw.to_bits(), "{what}: half-width mismatch");
+    assert_eq!(v.get("batches").and_then(Value::as_u64), Some(want.batches as u64), "{what}");
+    assert_eq!(v.get("cycles").and_then(Value::as_u64), Some(want.cycles), "{what}");
+}
+
+#[test]
+fn concurrent_clients_get_offline_identical_answers() {
+    let verilog = Arc::new(example("gray_counter4.v"));
+    let edif = Arc::new(example("majority.edf"));
+    let want_verilog = offline_reference(&verilog);
+    let want_edif = offline_reference(&edif);
+
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let addr = server.addr().to_string();
+
+    // Several clients per netlist, all in flight at once, so the batcher
+    // actually packs tenants from different requests into shared words.
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        let addr = addr.clone();
+        let src = if i % 2 == 0 { Arc::clone(&verilog) } else { Arc::clone(&edif) };
+        handles.push(std::thread::spawn(move || {
+            let resp = client::request(&addr, "POST", "/estimate", Some(&estimate_body(&src)))
+                .expect("request");
+            (i, resp)
+        }));
+    }
+    for h in handles {
+        let (i, resp) = h.join().expect("client thread");
+        assert_eq!(resp.status, 200, "client {i}: {}", resp.body);
+        let want = if i % 2 == 0 { &want_verilog } else { &want_edif };
+        assert_matches_offline(&resp.body, want, &format!("client {i}"));
+    }
+
+    // /metrics: parseable hlpower-obs/2 snapshot with a live serve section.
+    let metrics = client::request(&addr, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let snap = json::parse(&metrics.body).expect("metrics parse");
+    assert_eq!(snap.get("schema").and_then(Value::as_str), Some("hlpower-obs/2"));
+    let serve = snap.get("serve").expect("serve section");
+    let count = |key: &str| {
+        serve
+            .get(key)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("serve counter {key} missing: {}", metrics.body))
+    };
+    assert!(count("requests") >= 7, "requests: {}", count("requests"));
+    assert!(count("jobs") >= 6);
+    assert!(count("packed_words") >= 1);
+    assert!(count("packed_lanes") >= count("packed_words"));
+    assert!(count("cache_hits") >= 1, "repeat circuits must hit the kernel cache");
+    assert!(count("cache_misses") >= 2);
+
+    // Healthz and structured 404.
+    let ok = client::request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(ok.status, 200);
+    let missing = client::request(&addr, "GET", "/nope", None).unwrap();
+    assert_eq!(missing.status, 404);
+    assert!(json::parse(&missing.body).is_ok());
+
+    server.stop();
+}
+
+#[test]
+fn streamed_responses_converge_to_the_offline_result() {
+    let verilog = example("gray_counter4.v");
+    let want = offline_reference(&verilog);
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let addr = server.addr().to_string();
+    let body = format!(
+        "{{\"netlist\": {}, \"seed\": {SEED}, \"stream\": true, \"options\": {{\"batch_cycles\": 60, \
+         \"max_batches\": 60, \"target_relative_error\": 0.01, \"z\": 1.96}}}}",
+        json::escaped(&verilog)
+    );
+    let resp = client::request(&addr, "POST", "/estimate", Some(&body)).expect("request");
+    assert_eq!(resp.status, 200);
+    let lines: Vec<&str> = resp.body.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(!lines.is_empty());
+    // Interim lines carry a running CI; batches must be non-decreasing.
+    let mut last_batches = 0u64;
+    for line in &lines[..lines.len() - 1] {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad interim `{line}`: {e}"));
+        let interim = v.get("interim").expect("interim object");
+        let batches = interim.get("batches").and_then(Value::as_u64).expect("batches");
+        assert!(batches >= last_batches);
+        last_batches = batches;
+        assert!(interim.get("mean_uw").and_then(Value::as_f64).unwrap() > 0.0);
+    }
+    assert_matches_offline(lines[lines.len() - 1], &want, "final stream line");
+    server.stop();
+}
+
+#[test]
+fn parse_errors_come_back_located_and_structured() {
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let addr = server.addr().to_string();
+    let bad_verilog =
+        "module m (a, y);\n  input a;\n  output y;\n  frobnicate f (y, a);\nendmodule\n";
+    let body = format!("{{\"netlist\": {}}}", json::escaped(bad_verilog));
+    let resp = client::request(&addr, "POST", "/estimate", Some(&body)).expect("request");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    let v = json::parse(&resp.body).expect("structured error");
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+    let err = v.get("error").expect("error object");
+    assert_eq!(err.get("kind").and_then(Value::as_str), Some("parse_unknown_cell"));
+    assert_eq!(err.get("format").and_then(Value::as_str), Some("verilog"));
+    assert_eq!(err.get("line").and_then(Value::as_u64), Some(4));
+    assert!(err.get("snippet").and_then(Value::as_str).unwrap().contains("frobnicate"));
+
+    // Bad JSON is located too.
+    let resp = client::request(&addr, "POST", "/estimate", Some("{\"netlist\": ")).unwrap();
+    assert_eq!(resp.status, 400);
+    let v = json::parse(&resp.body).unwrap();
+    assert_eq!(v.get("error").and_then(|e| e.get("kind")).and_then(Value::as_str), Some("json"));
+    assert!(v.get("error").and_then(|e| e.get("line")).is_some());
+
+    // Bad field values are rejected, not defaulted.
+    let resp = client::request(
+        &addr,
+        "POST",
+        "/estimate",
+        Some("{\"netlist\": \"x\", \"options\": {\"max_batches\": 0}}"),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400);
+
+    server.stop();
+}
+
+#[test]
+fn lane_packed_results_equal_unpacked_results() {
+    // The same job answered solo (no co-tenants possible) and answered
+    // while five other tenants share its words must be byte-identical.
+    let verilog = example("gray_counter4.v");
+    let solo_server = Server::start(ServerConfig::default()).expect("start server");
+    let solo_addr = solo_server.addr().to_string();
+    let solo = client::request(&solo_addr, "POST", "/estimate", Some(&estimate_body(&verilog)))
+        .expect("solo request");
+    solo_server.stop();
+
+    let busy_server = Server::start(ServerConfig::default()).expect("start server");
+    let busy_addr = busy_server.addr().to_string();
+    let mut handles = Vec::new();
+    for seed in [1u64, 2, 3, 4, 5] {
+        let addr = busy_addr.clone();
+        let src = verilog.clone();
+        handles.push(std::thread::spawn(move || {
+            let body = format!(
+                "{{\"netlist\": {}, \"seed\": {seed}, \"options\": {{\"batch_cycles\": 15, \
+                 \"max_batches\": 40, \"target_relative_error\": 0.0, \"z\": 1.96}}}}",
+                json::escaped(&src)
+            );
+            client::request(&addr, "POST", "/estimate", Some(&body)).expect("tenant")
+        }));
+    }
+    let packed = client::request(&busy_addr, "POST", "/estimate", Some(&estimate_body(&verilog)))
+        .expect("packed request");
+    for h in handles {
+        assert_eq!(h.join().unwrap().status, 200);
+    }
+    busy_server.stop();
+
+    assert_eq!(solo.status, 200);
+    assert_eq!(packed.status, 200);
+    let strip_cache = |s: &str| s.replace("\"cache\": \"hit\"", "\"cache\": \"miss\"");
+    assert_eq!(
+        strip_cache(&solo.body),
+        strip_cache(&packed.body),
+        "packing next to other tenants changed a response"
+    );
+}
+
+#[test]
+fn offline_model_reference_agrees_with_server_pipeline() {
+    // Belt and braces: the reference MonteCarloResult used above really
+    // is the documented PowerModel path (guards against the offline
+    // reference itself drifting).
+    let (_, nl) = ingest_auto(None, &example("gray_counter4.v")).unwrap();
+    let lib = Library::default();
+    let model = PowerModel::new(&nl, &lib);
+    let want = offline_reference(&example("gray_counter4.v"));
+    assert!(want.power_uw > 0.0);
+    assert!(
+        model.total_power_uw(&{
+            let mut sim = hlpower_netlist::ZeroDelaySim::new(&nl).unwrap();
+            sim.run(streams::random(1, nl.input_count()).take(100)).unwrap()
+        }) > 0.0
+    );
+    assert_eq!(want.batches, 60);
+}
