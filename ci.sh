@@ -52,16 +52,21 @@ cargo bench --offline -p hlpower-bench --bench wide_throughput
 # search's dirty-cone replay did no less work than full replays per
 # candidate; dumps results/BENCH_opt.json.
 cargo bench --offline -p hlpower-bench --bench opt_throughput
-# Estimation-server smoke: boot the daemon on an ephemeral port, drive
-# it with the in-tree client (no curl), require the `serve` metrics
-# section to be live after real traffic, then shut down cleanly. Exits
-# non-zero if the server fails to come up, any POST fails its built-in
-# ok=true check, the metrics poll never sees nonzero serve counters, or
-# the daemon does not exit after `stop`.
+# Estimation-server smoke: boot the daemon on an ephemeral port with
+# request-scoped telemetry fully on (JSONL access log + Chrome trace),
+# drive it with the in-tree client (no curl), require the `serve`
+# metrics section to be live after real traffic, scrape both metrics
+# formats, shut down cleanly, then audit the whole run: every access
+# line must parse with correlated request ids and stage timings that
+# sum within the request wall time, every response body id must appear
+# in the access log, every access id must have a trace span, and the
+# Prometheus exposition must parse and cover the estimate traffic.
 mkdir -p results/serve
-rm -f results/serve/addr
+rm -f results/serve/addr results/serve/access.jsonl results/serve/responses.jsonl
 cargo build --release --offline -p hlpower-serve
-target/release/hlpower-serve serve --addr 127.0.0.1:0 \
+HLPOWER_ACCESS_LOG=results/serve/access.jsonl \
+HLPOWER_TRACE=results/serve/trace.json \
+  target/release/hlpower-serve serve --addr 127.0.0.1:0 \
   --addr-file results/serve/addr >results/serve/server.log 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
@@ -71,7 +76,7 @@ for _ in $(seq 1 100); do
 done
 SERVE_ADDR=$(cat results/serve/addr)
 target/release/hlpower-serve post "$SERVE_ADDR" examples/gray_counter4.v \
-  >results/serve/gray_counter4.json
+  --request-id ci-gray-1 >results/serve/gray_counter4.json
 target/release/hlpower-serve post "$SERVE_ADDR" examples/majority.edf \
   >results/serve/majority.json
 target/release/hlpower-serve post "$SERVE_ADDR" examples/gray_counter4.v \
@@ -87,5 +92,19 @@ for _ in $(seq 1 50); do
   sleep 0.1
 done
 [ "$SERVE_LIVE" = 1 ] || { echo "serve metrics stayed zero"; exit 1; }
+target/release/hlpower-serve metrics "$SERVE_ADDR" --format prometheus \
+  >results/serve/metrics.prom
 target/release/hlpower-serve stop "$SERVE_ADDR"
 wait "$SERVE_PID"
+# Blocking bodies are pretty-printed; flatten each to one line so the
+# audit can parse the responses file as JSONL, then append the already
+# line-oriented streamed updates.
+for f in gray_counter4.json majority.json; do
+  tr -d '\n' <"results/serve/$f" >>results/serve/responses.jsonl
+  printf '\n' >>results/serve/responses.jsonl
+done
+cat results/serve/gray_stream.jsonl >>results/serve/responses.jsonl
+target/release/hlpower-serve audit --access results/serve/access.jsonl \
+  --responses results/serve/responses.jsonl \
+  --trace results/serve/trace.json \
+  --prom results/serve/metrics.prom

@@ -5,58 +5,51 @@
 //! This exists so CI can verify the observability layer end-to-end: the
 //! smoke run drives the zero-delay simulator, the event-driven simulator,
 //! the BDD manager (including a sifting pass), the Monte-Carlo engine,
-//! and the scoped worker pool; the resulting snapshot is printed as a
-//! human-readable summary and archived as bench-style JSON under
-//! `results/metrics.json`.
+//! the scoped worker pool, the macro-model fit/predict/co-simulation
+//! path, and an in-process estimation server (blocking, streamed,
+//! cache-hit, error, and keep-alive requests); the resulting snapshot is
+//! printed as a human-readable summary and archived as bench-style JSON
+//! under `results/metrics.json`.
+//!
+//! Coverage is **derived from the registry itself**: every `Count`,
+//! `Nanos`, and `Hist` entry of [`Snapshot::sections`] must be nonzero
+//! after the smoke run unless it is explicitly allowlisted in
+//! [`ALLOWED_ZERO`] — so adding a new instrumented counter automatically
+//! extends the gate, and forgetting to exercise it fails CI instead of
+//! silently shipping dead instrumentation.
+
+use std::io::Write;
+use std::net::TcpStream;
 
 use hlpower::bdd::build_output_bdds;
-use hlpower::estimate::ModuleHarness;
+use hlpower::estimate::sampling::{cosimulate, CosimStrategy};
+use hlpower::estimate::{MacroModelKind, ModuleHarness, TrainedMacroModel};
 use hlpower::netlist::{
     gen, monte_carlo_power_seeded_threads, streams, timed_activity, EventDrivenSim, Library,
     MonteCarloOptions, Netlist, TimedKernel, ZeroDelaySim,
 };
 use hlpower::optimize::rewrite::{demorgan_example, rewrite_gates, RewriteOptions};
+use hlpower_obs::json::escaped;
 use hlpower_obs::metrics;
-use hlpower_obs::report::Snapshot;
+use hlpower_obs::report::{Snapshot, Value};
+use hlpower_serve::{client, Server, ServerConfig};
 
-/// Counters that the smoke run must leave nonzero, as `(section, name)`
-/// pairs. One per instrumented subsystem — if any of these reads zero the
-/// instrumentation regressed (or the smoke run stopped covering it).
-pub const REQUIRED_NONZERO: &[(&str, &str)] = &[
-    ("sim_zero_delay", "steps"),
-    ("sim_zero_delay", "gate_evals"),
-    ("sim_packed", "steps"),
-    ("sim_packed", "gate_evals"),
-    ("sim_packed", "lane_cycles"),
-    ("sim_packed", "toggles"),
-    ("sim_packed", "blocks"),
-    ("sim_event", "steps"),
-    ("sim_event", "events"),
-    ("sim_event", "queue_depth"),
-    ("sim_ev_packed", "steps"),
-    ("sim_ev_packed", "events"),
-    ("sim_ev_packed", "lane_cycles"),
-    ("sim_ev_packed", "transitions"),
-    ("sim_ev_packed", "glitches"),
-    ("sim_incremental", "records"),
-    ("sim_incremental", "resims"),
-    ("sim_incremental", "cone_nodes"),
-    ("sim_incremental", "reused_nodes"),
-    ("opt_search", "candidates_evaluated"),
-    ("opt_search", "candidates_accepted"),
-    ("opt_search", "cone_size"),
-    ("opt_search", "resim_words"),
-    ("bdd", "ite_calls"),
-    ("bdd", "nodes_created"),
-    ("bdd", "sift_rounds"),
-    ("bdd", "unique_chain_len"),
-    ("monte_carlo", "runs"),
-    ("monte_carlo", "batches"),
-    ("monte_carlo", "cycles"),
-    ("monte_carlo", "batch_ns"),
-    ("monte_carlo", "ci_half_width_nw"),
-    ("pool", "tasks"),
-    ("pool", "jobs"),
+/// Registry entries that may legitimately read zero after a healthy smoke
+/// run, as `(section, name)` pairs — all timing-dependent or
+/// failure-path counters:
+///
+/// * `monte_carlo.discarded_batches` — only moves when the stop rule
+///   truncates a speculative wave, which depends on scheduling.
+/// * `pool.idle_ns` — zero when workers finish in lockstep.
+/// * `serve.cache_evictions` — the smoke never overflows the kernel cache.
+/// * `trace.*` — drop counters; zero is the *healthy* reading.
+pub const ALLOWED_ZERO: &[(&str, &str)] = &[
+    ("monte_carlo", "discarded_batches"),
+    ("pool", "idle_ns"),
+    ("serve", "cache_evictions"),
+    ("trace", "dropped"),
+    ("trace", "ring_dropped"),
+    ("trace", "sink_dropped"),
 ];
 
 fn adder(bits: usize) -> Netlist {
@@ -69,12 +62,62 @@ fn adder(bits: usize) -> Netlist {
     nl
 }
 
+fn estimate_body(src: &str, stream: bool) -> String {
+    format!(
+        "{{\"netlist\": {}, \"seed\": 7, \"stream\": {stream}, \"options\": \
+         {{\"batch_cycles\": 15, \"max_batches\": 100, \"target_relative_error\": 0.0, \
+         \"z\": 1.96}}}}",
+        escaped(src)
+    )
+}
+
+/// Drives the estimation server end to end: blocking and streamed
+/// estimates, a cache hit, a malformed request, and a keep-alive
+/// connection serving two requests — every `serve`/`serve_stage` counter
+/// moves.
+fn smoke_server() {
+    let config = ServerConfig { access_log: None, slow_ms: None, ..ServerConfig::default() };
+    let server = Server::start(config).expect("start estimation server");
+    let addr = server.addr().to_string();
+    let verilog = include_str!("../../../examples/gray_counter4.v");
+
+    let first = client::request(&addr, "POST", "/estimate", Some(&estimate_body(verilog, false)))
+        .expect("blocking estimate");
+    assert_eq!(first.status, 200, "{}", first.body);
+    // Same netlist again: must hit the kernel cache.
+    let second = client::request(&addr, "POST", "/estimate", Some(&estimate_body(verilog, false)))
+        .expect("cache-hit estimate");
+    assert_eq!(second.status, 200, "{}", second.body);
+    // Streamed: 100 batches at 64 lanes/round means several rounds, so
+    // interim updates flow.
+    let streamed = client::request(&addr, "POST", "/estimate", Some(&estimate_body(verilog, true)))
+        .expect("streamed estimate");
+    assert_eq!(streamed.status, 200, "{}", streamed.body);
+    // Malformed JSON: a structured 400, driving `serve.requests_err`.
+    let bad = client::request(&addr, "POST", "/estimate", Some("{\"netlist\": "))
+        .expect("malformed estimate");
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    // Two requests over one keep-alive connection, driving
+    // `serve.connections_reused`.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone socket"));
+    for _ in 0..2 {
+        stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: smoke\r\n\r\n").expect("write");
+        stream.flush().expect("flush");
+        let resp = client::read_response(&mut reader).expect("keep-alive response");
+        assert_eq!(resp.status, 200);
+    }
+    drop(stream);
+    server.stop();
+}
+
 /// Exercises every instrumented subsystem once and returns the resulting
 /// metric snapshot.
 ///
-/// The run is small (a few hundred cycles on 8-bit adders plus one BDD
-/// sift on a 6-variable function) — enough to make every counter in
-/// [`REQUIRED_NONZERO`] move without noticeably extending CI.
+/// The run is small (a few hundred cycles on 8-bit adders, one BDD sift
+/// on a 6-variable function, a handful of server requests on an
+/// ephemeral port) — enough to make every non-allowlisted counter move
+/// without noticeably extending CI.
 pub fn run_smoke() -> Snapshot {
     let lib = Library::default();
 
@@ -117,9 +160,18 @@ pub fn run_smoke() -> Snapshot {
     .expect("smoke Monte-Carlo run");
 
     // Macro-model characterization trace (drives the time-packed
-    // combinational kernel: `sim_packed.blocks`).
+    // combinational kernel: `sim_packed.blocks`), then the regression
+    // fit, census prediction, and sampler co-simulation (the `estimate`
+    // section: fits, predictions, cosim runs, sampler groups).
     let harness = ModuleHarness::adder(8, Library::default());
-    harness.trace(streams::random(17, 16).take(130)).expect("smoke trace");
+    let records = harness.trace(streams::random(17, 16).take(130)).expect("smoke trace");
+    let model = TrainedMacroModel::fit_sweep(&[MacroModelKind::Bitwise], &records)
+        .pop()
+        .expect("one fit")
+        .expect("bitwise fit");
+    cosimulate(&model, &records, CosimStrategy::Census, 5).expect("census cosim");
+    cosimulate(&model, &records, CosimStrategy::Sampler { groups: 4, group_size: 30 }, 5)
+        .expect("sampler cosim");
 
     // Dirty-cone incremental re-simulation, via the rewrite pass that is
     // its canonical consumer (drives record + resim + commit, so all four
@@ -130,18 +182,35 @@ pub fn run_smoke() -> Snapshot {
         .expect("smoke rewrite pass");
     assert!(rewritten.optimized_uw <= rewritten.baseline_uw);
 
+    // The estimation server (the `serve` and `serve_stage` sections).
+    smoke_server();
+
     metrics::snapshot()
 }
 
-/// Returns the `section.name` paths from [`REQUIRED_NONZERO`] whose
-/// counters are zero (or missing) in `snap`. Empty means the smoke check
-/// passed.
+/// Returns the `section.name` paths of registry entries that are zero
+/// (counters/nanos at 0, histograms with no samples) in `snap` and not
+/// excused by [`ALLOWED_ZERO`]. Gauges and series are skipped — gauges
+/// legitimately return to zero at quiesce, and series are baselines, not
+/// activity. Empty means the smoke check passed.
 pub fn zero_counters(snap: &Snapshot) -> Vec<String> {
-    REQUIRED_NONZERO
-        .iter()
-        .filter(|(section, name)| snap.count(section, name).unwrap_or(0) == 0)
-        .map(|(section, name)| format!("{section}.{name}"))
-        .collect()
+    let mut zeros = Vec::new();
+    for section in &snap.sections {
+        for (name, value) in &section.entries {
+            if ALLOWED_ZERO.contains(&(section.name, name)) {
+                continue;
+            }
+            let stuck = match value {
+                Value::Count(n) | Value::Nanos(n) => *n == 0,
+                Value::Hist(h) => h.count == 0,
+                Value::Float(_) | Value::Gauge(_) | Value::Series(_) => false,
+            };
+            if stuck {
+                zeros.push(format!("{}.{}", section.name, name));
+            }
+        }
+    }
+    zeros
 }
 
 #[cfg(test)]
@@ -149,10 +218,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn smoke_run_moves_every_required_counter() {
+    fn smoke_run_moves_every_registry_counter() {
         let snap = run_smoke();
         let zeros = zero_counters(&snap);
         assert!(zeros.is_empty(), "counters stuck at zero: {zeros:?}");
+    }
+
+    #[test]
+    fn allowlist_only_names_real_registry_entries() {
+        // A typo'd or stale allowlist entry would silently widen the
+        // gate; pin every pair to an existing (section, name).
+        let snap = metrics::snapshot();
+        for (section, name) in ALLOWED_ZERO {
+            let found = snap
+                .sections
+                .iter()
+                .find(|s| s.name == *section)
+                .is_some_and(|s| s.entries.iter().any(|(n, _)| n == name));
+            assert!(found, "ALLOWED_ZERO names unknown entry {section}.{name}");
+        }
     }
 
     #[test]
@@ -161,6 +245,7 @@ mod tests {
         let json = snap.to_json_pretty();
         assert!(json.contains("\"monte_carlo\""));
         assert!(json.contains("\"pool\""));
+        assert!(json.contains("\"serve_stage\""));
         assert!(!snap.render_text().is_empty());
     }
 }

@@ -1,0 +1,332 @@
+//! Request-scoped telemetry contexts.
+//!
+//! A [`RequestCtx`] travels with one serving request from HTTP parse to
+//! final response: it carries a process-unique id, the client-supplied
+//! `X-Request-Id` (echoed back verbatim), per-[`Stage`] accumulated
+//! nanoseconds, and byte/lane/cycle counts. The id is additionally
+//! installed in a thread-local (see [`enter`]) so deeply nested code —
+//! the worker pool, the packed kernels — can stamp the id onto trace
+//! spans without threading a parameter through every signature.
+//!
+//! ## Determinism
+//!
+//! Contexts are *write-only* telemetry: every field is an accumulator
+//! that no instrumented code path reads back to make a decision, so the
+//! workspace's bit-identical determinism contract is untouched. Stage
+//! timers are additive (a stage may be entered several times; the
+//! durations sum), which keeps attribution correct when the batcher
+//! revisits a request across rounds.
+//!
+//! ```
+//! use hlpower_obs::ctx::{RequestCtx, Stage};
+//!
+//! let ctx = RequestCtx::new(None);
+//! {
+//!     let _t = ctx.time_stage(Stage::Parse);
+//! }
+//! assert_eq!(ctx.echo(), ctx.id().to_string());
+//! ```
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The serving pipeline stages a request's wall time is attributed to.
+///
+/// The order is the pipeline order; [`Stage::ALL`] iterates it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// JSON body parse plus netlist compile.
+    Parse,
+    /// Kernel-cache lock, lookup, and insert.
+    Cache,
+    /// Waiting in the batcher queue before first planning.
+    Queue,
+    /// Lane-packing plan construction (shared per round, attributed to
+    /// every member of the round).
+    Pack,
+    /// Packed-kernel simulation (the round's parallel map wall time).
+    Sim,
+    /// Result demux, response building, and serialization.
+    Finalize,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 6] =
+        [Stage::Parse, Stage::Cache, Stage::Queue, Stage::Pack, Stage::Sim, Stage::Finalize];
+
+    /// Stable lowercase name used in access logs and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Cache => "cache",
+            Stage::Queue => "queue",
+            Stage::Pack => "pack",
+            Stage::Sim => "sim",
+            Stage::Finalize => "finalize",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Process-wide monotonic request id source (first id is 1; 0 means
+/// "no request" in the thread-local).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One request's telemetry: identity, per-stage time, and size counts.
+///
+/// Shared across threads behind an `Arc`; every field is a relaxed
+/// atomic accumulator.
+#[derive(Debug)]
+pub struct RequestCtx {
+    id: u64,
+    client_id: Option<String>,
+    stage_ns: [AtomicU64; 6],
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    lanes: AtomicU64,
+    lanes_shared: AtomicU64,
+    cycles: AtomicU64,
+}
+
+impl RequestCtx {
+    /// Creates a context with a fresh process-unique id. `client_id` is
+    /// the inbound `X-Request-Id` header value, if the client sent one.
+    pub fn new(client_id: Option<&str>) -> Self {
+        RequestCtx {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            client_id: client_id.map(str::to_string),
+            stage_ns: [const { AtomicU64::new(0) }; 6],
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            lanes: AtomicU64::new(0),
+            lanes_shared: AtomicU64::new(0),
+            cycles: AtomicU64::new(0),
+        }
+    }
+
+    /// The server-assigned monotonic id (never 0).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The client-supplied `X-Request-Id`, if any.
+    pub fn client_id(&self) -> Option<&str> {
+        self.client_id.as_deref()
+    }
+
+    /// The id to echo back to the client: the client-supplied
+    /// `X-Request-Id` verbatim, or the server id in decimal.
+    pub fn echo(&self) -> String {
+        match &self.client_id {
+            Some(s) => s.clone(),
+            None => self.id.to_string(),
+        }
+    }
+
+    /// Adds `ns` to `stage`'s accumulated duration.
+    pub fn add_stage_ns(&self, stage: Stage, ns: u64) {
+        self.stage_ns[stage.index()].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Accumulated nanoseconds attributed to `stage`.
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        self.stage_ns[stage.index()].load(Ordering::Relaxed)
+    }
+
+    /// Starts a scoped stage timer; the elapsed time is added on drop.
+    pub fn time_stage(&self, stage: Stage) -> StageTimer<'_> {
+        StageTimer { ctx: self, stage, start: Instant::now() }
+    }
+
+    /// Adds to the inbound byte count (request body).
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to the outbound byte count (response body, including stream
+    /// interims).
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds packed lanes this request occupied across all rounds.
+    pub fn add_lanes(&self, n: u64) {
+        self.lanes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds lanes this request occupied in words shared with *other*
+    /// tenants (multi-tenant packing).
+    pub fn add_lanes_shared(&self, n: u64) {
+        self.lanes_shared.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds simulated cycles attributed to this request.
+    pub fn add_cycles(&self, n: u64) {
+        self.cycles.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Inbound bytes recorded so far.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// Outbound bytes recorded so far.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Packed lanes occupied across all rounds.
+    pub fn lanes(&self) -> u64 {
+        self.lanes.load(Ordering::Relaxed)
+    }
+
+    /// Lanes occupied in words shared with other tenants.
+    pub fn lanes_shared(&self) -> u64 {
+        self.lanes_shared.load(Ordering::Relaxed)
+    }
+
+    /// Simulated cycles attributed to this request.
+    pub fn cycles(&self) -> u64 {
+        self.cycles.load(Ordering::Relaxed)
+    }
+}
+
+/// Scope guard from [`RequestCtx::time_stage`]: adds the elapsed
+/// nanoseconds to the stage on drop.
+#[derive(Debug)]
+pub struct StageTimer<'a> {
+    ctx: &'a RequestCtx,
+    stage: Stage,
+    start: Instant,
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        self.ctx.add_stage_ns(self.stage, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+thread_local! {
+    /// The request id the current thread is working for (0 = none).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The request id installed on the calling thread, if any.
+///
+/// [`crate::trace::span`] reads this to stamp `args.request_id` onto
+/// emitted events.
+pub fn current_request_id() -> Option<u64> {
+    let id = CURRENT.with(Cell::get);
+    if id == 0 {
+        None
+    } else {
+        Some(id)
+    }
+}
+
+/// Installs `id` as the calling thread's current request until the
+/// returned guard drops (the previous value, if any, is restored —
+/// scopes nest).
+pub fn enter(id: u64) -> CtxGuard {
+    let prev = CURRENT.with(|c| c.replace(id));
+    CtxGuard { prev }
+}
+
+/// Scope guard from [`enter`]: restores the previously installed
+/// request id on drop.
+#[derive(Debug)]
+pub struct CtxGuard {
+    prev: u64,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = RequestCtx::new(None);
+        let b = RequestCtx::new(None);
+        assert_ne!(a.id(), 0);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn echo_prefers_the_client_id() {
+        let anon = RequestCtx::new(None);
+        assert_eq!(anon.echo(), anon.id().to_string());
+        let named = RequestCtx::new(Some("abc-123"));
+        assert_eq!(named.echo(), "abc-123");
+        assert_eq!(named.client_id(), Some("abc-123"));
+    }
+
+    #[test]
+    fn stage_timers_accumulate() {
+        let ctx = RequestCtx::new(None);
+        ctx.add_stage_ns(Stage::Sim, 40);
+        ctx.add_stage_ns(Stage::Sim, 2);
+        {
+            let _t = ctx.time_stage(Stage::Parse);
+            std::hint::black_box((0..100).sum::<u64>());
+        }
+        assert_eq!(ctx.stage_ns(Stage::Sim), 42);
+        assert_eq!(ctx.stage_ns(Stage::Cache), 0);
+        // The scoped timer recorded *something* for parse.
+        let _ = ctx.stage_ns(Stage::Parse);
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let ctx = RequestCtx::new(None);
+        ctx.add_bytes_in(10);
+        ctx.add_bytes_out(20);
+        ctx.add_bytes_out(5);
+        ctx.add_lanes(8);
+        ctx.add_lanes_shared(3);
+        ctx.add_cycles(900);
+        assert_eq!(ctx.bytes_in(), 10);
+        assert_eq!(ctx.bytes_out(), 25);
+        assert_eq!(ctx.lanes(), 8);
+        assert_eq!(ctx.lanes_shared(), 3);
+        assert_eq!(ctx.cycles(), 900);
+    }
+
+    #[test]
+    fn enter_nests_and_restores() {
+        assert_eq!(current_request_id(), None);
+        {
+            let _a = enter(7);
+            assert_eq!(current_request_id(), Some(7));
+            {
+                let _b = enter(9);
+                assert_eq!(current_request_id(), Some(9));
+            }
+            assert_eq!(current_request_id(), Some(7));
+        }
+        assert_eq!(current_request_id(), None);
+    }
+
+    #[test]
+    fn enter_propagates_nothing_across_threads_by_default() {
+        let _g = enter(11);
+        let seen = std::thread::scope(|s| s.spawn(current_request_id).join().unwrap());
+        assert_eq!(seen, None, "thread-locals do not leak; the pool installs explicitly");
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["parse", "cache", "queue", "pack", "sim", "finalize"]);
+    }
+}

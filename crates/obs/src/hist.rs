@@ -244,27 +244,51 @@ impl HistSnapshot {
     }
 
     /// The compact summary recorded in metric snapshots.
+    ///
+    /// `buckets` keeps only the occupied buckets as
+    /// `(bucket_high, count)` pairs in ascending bound order — the
+    /// sparse form Prometheus exposition needs for cumulative `le`
+    /// buckets without hauling all [`BUCKETS`] slots around.
     pub fn summary(&self) -> HistSummary {
         if self.count == 0 {
-            return HistSummary { count: 0, min: 0, max: 0, p50: 0, p90: 0, p99: 0 };
+            return HistSummary {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+                buckets: Vec::new(),
+            };
         }
         HistSummary {
             count: self.count,
+            sum: self.sum,
             min: self.min,
             max: self.max,
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
             p99: self.quantile(0.99),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(idx, &n)| (bucket_high(idx), n))
+                .collect(),
         }
     }
 }
 
-/// The fixed summary a [`Hist`] contributes to `metrics::snapshot()`
+/// The summary a [`Hist`] contributes to `metrics::snapshot()`
 /// (`report::Value::Hist`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistSummary {
     /// Recorded value count.
     pub count: u64,
+    /// Wrapping sum of recorded values.
+    pub sum: u64,
     /// Smallest recorded value (0 when empty).
     pub min: u64,
     /// Largest recorded value.
@@ -275,6 +299,9 @@ pub struct HistSummary {
     pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// Occupied buckets as `(upper_bound, count)`, ascending, non-empty
+    /// only (non-cumulative counts; they sum to `count`).
+    pub buckets: Vec<(u64, u64)>,
 }
 
 #[cfg(test)]
@@ -442,14 +469,46 @@ mod tests {
     #[test]
     fn empty_and_reset_behave() {
         let h = Hist::new();
-        assert_eq!(h.summary(), HistSummary { count: 0, min: 0, max: 0, p50: 0, p90: 0, p99: 0 });
+        assert_eq!(
+            h.summary(),
+            HistSummary {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+                buckets: Vec::new()
+            }
+        );
         h.record(500);
         assert_eq!(h.count(), 1);
         let s = h.summary();
         assert_eq!((s.min, s.max), (500, 500));
+        assert_eq!(s.sum, 500);
         assert_eq!(s.p50, 500, "single value: quantiles clamp to it");
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.snapshot(), HistSnapshot::empty());
+    }
+
+    #[test]
+    fn summary_buckets_are_sparse_sorted_and_complete() {
+        let mut rng = XorShift(123);
+        let h = Hist::new();
+        let mut sum = 0u64;
+        for _ in 0..300 {
+            let v = rng.next() % 100_000;
+            sum += v;
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.sum, sum);
+        assert!(!s.buckets.is_empty());
+        assert!(s.buckets.iter().all(|&(_, n)| n > 0), "no empty buckets in the sparse form");
+        assert!(s.buckets.windows(2).all(|w| w[0].0 < w[1].0), "ascending upper bounds");
+        assert_eq!(s.buckets.iter().map(|&(_, n)| n).sum::<u64>(), s.count);
+        assert!(s.buckets.last().unwrap().0 >= s.max, "last bound covers the max");
     }
 }

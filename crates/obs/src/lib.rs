@@ -30,13 +30,14 @@
 
 #![warn(missing_docs)]
 
+pub mod ctx;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod trace;
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
@@ -109,6 +110,62 @@ impl MaxGauge {
 impl Default for MaxGauge {
     fn default() -> Self {
         MaxGauge::new()
+    }
+}
+
+/// A live level gauge (current queue depth, in-flight requests, busy
+/// lanes): goes up and down, read as its instantaneous value.
+///
+/// Internally signed so momentarily-interleaved `inc`/`dec` pairs from
+/// racing threads cannot wrap; [`get`](Self::get) clamps at zero.
+#[derive(Debug)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n as i64, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n as i64, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v as i64, Ordering::Relaxed);
+    }
+
+    /// Current level, clamped at zero.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
     }
 }
 
@@ -333,6 +390,23 @@ mod tests {
         g.record(10);
         g.record(7);
         assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_clamps() {
+        let g = Gauge::new();
+        g.inc();
+        g.add(4);
+        g.dec();
+        assert_eq!(g.get(), 4);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "reads clamp at zero");
+        g.inc();
+        assert_eq!(g.get(), 0, "but the signed level is preserved underneath");
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        g.reset();
+        assert_eq!(g.get(), 0);
     }
 
     #[test]

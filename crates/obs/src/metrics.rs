@@ -13,7 +13,7 @@
 
 use crate::hist::Hist;
 use crate::report::{Section, Snapshot, Value};
-use crate::{Counter, MaxGauge, Series, ShardedCounter, TimerNs};
+use crate::{trace, Counter, Gauge, MaxGauge, Series, ShardedCounter, TimerNs};
 
 /// Schema tag stamped into every JSON dump.
 pub const SCHEMA: &str = "hlpower-obs/2";
@@ -219,6 +219,39 @@ pub static SERVE_LANE_OCCUPANCY: Hist = Hist::new();
 pub static SERVE_REQUEST_NS: Hist = Hist::new();
 /// Incremental confidence-interval updates streamed to clients.
 pub static SERVE_STREAMED_UPDATES: Counter = Counter::new();
+/// TCP connections accepted by the estimation server.
+pub static SERVE_CONNECTIONS: Counter = Counter::new();
+/// Connections that served more than one request (HTTP/1.1 keep-alive
+/// reuse).
+pub static SERVE_CONNECTIONS_REUSED: Counter = Counter::new();
+
+// --- Estimation server: per-stage pipeline --------------------------------
+//
+// One latency histogram per `ctx::Stage` (per-request attributed
+// nanoseconds, recorded when the request finishes) plus the live gauges
+// future admission control will read.
+
+/// Per-request JSON parse + netlist compile time.
+pub static SERVE_STAGE_PARSE_NS: Hist = Hist::new();
+/// Per-request kernel-cache lock/lookup/insert time.
+pub static SERVE_STAGE_CACHE_NS: Hist = Hist::new();
+/// Per-request batcher queue wait (submit → first planning round).
+pub static SERVE_STAGE_QUEUE_NS: Hist = Hist::new();
+/// Per-request lane-packing plan time (round wall time, attributed to
+/// each member of the round).
+pub static SERVE_STAGE_PACK_NS: Hist = Hist::new();
+/// Per-request packed-simulation time (round parallel-map wall time,
+/// attributed to each member of the round).
+pub static SERVE_STAGE_SIM_NS: Hist = Hist::new();
+/// Per-request demux/response-build/serialize time.
+pub static SERVE_STAGE_FINALIZE_NS: Hist = Hist::new();
+/// Estimation jobs currently waiting or running in the batcher.
+pub static SERVE_QUEUE_DEPTH: Gauge = Gauge::new();
+/// HTTP requests currently being handled.
+pub static SERVE_IN_FLIGHT: Gauge = Gauge::new();
+/// Tenant lanes occupied by the simulation round in progress (0 between
+/// rounds).
+pub static SERVE_LANES_BUSY: Gauge = Gauge::new();
 
 /// Captures every registered metric into a [`Snapshot`].
 pub fn snapshot() -> Snapshot {
@@ -350,9 +383,47 @@ pub fn snapshot() -> Snapshot {
                     ("lane_occupancy", Value::Hist(SERVE_LANE_OCCUPANCY.summary())),
                     ("request_ns", Value::Hist(SERVE_REQUEST_NS.summary())),
                     ("streamed_updates", Value::Count(SERVE_STREAMED_UPDATES.get())),
+                    ("connections", Value::Count(SERVE_CONNECTIONS.get())),
+                    ("connections_reused", Value::Count(SERVE_CONNECTIONS_REUSED.get())),
+                ],
+            },
+            Section {
+                name: "serve_stage",
+                entries: vec![
+                    ("parse_ns", Value::Hist(SERVE_STAGE_PARSE_NS.summary())),
+                    ("cache_ns", Value::Hist(SERVE_STAGE_CACHE_NS.summary())),
+                    ("queue_ns", Value::Hist(SERVE_STAGE_QUEUE_NS.summary())),
+                    ("pack_ns", Value::Hist(SERVE_STAGE_PACK_NS.summary())),
+                    ("sim_ns", Value::Hist(SERVE_STAGE_SIM_NS.summary())),
+                    ("finalize_ns", Value::Hist(SERVE_STAGE_FINALIZE_NS.summary())),
+                    ("queue_depth", Value::Gauge(SERVE_QUEUE_DEPTH.get())),
+                    ("in_flight", Value::Gauge(SERVE_IN_FLIGHT.get())),
+                    ("lanes_busy", Value::Gauge(SERVE_LANES_BUSY.get())),
+                ],
+            },
+            Section {
+                name: "trace",
+                entries: vec![
+                    ("dropped", Value::Count(trace::dropped())),
+                    ("ring_dropped", Value::Count(trace::ring_dropped())),
+                    ("sink_dropped", Value::Count(trace::sink_dropped())),
                 ],
             },
         ],
+    }
+}
+
+/// The histogram backing each [`crate::ctx::Stage`]'s latency
+/// distribution in the `serve_stage` section.
+pub fn stage_hist(stage: crate::ctx::Stage) -> &'static Hist {
+    use crate::ctx::Stage;
+    match stage {
+        Stage::Parse => &SERVE_STAGE_PARSE_NS,
+        Stage::Cache => &SERVE_STAGE_CACHE_NS,
+        Stage::Queue => &SERVE_STAGE_QUEUE_NS,
+        Stage::Pack => &SERVE_STAGE_PACK_NS,
+        Stage::Sim => &SERVE_STAGE_SIM_NS,
+        Stage::Finalize => &SERVE_STAGE_FINALIZE_NS,
     }
 }
 
@@ -431,6 +502,19 @@ pub fn reset_all() {
     SERVE_LANE_OCCUPANCY.reset();
     SERVE_REQUEST_NS.reset();
     SERVE_STREAMED_UPDATES.reset();
+    SERVE_CONNECTIONS.reset();
+    SERVE_CONNECTIONS_REUSED.reset();
+    SERVE_STAGE_PARSE_NS.reset();
+    SERVE_STAGE_CACHE_NS.reset();
+    SERVE_STAGE_QUEUE_NS.reset();
+    SERVE_STAGE_PACK_NS.reset();
+    SERVE_STAGE_SIM_NS.reset();
+    SERVE_STAGE_FINALIZE_NS.reset();
+    SERVE_QUEUE_DEPTH.reset();
+    SERVE_IN_FLIGHT.reset();
+    SERVE_LANES_BUSY.reset();
+    // The trace section's drop counters reset with `trace::reset()`
+    // (they belong to the trace sink, not this registry).
 }
 
 #[cfg(test)]
@@ -454,7 +538,9 @@ mod tests {
                 "monte_carlo",
                 "pool",
                 "estimate",
-                "serve"
+                "serve",
+                "serve_stage",
+                "trace"
             ]
         );
         // Every section renders into both output formats.

@@ -21,6 +21,8 @@ pub enum Value {
     Nanos(u64),
     /// A floating-point reading.
     Float(f64),
+    /// A live level (goes up and down; see [`crate::Gauge`]).
+    Gauge(u64),
     /// A recorded sample trajectory.
     Series(Vec<f64>),
     /// A log-linear histogram summary (see [`crate::hist`]).
@@ -65,11 +67,11 @@ impl Snapshot {
             .map(|(_, v)| v)
     }
 
-    /// Looks up an integer metric ([`Value::Count`], [`Value::Nanos`], or
-    /// a [`Value::Hist`]'s recorded-value count).
+    /// Looks up an integer metric ([`Value::Count`], [`Value::Nanos`],
+    /// [`Value::Gauge`], or a [`Value::Hist`]'s recorded-value count).
     pub fn count(&self, section: &str, name: &str) -> Option<u64> {
         match self.get(section, name)? {
-            Value::Count(n) | Value::Nanos(n) => Some(*n),
+            Value::Count(n) | Value::Nanos(n) | Value::Gauge(n) => Some(*n),
             Value::Hist(h) => Some(h.count),
             _ => None,
         }
@@ -77,9 +79,9 @@ impl Snapshot {
 
     /// The snapshot minus a baseline, entry by entry.
     ///
-    /// Integer values subtract saturating; floats subtract; series and
-    /// histogram summaries keep this snapshot's value (trajectories and
-    /// quantiles are not differenced).
+    /// Counters subtract saturating; floats subtract; gauges, series,
+    /// and histogram summaries keep this snapshot's value (levels,
+    /// trajectories, and quantiles are not differenced).
     ///
     /// The result is the **union** of both snapshots: a section or entry
     /// present in only one side is kept with its full value rather than
@@ -145,6 +147,9 @@ impl Snapshot {
                     Value::Float(x) => {
                         let _ = writeln!(out, "  {name:<28} {x:.6}");
                     }
+                    Value::Gauge(n) => {
+                        let _ = writeln!(out, "  {name:<28} {n} (gauge)");
+                    }
                     Value::Series(xs) => {
                         let _ = writeln!(out, "  {name:<28} {} point(s)", xs.len());
                     }
@@ -183,7 +188,7 @@ impl Snapshot {
                 write_json_str(&mut out, name);
                 out.push_str(": ");
                 match value {
-                    Value::Count(n) | Value::Nanos(n) => {
+                    Value::Count(n) | Value::Nanos(n) | Value::Gauge(n) => {
                         let _ = write!(out, "{n}");
                     }
                     Value::Float(x) => write_json_f64(&mut out, *x),
@@ -205,9 +210,9 @@ impl Snapshot {
                     Value::Hist(h) => {
                         let _ = write!(
                             out,
-                            "{{\"count\": {}, \"min\": {}, \"max\": {}, \
+                            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
                              \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
-                            h.count, h.min, h.max, h.p50, h.p90, h.p99
+                            h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
                         );
                     }
                 }
@@ -220,6 +225,211 @@ impl Snapshot {
         }
         out.push_str("\n}");
         out
+    }
+
+    /// Renders the snapshot as Prometheus text exposition format 0.0.4
+    /// (the `Content-Type: text/plain; version=0.0.4` format).
+    ///
+    /// Mapping per entry, metric names prefixed `hlpower_<section>_`:
+    ///
+    /// * [`Value::Count`] / [`Value::Nanos`] → `counter` named
+    ///   `<name>_total` (nanosecond units are already in the entry
+    ///   name, e.g. `total_ns_total`).
+    /// * [`Value::Float`] / [`Value::Gauge`] → `gauge`.
+    /// * [`Value::Hist`] → `histogram`: cumulative `_bucket{le="…"}`
+    ///   lines built from the sparse summary buckets, a `+Inf` bucket,
+    ///   then `_sum` and `_count`.
+    /// * [`Value::Series`] trajectories have no Prometheus equivalent
+    ///   and are skipped.
+    ///
+    /// Non-finite floats render as `+Inf` / `-Inf` / `NaN`, which the
+    /// format allows.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for section in &self.sections {
+            for (name, value) in &section.entries {
+                let metric = format!("hlpower_{}_{}", section.name, name);
+                match value {
+                    Value::Count(n) | Value::Nanos(n) => {
+                        let _ = writeln!(out, "# TYPE {metric}_total counter");
+                        let _ = writeln!(out, "{metric}_total {n}");
+                    }
+                    Value::Gauge(n) => {
+                        let _ = writeln!(out, "# TYPE {metric} gauge");
+                        let _ = writeln!(out, "{metric} {n}");
+                    }
+                    Value::Float(x) => {
+                        let _ = writeln!(out, "# TYPE {metric} gauge");
+                        let _ = writeln!(out, "{metric} {}", fmt_prom_f64(*x));
+                    }
+                    Value::Hist(h) => {
+                        let _ = writeln!(out, "# TYPE {metric} histogram");
+                        let mut cum = 0u64;
+                        for &(bound, n) in &h.buckets {
+                            cum += n;
+                            let _ = writeln!(out, "{metric}_bucket{{le=\"{bound}\"}} {cum}");
+                        }
+                        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", h.count);
+                        let _ = writeln!(out, "{metric}_sum {}", h.sum);
+                        let _ = writeln!(out, "{metric}_count {}", h.count);
+                    }
+                    Value::Series(_) => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+fn fmt_prom_f64(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_string()
+    } else if x == f64::INFINITY {
+        "+Inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{x:?}")
+    }
+}
+
+/// One sample line from a Prometheus text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Full metric name (e.g. `hlpower_serve_requests_total`).
+    pub name: String,
+    /// Label pairs in source order (e.g. `[("le", "1023")]`).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed Prometheus text exposition: declared types plus samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PromExposition {
+    /// `# TYPE` declarations as `(metric name, type)` pairs.
+    pub types: Vec<(String, String)>,
+    /// All sample lines in document order.
+    pub samples: Vec<PromSample>,
+}
+
+impl PromExposition {
+    /// The declared type of `metric`, if any.
+    pub fn type_of(&self, metric: &str) -> Option<&str> {
+        self.types.iter().find(|(m, _)| m == metric).map(|(_, t)| t.as_str())
+    }
+
+    /// The first label-free sample named `name`, if any.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples.iter().find(|s| s.name == name && s.labels.is_empty()).map(|s| s.value)
+    }
+}
+
+/// Parses Prometheus text exposition format 0.0.4 (the format
+/// [`Snapshot::to_prometheus`] writes — the in-tree validator for CI
+/// scrapes and tests).
+///
+/// Handles `# HELP`/`# TYPE` comment lines, labels with escaped values
+/// (`\\`, `\"`, `\n`), and the special values `+Inf`, `-Inf`, `NaN`.
+///
+/// # Errors
+///
+/// Returns a `line N: …` description of the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<PromExposition, String> {
+    let mut exp = PromExposition::default();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            if parts.next() == Some("TYPE") {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: TYPE without a metric name"))?;
+                let kind =
+                    parts.next().ok_or_else(|| format!("line {lineno}: TYPE without a type"))?;
+                exp.types.push((name.to_string(), kind.to_string()));
+            }
+            continue;
+        }
+        exp.samples.push(parse_sample_line(line, lineno)?);
+    }
+    Ok(exp)
+}
+
+fn parse_sample_line(line: &str, lineno: usize) -> Result<PromSample, String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_whitespace())
+        .ok_or_else(|| format!("line {lineno}: sample without a value"))?;
+    let name = &line[..name_end];
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || "_:".contains(c)) {
+        return Err(format!("line {lineno}: invalid metric name `{name}`"));
+    }
+    let mut rest = &line[name_end..];
+    let mut labels = Vec::new();
+    if let Some(body) = rest.strip_prefix('{') {
+        let close =
+            body.find('}').ok_or_else(|| format!("line {lineno}: unterminated label set"))?;
+        labels = parse_labels(&body[..close], lineno)?;
+        rest = &body[close + 1..];
+    }
+    let value_str = rest.split_whitespace().next().unwrap_or("");
+    let value = match value_str {
+        "+Inf" | "Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        _ => value_str
+            .parse::<f64>()
+            .map_err(|_| format!("line {lineno}: bad sample value `{value_str}`"))?,
+    };
+    Ok(PromSample { name: name.to_string(), labels, value })
+}
+
+fn parse_labels(body: &str, lineno: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        // Skip separators and whitespace; stop at end of the label body.
+        while matches!(chars.peek(), Some(&c) if c == ',' || c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(labels);
+        }
+        let mut key = String::new();
+        while matches!(chars.peek(), Some(&c) if c != '=') {
+            key.push(chars.next().unwrap());
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            return Err(format!("line {lineno}: malformed label (expected `key=\"value\"`)"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => {
+                        return Err(format!("line {lineno}: bad label escape `\\{other:?}`"));
+                    }
+                },
+                Some(c) => value.push(c),
+                None => return Err(format!("line {lineno}: unterminated label value")),
+            }
+        }
+        labels.push((key.trim().to_string(), value));
     }
 }
 
@@ -259,7 +469,16 @@ mod tests {
     }
 
     fn hist_summary() -> HistSummary {
-        HistSummary { count: 4, min: 1, max: 100, p50: 10, p90: 90, p99: 100 }
+        HistSummary {
+            count: 4,
+            sum: 201,
+            min: 1,
+            max: 100,
+            p50: 10,
+            p90: 90,
+            p99: 100,
+            buckets: vec![(1, 1), (10, 1), (95, 1), (103, 1)],
+        }
     }
 
     #[test]
@@ -318,7 +537,7 @@ mod tests {
         let json = s.to_json_pretty();
         assert!(
             json.contains(
-                "\"batch_ns\": {\"count\": 4, \"min\": 1, \"max\": 100, \
+                "\"batch_ns\": {\"count\": 4, \"sum\": 201, \"min\": 1, \"max\": 100, \
                  \"p50\": 10, \"p90\": 90, \"p99\": 100}"
             ),
             "{json}"
@@ -345,6 +564,84 @@ mod tests {
         assert!(json.contains("\"rate\": 2.5"));
         assert!(json.contains("\"traj\": [\n      1.0,\n      0.5\n    ]"));
         assert!(json.ends_with("\n}"));
+    }
+
+    #[test]
+    fn gauges_render_and_pass_through_delta() {
+        let mut s = sample();
+        s.sections[0].entries.push(("depth", Value::Gauge(5)));
+        assert_eq!(s.count("sim", "depth"), Some(5));
+        assert!(s.render_text().contains("5 (gauge)"));
+        assert!(s.to_json_pretty().contains("\"depth\": 5"));
+        let mut base = sample();
+        base.sections[0].entries.push(("depth", Value::Gauge(9)));
+        let d = s.delta(&base);
+        assert_eq!(d.count("sim", "depth"), Some(5), "gauges are levels, not differenced");
+    }
+
+    #[test]
+    fn prometheus_exposition_round_trips_and_matches_the_snapshot() {
+        let mut s = sample();
+        s.sections[0].entries.push(("depth", Value::Gauge(5)));
+        s.sections[1].entries.push(("batch_ns", Value::Hist(hist_summary())));
+        let text = s.to_prometheus();
+        let exp = parse_prometheus(&text).expect("self-emitted exposition parses");
+
+        // Counters: typed, `_total`-suffixed, exact values.
+        assert_eq!(exp.type_of("hlpower_sim_steps_total"), Some("counter"));
+        assert_eq!(exp.value("hlpower_sim_steps_total"), Some(10.0));
+        assert_eq!(exp.value("hlpower_sim_time_total"), Some(1500.0));
+        // Floats and gauges: plain gauges.
+        assert_eq!(exp.type_of("hlpower_sim_rate"), Some("gauge"));
+        assert_eq!(exp.value("hlpower_sim_rate"), Some(2.5));
+        assert_eq!(exp.value("hlpower_sim_depth"), Some(5.0));
+        // Series are skipped.
+        assert!(!text.contains("traj"), "{text}");
+        // Histogram: cumulative buckets, +Inf, sum, count.
+        assert_eq!(exp.type_of("hlpower_mc_batch_ns"), Some("histogram"));
+        let buckets: Vec<(&str, f64)> = exp
+            .samples
+            .iter()
+            .filter(|smp| smp.name == "hlpower_mc_batch_ns_bucket")
+            .map(|smp| (smp.label("le").unwrap(), smp.value))
+            .collect();
+        assert_eq!(
+            buckets,
+            vec![("1", 1.0), ("10", 2.0), ("95", 3.0), ("103", 4.0), ("+Inf", 4.0)],
+            "cumulative le buckets from the sparse summary"
+        );
+        assert_eq!(exp.value("hlpower_mc_batch_ns_sum"), Some(201.0));
+        assert_eq!(exp.value("hlpower_mc_batch_ns_count"), Some(4.0));
+    }
+
+    #[test]
+    fn prometheus_parser_handles_labels_escapes_and_special_values() {
+        let text = "# HELP x something\n# TYPE x gauge\n\
+                    x{path=\"a\\\\b\\\"c\\nd\",code=\"200\"} +Inf\n\
+                    y -Inf\nz NaN\nw 1e3\n";
+        let exp = parse_prometheus(text).expect("parses");
+        assert_eq!(exp.type_of("x"), Some("gauge"));
+        let x = &exp.samples[0];
+        assert_eq!(x.label("path"), Some("a\\b\"c\nd"));
+        assert_eq!(x.label("code"), Some("200"));
+        assert_eq!(x.value, f64::INFINITY);
+        assert_eq!(exp.value("y"), Some(f64::NEG_INFINITY));
+        assert!(exp.value("z").unwrap().is_nan());
+        assert_eq!(exp.value("w"), Some(1000.0));
+    }
+
+    #[test]
+    fn prometheus_parser_rejects_malformed_lines() {
+        for (bad, why) in [
+            ("metric", "no value"),
+            ("metric{le=\"1\" 3", "unterminated labels"),
+            ("metric{le=1} 3", "unquoted label value"),
+            ("metric abc", "non-numeric value"),
+            ("bad name 1", "space inside the name"),
+        ] {
+            let err = parse_prometheus(bad).expect_err(why);
+            assert!(err.contains("line 1"), "{why}: {err}");
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 use crate::json;
-use crate::Counter;
+use crate::{ctx, Counter};
 
 /// Maximum events retained per thread before drops start.
 pub const RING_CAP: usize = 16 * 1024;
@@ -68,10 +68,15 @@ pub struct TraceEvent {
     pub ts_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// The serving request this span worked for, if any (captured from
+    /// [`ctx::current_request_id`] at span start; exported as Chrome
+    /// `args.request_id`).
+    pub request_id: Option<u64>,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
-static DROPPED: Counter = Counter::new();
+static RING_DROPPED: Counter = Counter::new();
+static SINK_DROPPED: Counter = Counter::new();
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 static SINK: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
 static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -93,7 +98,7 @@ impl Drop for ThreadRing {
         let mut sink = SINK.lock().unwrap_or_else(PoisonError::into_inner);
         let room = SINK_CAP.saturating_sub(sink.len());
         let take = self.events.len().min(room);
-        DROPPED.add((self.events.len() - take) as u64);
+        SINK_DROPPED.add((self.events.len() - take) as u64);
         sink.extend(self.events.drain(..take));
     }
 }
@@ -129,9 +134,19 @@ pub fn env_path() -> Option<String> {
     }
 }
 
-/// Number of events dropped at a full ring buffer (or sink) so far.
+/// Total events dropped so far (full per-thread ring plus full sink).
 pub fn dropped() -> u64 {
-    DROPPED.get()
+    RING_DROPPED.get() + SINK_DROPPED.get()
+}
+
+/// Events dropped at a full per-thread ring buffer.
+pub fn ring_dropped() -> u64 {
+    RING_DROPPED.get()
+}
+
+/// Events dropped at the full global sink when an exiting thread flushed.
+pub fn sink_dropped() -> u64 {
+    SINK_DROPPED.get()
 }
 
 fn push(event: TraceEvent) {
@@ -140,7 +155,7 @@ fn push(event: TraceEvent) {
         if ring.events.len() < RING_CAP {
             ring.events.push(event);
         } else {
-            DROPPED.inc();
+            RING_DROPPED.inc();
         }
     });
 }
@@ -151,25 +166,35 @@ fn push(event: TraceEvent) {
 /// construction time.
 #[derive(Debug)]
 pub struct TraceSpan {
-    live: Option<(Cow<'static, str>, &'static str, u64)>,
+    live: Option<(Cow<'static, str>, &'static str, u64, Option<u64>)>,
 }
 
 impl Drop for TraceSpan {
     fn drop(&mut self) {
-        if let Some((name, cat, ts_ns)) = self.live.take() {
+        if let Some((name, cat, ts_ns, request_id)) = self.live.take() {
             let dur_ns = (epoch().elapsed().as_nanos() as u64).saturating_sub(ts_ns);
             let tid = RING.with(|r| r.borrow().tid);
-            push(TraceEvent { name, cat, tid, ts_ns, dur_ns });
+            push(TraceEvent { name, cat, tid, ts_ns, dur_ns, request_id });
         }
     }
 }
 
 /// Starts a span with a static (or pre-built) name. Records on drop.
+///
+/// If the calling thread has a request installed via [`ctx::enter`],
+/// the span is stamped with that request id.
 pub fn span(cat: &'static str, name: impl Into<Cow<'static, str>>) -> TraceSpan {
     if !enabled() {
         return TraceSpan { live: None };
     }
-    TraceSpan { live: Some((name.into(), cat, epoch().elapsed().as_nanos() as u64)) }
+    TraceSpan {
+        live: Some((
+            name.into(),
+            cat,
+            epoch().elapsed().as_nanos() as u64,
+            ctx::current_request_id(),
+        )),
+    }
 }
 
 /// Starts a span whose name is built lazily — `name_fn` only runs (and
@@ -194,11 +219,32 @@ pub fn take_events() -> Vec<TraceEvent> {
     events
 }
 
-/// Clears all recorded events and the drop counter (tests and explicit
+/// Copies (without draining) every completed event recorded for request
+/// `id` — the global sink plus the calling thread's own ring — sorted by
+/// `(ts_ns, tid)`.
+///
+/// Used by the access log's slow-request dump: the request's spans are
+/// reported inline while the trace keeps accumulating for the final
+/// export. Spans still held by other live threads' rings are not
+/// visible (same caveat as [`take_events`]).
+pub fn events_for_request(id: u64) -> Vec<TraceEvent> {
+    let mut events: Vec<TraceEvent> = {
+        let sink = SINK.lock().unwrap_or_else(PoisonError::into_inner);
+        sink.iter().filter(|e| e.request_id == Some(id)).cloned().collect()
+    };
+    RING.with(|ring| {
+        events.extend(ring.borrow().events.iter().filter(|e| e.request_id == Some(id)).cloned());
+    });
+    events.sort_by(|a, b| (a.ts_ns, a.tid).cmp(&(b.ts_ns, b.tid)));
+    events
+}
+
+/// Clears all recorded events and the drop counters (tests and explicit
 /// baseline resets).
 pub fn reset() {
     let _ = take_events();
-    DROPPED.reset();
+    RING_DROPPED.reset();
+    SINK_DROPPED.reset();
 }
 
 /// Renders events as Chrome trace-event JSON (the "JSON array format"
@@ -218,11 +264,15 @@ pub fn chrome_json(events: &[TraceEvent]) -> String {
         json::escape_into(&mut out, e.cat);
         let _ = write!(
             out,
-            ", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {:?}, \"dur\": {:?}}}",
+            ", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {:?}, \"dur\": {:?}",
             e.tid,
             e.ts_ns as f64 / 1000.0,
             e.dur_ns as f64 / 1000.0
         );
+        if let Some(rid) = e.request_id {
+            let _ = write!(out, ", \"args\": {{\"request_id\": {rid}}}");
+        }
+        out.push('}');
     }
     if events.is_empty() {
         out.push_str("]\n}\n");
@@ -272,6 +322,8 @@ pub struct ParsedTraceEvent {
     pub ts: f64,
     /// Duration in microseconds.
     pub dur: f64,
+    /// The `args.request_id` correlation id, if the span carried one.
+    pub request_id: Option<u64>,
 }
 
 /// Parses and validates a Chrome trace-event JSON document (the object
@@ -302,6 +354,8 @@ pub fn parse_chrome_trace(text: &str) -> Result<Vec<ParsedTraceEvent>, String> {
         let num_field = |key: &str| {
             field(key)?.as_f64().ok_or_else(|| format!("event {i}: field `{key}` is not a number"))
         };
+        let request_id =
+            e.get("args").and_then(|args| args.get("request_id")).and_then(json::Value::as_u64);
         out.push(ParsedTraceEvent {
             name: str_field("name")?,
             cat: str_field("cat")?,
@@ -309,6 +363,7 @@ pub fn parse_chrome_trace(text: &str) -> Result<Vec<ParsedTraceEvent>, String> {
             tid: num_field("tid")? as u64,
             ts: num_field("ts")?,
             dur: num_field("dur")?,
+            request_id,
         });
     }
     Ok(out)
@@ -372,14 +427,45 @@ mod tests {
         set_enabled(true);
         reset();
         for _ in 0..(RING_CAP + 10) {
-            push(TraceEvent { name: Cow::Borrowed("x"), cat: "test", tid: 0, ts_ns: 0, dur_ns: 0 });
+            push(TraceEvent {
+                name: Cow::Borrowed("x"),
+                cat: "test",
+                tid: 0,
+                ts_ns: 0,
+                dur_ns: 0,
+                request_id: None,
+            });
         }
         assert_eq!(dropped(), 10);
+        assert_eq!(ring_dropped(), 10, "ring overflow is attributed to the ring counter");
+        assert_eq!(sink_dropped(), 0);
         let events = take_events();
         set_enabled(false);
         assert!(events.len() >= RING_CAP);
         reset();
         assert_eq!(dropped(), 0);
+    }
+
+    #[test]
+    fn spans_inherit_the_installed_request_id() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        set_enabled(true);
+        reset();
+        {
+            let _anon = span("test", "anon");
+            let _ctx = ctx::enter(77);
+            let _tagged = span("test", "tagged");
+        }
+        // Non-draining lookup first: the tagged span is visible by id.
+        let for_77 = events_for_request(77);
+        assert_eq!(for_77.len(), 1);
+        assert_eq!(for_77[0].name, "tagged");
+        let events = take_events();
+        set_enabled(false);
+        let by_name = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(by_name("tagged").request_id, Some(77));
+        assert_eq!(by_name("anon").request_id, None);
+        assert!(events_for_request(77).is_empty(), "take_events drained everything");
     }
 
     #[test]
@@ -391,6 +477,7 @@ mod tests {
                 tid: 3,
                 ts_ns: 1500,
                 dur_ns: 2500,
+                request_id: Some(42),
             },
             TraceEvent {
                 name: Cow::Owned("weird \"name\"\n".to_string()),
@@ -398,6 +485,7 @@ mod tests {
                 tid: 1,
                 ts_ns: 4000,
                 dur_ns: 0,
+                request_id: None,
             },
         ];
         let json = chrome_json(&events);
@@ -408,7 +496,9 @@ mod tests {
         assert_eq!(parsed[0].tid, 3);
         assert!((parsed[0].ts - 1.5).abs() < 1e-12);
         assert!((parsed[0].dur - 2.5).abs() < 1e-12);
+        assert_eq!(parsed[0].request_id, Some(42), "args.request_id round-trips");
         assert_eq!(parsed[1].name, "weird \"name\"\n");
+        assert_eq!(parsed[1].request_id, None);
     }
 
     #[test]
@@ -441,6 +531,7 @@ mod tests {
             tid: 1,
             ts_ns: 10,
             dur_ns: 5,
+            request_id: None,
         }];
         let parsed = parse_chrome_trace(&chrome_json(&events)).expect("parses");
         assert_eq!(parsed[0].name, name);

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use hlpower_obs::metrics as obs;
-use hlpower_obs::trace;
+use hlpower_obs::{ctx, trace};
 
 /// The `HLPOWER_THREADS` environment variable holds a value that does not
 /// parse as a positive integer.
@@ -107,6 +107,10 @@ where
     obs::POOL_WORKERS_SPAWNED.add(threads as u64);
     let _wall = obs::POOL_WALL.span();
     let _job_span = trace::span_dyn("pool", || format!("pool.job:{}x{}", items.len(), threads));
+    // The caller's request context (if any) crosses into the scoped
+    // workers so their spans stay correlated with the request. Telemetry
+    // only — no result depends on it.
+    let request_id = ctx::current_request_id();
     let started = Instant::now();
     let next = AtomicUsize::new(0);
     let f = &f;
@@ -115,6 +119,7 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 scope.spawn(move || {
+                    let _ctx_guard = request_id.map(ctx::enter);
                     let _worker_span = trace::span_dyn("pool", || format!("pool.worker:{w}"));
                     let begin = Instant::now();
                     let mut local = Vec::new();
@@ -218,6 +223,17 @@ mod tests {
             let got = map_slices(threads, &items, |s| s.iter().map(|x| x * x).collect());
             assert_eq!(got, serial, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn request_context_crosses_into_workers() {
+        let _g = ctx::enter(123);
+        let items: Vec<usize> = (0..32).collect();
+        let seen = map_with_threads(4, &items, |_, _| ctx::current_request_id());
+        assert!(seen.iter().all(|&id| id == Some(123)), "{seen:?}");
+        drop(_g);
+        let seen = map_with_threads(4, &items, |_, _| ctx::current_request_id());
+        assert!(seen.iter().all(|&id| id.is_none()), "{seen:?}");
     }
 
     #[test]

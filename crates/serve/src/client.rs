@@ -1,22 +1,34 @@
 //! A minimal blocking HTTP client for the server's own CLI and tests.
 //!
 //! The CI smoke drives the server entirely in-tree with this client
-//! (`hlpower-serve post/metrics/stop`), so no external `curl` is needed.
-//! Responses are read to completion: fixed `content-length` bodies are
-//! taken exactly, `chunked` bodies are de-chunked (streamed interim
-//! lines simply accumulate into the returned body).
+//! (`hlpower-serve post/metrics/top/stop`), so no external `curl` is
+//! needed. Responses are read to completion: fixed `content-length`
+//! bodies are taken exactly, `chunked` bodies are de-chunked (streamed
+//! interim lines simply accumulate into the returned body). Response
+//! headers are kept (lowercased) so callers can read the server's
+//! `x-request-id` echo.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-/// One response: status code and the (de-chunked) body text.
+/// One response: status code, headers, and the (de-chunked) body text.
 #[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// Header `(name, value)` pairs in wire order, names lowercased.
+    pub headers: Vec<(String, String)>,
     /// Response body (UTF-8; lossy for any invalid bytes).
     pub body: String,
+}
+
+impl Response {
+    /// First value of header `name` (ASCII case-insensitive lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
 }
 
 /// Sends one request and reads the full response.
@@ -25,15 +37,35 @@ pub struct Response {
 ///
 /// Connection, write, or malformed-response failures.
 pub fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> io::Result<Response> {
+    request_with(addr, method, path, body, &[])
+}
+
+/// [`request`] with extra request headers (e.g. `X-Request-Id`,
+/// `Accept`).
+///
+/// # Errors
+///
+/// Connection, write, or malformed-response failures.
+pub fn request_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(120)))?;
     stream.set_nodelay(true)?;
     let body_bytes = body.unwrap_or("").as_bytes();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
         body_bytes.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
     stream.write_all(body_bytes)?;
     stream.flush()?;
     read_response(&mut BufReader::new(stream))
@@ -64,6 +96,7 @@ pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Response> {
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| bad(format!("bad status line `{status_line}`")))?;
+    let mut headers = Vec::new();
     let mut content_length: Option<usize> = None;
     let mut chunked = false;
     loop {
@@ -78,6 +111,7 @@ pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Response> {
         } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
             chunked = true;
         }
+        headers.push((name, value.to_string()));
     }
     let mut body = Vec::new();
     if chunked {
@@ -101,7 +135,7 @@ pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<Response> {
     } else {
         r.read_to_end(&mut body)?;
     }
-    Ok(Response { status, body: String::from_utf8_lossy(&body).into_owned() })
+    Ok(Response { status, headers, body: String::from_utf8_lossy(&body).into_owned() })
 }
 
 #[cfg(test)]
@@ -110,10 +144,11 @@ mod tests {
 
     #[test]
     fn reads_fixed_and_chunked_responses() {
-        let fixed = b"HTTP/1.1 200 OK\r\ncontent-length: 4\r\n\r\nbody";
+        let fixed = b"HTTP/1.1 200 OK\r\ncontent-length: 4\r\nx-request-id: 9\r\n\r\nbody";
         let resp = read_response(&mut BufReader::new(&fixed[..])).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, "body");
+        assert_eq!(resp.header("X-Request-Id"), Some("9"));
 
         let chunked =
             b"HTTP/1.1 404 Not Found\r\ntransfer-encoding: chunked\r\n\r\n3\r\nabc\r\n2\r\nde\r\n0\r\n\r\n";

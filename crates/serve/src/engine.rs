@@ -22,13 +22,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hlpower_netlist::{
     simulate_packed_glitch_lanes, simulate_packed_lanes, streams, LaneRequest, MonteCarloOptions,
     MonteCarloResult, NetlistError, StoppingReplay, W256, W512,
 };
+use hlpower_obs::ctx::{self, RequestCtx, Stage};
 use hlpower_obs::metrics as obs;
+use hlpower_obs::trace;
 use hlpower_rng::{par, Rng};
 
 use crate::cache::CachedCircuit;
@@ -104,6 +106,11 @@ struct Job {
     next_batch: u64,
     exhausted: bool,
     tx: Sender<JobUpdate>,
+    /// The submitting request's telemetry context, if the job came from
+    /// the HTTP server (write-only: nothing in the engine reads it).
+    ctx: Option<Arc<RequestCtx>>,
+    submitted: Instant,
+    queue_recorded: bool,
 }
 
 impl Job {
@@ -150,6 +157,18 @@ impl Engine {
 
     /// Enqueues one job; updates arrive on the returned channel.
     pub fn submit(&self, circuit: Arc<CachedCircuit>, spec: JobSpec) -> Receiver<JobUpdate> {
+        self.submit_ctx(circuit, spec, None)
+    }
+
+    /// [`Engine::submit`] with a request telemetry context: queue wait,
+    /// pack/sim attribution, and lane counts are recorded into `ctx`,
+    /// and worker spans carry its request id.
+    pub fn submit_ctx(
+        &self,
+        circuit: Arc<CachedCircuit>,
+        spec: JobSpec,
+        ctx: Option<Arc<RequestCtx>>,
+    ) -> Receiver<JobUpdate> {
         let (tx, rx) = channel();
         let job = Job {
             circuit,
@@ -158,7 +177,11 @@ impl Engine {
             next_batch: 0,
             exhausted: false,
             tx,
+            ctx,
+            submitted: Instant::now(),
+            queue_recorded: false,
         };
+        obs::SERVE_QUEUE_DEPTH.inc();
         self.shared.incoming.lock().expect("engine queue poisoned").push(job);
         self.shared.cv.notify_one();
         rx
@@ -219,10 +242,22 @@ fn batcher_loop(shared: &Shared) {
 struct WordPlan {
     jobs: Vec<usize>,
     lanes: Vec<LaneRequest>,
+    /// Request id of the word's first context-carrying tenant (0 = none);
+    /// installed on the simulating worker so its spans correlate.
+    rid: u64,
 }
 
 /// One scheduling round: plan → simulate → demux → report.
 fn round(active: &mut Vec<Job>, threads: usize) {
+    // Queue wait ends at the job's first planning round.
+    for job in active.iter_mut() {
+        if !job.queue_recorded {
+            job.queue_recorded = true;
+            if let Some(ctx) = &job.ctx {
+                ctx.add_stage_ns(Stage::Queue, job.submitted.elapsed().as_nanos() as u64);
+            }
+        }
+    }
     // Group job indices by (circuit, mode, width). Insertion-ordered so
     // rounds are deterministic for a given arrival order.
     let mut groups: Vec<((usize, Mode, PackWidth), Vec<usize>)> = Vec::new();
@@ -240,6 +275,7 @@ fn round(active: &mut Vec<Job>, threads: usize) {
         // Plan: each member contributes its next batches (at most one
         // word's worth per round, so streamed updates keep flowing and
         // co-tenants interleave fairly), chained then chunked into words.
+        let pack_started = Instant::now();
         let cap = width.lanes();
         let mut flat: Vec<(usize, LaneRequest)> = Vec::new();
         for &i in members {
@@ -257,25 +293,61 @@ fn round(active: &mut Vec<Job>, threads: usize) {
                 ));
             }
             job.next_batch += quota;
+            if let Some(ctx) = &job.ctx {
+                ctx.add_lanes(quota);
+                ctx.add_cycles(quota * job.spec.opts.batch_cycles as u64);
+            }
         }
         let words: Vec<WordPlan> = flat
             .chunks(cap)
             .map(|chunk| WordPlan {
                 jobs: chunk.iter().map(|(i, _)| *i).collect(),
                 lanes: chunk.iter().map(|(_, r)| *r).collect(),
+                rid: chunk
+                    .iter()
+                    .find_map(|(i, _)| active[*i].ctx.as_ref().map(|c| c.id()))
+                    .unwrap_or(0),
             })
             .collect();
         for w in &words {
             obs::SERVE_PACKED_WORDS.inc();
             obs::SERVE_PACKED_LANES.add(w.lanes.len() as u64);
-            obs::SERVE_LANE_OCCUPANCY
-                .record(w.jobs.iter().collect::<std::collections::HashSet<_>>().len() as u64);
+            let tenants: std::collections::HashSet<_> = w.jobs.iter().collect();
+            obs::SERVE_LANE_OCCUPANCY.record(tenants.len() as u64);
+            if tenants.len() > 1 {
+                // Lanes riding in words shared with other tenants.
+                for &i in &tenants {
+                    if let Some(ctx) = &active[*i].ctx {
+                        ctx.add_lanes_shared(w.jobs.iter().filter(|j| *j == i).count() as u64);
+                    }
+                }
+            }
+        }
+        // The whole group shares one planning pass; attribute its wall
+        // time to every member (the per-request cost of being packed).
+        let pack_ns = pack_started.elapsed().as_nanos() as u64;
+        for &i in members {
+            if let Some(ctx) = &active[i].ctx {
+                ctx.add_stage_ns(Stage::Pack, pack_ns);
+            }
         }
         // Simulate the words across the deterministic pool. Word order is
         // preserved, so each job's samples demux in batch order.
+        let round_lanes: u64 = words.iter().map(|w| w.lanes.len() as u64).sum();
+        obs::SERVE_LANES_BUSY.add(round_lanes);
+        let sim_started = Instant::now();
         let results = par::map_with_threads(threads, &words, |_, w| {
+            let _ctx_guard = (w.rid != 0).then(|| ctx::enter(w.rid));
+            let _span = trace::span("serve", "serve.word");
             simulate_word(&circuit, mode, width, &w.lanes)
         });
+        let sim_ns = sim_started.elapsed().as_nanos() as u64;
+        obs::SERVE_LANES_BUSY.sub(round_lanes);
+        for &i in members {
+            if let Some(ctx) = &active[i].ctx {
+                ctx.add_stage_ns(Stage::Sim, sim_ns);
+            }
+        }
         for (w, result) in words.iter().zip(results) {
             match result {
                 Ok(samples) => {
@@ -335,6 +407,7 @@ fn round(active: &mut Vec<Job>, threads: usize) {
     // Drop finished jobs, preserving the order of the rest.
     finished.sort_unstable();
     for &i in finished.iter().rev() {
+        obs::SERVE_QUEUE_DEPTH.dec();
         active.remove(i);
     }
 }

@@ -96,6 +96,8 @@ pub struct Request {
     pub method: String,
     /// The request target (path plus optional query), as received.
     pub target: String,
+    /// Protocol version as received (`HTTP/1.1` or `HTTP/1.0`).
+    pub version: String,
     /// Header `(name, value)` pairs in wire order, names lowercased.
     pub headers: Vec<(String, String)>,
     /// The request body (de-chunked when the request was chunked).
@@ -107,6 +109,18 @@ impl Request {
     pub fn header(&self, name: &str) -> Option<&str> {
         let name = name.to_ascii_lowercase();
         self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection may serve another request after this one,
+    /// per HTTP/1.x semantics: HTTP/1.1 defaults to keep-alive unless
+    /// the client sent `Connection: close`; HTTP/1.0 defaults to close
+    /// unless the client asked for `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version == "HTTP/1.1",
+        }
     }
 }
 
@@ -177,6 +191,7 @@ pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, H
     let req = Request {
         method: method.to_string(),
         target: target.to_string(),
+        version: version.to_string(),
         headers,
         body: Vec::new(),
     };
@@ -271,7 +286,21 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
+fn write_extra_headers<W: Write>(w: &mut W, extra_headers: &[(&str, &str)]) -> io::Result<()> {
+    for (name, value) in extra_headers {
+        // Strip CR/LF so a hostile echoed value (e.g. X-Request-Id)
+        // cannot split the response into injected headers.
+        let clean: String = value.chars().filter(|c| *c != '\r' && *c != '\n').collect();
+        write!(w, "{name}: {clean}\r\n")?;
+    }
+    Ok(())
+}
+
 /// Writes a complete fixed-length response and flushes it.
+///
+/// `keep_alive` selects the `connection:` header; `extra_headers` are
+/// emitted verbatim after the standard ones (values are sanitized of
+/// CR/LF).
 ///
 /// # Errors
 ///
@@ -281,13 +310,18 @@ pub fn write_response<W: Write>(
     status: u16,
     content_type: &str,
     body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
 ) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         reason(status),
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     )?;
+    write_extra_headers(w, extra_headers)?;
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
@@ -301,16 +335,26 @@ pub struct ChunkedWriter<W: Write> {
 
 impl<W: Write> ChunkedWriter<W> {
     /// Writes the status line and headers and enters chunked mode.
+    /// `keep_alive` and `extra_headers` behave as in [`write_response`].
     ///
     /// # Errors
     ///
     /// Propagates socket write failures.
-    pub fn begin(mut w: W, status: u16, content_type: &str) -> io::Result<Self> {
+    pub fn begin(
+        mut w: W,
+        status: u16,
+        content_type: &str,
+        keep_alive: bool,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<Self> {
         write!(
             w,
-            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
-            reason(status)
+            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n",
+            reason(status),
+            if keep_alive { "keep-alive" } else { "close" },
         )?;
+        write_extra_headers(&mut w, extra_headers)?;
+        w.write_all(b"\r\n")?;
         w.flush()?;
         Ok(ChunkedWriter { w })
     }
@@ -357,9 +401,19 @@ mod tests {
             parse(b"POST /estimate HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello").unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.target, "/estimate");
+        assert_eq!(req.version, "HTTP/1.1");
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.header("HOST"), Some("x"));
         assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn keep_alive_follows_http1x_defaults() {
+        let k = |bytes: &[u8]| parse(bytes).unwrap().keep_alive();
+        assert!(k(b"GET / HTTP/1.1\r\n\r\n"), "1.1 defaults to keep-alive");
+        assert!(!k(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!k(b"GET / HTTP/1.0\r\n\r\n"), "1.0 defaults to close");
+        assert!(k(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"));
     }
 
     #[test]
@@ -419,20 +473,49 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "application/json", b"{}").unwrap();
+        write_response(&mut out, 200, "application/json", b"{}", false, &[]).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
 
         let mut out = Vec::new();
-        let mut cw = ChunkedWriter::begin(&mut out, 200, "application/json").unwrap();
+        let mut cw = ChunkedWriter::begin(&mut out, 200, "application/json", false, &[]).unwrap();
         cw.chunk(b"{\"a\":1}\n").unwrap();
         cw.chunk(b"{\"b\":2}\n").unwrap();
         cw.finish().unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("transfer-encoding: chunked"));
+        assert!(text.contains("connection: close\r\n"));
         assert!(text.contains("8\r\n{\"a\":1}\n\r\n"));
         assert!(text.ends_with("0\r\n\r\n"));
+    }
+
+    #[test]
+    fn responses_carry_keep_alive_and_sanitized_extra_headers() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "application/json",
+            b"{}",
+            true,
+            &[("x-request-id", "abc\r\nevil: 1")],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("x-request-id: abcevil: 1\r\n"), "CR/LF stripped: {text}");
+        assert!(!text.contains("\r\nevil:"), "no header injection: {text}");
+
+        let mut out = Vec::new();
+        ChunkedWriter::begin(&mut out, 200, "application/json", true, &[("x-request-id", "7")])
+            .unwrap()
+            .finish()
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("x-request-id: 7\r\n"));
     }
 }

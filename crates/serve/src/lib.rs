@@ -22,11 +22,15 @@
 //!   on any result.
 //!
 //! The wire protocol and determinism contract are documented in
-//! `docs/SERVER.md`; live counters are exported at `GET /metrics` as an
-//! `hlpower-obs/2` snapshot with a `serve` section.
+//! `docs/SERVER.md`; request-scoped telemetry (request ids, per-stage
+//! timings, JSONL access logs — see [`accesslog`]) in
+//! `docs/OBSERVABILITY.md`. Live counters are exported at `GET /metrics`
+//! as an `hlpower-obs/2` snapshot (`serve` + `serve_stage` sections) or
+//! as Prometheus text exposition via content negotiation.
 
 #![warn(missing_docs)]
 
+pub mod accesslog;
 pub mod cache;
 pub mod client;
 pub mod engine;

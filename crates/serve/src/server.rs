@@ -10,10 +10,25 @@
 //!   With `"stream": true` the response is chunked: one JSON line per
 //!   scheduling round with the running confidence interval, then the
 //!   final result line.
-//! * `GET /metrics` — the live `hlpower-obs/2` metrics snapshot.
+//! * `GET /metrics` — the live `hlpower-obs/2` metrics snapshot: JSON by
+//!   default, Prometheus text exposition (version 0.0.4) when the
+//!   `Accept` header asks for `text/plain`.
 //! * `GET /healthz` — liveness probe.
 //! * `POST /shutdown` — graceful shutdown: stop accepting, drain
 //!   in-flight jobs, exit.
+//!
+//! Connections are HTTP/1.1 keep-alive: a client may pipeline up to
+//! [`MAX_KEEPALIVE_REQUESTS`] sequential requests per connection before
+//! the server closes it (HTTP/1.0 defaults to close; errors always
+//! close).
+//!
+//! Every request gets a [`RequestCtx`]: a process-unique id (echoed back
+//! in the `x-request-id` header and the `request_id` response field,
+//! honoring a client-supplied `X-Request-Id` verbatim), per-stage
+//! timings, and byte/lane/cycle counts. The context rides with the job
+//! through the batcher and across worker threads, so trace spans
+//! correlate, and it feeds the JSONL access log when one is configured
+//! (see [`crate::accesslog`]).
 //!
 //! Malformed HTTP, oversized payloads, bad JSON, and netlist parse
 //! errors are all structured 4xx responses (`{"ok":false,"error":{...}}`
@@ -26,17 +41,26 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hlpower_netlist::{MonteCarloOptions, NetlistError};
+use hlpower_obs::ctx::{self, RequestCtx, Stage};
 use hlpower_obs::json::{self, Value};
 use hlpower_obs::metrics as obs;
+use hlpower_obs::trace;
 
+use crate::accesslog::{AccessLog, AccessRecord};
 use crate::cache::{hash_source, CachedCircuit, KernelCache};
 use crate::engine::{Engine, JobSpec, JobUpdate, Mode, PackWidth};
 use crate::http::{self, ChunkedWriter, HttpError, Limits, Request};
 
-/// Server configuration; `Default` binds an ephemeral localhost port.
+/// Requests served per connection before the server closes it (bounds
+/// how long one client can monopolize a connection thread).
+pub const MAX_KEEPALIVE_REQUESTS: usize = 128;
+
+/// Server configuration; `Default` binds an ephemeral localhost port and
+/// picks up `HLPOWER_ACCESS_LOG` / `HLPOWER_SLOW_MS` from the
+/// environment.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:0` (0 = ephemeral port).
@@ -46,12 +70,18 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Kernel-cache byte budget.
     pub cache_bytes: usize,
-    /// Per-read socket timeout while parsing a request.
+    /// Per-read socket timeout while parsing a request (doubles as the
+    /// keep-alive idle timeout between requests).
     pub read_timeout: Duration,
     /// Batcher gather window (lets near-simultaneous requests co-pack).
     pub gather: Duration,
     /// HTTP parsing limits.
     pub limits: Limits,
+    /// JSONL access-log path (`None` disables logging).
+    pub access_log: Option<String>,
+    /// Wall-time threshold, in milliseconds, above which a request also
+    /// logs its trace spans (`None` disables the slow dump).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +93,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             gather: Duration::from_millis(2),
             limits: Limits::default(),
+            access_log: std::env::var("HLPOWER_ACCESS_LOG").ok(),
+            slow_ms: std::env::var("HLPOWER_SLOW_MS").ok().and_then(|v| v.parse().ok()),
         }
     }
 }
@@ -75,6 +107,7 @@ struct Shared {
     limits: Limits,
     read_timeout: Duration,
     addr: SocketAddr,
+    log: Option<AccessLog>,
 }
 
 /// A running server; dropping it (or calling [`Server::shutdown`] then
@@ -90,7 +123,8 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure (and the access-log open failure, so
+    /// a misconfigured log path is loud, not silent).
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let threads = if config.threads == 0 {
             hlpower_rng::par::num_threads_checked().map_err(|e| {
@@ -98,6 +132,10 @@ impl Server {
             })?
         } else {
             config.threads
+        };
+        let log = match &config.access_log {
+            Some(path) => Some(AccessLog::open(path, config.slow_ms)?),
+            None => None,
         };
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
@@ -109,6 +147,7 @@ impl Server {
             limits: config.limits,
             read_timeout: config.read_timeout,
             addr,
+            log,
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -188,39 +227,55 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// Serves one connection: a keep-alive loop of parse → handle, closing
+/// on error, on `Connection: close`, after [`MAX_KEEPALIVE_REQUESTS`],
+/// or when shutdown begins.
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let _t = obs::SERVE_REQUEST_NS.time();
+    obs::SERVE_CONNECTIONS.inc();
+    let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "unknown".into());
     let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    let req = match http::read_request(&mut reader, &shared.limits) {
-        Ok(req) => req,
-        Err(HttpError::Closed) => return,
-        Err(e) => {
-            obs::SERVE_REQUESTS.inc();
-            obs::SERVE_REQUESTS_ERR.inc();
-            let status = if is_timeout(&e) { 408 } else { e.status() };
-            let body = error_body("http", &e.to_string(), Vec::new());
-            let _ = http::write_response(&mut writer, status, "application/json", body.as_bytes());
+    let mut served = 0usize;
+    loop {
+        let req = match http::read_request(&mut reader, &shared.limits) {
+            Ok(req) => req,
+            Err(HttpError::Closed) => return,
+            Err(e) => {
+                // On a reused connection, going quiet is just the client
+                // holding the connection open — close silently.
+                if served > 0 && is_timeout(&e) {
+                    return;
+                }
+                obs::SERVE_REQUESTS.inc();
+                obs::SERVE_REQUESTS_ERR.inc();
+                let status = if is_timeout(&e) { 408 } else { e.status() };
+                let body = error_body("http", &e.to_string(), Vec::new(), None);
+                let _ = http::write_response(
+                    &mut writer,
+                    status,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                    &[],
+                );
+                return;
+            }
+        };
+        if served == 1 {
+            obs::SERVE_CONNECTIONS_REUSED.inc();
+        }
+        served += 1;
+        let keep = served < MAX_KEEPALIVE_REQUESTS
+            && req.keep_alive()
+            && !shared.shutdown.load(Ordering::SeqCst);
+        if !handle_request(&req, &mut writer, shared, &peer, keep) {
             return;
         }
-    };
-    obs::SERVE_REQUESTS.inc();
-    let outcome = catch_unwind(AssertUnwindSafe(|| route(&req, &mut writer, shared)));
-    match outcome {
-        Ok(status) => {
-            if status < 400 {
-                obs::SERVE_REQUESTS_OK.inc();
-            } else {
-                obs::SERVE_REQUESTS_ERR.inc();
-            }
-        }
-        Err(_) => {
-            obs::SERVE_REQUESTS_ERR.inc();
-            let body = error_body("internal", "request handler panicked", Vec::new());
-            let _ = http::write_response(&mut writer, 500, "application/json", body.as_bytes());
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
         }
     }
 }
@@ -229,53 +284,189 @@ fn is_timeout(e: &HttpError) -> bool {
     matches!(e, HttpError::Io(io) if matches!(io.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut))
 }
 
-/// Routes one request; returns the response status (for metrics).
-fn route<W: Write>(req: &Request, w: &mut W, shared: &Arc<Shared>) -> u16 {
-    match (req.method.as_str(), req.target.split('?').next().unwrap_or("")) {
-        ("POST", "/estimate") => estimate(req, w, shared),
-        ("GET", "/metrics") => {
-            let body = obs::snapshot().to_json_pretty();
-            respond(w, 200, body.as_bytes())
+/// What routing learned about a request, for metrics and the access log.
+#[derive(Default)]
+struct RouteMeta {
+    /// Kernel-cache key of the netlist (estimates that parsed far enough).
+    netlist_hash: Option<u64>,
+    /// `"hit"` / `"miss"` for estimates that reached the cache.
+    cache: Option<&'static str>,
+    /// Packed-word width in lanes, for estimates.
+    width: Option<u64>,
+    /// Whether this was an `/estimate` that ran the serving pipeline
+    /// (gates the per-stage latency histograms).
+    estimate: bool,
+}
+
+/// Serves one parsed request: creates its [`RequestCtx`], routes it,
+/// records metrics and the access-log line. Returns whether the
+/// connection may serve another request.
+fn handle_request<W: Write>(
+    req: &Request,
+    w: &mut W,
+    shared: &Arc<Shared>,
+    peer: &str,
+    keep: bool,
+) -> bool {
+    let started = Instant::now();
+    obs::SERVE_REQUESTS.inc();
+    obs::SERVE_IN_FLIGHT.inc();
+    let _timer = obs::SERVE_REQUEST_NS.time();
+    let req_ctx = Arc::new(RequestCtx::new(req.header("x-request-id")));
+    req_ctx.add_bytes_in(req.body.len() as u64);
+    let _guard = ctx::enter(req_ctx.id());
+    let route_path = req.target.split('?').next().unwrap_or("").to_string();
+    let span = trace::span_dyn("serve", || format!("serve.request:{route_path}"));
+    let outcome = catch_unwind(AssertUnwindSafe(|| route(req, w, shared, &req_ctx, keep)));
+    // End the request span before logging so a slow-request dump sees it.
+    drop(span);
+    let (status, meta, panicked) = match outcome {
+        Ok((status, meta)) => {
+            if status < 400 {
+                obs::SERVE_REQUESTS_OK.inc();
+            } else {
+                obs::SERVE_REQUESTS_ERR.inc();
+            }
+            (status, meta, false)
         }
-        ("GET", "/healthz") => respond(w, 200, b"{\"ok\": true}"),
+        Err(_) => {
+            obs::SERVE_REQUESTS_ERR.inc();
+            let body =
+                error_body("internal", "request handler panicked", Vec::new(), Some(&req_ctx));
+            let echo = req_ctx.echo();
+            let _ = http::write_response(
+                w,
+                500,
+                "application/json",
+                body.as_bytes(),
+                false,
+                &[("x-request-id", &echo)],
+            );
+            (500, RouteMeta::default(), true)
+        }
+    };
+    obs::SERVE_IN_FLIGHT.dec();
+    if meta.estimate {
+        for stage in Stage::ALL {
+            obs::stage_hist(stage).record(req_ctx.stage_ns(stage));
+        }
+    }
+    if let Some(log) = &shared.log {
+        log.log(&AccessRecord {
+            ctx: &req_ctx,
+            peer,
+            method: &req.method,
+            route: &route_path,
+            status,
+            netlist_hash: meta.netlist_hash,
+            cache: meta.cache,
+            width: meta.width,
+            wall_ns: started.elapsed().as_nanos() as u64,
+        });
+    }
+    keep && !panicked
+}
+
+/// Routes one request; returns the response status and routing metadata.
+fn route<W: Write>(
+    req: &Request,
+    w: &mut W,
+    shared: &Arc<Shared>,
+    ctx: &Arc<RequestCtx>,
+    keep: bool,
+) -> (u16, RouteMeta) {
+    match (req.method.as_str(), req.target.split('?').next().unwrap_or("")) {
+        ("POST", "/estimate") => estimate(req, w, shared, ctx, keep),
+        ("GET", "/metrics") => {
+            // Content negotiation: Prometheus text exposition when the
+            // client asks for text/plain, JSON otherwise.
+            let snapshot = obs::snapshot();
+            let wants_text = req.header("accept").is_some_and(|a| a.contains("text/plain"));
+            let status = if wants_text {
+                respond_with_type(
+                    w,
+                    200,
+                    "text/plain; version=0.0.4",
+                    snapshot.to_prometheus().as_bytes(),
+                    keep,
+                    ctx,
+                )
+            } else {
+                respond(w, 200, snapshot.to_json_pretty().as_bytes(), keep, ctx)
+            };
+            (status, RouteMeta::default())
+        }
+        ("GET", "/healthz") => {
+            (respond(w, 200, b"{\"ok\": true}", keep, ctx), RouteMeta::default())
+        }
         ("POST", "/shutdown") => {
-            let status = respond(w, 200, b"{\"ok\": true, \"stopping\": true}");
+            // The shutdown response always closes: the connection loop
+            // is about to stop anyway.
+            let status = respond(w, 200, b"{\"ok\": true, \"stopping\": true}", false, ctx);
             if !shared.shutdown.swap(true, Ordering::SeqCst) {
                 // Wake the blocking accept so the loop observes the flag.
                 let _ = TcpStream::connect(shared.addr);
             }
-            status
+            (status, RouteMeta::default())
         }
         ("GET" | "POST", _) => {
-            let body =
-                error_body("not_found", &format!("no such endpoint: {}", req.target), vec![]);
-            respond(w, 404, body.as_bytes())
+            let body = error_body(
+                "not_found",
+                &format!("no such endpoint: {}", req.target),
+                vec![],
+                Some(ctx),
+            );
+            (respond(w, 404, body.as_bytes(), keep, ctx), RouteMeta::default())
         }
         (m, _) => {
-            let body =
-                error_body("method_not_allowed", &format!("method {m} not supported"), vec![]);
-            respond(w, 405, body.as_bytes())
+            let body = error_body(
+                "method_not_allowed",
+                &format!("method {m} not supported"),
+                vec![],
+                Some(ctx),
+            );
+            (respond(w, 405, body.as_bytes(), keep, ctx), RouteMeta::default())
         }
     }
 }
 
-fn respond<W: Write>(w: &mut W, status: u16, body: &[u8]) -> u16 {
-    let _ = http::write_response(w, status, "application/json", body);
+fn respond<W: Write>(w: &mut W, status: u16, body: &[u8], keep: bool, ctx: &RequestCtx) -> u16 {
+    respond_with_type(w, status, "application/json", body, keep, ctx)
+}
+
+fn respond_with_type<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep: bool,
+    ctx: &RequestCtx,
+) -> u16 {
+    ctx.add_bytes_out(body.len() as u64);
+    let echo = ctx.echo();
+    let _ = http::write_response(w, status, content_type, body, keep, &[("x-request-id", &echo)]);
     status
 }
 
-/// Builds `{"ok": false, "error": {"kind": ..., "message": ..., ...}}`.
-fn error_body(kind: &str, message: &str, extra: Vec<(String, Value)>) -> String {
+/// Builds `{"ok": false, "error": {"kind": ..., "message": ..., ...}}`,
+/// tagged with the request id when a context exists.
+fn error_body(
+    kind: &str,
+    message: &str,
+    extra: Vec<(String, Value)>,
+    ctx: Option<&RequestCtx>,
+) -> String {
     let mut error = vec![
         ("kind".to_string(), Value::Str(kind.to_string())),
         ("message".to_string(), Value::Str(message.to_string())),
     ];
     error.extend(extra);
-    Value::Obj(vec![
-        ("ok".to_string(), Value::Bool(false)),
-        ("error".to_string(), Value::Obj(error)),
-    ])
-    .pretty()
+    let mut fields =
+        vec![("ok".to_string(), Value::Bool(false)), ("error".to_string(), Value::Obj(error))];
+    if let Some(ctx) = ctx {
+        fields.push(("request_id".to_string(), Value::Str(ctx.echo())));
+    }
+    Value::Obj(fields).pretty()
 }
 
 /// The located payload for a netlist front-end rejection.
@@ -317,9 +508,9 @@ struct EstimateRequest {
 
 /// Parses and validates the `/estimate` body. `Err` is a ready-to-send
 /// 400 body.
-fn parse_estimate(body: &[u8]) -> Result<EstimateRequest, String> {
+fn parse_estimate(body: &[u8], ctx: &RequestCtx) -> Result<EstimateRequest, String> {
     let text = std::str::from_utf8(body)
-        .map_err(|_| error_body("json", "request body is not UTF-8", vec![]))?;
+        .map_err(|_| error_body("json", "request body is not UTF-8", vec![], Some(ctx)))?;
     let root = json::parse(text).map_err(|e| {
         error_body(
             "json",
@@ -329,9 +520,10 @@ fn parse_estimate(body: &[u8]) -> Result<EstimateRequest, String> {
                 ("col".to_string(), Value::Int(e.col as i128)),
                 ("pos".to_string(), Value::Int(e.pos as i128)),
             ],
+            Some(ctx),
         )
     })?;
-    let field_err = |msg: &str| error_body("request", msg, vec![]);
+    let field_err = |msg: &str| error_body("request", msg, vec![], Some(ctx));
     let source = root
         .get("netlist")
         .and_then(Value::as_str)
@@ -401,63 +593,107 @@ fn parse_estimate(body: &[u8]) -> Result<EstimateRequest, String> {
     Ok(EstimateRequest { source, spec: JobSpec { seed, opts, mode, width, stream } })
 }
 
-fn estimate<W: Write>(req: &Request, w: &mut W, shared: &Arc<Shared>) -> u16 {
-    let parsed = match parse_estimate(&req.body) {
-        Ok(p) => p,
-        Err(body) => return respond(w, 400, body.as_bytes()),
+fn estimate<W: Write>(
+    req: &Request,
+    w: &mut W,
+    shared: &Arc<Shared>,
+    ctx: &Arc<RequestCtx>,
+    keep: bool,
+) -> (u16, RouteMeta) {
+    let mut meta = RouteMeta { estimate: true, ..RouteMeta::default() };
+    let parsed = {
+        let _t = ctx.time_stage(Stage::Parse);
+        match parse_estimate(&req.body, ctx) {
+            Ok(p) => p,
+            Err(body) => return (respond(w, 400, body.as_bytes(), keep, ctx), meta),
+        }
     };
+    meta.width = Some(parsed.spec.width.lanes() as u64);
     // Kernel-cache lookup; a miss ingests and compiles outside the lock.
     let hash = hash_source(&parsed.source);
-    let cached = shared.cache.lock().expect("cache poisoned").get(hash);
-    let cache_state = if cached.is_some() { "hit" } else { "miss" };
+    meta.netlist_hash = Some(hash);
+    let cached = {
+        let _t = ctx.time_stage(Stage::Cache);
+        shared.cache.lock().expect("cache poisoned").get(hash)
+    };
+    meta.cache = Some(if cached.is_some() { "hit" } else { "miss" });
+    let cache_state = meta.cache.unwrap_or("miss");
     let circuit = match cached {
         Some(c) => c,
-        None => match CachedCircuit::build(&parsed.source) {
-            Ok(c) => {
-                let c = Arc::new(c);
-                shared.cache.lock().expect("cache poisoned").insert(hash, Arc::clone(&c));
-                c
+        None => {
+            let built = {
+                let _t = ctx.time_stage(Stage::Parse);
+                CachedCircuit::build(&parsed.source)
+            };
+            match built {
+                Ok(c) => {
+                    let c = Arc::new(c);
+                    let _t = ctx.time_stage(Stage::Cache);
+                    shared.cache.lock().expect("cache poisoned").insert(hash, Arc::clone(&c));
+                    c
+                }
+                Err(e) => {
+                    let body = error_body(
+                        netlist_error_kind(&e),
+                        &e.to_string(),
+                        netlist_error_extra(&e),
+                        Some(ctx),
+                    );
+                    return (respond(w, 400, body.as_bytes(), keep, ctx), meta);
+                }
             }
-            Err(e) => {
-                let body =
-                    error_body(netlist_error_kind(&e), &e.to_string(), netlist_error_extra(&e));
-                return respond(w, 400, body.as_bytes());
-            }
-        },
+        }
     };
     let spec = parsed.spec;
-    let rx = shared.engine.submit(Arc::clone(&circuit), spec);
+    let rx = shared.engine.submit_ctx(Arc::clone(&circuit), spec, Some(Arc::clone(ctx)));
+    let echo = ctx.echo();
     if spec.stream {
-        let Ok(mut cw) = ChunkedWriter::begin(&mut *w, 200, "application/json") else {
-            return 200;
+        let Ok(mut cw) = ChunkedWriter::begin(
+            &mut *w,
+            200,
+            "application/json",
+            keep,
+            &[("x-request-id", &echo)],
+        ) else {
+            return (200, meta);
         };
         loop {
             match rx.recv() {
                 Ok(JobUpdate::Interim { mean_uw, half_width_uw, batches }) => {
-                    let line = Value::Obj(vec![(
-                        "interim".to_string(),
-                        Value::Obj(vec![
-                            ("mean_uw".to_string(), Value::Num(mean_uw)),
-                            ("half_width_uw".to_string(), Value::Num(half_width_uw)),
-                            ("batches".to_string(), Value::Int(batches as i128)),
-                        ]),
-                    )]);
-                    if cw.chunk(format!("{}\n", line.compact()).as_bytes()).is_err() {
-                        return 200;
+                    let line = Value::Obj(vec![
+                        (
+                            "interim".to_string(),
+                            Value::Obj(vec![
+                                ("mean_uw".to_string(), Value::Num(mean_uw)),
+                                ("half_width_uw".to_string(), Value::Num(half_width_uw)),
+                                ("batches".to_string(), Value::Int(batches as i128)),
+                            ]),
+                        ),
+                        ("request_id".to_string(), Value::Str(echo.clone())),
+                    ]);
+                    let payload = format!("{}\n", line.compact());
+                    ctx.add_bytes_out(payload.len() as u64);
+                    if cw.chunk(payload.as_bytes()).is_err() {
+                        return (200, meta);
                     }
                 }
                 Ok(JobUpdate::Done(result)) => {
+                    let _t = ctx.time_stage(Stage::Finalize);
                     let line = match result {
-                        Ok(r) => result_value(&r, &circuit, &spec, cache_state).compact(),
-                        Err(e) => error_body(netlist_error_kind(&e), &e.to_string(), vec![]),
+                        Ok(r) => result_value(&r, &circuit, &spec, cache_state, &echo).compact(),
+                        Err(e) => {
+                            error_body(netlist_error_kind(&e), &e.to_string(), vec![], Some(ctx))
+                        }
                     };
-                    let _ = cw.chunk(format!("{line}\n").as_bytes());
+                    let payload = format!("{line}\n");
+                    ctx.add_bytes_out(payload.len() as u64);
+                    let _ = cw.chunk(payload.as_bytes());
                     let _ = cw.finish();
-                    return 200;
+                    return (200, meta);
                 }
                 Err(_) => {
                     let _ = cw.finish();
-                    return 200;
+                    return (200, meta);
                 }
             }
         }
@@ -466,17 +702,22 @@ fn estimate<W: Write>(req: &Request, w: &mut W, shared: &Arc<Shared>) -> u16 {
         match rx.recv() {
             Ok(JobUpdate::Interim { .. }) => continue,
             Ok(JobUpdate::Done(Ok(r))) => {
-                let body = result_value(&r, &circuit, &spec, cache_state).pretty();
-                return respond(w, 200, body.as_bytes());
+                let _t = ctx.time_stage(Stage::Finalize);
+                let body = result_value(&r, &circuit, &spec, cache_state, &echo).pretty();
+                return (respond(w, 200, body.as_bytes(), keep, ctx), meta);
             }
             Ok(JobUpdate::Done(Err(e))) => {
-                let body =
-                    error_body(netlist_error_kind(&e), &e.to_string(), netlist_error_extra(&e));
-                return respond(w, 400, body.as_bytes());
+                let body = error_body(
+                    netlist_error_kind(&e),
+                    &e.to_string(),
+                    netlist_error_extra(&e),
+                    Some(ctx),
+                );
+                return (respond(w, 400, body.as_bytes(), keep, ctx), meta);
             }
             Err(_) => {
-                let body = error_body("internal", "engine dropped the job", vec![]);
-                return respond(w, 500, body.as_bytes());
+                let body = error_body("internal", "engine dropped the job", vec![], Some(ctx));
+                return (respond(w, 500, body.as_bytes(), keep, ctx), meta);
             }
         }
     }
@@ -487,6 +728,7 @@ fn result_value(
     circuit: &CachedCircuit,
     spec: &JobSpec,
     cache_state: &str,
+    request_id: &str,
 ) -> Value {
     Value::Obj(vec![
         ("ok".to_string(), Value::Bool(true)),
@@ -511,5 +753,6 @@ fn result_value(
         ("nodes".to_string(), Value::Int(circuit.netlist.node_count() as i128)),
         ("inputs".to_string(), Value::Int(circuit.netlist.input_count() as i128)),
         ("cache".to_string(), Value::Str(cache_state.to_string())),
+        ("request_id".to_string(), Value::Str(request_id.to_string())),
     ])
 }

@@ -218,12 +218,214 @@ fn lane_packed_results_equal_unpacked_results() {
 
     assert_eq!(solo.status, 200);
     assert_eq!(packed.status, 200);
-    let strip_cache = |s: &str| s.replace("\"cache\": \"hit\"", "\"cache\": \"miss\"");
+    // Everything except the per-request fields (request id, cache state)
+    // must be identical — including the f64 bits, which round-trip
+    // exactly through the JSON layer.
+    let result_fields = |body: &str| {
+        let Value::Obj(fields) = json::parse(body).expect("result object") else {
+            panic!("non-object result: {body}")
+        };
+        fields.into_iter().filter(|(k, _)| k != "request_id" && k != "cache").collect::<Vec<_>>()
+    };
     assert_eq!(
-        strip_cache(&solo.body),
-        strip_cache(&packed.body),
+        result_fields(&solo.body),
+        result_fields(&packed.body),
         "packing next to other tenants changed a response"
     );
+}
+
+/// A scratch path in the system temp dir, unique per test.
+fn temp_path(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("hlpower-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path.to_str().expect("utf-8 temp path").to_string()
+}
+
+#[test]
+fn access_log_lines_round_trip_with_correlated_ids_and_stage_times() {
+    let verilog = example("gray_counter4.v");
+    let log_path = temp_path("access.jsonl");
+    let config = ServerConfig {
+        access_log: Some(log_path.clone()),
+        slow_ms: None,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config).expect("start server");
+    let addr = server.addr().to_string();
+
+    let anon = client::request(&addr, "POST", "/estimate", Some(&estimate_body(&verilog)))
+        .expect("anonymous estimate");
+    assert_eq!(anon.status, 200);
+    let named = client::request_with(
+        &addr,
+        "POST",
+        "/estimate",
+        Some(&estimate_body(&verilog)),
+        &[("X-Request-Id", "smoke-42")],
+    )
+    .expect("named estimate");
+    assert_eq!(named.status, 200);
+    assert_eq!(named.header("x-request-id"), Some("smoke-42"), "client id echoed verbatim");
+    let miss = client::request(&addr, "GET", "/nope", None).expect("404");
+    assert_eq!(miss.status, 404);
+    server.stop();
+
+    let text = std::fs::read_to_string(&log_path).expect("read access log");
+    let lines: Vec<Value> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| json::parse(l).unwrap_or_else(|e| panic!("unparseable line `{l}`: {e}")))
+        .collect();
+    // One line per request: two estimates and the 404 (`Server::stop`
+    // signals shutdown in-process, so no /shutdown request is served).
+    assert_eq!(lines.len(), 3, "{text}");
+    let estimates: Vec<&Value> = lines
+        .iter()
+        .filter(|v| v.get("route").and_then(Value::as_str) == Some("/estimate"))
+        .collect();
+    assert_eq!(estimates.len(), 2);
+    for line in &estimates {
+        assert_eq!(line.get("status").and_then(Value::as_u64), Some(200));
+        assert_eq!(line.get("cache").and_then(Value::as_str).is_some(), true);
+        assert!(line.get("netlist_hash").and_then(Value::as_str).is_some());
+        assert_eq!(line.get("width").and_then(Value::as_u64), Some(64));
+        assert!(line.get("lanes").and_then(Value::as_u64).unwrap() >= 1);
+        assert!(line.get("bytes_in").and_then(Value::as_u64).unwrap() > 0);
+        assert!(line.get("bytes_out").and_then(Value::as_u64).unwrap() > 0);
+        // Stage windows are disjoint sub-intervals of the wall time.
+        let wall = line.get("wall_ns").and_then(Value::as_u64).expect("wall_ns");
+        let stages = line.get("stages").expect("stages");
+        let sum: u64 = ["parse_ns", "cache_ns", "queue_ns", "pack_ns", "sim_ns", "finalize_ns"]
+            .iter()
+            .map(|k| stages.get(k).and_then(Value::as_u64).expect("stage field"))
+            .sum();
+        assert!(sum > 0, "some stage time must be recorded: {text}");
+        assert!(sum <= wall + 1_000_000, "stage sum {sum} exceeds wall {wall}");
+    }
+    // The log's ids match what the responses reported.
+    let echo_of = |line: &Value| match line.get("client_id").and_then(Value::as_str) {
+        Some(c) => c.to_string(),
+        None => line.get("id").and_then(Value::as_u64).expect("id").to_string(),
+    };
+    let logged: Vec<String> = estimates.iter().map(|l| echo_of(l)).collect();
+    assert!(logged.contains(&"smoke-42".to_string()), "{logged:?}");
+    let anon_id = json::parse(&anon.body)
+        .unwrap()
+        .get("request_id")
+        .and_then(Value::as_str)
+        .expect("request_id in body")
+        .to_string();
+    assert!(logged.contains(&anon_id), "{logged:?} missing {anon_id}");
+}
+
+#[test]
+fn metrics_negotiates_prometheus_text_exposition() {
+    let verilog = example("gray_counter4.v");
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let addr = server.addr().to_string();
+    let est = client::request(&addr, "POST", "/estimate", Some(&estimate_body(&verilog)))
+        .expect("estimate");
+    assert_eq!(est.status, 200);
+
+    let json_resp = client::request(&addr, "GET", "/metrics", None).expect("json metrics");
+    assert_eq!(json_resp.status, 200);
+    assert_eq!(json_resp.header("content-type"), Some("application/json"));
+    let snap = json::parse(&json_resp.body).expect("json snapshot");
+
+    let prom_resp =
+        client::request_with(&addr, "GET", "/metrics", None, &[("Accept", "text/plain")])
+            .expect("prom metrics");
+    assert_eq!(prom_resp.status, 200);
+    assert_eq!(prom_resp.header("content-type"), Some("text/plain; version=0.0.4"));
+    let exposition =
+        hlpower_obs::report::parse_prometheus(&prom_resp.body).expect("valid exposition");
+    // The two scrapes bracket each other: every counter present in the
+    // JSON snapshot exists in the exposition, and monotone counters can
+    // only have grown between the scrapes.
+    let json_requests = snap
+        .get("serve")
+        .and_then(|s| s.get("requests"))
+        .and_then(Value::as_u64)
+        .expect("serve.requests");
+    let prom_requests =
+        exposition.value("hlpower_serve_requests_total").expect("requests_total sample");
+    assert!(prom_requests >= json_requests as f64, "{prom_requests} < {json_requests}");
+    assert_eq!(exposition.type_of("hlpower_serve_requests_total"), Some("counter"));
+    assert_eq!(exposition.type_of("hlpower_serve_stage_sim_ns"), Some("histogram"));
+    assert!(exposition.value("hlpower_serve_stage_sim_ns_count").unwrap_or(0.0) >= 1.0);
+    assert_eq!(exposition.type_of("hlpower_serve_stage_in_flight"), Some("gauge"));
+    server.stop();
+}
+
+#[test]
+fn concurrent_clients_get_unique_echoed_request_ids() {
+    let verilog = Arc::new(example("gray_counter4.v"));
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let addr = server.addr().to_string();
+    let mut handles = Vec::new();
+    for i in 0..8 {
+        let addr = addr.clone();
+        let src = Arc::clone(&verilog);
+        handles.push(std::thread::spawn(move || {
+            let resp = client::request(&addr, "POST", "/estimate", Some(&estimate_body(&src)))
+                .expect("request");
+            (i, resp)
+        }));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for h in handles {
+        let (i, resp) = h.join().expect("client thread");
+        assert_eq!(resp.status, 200, "client {i}: {}", resp.body);
+        let body_id = json::parse(&resp.body)
+            .unwrap()
+            .get("request_id")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("client {i}: no request_id in {}", resp.body))
+            .to_string();
+        assert_eq!(
+            Some(body_id.as_str()),
+            resp.header("x-request-id"),
+            "client {i}: body and header ids must agree"
+        );
+        assert!(seen.insert(body_id.clone()), "client {i}: duplicate request id {body_id}");
+    }
+    server.stop();
+}
+
+#[test]
+fn bit_identity_survives_logging_and_tracing() {
+    // The acceptance gate: turning on every telemetry feature at once —
+    // span tracing, the access log, request contexts — must not perturb
+    // a single bit of the estimate.
+    let verilog = example("gray_counter4.v");
+    let want = offline_reference(&verilog);
+    let log_path = temp_path("bit-identity-access.jsonl");
+    hlpower_obs::trace::set_enabled(true);
+    let config = ServerConfig {
+        access_log: Some(log_path.clone()),
+        slow_ms: Some(0),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config).expect("start server");
+    let addr = server.addr().to_string();
+    let resp = client::request_with(
+        &addr,
+        "POST",
+        "/estimate",
+        Some(&estimate_body(&verilog)),
+        &[("X-Request-Id", "bit-identity")],
+    )
+    .expect("request");
+    server.stop();
+    hlpower_obs::trace::set_enabled(false);
+    assert_eq!(resp.status, 200);
+    assert_matches_offline(&resp.body, &want, "telemetry-on estimate");
+    // slow_ms = 0 classifies the request as slow, so the log carries
+    // both its access line and a spans line.
+    let text = std::fs::read_to_string(&log_path).expect("read access log");
+    assert!(text.lines().any(|l| l.contains("\"slow\": true") || l.contains("\"slow\":true")));
 }
 
 #[test]
